@@ -1,0 +1,72 @@
+//! Substrate micro-benchmarks: the indexing layer the paper's Section 3
+//! describes (grid + per-cell inverted lists on a paged B⁺-tree) and the
+//! object→node weight computation that precedes every query.
+//!
+//! These do not correspond to a single figure; they quantify the fixed
+//! per-query indexing cost that all three algorithms share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcmsr_bench::*;
+use lcmsr_geotext::btree::BPlusTree;
+use std::hint::black_box;
+
+fn bench_node_weights(c: &mut Criterion) {
+    let dataset = ny_dataset(scale_from_env());
+    let queries = default_workload(&dataset, 999);
+    let query = queries.first().cloned().expect("workload is non-empty");
+
+    let mut group = c.benchmark_group("substrate_node_weights");
+    group.sample_size(20);
+    for keywords in [1usize, 3, 5] {
+        let kws: Vec<String> = query
+            .keywords
+            .iter()
+            .cycle()
+            .take(keywords)
+            .cloned()
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(keywords), &kws, |b, kws| {
+            b.iter(|| {
+                black_box(
+                    dataset
+                        .collection
+                        .node_weights_for_keywords(kws, &query.region_of_interest),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree_inserts_and_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_bptree");
+    group.sample_size(20);
+    for n in [1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t: BPlusTree<u32, u64> = BPlusTree::new();
+                for i in 0..n {
+                    t.insert(i.wrapping_mul(2654435761) % n, i as u64);
+                }
+                black_box(t.len())
+            });
+        });
+        let mut tree: BPlusTree<u32, u64> = BPlusTree::new();
+        for i in 0..n {
+            tree.insert(i, i as u64);
+        }
+        group.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in (0..n).step_by(7) {
+                    acc += *tree.get(&i).unwrap();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_weights, bench_btree_inserts_and_lookups);
+criterion_main!(benches);

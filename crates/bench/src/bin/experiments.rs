@@ -1,0 +1,357 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 7) on the synthetic NY-like / USANW-like data sets.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p lcmsr-bench --release --bin experiments -- all
+//! cargo run -p lcmsr-bench --release --bin experiments -- fig7_8 fig15
+//! LCMSR_SCALE=small LCMSR_QUERIES=20 cargo run -p lcmsr-bench --release --bin experiments -- all
+//! ```
+//!
+//! Available experiment ids: `table1`, `fig7_8`, `fig9_10`, `fig11_12`,
+//! `fig13_14`, `fig15`, `fig16`, `fig17_19`, `sec7_5`, `fig21_22`, `all`.
+//! Absolute numbers differ from the paper (synthetic data, reduced scale);
+//! the reported *shapes* are what EXPERIMENTS.md records and compares.
+
+use lcmsr_bench::*;
+use lcmsr_core::app::run_app;
+use lcmsr_core::prelude::*;
+use lcmsr_datagen::prelude::*;
+use lcmsr_roadnet::geo::Rect;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "fig7_8", "fig9_10", "fig11_12", "fig13_14", "fig15", "fig16", "fig17_19",
+            "sec7_5", "fig21_22",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    } else {
+        args
+    };
+    let scale = scale_from_env();
+    println!("# LCMSR experiment harness");
+    println!("# scale = {scale:?}, queries/setting = {}", queries_per_setting());
+
+    println!("\n## Building datasets");
+    let ny = ny_dataset(scale);
+    println!("NY-like    : {}", ny.network.stats());
+    println!("             {} objects, {} keywords", ny.collection.len(), ny.collection.keyword_count());
+    let usanw = usanw_dataset(scale);
+    println!("USANW-like : {}", usanw.network.stats());
+    println!("             {} objects, {} keywords", usanw.collection.len(), usanw.collection.keyword_count());
+
+    for id in &wanted {
+        match id.as_str() {
+            "table1" => table1(&ny),
+            "fig7_8" => fig7_8(&ny),
+            "fig9_10" => fig9_10(&ny),
+            "fig11_12" => fig11_12(&ny),
+            "fig13_14" => fig13_14(&ny),
+            "fig15" => vary_query_args(&ny, "fig15 (NY)"),
+            "fig16" => vary_query_args(&usanw, "fig16 (USANW)"),
+            "fig17_19" => fig17_19(&ny),
+            "sec7_5" => sec7_5(&ny),
+            "fig21_22" => fig21_22(&ny, &usanw),
+            other => eprintln!("unknown experiment id '{other}' — skipped"),
+        }
+    }
+}
+
+/// Table 1: an example trace of APP's quota binary search.
+fn table1(ny: &Dataset) {
+    println!("\n## table1 — binary-search trace (Table 1 analogue)");
+    let queries = default_workload(ny, 101);
+    let Some(query) = queries.first() else {
+        println!("(no query available)");
+        return;
+    };
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    let params = AppParams::default();
+    let graph = engine.prepare(query, params.alpha).expect("prepare");
+    let outcome = run_app(&graph, &params).expect("APP run");
+    println!("query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m", query.keywords, query.delta, 3.0 * query.delta);
+    println!("{:>4} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}", "step", "L", "U", "X", "TC.l", "(1+β)X", "T'C.l");
+    for s in &outcome.trace {
+        println!(
+            "{:>4} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+            s.step,
+            s.lower,
+            s.upper,
+            s.x,
+            s.tc_length.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()),
+            if s.x_beta > 0 { s.x_beta.to_string() } else { "-".into() },
+            s.tprime_length.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    if let Some(best) = outcome.best {
+        println!("result: weight {:.4}, length {:.0} m, {} nodes", best.weight, best.length, best.nodes.len());
+    }
+}
+
+/// Figures 7 and 8: APP runtime and region weight vs the scaling parameter α.
+fn fig7_8(ny: &Dataset) {
+    println!("\n## fig7_8 — APP vs α (NY): runtime should fall, weight stay nearly flat");
+    let queries = default_workload(ny, 78);
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    println!("{:>8} {:>14} {:>14}", "alpha", "runtime (ms)", "region weight");
+    for alpha in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9] {
+        let params = AppParams { alpha, ..AppParams::default() };
+        let agg = aggregate(&engine, &queries, &Algorithm::App(params));
+        println!("{:>8} {:>14.2} {:>14.4}", alpha, agg.avg_millis, agg.avg_weight);
+    }
+}
+
+/// Figures 9 and 10: TGEN runtime and weight vs its (much coarser) α.
+fn fig9_10(ny: &Dataset) {
+    println!("\n## fig9_10 — TGEN vs α (NY): both runtime and weight should fall as α grows");
+    let queries = default_workload(ny, 910);
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    let base = default_tgen_alpha(ny, &queries);
+    println!("(paper sweeps α ∈ {{50..1600}} at |V_Q| ≈ 26k; here α is scaled to the synthetic |V_Q|: base = {base:.1})");
+    println!("{:>18} {:>14} {:>14}", "alpha (x base)", "runtime (ms)", "region weight");
+    for factor in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let alpha = (base * factor).max(0.05);
+        let agg = aggregate(&engine, &queries, &Algorithm::Tgen(TgenParams { alpha }));
+        println!("{:>10.2} ({:>4.2}x) {:>13.2} {:>14.4}", alpha, factor, agg.avg_millis, agg.avg_weight);
+    }
+}
+
+/// Figures 11 and 12: APP runtime and weight vs the binary-search parameter β.
+fn fig11_12(ny: &Dataset) {
+    println!("\n## fig11_12 — APP vs β (NY): runtime and weight should both drop as β grows");
+    let queries = default_workload(ny, 1112);
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    println!("{:>8} {:>14} {:>14}", "beta", "runtime (ms)", "region weight");
+    for beta in [0.001, 0.01, 0.1, 0.3, 0.9] {
+        let params = AppParams { beta, ..AppParams::default() };
+        let agg = aggregate(&engine, &queries, &Algorithm::App(params));
+        println!("{:>8} {:>14.2} {:>14.4}", beta, agg.avg_millis, agg.avg_weight);
+    }
+}
+
+/// Figures 13 and 14: Greedy runtime and weight vs µ.
+fn fig13_14(ny: &Dataset) {
+    println!("\n## fig13_14 — Greedy vs µ (NY): mid-range µ should beat the extremes on weight");
+    let queries = default_workload(ny, 1314);
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    println!("{:>6} {:>14} {:>14}", "mu", "runtime (ms)", "region weight");
+    for mu in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let agg = aggregate(&engine, &queries, &Algorithm::Greedy(GreedyParams { mu }));
+        println!("{:>6} {:>14.2} {:>14.4}", mu, agg.avg_millis, agg.avg_weight);
+    }
+}
+
+/// Figures 15 (NY) and 16 (USANW): runtime and relative ratio while varying the
+/// number of keywords, the length constraint ∆, and the size of Q.Λ.
+fn vary_query_args(dataset: &Dataset, label: &str) {
+    println!("\n## {label} — vary query arguments: runtime (ms) and relative ratio vs TGEN (%)");
+    let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+    let defaults = dataset.default_query_params(1500);
+    let n = queries_per_setting();
+
+    let run_setting = |queries: &[LcmsrQuery], setting: &str| {
+        if queries.is_empty() {
+            println!("{setting:>18}  (no queries generated)");
+            return;
+        }
+        let tgen_alpha = default_tgen_alpha(dataset, queries);
+        let algorithms = [
+            ("APP", Algorithm::App(AppParams::default())),
+            ("TGEN", Algorithm::Tgen(TgenParams { alpha: tgen_alpha })),
+            ("Greedy", Algorithm::Greedy(GreedyParams::default())),
+        ];
+        let mut weights: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut millis = [0.0f64; 3];
+        for q in queries {
+            for (i, (_, alg)) in algorithms.iter().enumerate() {
+                let m = measure(&engine, q, alg);
+                weights[i].push(m.weight);
+                millis[i] += m.millis;
+            }
+        }
+        let reference = weights[1].clone();
+        print!("{setting:>18}");
+        for (i, (name, _)) in algorithms.iter().enumerate() {
+            let ratio = relative_ratio(&reference, &weights[i]);
+            print!(
+                "  {name}: {:>8.2} ms {:>6.1}%",
+                millis[i] / queries.len() as f64,
+                ratio
+            );
+        }
+        println!();
+    };
+
+    println!("--- varying the number of query keywords (∆, Λ at defaults) ---");
+    for keywords in 1..=5 {
+        let queries = make_workload(dataset, n, keywords, defaults.area_km2, defaults.delta_km, 150 + keywords as u64);
+        run_setting(&queries, &format!("|Q.psi| = {keywords}"));
+    }
+    println!("--- varying the length constraint Q.delta ---");
+    for step in -2i32..=2 {
+        let delta = (defaults.delta_km * (1.0 + 0.2 * step as f64)).max(0.1);
+        let queries = make_workload(dataset, n, defaults.num_keywords, defaults.area_km2, delta, 160 + (step + 2) as u64);
+        run_setting(&queries, &format!("delta = {delta:.1} km"));
+    }
+    println!("--- varying the query region size Q.Lambda ---");
+    for step in -2i32..=2 {
+        let area = (defaults.area_km2 * (1.0 + 0.25 * step as f64)).max(0.1);
+        let queries = make_workload(dataset, n, defaults.num_keywords, area, defaults.delta_km, 170 + (step + 2) as u64);
+        run_setting(&queries, &format!("area = {area:.1} km2"));
+    }
+}
+
+/// Figures 17–19: the qualitative "cafe + restaurant" exploration example.
+fn fig17_19(ny: &Dataset) {
+    println!("\n## fig17_19 — qualitative example (cafe + restaurant): TGEN >= APP >= Greedy in content");
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    // Pick a cafe/restaurant cluster as the downtown window, like the Bronx example.
+    let center = ny
+        .clusters
+        .iter()
+        .find(|c| matches!(CATEGORIES[c.category], "restaurant" | "cafe" | "coffee"))
+        .map(|c| c.point)
+        .unwrap_or_else(|| ny.network.bounding_rect().unwrap().center());
+    let extent = ny.network.bounding_rect().unwrap();
+    let side = (extent.width().min(extent.height()) * 0.6).min(8_000.0);
+    let roi = Rect::centered_square(center, side);
+    let delta = (side * 0.5).min(8_000.0);
+    let query = LcmsrQuery::new(["cafe", "restaurant"], delta, roi).unwrap();
+    println!("query: {:?}, ∆ = {:.0} m, Λ = {:.1} km²", query.keywords, query.delta, roi.area_km2());
+    let tgen_alpha = default_tgen_alpha(ny, std::slice::from_ref(&query));
+    println!("{:>8} {:>10} {:>12} {:>10} {:>12}", "algo", "objects", "weight", "nodes", "length (m)");
+    for algorithm in [
+        Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
+        Algorithm::App(AppParams::default()),
+        Algorithm::Greedy(GreedyParams::default()),
+    ] {
+        let result = engine.run(&query, &algorithm).expect("run");
+        match result.region {
+            Some(region) => {
+                let objects: usize = region
+                    .nodes
+                    .iter()
+                    .map(|&node| {
+                        ny.collection
+                            .objects_at(node)
+                            .iter()
+                            .filter(|&&o| {
+                                let obj = ny.collection.object(o).unwrap();
+                                query.keywords.iter().any(|k| obj.contains_term(k))
+                            })
+                            .count()
+                    })
+                    .sum();
+                println!(
+                    "{:>8} {:>10} {:>12.4} {:>10} {:>12.0}",
+                    algorithm.name(),
+                    objects,
+                    region.weight,
+                    region.node_count(),
+                    region.length
+                );
+            }
+            None => println!("{:>8} (no region)", algorithm.name()),
+        }
+    }
+}
+
+/// Section 7.5 / Figure 20: LCMSR vs the MaxRS fixed-rectangle baseline.
+fn sec7_5(ny: &Dataset) {
+    println!("\n## sec7_5 — LCMSR vs MaxRS (500 m × 500 m): LCMSR should win most comparisons");
+    let engine = LcmsrEngine::new(&ny.network, &ny.collection);
+    let queries = default_workload(ny, 75);
+    let mut lcmsr_wins = 0usize;
+    let mut maxrs_wins = 0usize;
+    let mut ties = 0usize;
+    let mut compared = 0usize;
+    println!("{:>4} {:>12} {:>12} {:>16} {:>10}", "q#", "MaxRS w", "LCMSR w", "MaxRS connected", "winner");
+    for (i, query) in queries.iter().enumerate() {
+        let Ok(Some(maxrs)) = engine.run_maxrs(query, 500.0, 500.0) else {
+            continue;
+        };
+        // The paper derives the LCMSR ∆ from the MaxRS region's connecting length.
+        let delta = maxrs.connecting_length.unwrap_or(query.delta).max(250.0);
+        let lcmsr_query =
+            LcmsrQuery::new(query.keywords.clone(), delta, query.region_of_interest).unwrap();
+        let tgen_alpha = default_tgen_alpha(ny, std::slice::from_ref(&lcmsr_query));
+        let lcmsr = engine
+            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }))
+            .expect("run")
+            .region;
+        let lcmsr_weight = lcmsr.map(|r| r.weight).unwrap_or(0.0);
+        // Automatic quality proxy (replaces the paper's human annotators, see
+        // DESIGN.md §4): a result is better when it is connected on the network
+        // and gathers more relevant weight under the same connectivity budget.
+        let winner = if (!maxrs.connected_in_network && lcmsr_weight > 0.0)
+            || lcmsr_weight > maxrs.weight * 1.02
+        {
+            lcmsr_wins += 1;
+            "LCMSR"
+        } else if maxrs.weight > lcmsr_weight * 1.02 {
+            maxrs_wins += 1;
+            "MaxRS"
+        } else {
+            ties += 1;
+            "tie"
+        };
+        compared += 1;
+        println!(
+            "{:>4} {:>12.4} {:>12.4} {:>16} {:>10}",
+            i + 1,
+            maxrs.weight,
+            lcmsr_weight,
+            maxrs.connected_in_network,
+            winner
+        );
+    }
+    if compared > 0 {
+        println!(
+            "summary: LCMSR better or tied on {:.0}% of {} comparable queries ({} LCMSR / {} MaxRS / {} ties)",
+            100.0 * (lcmsr_wins + ties) as f64 / compared as f64,
+            compared,
+            lcmsr_wins,
+            maxrs_wins,
+            ties
+        );
+    } else {
+        println!("(no comparable queries)");
+    }
+}
+
+/// Figures 21 and 22: top-k runtime on NY and USANW for k = 1..5.
+fn fig21_22(ny: &Dataset, usanw: &Dataset) {
+    println!("\n## fig21_22 — top-k runtime (ms): mild growth with k, Greedy fastest, TGEN < APP");
+    for (name, dataset) in [("NY", ny), ("USANW", usanw)] {
+        let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+        let queries = default_workload(dataset, 2122);
+        if queries.is_empty() {
+            println!("{name}: no queries generated");
+            continue;
+        }
+        let tgen_alpha = default_tgen_alpha(dataset, &queries);
+        println!("--- {name} ---");
+        println!("{:>4} {:>12} {:>12} {:>12}", "k", "APP", "TGEN", "Greedy");
+        for k in 1..=5usize {
+            let mut totals = [0.0f64; 3];
+            for q in &queries {
+                totals[0] += measure_topk(&engine, q, &Algorithm::App(AppParams::default()), k);
+                totals[1] += measure_topk(&engine, q, &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }), k);
+                totals[2] += measure_topk(&engine, q, &Algorithm::Greedy(GreedyParams::default()), k);
+            }
+            let n = queries.len() as f64;
+            println!(
+                "{:>4} {:>12.2} {:>12.2} {:>12.2}",
+                k,
+                totals[0] / n,
+                totals[1] / n,
+                totals[2] / n
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared fixtures and helpers for the LCMSR benchmark harness.
+//!
+//! The harness regenerates every table and figure of the paper's evaluation
+//! (Section 7) on the synthetic NY-like and USANW-like data sets.  Absolute
+//! numbers differ from the paper (different hardware, language, and — most of
+//! all — synthetic data at reduced scale); what the harness checks and reports
+//! is the *shape* of each result: orderings, trends, and crossovers.
+//!
+//! Scale is controlled by the `LCMSR_SCALE` environment variable
+//! (`tiny` | `small` | `medium`); the default is `tiny` so that
+//! `cargo bench`/`cargo run -p lcmsr-bench` finish quickly on a laptop.
+
+use lcmsr_core::prelude::*;
+use lcmsr_datagen::prelude::*;
+use std::time::Instant;
+
+/// Resolves the dataset scale from `LCMSR_SCALE` (default: tiny).
+pub fn scale_from_env() -> NetworkScale {
+    match std::env::var("LCMSR_SCALE").unwrap_or_default().as_str() {
+        "small" => NetworkScale::Small,
+        "medium" => NetworkScale::Medium,
+        "large" => NetworkScale::Large,
+        _ => NetworkScale::Tiny,
+    }
+}
+
+/// Builds the NY-like dataset at the given scale.
+pub fn ny_dataset(scale: NetworkScale) -> Dataset {
+    Dataset::build(DatasetConfig::ny(scale, 2014))
+}
+
+/// Builds the USANW-like dataset at the given scale.
+pub fn usanw_dataset(scale: NetworkScale) -> Dataset {
+    Dataset::build(DatasetConfig::usanw(scale, 733))
+}
+
+/// Experiment-wide default number of queries per setting.  The paper uses 50;
+/// the harness default keeps full sweeps fast and can be raised via
+/// `LCMSR_QUERIES`.
+pub fn queries_per_setting() -> usize {
+    std::env::var("LCMSR_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// A concrete workload: LCMSR queries derived from the generator's output.
+pub fn make_workload(
+    dataset: &Dataset,
+    num_queries: usize,
+    num_keywords: usize,
+    area_km2: f64,
+    delta_km: f64,
+    seed: u64,
+) -> Vec<LcmsrQuery> {
+    let params = QueryGenParams {
+        num_queries,
+        num_keywords,
+        area_km2,
+        delta_km,
+        seed,
+    };
+    dataset
+        .queries(&params)
+        .into_iter()
+        .map(|q| LcmsrQuery::new(q.keywords, q.delta, q.rect).expect("generated query is valid"))
+        .collect()
+}
+
+/// Default workload parameters for a dataset, mirroring the paper's defaults
+/// (3 keywords; NY: ∆ = 10 km, Λ = 100 km²; USANW: ∆ = 15 km, Λ = 150 km²),
+/// clamped to the synthetic network's extent.
+pub fn default_workload(dataset: &Dataset, seed: u64) -> Vec<LcmsrQuery> {
+    let params = dataset.default_query_params(seed);
+    make_workload(
+        dataset,
+        queries_per_setting(),
+        params.num_keywords,
+        params.area_km2,
+        params.delta_km,
+        seed,
+    )
+}
+
+/// The paper's TGEN α (400 for NY, 300 for USANW) presumes query regions of
+/// tens of thousands of nodes (|V_Q|/α ≈ 65); at reduced synthetic scale this
+/// helper picks the α giving the same granularity for a workload.
+pub fn default_tgen_alpha(dataset: &Dataset, queries: &[LcmsrQuery]) -> f64 {
+    let Some(query) = queries.first() else {
+        return 50.0;
+    };
+    let nodes_in_area = dataset
+        .network
+        .nodes_in_rect(&query.region_of_interest)
+        .len()
+        .max(1);
+    (nodes_in_area as f64 / 65.0).max(1.0)
+}
+
+/// A similar helper for APP's α: the paper's default 0.5 works at any scale.
+pub fn default_app_params() -> AppParams {
+    AppParams::default()
+}
+
+/// Measured outcome of one algorithm on one query.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Result weight (0 when no region was found).
+    pub weight: f64,
+    /// Result length in metres (0 when no region was found).
+    pub length: f64,
+    /// Number of nodes in the result region.
+    pub nodes: usize,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Runs one algorithm on one query and measures it.
+pub fn measure(engine: &LcmsrEngine<'_>, query: &LcmsrQuery, algorithm: &Algorithm) -> Measurement {
+    let start = Instant::now();
+    let result = engine.run(query, algorithm).expect("query execution failed");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    match result.region {
+        Some(region) => Measurement {
+            weight: region.weight,
+            length: region.length,
+            nodes: region.node_count(),
+            millis,
+        },
+        None => Measurement {
+            weight: 0.0,
+            length: 0.0,
+            nodes: 0,
+            millis,
+        },
+    }
+}
+
+/// Runs a top-k query and measures the wall-clock time.
+pub fn measure_topk(
+    engine: &LcmsrEngine<'_>,
+    query: &LcmsrQuery,
+    algorithm: &Algorithm,
+    k: usize,
+) -> f64 {
+    let start = Instant::now();
+    let _ = engine
+        .run_topk(query, algorithm, k)
+        .expect("top-k execution failed");
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Aggregates a workload: average runtime (ms) and average weight per algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Average wall-clock time per query, milliseconds.
+    pub avg_millis: f64,
+    /// Average result weight per query.
+    pub avg_weight: f64,
+}
+
+/// Measures an algorithm over a whole workload.
+pub fn aggregate(
+    engine: &LcmsrEngine<'_>,
+    queries: &[LcmsrQuery],
+    algorithm: &Algorithm,
+) -> Aggregate {
+    if queries.is_empty() {
+        return Aggregate::default();
+    }
+    let mut total_ms = 0.0;
+    let mut total_weight = 0.0;
+    for q in queries {
+        let m = measure(engine, q, algorithm);
+        total_ms += m.millis;
+        total_weight += m.weight;
+    }
+    Aggregate {
+        avg_millis: total_ms / queries.len() as f64,
+        avg_weight: total_weight / queries.len() as f64,
+    }
+}
+
+/// Average ratio (in %) of `candidate` weights to `reference` weights over the
+/// queries where the reference found a region — the paper's "relative ratio"
+/// accuracy metric of Section 7.2.2.
+pub fn relative_ratio(reference: &[f64], candidate: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for (r, c) in reference.iter().zip(candidate) {
+        if *r > 0.0 {
+            sum += (c / r) * 100.0;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_ratio_basics() {
+        assert_eq!(relative_ratio(&[], &[]), 0.0);
+        assert_eq!(relative_ratio(&[0.0], &[1.0]), 0.0);
+        let r = relative_ratio(&[1.0, 2.0], &[0.5, 2.0]);
+        assert!((r - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_tiny() {
+        std::env::remove_var("LCMSR_SCALE");
+        assert_eq!(scale_from_env(), NetworkScale::Tiny);
+    }
+
+    #[test]
+    fn workload_and_measurement_roundtrip() {
+        let dataset = ny_dataset(NetworkScale::Tiny);
+        let queries = make_workload(&dataset, 3, 2, 1.5, 1.0, 7);
+        assert_eq!(queries.len(), 3);
+        let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+        let alpha = default_tgen_alpha(&dataset, &queries);
+        assert!(alpha >= 1.0);
+        let m = measure(&engine, &queries[0], &Algorithm::Greedy(GreedyParams::default()));
+        assert!(m.millis >= 0.0);
+        let agg = aggregate(&engine, &queries, &Algorithm::Greedy(GreedyParams::default()));
+        assert!(agg.avg_millis >= 0.0);
+    }
+}

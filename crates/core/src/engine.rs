@@ -1,0 +1,488 @@
+//! [`LcmsrEngine`]: end-to-end query execution.
+//!
+//! The engine binds a road network and an indexed object collection, turns an
+//! [`LcmsrQuery`] into a scaled [`QueryGraph`] (keyword scoring via the grid
+//! index and vector-space model, restriction to `Q.Λ`, weight scaling), runs
+//! the requested algorithm, and converts the winning tuple back into a global
+//! [`Region`].
+
+use crate::app::{run_app, AppParams};
+use crate::error::Result;
+use crate::exact::ExactSolver;
+use crate::greedy::{run_greedy, GreedyParams};
+use crate::maxrs::{max_range_sum, MaxRsResult};
+use crate::query::LcmsrQuery;
+use crate::query_graph::QueryGraph;
+use crate::region::Region;
+use crate::stats::RunStats;
+use crate::tgen::{run_tgen, TgenParams};
+use crate::topk::{topk_app, topk_greedy, topk_tgen};
+use lcmsr_geotext::collection::ObjectCollection;
+use lcmsr_geotext::object::ObjectId;
+use lcmsr_roadnet::graph::RoadNetwork;
+use lcmsr_roadnet::node::NodeId;
+use lcmsr_roadnet::subgraph::RegionView;
+use lcmsr_roadnet::traversal::dijkstra;
+use std::time::Instant;
+
+/// Which LCMSR algorithm to run, with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algorithm {
+    /// The (5+ε)-approximation algorithm of Section 4.
+    App(AppParams),
+    /// The tuple-generation heuristic of Section 5.
+    Tgen(TgenParams),
+    /// The greedy expansion of Section 6.1.
+    Greedy(GreedyParams),
+    /// Exhaustive enumeration (small query regions only).
+    Exact,
+}
+
+impl Algorithm {
+    /// Display name of the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::App(_) => "APP",
+            Algorithm::Tgen(_) => "TGEN",
+            Algorithm::Greedy(_) => "Greedy",
+            Algorithm::Exact => "Exact",
+        }
+    }
+
+    /// The scaling parameter α the algorithm wants the query graph built with.
+    fn alpha(&self) -> f64 {
+        match self {
+            Algorithm::App(p) => p.alpha,
+            Algorithm::Tgen(p) => p.alpha,
+            // Greedy and Exact work on the original weights; any valid α will do.
+            Algorithm::Greedy(_) | Algorithm::Exact => 1.0,
+        }
+    }
+}
+
+/// Result of answering one LCMSR query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The best region found, or `None` when no object in `Q.Λ` matches the keywords.
+    pub region: Option<Region>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Result of answering one top-k LCMSR query.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// The best regions found, ordered best-first.
+    pub regions: Vec<Region>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Result of the MaxRS baseline plus the measures needed by the Section 7.5
+/// comparison procedure.
+#[derive(Debug, Clone)]
+pub struct MaxRsRegion {
+    /// The raw sweep result (centre, weight, covered object indices).
+    pub result: MaxRsResult,
+    /// Objects covered by the optimal rectangle.
+    pub objects: Vec<ObjectId>,
+    /// Road-network nodes hosting the covered objects.
+    pub nodes: Vec<NodeId>,
+    /// Total relevance weight of the covered objects.
+    pub weight: f64,
+    /// Minimum total road length connecting the covered objects' nodes inside
+    /// `Q.Λ` (a shortest-path-metric spanning-tree length); used as the LCMSR
+    /// `Q.∆` in the paper's comparison.  `None` when fewer than two nodes are
+    /// covered or they are disconnected inside `Q.Λ`.
+    pub connecting_length: Option<f64>,
+    /// Whether the covered nodes are connected inside `Q.Λ` by road segments.
+    pub connected_in_network: bool,
+}
+
+/// The LCMSR query-processing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct LcmsrEngine<'a> {
+    network: &'a RoadNetwork,
+    collection: &'a ObjectCollection,
+}
+
+impl<'a> LcmsrEngine<'a> {
+    /// Creates an engine over a network and its object collection.
+    pub fn new(network: &'a RoadNetwork, collection: &'a ObjectCollection) -> Self {
+        LcmsrEngine {
+            network,
+            collection,
+        }
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &'a RoadNetwork {
+        self.network
+    }
+
+    /// The underlying object collection.
+    pub fn collection(&self) -> &'a ObjectCollection {
+        self.collection
+    }
+
+    /// Builds the scaled query graph for a query with the given α.
+    pub fn prepare(&self, query: &LcmsrQuery, alpha: f64) -> Result<QueryGraph> {
+        query.validate()?;
+        let weights = self
+            .collection
+            .node_weights_for_keywords(&query.keywords, &query.region_of_interest);
+        let view = RegionView::new(self.network, query.region_of_interest);
+        QueryGraph::build(&view, &weights, query.delta, alpha)
+    }
+
+    /// Answers a query with the requested algorithm.
+    pub fn run(&self, query: &LcmsrQuery, algorithm: &Algorithm) -> Result<QueryResult> {
+        let start = Instant::now();
+        let graph = self.prepare(query, algorithm.alpha())?;
+        let mut stats = RunStats::new(algorithm.name());
+        stats.nodes_in_region = graph.node_count();
+        stats.edges_in_region = graph.edge_count();
+        stats.relevant_nodes = graph.relevant_nodes().len();
+        let best = match algorithm {
+            Algorithm::App(params) => {
+                let outcome = run_app(&graph, params)?;
+                stats.kmst_calls = outcome.kmst_calls;
+                stats.tuples_generated = outcome.dp_tuples;
+                outcome.best
+            }
+            Algorithm::Tgen(params) => {
+                let outcome = run_tgen(&graph, params)?;
+                stats.tuples_generated = outcome.tuples_generated;
+                outcome.best
+            }
+            Algorithm::Greedy(params) => {
+                let outcome = run_greedy(&graph, params)?;
+                stats.greedy_steps = outcome.steps;
+                outcome.best
+            }
+            Algorithm::Exact => ExactSolver::new().solve(&graph)?,
+        };
+        stats.elapsed = start.elapsed();
+        Ok(QueryResult {
+            region: best.map(|t| Region::from_tuple(&graph, &t)),
+            stats,
+        })
+    }
+
+    /// Answers a top-k query with the requested algorithm (`Exact` falls back to k = 1).
+    pub fn run_topk(
+        &self,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<TopKResult> {
+        let start = Instant::now();
+        let graph = self.prepare(query, algorithm.alpha())?;
+        let mut stats = RunStats::new(algorithm.name());
+        stats.nodes_in_region = graph.node_count();
+        stats.edges_in_region = graph.edge_count();
+        stats.relevant_nodes = graph.relevant_nodes().len();
+        let tuples = match algorithm {
+            Algorithm::App(params) => topk_app(&graph, params, k)?,
+            Algorithm::Tgen(params) => topk_tgen(&graph, params, k)?,
+            Algorithm::Greedy(params) => topk_greedy(&graph, params, k)?,
+            Algorithm::Exact => ExactSolver::new()
+                .solve(&graph)?
+                .into_iter()
+                .collect(),
+        };
+        stats.elapsed = start.elapsed();
+        Ok(TopKResult {
+            regions: tuples
+                .iter()
+                .map(|t| Region::from_tuple(&graph, t))
+                .collect(),
+            stats,
+        })
+    }
+
+    /// Runs the MaxRS baseline over the objects relevant to `query` inside
+    /// `Q.Λ`, using a `width` × `height` rectangle (the paper uses 500 m × 500 m),
+    /// and derives the measures needed by the Section 7.5 comparison.
+    pub fn run_maxrs(
+        &self,
+        query: &LcmsrQuery,
+        width: f64,
+        height: f64,
+    ) -> Result<Option<MaxRsRegion>> {
+        query.validate()?;
+        let weights = self
+            .collection
+            .node_weights_for_keywords(&query.keywords, &query.region_of_interest);
+        if weights.by_object.is_empty() {
+            return Ok(None);
+        }
+        // Weighted points of the relevant objects.
+        let mut ids: Vec<ObjectId> = weights.by_object.keys().copied().collect();
+        ids.sort_unstable();
+        let points: Vec<(lcmsr_roadnet::geo::Point, f64)> = ids
+            .iter()
+            .map(|id| {
+                let o = self.collection.object(*id).expect("scored object exists");
+                (o.point, weights.by_object[id])
+            })
+            .collect();
+        let Some(result) = max_range_sum(&points, width, height) else {
+            return Ok(None);
+        };
+        let objects: Vec<ObjectId> = result.covered.iter().map(|&i| ids[i]).collect();
+        let mut nodes: Vec<NodeId> = objects
+            .iter()
+            .filter_map(|&o| self.collection.node_of(o))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let weight: f64 = objects
+            .iter()
+            .map(|o| weights.by_object.get(o).copied().unwrap_or(0.0))
+            .sum();
+        let (connecting_length, connected) = self.connecting_length(query, &nodes);
+        Ok(Some(MaxRsRegion {
+            result,
+            objects,
+            nodes,
+            weight,
+            connecting_length,
+            connected_in_network: connected,
+        }))
+    }
+
+    /// Minimum road length connecting `nodes` inside `Q.Λ`: a spanning tree in
+    /// the shortest-path metric (a standard 2-approximation of the Steiner tree).
+    fn connecting_length(&self, query: &LcmsrQuery, nodes: &[NodeId]) -> (Option<f64>, bool) {
+        if nodes.len() < 2 {
+            return (if nodes.len() == 1 { Some(0.0) } else { None }, true);
+        }
+        let rect = query.region_of_interest;
+        let inside = |n: NodeId| rect.contains(&self.network.point(n));
+        // Shortest-path distances between all pairs of terminal nodes.
+        let mut dist = vec![vec![f64::INFINITY; nodes.len()]; nodes.len()];
+        for (i, &src) in nodes.iter().enumerate() {
+            let sp = dijkstra(self.network, src, inside);
+            for (j, &dst) in nodes.iter().enumerate() {
+                if let Some(d) = sp.distance(dst) {
+                    dist[i][j] = d;
+                }
+            }
+        }
+        // Prim's MST over the metric closure.
+        let n = nodes.len();
+        let mut in_tree = vec![false; n];
+        let mut best = vec![f64::INFINITY; n];
+        best[0] = 0.0;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let Some(v) = (0..n)
+                .filter(|&v| !in_tree[v] && best[v].is_finite())
+                .min_by(|&a, &b| best[a].partial_cmp(&best[b]).unwrap())
+            else {
+                return (None, false); // some terminal is unreachable inside Q.Λ
+            };
+            in_tree[v] = true;
+            total += best[v];
+            for u in 0..n {
+                if !in_tree[u] && dist[v][u] < best[u] {
+                    best[u] = dist[v][u];
+                }
+            }
+        }
+        (Some(total), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmsr_geotext::object::GeoTextObject;
+    use lcmsr_roadnet::builder::GraphBuilder;
+    use lcmsr_roadnet::geo::{Point, Rect};
+
+    /// A 6×6 grid network (100 m blocks) with a restaurant cluster in the
+    /// south-west corner and a couple of isolated cafes elsewhere.
+    fn small_world() -> (RoadNetwork, ObjectCollection) {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..6 {
+            for x in 0..6 {
+                ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..6 {
+            for x in 0..6 {
+                let i = y * 6 + x;
+                if x < 5 {
+                    b.add_edge(ids[i], ids[i + 1], 100.0).unwrap();
+                }
+                if y < 5 {
+                    b.add_edge(ids[i], ids[i + 6], 100.0).unwrap();
+                }
+            }
+        }
+        let network = b.build().unwrap();
+        let mut objects = Vec::new();
+        let mut oid = 0u64;
+        // Restaurant cluster near (0..200, 0..200).
+        for &(x, y) in &[(10.0, 10.0), (110.0, 10.0), (10.0, 110.0), (110.0, 110.0), (210.0, 10.0)] {
+            objects.push(GeoTextObject::from_keywords(
+                oid,
+                Point::new(x, y),
+                ["restaurant", "italian"],
+            ));
+            oid += 1;
+        }
+        // Scattered cafes.
+        for &(x, y) in &[(410.0, 410.0), (510.0, 310.0)] {
+            objects.push(GeoTextObject::from_keywords(
+                oid,
+                Point::new(x, y),
+                ["cafe", "coffee"],
+            ));
+            oid += 1;
+        }
+        // A couple of noise objects.
+        objects.push(GeoTextObject::from_keywords(
+            oid,
+            Point::new(300.0, 300.0),
+            ["museum"],
+        ));
+        let collection = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        (network, collection)
+    }
+
+    fn whole_rect(network: &RoadNetwork) -> Rect {
+        network.bounding_rect().unwrap().expanded(50.0)
+    }
+
+    #[test]
+    fn all_algorithms_return_feasible_regions() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let result = engine.run(&query, &algorithm).unwrap();
+            let region = result
+                .region
+                .unwrap_or_else(|| panic!("{} found no region", algorithm.name()));
+            assert!(region.length <= 400.0 + 1e-9, "{}", algorithm.name());
+            assert!(region.weight > 0.0);
+            assert_eq!(result.stats.algorithm, algorithm.name());
+            assert!(result.stats.nodes_in_region == 36);
+        }
+    }
+
+    #[test]
+    fn tgen_matches_exact_on_small_instance() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        // Restrict Q.Λ to the south-west corner so the exact solver can enumerate.
+        let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
+        let exact = engine.run(&query, &Algorithm::Exact).unwrap().region.unwrap();
+        let tgen = engine
+            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
+            .unwrap()
+            .region
+            .unwrap();
+        assert!((tgen.weight - exact.weight).abs() < 1e-9);
+        assert!(tgen.length <= 300.0 + 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_keywords_yield_no_region() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["spaceship"], 400.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams::default()),
+            Algorithm::Greedy(GreedyParams::default()),
+            Algorithm::Exact,
+        ] {
+            let result = engine.run(&query, &algorithm).unwrap();
+            assert!(result.region.is_none(), "{}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn restricting_the_region_of_interest_excludes_outside_objects() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        // Only the north-east part, where no restaurant lies.
+        let rect = Rect::new(300.0, 300.0, 560.0, 560.0);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, rect).unwrap();
+        let result = engine
+            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+            .unwrap();
+        assert!(result.region.is_none());
+        // Cafes are there, though.
+        let query = LcmsrQuery::new(["cafe"], 400.0, rect).unwrap();
+        let result = engine
+            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+            .unwrap();
+        assert!(result.region.is_some());
+    }
+
+    #[test]
+    fn topk_returns_ordered_regions() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant", "cafe"], 300.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let result = engine.run_topk(&query, &algorithm, 3).unwrap();
+            assert!(!result.regions.is_empty(), "{}", algorithm.name());
+            assert!(result.regions.len() <= 3);
+            for w in result.regions.windows(2) {
+                assert!(w[0].weight >= w[1].weight - 1e-6, "{}", algorithm.name());
+            }
+            for r in &result.regions {
+                assert!(r.length <= 300.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn maxrs_baseline_finds_the_restaurant_cluster() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let maxrs = engine.run_maxrs(&query, 250.0, 250.0).unwrap().unwrap();
+        assert!(maxrs.objects.len() >= 4, "covered {:?}", maxrs.objects);
+        assert!(maxrs.weight > 0.0);
+        assert!(maxrs.connecting_length.is_some());
+        assert!(maxrs.connected_in_network);
+        // No relevant object → None.
+        let query = LcmsrQuery::new(["spaceship"], 400.0, whole_rect(&network)).unwrap();
+        assert!(engine.run_maxrs(&query, 250.0, 250.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn lcmsr_beats_or_matches_maxrs_under_the_section_75_procedure() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let maxrs = engine.run_maxrs(&query, 250.0, 250.0).unwrap().unwrap();
+        let delta = maxrs.connecting_length.unwrap().max(100.0);
+        let lcmsr_query = LcmsrQuery::new(["restaurant"], delta, whole_rect(&network)).unwrap();
+        let lcmsr = engine
+            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
+            .unwrap()
+            .region
+            .unwrap();
+        // Under the same connectivity budget the network-aware region should
+        // gather at least as much weight as the rectangle's connected content.
+        assert!(lcmsr.weight + 1e-9 >= maxrs.weight * 0.9);
+    }
+}

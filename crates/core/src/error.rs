@@ -1,0 +1,93 @@
+//! Error types for LCMSR query processing.
+
+use std::fmt;
+
+/// Errors produced while validating or answering LCMSR queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LcmsrError {
+    /// The query has no keywords.
+    EmptyKeywords,
+    /// The length constraint `Q.∆` is not a positive finite number.
+    InvalidDelta {
+        /// The rejected value (metres).
+        delta: f64,
+    },
+    /// The region of interest `Q.Λ` has zero or negative area.
+    InvalidRegionOfInterest,
+    /// An algorithm parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter (e.g. "alpha").
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        expected: &'static str,
+    },
+    /// The query region contains no node of the road network.
+    EmptyQueryRegion,
+    /// The exact solver was asked to handle a graph larger than it can enumerate.
+    GraphTooLargeForExact {
+        /// Number of nodes in the query region.
+        nodes: usize,
+        /// The solver's limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LcmsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcmsrError::EmptyKeywords => write!(f, "LCMSR query must have at least one keyword"),
+            LcmsrError::InvalidDelta { delta } => {
+                write!(f, "length constraint must be positive and finite, got {delta}")
+            }
+            LcmsrError::InvalidRegionOfInterest => {
+                write!(f, "region of interest must have positive area")
+            }
+            LcmsrError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "parameter {name} = {value} is invalid: expected {expected}"),
+            LcmsrError::EmptyQueryRegion => {
+                write!(f, "the region of interest contains no road-network node")
+            }
+            LcmsrError::GraphTooLargeForExact { nodes, limit } => write!(
+                f,
+                "exact solver supports at most {limit} nodes, query region has {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LcmsrError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LcmsrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(LcmsrError::EmptyKeywords.to_string().contains("keyword"));
+        assert!(LcmsrError::InvalidDelta { delta: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(LcmsrError::InvalidRegionOfInterest
+            .to_string()
+            .contains("area"));
+        assert!(LcmsrError::InvalidParameter {
+            name: "alpha",
+            value: 2.0,
+            expected: "0 < alpha < 1"
+        }
+        .to_string()
+        .contains("alpha"));
+        assert!(LcmsrError::EmptyQueryRegion.to_string().contains("no road"));
+        assert!(LcmsrError::GraphTooLargeForExact { nodes: 100, limit: 20 }
+            .to_string()
+            .contains("100"));
+    }
+}

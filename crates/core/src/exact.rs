@@ -1,0 +1,262 @@
+//! Exact LCMSR solver for small query graphs.
+//!
+//! Answering LCMSR is NP-hard (Theorem 1), so exact answers are only practical
+//! on small instances.  This solver enumerates every node subset of the query
+//! region, keeps those whose induced subgraph is connected, connects each with
+//! its minimum spanning tree (the cheapest edge set realising that node set as
+//! a region) and returns the feasible subset of maximum weight.
+//!
+//! The solver exists to *validate* the approximation algorithms: integration
+//! and property tests compare APP, TGEN and Greedy against it on graphs with up
+//! to [`ExactSolver::DEFAULT_NODE_LIMIT`] nodes.
+
+use crate::error::{LcmsrError, Result};
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+
+/// Exhaustive-enumeration LCMSR solver.
+#[derive(Debug, Clone)]
+pub struct ExactSolver {
+    node_limit: usize,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver {
+            node_limit: Self::DEFAULT_NODE_LIMIT,
+        }
+    }
+}
+
+impl ExactSolver {
+    /// Default maximum number of nodes the solver will enumerate (2^n subsets).
+    pub const DEFAULT_NODE_LIMIT: usize = 20;
+
+    /// Creates a solver with the default node limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with a custom node limit (values above ~24 are impractical).
+    pub fn with_node_limit(limit: usize) -> Self {
+        ExactSolver { node_limit: limit }
+    }
+
+    /// Finds the optimal region (maximum weight, length ≤ `Q.∆`), or `None`
+    /// when no node carries a positive weight.
+    pub fn solve(&self, graph: &QueryGraph) -> Result<Option<RegionTuple>> {
+        let n = graph.node_count();
+        if graph.sigma_max() <= 0.0 {
+            // No relevant node: the answer is None regardless of the graph size.
+            return Ok(None);
+        }
+        if n > self.node_limit {
+            return Err(LcmsrError::GraphTooLargeForExact {
+                nodes: n,
+                limit: self.node_limit,
+            });
+        }
+        let delta = graph.delta();
+        let mut best: Option<RegionTuple> = None;
+        // Enumerate all non-empty node subsets.
+        for mask in 1u32..(1u32 << n) {
+            let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let Some((edges, length)) = induced_mst(graph, &nodes) else {
+                continue; // the induced subgraph is disconnected
+            };
+            if length > delta + 1e-9 {
+                continue;
+            }
+            let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
+            let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
+            let candidate = RegionTuple {
+                length,
+                weight,
+                scaled,
+                nodes,
+                edges,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    candidate.weight > b.weight + 1e-12
+                        || ((candidate.weight - b.weight).abs() <= 1e-12
+                            && candidate.length < b.length)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Minimum spanning tree of the subgraph induced by `nodes`.
+/// Returns `None` when the induced subgraph is not connected.
+fn induced_mst(graph: &QueryGraph, nodes: &[u32]) -> Option<(Vec<u32>, f64)> {
+    if nodes.len() == 1 {
+        return Some((Vec::new(), 0.0));
+    }
+    let node_set: std::collections::HashSet<u32> = nodes.iter().copied().collect();
+    // Collect induced edges sorted by length (Kruskal).
+    let mut candidates: Vec<u32> = Vec::new();
+    for &v in nodes {
+        for &(u, e) in graph.neighbors(v) {
+            if u > v && node_set.contains(&u) {
+                candidates.push(e);
+            }
+        }
+    }
+    candidates.sort_by(|&x, &y| {
+        graph
+            .edge(x)
+            .length
+            .partial_cmp(&graph.edge(y).length)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut parent: std::collections::HashMap<u32, u32> = nodes.iter().map(|&v| (v, v)).collect();
+    fn find(parent: &mut std::collections::HashMap<u32, u32>, x: u32) -> u32 {
+        let mut root = x;
+        while parent[&root] != root {
+            root = parent[&root];
+        }
+        let mut cur = x;
+        while parent[&cur] != root {
+            let next = parent[&cur];
+            parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+    let mut edges = Vec::new();
+    let mut length = 0.0;
+    let mut merged = 0;
+    for e in candidates {
+        let edge = graph.edge(e);
+        let ra = find(&mut parent, edge.a);
+        let rb = find(&mut parent, edge.b);
+        if ra != rb {
+            parent.insert(ra, rb);
+            edges.push(e);
+            length += edge.length;
+            merged += 1;
+            if merged == nodes.len() - 1 {
+                break;
+            }
+        }
+    }
+    if merged == nodes.len() - 1 {
+        edges.sort_unstable();
+        Some((edges, length))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn finds_the_papers_optimum_on_figure2() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        assert!((best.weight - 1.1).abs() < 1e-9);
+        assert!((best.length - 5.9).abs() < 1e-9);
+        let mut nodes = best.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn optimum_is_monotone_in_delta() {
+        let mut previous = 0.0;
+        for delta in [0.5, 1.5, 3.0, 4.5, 6.0, 8.0, 12.0, 20.0] {
+            let (_n, qg) = figure2_query_graph(delta, 0.15);
+            let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+            assert!(best.length <= delta + 1e-9);
+            assert!(
+                best.weight + 1e-12 >= previous,
+                "optimum decreased when ∆ grew to {delta}"
+            );
+            previous = best.weight;
+        }
+        // With a huge ∆ the whole graph is optimal.
+        let (_n, qg) = figure2_query_graph(100.0, 0.15);
+        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        assert!((best.weight - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_oversized_graphs() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let solver = ExactSolver::with_node_limit(3);
+        assert!(matches!(
+            solver.solve(&qg),
+            Err(LcmsrError::GraphTooLargeForExact { nodes: 6, limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn returns_none_without_relevant_nodes() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::subgraph::RegionView;
+        let (network, _) = crate::query_graph::test_support::figure2();
+        let view = RegionView::whole(&network);
+        let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
+        assert!(ExactSolver::new().solve(&qg).unwrap().is_none());
+    }
+
+    #[test]
+    fn single_positive_node_is_the_optimum_when_isolated() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::node::NodeId;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        b.add_edge(a, c, 10.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.9);
+        weights.by_node.insert(NodeId(1), 0.3);
+        let view = RegionView::whole(&network);
+        // ∆ smaller than the connecting edge: only single nodes are feasible.
+        let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
+        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        assert_eq!(best.nodes.len(), 1);
+        assert!((best.weight - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_shorter_region_among_equal_weights() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::node::NodeId;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        // Path a - b - c where only a and b are weighted: {a,b} and {a,b,c}
+        // have the same weight, the shorter {a,b} must win.
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(2.0, 0.0));
+        b.add_edge(n0, n1, 1.0).unwrap();
+        b.add_edge(n1, n2, 1.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.5);
+        weights.by_node.insert(NodeId(1), 0.5);
+        let view = RegionView::whole(&network);
+        let qg = QueryGraph::build(&view, &weights, 10.0, 0.5).unwrap();
+        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        assert_eq!(best.nodes, vec![0, 1]);
+        assert!((best.length - 1.0).abs() < 1e-12);
+    }
+}

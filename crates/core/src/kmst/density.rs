@@ -1,0 +1,266 @@
+//! A fast density-greedy node-weighted k-MST heuristic.
+//!
+//! Used as an ablation baseline against the GW/Garg oracle and as a cheap
+//! fallback.  From each of a handful of high-weight roots it repeatedly runs a
+//! multi-source shortest-path search from the current tree and attaches the
+//! relevant node with the best scaled-weight-per-connection-length ratio
+//! (together with its connecting path) until the quota is met; the shortest
+//! tree over all roots wins.
+
+use super::KMstSolver;
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Number of alternative roots tried by default.
+const DEFAULT_ROOTS: usize = 4;
+
+/// The density-greedy k-MST heuristic.
+#[derive(Debug)]
+pub struct DensityKMst {
+    roots: usize,
+    invocations: u64,
+}
+
+impl Default for DensityKMst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DensityKMst {
+    /// Creates a solver trying the default number of roots.
+    pub fn new() -> Self {
+        DensityKMst {
+            roots: DEFAULT_ROOTS,
+            invocations: 0,
+        }
+    }
+
+    /// Creates a solver trying `roots` alternative starting nodes.
+    pub fn with_roots(roots: usize) -> Self {
+        DensityKMst {
+            roots: roots.max(1),
+            invocations: 0,
+        }
+    }
+
+    /// Grows a quota tree from `root`; returns `None` when the quota cannot be
+    /// reached from this root's connected component.
+    fn grow(graph: &QueryGraph, root: u32, quota: u64) -> Option<RegionTuple> {
+        let n = graph.node_count();
+        let mut in_tree = vec![false; n];
+        let mut tree_nodes = vec![root];
+        let mut tree_edges: Vec<u32> = Vec::new();
+        let mut length = 0.0f64;
+        let mut scaled = graph.scaled_weight(root);
+        in_tree[root as usize] = true;
+
+        while scaled < quota {
+            // Multi-source Dijkstra from the current tree.
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev: Vec<Option<(u32, u32)>> = vec![None; n];
+            let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+            for &v in &tree_nodes {
+                dist[v as usize] = 0.0;
+                heap.push(HeapEntry { dist: 0.0, node: v });
+            }
+            while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+                if d > dist[v as usize] {
+                    continue;
+                }
+                for &(u, e) in graph.neighbors(v) {
+                    let nd = d + graph.edge(e).length;
+                    if nd < dist[u as usize] {
+                        dist[u as usize] = nd;
+                        prev[u as usize] = Some((v, e));
+                        heap.push(HeapEntry { dist: nd, node: u });
+                    }
+                }
+            }
+            // Pick the best relevant node outside the tree by ratio σ̂ / distance.
+            let mut best: Option<(u32, f64)> = None;
+            for v in 0..n as u32 {
+                if in_tree[v as usize] || graph.scaled_weight(v) == 0 {
+                    continue;
+                }
+                let d = dist[v as usize];
+                if !d.is_finite() || d <= 0.0 {
+                    continue;
+                }
+                let ratio = graph.scaled_weight(v) as f64 / d;
+                if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                    best = Some((v, ratio));
+                }
+            }
+            let (target, _) = best?;
+            // Attach the shortest path from the tree to `target`.
+            let mut cur = target;
+            let mut path_nodes = Vec::new();
+            let mut path_edges = Vec::new();
+            while !in_tree[cur as usize] {
+                path_nodes.push(cur);
+                let (p, e) = prev[cur as usize].expect("path must lead back to the tree");
+                path_edges.push(e);
+                cur = p;
+            }
+            for &v in &path_nodes {
+                in_tree[v as usize] = true;
+                tree_nodes.push(v);
+                scaled += graph.scaled_weight(v);
+            }
+            for &e in &path_edges {
+                tree_edges.push(e);
+                length += graph.edge(e).length;
+            }
+        }
+        tree_nodes.sort_unstable();
+        tree_edges.sort_unstable();
+        let weight = tree_nodes.iter().map(|&v| graph.weight(v)).sum();
+        Some(RegionTuple {
+            length,
+            weight,
+            scaled,
+            nodes: tree_nodes,
+            edges: tree_edges,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KMstSolver for DensityKMst {
+    fn solve(&mut self, graph: &QueryGraph, quota: u64) -> Option<RegionTuple> {
+        self.invocations += 1;
+        // Candidate roots: the highest-scaled-weight nodes.
+        let mut candidates: Vec<u32> = graph
+            .node_indices()
+            .filter(|&v| graph.scaled_weight(v) > 0)
+            .collect();
+        if candidates.is_empty() {
+            return if quota == 0 {
+                Some(RegionTuple::singleton(0, graph.weight(0), graph.scaled_weight(0)))
+            } else {
+                None
+            };
+        }
+        candidates.sort_by_key(|&v| std::cmp::Reverse(graph.scaled_weight(v)));
+        candidates.truncate(self.roots);
+        if graph.total_scaled_weight() < quota {
+            return None;
+        }
+        let mut best: Option<RegionTuple> = None;
+        for &root in &candidates {
+            if let Some(tree) = Self::grow(graph, root, quota) {
+                let better = best
+                    .as_ref()
+                    .map(|b| tree.length < b.length)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(tree);
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "density"
+    }
+
+    fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmst::validate_tree;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn meets_quota_with_valid_trees() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = DensityKMst::new();
+        for quota in [10u64, 40, 70, 110, 150, 170] {
+            let t = solver.solve(&qg, quota).unwrap();
+            assert!(t.scaled >= quota);
+            validate_tree(&qg, &t);
+        }
+        assert_eq!(solver.invocations(), 6);
+        assert_eq!(solver.name(), "density");
+    }
+
+    #[test]
+    fn unreachable_quota_is_rejected() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = DensityKMst::new();
+        assert!(solver.solve(&qg, qg.total_scaled_weight() + 1).is_none());
+    }
+
+    #[test]
+    fn quota_zero_on_weightless_graph() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(a, c, 1.0).unwrap();
+        let network = b.build().unwrap();
+        let view = RegionView::whole(&network);
+        let qg =
+            crate::query_graph::QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5).unwrap();
+        let mut solver = DensityKMst::new();
+        assert!(solver.solve(&qg, 0).is_some());
+        assert!(solver.solve(&qg, 5).is_none());
+    }
+
+    #[test]
+    fn finds_compact_tree_on_figure2() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = DensityKMst::with_roots(6);
+        // Quota 110 = the optimal example region {v2,v4,v5,v6} (length 5.9).
+        let t = solver.solve(&qg, 110).unwrap();
+        assert!(t.scaled >= 110);
+        // The greedy tree should not be wildly longer than the optimum.
+        assert!(t.length <= 3.0 * 5.9, "length {}", t.length);
+    }
+
+    #[test]
+    fn more_roots_never_hurt() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut few = DensityKMst::with_roots(1);
+        let mut many = DensityKMst::with_roots(6);
+        let quota = 130;
+        let t_few = few.solve(&qg, quota).unwrap();
+        let t_many = many.solve(&qg, quota).unwrap();
+        assert!(t_many.length <= t_few.length + 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Garg-style quota search on top of the GW primal–dual.
+//!
+//! Garg's 3-approximation for k-MST runs the Goemans–Williamson
+//! prize-collecting algorithm with a uniform per-unit prize `λ` and searches
+//! for the `λ` at which the collected weight reaches the quota.  We do the same
+//! for the node-weighted variant used by APP: prizes are `λ·σ̂_v` and `λ` is
+//! bisected until the pruned GW tree's scaled weight reaches the quota, keeping
+//! the smallest such tree.  Results are cached per `λ` because APP's outer
+//! binary search issues many quota queries against the same graph.
+
+use super::gw::pcst;
+use super::KMstSolver;
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+use std::collections::HashMap;
+
+/// Default number of λ-bisection steps.
+const DEFAULT_LAMBDA_STEPS: usize = 14;
+/// Maximum number of doublings when searching for an upper λ bound.
+const MAX_DOUBLINGS: usize = 24;
+
+/// The GW/Garg-style node-weighted k-MST oracle.
+#[derive(Debug)]
+pub struct GargKMst {
+    lambda_steps: usize,
+    cache: HashMap<u64, RegionTuple>,
+    invocations: u64,
+    gw_runs: u64,
+}
+
+impl Default for GargKMst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GargKMst {
+    /// Creates a solver with the default λ-bisection depth.
+    pub fn new() -> Self {
+        GargKMst {
+            lambda_steps: DEFAULT_LAMBDA_STEPS,
+            cache: HashMap::new(),
+            invocations: 0,
+            gw_runs: 0,
+        }
+    }
+
+    /// Creates a solver with a custom λ-bisection depth (more steps → slightly
+    /// shorter trees, more GW runs).
+    pub fn with_lambda_steps(steps: usize) -> Self {
+        GargKMst {
+            lambda_steps: steps.max(4),
+            ..Self::new()
+        }
+    }
+
+    /// Number of underlying GW runs performed so far (cache misses).
+    pub fn gw_runs(&self) -> u64 {
+        self.gw_runs
+    }
+
+    /// Clears the λ cache.  Call when switching to a different query graph.
+    pub fn reset_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn tree_for_lambda(&mut self, graph: &QueryGraph, lambda: f64) -> RegionTuple {
+        let key = lambda.to_bits();
+        if let Some(t) = self.cache.get(&key) {
+            return t.clone();
+        }
+        let prizes: Vec<f64> = (0..graph.node_count() as u32)
+            .map(|v| graph.scaled_weight(v) as f64 * lambda)
+            .collect();
+        self.gw_runs += 1;
+        let result = pcst(graph, &prizes);
+        self.cache.insert(key, result.tree.clone());
+        result.tree
+    }
+
+    /// The best single node as a degenerate tree (used for quota 0 or tiny quotas).
+    fn best_singleton(graph: &QueryGraph) -> RegionTuple {
+        let v = graph
+            .node_indices()
+            .max_by_key(|&v| graph.scaled_weight(v))
+            .unwrap_or(0);
+        RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v))
+    }
+}
+
+impl KMstSolver for GargKMst {
+    fn solve(&mut self, graph: &QueryGraph, quota: u64) -> Option<RegionTuple> {
+        self.invocations += 1;
+        let best_single = Self::best_singleton(graph);
+        if quota == 0 || best_single.scaled >= quota {
+            return Some(best_single);
+        }
+        if graph.total_scaled_weight() < quota {
+            return None;
+        }
+        // Establish an upper λ bound that reaches the quota.
+        let total_length: f64 = graph.edges().iter().map(|e| e.length).sum();
+        let mut lambda_hi = (total_length.max(1.0) / quota.max(1) as f64).max(1e-6);
+        let mut hi_tree = self.tree_for_lambda(graph, lambda_hi);
+        let mut doublings = 0;
+        while hi_tree.scaled < quota && doublings < MAX_DOUBLINGS {
+            lambda_hi *= 2.0;
+            hi_tree = self.tree_for_lambda(graph, lambda_hi);
+            doublings += 1;
+        }
+        if hi_tree.scaled < quota {
+            // GW pruning kept less than the quota even with huge prizes (can
+            // happen when the graph is disconnected inside Q.Λ and no single
+            // component reaches the quota).
+            return None;
+        }
+        // Bisect λ keeping the smallest tree that meets the quota.
+        let mut lo = 0.0f64;
+        let mut best = hi_tree;
+        let mut hi = lambda_hi;
+        for _ in 0..self.lambda_steps {
+            let mid = (lo + hi) / 2.0;
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            let tree = self.tree_for_lambda(graph, mid);
+            if tree.scaled >= quota {
+                if tree.length < best.length
+                    || (tree.length <= best.length + 1e-12 && tree.scaled > best.scaled)
+                {
+                    best = tree.clone();
+                }
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(best)
+    }
+
+    fn name(&self) -> &'static str {
+        "garg-gw"
+    }
+
+    fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmst::validate_tree;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn quota_zero_returns_best_singleton() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        let t = solver.solve(&qg, 0).unwrap();
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.scaled, 40); // a 0.4-weight node scaled 100×
+        assert_eq!(solver.invocations(), 1);
+    }
+
+    #[test]
+    fn unreachable_quota_returns_none() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let total = qg.total_scaled_weight();
+        let mut solver = GargKMst::new();
+        assert!(solver.solve(&qg, total + 1).is_none());
+        assert!(solver.solve(&qg, total).is_some());
+    }
+
+    #[test]
+    fn returned_trees_meet_the_quota_and_are_valid() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        for quota in [10u64, 40, 70, 90, 110, 130, 150, 170] {
+            let t = solver
+                .solve(&qg, quota)
+                .unwrap_or_else(|| panic!("quota {quota} should be attainable"));
+            assert!(t.scaled >= quota, "quota {quota}, got {}", t.scaled);
+            validate_tree(&qg, &t);
+        }
+    }
+
+    #[test]
+    fn larger_quotas_produce_longer_trees() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        let small = solver.solve(&qg, 40).unwrap();
+        let large = solver.solve(&qg, 150).unwrap();
+        assert!(large.length >= small.length);
+        assert!(large.nodes.len() >= small.nodes.len());
+    }
+
+    #[test]
+    fn tree_length_is_reasonable_for_known_instance() {
+        // Figure 2 with quota 110 (the example optimal region's scaled weight):
+        // the optimum connects {v2,v4,v5,v6} with length 5.9; a 3-approximation
+        // style oracle should stay within a small constant factor.
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        let t = solver.solve(&qg, 110).unwrap();
+        assert!(t.scaled >= 110);
+        assert!(
+            t.length <= 3.0 * 5.9 + 1e-9,
+            "length {} exceeds 3x the optimum",
+            t.length
+        );
+    }
+
+    #[test]
+    fn cache_prevents_repeated_gw_runs() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        let _ = solver.solve(&qg, 100);
+        let runs_after_first = solver.gw_runs();
+        let _ = solver.solve(&qg, 100);
+        // The second identical call should be mostly served from the cache.
+        assert!(solver.gw_runs() <= runs_after_first + 2);
+        solver.reset_cache();
+        let _ = solver.solve(&qg, 100);
+        assert!(solver.gw_runs() > runs_after_first);
+    }
+
+    #[test]
+    fn custom_lambda_steps_are_clamped() {
+        let solver = GargKMst::with_lambda_steps(1);
+        assert_eq!(solver.lambda_steps, 4);
+        let solver = GargKMst::with_lambda_steps(20);
+        assert_eq!(solver.lambda_steps, 20);
+    }
+}

@@ -1,0 +1,312 @@
+//! The MaxRS (maximum range sum) baseline of Choi et al. / Tao et al.
+//!
+//! Section 7.5 of the paper compares LCMSR regions against regions produced by
+//! the MaxRS query: place an axis-parallel rectangle of fixed width × height so
+//! that the total weight of the covered points is maximised.  This module
+//! implements the exact MaxRS algorithm via the classical sweep-line
+//! transformation: each weighted point `p` is turned into a rectangle of the
+//! query's dimensions centred at `p` (the set of rectangle *centres* covering
+//! `p`), and the answer is the point of maximum total weight in the resulting
+//! arrangement, found with a sweep over x and a segment tree over y.
+
+use lcmsr_roadnet::geo::Point;
+
+/// Result of a MaxRS computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxRsResult {
+    /// A centre position achieving the maximum weight.
+    pub center: Point,
+    /// The maximum total covered weight.
+    pub weight: f64,
+    /// Indices (into the input slice) of the points covered by the optimal rectangle.
+    pub covered: Vec<usize>,
+}
+
+/// Segment tree over elementary y-intervals supporting range add and global max.
+struct SegTree {
+    n: usize,
+    max: Vec<f64>,
+    lazy: Vec<f64>,
+}
+
+impl SegTree {
+    fn new(n: usize) -> Self {
+        let size = n.next_power_of_two().max(1);
+        SegTree {
+            n: size,
+            max: vec![0.0; 2 * size],
+            lazy: vec![0.0; 2 * size],
+        }
+    }
+
+    fn add(&mut self, lo: usize, hi: usize, value: f64) {
+        if lo >= hi {
+            return;
+        }
+        self.add_rec(1, 0, self.n, lo, hi, value);
+    }
+
+    fn add_rec(&mut self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize, value: f64) {
+        if hi <= nl || nr <= lo {
+            return;
+        }
+        if lo <= nl && nr <= hi {
+            self.lazy[node] += value;
+            self.max[node] += value;
+            return;
+        }
+        let mid = (nl + nr) / 2;
+        self.add_rec(node * 2, nl, mid, lo, hi, value);
+        self.add_rec(node * 2 + 1, mid, nr, lo, hi, value);
+        self.max[node] = self.lazy[node] + self.max[node * 2].max(self.max[node * 2 + 1]);
+    }
+
+    fn global_max(&self) -> f64 {
+        self.max[1]
+    }
+
+    /// Finds the index of one elementary interval achieving the global maximum.
+    fn argmax(&self) -> usize {
+        let mut node = 1;
+        let mut nl = 0;
+        let mut nr = self.n;
+        while nr - nl > 1 {
+            let mid = (nl + nr) / 2;
+            let left_total = self.lazy[node] + self.max[node * 2];
+            let right_total = self.lazy[node] + self.max[node * 2 + 1];
+            if left_total >= right_total {
+                node *= 2;
+                nr = mid;
+            } else {
+                node = node * 2 + 1;
+                nl = mid;
+            }
+        }
+        nl
+    }
+}
+
+/// Solves MaxRS for the given weighted points and rectangle dimensions.
+///
+/// Returns `None` when the input is empty or no point has positive weight.
+/// Ties are broken arbitrarily.  Points exactly on the rectangle boundary count
+/// as covered.
+pub fn max_range_sum(points: &[(Point, f64)], width: f64, height: f64) -> Option<MaxRsResult> {
+    assert!(width > 0.0 && height > 0.0, "rectangle must have positive size");
+    let positive: Vec<(usize, Point, f64)> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, w))| *w > 0.0)
+        .map(|(i, (p, w))| (i, *p, *w))
+        .collect();
+    if positive.is_empty() {
+        return None;
+    }
+    let half_w = width / 2.0;
+    let half_h = height / 2.0;
+    // Compress y coordinates of interval endpoints.
+    let mut ys: Vec<f64> = Vec::with_capacity(positive.len() * 2);
+    for &(_, p, _) in &positive {
+        ys.push(p.y - half_h);
+        ys.push(p.y + half_h);
+    }
+    ys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let y_index = |y: f64| -> usize {
+        ys.partition_point(|&v| v < y - 1e-12)
+    };
+    // Sweep events over x: at x = p.x − half_w the point's y-interval is added,
+    // at x = p.x + half_w it is removed (inclusive boundary → remove strictly after).
+    #[derive(Debug)]
+    struct Event {
+        x: f64,
+        add: bool,
+        y_lo: usize,
+        y_hi: usize,
+        weight: f64,
+    }
+    let mut events: Vec<Event> = Vec::with_capacity(positive.len() * 2);
+    for &(_, p, w) in &positive {
+        let y_lo = y_index(p.y - half_h);
+        let y_hi = y_index(p.y + half_h) + 1; // elementary segments [y_lo, y_hi)
+        events.push(Event {
+            x: p.x - half_w,
+            add: true,
+            y_lo,
+            y_hi,
+            weight: w,
+        });
+        events.push(Event {
+            x: p.x + half_w,
+            add: false,
+            y_lo,
+            y_hi,
+            weight: w,
+        });
+    }
+    events.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Process additions before removals at the same x so that touching
+            // boundaries count as covered.
+            .then_with(|| b.add.cmp(&a.add))
+    });
+    let mut tree = SegTree::new(ys.len().max(1));
+    let mut best_weight = f64::NEG_INFINITY;
+    let mut best_x = positive[0].1.x;
+    let mut best_y_segment = 0usize;
+    for e in &events {
+        if e.add {
+            tree.add(e.y_lo, e.y_hi, e.weight);
+        } else {
+            tree.add(e.y_lo, e.y_hi, -e.weight);
+        }
+        let m = tree.global_max();
+        if m > best_weight + 1e-12 {
+            best_weight = m;
+            best_x = e.x;
+            best_y_segment = tree.argmax();
+        }
+    }
+    // Turn the elementary segment index back into a y coordinate (its lower endpoint).
+    let best_y = ys
+        .get(best_y_segment)
+        .copied()
+        .unwrap_or(positive[0].1.y);
+    let center = Point::new(best_x, best_y);
+    // Collect the covered points at the reported centre.
+    let covered: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, (p, w))| {
+            *w > 0.0
+                && (p.x - center.x).abs() <= half_w + 1e-9
+                && (p.y - center.y).abs() <= half_h + 1e-9
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let covered_weight: f64 = covered.iter().map(|&i| points[i].1).sum();
+    Some(MaxRsResult {
+        center,
+        // Report the verified covered weight (equals the sweep maximum up to
+        // floating-point noise).
+        weight: covered_weight.max(best_weight),
+        covered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// Brute-force reference: the optimal rectangle can always be positioned so
+    /// that its left edge passes through some point's left event and its bottom
+    /// edge through some point's bottom event.
+    fn brute_force(points: &[(Point, f64)], width: f64, height: f64) -> f64 {
+        let mut best = 0.0f64;
+        for &(a, _) in points {
+            for &(b, _) in points {
+                let cx = a.x + width / 2.0;
+                let cy = b.y + height / 2.0;
+                let total: f64 = points
+                    .iter()
+                    .filter(|(p, _)| {
+                        (p.x - cx).abs() <= width / 2.0 + 1e-9
+                            && (p.y - cy).abs() <= height / 2.0 + 1e-9
+                    })
+                    .map(|(_, w)| *w)
+                    .sum();
+                best = best.max(total);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_or_zero_weight_input_returns_none() {
+        assert!(max_range_sum(&[], 1.0, 1.0).is_none());
+        assert!(max_range_sum(&[(pt(0.0, 0.0), 0.0)], 1.0, 1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_sized_rectangle_panics() {
+        let _ = max_range_sum(&[(pt(0.0, 0.0), 1.0)], 0.0, 1.0);
+    }
+
+    #[test]
+    fn single_point_is_covered() {
+        let r = max_range_sum(&[(pt(5.0, 5.0), 2.5)], 1.0, 1.0).unwrap();
+        assert_eq!(r.weight, 2.5);
+        assert_eq!(r.covered, vec![0]);
+    }
+
+    #[test]
+    fn picks_the_denser_cluster() {
+        let points = vec![
+            // Cluster A: three points of weight 1 close together.
+            (pt(0.0, 0.0), 1.0),
+            (pt(10.0, 5.0), 1.0),
+            (pt(5.0, 10.0), 1.0),
+            // Cluster B: two points of weight 1 far away.
+            (pt(500.0, 500.0), 1.0),
+            (pt(505.0, 505.0), 1.0),
+        ];
+        let r = max_range_sum(&points, 50.0, 50.0).unwrap();
+        assert_eq!(r.weight, 3.0);
+        assert_eq!(r.covered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weights_matter_more_than_counts() {
+        let points = vec![
+            (pt(0.0, 0.0), 1.0),
+            (pt(1.0, 0.0), 1.0),
+            (pt(100.0, 100.0), 5.0),
+        ];
+        let r = max_range_sum(&points, 10.0, 10.0).unwrap();
+        assert_eq!(r.weight, 5.0);
+        assert_eq!(r.covered, vec![2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_instances() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for case in 0..20 {
+            let n = 5 + (case % 10);
+            let points: Vec<(Point, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        pt(next() * 100.0, next() * 100.0),
+                        (next() * 3.0 + 0.1).round() / 2.0,
+                    )
+                })
+                .collect();
+            let width = 10.0 + next() * 30.0;
+            let height = 10.0 + next() * 30.0;
+            let expected = brute_force(&points, width, height);
+            let got = max_range_sum(&points, width, height).unwrap().weight;
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "case {case}: sweep {got} vs brute force {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_points_count_as_covered() {
+        // Two points exactly `width` apart can both be covered when each sits on
+        // one edge of the rectangle.
+        let points = vec![(pt(0.0, 0.0), 1.0), (pt(10.0, 0.0), 1.0)];
+        let r = max_range_sum(&points, 10.0, 2.0).unwrap();
+        assert_eq!(r.weight, 2.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! `findOptTree`: extracting the best feasible region from a candidate tree
+//! (Section 4.2.3 of the paper).
+//!
+//! Finding the region with the largest scaled weight and length ≤ `Q.∆` inside
+//! a tree is NP-hard (Theorem 3, knapsack reduction), but because node weights
+//! are scaled integers a pseudo-polynomial dynamic program works: every node
+//! keeps a *region tuple array* — for each scaled weight, the shortest region
+//! rooted at that node (Definition 5, justified by Lemma 6) — and arrays are
+//! combined bottom-up by peeling leaves (Lemma 7).
+
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+use crate::tuple_array::{BestTracker, TupleArray};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Result of the tree DP: the best feasible region plus every node's final
+/// tuple array (used by the top-k extension).
+#[derive(Debug, Clone)]
+pub struct OptTreeResult {
+    /// The feasible region with the largest scaled weight, if any node of the
+    /// tree lies within the length budget (single nodes always do).
+    pub best: Option<RegionTuple>,
+    /// Final tuple arrays, keyed by local node id.
+    pub arrays: HashMap<u32, TupleArray>,
+    /// Number of region tuples generated (for statistics).
+    pub tuples_generated: u64,
+}
+
+/// Runs the `findOptTree` dynamic program over the candidate tree `tree`
+/// (a [`RegionTuple`] whose nodes/edges form a tree in `graph`), returning the
+/// best feasible region under the graph's length constraint `Q.∆`.
+pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
+    let delta = graph.delta();
+    let mut arrays: HashMap<u32, TupleArray> = HashMap::with_capacity(tree.nodes.len());
+    let mut best = BestTracker::new();
+    let mut tuples_generated = 0u64;
+
+    // Initialise every node's array with the single-node region (line 3–4).
+    for &v in &tree.nodes {
+        let singleton = RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v));
+        best.update(&singleton);
+        let mut arr = TupleArray::new();
+        arr.insert_if_better(singleton);
+        arrays.insert(v, arr);
+        tuples_generated += 1;
+    }
+    if tree.nodes.len() <= 1 {
+        return OptTreeResult {
+            best: best.into_best(),
+            arrays,
+            tuples_generated,
+        };
+    }
+
+    // Tree adjacency restricted to the candidate tree's edges.
+    let mut adj: HashMap<u32, Vec<(u32, u32)>> = HashMap::with_capacity(tree.nodes.len());
+    for &e in &tree.edges {
+        let edge = graph.edge(e);
+        adj.entry(edge.a).or_default().push((edge.b, e));
+        adj.entry(edge.b).or_default().push((edge.a, e));
+    }
+    let mut degree: HashMap<u32, usize> = adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
+    let mut removed: HashMap<u32, bool> = tree.nodes.iter().map(|&v| (v, false)).collect();
+
+    // Leaf queue (nodes with exactly one remaining neighbour), lines 5–12.
+    let mut queue: VecDeque<u32> = tree
+        .nodes
+        .iter()
+        .copied()
+        .filter(|v| degree.get(v).copied().unwrap_or(0) == 1)
+        .collect();
+    let mut remaining = tree.nodes.len();
+
+    while remaining > 1 {
+        let Some(v) = queue.pop_front() else { break };
+        if removed[&v] || degree[&v] != 1 {
+            continue;
+        }
+        // The single remaining neighbour acts as v's parent.
+        let Some(&(parent, edge)) = adj
+            .get(&v)
+            .and_then(|ns| ns.iter().find(|(n, _)| !removed[n]))
+        else {
+            break;
+        };
+        let edge_length = graph.edge(edge).length;
+        // Combine every region rooted at v with every region rooted at the parent.
+        let v_tuples: Vec<RegionTuple> = arrays[&v].iter().cloned().collect();
+        let parent_tuples: Vec<RegionTuple> = arrays[&parent].iter().cloned().collect();
+        let parent_array = arrays.get_mut(&parent).expect("parent array exists");
+        for tv in &v_tuples {
+            for tp in &parent_tuples {
+                let combined = tp.combine(tv, edge, edge_length);
+                tuples_generated += 1;
+                if combined.length <= delta + 1e-9 {
+                    best.update(&combined);
+                    parent_array.insert_if_better(combined);
+                }
+            }
+        }
+        // Remove v from the tree.
+        removed.insert(v, true);
+        remaining -= 1;
+        if let Some(d) = degree.get_mut(&parent) {
+            *d = d.saturating_sub(1);
+            if *d == 1 {
+                queue.push_back(parent);
+            }
+        }
+    }
+
+    OptTreeResult {
+        best: best.into_best(),
+        arrays,
+        tuples_generated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    /// Builds a candidate tree covering the whole Figure-2 graph: a spanning
+    /// tree chosen by hand — v1-v2 (1.0), v2-v6 (1.6), v6-v5 (1.5), v5-v4 (2.8),
+    /// v2-v3 (3.1); total length 10.0.
+    fn spanning_tree_of_figure2(qg: &QueryGraph) -> RegionTuple {
+        let find_edge = |a: u32, b: u32| -> u32 {
+            qg.neighbors(a)
+                .iter()
+                .copied()
+                .find(|&(n, _)| n == b)
+                .map(|(_, e)| e)
+                .unwrap()
+        };
+        let edges = vec![
+            find_edge(0, 1),
+            find_edge(1, 5),
+            find_edge(5, 4),
+            find_edge(4, 3),
+            find_edge(1, 2),
+        ];
+        let nodes = vec![0, 1, 2, 3, 4, 5];
+        let length: f64 = edges.iter().map(|&e| qg.edge(e).length).sum();
+        let weight: f64 = nodes.iter().map(|&v| qg.weight(v)).sum();
+        let scaled: u64 = nodes.iter().map(|&v| qg.scaled_weight(v)).sum();
+        let mut edges = edges;
+        edges.sort_unstable();
+        RegionTuple {
+            length,
+            weight,
+            scaled,
+            nodes,
+            edges,
+        }
+    }
+
+    #[test]
+    fn finds_the_papers_optimal_region_for_delta_6() {
+        // With Q.∆ = 6 the optimal region of the running example is
+        // {v2, v4, v5, v6} with weight 1.1 and length 5.9 — and that region is
+        // contained in our spanning tree, so the DP must find it.
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let tree = spanning_tree_of_figure2(&qg);
+        let result = find_opt_tree(&qg, &tree);
+        let best = result.best.unwrap();
+        assert_eq!(best.scaled, 110);
+        assert!((best.weight - 1.1).abs() < 1e-9);
+        assert!((best.length - 5.9).abs() < 1e-9);
+        let mut nodes = best.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3, 4, 5]);
+        assert!(result.tuples_generated > 6);
+        assert_eq!(result.arrays.len(), 6);
+    }
+
+    #[test]
+    fn small_delta_returns_best_single_node() {
+        let (_n, qg) = figure2_query_graph(0.5, 0.15);
+        let tree = spanning_tree_of_figure2(&qg);
+        let result = find_opt_tree(&qg, &tree);
+        let best = result.best.unwrap();
+        assert_eq!(best.nodes.len(), 1);
+        assert_eq!(best.scaled, 40);
+    }
+
+    #[test]
+    fn large_delta_keeps_the_whole_tree() {
+        let (_n, qg) = figure2_query_graph(100.0, 0.15);
+        let tree = spanning_tree_of_figure2(&qg);
+        let result = find_opt_tree(&qg, &tree);
+        let best = result.best.unwrap();
+        assert_eq!(best.nodes.len(), 6);
+        assert_eq!(best.scaled, 170);
+        assert!((best.length - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_stored_tuple_is_feasible_or_a_singleton() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let tree = spanning_tree_of_figure2(&qg);
+        let result = find_opt_tree(&qg, &tree);
+        for arr in result.arrays.values() {
+            for t in arr.iter() {
+                assert!(
+                    t.length <= qg.delta() + 1e-9 || t.nodes.len() == 1,
+                    "infeasible multi-node tuple stored: {t:?}"
+                );
+                // Measures are internally consistent.
+                let w: f64 = t.nodes.iter().map(|&v| qg.weight(v)).sum();
+                assert!((w - t.weight).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree_is_handled() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let tree = RegionTuple::singleton(2, qg.weight(2), qg.scaled_weight(2));
+        let result = find_opt_tree(&qg, &tree);
+        assert_eq!(result.best.unwrap().nodes, vec![2]);
+    }
+
+    #[test]
+    fn path_tree_example_from_figure_6() {
+        // Figure 6: a 3-node star/path with v1(20)-4-v2(20), v1(20)-5-v3(40).
+        // Under ∆ = 10 all combinations are feasible and the best has scaled 80.
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::node::NodeId;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_node(Point::new(0.0, 0.0));
+        let v2 = b.add_node(Point::new(4.0, 0.0));
+        let v3 = b.add_node(Point::new(0.0, 5.0));
+        b.add_edge(v1, v2, 4.0).unwrap();
+        b.add_edge(v1, v3, 5.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.2);
+        weights.by_node.insert(NodeId(1), 0.2);
+        weights.by_node.insert(NodeId(2), 0.4);
+        let view = RegionView::whole(&network);
+        // α chosen so weights scale 100× (θ = 0.004·... we pick α = 0.03:
+        // θ = 0.03·0.4/3 = 0.004 → scaled weights 50/50/100).  To match the
+        // figure's 20/20/40 use α = 0.075: θ = 0.01.
+        let qg = crate::query_graph::QueryGraph::build(&view, &weights, 10.0, 0.075).unwrap();
+        assert_eq!(qg.scaled_weight(0), 20);
+        assert_eq!(qg.scaled_weight(2), 40);
+        let tree = RegionTuple {
+            length: 9.0,
+            weight: 0.8,
+            scaled: 80,
+            nodes: vec![0, 1, 2],
+            edges: vec![0, 1],
+        };
+        let result = find_opt_tree(&qg, &tree);
+        let best = result.best.unwrap();
+        assert_eq!(best.scaled, 80);
+        assert_eq!(best.nodes.len(), 3);
+        // The v1 array should now contain entries for 20 (itself), 40 (v1+v2),
+        // 60 (v1+v3) and 80 (all three) — as walked through in Example 5.
+        let v1_array = &result.arrays[&0];
+        assert!(v1_array.get(20).is_some());
+        assert!(v1_array.get(40).is_some());
+        assert!(v1_array.get(60).is_some());
+        assert!(v1_array.get(80).is_some());
+    }
+}

@@ -1,0 +1,300 @@
+//! Regions and region tuples (Definitions 2 and 4 of the paper).
+//!
+//! Algorithms work with [`RegionTuple`]s in the query graph's *local* node and
+//! edge ids; the final answer is translated into a [`Region`] carrying global
+//! [`NodeId`]/[`EdgeId`]s plus the region's length, weight and scaled weight.
+
+use crate::query_graph::QueryGraph;
+use lcmsr_roadnet::edge::EdgeId;
+use lcmsr_roadnet::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A region tuple `T = (l, s, ŝ, V, E)` (Definition 4): total length, original
+/// weight, scaled weight, node set and edge set — in local query-graph ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionTuple {
+    /// Total length of all road segments in the region, metres.
+    pub length: f64,
+    /// Original (unscaled) total weight.
+    pub weight: f64,
+    /// Scaled total weight.
+    pub scaled: u64,
+    /// Local node ids, kept sorted.
+    pub nodes: Vec<u32>,
+    /// Local edge ids, kept sorted.
+    pub edges: Vec<u32>,
+}
+
+impl RegionTuple {
+    /// The single-node region `({v}, ∅)`.
+    pub fn singleton(node: u32, weight: f64, scaled: u64) -> Self {
+        RegionTuple {
+            length: 0.0,
+            weight,
+            scaled,
+            nodes: vec![node],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the region.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the region contains the local node `v`.
+    pub fn contains_node(&self, v: u32) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Whether this region and `other` share at least one node (Lemma 9 check).
+    /// Both node lists are sorted, so this is a linear merge.
+    pub fn shares_nodes(&self, other: &RegionTuple) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            match self.nodes[i].cmp(&other.nodes[j]) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        false
+    }
+
+    /// Combines this region with a node-disjoint region `other` via the edge
+    /// `edge` of length `edge_length` (the edge's endpoints must lie one in each
+    /// region, which the caller guarantees).
+    pub fn combine(&self, other: &RegionTuple, edge: u32, edge_length: f64) -> RegionTuple {
+        debug_assert!(!self.shares_nodes(other), "combine requires disjoint regions");
+        let mut nodes = Vec::with_capacity(self.nodes.len() + other.nodes.len());
+        merge_sorted(&self.nodes, &other.nodes, &mut nodes);
+        let mut edges = Vec::with_capacity(self.edges.len() + other.edges.len() + 1);
+        merge_sorted(&self.edges, &other.edges, &mut edges);
+        let pos = edges.partition_point(|&e| e < edge);
+        edges.insert(pos, edge);
+        RegionTuple {
+            length: self.length + other.length + edge_length,
+            weight: self.weight + other.weight,
+            scaled: self.scaled + other.scaled,
+            nodes,
+            edges,
+        }
+    }
+
+    /// Extends the region by a single new node `node` (weights given) through
+    /// `edge` of length `edge_length`.
+    pub fn extend(
+        &self,
+        node: u32,
+        node_weight: f64,
+        node_scaled: u64,
+        edge: u32,
+        edge_length: f64,
+    ) -> RegionTuple {
+        debug_assert!(!self.contains_node(node));
+        let mut nodes = self.nodes.clone();
+        let pos = nodes.partition_point(|&n| n < node);
+        nodes.insert(pos, node);
+        let mut edges = self.edges.clone();
+        let epos = edges.partition_point(|&e| e < edge);
+        edges.insert(epos, edge);
+        RegionTuple {
+            length: self.length + edge_length,
+            weight: self.weight + node_weight,
+            scaled: self.scaled + node_scaled,
+            nodes,
+            edges,
+        }
+    }
+}
+
+fn merge_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// A result region in global ids, with its aggregate measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Global node ids of the region, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Global edge ids of the region, sorted.
+    pub edges: Vec<EdgeId>,
+    /// Total length of the region's road segments, metres.
+    pub length: f64,
+    /// Total weight (query relevance) of the region.
+    pub weight: f64,
+    /// Total scaled weight of the region under the scaling used by the algorithm.
+    pub scaled_weight: u64,
+}
+
+impl Region {
+    /// Builds the global region corresponding to a local tuple.
+    pub fn from_tuple(graph: &QueryGraph, tuple: &RegionTuple) -> Self {
+        let mut nodes: Vec<NodeId> = tuple.nodes.iter().map(|&v| graph.global_node(v)).collect();
+        nodes.sort_unstable();
+        let mut edges: Vec<EdgeId> = tuple
+            .edges
+            .iter()
+            .map(|&e| graph.edge(e).global)
+            .collect();
+        edges.sort_unstable();
+        Region {
+            nodes,
+            edges,
+            length: tuple.length,
+            weight: tuple.weight,
+            scaled_weight: tuple.scaled,
+        }
+    }
+
+    /// Number of nodes in the region.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the region is empty (no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the region satisfies the length constraint `delta`.
+    pub fn is_feasible(&self, delta: f64) -> bool {
+        self.length <= delta + 1e-9
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "region[{} nodes, {} edges, length {:.1} m, weight {:.4}]",
+            self.nodes.len(),
+            self.edges.len(),
+            self.length,
+            self.weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn singleton_tuple() {
+        let t = RegionTuple::singleton(3, 0.4, 40);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.length, 0.0);
+        assert!(t.contains_node(3));
+        assert!(!t.contains_node(2));
+        assert!(t.edges.is_empty());
+    }
+
+    #[test]
+    fn shares_nodes_detects_overlap() {
+        let a = RegionTuple {
+            length: 0.0,
+            weight: 0.0,
+            scaled: 0,
+            nodes: vec![1, 3, 5],
+            edges: vec![],
+        };
+        let b = RegionTuple {
+            length: 0.0,
+            weight: 0.0,
+            scaled: 0,
+            nodes: vec![2, 4, 6],
+            edges: vec![],
+        };
+        let c = RegionTuple {
+            length: 0.0,
+            weight: 0.0,
+            scaled: 0,
+            nodes: vec![0, 5, 9],
+            edges: vec![],
+        };
+        assert!(!a.shares_nodes(&b));
+        assert!(a.shares_nodes(&c));
+        assert!(c.shares_nodes(&a));
+        assert!(!b.shares_nodes(&c));
+    }
+
+    #[test]
+    fn combine_merges_measures_and_sets() {
+        let a = RegionTuple::singleton(1, 0.3, 30);
+        let b = RegionTuple::singleton(5, 0.4, 40);
+        let c = a.combine(&b, 6, 1.6);
+        assert_eq!(c.nodes, vec![1, 5]);
+        assert_eq!(c.edges, vec![6]);
+        assert!((c.length - 1.6).abs() < 1e-12);
+        assert!((c.weight - 0.7).abs() < 1e-12);
+        assert_eq!(c.scaled, 70);
+        // Combining larger disjoint regions keeps sets sorted.
+        let d = RegionTuple::singleton(0, 0.2, 20);
+        let e = c.combine(&d, 0, 1.0);
+        assert_eq!(e.nodes, vec![0, 1, 5]);
+        assert_eq!(e.edges, vec![0, 6]);
+    }
+
+    #[test]
+    fn extend_adds_one_node() {
+        let a = RegionTuple::singleton(2, 0.4, 40);
+        let b = a.extend(3, 0.2, 20, 2, 5.0);
+        assert_eq!(b.nodes, vec![2, 3]);
+        assert_eq!(b.edges, vec![2]);
+        assert!((b.length - 5.0).abs() < 1e-12);
+        assert!((b.weight - 0.6).abs() < 1e-12);
+        assert_eq!(b.scaled, 60);
+    }
+
+    #[test]
+    fn region_example_of_definition_4() {
+        // Example 3: R.V = {v2, v4, v5, v6}, R.E = {(v2,v6),(v6,v5),(v5,v4)} at
+        // 100× scaling gives T = (5.9, 1.1, 110, …).
+        let (_network, qg) = figure2_query_graph(6.0, 0.15);
+        // Build the tuple by combining singletons along the edges.
+        let v2 = RegionTuple::singleton(1, qg.weight(1), qg.scaled_weight(1));
+        let v6 = RegionTuple::singleton(5, qg.weight(5), qg.scaled_weight(5));
+        let v5 = RegionTuple::singleton(4, qg.weight(4), qg.scaled_weight(4));
+        let v4 = RegionTuple::singleton(3, qg.weight(3), qg.scaled_weight(3));
+        // Find local edge ids for (v2,v6), (v6,v5), (v5,v4).
+        let find_edge = |a: u32, b: u32| -> (u32, f64) {
+            let (_, e) = qg
+                .neighbors(a)
+                .iter()
+                .copied()
+                .find(|&(n, _)| n == b)
+                .unwrap();
+            (e, qg.edge(e).length)
+        };
+        let (e26, l26) = find_edge(1, 5);
+        let (e65, l65) = find_edge(5, 4);
+        let (e54, l54) = find_edge(4, 3);
+        let t = v2
+            .combine(&v6, e26, l26)
+            .combine(&v5, e65, l65)
+            .combine(&v4, e54, l54);
+        assert!((t.length - 5.9).abs() < 1e-9);
+        assert!((t.weight - 1.1).abs() < 1e-9);
+        assert_eq!(t.scaled, 110);
+        let region = Region::from_tuple(&qg, &t);
+        assert_eq!(region.node_count(), 4);
+        assert_eq!(region.edges.len(), 3);
+        assert!(region.is_feasible(6.0));
+        assert!(!region.is_feasible(5.0));
+        assert!(!region.is_empty());
+        assert!(region.to_string().contains("4 nodes"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Run statistics and instrumentation for LCMSR query execution.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics collected while answering one query with one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunStats {
+    /// Name of the algorithm ("APP", "TGEN", "Greedy", "Exact").
+    pub algorithm: String,
+    /// Wall-clock time spent answering the query.
+    pub elapsed: Duration,
+    /// Number of road-network nodes inside `Q.Λ` (`|V_Q|`).
+    pub nodes_in_region: usize,
+    /// Number of edges inside `Q.Λ` (`|E_Q|`).
+    pub edges_in_region: usize,
+    /// Number of nodes carrying a positive query weight.
+    pub relevant_nodes: usize,
+    /// Number of k-MST oracle invocations (APP only).
+    pub kmst_calls: u64,
+    /// Number of region tuples generated (APP's DP and TGEN).
+    pub tuples_generated: u64,
+    /// Number of greedy expansion steps (Greedy only).
+    pub greedy_steps: u64,
+}
+
+impl RunStats {
+    /// Creates empty statistics for the named algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        RunStats {
+            algorithm: algorithm.into(),
+            ..RunStats::default()
+        }
+    }
+
+    /// Elapsed time in milliseconds (convenience for experiment output).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1_000.0
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} ms (|V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={})",
+            self.algorithm,
+            self.elapsed_ms(),
+            self.nodes_in_region,
+            self.edges_in_region,
+            self.relevant_nodes,
+            self.kmst_calls,
+            self.tuples_generated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let mut s = RunStats::new("APP");
+        s.elapsed = Duration::from_millis(12);
+        s.nodes_in_region = 100;
+        assert_eq!(s.algorithm, "APP");
+        assert!((s.elapsed_ms() - 12.0).abs() < 1e-9);
+        assert!(s.to_string().contains("APP"));
+        assert!(s.to_string().contains("100"));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = RunStats::default();
+        assert_eq!(s.elapsed, Duration::ZERO);
+        assert_eq!(s.kmst_calls, 0);
+        assert_eq!(s.elapsed_ms(), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The TGEN (tuple generation) heuristic (Section 5, Algorithm 2).
+//!
+//! TGEN generalises the `findOptTree` dynamic program from a tree to the whole
+//! scaled query graph: nodes are visited in breadth-first order, every edge is
+//! processed exactly once, and each node keeps an *explored region tuple array*
+//! (Definition 6) holding, per scaled weight, the shortest feasible region seen
+//! that contains the node.  Combining regions across an edge skips pairs that
+//! share nodes (Lemma 9 — such a combination would contain a cycle and can
+//! never be optimal).  Because only one tuple per (node, scaled weight) pair is
+//! kept, enumeration is polynomial but the optimum may be missed — TGEN is a
+//! heuristic, empirically the most accurate of the three algorithms.
+
+use crate::error::{LcmsrError, Result};
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+use crate::tuple_array::{BestTracker, TupleArray};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tuning parameters of TGEN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TgenParams {
+    /// Scaling parameter α.  TGEN needs a much coarser scaling than APP
+    /// (paper default 400 on NY, 300 on USANW) to keep tuple arrays small.
+    pub alpha: f64,
+}
+
+impl Default for TgenParams {
+    fn default() -> Self {
+        TgenParams { alpha: 400.0 }
+    }
+}
+
+impl TgenParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(LcmsrError::InvalidParameter {
+                name: "alpha",
+                value: self.alpha,
+                expected: "a positive finite number",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one TGEN run.
+#[derive(Debug, Clone)]
+pub struct TgenOutcome {
+    /// The best feasible region found, if any node is relevant.
+    pub best: Option<RegionTuple>,
+    /// All feasible tuples generated, ordered by decreasing scaled weight then
+    /// increasing length (used by the top-k extension); capped to `top_limit`.
+    pub top_tuples: Vec<RegionTuple>,
+    /// Number of edges processed.
+    pub edges_processed: u64,
+    /// Number of region tuples generated.
+    pub tuples_generated: u64,
+}
+
+/// Maximum number of distinct top tuples retained for top-k extraction.
+const TOP_LIMIT: usize = 64;
+
+/// Runs TGEN on a prepared query graph (which must already be scaled with the
+/// TGEN α; [`crate::engine::LcmsrEngine`] takes care of this).
+pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> {
+    params.validate()?;
+    let delta = graph.delta();
+    let n = graph.node_count();
+    let mut best = BestTracker::new();
+    let mut top: Vec<RegionTuple> = Vec::new();
+    let mut edges_processed = 0u64;
+    let mut tuples_generated = 0u64;
+
+    if graph.sigma_max() <= 0.0 {
+        return Ok(TgenOutcome {
+            best: None,
+            top_tuples: Vec::new(),
+            edges_processed: 0,
+            tuples_generated: 0,
+        });
+    }
+
+    // Explored tuple arrays, one per node, initialised with the node itself.
+    let mut arrays: Vec<TupleArray> = (0..n as u32)
+        .map(|v| {
+            let mut arr = TupleArray::new();
+            let singleton = RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v));
+            best.update(&singleton);
+            offer_top(&mut top, &singleton);
+            arr.insert_if_better(singleton);
+            arr
+        })
+        .collect();
+    tuples_generated += n as u64;
+
+    let mut node_processed = vec![false; n];
+    let mut edge_visited = vec![false; graph.edge_count()];
+    let mut enqueued = vec![false; n];
+
+    // Outer loop: cover every connected component of Q.Λ (lines 2–4).
+    for start in 0..n as u32 {
+        if node_processed[start as usize] || enqueued[start as usize] {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        enqueued[start as usize] = true;
+        // Breadth-first edge enumeration (lines 5–14).
+        while let Some(vi) = queue.pop_front() {
+            for &(vj, e) in graph.neighbors(vi) {
+                if edge_visited[e as usize] {
+                    continue;
+                }
+                edge_visited[e as usize] = true;
+                edges_processed += 1;
+                let edge_length = graph.edge(e).length;
+                if edge_length > delta {
+                    continue; // line 8: the edge alone already violates Q.∆
+                }
+                if !enqueued[vj as usize] {
+                    enqueued[vj as usize] = true;
+                    queue.push_back(vj);
+                }
+                // Combine every region containing vi with every region containing vj.
+                let left: Vec<RegionTuple> = arrays[vi as usize].iter().cloned().collect();
+                let right: Vec<RegionTuple> = arrays[vj as usize].iter().cloned().collect();
+                let mut new_tuples: Vec<RegionTuple> = Vec::new();
+                for ti in &left {
+                    for tj in &right {
+                        if ti.shares_nodes(tj) {
+                            continue; // Lemma 9: would close a cycle
+                        }
+                        let combined = ti.combine(tj, e, edge_length);
+                        tuples_generated += 1;
+                        if combined.length <= delta + 1e-9 {
+                            best.update(&combined);
+                            offer_top(&mut top, &combined);
+                            new_tuples.push(combined);
+                        }
+                    }
+                }
+                // Update the arrays of the unprocessed nodes contained in each
+                // new tuple (lines 12–14).
+                for t in new_tuples {
+                    for &v in &t.nodes {
+                        if node_processed[v as usize] {
+                            continue;
+                        }
+                        arrays[v as usize].insert_if_better(t.clone());
+                    }
+                }
+            }
+            // All incident edges of vi have been processed; its array is no
+            // longer needed (later tuples containing vi skip it).
+            node_processed[vi as usize] = true;
+        }
+    }
+
+    Ok(TgenOutcome {
+        best: best.into_best(),
+        top_tuples: top,
+        edges_processed,
+        tuples_generated,
+    })
+}
+
+/// Maintains the bounded list of best tuples (distinct node sets), ordered by
+/// decreasing scaled weight then increasing length.
+fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple) {
+    if candidate.scaled == 0 {
+        return;
+    }
+    if top.iter().any(|t| t.nodes == candidate.nodes) {
+        // Keep the better measure for an identical node set.
+        if let Some(existing) = top.iter_mut().find(|t| t.nodes == candidate.nodes) {
+            if candidate.length < existing.length {
+                *existing = candidate.clone();
+            }
+        }
+        return;
+    }
+    top.push(candidate.clone());
+    top.sort_by(|a, b| {
+        b.scaled
+            .cmp(&a.scaled)
+            .then_with(|| a.length.partial_cmp(&b.length).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    if top.len() > TOP_LIMIT {
+        top.truncate(TOP_LIMIT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn params_validation() {
+        assert!(TgenParams::default().validate().is_ok());
+        assert!(TgenParams { alpha: 0.0 }.validate().is_err());
+        assert!(TgenParams { alpha: f64::NAN }.validate().is_err());
+    }
+
+    #[test]
+    fn finds_the_optimal_region_of_the_running_example() {
+        // With a fine scaling TGEN finds the exact optimum of Figure 2 (∆ = 6):
+        // {v2, v4, v5, v6}, weight 1.1, length 5.9.
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let best = outcome.best.unwrap();
+        assert!((best.weight - 1.1).abs() < 1e-9, "weight {}", best.weight);
+        assert!((best.length - 5.9).abs() < 1e-9);
+        let mut nodes = best.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3, 4, 5]);
+        assert_eq!(outcome.edges_processed, 8);
+        assert!(outcome.tuples_generated > 8);
+    }
+
+    #[test]
+    fn respects_the_length_constraint() {
+        for delta in [0.5, 1.0, 2.5, 4.0, 6.0, 9.0, 15.0] {
+            let (_n, qg) = figure2_query_graph(delta, 0.15);
+            let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+            let best = outcome.best.unwrap();
+            assert!(best.length <= delta + 1e-9, "∆={delta}: length {}", best.length);
+            for t in &outcome.top_tuples {
+                assert!(t.length <= delta + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_scaling_cannot_increase_accuracy() {
+        let (_n, qg_fine) = figure2_query_graph(6.0, 0.15);
+        let fine = run_tgen(&qg_fine, &TgenParams { alpha: 0.15 })
+            .unwrap()
+            .best
+            .unwrap();
+        let (_n, qg_coarse) = figure2_query_graph(6.0, 3.0);
+        let coarse = run_tgen(&qg_coarse, &TgenParams { alpha: 3.0 })
+            .unwrap()
+            .best
+            .unwrap();
+        assert!(coarse.weight <= fine.weight + 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_query_returns_none() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::subgraph::RegionView;
+        let (network, _) = crate::query_graph::test_support::figure2();
+        let view = RegionView::whole(&network);
+        let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 400.0).unwrap();
+        let outcome = run_tgen(&qg, &TgenParams::default()).unwrap();
+        assert!(outcome.best.is_none());
+        assert!(outcome.top_tuples.is_empty());
+    }
+
+    #[test]
+    fn huge_delta_collects_all_relevant_weight() {
+        let (_n, qg) = figure2_query_graph(1000.0, 0.15);
+        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let best = outcome.best.unwrap();
+        assert_eq!(best.nodes.len(), 6);
+        assert!((best.weight - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_tuples_are_sorted_and_distinct() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let top = &outcome.top_tuples;
+        assert!(!top.is_empty());
+        for w in top.windows(2) {
+            assert!(
+                w[0].scaled > w[1].scaled
+                    || (w[0].scaled == w[1].scaled && w[0].length <= w[1].length + 1e-9)
+            );
+            assert_ne!(w[0].nodes, w[1].nodes);
+        }
+        // The first entry is the overall best.
+        assert_eq!(top[0].scaled, outcome.best.unwrap().scaled);
+    }
+
+    #[test]
+    fn disconnected_query_regions_are_fully_explored() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::node::NodeId;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        // Two disjoint 2-node components; the right one is heavier.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        let d = b.add_node(Point::new(100.0, 0.0));
+        let e = b.add_node(Point::new(101.0, 0.0));
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(d, e, 1.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.1);
+        weights.by_node.insert(NodeId(1), 0.1);
+        weights.by_node.insert(NodeId(2), 0.5);
+        weights.by_node.insert(NodeId(3), 0.5);
+        let view = RegionView::whole(&network);
+        let qg = QueryGraph::build(&view, &weights, 5.0, 0.1).unwrap();
+        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.1 }).unwrap();
+        let best = outcome.best.unwrap();
+        let mut nodes = best.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![2, 3], "the heavier component must win");
+        assert!((best.weight - 1.0).abs() < 1e-9);
+        assert_eq!(outcome.edges_processed, 2);
+    }
+}

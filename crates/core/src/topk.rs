@@ -1,0 +1,221 @@
+//! Top-k LCMSR queries (Section 6.2).
+//!
+//! Instead of the single best region, the top-k variant returns the `k`
+//! highest-scoring feasible regions (distinct node sets):
+//!
+//! * **APP** — after the candidate tree is found, `findOptTree` computes the
+//!   tuple arrays of all its nodes and the best `k` regions are read off them;
+//! * **TGEN** — the best `k` regions are collected from the explored tuple
+//!   arrays while edges are processed;
+//! * **Greedy** — regions are grown repeatedly, each time seeding at the
+//!   largest-weight node not contained in any previous region.
+
+use crate::app::{binary_search, AppParams};
+use crate::error::Result;
+use crate::greedy::{run_greedy_excluding, GreedyParams};
+use crate::kmst::make_solver;
+use crate::opt_tree::find_opt_tree;
+use crate::query_graph::QueryGraph;
+use crate::region::RegionTuple;
+use crate::tgen::{run_tgen, TgenParams};
+
+/// Orders candidate tuples: larger scaled weight first, then shorter length.
+fn rank(a: &RegionTuple, b: &RegionTuple) -> std::cmp::Ordering {
+    b.scaled
+        .cmp(&a.scaled)
+        .then_with(|| a.length.partial_cmp(&b.length).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Deduplicates by node set, keeping the first (best-ranked) occurrence, and
+/// truncates to `k`.
+fn dedupe_topk(mut tuples: Vec<RegionTuple>, k: usize) -> Vec<RegionTuple> {
+    tuples.sort_by(rank);
+    let mut out: Vec<RegionTuple> = Vec::with_capacity(k);
+    for t in tuples {
+        if out.iter().any(|existing| existing.nodes == t.nodes) {
+            continue;
+        }
+        out.push(t);
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+/// Top-k via APP: quota binary search, then the tuple arrays of the candidate tree.
+pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<Vec<RegionTuple>> {
+    params.validate()?;
+    if k == 0 || graph.sigma_max() <= 0.0 {
+        return Ok(Vec::new());
+    }
+    let mut solver = make_solver(params.solver);
+    let (candidate, _trace) =
+        binary_search(graph, solver.as_mut(), params.beta, params.max_iterations);
+    let Some(candidate) = candidate else {
+        // Fall back to the k best single nodes.
+        let mut singles: Vec<RegionTuple> = graph
+            .node_indices()
+            .filter(|&v| graph.weight(v) > 0.0)
+            .map(|v| RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v)))
+            .collect();
+        singles.sort_by(rank);
+        singles.truncate(k);
+        return Ok(singles);
+    };
+    // Per Section 6.2, always compute the tuple arrays over the candidate tree.
+    let dp = find_opt_tree(graph, &candidate);
+    let mut all: Vec<RegionTuple> = dp
+        .arrays
+        .into_values()
+        .flat_map(|arr| arr.into_tuples())
+        .filter(|t| t.length <= graph.delta() + 1e-9)
+        .collect();
+    if candidate.length <= graph.delta() + 1e-9 {
+        all.push(candidate);
+    }
+    Ok(dedupe_topk(all, k))
+}
+
+/// Top-k via TGEN: the best tuples gathered during edge processing.
+pub fn topk_tgen(graph: &QueryGraph, params: &TgenParams, k: usize) -> Result<Vec<RegionTuple>> {
+    params.validate()?;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let outcome = run_tgen(graph, params)?;
+    Ok(dedupe_topk(outcome.top_tuples, k))
+}
+
+/// Top-k via Greedy: repeated expansion, each seeded outside previous regions.
+pub fn topk_greedy(
+    graph: &QueryGraph,
+    params: &GreedyParams,
+    k: usize,
+) -> Result<Vec<RegionTuple>> {
+    params.validate()?;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut regions: Vec<RegionTuple> = Vec::with_capacity(k);
+    let mut excluded: Vec<u32> = Vec::new();
+    for _ in 0..k {
+        let outcome = run_greedy_excluding(graph, params, &excluded)?;
+        let Some(region) = outcome.best else { break };
+        excluded.extend_from_slice(&region.nodes);
+        regions.push(region);
+    }
+    // Regions are discovered seed-by-seed; report them best-first like the
+    // other algorithms.
+    regions.sort_by(rank);
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::test_support::figure2_query_graph;
+
+    #[test]
+    fn ranks_and_dedupes() {
+        let a = RegionTuple {
+            length: 2.0,
+            weight: 0.5,
+            scaled: 50,
+            nodes: vec![1, 2],
+            edges: vec![0],
+        };
+        let b = RegionTuple {
+            length: 1.0,
+            weight: 0.5,
+            scaled: 50,
+            nodes: vec![1, 2],
+            edges: vec![1],
+        };
+        let c = RegionTuple {
+            length: 4.0,
+            weight: 0.9,
+            scaled: 90,
+            nodes: vec![3, 4],
+            edges: vec![2],
+        };
+        let top = dedupe_topk(vec![a, b.clone(), c.clone()], 5);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].nodes, c.nodes);
+        assert_eq!(top[1].length, b.length, "shorter duplicate must survive");
+        let top1 = dedupe_topk(vec![b, c.clone()], 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].nodes, c.nodes);
+    }
+
+    #[test]
+    fn topk_app_returns_distinct_feasible_regions_in_order() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let regions = topk_app(&qg, &AppParams::default(), 3).unwrap();
+        assert!(!regions.is_empty() && regions.len() <= 3);
+        for r in &regions {
+            assert!(r.length <= 6.0 + 1e-9);
+        }
+        for w in regions.windows(2) {
+            assert!(w[0].scaled >= w[1].scaled);
+            assert_ne!(w[0].nodes, w[1].nodes);
+        }
+    }
+
+    #[test]
+    fn topk_tgen_first_region_matches_single_query() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let params = TgenParams { alpha: 0.15 };
+        let single = run_tgen(&qg, &params).unwrap().best.unwrap();
+        let regions = topk_tgen(&qg, &params, 4).unwrap();
+        assert!(!regions.is_empty());
+        assert_eq!(regions[0].scaled, single.scaled);
+        for r in &regions {
+            assert!(r.length <= 6.0 + 1e-9);
+        }
+        for w in regions.windows(2) {
+            assert!(w[0].scaled >= w[1].scaled);
+        }
+    }
+
+    #[test]
+    fn topk_greedy_regions_have_disjoint_seeds() {
+        let (_n, qg) = figure2_query_graph(2.0, 0.15);
+        let regions = topk_greedy(&qg, &GreedyParams::default(), 3).unwrap();
+        assert!(regions.len() >= 2);
+        // Later regions never reuse an earlier region's nodes as their seed; with
+        // a small ∆ the regions are in fact disjoint on this instance.
+        for i in 0..regions.len() {
+            for j in (i + 1)..regions.len() {
+                assert_ne!(regions[i].nodes, regions[j].nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_irrelevant_queries_return_empty() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        assert!(topk_app(&qg, &AppParams::default(), 0).unwrap().is_empty());
+        assert!(topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 0).unwrap().is_empty());
+        assert!(topk_greedy(&qg, &GreedyParams::default(), 0).unwrap().is_empty());
+
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::subgraph::RegionView;
+        let (network, _) = crate::query_graph::test_support::figure2();
+        let view = RegionView::whole(&network);
+        let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
+        assert!(topk_app(&qg0, &AppParams::default(), 3).unwrap().is_empty());
+        assert!(topk_tgen(&qg0, &TgenParams { alpha: 0.5 }, 3).unwrap().is_empty());
+        assert!(topk_greedy(&qg0, &GreedyParams::default(), 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn larger_k_never_shrinks_the_result() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let two = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 2).unwrap();
+        let five = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 5).unwrap();
+        assert!(five.len() >= two.len());
+        // The first entries agree.
+        assert_eq!(five[0].nodes, two[0].nodes);
+    }
+}

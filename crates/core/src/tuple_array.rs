@@ -1,0 +1,192 @@
+//! Region tuple arrays (Definitions 5 and 6 of the paper).
+//!
+//! A tuple array keeps, for each scaled weight value `S`, the region tuple with
+//! the smallest length among all enumerated regions having scaled weight `S`
+//! (Lemma 6 justifies this dominance pruning inside `findOptTree`; TGEN reuses
+//! the same structure over the whole graph).
+
+use crate::region::RegionTuple;
+use std::collections::HashMap;
+
+/// A map from scaled weight to the minimum-length region tuple seen with that weight.
+#[derive(Debug, Clone, Default)]
+pub struct TupleArray {
+    by_scaled: HashMap<u64, RegionTuple>,
+}
+
+impl TupleArray {
+    /// Creates an empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct scaled-weight entries.
+    pub fn len(&self) -> usize {
+        self.by_scaled.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_scaled.is_empty()
+    }
+
+    /// The stored tuple for scaled weight `s`, if any.
+    pub fn get(&self, s: u64) -> Option<&RegionTuple> {
+        self.by_scaled.get(&s)
+    }
+
+    /// Inserts `tuple` if no tuple with the same scaled weight exists or the
+    /// existing one is longer.  Returns true when the array changed.
+    pub fn insert_if_better(&mut self, tuple: RegionTuple) -> bool {
+        match self.by_scaled.get(&tuple.scaled) {
+            Some(existing) if existing.length <= tuple.length => false,
+            _ => {
+                self.by_scaled.insert(tuple.scaled, tuple);
+                true
+            }
+        }
+    }
+
+    /// Iterates over the stored tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &RegionTuple> {
+        self.by_scaled.values()
+    }
+
+    /// The stored tuple with the largest scaled weight, ties broken by the
+    /// smaller length (matching the paper's tie-breaking rule).
+    pub fn best(&self) -> Option<&RegionTuple> {
+        self.by_scaled.values().max_by(|a, b| {
+            a.scaled.cmp(&b.scaled).then_with(|| {
+                b.length
+                    .partial_cmp(&a.length)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        })
+    }
+
+    /// Drains the array, returning all tuples.
+    pub fn into_tuples(self) -> Vec<RegionTuple> {
+        self.by_scaled.into_values().collect()
+    }
+}
+
+/// Keeps the overall best tuple(s) seen so far across the whole run.
+///
+/// `update` applies the paper's ordering: larger scaled weight wins; among
+/// equal scaled weights the shorter region wins.
+#[derive(Debug, Clone, Default)]
+pub struct BestTracker {
+    best: Option<RegionTuple>,
+}
+
+impl BestTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The best tuple so far, if any.
+    pub fn best(&self) -> Option<&RegionTuple> {
+        self.best.as_ref()
+    }
+
+    /// Takes ownership of the best tuple.
+    pub fn into_best(self) -> Option<RegionTuple> {
+        self.best
+    }
+
+    /// Offers a candidate; keeps it when it beats the current best.
+    /// Returns true when the candidate became the new best.
+    ///
+    /// Ordering: larger scaled weight first; among equal scaled weights the
+    /// larger *original* weight wins (they only differ because of the scaling's
+    /// floor), and only then the shorter region — this refines the paper's
+    /// tie-breaking without changing the scaled-weight objective.
+    pub fn update(&mut self, candidate: &RegionTuple) -> bool {
+        let better = match &self.best {
+            None => true,
+            Some(current) => {
+                candidate.scaled > current.scaled
+                    || (candidate.scaled == current.scaled
+                        && candidate.weight > current.weight + 1e-12)
+                    || (candidate.scaled == current.scaled
+                        && (candidate.weight - current.weight).abs() <= 1e-12
+                        && candidate.length < current.length)
+            }
+        };
+        if better {
+            self.best = Some(candidate.clone());
+        }
+        better
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(scaled: u64, length: f64, node: u32) -> RegionTuple {
+        RegionTuple {
+            length,
+            weight: scaled as f64 / 100.0,
+            scaled,
+            nodes: vec![node],
+            edges: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_keeps_min_length_per_scaled_weight() {
+        let mut arr = TupleArray::new();
+        assert!(arr.is_empty());
+        assert!(arr.insert_if_better(tuple(10, 5.0, 1)));
+        assert!(!arr.insert_if_better(tuple(10, 6.0, 2)), "longer tuple rejected");
+        assert!(arr.insert_if_better(tuple(10, 4.0, 3)), "shorter tuple accepted");
+        assert!(arr.insert_if_better(tuple(20, 9.0, 4)));
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr.get(10).unwrap().length, 4.0);
+        assert!(arr.get(15).is_none());
+        assert_eq!(arr.iter().count(), 2);
+        assert_eq!(arr.into_tuples().len(), 2);
+    }
+
+    #[test]
+    fn equal_length_does_not_replace() {
+        let mut arr = TupleArray::new();
+        assert!(arr.insert_if_better(tuple(5, 2.0, 1)));
+        assert!(!arr.insert_if_better(tuple(5, 2.0, 9)));
+        assert_eq!(arr.get(5).unwrap().nodes, vec![1]);
+    }
+
+    #[test]
+    fn best_prefers_scaled_weight_then_length() {
+        let mut arr = TupleArray::new();
+        arr.insert_if_better(tuple(10, 1.0, 1));
+        arr.insert_if_better(tuple(30, 9.0, 2));
+        arr.insert_if_better(tuple(20, 0.5, 3));
+        assert_eq!(arr.best().unwrap().scaled, 30);
+        assert!(TupleArray::new().best().is_none());
+    }
+
+    #[test]
+    fn best_tracker_orders_candidates() {
+        let mut tracker = BestTracker::new();
+        assert!(tracker.best().is_none());
+        assert!(tracker.update(&tuple(10, 5.0, 1)));
+        assert!(!tracker.update(&tuple(9, 1.0, 2)), "lower weight never wins");
+        assert!(!tracker.update(&tuple(10, 6.0, 3)), "same weights, longer loses");
+        assert!(tracker.update(&tuple(10, 4.0, 4)), "same weights, shorter wins");
+        // Equal scaled weight but larger original weight wins regardless of length.
+        let heavier = RegionTuple {
+            length: 9.0,
+            weight: 0.2,
+            scaled: 10,
+            nodes: vec![8],
+            edges: vec![],
+        };
+        assert!(tracker.update(&heavier));
+        assert!(tracker.update(&tuple(11, 9.0, 5)));
+        assert_eq!(tracker.best().unwrap().scaled, 11);
+        assert_eq!(tracker.into_best().unwrap().nodes, vec![5]);
+    }
+}

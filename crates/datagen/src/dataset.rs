@@ -1,0 +1,200 @@
+//! Dataset presets: ready-made network + object-collection bundles.
+//!
+//! A [`Dataset`] bundles a synthetic road network with its object collection
+//! under a named preset, so examples, tests and the benchmark harness all
+//! construct data the same way.
+
+use crate::keywords::KeywordModel;
+use crate::network::{ny_like, usanw_like, NetworkScale};
+use crate::objects::{generate_objects, CategoryCluster, ObjectGenParams};
+use crate::queries::{generate_queries, GeneratedQuery, QueryGenParams};
+use lcmsr_geotext::collection::ObjectCollection;
+use lcmsr_roadnet::graph::RoadNetwork;
+
+/// Which of the paper's two data sets the preset imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Dense Manhattan-style network with Google-Places-like objects.
+    NyLike,
+    /// Sparse, large-extent network with Flickr-tag-like objects.
+    UsanwLike,
+}
+
+/// Configuration of a dataset build.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Which structural preset to imitate.
+    pub kind: DatasetKind,
+    /// Network size preset.
+    pub scale: NetworkScale,
+    /// Number of geo-textual objects (the paper uses 0.5 M for NY and ~1.2 M for
+    /// USANW; defaults here scale with the network preset).
+    pub object_count: usize,
+    /// Number of filler terms in the synthetic vocabulary.
+    pub vocabulary_tail: usize,
+    /// Grid-index cell size in metres.
+    pub cell_size: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// NY-like preset at the given scale with proportionate object counts.
+    pub fn ny(scale: NetworkScale, seed: u64) -> Self {
+        DatasetConfig {
+            kind: DatasetKind::NyLike,
+            scale,
+            object_count: scale.target_nodes() * 2,
+            vocabulary_tail: 2_000,
+            cell_size: 500.0,
+            seed,
+        }
+    }
+
+    /// USANW-like preset at the given scale.
+    pub fn usanw(scale: NetworkScale, seed: u64) -> Self {
+        DatasetConfig {
+            kind: DatasetKind::UsanwLike,
+            scale,
+            object_count: scale.target_nodes(),
+            vocabulary_tail: 4_000,
+            cell_size: 1_000.0,
+            seed,
+        }
+    }
+
+    /// A very small dataset for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetConfig {
+            kind: DatasetKind::NyLike,
+            scale: NetworkScale::Tiny,
+            object_count: 800,
+            vocabulary_tail: 300,
+            cell_size: 300.0,
+            seed,
+        }
+    }
+}
+
+/// A built dataset: road network, indexed object collection, and the planted
+/// category clusters (handy for constructing queries with known hot regions).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The dataset's configuration.
+    pub config: DatasetConfig,
+    /// The road network.
+    pub network: RoadNetwork,
+    /// The indexed geo-textual objects.
+    pub collection: ObjectCollection,
+    /// Category clusters planted during object generation.
+    pub clusters: Vec<CategoryCluster>,
+}
+
+impl Dataset {
+    /// Builds a dataset from its configuration.
+    pub fn build(config: DatasetConfig) -> Self {
+        let network = match config.kind {
+            DatasetKind::NyLike => ny_like(config.scale, config.seed),
+            DatasetKind::UsanwLike => usanw_like(config.scale, config.seed),
+        }
+        .expect("synthetic network generation cannot fail with valid presets");
+        let keyword_model = KeywordModel::new(config.vocabulary_tail, 1.05);
+        let object_params = ObjectGenParams {
+            count: config.object_count,
+            cluster_count: (config.object_count / 50).clamp(5, 400),
+            seed: config.seed.wrapping_add(0x9E3779B97F4A7C15),
+            ..ObjectGenParams::default()
+        };
+        let generated = generate_objects(&network, &keyword_model, &object_params);
+        let collection = ObjectCollection::build(&network, generated.objects, config.cell_size)
+            .expect("object collection build cannot fail on generated data");
+        Dataset {
+            config,
+            network,
+            collection,
+            clusters: generated.clusters,
+        }
+    }
+
+    /// Generates a query workload over this dataset.
+    pub fn queries(&self, params: &QueryGenParams) -> Vec<GeneratedQuery> {
+        generate_queries(&self.network, &self.collection, params)
+    }
+
+    /// The default query parameters the paper uses for this dataset kind
+    /// (3 keywords; ∆ = 10 km / 15 km; Λ = 100 km² / 150 km²), scaled down for
+    /// small synthetic networks so that `Q.Λ` does not exceed the data extent.
+    pub fn default_query_params(&self, seed: u64) -> QueryGenParams {
+        let extent_km2 = self
+            .network
+            .bounding_rect()
+            .map(|r| r.area_km2())
+            .unwrap_or(1.0);
+        let (paper_area, paper_delta): (f64, f64) = match self.config.kind {
+            DatasetKind::NyLike => (100.0, 10.0),
+            DatasetKind::UsanwLike => (150.0, 15.0),
+        };
+        // Use the paper's values when the network is large enough, otherwise
+        // shrink proportionally (keeping ∆ ≈ paper_delta/paper_area · area).
+        let area = paper_area.min(extent_km2 * 0.25).max(0.25);
+        let delta = paper_delta * (area / paper_area).sqrt();
+        QueryGenParams {
+            num_queries: 50,
+            num_keywords: 3,
+            area_km2: area,
+            delta_km: delta.max(0.5),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_builds_consistently() {
+        let ds = Dataset::build(DatasetConfig::tiny(3));
+        assert!(ds.network.node_count() >= 350);
+        assert!(ds.collection.len() > 500);
+        assert!(!ds.clusters.is_empty());
+        assert!(ds.collection.keyword_count() > 50);
+    }
+
+    #[test]
+    fn ny_and_usanw_presets_differ_structurally() {
+        let ny = Dataset::build(DatasetConfig::ny(NetworkScale::Tiny, 4));
+        let usanw = Dataset::build(DatasetConfig::usanw(NetworkScale::Tiny, 4));
+        let ny_area = ny.network.bounding_rect().unwrap().area();
+        let us_area = usanw.network.bounding_rect().unwrap().area();
+        assert!(us_area > ny_area);
+        assert_eq!(ny.config.kind, DatasetKind::NyLike);
+        assert_eq!(usanw.config.kind, DatasetKind::UsanwLike);
+    }
+
+    #[test]
+    fn default_query_params_fit_the_extent() {
+        let ds = Dataset::build(DatasetConfig::tiny(5));
+        let params = ds.default_query_params(9);
+        let extent_km2 = ds.network.bounding_rect().unwrap().area_km2();
+        assert!(params.area_km2 <= extent_km2);
+        assert!(params.delta_km > 0.0);
+        let queries = ds.queries(&QueryGenParams {
+            num_queries: 5,
+            ..params
+        });
+        assert_eq!(queries.len(), 5);
+    }
+
+    #[test]
+    fn dataset_build_is_deterministic() {
+        let a = Dataset::build(DatasetConfig::tiny(8));
+        let b = Dataset::build(DatasetConfig::tiny(8));
+        assert_eq!(a.network.node_count(), b.network.node_count());
+        assert_eq!(a.collection.len(), b.collection.len());
+        assert_eq!(
+            a.collection.objects()[0].terms,
+            b.collection.objects()[0].terms
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic keyword model.
+//!
+//! The paper's corpora mix a small set of dominant *category* terms (Google
+//! Places types such as "food" and "restaurant"; popular Flickr tags) with a
+//! long tail of rare terms (business names, free-form tags).  The
+//! [`KeywordModel`] reproduces this: a fixed list of category terms plus a
+//! Zipf-distributed tail of filler terms.
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Point-of-interest categories used as the head of the keyword distribution.
+/// These double as realistic query keywords ("cafe", "restaurant", …).
+pub const CATEGORIES: &[&str] = &[
+    "restaurant",
+    "cafe",
+    "coffee",
+    "bar",
+    "pub",
+    "bakery",
+    "pizza",
+    "sushi",
+    "burger",
+    "italian",
+    "chinese",
+    "mexican",
+    "thai",
+    "indian",
+    "steakhouse",
+    "seafood",
+    "vegan",
+    "dessert",
+    "museum",
+    "gallery",
+    "theater",
+    "cinema",
+    "park",
+    "playground",
+    "gym",
+    "yoga",
+    "spa",
+    "salon",
+    "pharmacy",
+    "hospital",
+    "clinic",
+    "dentist",
+    "school",
+    "library",
+    "bookstore",
+    "supermarket",
+    "grocery",
+    "bank",
+    "atm",
+    "hotel",
+    "hostel",
+    "boutique",
+    "shoes",
+    "jeans",
+    "electronics",
+    "hardware",
+    "florist",
+    "bikeshop",
+    "laundry",
+    "nightclub",
+];
+
+/// Generator of synthetic object descriptions.
+#[derive(Debug, Clone)]
+pub struct KeywordModel {
+    filler_terms: Vec<String>,
+    filler_distribution: Zipf,
+    category_distribution: Zipf,
+}
+
+impl KeywordModel {
+    /// Creates a model with `filler_count` tail terms (named `tag0000`,
+    /// `tag0001`, …) whose frequencies follow a Zipf law with the given exponent.
+    pub fn new(filler_count: usize, zipf_exponent: f64) -> Self {
+        let filler_count = filler_count.max(1);
+        let filler_terms = (0..filler_count).map(|i| format!("tag{i:05}")).collect();
+        KeywordModel {
+            filler_terms,
+            filler_distribution: Zipf::new(filler_count, zipf_exponent),
+            category_distribution: Zipf::new(CATEGORIES.len(), 0.7),
+        }
+    }
+
+    /// Number of category terms.
+    pub fn category_count(&self) -> usize {
+        CATEGORIES.len()
+    }
+
+    /// Number of filler (tail) terms.
+    pub fn filler_count(&self) -> usize {
+        self.filler_terms.len()
+    }
+
+    /// Total vocabulary size.
+    pub fn vocabulary_size(&self) -> usize {
+        self.category_count() + self.filler_count()
+    }
+
+    /// The category term with the given index.
+    pub fn category(&self, index: usize) -> &str {
+        CATEGORIES[index % CATEGORIES.len()]
+    }
+
+    /// Draws a category index following the category popularity distribution.
+    pub fn sample_category<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.category_distribution.sample(rng)
+    }
+
+    /// Draws a filler term.
+    pub fn sample_filler<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.filler_terms[self.filler_distribution.sample(rng)]
+    }
+
+    /// Generates a description for an object of category `category_index`:
+    /// the category term, possibly a second related category, and
+    /// `extra_terms` Zipf-drawn filler terms.
+    pub fn sample_description<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        category_index: usize,
+        extra_terms: usize,
+    ) -> Vec<String> {
+        let mut out = Vec::with_capacity(extra_terms + 2);
+        out.push(self.category(category_index).to_string());
+        // With 30 % probability add a second, related category (e.g. a pizza
+        // place is also tagged "restaurant"); related = adjacent index.
+        if rng.gen_bool(0.3) {
+            out.push(self.category(category_index + 1).to_string());
+        }
+        for _ in 0..extra_terms {
+            out.push(self.sample_filler(rng).to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn categories_are_distinct_and_nonempty() {
+        let mut sorted = CATEGORIES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CATEGORIES.len());
+        assert!(CATEGORIES.len() >= 40);
+        assert!(CATEGORIES.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn model_counts_are_consistent() {
+        let m = KeywordModel::new(1000, 1.0);
+        assert_eq!(m.filler_count(), 1000);
+        assert_eq!(m.category_count(), CATEGORIES.len());
+        assert_eq!(m.vocabulary_size(), 1000 + CATEGORIES.len());
+        assert_eq!(m.category(0), "restaurant");
+        assert_eq!(m.category(CATEGORIES.len()), "restaurant"); // wraps around
+    }
+
+    #[test]
+    fn zero_filler_count_is_bumped_to_one() {
+        let m = KeywordModel::new(0, 1.0);
+        assert_eq!(m.filler_count(), 1);
+    }
+
+    #[test]
+    fn descriptions_contain_their_category() {
+        let m = KeywordModel::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for (cat, expected) in CATEGORIES.iter().enumerate().take(10) {
+            let desc = m.sample_description(&mut rng, cat, 3);
+            assert!(desc.contains(&expected.to_string()));
+            assert!(desc.len() >= 4 && desc.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn category_sampling_is_skewed_towards_head() {
+        let m = KeywordModel::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut head = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if m.sample_category(&mut rng) < 5 {
+                head += 1;
+            }
+        }
+        // The first five categories should account for well over the uniform share.
+        assert!(head as f64 / n as f64 > 5.0 / CATEGORIES.len() as f64 * 1.5);
+    }
+
+    #[test]
+    fn filler_terms_are_valid_and_skewed() {
+        let m = KeywordModel::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut first = 0;
+        for _ in 0..2000 {
+            let t = m.sample_filler(&mut rng);
+            assert!(t.starts_with("tag"));
+            if t == "tag00000" {
+                first += 1;
+            }
+        }
+        assert!(first > 100, "most common filler drawn {first} times");
+    }
+}

@@ -1,0 +1,253 @@
+//! Synthetic geo-textual object generation.
+//!
+//! Objects are placed *along the road network* (following the network
+//! distribution, as the paper does for the USANW object set) and their
+//! keywords follow the [`KeywordModel`].  Co-location — the clustering of
+//! same-category PoIs that motivates the LCMSR query — is reproduced by
+//! planting category clusters: a number of cluster centres are chosen on the
+//! network, each assigned a category, and objects generated near a centre are
+//! biased towards that category.
+
+use crate::keywords::KeywordModel;
+use lcmsr_geotext::object::GeoTextObject;
+use lcmsr_roadnet::geo::Point;
+use lcmsr_roadnet::graph::RoadNetwork;
+use lcmsr_roadnet::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for synthetic object generation.
+#[derive(Debug, Clone)]
+pub struct ObjectGenParams {
+    /// Number of objects to generate.
+    pub count: usize,
+    /// Number of category clusters planted on the network.
+    pub cluster_count: usize,
+    /// Radius (metres) within which a cluster biases object categories.
+    pub cluster_radius: f64,
+    /// Probability that an object inside a cluster adopts the cluster's category.
+    pub cluster_affinity: f64,
+    /// Number of Zipf filler terms per object description.
+    pub extra_terms_per_object: usize,
+    /// Maximum offset (metres) of an object from its anchor node — models
+    /// storefronts set slightly back from the street.
+    pub position_jitter: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for ObjectGenParams {
+    fn default() -> Self {
+        ObjectGenParams {
+            count: 1_000,
+            cluster_count: 20,
+            cluster_radius: 600.0,
+            cluster_affinity: 0.75,
+            extra_terms_per_object: 3,
+            position_jitter: 25.0,
+            seed: 1,
+        }
+    }
+}
+
+/// A planted category cluster (useful for tests and for constructing queries
+/// with known answers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryCluster {
+    /// Node at the centre of the cluster.
+    pub center: NodeId,
+    /// Location of the centre node.
+    pub point: Point,
+    /// Index into [`crate::keywords::CATEGORIES`].
+    pub category: usize,
+}
+
+/// Result of synthetic object generation.
+#[derive(Debug, Clone)]
+pub struct GeneratedObjects {
+    /// The generated objects.
+    pub objects: Vec<GeoTextObject>,
+    /// The planted clusters.
+    pub clusters: Vec<CategoryCluster>,
+}
+
+/// Generates objects along `network` according to `params` using `keywords`.
+///
+/// Anchors are drawn uniformly from the network's nodes, which concentrates
+/// objects where the network is dense — the "network distribution" used by the
+/// paper for USANW.  Returns both the objects and the planted clusters.
+pub fn generate_objects(
+    network: &RoadNetwork,
+    keywords: &KeywordModel,
+    params: &ObjectGenParams,
+) -> GeneratedObjects {
+    assert!(network.node_count() > 0, "network must not be empty");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Plant clusters.
+    let mut clusters = Vec::with_capacity(params.cluster_count);
+    for _ in 0..params.cluster_count {
+        let node = NodeId(rng.gen_range(0..network.node_count() as u32));
+        clusters.push(CategoryCluster {
+            center: node,
+            point: network.point(node),
+            category: keywords.sample_category(&mut rng),
+        });
+    }
+    // Generate objects anchored at random nodes.
+    let mut objects = Vec::with_capacity(params.count);
+    for i in 0..params.count {
+        let anchor = NodeId(rng.gen_range(0..network.node_count() as u32));
+        let base = network.point(anchor);
+        let jitter = params.position_jitter;
+        let point = Point::new(
+            base.x + rng.gen_range(-jitter..=jitter),
+            base.y + rng.gen_range(-jitter..=jitter),
+        );
+        // Category: the nearest cluster wins with probability `cluster_affinity`
+        // when the object lies within its radius, otherwise a fresh draw.
+        let nearest_cluster = clusters
+            .iter()
+            .map(|c| (c, c.point.distance(&point)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let category = match nearest_cluster {
+            Some((c, d)) if d <= params.cluster_radius && rng.gen_bool(params.cluster_affinity) => {
+                c.category
+            }
+            _ => keywords.sample_category(&mut rng),
+        };
+        let description =
+            keywords.sample_description(&mut rng, category, params.extra_terms_per_object);
+        let rating = 1.0 + rng.gen_range(0.0..4.0);
+        objects.push(
+            GeoTextObject::from_keywords(i as u64, point, description).with_rating(rating),
+        );
+    }
+    GeneratedObjects { objects, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywords::CATEGORIES;
+    use crate::network::{ny_like, NetworkScale};
+
+    fn setup() -> (RoadNetwork, KeywordModel) {
+        (
+            ny_like(NetworkScale::Tiny, 5).unwrap(),
+            KeywordModel::new(200, 1.0),
+        )
+    }
+
+    #[test]
+    fn generates_requested_count_with_descriptions() {
+        let (network, kw) = setup();
+        let params = ObjectGenParams {
+            count: 500,
+            seed: 2,
+            ..ObjectGenParams::default()
+        };
+        let generated = generate_objects(&network, &kw, &params);
+        assert_eq!(generated.objects.len(), 500);
+        assert_eq!(generated.clusters.len(), params.cluster_count);
+        for o in &generated.objects {
+            assert!(!o.is_empty());
+            assert!(o.rating.unwrap() >= 1.0 && o.rating.unwrap() <= 5.0);
+            assert!(o.point.is_finite());
+        }
+    }
+
+    #[test]
+    fn objects_lie_near_the_network() {
+        let (network, kw) = setup();
+        let params = ObjectGenParams {
+            count: 200,
+            position_jitter: 25.0,
+            seed: 3,
+            ..ObjectGenParams::default()
+        };
+        let generated = generate_objects(&network, &kw, &params);
+        for o in &generated.objects {
+            let nearest = network.nearest_node(&o.point).unwrap();
+            let d = network.point(nearest).distance(&o.point);
+            // Jitter is at most 25 m per axis → distance to anchor ≤ ~36 m.
+            assert!(d <= 40.0, "object {:?} is {d} m from the network", o.id);
+        }
+    }
+
+    #[test]
+    fn clusters_create_colocation() {
+        let (network, kw) = setup();
+        let params = ObjectGenParams {
+            count: 2_000,
+            cluster_count: 5,
+            cluster_radius: 800.0,
+            cluster_affinity: 0.9,
+            seed: 11,
+            ..ObjectGenParams::default()
+        };
+        let generated = generate_objects(&network, &kw, &params);
+        // Within each cluster's radius, the cluster's category should be clearly
+        // over-represented relative to its global share.
+        let mut checked = 0;
+        for cluster in &generated.clusters {
+            let cat_term = CATEGORIES[cluster.category];
+            let nearby: Vec<_> = generated
+                .objects
+                .iter()
+                .filter(|o| o.point.distance(&cluster.point) <= params.cluster_radius)
+                .collect();
+            if nearby.len() < 20 {
+                continue;
+            }
+            let with_cat = nearby.iter().filter(|o| o.contains_term(cat_term)).count();
+            let share = with_cat as f64 / nearby.len() as f64;
+            assert!(
+                share > 0.4,
+                "cluster {cat_term}: only {share:.2} of {} nearby objects match",
+                nearby.len()
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no cluster had enough nearby objects to check");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (network, kw) = setup();
+        let params = ObjectGenParams {
+            count: 100,
+            seed: 9,
+            ..ObjectGenParams::default()
+        };
+        let a = generate_objects(&network, &kw, &params);
+        let b = generate_objects(&network, &kw, &params);
+        assert_eq!(a.objects.len(), b.objects.len());
+        for (x, y) in a.objects.iter().zip(&b.objects) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.terms, y.terms);
+        }
+        let c = generate_objects(
+            &network,
+            &kw,
+            &ObjectGenParams {
+                seed: 10,
+                count: 100,
+                ..ObjectGenParams::default()
+            },
+        );
+        let all_same = a
+            .objects
+            .iter()
+            .zip(&c.objects)
+            .all(|(x, y)| x.point == y.point && x.terms == y.terms);
+        assert!(!all_same);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_network_panics() {
+        let network = lcmsr_roadnet::GraphBuilder::new().build().unwrap();
+        let kw = KeywordModel::new(10, 1.0);
+        let _ = generate_objects(&network, &kw, &ObjectGenParams::default());
+    }
+}

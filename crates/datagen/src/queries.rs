@@ -1,0 +1,247 @@
+//! LCMSR query-workload generation.
+//!
+//! Reproduces the paper's query generation procedure (Section 7.1): each query
+//! first selects a query area following the network distribution (a random
+//! node becomes the centre of a square of the configured area), then selects
+//! query keywords among the terms that actually appear inside that area,
+//! sampled proportionally to their in-area frequency.
+
+use lcmsr_geotext::collection::ObjectCollection;
+use lcmsr_roadnet::geo::{km, Rect};
+use lcmsr_roadnet::graph::RoadNetwork;
+use lcmsr_roadnet::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters of a generated query workload.
+#[derive(Debug, Clone)]
+pub struct QueryGenParams {
+    /// Number of queries in the set (the paper uses 50 per setting).
+    pub num_queries: usize,
+    /// Number of query keywords (the paper varies 1–5, default 3).
+    pub num_keywords: usize,
+    /// Area of the region of interest `Q.Λ` in km² (paper: 100 for NY, 150 for USANW).
+    pub area_km2: f64,
+    /// Length constraint `Q.∆` in kilometres (paper: 10 for NY, 15 for USANW).
+    pub delta_km: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for QueryGenParams {
+    fn default() -> Self {
+        QueryGenParams {
+            num_queries: 50,
+            num_keywords: 3,
+            area_km2: 100.0,
+            delta_km: 10.0,
+            seed: 1,
+        }
+    }
+}
+
+/// One generated LCMSR query: keywords, length constraint and region of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedQuery {
+    /// Query keywords `Q.ψ`.
+    pub keywords: Vec<String>,
+    /// Length constraint `Q.∆` in metres.
+    pub delta: f64,
+    /// Region of interest `Q.Λ`.
+    pub rect: Rect,
+}
+
+/// Generates a query workload over `network` and `collection`.
+///
+/// Keyword selection follows in-area term frequency; if an area contains fewer
+/// distinct terms than requested, the query gets all of them.  Areas with no
+/// objects at all are re-drawn (up to a bounded number of attempts) so every
+/// generated query has at least one relevant object.
+pub fn generate_queries(
+    network: &RoadNetwork,
+    collection: &ObjectCollection,
+    params: &QueryGenParams,
+) -> Vec<GeneratedQuery> {
+    assert!(network.node_count() > 0, "network must not be empty");
+    assert!(params.num_keywords > 0, "queries need at least one keyword");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let side = (params.area_km2 * 1.0e6).sqrt();
+    let mut queries = Vec::with_capacity(params.num_queries);
+    let max_attempts = 50;
+    for _ in 0..params.num_queries {
+        let mut chosen: Option<GeneratedQuery> = None;
+        for _ in 0..max_attempts {
+            let center_node = NodeId(rng.gen_range(0..network.node_count() as u32));
+            let rect = Rect::centered_square(network.point(center_node), side);
+            // Collect term frequencies of objects inside the rectangle.
+            let mut term_freq: HashMap<&str, u32> = HashMap::new();
+            for o in collection.objects() {
+                if rect.contains(&o.point) {
+                    for (term, &tf) in &o.terms {
+                        *term_freq.entry(term.as_str()).or_insert(0) += tf;
+                    }
+                }
+            }
+            if term_freq.is_empty() {
+                continue;
+            }
+            let keywords = sample_keywords(&mut rng, &term_freq, params.num_keywords);
+            chosen = Some(GeneratedQuery {
+                keywords,
+                delta: km(params.delta_km),
+                rect,
+            });
+            break;
+        }
+        if let Some(q) = chosen {
+            queries.push(q);
+        }
+    }
+    queries
+}
+
+/// Samples up to `count` distinct keywords proportionally to their frequency.
+fn sample_keywords(
+    rng: &mut StdRng,
+    term_freq: &HashMap<&str, u32>,
+    count: usize,
+) -> Vec<String> {
+    let mut pool: Vec<(&str, u32)> = term_freq.iter().map(|(&t, &f)| (t, f)).collect();
+    // Deterministic iteration order regardless of HashMap ordering.
+    pool.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut chosen = Vec::with_capacity(count);
+    for _ in 0..count.min(pool.len()) {
+        let total: u64 = pool.iter().map(|&(_, f)| f as u64).sum();
+        if total == 0 {
+            break;
+        }
+        let mut draw = rng.gen_range(0..total);
+        let mut pick = 0usize;
+        for (i, &(_, f)) in pool.iter().enumerate() {
+            if draw < f as u64 {
+                pick = i;
+                break;
+            }
+            draw -= f as u64;
+        }
+        let (term, _) = pool.remove(pick);
+        chosen.push(term.to_string());
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keywords::KeywordModel;
+    use crate::network::{ny_like, NetworkScale};
+    use crate::objects::{generate_objects, ObjectGenParams};
+    use lcmsr_geotext::collection::ObjectCollection;
+
+    fn dataset() -> (RoadNetwork, ObjectCollection) {
+        let network = ny_like(NetworkScale::Tiny, 5).unwrap();
+        let kw = KeywordModel::new(200, 1.0);
+        let generated = generate_objects(
+            &network,
+            &kw,
+            &ObjectGenParams {
+                count: 800,
+                seed: 2,
+                ..ObjectGenParams::default()
+            },
+        );
+        let collection = ObjectCollection::build(&network, generated.objects, 300.0).unwrap();
+        (network, collection)
+    }
+
+    #[test]
+    fn generates_requested_number_of_queries() {
+        let (network, collection) = dataset();
+        let params = QueryGenParams {
+            num_queries: 10,
+            num_keywords: 3,
+            area_km2: 2.0,
+            delta_km: 1.0,
+            seed: 7,
+        };
+        let queries = generate_queries(&network, &collection, &params);
+        assert_eq!(queries.len(), 10);
+        for q in &queries {
+            assert!(!q.keywords.is_empty() && q.keywords.len() <= 3);
+            assert!((q.rect.area_km2() - 2.0).abs() < 1e-6);
+            assert_eq!(q.delta, 1000.0);
+        }
+    }
+
+    #[test]
+    fn queries_have_relevant_objects_in_area() {
+        let (network, collection) = dataset();
+        let params = QueryGenParams {
+            num_queries: 8,
+            num_keywords: 2,
+            area_km2: 1.5,
+            delta_km: 1.0,
+            seed: 13,
+        };
+        let queries = generate_queries(&network, &collection, &params);
+        for q in &queries {
+            let weights = collection.node_weights_for_keywords(&q.keywords, &q.rect);
+            assert!(
+                !weights.is_empty(),
+                "query {:?} has no relevant node in its area",
+                q.keywords
+            );
+        }
+    }
+
+    #[test]
+    fn keyword_count_respects_parameter() {
+        let (network, collection) = dataset();
+        for k in 1..=5 {
+            let params = QueryGenParams {
+                num_queries: 4,
+                num_keywords: k,
+                area_km2: 3.0,
+                delta_km: 1.0,
+                seed: 21 + k as u64,
+            };
+            let queries = generate_queries(&network, &collection, &params);
+            for q in &queries {
+                assert!(q.keywords.len() <= k);
+                assert!(!q.keywords.is_empty());
+                // keywords are distinct
+                let mut sorted = q.keywords.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), q.keywords.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (network, collection) = dataset();
+        let params = QueryGenParams {
+            num_queries: 6,
+            seed: 33,
+            area_km2: 2.0,
+            delta_km: 1.0,
+            num_keywords: 3,
+        };
+        let a = generate_queries(&network, &collection, &params);
+        let b = generate_queries(&network, &collection, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn zero_keywords_panics() {
+        let (network, collection) = dataset();
+        let params = QueryGenParams {
+            num_keywords: 0,
+            ..QueryGenParams::default()
+        };
+        let _ = generate_queries(&network, &collection, &params);
+    }
+}

@@ -1,0 +1,142 @@
+//! Zipf-distributed sampling.
+//!
+//! Keyword frequencies in both of the paper's corpora (Google Places category
+//! terms, Flickr tags) are heavily skewed: a few terms ("restaurant", "food",
+//! "newyork") dominate while most terms are rare.  A Zipf distribution over
+//! term ranks reproduces that skew for the synthetic corpora.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to `1/(k+1)^s`.
+/// Sampling uses the precomputed cumulative distribution and a binary search,
+/// so each draw is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is not finite and non-negative.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf, exponent }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (never true: `new` requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of drawing rank `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn bad_exponent_panics() {
+        let _ = Zipf::new(10, f64::NAN);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(100, 1.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+        assert_eq!(z.exponent(), 1.0);
+        let total: f64 = (0..100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.probability(k) <= z.probability(k - 1) + 1e-12);
+        }
+        assert_eq!(z.probability(1000), 0.0);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_skew() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate and every sampled rank must be valid.
+        assert!(counts[0] > counts[10] && counts[0] > counts[49]);
+        assert!(counts[0] as f64 / 20_000.0 > z.probability(0) * 0.8);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(20, 1.0);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! A paged B⁺-tree.
+//!
+//! The paper stores each grid cell's inverted lists in a disk-based B⁺-tree
+//! ("The inverted lists may not fit in memory, and we use a disk-based B+-tree
+//! to index them for each grid cell").  This module implements the same
+//! structure as an explicitly paged tree: nodes live in a page table indexed by
+//! [`PageId`], leaves are chained for range scans, and the tree tracks how many
+//! pages were touched by each operation so experiments can report simulated
+//! I/O.  Pages are kept in memory here (the machine substitute for a disk
+//! file), but the layout and access pattern match an on-disk implementation.
+//!
+//! Only insertion, point lookup, range scans and full scans are provided —
+//! exactly the operations the LCMSR indexing layer needs.
+
+use crate::error::{GeoTextError, Result};
+use std::cell::Cell;
+use std::fmt::Debug;
+
+/// Identifier of a page in the page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Default number of entries per page; chosen so that a page of term-id keys
+/// and postings-pointer values is in the ballpark of a 4 KiB disk page.
+pub const DEFAULT_PAGE_CAPACITY: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Page<K, V> {
+    Internal {
+        /// Separator keys; `children.len() == keys.len() + 1`.
+        keys: Vec<K>,
+        children: Vec<PageId>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<PageId>,
+    },
+}
+
+/// A paged B⁺-tree mapping ordered keys to values.
+///
+/// `K` must be orderable and cloneable; `V` cloneable.  Duplicate keys are not
+/// allowed: inserting an existing key replaces its value.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    pages: Vec<Page<K, V>>,
+    root: PageId,
+    len: usize,
+    capacity: usize,
+    /// Number of pages read since construction (interior mutability so reads
+    /// can be counted on `&self` methods, mimicking a buffer-manager counter).
+    pages_read: Cell<u64>,
+    /// Number of pages written (created or modified) since construction.
+    pages_written: u64,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
+    /// Creates an empty tree with the default page capacity.
+    pub fn new() -> Self {
+        Self::with_page_capacity(DEFAULT_PAGE_CAPACITY).expect("default capacity is valid")
+    }
+
+    /// Creates an empty tree whose pages hold at most `capacity` entries.
+    ///
+    /// The capacity must be at least 4 so that splits produce non-degenerate pages.
+    pub fn with_page_capacity(capacity: usize) -> Result<Self> {
+        if capacity < 4 {
+            return Err(GeoTextError::InvalidPageSize { capacity });
+        }
+        let pages = vec![Page::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: None,
+        }];
+        Ok(BPlusTree {
+            pages,
+            root: PageId(0),
+            len: 0,
+            capacity,
+            pages_read: Cell::new(0),
+            pages_written: 1,
+        })
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages allocated (leaves + internal nodes).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut page = self.root;
+        loop {
+            match &self.pages[page.index()] {
+                Page::Internal { children, .. } => {
+                    page = children[0];
+                    h += 1;
+                }
+                Page::Leaf { .. } => return h,
+            }
+        }
+    }
+
+    /// Total pages read by lookups/scans since construction (simulated I/O).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.get()
+    }
+
+    /// Total pages written by inserts since construction (simulated I/O).
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+
+    fn note_read(&self) {
+        self.pages_read.set(self.pages_read.get() + 1);
+    }
+
+    /// Finds the leaf page that should contain `key`, recording the root-to-leaf path.
+    fn find_leaf(&self, key: &K) -> (PageId, Vec<PageId>) {
+        let mut path = Vec::new();
+        let mut page = self.root;
+        loop {
+            self.note_read();
+            match &self.pages[page.index()] {
+                Page::Internal { keys, children } => {
+                    path.push(page);
+                    let idx = keys.partition_point(|k| k <= key);
+                    page = children[idx];
+                }
+                Page::Leaf { .. } => return (page, path),
+            }
+        }
+    }
+
+    /// Returns the value stored for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let (leaf, _) = self.find_leaf(key);
+        match &self.pages[leaf.index()] {
+            Page::Leaf { keys, values, .. } => keys
+                .binary_search(key)
+                .ok()
+                .map(|i| &values[i]),
+            Page::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Whether the tree contains `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, replacing and returning any previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (leaf, path) = self.find_leaf(&key);
+        self.pages_written += 1;
+        let (old, split) = match &mut self.pages[leaf.index()] {
+            Page::Leaf { keys, values, next } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut values[i], value);
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() > self.capacity {
+                            // Split the leaf in half.
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_values = values.split_off(mid);
+                            let sep = right_keys[0].clone();
+                            let old_next = *next;
+                            (None, Some((sep, right_keys, right_values, old_next)))
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Page::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right_keys, right_values, old_next)) = split {
+            let right_id = PageId(self.pages.len() as u32);
+            self.pages.push(Page::Leaf {
+                keys: right_keys,
+                values: right_values,
+                next: old_next,
+            });
+            self.pages_written += 1;
+            if let Page::Leaf { next, .. } = &mut self.pages[leaf.index()] {
+                *next = Some(right_id);
+            }
+            self.insert_into_parent(path, leaf, sep, right_id);
+        }
+        old
+    }
+
+    /// Propagates a split upwards: `sep` separates `left` (existing) from `right` (new).
+    fn insert_into_parent(&mut self, mut path: Vec<PageId>, left: PageId, sep: K, right: PageId) {
+        match path.pop() {
+            None => {
+                // The split page was the root; create a new root.
+                let new_root = PageId(self.pages.len() as u32);
+                self.pages.push(Page::Internal {
+                    keys: vec![sep],
+                    children: vec![left, right],
+                });
+                self.pages_written += 1;
+                self.root = new_root;
+            }
+            Some(parent) => {
+                self.pages_written += 1;
+                let split = match &mut self.pages[parent.index()] {
+                    Page::Internal { keys, children } => {
+                        let pos = children
+                            .iter()
+                            .position(|&c| c == left)
+                            .expect("left child must be present in parent");
+                        keys.insert(pos, sep);
+                        children.insert(pos + 1, right);
+                        if keys.len() > self.capacity {
+                            let mid = keys.len() / 2;
+                            let up_key = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop(); // remove up_key from the left node
+                            let right_children = children.split_off(mid + 1);
+                            Some((up_key, right_keys, right_children))
+                        } else {
+                            None
+                        }
+                    }
+                    Page::Leaf { .. } => unreachable!("path contains only internal pages"),
+                };
+                if let Some((up_key, right_keys, right_children)) = split {
+                    let new_right = PageId(self.pages.len() as u32);
+                    self.pages.push(Page::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    });
+                    self.pages_written += 1;
+                    self.insert_into_parent(path, parent, up_key, new_right);
+                }
+            }
+        }
+    }
+
+    /// Iterates over all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.range_from(None)
+    }
+
+    /// Iterates over all pairs with `key >= start` (or all pairs when `start` is
+    /// `None`) in key order.
+    fn range_from(&self, start: Option<&K>) -> BTreeIter<'_, K, V> {
+        // Find the left-most relevant leaf.
+        let mut page = self.root;
+        loop {
+            self.note_read();
+            match &self.pages[page.index()] {
+                Page::Internal { keys, children } => {
+                    let idx = match start {
+                        Some(k) => keys.partition_point(|key| key <= k),
+                        None => 0,
+                    };
+                    page = children[idx];
+                }
+                Page::Leaf { keys, .. } => {
+                    let idx = match start {
+                        Some(k) => keys.partition_point(|key| key < k),
+                        None => 0,
+                    };
+                    return BTreeIter {
+                        tree: self,
+                        leaf: Some(page),
+                        offset: idx,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Iterates over all pairs with `start <= key <= end` in key order.
+    pub fn range(&self, start: &K, end: &K) -> impl Iterator<Item = (&K, &V)> + '_ {
+        let end = end.clone();
+        self.range_from(Some(start))
+            .take_while(move |(k, _)| **k <= end)
+    }
+
+    /// The smallest key in the tree, if any.
+    pub fn min_key(&self) -> Option<&K> {
+        self.iter().next().map(|(k, _)| k)
+    }
+
+    /// The largest key in the tree, if any.
+    pub fn max_key(&self) -> Option<&K> {
+        // Descend along the right-most children.
+        let mut page = self.root;
+        loop {
+            self.note_read();
+            match &self.pages[page.index()] {
+                Page::Internal { children, .. } => page = *children.last().unwrap(),
+                Page::Leaf { keys, .. } => return keys.last(),
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over leaf chains.
+struct BTreeIter<'t, K, V> {
+    tree: &'t BPlusTree<K, V>,
+    leaf: Option<PageId>,
+    offset: usize,
+}
+
+impl<'t, K: Ord + Clone + Debug, V: Clone> Iterator for BTreeIter<'t, K, V> {
+    type Item = (&'t K, &'t V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            match &self.tree.pages[leaf.index()] {
+                Page::Leaf { keys, values, next } => {
+                    if self.offset < keys.len() {
+                        let item = (&keys[self.offset], &values[self.offset]);
+                        self.offset += 1;
+                        return Some(item);
+                    }
+                    self.tree.note_read();
+                    self.leaf = *next;
+                    self.offset = 0;
+                }
+                Page::Internal { .. } => unreachable!("leaf chain contains only leaves"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn rejects_tiny_page_capacity() {
+        assert!(matches!(
+            BPlusTree::<u32, u32>::with_page_capacity(3),
+            Err(GeoTextError::InvalidPageSize { capacity: 3 })
+        ));
+        assert!(BPlusTree::<u32, u32>::with_page_capacity(4).is_ok());
+    }
+
+    #[test]
+    fn insert_get_and_replace() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(10u32, "a"), None);
+        assert_eq!(t.insert(20, "b"), None);
+        assert_eq!(t.insert(10, "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&10), Some(&"c"));
+        assert_eq!(t.get(&20), Some(&"b"));
+        assert_eq!(t.get(&30), None);
+        assert!(t.contains_key(&20));
+        assert!(!t.contains_key(&99));
+    }
+
+    #[test]
+    fn splits_grow_the_tree() {
+        let mut t = BPlusTree::with_page_capacity(4).unwrap();
+        for i in 0..100u32 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert!(t.page_count() > 10);
+        for i in 0..100u32 {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(t.min_key(), Some(&0));
+        assert_eq!(t.max_key(), Some(&99));
+    }
+
+    #[test]
+    fn reverse_and_interleaved_insert_orders() {
+        let mut t = BPlusTree::with_page_capacity(4).unwrap();
+        for i in (0..50u32).rev() {
+            t.insert(i, i);
+        }
+        for i in (50..100u32).step_by(2) {
+            t.insert(i, i);
+        }
+        for i in (51..100u32).step_by(2) {
+            t.insert(i, i);
+        }
+        let collected: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u32> = (0..100).collect();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn iteration_is_in_key_order() {
+        let mut t = BPlusTree::with_page_capacity(4).unwrap();
+        let keys = [17u32, 3, 99, 42, 8, 56, 23, 71, 64, 12, 5, 88];
+        for &k in &keys {
+            t.insert(k, k as u64);
+        }
+        let collected: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        let mut expected = keys.to_vec();
+        expected.sort_unstable();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn range_scan_is_inclusive() {
+        let mut t = BPlusTree::with_page_capacity(4).unwrap();
+        for i in 0..50u32 {
+            t.insert(i, ());
+        }
+        let got: Vec<u32> = t.range(&10, &20).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..=20).collect::<Vec<_>>());
+        let empty: Vec<u32> = t.range(&60, &70).map(|(k, _)| *k).collect();
+        assert!(empty.is_empty());
+        let single: Vec<u32> = t.range(&5, &5).map(|(k, _)| *k).collect();
+        assert_eq!(single, vec![5]);
+    }
+
+    #[test]
+    fn io_counters_increase() {
+        let mut t = BPlusTree::with_page_capacity(4).unwrap();
+        for i in 0..200u32 {
+            t.insert(i, i);
+        }
+        let written = t.pages_written();
+        assert!(written >= 200, "writes {written}");
+        let before = t.pages_read();
+        let _ = t.get(&150);
+        assert!(t.pages_read() > before);
+    }
+
+    #[test]
+    fn empty_tree_edge_cases() {
+        let t: BPlusTree<u32, u32> = BPlusTree::new();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t: BPlusTree<String, u32> = BPlusTree::with_page_capacity(4).unwrap();
+        for term in ["restaurant", "cafe", "bar", "museum", "pizza", "sushi"] {
+            t.insert(term.to_string(), term.len() as u32);
+        }
+        assert_eq!(t.get(&"cafe".to_string()), Some(&4));
+        let first = t.iter().next().unwrap().0.clone();
+        assert_eq!(first, "bar");
+    }
+
+    proptest! {
+        /// The B+-tree behaves exactly like std's BTreeMap for inserts, point
+        /// lookups and ordered iteration, across page capacities.
+        #[test]
+        fn behaves_like_btreemap(
+            ops in proptest::collection::vec((0u16..500, 0u32..1000), 1..400),
+            capacity in 4usize..32,
+        ) {
+            let mut tree = BPlusTree::with_page_capacity(capacity).unwrap();
+            let mut reference = BTreeMap::new();
+            for (k, v) in ops {
+                let expected = reference.insert(k, v);
+                let got = tree.insert(k, v);
+                prop_assert_eq!(got, expected);
+            }
+            prop_assert_eq!(tree.len(), reference.len());
+            for (k, v) in &reference {
+                prop_assert_eq!(tree.get(k), Some(v));
+            }
+            let tree_items: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+            let ref_items: Vec<(u16, u32)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(tree_items, ref_items);
+        }
+
+        /// Range scans agree with BTreeMap range scans.
+        #[test]
+        fn range_matches_btreemap(
+            keys in proptest::collection::btree_set(0u16..300, 0..150),
+            lo in 0u16..300,
+            hi in 0u16..300,
+        ) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let mut tree = BPlusTree::with_page_capacity(6).unwrap();
+            let mut reference = BTreeMap::new();
+            for &k in &keys {
+                tree.insert(k, k as u64);
+                reference.insert(k, k as u64);
+            }
+            let got: Vec<u16> = tree.range(&lo, &hi).map(|(k, _)| *k).collect();
+            let expected: Vec<u16> = reference.range(lo..=hi).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! [`ObjectCollection`]: the assembled geo-textual data set.
+//!
+//! A collection owns the objects, the corpus vocabulary, the spatial grid
+//! index with per-cell inverted lists, and the object→road-node mapping.  It is
+//! the query-time entry point that turns a set of query keywords plus a region
+//! of interest into *node weights* — the `σ_v` values the LCMSR algorithms
+//! consume.
+
+use crate::error::Result;
+use crate::grid::GridIndex;
+use crate::mapping::map_points_to_nodes;
+use crate::object::{GeoTextObject, ObjectId};
+use crate::vocab::{TermId, Vocabulary};
+use crate::vsm::QueryVector;
+use lcmsr_roadnet::geo::Rect;
+use lcmsr_roadnet::graph::RoadNetwork;
+use lcmsr_roadnet::node::NodeId;
+use std::collections::HashMap;
+
+/// Default grid cell size in metres (roughly a city block neighbourhood).
+pub const DEFAULT_CELL_SIZE: f64 = 500.0;
+
+/// Per-node relevance weights for one query (the `σ_v` of the paper), together
+/// with per-object scores for inspection.
+#[derive(Debug, Clone, Default)]
+pub struct NodeWeights {
+    /// Relevance weight per node; only nodes with a positive weight appear.
+    pub by_node: HashMap<NodeId, f64>,
+    /// Relevance score per matching object.
+    pub by_object: HashMap<ObjectId, f64>,
+}
+
+impl NodeWeights {
+    /// Weight of a node (0 if it hosts no relevant object).
+    pub fn weight(&self, node: NodeId) -> f64 {
+        self.by_node.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// The largest node weight (`σ_max`), or 0 when no node is relevant.
+    pub fn max_weight(&self) -> f64 {
+        self.by_node.values().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Number of nodes with a positive weight.
+    pub fn relevant_node_count(&self) -> usize {
+        self.by_node.len()
+    }
+
+    /// Total weight over all relevant nodes.
+    pub fn total_weight(&self) -> f64 {
+        self.by_node.values().sum()
+    }
+
+    /// Whether no node is relevant to the query.
+    pub fn is_empty(&self) -> bool {
+        self.by_node.is_empty()
+    }
+}
+
+/// A complete geo-textual data set bound to a road network.
+#[derive(Debug, Clone)]
+pub struct ObjectCollection {
+    objects: Vec<GeoTextObject>,
+    vocabulary: Vocabulary,
+    grid: GridIndex,
+    /// Node each object is mapped to, aligned with `objects`.
+    object_nodes: Vec<NodeId>,
+    /// Objects hosted by each node.
+    node_objects: HashMap<NodeId, Vec<ObjectId>>,
+    /// Position of each object id in `objects` (ids need not be dense).
+    object_index: HashMap<ObjectId, usize>,
+}
+
+impl ObjectCollection {
+    /// Builds a collection: registers every object in the vocabulary, inserts
+    /// it into the grid index, and maps it to its nearest road-network node.
+    ///
+    /// Objects with empty descriptions or locations outside the network's
+    /// bounding box (expanded by one cell) are skipped rather than rejected, so
+    /// noisy synthetic or crawled data does not abort the build; the number of
+    /// skipped objects is available via [`ObjectCollection::skipped_objects`].
+    pub fn build(
+        network: &RoadNetwork,
+        objects: Vec<GeoTextObject>,
+        cell_size: f64,
+    ) -> Result<Self> {
+        let extent = network
+            .bounding_rect()
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0))
+            .expanded(cell_size.max(1.0));
+        let mut grid = GridIndex::new(extent, cell_size)?;
+        let mut vocabulary = Vocabulary::new();
+        let mut kept: Vec<GeoTextObject> = Vec::with_capacity(objects.len());
+        for o in objects {
+            if o.is_empty() || !o.point.is_finite() || !extent.contains(&o.point) {
+                continue;
+            }
+            vocabulary.register_document(o.terms.keys().map(|s| s.as_str()));
+            kept.push(o);
+        }
+        for o in &kept {
+            grid.insert(&mut vocabulary, o)?;
+        }
+        let points: Vec<_> = kept.iter().map(|o| o.point).collect();
+        let object_nodes = if kept.is_empty() {
+            Vec::new()
+        } else {
+            map_points_to_nodes(network, &points)
+        };
+        let mut node_objects: HashMap<NodeId, Vec<ObjectId>> = HashMap::new();
+        let mut object_index = HashMap::with_capacity(kept.len());
+        for (i, o) in kept.iter().enumerate() {
+            object_index.insert(o.id, i);
+            node_objects.entry(object_nodes[i]).or_default().push(o.id);
+        }
+        Ok(ObjectCollection {
+            objects: kept,
+            vocabulary,
+            grid,
+            object_nodes,
+            node_objects,
+            object_index,
+        })
+    }
+
+    /// Builds a collection with the default grid cell size.
+    pub fn build_default(network: &RoadNetwork, objects: Vec<GeoTextObject>) -> Result<Self> {
+        Self::build(network, objects, DEFAULT_CELL_SIZE)
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the collection holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The indexed objects.
+    pub fn objects(&self) -> &[GeoTextObject] {
+        &self.objects
+    }
+
+    /// The corpus vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The spatial grid index.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Number of distinct keywords in the corpus.
+    pub fn keyword_count(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// The node an object is mapped to, if the object exists.
+    pub fn node_of(&self, object: ObjectId) -> Option<NodeId> {
+        self.object_index
+            .get(&object)
+            .map(|&i| self.object_nodes[i])
+    }
+
+    /// Objects hosted by a node.
+    pub fn objects_at(&self, node: NodeId) -> &[ObjectId] {
+        self.node_objects
+            .get(&node)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// An object by id.
+    pub fn object(&self, id: ObjectId) -> Option<&GeoTextObject> {
+        self.object_index.get(&id).map(|&i| &self.objects[i])
+    }
+
+    /// Builds the query vector for a set of keywords against this corpus.
+    pub fn query_vector(&self, keywords: &[impl AsRef<str>]) -> QueryVector {
+        QueryVector::new(&self.vocabulary, keywords)
+    }
+
+    /// Computes per-node relevance weights (`σ_v`) for a query restricted to
+    /// the region of interest `Q.Λ` given by `rect`.
+    ///
+    /// Implementation follows the paper: the grid index retrieves the postings
+    /// lists for the query keywords from the cells intersecting the rectangle
+    /// (Equation 2), per-object scores are normalised by the query norm, objects
+    /// outside the rectangle are discarded, and each object's score is added to
+    /// the node it is mapped to.
+    pub fn node_weights(&self, query: &QueryVector, rect: &Rect) -> NodeWeights {
+        let mut weights = NodeWeights::default();
+        if query.norm == 0.0 {
+            return weights;
+        }
+        let query_terms: Vec<(TermId, f64)> = query
+            .terms
+            .iter()
+            .filter_map(|t| t.id.map(|id| (id, t.weight)))
+            .collect();
+        let partials = self.grid.accumulate_scores_in_rect(rect, &query_terms);
+        for (object_id, partial) in partials {
+            let Some(&idx) = self.object_index.get(&object_id) else {
+                continue;
+            };
+            let object = &self.objects[idx];
+            if !rect.contains(&object.point) {
+                continue; // the cell overlapped Q.Λ but the object itself is outside
+            }
+            let score = partial / query.norm;
+            if score <= 0.0 {
+                continue;
+            }
+            weights.by_object.insert(object_id, score);
+            *weights.by_node.entry(self.object_nodes[idx]).or_insert(0.0) += score;
+        }
+        weights
+    }
+
+    /// Convenience wrapper: computes node weights from raw keyword strings.
+    pub fn node_weights_for_keywords(
+        &self,
+        keywords: &[impl AsRef<str>],
+        rect: &Rect,
+    ) -> NodeWeights {
+        let q = self.query_vector(keywords);
+        self.node_weights(&q, rect)
+    }
+
+    /// The alternative scoring strategy of Section 2 of the paper: an object's
+    /// score is its rating/popularity when it matches at least one query
+    /// keyword, and zero otherwise, so the region score represents the
+    /// popularity of a relevant region.  Objects without a rating count as
+    /// `default_rating`.
+    pub fn node_weights_by_rating(
+        &self,
+        keywords: &[impl AsRef<str>],
+        rect: &Rect,
+        default_rating: f64,
+    ) -> NodeWeights {
+        let mut weights = NodeWeights::default();
+        let normalized: Vec<String> = keywords
+            .iter()
+            .map(|k| crate::object::normalize_term(k.as_ref()))
+            .filter(|k| !k.is_empty())
+            .collect();
+        if normalized.is_empty() {
+            return weights;
+        }
+        for (i, object) in self.objects.iter().enumerate() {
+            if !rect.contains(&object.point) {
+                continue;
+            }
+            let matches = normalized.iter().any(|k| object.contains_term(k));
+            if !matches {
+                continue;
+            }
+            let score = object.rating.unwrap_or(default_rating).max(0.0);
+            if score <= 0.0 {
+                continue;
+            }
+            weights.by_object.insert(object.id, score);
+            *weights.by_node.entry(self.object_nodes[i]).or_insert(0.0) += score;
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmsr_roadnet::builder::GraphBuilder;
+    use lcmsr_roadnet::geo::Point;
+
+    fn network_and_objects() -> (RoadNetwork, Vec<GeoTextObject>) {
+        // A 5-node line network with 100 m segments.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(Point::new(i as f64 * 100.0, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 100.0).unwrap();
+        }
+        let network = b.build().unwrap();
+        let objects = vec![
+            GeoTextObject::from_keywords(0u64, Point::new(5.0, 5.0), ["restaurant", "italian"]),
+            GeoTextObject::from_keywords(1u64, Point::new(102.0, -3.0), ["restaurant", "pizza"]),
+            GeoTextObject::from_keywords(2u64, Point::new(108.0, 4.0), ["cafe"]),
+            GeoTextObject::from_keywords(3u64, Point::new(395.0, 0.0), ["restaurant"]),
+            GeoTextObject::from_keywords(4u64, Point::new(250.0, 2.0), Vec::<String>::new()),
+            GeoTextObject::from_keywords(5u64, Point::new(9999.0, 9999.0), ["restaurant"]),
+        ];
+        (network, objects)
+    }
+
+    #[test]
+    fn build_skips_unusable_objects() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        // The empty object and the far-away object are skipped.
+        assert_eq!(coll.len(), 4);
+        assert!(!coll.is_empty());
+        assert_eq!(coll.keyword_count(), 4);
+        assert!(coll.object(ObjectId(5)).is_none());
+        assert!(coll.object(ObjectId(0)).is_some());
+    }
+
+    #[test]
+    fn objects_map_to_nearest_nodes() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        assert_eq!(coll.node_of(ObjectId(0)), Some(NodeId(0)));
+        assert_eq!(coll.node_of(ObjectId(1)), Some(NodeId(1)));
+        assert_eq!(coll.node_of(ObjectId(2)), Some(NodeId(1)));
+        assert_eq!(coll.node_of(ObjectId(3)), Some(NodeId(4)));
+        assert_eq!(coll.objects_at(NodeId(1)).len(), 2);
+        assert!(coll.objects_at(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn node_weights_sum_object_scores_per_node() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let q = coll.query_vector(&["restaurant"]);
+        let w = coll.node_weights(&q, &rect);
+        assert_eq!(w.relevant_node_count(), 3); // nodes 0, 1, 4
+        assert!(w.weight(NodeId(0)) > 0.0);
+        assert!(w.weight(NodeId(1)) > 0.0);
+        assert!(w.weight(NodeId(4)) > 0.0);
+        assert_eq!(w.weight(NodeId(2)), 0.0);
+        // Object 3 has the single keyword "restaurant" → its score is maximal,
+        // so node 4 carries the largest weight among single-object nodes.
+        assert!(w.weight(NodeId(4)) >= w.weight(NodeId(0)));
+        assert!(w.max_weight() > 0.0);
+        assert!((w.total_weight() - w.by_node.values().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_weights_respect_query_rectangle() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        // Rectangle covering only the first two nodes' surroundings.
+        let rect = Rect::new(-20.0, -20.0, 150.0, 20.0);
+        let w = coll.node_weights_for_keywords(&["restaurant"], &rect);
+        assert!(w.weight(NodeId(0)) > 0.0);
+        assert!(w.weight(NodeId(1)) > 0.0);
+        assert_eq!(w.weight(NodeId(4)), 0.0, "object outside Q.Λ must not count");
+    }
+
+    #[test]
+    fn irrelevant_or_unknown_queries_give_empty_weights() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let w = coll.node_weights_for_keywords(&["spaceship"], &rect);
+        assert!(w.is_empty());
+        assert_eq!(w.max_weight(), 0.0);
+        let w = coll.node_weights_for_keywords(&Vec::<String>::new(), &rect);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn multi_keyword_queries_score_multi_matching_objects_higher() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let w = coll.node_weights_for_keywords(&["restaurant", "pizza"], &rect);
+        // Object 1 (restaurant+pizza) on node 1 scores higher than object 0
+        // (restaurant+italian) on node 0.
+        let s1 = w.by_object.get(&ObjectId(1)).copied().unwrap_or(0.0);
+        let s0 = w.by_object.get(&ObjectId(0)).copied().unwrap_or(0.0);
+        assert!(s1 > s0);
+    }
+
+    #[test]
+    fn rating_based_scoring_uses_ratings_of_matching_objects() {
+        let (network, mut objects) = network_and_objects();
+        // Give two relevant objects explicit ratings.
+        objects[0] = objects[0].clone().with_rating(4.5); // restaurant at node 0
+        objects[3] = objects[3].clone().with_rating(2.0); // restaurant at node 4
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let w = coll.node_weights_by_rating(&["restaurant"], &rect, 1.0);
+        assert!((w.weight(NodeId(0)) - 4.5).abs() < 1e-12);
+        assert!((w.weight(NodeId(4)) - 2.0).abs() < 1e-12);
+        // Object 1 (restaurant, no rating) falls back to the default rating.
+        assert!((w.weight(NodeId(1)) - 1.0).abs() < 1e-12);
+        // The cafe does not match and contributes nothing.
+        assert!(!w.by_object.contains_key(&ObjectId(2)));
+        // No keywords → empty; unknown keywords → empty.
+        assert!(coll
+            .node_weights_by_rating(&Vec::<String>::new(), &rect, 1.0)
+            .is_empty());
+        assert!(coll
+            .node_weights_by_rating(&["spaceship"], &rect, 1.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn build_default_uses_default_cell_size() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build_default(&network, objects).unwrap();
+        assert!(coll.grid().cell_size() == DEFAULT_CELL_SIZE);
+        assert_eq!(coll.len(), 4);
+    }
+}

@@ -1,0 +1,314 @@
+//! The uniform spatial grid index of Section 3.
+//!
+//! "We use a grid index to organize the geo-textual objects.  We partition the
+//! entire space according to a uniform grid, and each object is stored in the
+//! grid cell that its point location belongs to.  In each grid cell, we
+//! maintain an inverted list with the keywords of the objects stored in this
+//! cell."
+//!
+//! [`GridIndex`] partitions the bounding extent into square cells of a
+//! configurable size; each cell holds its objects' ids plus an
+//! [`InvertedIndex`] backed by the paged B⁺-tree.
+
+use crate::error::{GeoTextError, Result};
+use crate::inverted::InvertedIndex;
+use crate::object::{GeoTextObject, ObjectId};
+use crate::vocab::{TermId, Vocabulary};
+use lcmsr_roadnet::geo::{Point, Rect};
+use std::collections::HashMap;
+
+/// Identifier of a grid cell as (column, row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellId {
+    /// Column index (x direction).
+    pub col: u32,
+    /// Row index (y direction).
+    pub row: u32,
+}
+
+/// One cell of the grid: the objects whose location falls inside it and the
+/// cell-local inverted index over their keywords.
+#[derive(Debug, Clone, Default)]
+pub struct GridCell {
+    /// Ids of the objects stored in this cell.
+    pub objects: Vec<ObjectId>,
+    /// Inverted lists over the cell's objects.
+    pub inverted: InvertedIndex,
+}
+
+/// A uniform grid index over geo-textual objects.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    extent: Rect,
+    cell_size: f64,
+    cols: u32,
+    rows: u32,
+    cells: HashMap<CellId, GridCell>,
+    object_count: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty grid over `extent` with square cells of `cell_size` metres.
+    pub fn new(extent: Rect, cell_size: f64) -> Result<Self> {
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(GeoTextError::InvalidGridConfig {
+                message: format!("cell size must be positive, got {cell_size}"),
+            });
+        }
+        if extent.width() <= 0.0 || extent.height() <= 0.0 {
+            return Err(GeoTextError::InvalidGridConfig {
+                message: "extent must have positive width and height".into(),
+            });
+        }
+        let cols = (extent.width() / cell_size).ceil().max(1.0) as u32;
+        let rows = (extent.height() / cell_size).ceil().max(1.0) as u32;
+        Ok(GridIndex {
+            extent,
+            cell_size,
+            cols,
+            rows,
+            cells: HashMap::new(),
+            object_count: 0,
+        })
+    }
+
+    /// The extent covered by the grid.
+    pub fn extent(&self) -> Rect {
+        self.extent
+    }
+
+    /// The configured cell size in metres.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Grid dimensions as (columns, rows).
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.cols, self.rows)
+    }
+
+    /// Number of cells that contain at least one object.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total number of indexed objects.
+    pub fn object_count(&self) -> usize {
+        self.object_count
+    }
+
+    /// The cell id containing `p`, or `None` if `p` lies outside the extent.
+    pub fn cell_of(&self, p: &Point) -> Option<CellId> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let col = (((p.x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let row = (((p.y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        Some(CellId { col, row })
+    }
+
+    /// Rectangle covered by a cell.
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        let min_x = self.extent.min_x + cell.col as f64 * self.cell_size;
+        let min_y = self.extent.min_y + cell.row as f64 * self.cell_size;
+        Rect::new(
+            min_x,
+            min_y,
+            (min_x + self.cell_size).min(self.extent.max_x),
+            (min_y + self.cell_size).min(self.extent.max_y),
+        )
+    }
+
+    /// Inserts an object, interning its terms into `vocabulary`.
+    ///
+    /// Objects outside the grid extent or with non-finite coordinates are
+    /// rejected; objects with empty descriptions are rejected as well since
+    /// they can never contribute to a query result.
+    pub fn insert(&mut self, vocabulary: &mut Vocabulary, object: &GeoTextObject) -> Result<CellId> {
+        if !object.point.is_finite() {
+            return Err(GeoTextError::InvalidLocation { object: object.id.0 });
+        }
+        if object.is_empty() {
+            return Err(GeoTextError::EmptyDescription { object: object.id.0 });
+        }
+        let cell_id = self
+            .cell_of(&object.point)
+            .ok_or(GeoTextError::InvalidLocation { object: object.id.0 })?;
+        let cell = self.cells.entry(cell_id).or_default();
+        cell.objects.push(object.id);
+        cell.inverted.add_object(vocabulary, object);
+        self.object_count += 1;
+        Ok(cell_id)
+    }
+
+    /// The cell with the given id, if it holds any objects.
+    pub fn cell(&self, id: CellId) -> Option<&GridCell> {
+        self.cells.get(&id)
+    }
+
+    /// Ids of the occupied cells whose rectangle intersects `rect`.
+    pub fn cells_intersecting(&self, rect: &Rect) -> Vec<CellId> {
+        let clipped = match self.extent.intersection(rect) {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        let col_lo = (((clipped.min_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let col_hi = (((clipped.max_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let row_lo = (((clipped.min_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        let row_hi = (((clipped.max_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        let mut out = Vec::new();
+        for col in col_lo..=col_hi {
+            for row in row_lo..=row_hi {
+                let id = CellId { col, row };
+                if self.cells.contains_key(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Accumulates Equation-2 partial scores `Σ w_{Q.ψ,t}·wto(t)` for every
+    /// object located in a cell intersecting `rect`.  The caller divides by the
+    /// query norm and filters objects that fall outside `rect` itself (cells
+    /// only approximate the rectangle).
+    pub fn accumulate_scores_in_rect(
+        &self,
+        rect: &Rect,
+        query_terms: &[(TermId, f64)],
+    ) -> HashMap<ObjectId, f64> {
+        let mut acc = HashMap::new();
+        for cell_id in self.cells_intersecting(rect) {
+            if let Some(cell) = self.cells.get(&cell_id) {
+                for (obj, partial) in cell.inverted.accumulate_scores(query_terms) {
+                    *acc.entry(obj).or_insert(0.0) += partial;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_objects() -> Vec<GeoTextObject> {
+        vec![
+            GeoTextObject::from_keywords(0u64, Point::new(50.0, 50.0), ["restaurant"]),
+            GeoTextObject::from_keywords(1u64, Point::new(150.0, 50.0), ["restaurant", "pizza"]),
+            GeoTextObject::from_keywords(2u64, Point::new(950.0, 950.0), ["cafe"]),
+            GeoTextObject::from_keywords(3u64, Point::new(450.0, 450.0), ["museum"]),
+        ]
+    }
+
+    fn build_grid() -> (GridIndex, Vocabulary) {
+        let extent = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut grid = GridIndex::new(extent, 100.0).unwrap();
+        let mut vocab = Vocabulary::new();
+        for o in make_objects() {
+            vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+            grid.insert(&mut vocab, &o).unwrap();
+        }
+        (grid, vocab)
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let extent = Rect::new(0.0, 0.0, 100.0, 100.0);
+        assert!(GridIndex::new(extent, 0.0).is_err());
+        assert!(GridIndex::new(extent, -5.0).is_err());
+        assert!(GridIndex::new(Rect::new(0.0, 0.0, 0.0, 10.0), 10.0).is_err());
+        assert!(GridIndex::new(extent, 10.0).is_ok());
+    }
+
+    #[test]
+    fn grid_dimensions_cover_extent() {
+        let grid = GridIndex::new(Rect::new(0.0, 0.0, 1050.0, 980.0), 100.0).unwrap();
+        assert_eq!(grid.dimensions(), (11, 10));
+        assert_eq!(grid.cell_size(), 100.0);
+    }
+
+    #[test]
+    fn objects_land_in_expected_cells() {
+        let (grid, _) = build_grid();
+        assert_eq!(grid.object_count(), 4);
+        assert_eq!(grid.occupied_cells(), 4);
+        assert_eq!(
+            grid.cell_of(&Point::new(50.0, 50.0)),
+            Some(CellId { col: 0, row: 0 })
+        );
+        assert_eq!(
+            grid.cell_of(&Point::new(150.0, 50.0)),
+            Some(CellId { col: 1, row: 0 })
+        );
+        // A point exactly on the max boundary clamps into the last cell.
+        assert_eq!(
+            grid.cell_of(&Point::new(1000.0, 1000.0)),
+            Some(CellId { col: 9, row: 9 })
+        );
+        assert_eq!(grid.cell_of(&Point::new(-1.0, 0.0)), None);
+        let cell = grid.cell(CellId { col: 0, row: 0 }).unwrap();
+        assert_eq!(cell.objects, vec![ObjectId(0)]);
+        assert_eq!(cell.inverted.object_count(), 1);
+    }
+
+    #[test]
+    fn cell_rect_tiles_the_extent() {
+        let (grid, _) = build_grid();
+        let r = grid.cell_rect(CellId { col: 1, row: 0 });
+        assert_eq!(r, Rect::new(100.0, 0.0, 200.0, 100.0));
+        let last = grid.cell_rect(CellId { col: 9, row: 9 });
+        assert_eq!(last.max_x, 1000.0);
+        assert_eq!(last.max_y, 1000.0);
+    }
+
+    #[test]
+    fn rejects_bad_objects() {
+        let (mut grid, mut vocab) = build_grid();
+        let outside = GeoTextObject::from_keywords(10u64, Point::new(5000.0, 0.0), ["bar"]);
+        assert!(matches!(
+            grid.insert(&mut vocab, &outside),
+            Err(GeoTextError::InvalidLocation { object: 10 })
+        ));
+        let empty = GeoTextObject::from_keywords(11u64, Point::new(10.0, 10.0), Vec::<String>::new());
+        assert!(matches!(
+            grid.insert(&mut vocab, &empty),
+            Err(GeoTextError::EmptyDescription { object: 11 })
+        ));
+        let nan = GeoTextObject::from_keywords(12u64, Point::new(f64::NAN, 10.0), ["bar"]);
+        assert!(matches!(
+            grid.insert(&mut vocab, &nan),
+            Err(GeoTextError::InvalidLocation { object: 12 })
+        ));
+    }
+
+    #[test]
+    fn cells_intersecting_finds_occupied_cells_only() {
+        let (grid, _) = build_grid();
+        let all = grid.cells_intersecting(&Rect::new(0.0, 0.0, 1000.0, 1000.0));
+        assert_eq!(all.len(), 4);
+        let corner = grid.cells_intersecting(&Rect::new(0.0, 0.0, 160.0, 90.0));
+        assert_eq!(corner.len(), 2);
+        let nothing = grid.cells_intersecting(&Rect::new(600.0, 0.0, 800.0, 200.0));
+        assert!(nothing.is_empty());
+        let outside = grid.cells_intersecting(&Rect::new(2000.0, 2000.0, 3000.0, 3000.0));
+        assert!(outside.is_empty());
+    }
+
+    #[test]
+    fn accumulate_scores_in_rect_limits_to_region() {
+        let (grid, vocab) = build_grid();
+        let restaurant = vocab.lookup("restaurant").unwrap();
+        let terms = vec![(restaurant, vocab.idf(restaurant))];
+        // Rectangle covering only the two restaurant cells.
+        let acc = grid.accumulate_scores_in_rect(&Rect::new(0.0, 0.0, 200.0, 100.0), &terms);
+        assert_eq!(acc.len(), 2);
+        assert!(acc.contains_key(&ObjectId(0)));
+        assert!(acc.contains_key(&ObjectId(1)));
+        // Whole space: still only restaurant matches, cafe/museum do not appear.
+        let acc_all = grid.accumulate_scores_in_rect(&Rect::new(0.0, 0.0, 1000.0, 1000.0), &terms);
+        assert_eq!(acc_all.len(), 2);
+        assert!(!acc_all.contains_key(&ObjectId(2)));
+    }
+}

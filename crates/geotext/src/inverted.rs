@@ -1,0 +1,231 @@
+//! Inverted lists over geo-textual objects.
+//!
+//! Following Section 3 of the paper, each grid cell maintains an inverted
+//! index with (a) a vocabulary of the distinct words appearing in the cell's
+//! objects and (b) a postings list per word holding `(object, wto(t))` pairs,
+//! where `wto(t) = w_{o.ψ,t} / W_{o.ψ}` is the precomputed normalised term
+//! weight.  The postings lists are stored in a paged [`BPlusTree`] keyed by
+//! term id, standing in for the paper's disk-based B⁺-tree.
+
+use crate::btree::BPlusTree;
+use crate::object::{GeoTextObject, ObjectId};
+use crate::vocab::{TermId, Vocabulary};
+use crate::vsm::{object_norm, tf_weight};
+use serde::{Deserialize, Serialize};
+
+/// One posting: an object containing the term, with its precomputed term weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The object whose description contains the term.
+    pub object: ObjectId,
+    /// Precomputed normalised term weight `wto(t)` of the term in that object.
+    pub weight: f64,
+}
+
+/// A postings list: all objects containing one term, in insertion order.
+pub type PostingsList = Vec<Posting>;
+
+/// An inverted index over a set of objects (typically the objects of one grid cell).
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// Term → postings, stored in a paged B⁺-tree (simulated disk index).
+    postings: BPlusTree<TermId, PostingsList>,
+    /// Number of objects indexed.
+    object_count: usize,
+}
+
+impl Default for InvertedIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InvertedIndex {
+    /// Creates an empty inverted index.
+    pub fn new() -> Self {
+        InvertedIndex {
+            postings: BPlusTree::new(),
+            object_count: 0,
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn object_count(&self) -> usize {
+        self.object_count
+    }
+
+    /// Number of distinct terms with a postings list.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total pages read from the simulated disk index so far.
+    pub fn pages_read(&self) -> u64 {
+        self.postings.pages_read()
+    }
+
+    /// Indexes one object: computes `wto(t)` for each of its terms and appends
+    /// a posting to each term's list.  Terms are interned into `vocabulary`.
+    ///
+    /// Objects with an empty description are ignored (they can never match a
+    /// query), mirroring the paper's assumption that indexed objects carry text.
+    pub fn add_object(&mut self, vocabulary: &mut Vocabulary, object: &GeoTextObject) {
+        if object.is_empty() {
+            return;
+        }
+        let norm = object_norm(object);
+        debug_assert!(norm > 0.0);
+        for (term, &tf) in &object.terms {
+            let id = vocabulary.intern(term);
+            let weight = tf_weight(tf) / norm;
+            let mut list = self.postings.get(&id).cloned().unwrap_or_default();
+            list.push(Posting {
+                object: object.id,
+                weight,
+            });
+            self.postings.insert(id, list);
+        }
+        self.object_count += 1;
+    }
+
+    /// Returns the postings list of a term, if any object contains it.
+    pub fn postings(&self, term: TermId) -> Option<&PostingsList> {
+        self.postings.get(&term)
+    }
+
+    /// Returns `(object, wto)` pairs for every object containing at least one of
+    /// the given terms, with one entry per (object, term) occurrence.
+    pub fn postings_for_terms<'a>(
+        &'a self,
+        terms: &'a [TermId],
+    ) -> impl Iterator<Item = (TermId, Posting)> + 'a {
+        terms.iter().flat_map(move |&t| {
+            self.postings(t)
+                .map(|list| list.iter().map(move |p| (t, *p)).collect::<Vec<_>>())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Accumulates, per object, the Equation-2 partial sums
+    /// `Σ_{t ∈ Q.ψ ∩ o.ψ} w_{Q.ψ,t} · wto(t)` for the supplied query terms and
+    /// their IDF weights.  The caller divides by the query norm `W_{Q.ψ}`.
+    pub fn accumulate_scores(
+        &self,
+        query_terms: &[(TermId, f64)],
+    ) -> std::collections::HashMap<ObjectId, f64> {
+        let mut acc = std::collections::HashMap::new();
+        for &(term, idf) in query_terms {
+            if idf == 0.0 {
+                continue;
+            }
+            if let Some(list) = self.postings(term) {
+                for p in list {
+                    *acc.entry(p.object).or_insert(0.0) += idf * p.weight;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsm::QueryVector;
+    use lcmsr_roadnet::geo::Point;
+
+    fn sample() -> (Vocabulary, InvertedIndex, Vec<GeoTextObject>) {
+        let mut vocab = Vocabulary::new();
+        let objects = vec![
+            GeoTextObject::from_keywords(0u64, Point::new(0.0, 0.0), ["restaurant", "italian"]),
+            GeoTextObject::from_keywords(1u64, Point::new(1.0, 0.0), ["restaurant", "pizza", "pizza"]),
+            GeoTextObject::from_keywords(2u64, Point::new(2.0, 0.0), ["cafe", "coffee"]),
+            GeoTextObject::from_keywords(3u64, Point::new(3.0, 0.0), Vec::<String>::new()),
+        ];
+        // Register documents first so IDF reflects the corpus, then index.
+        for o in &objects {
+            if !o.is_empty() {
+                vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+            }
+        }
+        let mut idx = InvertedIndex::new();
+        for o in &objects {
+            idx.add_object(&mut vocab, o);
+        }
+        (vocab, idx, objects)
+    }
+
+    #[test]
+    fn indexes_objects_and_terms() {
+        let (vocab, idx, _) = sample();
+        assert_eq!(idx.object_count(), 3); // the empty object is skipped
+        assert_eq!(idx.term_count(), 5);
+        let restaurant = vocab.lookup("restaurant").unwrap();
+        let list = idx.postings(restaurant).unwrap();
+        assert_eq!(list.len(), 2);
+        assert!(list.iter().all(|p| p.weight > 0.0 && p.weight <= 1.0));
+        let missing = vocab.lookup("museum");
+        assert!(missing.is_none());
+    }
+
+    #[test]
+    fn postings_weights_match_vsm() {
+        let (vocab, idx, objects) = sample();
+        let pizza = vocab.lookup("pizza").unwrap();
+        let list = idx.postings(pizza).unwrap();
+        assert_eq!(list.len(), 1);
+        let expected = crate::vsm::object_term_weight(&objects[1], "pizza");
+        assert!((list[0].weight - expected).abs() < 1e-12);
+        assert_eq!(list[0].object, ObjectId(1));
+    }
+
+    #[test]
+    fn accumulate_scores_matches_direct_scoring() {
+        let (vocab, idx, objects) = sample();
+        let q = QueryVector::new(&vocab, &["restaurant", "pizza"]);
+        let query_terms: Vec<(TermId, f64)> = q
+            .terms
+            .iter()
+            .filter_map(|t| t.id.map(|id| (id, t.weight)))
+            .collect();
+        let acc = idx.accumulate_scores(&query_terms);
+        for o in objects.iter().filter(|o| !o.is_empty()) {
+            let direct = q.score_object(o);
+            let via_index = acc.get(&o.id).copied().unwrap_or(0.0) / q.norm;
+            assert!(
+                (direct - via_index).abs() < 1e-12,
+                "{:?}: direct {direct} vs index {via_index}",
+                o.id
+            );
+        }
+        // The cafe object does not match and must be absent from the accumulator.
+        assert!(!acc.contains_key(&ObjectId(2)));
+    }
+
+    #[test]
+    fn postings_for_terms_flattens_lists() {
+        let (vocab, idx, _) = sample();
+        let terms = vec![
+            vocab.lookup("restaurant").unwrap(),
+            vocab.lookup("cafe").unwrap(),
+        ];
+        let pairs: Vec<(TermId, Posting)> = idx.postings_for_terms(&terms).collect();
+        assert_eq!(pairs.len(), 3); // 2 restaurant + 1 cafe
+    }
+
+    #[test]
+    fn zero_idf_terms_are_skipped() {
+        let (mut vocab, idx, _) = sample();
+        let ghost = vocab.intern("ghost");
+        let acc = idx.accumulate_scores(&[(ghost, 0.0)]);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn io_counter_reflects_lookups() {
+        let (vocab, idx, _) = sample();
+        let before = idx.pages_read();
+        let _ = idx.postings(vocab.lookup("cafe").unwrap());
+        assert!(idx.pages_read() > before);
+    }
+}

@@ -1,0 +1,255 @@
+//! Mapping geo-textual objects onto road-network nodes.
+//!
+//! The paper maps each crawled object to its nearest node on the road network
+//! ("we map each object to its nearest node on the road network").  For large
+//! data sets a linear scan per object is too slow, so [`NodeLocator`] buckets
+//! node positions in a coarse spatial hash and answers nearest-node queries by
+//! expanding rings of buckets around the query point.
+
+use lcmsr_roadnet::geo::{Point, Rect};
+use lcmsr_roadnet::graph::RoadNetwork;
+use lcmsr_roadnet::node::NodeId;
+use std::collections::HashMap;
+
+/// Spatial hash over the nodes of a road network supporting nearest-node queries.
+#[derive(Debug, Clone)]
+pub struct NodeLocator {
+    cell_size: f64,
+    extent: Rect,
+    cols: i64,
+    rows: i64,
+    buckets: HashMap<(i64, i64), Vec<NodeId>>,
+    points: Vec<Point>,
+}
+
+impl NodeLocator {
+    /// Builds a locator for all nodes of `network`.  `cell_size` controls the
+    /// bucket granularity; a value close to the average road-segment length
+    /// works well.
+    pub fn new(network: &RoadNetwork, cell_size: f64) -> Self {
+        let cell_size = if cell_size.is_finite() && cell_size > 0.0 {
+            cell_size
+        } else {
+            100.0
+        };
+        let extent = network
+            .bounding_rect()
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
+        let cols = ((extent.width() / cell_size).ceil() as i64).max(1);
+        let rows = ((extent.height() / cell_size).ceil() as i64).max(1);
+        let mut buckets: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        let mut points = Vec::with_capacity(network.node_count());
+        for n in network.nodes() {
+            points.push(n.point);
+            let key = Self::bucket_of(&extent, cell_size, cols, rows, &n.point);
+            buckets.entry(key).or_default().push(n.id);
+        }
+        NodeLocator {
+            cell_size,
+            extent,
+            cols,
+            rows,
+            buckets,
+            points,
+        }
+    }
+
+    fn bucket_of(extent: &Rect, cell_size: f64, cols: i64, rows: i64, p: &Point) -> (i64, i64) {
+        let col = (((p.x - extent.min_x) / cell_size).floor() as i64).clamp(0, cols - 1);
+        let row = (((p.y - extent.min_y) / cell_size).floor() as i64).clamp(0, rows - 1);
+        (col, row)
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Finds the node nearest to `p` (Euclidean), or `None` for an empty network.
+    ///
+    /// The search expands square rings of buckets around `p` until a candidate
+    /// is found whose distance is no larger than the inner radius of the next
+    /// unexplored ring, which guarantees the true nearest node is returned.
+    pub fn nearest(&self, p: &Point) -> Option<NodeId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let center = Self::bucket_of(&self.extent, self.cell_size, self.cols, self.rows, p);
+        let max_ring = (self.cols.max(self.rows)) + 1;
+        let mut best: Option<(NodeId, f64)> = None;
+        for ring in 0..=max_ring {
+            // Scan the ring of buckets at Chebyshev distance `ring` from the centre.
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // interior already scanned in earlier rings
+                    }
+                    let key = (center.0 + dx, center.1 + dy);
+                    if key.0 < 0 || key.1 < 0 || key.0 >= self.cols || key.1 >= self.rows {
+                        continue;
+                    }
+                    if let Some(ids) = self.buckets.get(&key) {
+                        for &id in ids {
+                            let d = self.points[id.index()].distance_sq(p);
+                            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                                best = Some((id, d));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, best_sq)) = best {
+                // If the best candidate is closer than the nearest possible point
+                // in the next ring, we are done.
+                let safe_radius = ring as f64 * self.cell_size;
+                if best_sq.sqrt() <= safe_radius {
+                    break;
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+/// Maps every object location to its nearest network node.
+///
+/// Returns a vector aligned with `object_points`: entry `i` is the node the
+/// `i`-th point maps to.  Panics only if the network is empty.
+pub fn map_points_to_nodes(network: &RoadNetwork, object_points: &[Point]) -> Vec<NodeId> {
+    assert!(
+        network.node_count() > 0,
+        "cannot map objects onto an empty road network"
+    );
+    let avg_len = if network.edge_count() > 0 {
+        network.total_length() / network.edge_count() as f64
+    } else {
+        100.0
+    };
+    let locator = NodeLocator::new(network, avg_len.max(10.0));
+    object_points
+        .iter()
+        .map(|p| locator.nearest(p).expect("network is non-empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmsr_roadnet::builder::GraphBuilder;
+
+    fn grid_network(n: usize, spacing: f64) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                ids.push(b.add_node(Point::new(x as f64 * spacing, y as f64 * spacing)));
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_edge(ids[i], ids[i + 1], spacing).unwrap();
+                }
+                if y + 1 < n {
+                    b.add_edge(ids[i], ids[i + n], spacing).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn locator_agrees_with_linear_scan() {
+        let g = grid_network(8, 50.0);
+        let locator = NodeLocator::new(&g, 60.0);
+        assert_eq!(locator.node_count(), 64);
+        let probes = [
+            Point::new(0.0, 0.0),
+            Point::new(351.0, 349.0),
+            Point::new(123.4, 222.2),
+            Point::new(-50.0, -50.0),
+            Point::new(1000.0, 1000.0),
+            Point::new(175.0, 25.0),
+        ];
+        for p in &probes {
+            let expected = g.nearest_node(p).unwrap();
+            let got = locator.nearest(p).unwrap();
+            let d_expected = g.point(expected).distance(p);
+            let d_got = g.point(got).distance(p);
+            assert!(
+                (d_expected - d_got).abs() < 1e-9,
+                "probe {p:?}: locator {got} at {d_got}, expected {expected} at {d_expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn locator_handles_degenerate_cell_size() {
+        let g = grid_network(3, 10.0);
+        let locator = NodeLocator::new(&g, 0.0); // falls back to a sane default
+        assert!(locator.nearest(&Point::new(5.0, 5.0)).is_some());
+        let locator = NodeLocator::new(&g, f64::NAN);
+        assert!(locator.nearest(&Point::new(5.0, 5.0)).is_some());
+    }
+
+    #[test]
+    fn map_points_aligns_with_input_order() {
+        let g = grid_network(4, 100.0);
+        let pts = vec![
+            Point::new(10.0, 10.0),
+            Point::new(290.0, 290.0),
+            Point::new(150.0, 0.0),
+        ];
+        let mapping = map_points_to_nodes(&g, &pts);
+        assert_eq!(mapping.len(), 3);
+        assert_eq!(mapping[0], g.nearest_node(&pts[0]).unwrap());
+        assert_eq!(mapping[1], g.nearest_node(&pts[1]).unwrap());
+        // A point equidistant from two nodes maps to one of them.
+        let d = g.point(mapping[2]).distance(&pts[2]);
+        assert!((d - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty road network")]
+    fn mapping_onto_empty_network_panics() {
+        let g = GraphBuilder::new().build().unwrap();
+        let _ = map_points_to_nodes(&g, &[Point::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn proptest_style_randomised_agreement() {
+        // Deterministic pseudo-random probes over a non-uniform network.
+        let mut b = GraphBuilder::new();
+        let coords = [
+            (0.0, 0.0),
+            (13.0, 94.0),
+            (205.0, 33.0),
+            (87.0, 187.0),
+            (300.0, 300.0),
+            (150.0, 150.0),
+            (40.0, 260.0),
+            (270.0, 120.0),
+        ];
+        let ids: Vec<NodeId> = coords
+            .iter()
+            .map(|&(x, y)| b.add_node(Point::new(x, y)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge_euclidean(w[0], w[1]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let locator = NodeLocator::new(&g, 75.0);
+        let mut state = 12345u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 20) as f64 % 400.0 - 50.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = (state >> 20) as f64 % 400.0 - 50.0;
+            let p = Point::new(x, y);
+            let expected_d = g.point(g.nearest_node(&p).unwrap()).distance(&p);
+            let got_d = g.point(locator.nearest(&p).unwrap()).distance(&p);
+            assert!((expected_d - got_d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Geo-textual objects (points of interest with a textual description).
+
+use lcmsr_roadnet::geo::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a geo-textual object.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Returns the id as a usize suitable for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(v: usize) -> Self {
+        ObjectId(v as u64)
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A geo-textual object: a point of interest with a location and a textual
+/// description given as term frequencies.
+///
+/// The paper's objects come from Google Places (name + category terms) and
+/// Flickr (photo tags); both reduce to a bag of terms per object, which is what
+/// the vector-space model consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoTextObject {
+    /// Identifier of the object.
+    pub id: ObjectId,
+    /// Planar location of the object in metres (e.g. UTM).
+    pub point: Point,
+    /// Term → frequency map describing the object (`o.ψ` with `tf` counts).
+    pub terms: BTreeMap<String, u32>,
+    /// Optional popularity/rating attribute; available for the alternative
+    /// scoring strategy described in Section 2 of the paper (score = rating if
+    /// the object matches the query, 0 otherwise).
+    pub rating: Option<f64>,
+}
+
+impl GeoTextObject {
+    /// Creates an object from a list of keywords (each occurrence counts once).
+    pub fn from_keywords(
+        id: impl Into<ObjectId>,
+        point: Point,
+        keywords: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
+        let mut terms = BTreeMap::new();
+        for kw in keywords {
+            let term = normalize_term(kw.as_ref());
+            if term.is_empty() {
+                continue;
+            }
+            *terms.entry(term).or_insert(0) += 1;
+        }
+        GeoTextObject {
+            id: id.into(),
+            point,
+            terms,
+            rating: None,
+        }
+    }
+
+    /// Creates an object from an explicit term-frequency map.
+    pub fn from_term_counts(
+        id: impl Into<ObjectId>,
+        point: Point,
+        terms: BTreeMap<String, u32>,
+    ) -> Self {
+        GeoTextObject {
+            id: id.into(),
+            point,
+            terms,
+            rating: None,
+        }
+    }
+
+    /// Sets the rating/popularity attribute, returning the modified object.
+    pub fn with_rating(mut self, rating: f64) -> Self {
+        self.rating = Some(rating);
+        self
+    }
+
+    /// Number of distinct terms in the description.
+    pub fn distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total number of term occurrences in the description.
+    pub fn total_term_count(&self) -> u32 {
+        self.terms.values().sum()
+    }
+
+    /// Frequency of `term` in the description (0 if absent).
+    pub fn term_frequency(&self, term: &str) -> u32 {
+        self.terms.get(&normalize_term(term)).copied().unwrap_or(0)
+    }
+
+    /// Whether the description contains `term`.
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.term_frequency(term) > 0
+    }
+
+    /// Whether the description is empty (no terms).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Normalises a raw keyword: lowercases and trims surrounding whitespace and
+/// punctuation so that "Restaurant," and "restaurant" are the same term.
+pub fn normalize_term(raw: &str) -> String {
+    raw.trim()
+        .trim_matches(|c: char| c.is_ascii_punctuation())
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_basics() {
+        assert_eq!(ObjectId::from(3u64).index(), 3);
+        assert_eq!(ObjectId::from(4usize), ObjectId(4));
+        assert_eq!(ObjectId(5).to_string(), "o5");
+    }
+
+    #[test]
+    fn keywords_are_normalised_and_counted() {
+        let o = GeoTextObject::from_keywords(
+            1u64,
+            Point::new(0.0, 0.0),
+            ["Restaurant,", "italian", "restaurant", "  PIZZA  ", ""],
+        );
+        assert_eq!(o.term_frequency("restaurant"), 2);
+        assert_eq!(o.term_frequency("pizza"), 1);
+        assert_eq!(o.term_frequency("italian"), 1);
+        assert_eq!(o.distinct_terms(), 3);
+        assert_eq!(o.total_term_count(), 4);
+        assert!(o.contains_term("Pizza"));
+        assert!(!o.contains_term("sushi"));
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn empty_keyword_list_gives_empty_object() {
+        let o = GeoTextObject::from_keywords(2u64, Point::new(0.0, 0.0), Vec::<String>::new());
+        assert!(o.is_empty());
+        assert_eq!(o.total_term_count(), 0);
+    }
+
+    #[test]
+    fn term_counts_constructor_and_rating() {
+        let mut terms = BTreeMap::new();
+        terms.insert("cafe".to_string(), 3);
+        let o = GeoTextObject::from_term_counts(7u64, Point::new(1.0, 2.0), terms).with_rating(4.5);
+        assert_eq!(o.term_frequency("cafe"), 3);
+        assert_eq!(o.rating, Some(4.5));
+    }
+
+    #[test]
+    fn normalize_strips_punctuation_and_case() {
+        assert_eq!(normalize_term("  Coffee!  "), "coffee");
+        assert_eq!(normalize_term("BAR"), "bar");
+        assert_eq!(normalize_term("...'"), "");
+    }
+}

@@ -1,0 +1,262 @@
+//! The vector-space relevance model of Section 3 (Equations 1 and 2).
+//!
+//! For an object `o` and query `Q`:
+//!
+//! ```text
+//! σ(o.ψ, Q.ψ) = Σ_{t ∈ Q.ψ ∩ o.ψ}  w_{Q.ψ,t} · w_{o.ψ,t} / (W_{Q.ψ} · W_{o.ψ})
+//!
+//! w_{Q.ψ,t} = ln(1 + |D| / f_t)           (query-side IDF)
+//! w_{o.ψ,t} = 1 + ln(tf_{t,o.ψ})          (object-side TF)
+//! W_{Q.ψ}   = sqrt(Σ_t w_{Q.ψ,t}²)        (query norm)
+//! W_{o.ψ}   = sqrt(Σ_t w_{o.ψ,t}²)        (object norm over all of o's terms)
+//! ```
+//!
+//! Following Equation 2, each posting stores the precomputed
+//! `wto(t) = w_{o.ψ,t} / W_{o.ψ}`, so at query time the score is
+//! `σ(o.ψ, Q.ψ) = (1 / W_{Q.ψ}) Σ_{t ∈ Q.ψ ∩ o.ψ} w_{Q.ψ,t} · wto(t)`.
+
+use crate::object::GeoTextObject;
+use crate::vocab::{TermId, Vocabulary};
+use serde::{Deserialize, Serialize};
+
+/// Object-side TF weight: `w_{o.ψ,t} = 1 + ln(tf)` (0 when the term is absent).
+pub fn tf_weight(tf: u32) -> f64 {
+    if tf == 0 {
+        0.0
+    } else {
+        1.0 + (tf as f64).ln()
+    }
+}
+
+/// Object norm `W_{o.ψ}` over all terms of the object's description.
+pub fn object_norm(object: &GeoTextObject) -> f64 {
+    object
+        .terms
+        .values()
+        .map(|&tf| tf_weight(tf).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Precomputed per-term weight of an object: `wto(t) = w_{o.ψ,t} / W_{o.ψ}`.
+///
+/// Returns 0 for terms the object does not contain or for empty objects.
+pub fn object_term_weight(object: &GeoTextObject, term: &str) -> f64 {
+    let norm = object_norm(object);
+    if norm == 0.0 {
+        return 0.0;
+    }
+    tf_weight(object.term_frequency(term)) / norm
+}
+
+/// A parsed query with precomputed IDF weights and norm (`W_{Q.ψ}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryVector {
+    /// Distinct query terms with their ids (if present in the vocabulary) and
+    /// IDF weights `w_{Q.ψ,t}`.
+    pub terms: Vec<QueryTerm>,
+    /// Query norm `W_{Q.ψ}`.
+    pub norm: f64,
+}
+
+/// One term of a query vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTerm {
+    /// The normalised term string.
+    pub text: String,
+    /// Interned id, when the corpus has seen the term.
+    pub id: Option<TermId>,
+    /// IDF weight `w_{Q.ψ,t}`; zero for unseen terms.
+    pub weight: f64,
+}
+
+impl QueryVector {
+    /// Builds a query vector for the given keywords against a vocabulary.
+    ///
+    /// Duplicate keywords are collapsed; terms that no object contains get a
+    /// zero weight (they cannot contribute to any object's score).
+    pub fn new(vocabulary: &Vocabulary, keywords: &[impl AsRef<str>]) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut terms = Vec::new();
+        for kw in keywords {
+            let norm = crate::object::normalize_term(kw.as_ref());
+            if norm.is_empty() || !seen.insert(norm.clone()) {
+                continue;
+            }
+            let id = vocabulary.lookup(&norm);
+            let weight = id.map(|t| vocabulary.idf(t)).unwrap_or(0.0);
+            terms.push(QueryTerm {
+                text: norm,
+                id,
+                weight,
+            });
+        }
+        let norm = terms
+            .iter()
+            .map(|t| t.weight * t.weight)
+            .sum::<f64>()
+            .sqrt();
+        QueryVector { terms, norm }
+    }
+
+    /// Number of distinct query terms (including unseen ones).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the query has no usable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Ids of the query terms that exist in the vocabulary.
+    pub fn known_term_ids(&self) -> Vec<TermId> {
+        self.terms.iter().filter_map(|t| t.id).collect()
+    }
+
+    /// Scores an object against this query using Equation 1 directly
+    /// (recomputing the object-side weights); used as the reference
+    /// implementation that index-based scoring is tested against.
+    pub fn score_object(&self, object: &GeoTextObject) -> f64 {
+        if self.norm == 0.0 {
+            return 0.0;
+        }
+        let obj_norm = object_norm(object);
+        if obj_norm == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for qt in &self.terms {
+            let tf = object.term_frequency(&qt.text);
+            if tf > 0 {
+                sum += qt.weight * tf_weight(tf) / obj_norm;
+            }
+        }
+        sum / self.norm
+    }
+
+    /// Scores an object given a precomputed `wto(t)` lookup, mirroring
+    /// Equation 2: `σ = (1 / W_{Q.ψ}) Σ w_{Q.ψ,t} · wto(t)`.
+    pub fn score_from_postings(&self, mut wto: impl FnMut(&str) -> Option<f64>) -> f64 {
+        if self.norm == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for qt in &self.terms {
+            if let Some(w) = wto(&qt.text) {
+                sum += qt.weight * w;
+            }
+        }
+        sum / self.norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcmsr_roadnet::geo::Point;
+
+    fn corpus() -> (Vocabulary, Vec<GeoTextObject>) {
+        let mut vocab = Vocabulary::new();
+        let objects = vec![
+            GeoTextObject::from_keywords(0u64, Point::new(0.0, 0.0), ["restaurant", "italian"]),
+            GeoTextObject::from_keywords(1u64, Point::new(1.0, 0.0), ["restaurant", "pizza", "pizza"]),
+            GeoTextObject::from_keywords(2u64, Point::new(2.0, 0.0), ["cafe", "coffee"]),
+            GeoTextObject::from_keywords(3u64, Point::new(3.0, 0.0), ["museum"]),
+        ];
+        for o in &objects {
+            vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+        }
+        (vocab, objects)
+    }
+
+    #[test]
+    fn tf_weight_is_one_plus_log() {
+        assert_eq!(tf_weight(0), 0.0);
+        assert_eq!(tf_weight(1), 1.0);
+        assert!((tf_weight(2) - (1.0 + 2.0f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_norm_and_term_weight() {
+        let o = GeoTextObject::from_keywords(0u64, Point::new(0.0, 0.0), ["a", "b", "b"]);
+        let expected_norm = (1.0f64 + (1.0 + 2.0f64.ln()).powi(2)).sqrt();
+        assert!((object_norm(&o) - expected_norm).abs() < 1e-12);
+        assert!((object_term_weight(&o, "a") - 1.0 / expected_norm).abs() < 1e-12);
+        assert_eq!(object_term_weight(&o, "zzz"), 0.0);
+        let empty = GeoTextObject::from_keywords(1u64, Point::new(0.0, 0.0), Vec::<String>::new());
+        assert_eq!(object_term_weight(&empty, "a"), 0.0);
+    }
+
+    #[test]
+    fn query_vector_dedupes_and_weights_terms() {
+        let (vocab, _) = corpus();
+        let q = QueryVector::new(&vocab, &["restaurant", "Restaurant", "pizza"]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.known_term_ids().len(), 2);
+        // restaurant appears in 2 of 4 docs, pizza in 1 → pizza has higher idf.
+        let w_rest = q.terms.iter().find(|t| t.text == "restaurant").unwrap().weight;
+        let w_pizza = q.terms.iter().find(|t| t.text == "pizza").unwrap().weight;
+        assert!(w_pizza > w_rest);
+        assert!((q.norm - (w_rest * w_rest + w_pizza * w_pizza).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_query_terms_score_zero() {
+        let (vocab, objects) = corpus();
+        let q = QueryVector::new(&vocab, &["spaceship"]);
+        assert_eq!(q.norm, 0.0);
+        for o in &objects {
+            assert_eq!(q.score_object(o), 0.0);
+        }
+    }
+
+    #[test]
+    fn relevant_objects_score_higher() {
+        let (vocab, objects) = corpus();
+        let q = QueryVector::new(&vocab, &["restaurant", "pizza"]);
+        let s0 = q.score_object(&objects[0]); // restaurant italian
+        let s1 = q.score_object(&objects[1]); // restaurant pizza pizza
+        let s2 = q.score_object(&objects[2]); // cafe coffee
+        let s3 = q.score_object(&objects[3]); // museum
+        assert!(s1 > s0, "object matching both terms should score highest");
+        assert!(s0 > 0.0);
+        assert_eq!(s2, 0.0);
+        assert_eq!(s3, 0.0);
+        // Scores from the cosine model stay within [0, 1] numerically.
+        assert!(s1 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn equation2_matches_equation1() {
+        let (vocab, objects) = corpus();
+        let q = QueryVector::new(&vocab, &["restaurant", "pizza", "cafe"]);
+        for o in &objects {
+            let direct = q.score_object(o);
+            let via_postings = q.score_from_postings(|term| {
+                let w = object_term_weight(o, term);
+                if w > 0.0 {
+                    Some(w)
+                } else {
+                    None
+                }
+            });
+            assert!(
+                (direct - via_postings).abs() < 1e-12,
+                "object {:?}: {} vs {}",
+                o.id,
+                direct,
+                via_postings
+            );
+        }
+    }
+
+    #[test]
+    fn empty_query_is_harmless() {
+        let (vocab, objects) = corpus();
+        let q = QueryVector::new(&vocab, &Vec::<String>::new());
+        assert!(q.is_empty());
+        assert_eq!(q.score_object(&objects[0]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Road-network edges (undirected road segments).
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an edge in a [`crate::graph::RoadNetwork`].
+///
+/// Edge ids are dense indices assigned by the builder.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the id as a usize suitable for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId(v as u32)
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected road segment connecting two nodes, with a positive length
+/// (the distance function τ of Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadEdge {
+    /// Identifier of the edge.
+    pub id: EdgeId,
+    /// One endpoint (the smaller node id by construction).
+    pub a: NodeId,
+    /// The other endpoint (the larger node id by construction).
+    pub b: NodeId,
+    /// Road-segment length in metres; always positive and finite.
+    pub length: f64,
+}
+
+impl RoadEdge {
+    /// Creates an edge; endpoints are normalised so that `a <= b`.
+    pub fn new(id: EdgeId, a: NodeId, b: NodeId, length: f64) -> Self {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        RoadEdge { id, a, b, length }
+    }
+
+    /// Given one endpoint, returns the opposite endpoint.
+    ///
+    /// # Panics
+    /// Panics if `from` is not an endpoint of this edge.
+    pub fn other(&self, from: NodeId) -> NodeId {
+        if from == self.a {
+            self.b
+        } else if from == self.b {
+            self.a
+        } else {
+            panic!("node {from} is not an endpoint of edge {}", self.id)
+        }
+    }
+
+    /// Whether `node` is one of the edge's endpoints.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.a == node || self.b == node
+    }
+
+    /// The endpoints as a pair `(a, b)` with `a <= b`.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalises_endpoint_order() {
+        let e = RoadEdge::new(EdgeId(0), NodeId(5), NodeId(2), 10.0);
+        assert_eq!(e.endpoints(), (NodeId(2), NodeId(5)));
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = RoadEdge::new(EdgeId(0), NodeId(1), NodeId(2), 1.0);
+        assert_eq!(e.other(NodeId(1)), NodeId(2));
+        assert_eq!(e.other(NodeId(2)), NodeId(1));
+        assert!(e.touches(NodeId(1)));
+        assert!(!e.touches(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_foreign_node() {
+        let e = RoadEdge::new(EdgeId(0), NodeId(1), NodeId(2), 1.0);
+        let _ = e.other(NodeId(9));
+    }
+
+    #[test]
+    fn edge_id_display_and_index() {
+        assert_eq!(EdgeId(4).to_string(), "e4");
+        assert_eq!(EdgeId::from(7usize).index(), 7);
+        assert_eq!(EdgeId::from(7u32), EdgeId(7));
+    }
+}

@@ -1,0 +1,127 @@
+//! Error types for road-network construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or loading a road network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// An edge references a node id that has not been added to the builder.
+    UnknownNode {
+        /// The offending node id.
+        node: u32,
+    },
+    /// An edge connects a node to itself, which a road segment cannot do.
+    SelfLoop {
+        /// The node that both endpoints refer to.
+        node: u32,
+    },
+    /// A road segment length is not a positive finite number.
+    InvalidLength {
+        /// First endpoint.
+        a: u32,
+        /// Second endpoint.
+        b: u32,
+        /// The rejected length value.
+        length: f64,
+    },
+    /// A node coordinate is not finite.
+    InvalidCoordinate {
+        /// The node whose coordinate was rejected.
+        node: u32,
+    },
+    /// A DIMACS input line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The graph or co-ordinate file declared a different size than it contained.
+    SizeMismatch {
+        /// What the header declared.
+        declared: usize,
+        /// What was actually found.
+        found: usize,
+        /// Which entity the mismatch concerns ("nodes" or "arcs").
+        what: &'static str,
+    },
+    /// An I/O error occurred while reading an input file.
+    Io(String),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode { node } => {
+                write!(f, "edge references unknown node id {node}")
+            }
+            RoadNetError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not a valid road segment")
+            }
+            RoadNetError::InvalidLength { a, b, length } => {
+                write!(f, "edge ({a}, {b}) has invalid length {length}")
+            }
+            RoadNetError::InvalidCoordinate { node } => {
+                write!(f, "node {node} has a non-finite coordinate")
+            }
+            RoadNetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RoadNetError::SizeMismatch {
+                declared,
+                found,
+                what,
+            } => write!(f, "header declared {declared} {what} but found {found}"),
+            RoadNetError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+impl From<std::io::Error> for RoadNetError {
+    fn from(e: std::io::Error) -> Self {
+        RoadNetError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RoadNetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_entities() {
+        let e = RoadNetError::UnknownNode { node: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = RoadNetError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = RoadNetError::InvalidLength {
+            a: 1,
+            b: 2,
+            length: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+        let e = RoadNetError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        let e = RoadNetError::SizeMismatch {
+            declared: 10,
+            found: 9,
+            what: "nodes",
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: RoadNetError = io.into();
+        assert!(matches!(e, RoadNetError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The road-network graph (Definition 1: `G = (V, E, τ, λ)`).
+//!
+//! [`RoadNetwork`] is an immutable, validated graph built by
+//! [`crate::builder::GraphBuilder`].  Nodes and edges live in flat vectors and
+//! adjacency is stored in a CSR-style offset table so neighbourhood scans are
+//! cache friendly even on networks with millions of nodes.
+
+use crate::edge::{EdgeId, RoadEdge};
+use crate::geo::{Point, Rect};
+use crate::node::{NodeId, NodeKind, RoadNode};
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected road-network graph with spatial node positions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<RoadNode>,
+    edges: Vec<RoadEdge>,
+    /// CSR offsets: adjacency of node `i` is `adj[adj_offsets[i]..adj_offsets[i+1]]`.
+    adj_offsets: Vec<u32>,
+    /// Flattened adjacency entries: (neighbour node, connecting edge).
+    adj: Vec<(NodeId, EdgeId)>,
+}
+
+impl RoadNetwork {
+    /// Assembles a network from already-validated parts.
+    ///
+    /// This is crate-internal; external users go through
+    /// [`crate::builder::GraphBuilder`] which performs validation.
+    pub(crate) fn from_parts(nodes: Vec<RoadNode>, edges: Vec<RoadEdge>) -> Self {
+        let n = nodes.len();
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.a.index()] += 1;
+            degree[e.b.index()] += 1;
+        }
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        adj_offsets.push(0u32);
+        let mut acc = 0u32;
+        for d in &degree {
+            acc += d;
+            adj_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj = vec![(NodeId(0), EdgeId(0)); edges.len() * 2];
+        for e in &edges {
+            let ia = e.a.index();
+            adj[cursor[ia] as usize] = (e.b, e.id);
+            cursor[ia] += 1;
+            let ib = e.b.index();
+            adj[cursor[ib] as usize] = (e.a, e.id);
+            cursor[ib] += 1;
+        }
+        RoadNetwork {
+            nodes,
+            edges,
+            adj_offsets,
+            adj,
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges (road segments) in the network.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &RoadNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn edge(&self, id: EdgeId) -> &RoadEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Location of a node (the spatial mapping λ).
+    pub fn point(&self, id: NodeId) -> Point {
+        self.nodes[id.index()].point
+    }
+
+    /// Length of an edge (the distance function τ).
+    pub fn length(&self, id: EdgeId) -> f64 {
+        self.edges[id.index()].length
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[RoadNode] {
+        &self.nodes
+    }
+
+    /// All edges, in id order.
+    pub fn edges(&self) -> &[RoadEdge] {
+        &self.edges
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Neighbours of `node` as `(neighbour, edge)` pairs.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, EdgeId)] {
+        let i = node.index();
+        let start = self.adj_offsets[i] as usize;
+        let end = self.adj_offsets[i + 1] as usize;
+        &self.adj[start..end]
+    }
+
+    /// Degree (number of incident road segments) of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Finds the edge connecting `a` and `b`, if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.neighbors(a)
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, e)| *e)
+    }
+
+    /// Total length of all road segments in the network, in metres.
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// The shortest road-segment length in the network (`d_min` in the paper's
+    /// complexity analysis), or `None` for an edgeless network.
+    pub fn min_edge_length(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|e| e.length)
+            .fold(None, |acc, l| match acc {
+                None => Some(l),
+                Some(m) => Some(m.min(l)),
+            })
+    }
+
+    /// The longest road-segment length (`τ_max` used by the Greedy algorithm).
+    pub fn max_edge_length(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|e| e.length)
+            .fold(None, |acc, l| match acc {
+                None => Some(l),
+                Some(m) => Some(m.max(l)),
+            })
+    }
+
+    /// Bounding rectangle of all node locations, or `None` for an empty network.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        Rect::bounding(self.nodes.iter().map(|n| n.point))
+    }
+
+    /// Node ids whose location falls inside `rect` (boundary inclusive).
+    pub fn nodes_in_rect(&self, rect: &Rect) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| rect.contains(&n.point))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The node nearest to `p` by Euclidean distance, or `None` for an empty network.
+    ///
+    /// This linear scan is used by object→node mapping on construction; query-time
+    /// lookups should go through the grid index in `lcmsr-geotext`.
+    pub fn nearest_node(&self, p: &Point) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .min_by(|x, y| {
+                x.point
+                    .distance_sq(p)
+                    .partial_cmp(&y.point.distance_sq(p))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|n| n.id)
+    }
+
+    /// Marks a node as hosting one or more geo-textual objects.
+    pub fn mark_object_location(&mut self, node: NodeId) {
+        self.nodes[node.index()].kind = NodeKind::ObjectLocation;
+    }
+
+    /// Summary statistics of the network, useful for logging and experiments.
+    pub fn stats(&self) -> NetworkStats {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_edge_length = if m == 0 {
+            0.0
+        } else {
+            self.total_length() / m as f64
+        };
+        NetworkStats {
+            nodes: n,
+            edges: m,
+            avg_degree,
+            avg_edge_length,
+            total_length: self.total_length(),
+            bounding_rect: self.bounding_rect(),
+        }
+    }
+}
+
+/// Aggregate statistics describing a road network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Average node degree.
+    pub avg_degree: f64,
+    /// Average road-segment length in metres.
+    pub avg_edge_length: f64,
+    /// Total road length in metres.
+    pub total_length: f64,
+    /// Bounding rectangle of the node locations.
+    pub bounding_rect: Option<Rect>,
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, avg degree {:.2}, avg segment {:.1} m, total {:.1} km",
+            self.nodes,
+            self.edges,
+            self.avg_degree,
+            self.avg_edge_length,
+            self.total_length / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Builds the 6-node example graph of Figure 2 in the paper.
+    pub(crate) fn figure2_graph() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        // Coordinates are arbitrary but distinct; lengths follow Figure 2.
+        let v1 = b.add_node(Point::new(0.0, 2.0));
+        let v2 = b.add_node(Point::new(2.0, 3.0));
+        let v3 = b.add_node(Point::new(4.0, 3.0));
+        let v4 = b.add_node(Point::new(5.0, 1.0));
+        let v5 = b.add_node(Point::new(3.0, 0.0));
+        let v6 = b.add_node(Point::new(1.5, 1.0));
+        b.add_edge(v1, v2, 1.0).unwrap();
+        b.add_edge(v2, v3, 3.1).unwrap();
+        b.add_edge(v3, v4, 5.0).unwrap();
+        b.add_edge(v4, v5, 2.8).unwrap();
+        b.add_edge(v5, v6, 1.5).unwrap();
+        b.add_edge(v6, v1, 3.2).unwrap();
+        b.add_edge(v2, v6, 1.6).unwrap();
+        b.add_edge(v3, v5, 3.4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_graph_has_expected_shape() {
+        let g = figure2_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(NodeId(1)), 3); // v2 connects v1, v3, v6
+        assert_eq!(g.edge_between(NodeId(0), NodeId(1)).map(|e| g.length(e)), Some(1.0));
+        assert!(g.edge_between(NodeId(0), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = figure2_graph();
+        for e in g.edges() {
+            assert!(g.neighbors(e.a).iter().any(|(n, id)| *n == e.b && *id == e.id));
+            assert!(g.neighbors(e.b).iter().any(|(n, id)| *n == e.a && *id == e.id));
+        }
+    }
+
+    #[test]
+    fn length_extremes_and_total() {
+        let g = figure2_graph();
+        assert_eq!(g.min_edge_length(), Some(1.0));
+        assert_eq!(g.max_edge_length(), Some(5.0));
+        let total: f64 = g.edges().iter().map(|e| e.length).sum();
+        assert!((g.total_length() - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_in_rect_filters_by_location() {
+        let g = figure2_graph();
+        let rect = Rect::new(0.0, 0.0, 2.0, 3.0);
+        let inside = g.nodes_in_rect(&rect);
+        assert!(inside.contains(&NodeId(0)));
+        assert!(inside.contains(&NodeId(1)));
+        assert!(inside.contains(&NodeId(5)));
+        assert!(!inside.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn nearest_node_finds_closest() {
+        let g = figure2_graph();
+        assert_eq!(g.nearest_node(&Point::new(0.1, 2.1)), Some(NodeId(0)));
+        assert_eq!(g.nearest_node(&Point::new(5.0, 1.0)), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn stats_report_consistent_numbers() {
+        let g = figure2_graph();
+        let s = g.stats();
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 8);
+        assert!((s.avg_degree - 16.0 / 6.0).abs() < 1e-12);
+        assert!(s.bounding_rect.is_some());
+        assert!(s.to_string().contains("6 nodes"));
+    }
+
+    #[test]
+    fn mark_object_location_changes_kind() {
+        let mut g = figure2_graph();
+        g.mark_object_location(NodeId(2));
+        assert_eq!(g.node(NodeId(2)).kind, NodeKind::ObjectLocation);
+    }
+
+    #[test]
+    fn empty_network_edge_cases() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.bounding_rect().is_none());
+        assert!(g.min_edge_length().is_none());
+        assert!(g.nearest_node(&Point::new(0.0, 0.0)).is_none());
+        assert_eq!(g.stats().avg_degree, 0.0);
+    }
+}

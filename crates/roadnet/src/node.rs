@@ -1,0 +1,109 @@
+//! Road-network nodes.
+//!
+//! Each node represents a road junction, a dead end, or the mapped location of
+//! a geo-textual object (Definition 1 in the paper).
+
+use crate::geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a [`crate::graph::RoadNetwork`].
+///
+/// Node ids are dense indices assigned by the builder, so they can be used
+/// directly to index per-node arrays.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a usize suitable for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What a node stands for in the underlying road network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NodeKind {
+    /// A road junction where two or more segments meet.
+    #[default]
+    Junction,
+    /// A dead end (degree-one node).
+    DeadEnd,
+    /// The location of one or more geo-textual objects mapped onto the network.
+    ObjectLocation,
+}
+
+/// A node of the road network: a spatial location plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoadNode {
+    /// Identifier of the node.
+    pub id: NodeId,
+    /// Planar location of the node (metres, e.g. UTM).
+    pub point: Point,
+    /// What the node represents.
+    pub kind: NodeKind,
+}
+
+impl RoadNode {
+    /// Creates a junction node at the given location.
+    pub fn new(id: NodeId, point: Point) -> Self {
+        RoadNode {
+            id,
+            point,
+            kind: NodeKind::Junction,
+        }
+    }
+
+    /// Creates a node with an explicit kind.
+    pub fn with_kind(id: NodeId, point: Point, kind: NodeKind) -> Self {
+        RoadNode { id, point, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_conversions() {
+        let id = NodeId::from(5u32);
+        assert_eq!(id.index(), 5);
+        assert_eq!(NodeId::from(5usize), id);
+        assert_eq!(id.to_string(), "v5");
+    }
+
+    #[test]
+    fn node_default_kind_is_junction() {
+        let n = RoadNode::new(NodeId(1), Point::new(0.0, 0.0));
+        assert_eq!(n.kind, NodeKind::Junction);
+        let n = RoadNode::with_kind(NodeId(2), Point::new(1.0, 1.0), NodeKind::ObjectLocation);
+        assert_eq!(n.kind, NodeKind::ObjectLocation);
+    }
+
+    #[test]
+    fn node_ids_order_by_value() {
+        let mut ids = vec![NodeId(3), NodeId(1), NodeId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

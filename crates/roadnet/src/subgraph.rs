@@ -1,0 +1,316 @@
+//! Query-region views of a road network.
+//!
+//! An LCMSR query restricts processing to the rectangular region of interest
+//! `Q.Λ`.  [`RegionView`] captures the nodes of the network inside such a
+//! rectangle together with the induced edges, and exposes the restricted
+//! adjacency that all LCMSR algorithms operate on.
+
+use crate::edge::EdgeId;
+use crate::geo::Rect;
+use crate::graph::RoadNetwork;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// A view of the subgraph of a [`RoadNetwork`] induced by the nodes inside a
+/// rectangle (the paper's `Q.Λ`).
+///
+/// The view borrows the underlying network; node and edge ids are the global
+/// ids of the parent network so that results can be interpreted without
+/// translation.
+#[derive(Debug, Clone)]
+pub struct RegionView<'g> {
+    graph: &'g RoadNetwork,
+    rect: Rect,
+    /// Nodes inside the rectangle, sorted by id.
+    nodes: Vec<NodeId>,
+    /// Edges with both endpoints inside the rectangle, sorted by id.
+    edges: Vec<EdgeId>,
+    /// membership[i] is true iff node i is inside the view.
+    membership: Vec<bool>,
+}
+
+impl<'g> RegionView<'g> {
+    /// Creates the view of `graph` induced by the nodes located inside `rect`.
+    pub fn new(graph: &'g RoadNetwork, rect: Rect) -> Self {
+        let mut membership = vec![false; graph.node_count()];
+        let mut nodes = Vec::new();
+        for n in graph.nodes() {
+            if rect.contains(&n.point) {
+                membership[n.id.index()] = true;
+                nodes.push(n.id);
+            }
+        }
+        let edges: Vec<EdgeId> = graph
+            .edges()
+            .iter()
+            .filter(|e| membership[e.a.index()] && membership[e.b.index()])
+            .map(|e| e.id)
+            .collect();
+        RegionView {
+            graph,
+            rect,
+            nodes,
+            edges,
+            membership,
+        }
+    }
+
+    /// A view containing the whole network (`Q.Λ` = entire space).
+    pub fn whole(graph: &'g RoadNetwork) -> Self {
+        let rect = graph
+            .bounding_rect()
+            .unwrap_or_else(|| Rect::new(0.0, 0.0, 0.0, 0.0))
+            .expanded(1.0);
+        Self::new(graph, rect)
+    }
+
+    /// The underlying network.
+    pub fn graph(&self) -> &'g RoadNetwork {
+        self.graph
+    }
+
+    /// The rectangle that induced this view.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Nodes inside the view, sorted by id (`V_Q` in the paper).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edges fully inside the view, sorted by id (`E_Q` in the paper).
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of nodes inside the view (`|V_Q|`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges inside the view (`|E_Q|`).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `node` belongs to the view.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.membership
+            .get(node.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Neighbours of `node` restricted to the view, as `(neighbour, edge)` pairs.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(NodeId, EdgeId)> {
+        if !self.contains(node) {
+            return Vec::new();
+        }
+        self.graph
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|(n, _)| self.contains(*n))
+            .collect()
+    }
+
+    /// Length of an edge (delegates to the parent network).
+    #[inline]
+    pub fn length(&self, edge: EdgeId) -> f64 {
+        self.graph.length(edge)
+    }
+
+    /// Minimum edge length inside the view (`d_min`), or `None` if edgeless.
+    pub fn min_edge_length(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|&e| self.graph.length(e))
+            .fold(None, |acc, l| match acc {
+                None => Some(l),
+                Some(m) => Some(m.min(l)),
+            })
+    }
+
+    /// Maximum edge length inside the view (`τ_max` used by Greedy), or `None`.
+    pub fn max_edge_length(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|&e| self.graph.length(e))
+            .fold(None, |acc, l| match acc {
+                None => Some(l),
+                Some(m) => Some(m.max(l)),
+            })
+    }
+
+    /// Connected components of the view, largest first.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.graph.node_count()];
+        let mut comps = Vec::new();
+        for &start in &self.nodes {
+            if seen[start.index()] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            seen[start.index()] = true;
+            q.push_back(start);
+            while let Some(v) = q.pop_front() {
+                comp.push(v);
+                for (n, _) in self.neighbors(v) {
+                    if !seen[n.index()] {
+                        seen[n.index()] = true;
+                        q.push_back(n);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        comps
+    }
+
+    /// Checks whether the given node set is connected within the view using
+    /// only the given edges.  Used to validate result regions.
+    pub fn is_connected_region(&self, nodes: &[NodeId], edges: &[EdgeId]) -> bool {
+        if nodes.is_empty() {
+            return false;
+        }
+        if nodes.len() == 1 {
+            return edges.is_empty();
+        }
+        // Adjacency restricted to the provided edges.
+        let node_set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> = std::collections::HashMap::new();
+        for &e in edges {
+            let edge = self.graph.edge(e);
+            if !node_set.contains(&edge.a) || !node_set.contains(&edge.b) {
+                return false;
+            }
+            adj.entry(edge.a).or_default().push(edge.b);
+            adj.entry(edge.b).or_default().push(edge.a);
+        }
+        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(nodes[0]);
+        q.push_back(nodes[0]);
+        while let Some(v) = q.pop_front() {
+            if let Some(ns) = adj.get(&v) {
+                for &n in ns {
+                    if seen.insert(n) {
+                        q.push_back(n);
+                    }
+                }
+            }
+        }
+        seen.len() == nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::geo::Point;
+
+    /// A 4x4 grid graph with unit spacing.
+    fn grid4() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                ids.push(b.add_node(Point::new(x as f64, y as f64)));
+            }
+        }
+        for y in 0..4 {
+            for x in 0..4 {
+                let i = y * 4 + x;
+                if x < 3 {
+                    b.add_edge(ids[i], ids[i + 1], 1.0).unwrap();
+                }
+                if y < 3 {
+                    b.add_edge(ids[i], ids[i + 4], 1.0).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn whole_view_covers_everything() {
+        let g = grid4();
+        let v = RegionView::whole(&g);
+        assert_eq!(v.node_count(), 16);
+        assert_eq!(v.edge_count(), 24);
+        assert!(v.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn rect_view_restricts_nodes_and_edges() {
+        let g = grid4();
+        // Lower-left 2x2 corner.
+        let v = RegionView::new(&g, Rect::new(-0.5, -0.5, 1.5, 1.5));
+        assert_eq!(v.node_count(), 4);
+        assert_eq!(v.edge_count(), 4);
+        assert!(v.contains(NodeId(0)));
+        assert!(!v.contains(NodeId(15)));
+        assert_eq!(v.neighbors(NodeId(0)).len(), 2);
+        assert!(v.neighbors(NodeId(15)).is_empty());
+    }
+
+    #[test]
+    fn view_edge_lengths_delegate_to_graph() {
+        let g = grid4();
+        let v = RegionView::whole(&g);
+        assert_eq!(v.min_edge_length(), Some(1.0));
+        assert_eq!(v.max_edge_length(), Some(1.0));
+        let e = v.edges()[0];
+        assert_eq!(v.length(e), 1.0);
+    }
+
+    #[test]
+    fn empty_view_has_no_components() {
+        let g = grid4();
+        let v = RegionView::new(&g, Rect::new(100.0, 100.0, 101.0, 101.0));
+        assert_eq!(v.node_count(), 0);
+        assert!(v.components().is_empty());
+        assert!(v.min_edge_length().is_none());
+    }
+
+    #[test]
+    fn components_split_by_rectangle() {
+        let g = grid4();
+        // A thin rectangle containing only rows y=0 and y=3 → two components.
+        let v = RegionView::new(&g, Rect::new(-0.5, -0.5, 3.5, 0.5));
+        assert_eq!(v.components().len(), 1);
+        // Two disjoint columns: x=0 and x=3 cannot both be selected by a single
+        // rectangle, so instead check that a full view is a single component.
+        let whole = RegionView::whole(&g);
+        assert_eq!(whole.components().len(), 1);
+    }
+
+    #[test]
+    fn is_connected_region_validates_results() {
+        let g = grid4();
+        let v = RegionView::whole(&g);
+        let e01 = g.edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.edge_between(NodeId(1), NodeId(2)).unwrap();
+        assert!(v.is_connected_region(&[NodeId(0), NodeId(1), NodeId(2)], &[e01, e12]));
+        // Missing connecting edge → not connected.
+        assert!(!v.is_connected_region(&[NodeId(0), NodeId(1), NodeId(2)], &[e01]));
+        // Single node with no edges is a valid (degenerate) region.
+        assert!(v.is_connected_region(&[NodeId(5)], &[]));
+        // Empty region is not valid.
+        assert!(!v.is_connected_region(&[], &[]));
+        // Edge endpoint outside the node set → invalid.
+        assert!(!v.is_connected_region(&[NodeId(0)], &[e01]));
+    }
+
+    #[test]
+    fn boundary_nodes_are_included() {
+        let g = grid4();
+        let v = RegionView::new(&g, Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(v.node_count(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! Top-k LCMSR exploration (Section 6.2): return several alternative regions so
+//! the user can choose between neighbourhoods.
+//!
+//! Run with: `cargo run --release --example topk_regions`
+
+use lcmsr::prelude::*;
+
+fn main() {
+    let dataset = Dataset::build(DatasetConfig::tiny(3));
+    let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+
+    let roi = dataset.network.bounding_rect().unwrap();
+    let query = LcmsrQuery::new(["bar", "pub", "nightclub"], 1_000.0, roi).unwrap();
+    println!(
+        "query: {:?}, ∆ = {} m, Λ = {:.1} km²\n",
+        query.keywords,
+        query.delta,
+        roi.area_km2()
+    );
+
+    let k = 3;
+    for algorithm in [
+        Algorithm::Tgen(TgenParams { alpha: 5.0 }),
+        Algorithm::App(AppParams::default()),
+        Algorithm::Greedy(GreedyParams::default()),
+    ] {
+        let result = engine.run_topk(&query, &algorithm, k).expect("query runs");
+        println!(
+            "=== {} (top-{k}) — {:.2} ms ===",
+            algorithm.name(),
+            result.stats.elapsed_ms()
+        );
+        if result.regions.is_empty() {
+            println!("  no relevant region found\n");
+            continue;
+        }
+        for (rank, region) in result.regions.iter().enumerate() {
+            println!(
+                "  #{} weight {:.4}, length {:.0} m, {} road nodes",
+                rank + 1,
+                region.weight,
+                region.length,
+                region.node_count()
+            );
+        }
+        println!();
+    }
+}
