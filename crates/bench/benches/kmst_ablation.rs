@@ -19,7 +19,10 @@ fn bench_kmst_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_kmst_oracle");
     group.sample_size(10);
-    for (name, kind) in [("garg-gw", KMstSolverKind::Garg), ("density", KMstSolverKind::Density)] {
+    for (name, kind) in [
+        ("garg-gw", KMstSolverKind::Garg),
+        ("density", KMstSolverKind::Density),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
             let algorithm = Algorithm::App(AppParams {
                 solver: kind,

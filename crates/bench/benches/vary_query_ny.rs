@@ -8,7 +8,10 @@ use lcmsr_bench::*;
 use lcmsr_core::prelude::*;
 use std::hint::black_box;
 
-fn algorithms(dataset: &lcmsr_datagen::Dataset, queries: &[LcmsrQuery]) -> Vec<(&'static str, Algorithm)> {
+fn algorithms(
+    dataset: &lcmsr_datagen::Dataset,
+    queries: &[LcmsrQuery],
+) -> Vec<(&'static str, Algorithm)> {
     let alpha = default_tgen_alpha(dataset, queries);
     vec![
         ("APP", Algorithm::App(AppParams::default())),
@@ -24,8 +27,17 @@ fn bench_vary_keywords(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15a_ny_vs_keywords");
     group.sample_size(10);
     for keywords in [1usize, 3, 5] {
-        let queries = make_workload(&dataset, 1, keywords, defaults.area_km2, defaults.delta_km, 150 + keywords as u64);
-        let Some(query) = queries.first().cloned() else { continue };
+        let queries = make_workload(
+            &dataset,
+            1,
+            keywords,
+            defaults.area_km2,
+            defaults.delta_km,
+            150 + keywords as u64,
+        );
+        let Some(query) = queries.first().cloned() else {
+            continue;
+        };
         for (name, algorithm) in algorithms(&dataset, &queries) {
             group.bench_with_input(
                 BenchmarkId::new(name, keywords),
@@ -45,8 +57,17 @@ fn bench_vary_delta(c: &mut Criterion) {
     group.sample_size(10);
     for factor in [0.8f64, 1.0, 1.2] {
         let delta = defaults.delta_km * factor;
-        let queries = make_workload(&dataset, 1, defaults.num_keywords, defaults.area_km2, delta, 161);
-        let Some(query) = queries.first().cloned() else { continue };
+        let queries = make_workload(
+            &dataset,
+            1,
+            defaults.num_keywords,
+            defaults.area_km2,
+            delta,
+            161,
+        );
+        let Some(query) = queries.first().cloned() else {
+            continue;
+        };
         for (name, algorithm) in algorithms(&dataset, &queries) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{factor}dx")),
@@ -66,8 +87,17 @@ fn bench_vary_area(c: &mut Criterion) {
     group.sample_size(10);
     for factor in [0.75f64, 1.0, 1.25] {
         let area = defaults.area_km2 * factor;
-        let queries = make_workload(&dataset, 1, defaults.num_keywords, area, defaults.delta_km, 171);
-        let Some(query) = queries.first().cloned() else { continue };
+        let queries = make_workload(
+            &dataset,
+            1,
+            defaults.num_keywords,
+            area,
+            defaults.delta_km,
+            171,
+        );
+        let Some(query) = queries.first().cloned() else {
+            continue;
+        };
         for (name, algorithm) in algorithms(&dataset, &queries) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{factor}ax")),
@@ -79,5 +109,10 @@ fn bench_vary_area(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vary_keywords, bench_vary_delta, bench_vary_area);
+criterion_group!(
+    benches,
+    bench_vary_keywords,
+    bench_vary_delta,
+    bench_vary_area
+);
 criterion_main!(benches);

@@ -16,11 +16,26 @@ fn bench_usanw_vary_keywords(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16a_usanw_vs_keywords");
     group.sample_size(10);
     for keywords in [1usize, 3, 5] {
-        let queries = make_workload(&dataset, 1, keywords, defaults.area_km2, defaults.delta_km, 250 + keywords as u64);
-        let Some(query) = queries.first().cloned() else { continue };
+        let queries = make_workload(
+            &dataset,
+            1,
+            keywords,
+            defaults.area_km2,
+            defaults.delta_km,
+            250 + keywords as u64,
+        );
+        let Some(query) = queries.first().cloned() else {
+            continue;
+        };
         let alpha = default_tgen_alpha(&dataset, &queries);
         let algorithms = [
-            ("APP", Algorithm::App(AppParams { alpha: 0.1, ..AppParams::default() })),
+            (
+                "APP",
+                Algorithm::App(AppParams {
+                    alpha: 0.1,
+                    ..AppParams::default()
+                }),
+            ),
             ("TGEN", Algorithm::Tgen(TgenParams { alpha })),
             ("Greedy", Algorithm::Greedy(GreedyParams { mu: 0.4 })),
         ];
@@ -43,11 +58,26 @@ fn bench_usanw_vary_delta(c: &mut Criterion) {
     group.sample_size(10);
     for factor in [0.85f64, 1.0, 1.15] {
         let delta = defaults.delta_km * factor;
-        let queries = make_workload(&dataset, 1, defaults.num_keywords, defaults.area_km2, delta, 261);
-        let Some(query) = queries.first().cloned() else { continue };
+        let queries = make_workload(
+            &dataset,
+            1,
+            defaults.num_keywords,
+            defaults.area_km2,
+            delta,
+            261,
+        );
+        let Some(query) = queries.first().cloned() else {
+            continue;
+        };
         let alpha = default_tgen_alpha(&dataset, &queries);
         let algorithms = [
-            ("APP", Algorithm::App(AppParams { alpha: 0.1, ..AppParams::default() })),
+            (
+                "APP",
+                Algorithm::App(AppParams {
+                    alpha: 0.1,
+                    ..AppParams::default()
+                }),
+            ),
             ("TGEN", Algorithm::Tgen(TgenParams { alpha })),
             ("Greedy", Algorithm::Greedy(GreedyParams { mu: 0.4 })),
         ];

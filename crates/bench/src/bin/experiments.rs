@@ -35,15 +35,26 @@ fn main() {
     };
     let scale = scale_from_env();
     println!("# LCMSR experiment harness");
-    println!("# scale = {scale:?}, queries/setting = {}", queries_per_setting());
+    println!(
+        "# scale = {scale:?}, queries/setting = {}",
+        queries_per_setting()
+    );
 
     println!("\n## Building datasets");
     let ny = ny_dataset(scale);
     println!("NY-like    : {}", ny.network.stats());
-    println!("             {} objects, {} keywords", ny.collection.len(), ny.collection.keyword_count());
+    println!(
+        "             {} objects, {} keywords",
+        ny.collection.len(),
+        ny.collection.keyword_count()
+    );
     let usanw = usanw_dataset(scale);
     println!("USANW-like : {}", usanw.network.stats());
-    println!("             {} objects, {} keywords", usanw.collection.len(), usanw.collection.keyword_count());
+    println!(
+        "             {} objects, {} keywords",
+        usanw.collection.len(),
+        usanw.collection.keyword_count()
+    );
 
     for id in &wanted {
         match id.as_str() {
@@ -74,8 +85,16 @@ fn table1(ny: &Dataset) {
     let params = AppParams::default();
     let graph = engine.prepare(query, params.alpha).expect("prepare");
     let outcome = run_app(&graph, &params).expect("APP run");
-    println!("query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m", query.keywords, query.delta, 3.0 * query.delta);
-    println!("{:>4} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}", "step", "L", "U", "X", "TC.l", "(1+β)X", "T'C.l");
+    println!(
+        "query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m",
+        query.keywords,
+        query.delta,
+        3.0 * query.delta
+    );
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "step", "L", "U", "X", "TC.l", "(1+β)X", "T'C.l"
+    );
     for s in &outcome.trace {
         println!(
             "{:>4} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
@@ -83,13 +102,26 @@ fn table1(ny: &Dataset) {
             s.lower,
             s.upper,
             s.x,
-            s.tc_length.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()),
-            if s.x_beta > 0 { s.x_beta.to_string() } else { "-".into() },
-            s.tprime_length.map(|l| format!("{l:.0}")).unwrap_or_else(|| "-".into()),
+            s.tc_length
+                .map(|l| format!("{l:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            if s.x_beta > 0 {
+                s.x_beta.to_string()
+            } else {
+                "-".into()
+            },
+            s.tprime_length
+                .map(|l| format!("{l:.0}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     if let Some(best) = outcome.best {
-        println!("result: weight {:.4}, length {:.0} m, {} nodes", best.weight, best.length, best.nodes.len());
+        println!(
+            "result: weight {:.4}, length {:.0} m, {} nodes",
+            best.weight,
+            best.length,
+            best.nodes.len()
+        );
     }
 }
 
@@ -98,11 +130,20 @@ fn fig7_8(ny: &Dataset) {
     println!("\n## fig7_8 — APP vs α (NY): runtime should fall, weight stay nearly flat");
     let queries = default_workload(ny, 78);
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
-    println!("{:>8} {:>14} {:>14}", "alpha", "runtime (ms)", "region weight");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "alpha", "runtime (ms)", "region weight"
+    );
     for alpha in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9] {
-        let params = AppParams { alpha, ..AppParams::default() };
+        let params = AppParams {
+            alpha,
+            ..AppParams::default()
+        };
         let agg = aggregate(&engine, &queries, &Algorithm::App(params));
-        println!("{:>8} {:>14.2} {:>14.4}", alpha, agg.avg_millis, agg.avg_weight);
+        println!(
+            "{:>8} {:>14.2} {:>14.4}",
+            alpha, agg.avg_millis, agg.avg_weight
+        );
     }
 }
 
@@ -113,11 +154,17 @@ fn fig9_10(ny: &Dataset) {
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
     let base = default_tgen_alpha(ny, &queries);
     println!("(paper sweeps α ∈ {{50..1600}} at |V_Q| ≈ 26k; here α is scaled to the synthetic |V_Q|: base = {base:.1})");
-    println!("{:>18} {:>14} {:>14}", "alpha (x base)", "runtime (ms)", "region weight");
+    println!(
+        "{:>18} {:>14} {:>14}",
+        "alpha (x base)", "runtime (ms)", "region weight"
+    );
     for factor in [0.125, 0.25, 0.5, 1.0, 2.0, 4.0] {
         let alpha = (base * factor).max(0.05);
         let agg = aggregate(&engine, &queries, &Algorithm::Tgen(TgenParams { alpha }));
-        println!("{:>10.2} ({:>4.2}x) {:>13.2} {:>14.4}", alpha, factor, agg.avg_millis, agg.avg_weight);
+        println!(
+            "{:>10.2} ({:>4.2}x) {:>13.2} {:>14.4}",
+            alpha, factor, agg.avg_millis, agg.avg_weight
+        );
     }
 }
 
@@ -126,11 +173,20 @@ fn fig11_12(ny: &Dataset) {
     println!("\n## fig11_12 — APP vs β (NY): runtime and weight should both drop as β grows");
     let queries = default_workload(ny, 1112);
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
-    println!("{:>8} {:>14} {:>14}", "beta", "runtime (ms)", "region weight");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "beta", "runtime (ms)", "region weight"
+    );
     for beta in [0.001, 0.01, 0.1, 0.3, 0.9] {
-        let params = AppParams { beta, ..AppParams::default() };
+        let params = AppParams {
+            beta,
+            ..AppParams::default()
+        };
         let agg = aggregate(&engine, &queries, &Algorithm::App(params));
-        println!("{:>8} {:>14.2} {:>14.4}", beta, agg.avg_millis, agg.avg_weight);
+        println!(
+            "{:>8} {:>14.2} {:>14.4}",
+            beta, agg.avg_millis, agg.avg_weight
+        );
     }
 }
 
@@ -142,7 +198,10 @@ fn fig13_14(ny: &Dataset) {
     println!("{:>6} {:>14} {:>14}", "mu", "runtime (ms)", "region weight");
     for mu in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let agg = aggregate(&engine, &queries, &Algorithm::Greedy(GreedyParams { mu }));
-        println!("{:>6} {:>14.2} {:>14.4}", mu, agg.avg_millis, agg.avg_weight);
+        println!(
+            "{:>6} {:>14.2} {:>14.4}",
+            mu, agg.avg_millis, agg.avg_weight
+        );
     }
 }
 
@@ -189,26 +248,49 @@ fn vary_query_args(dataset: &Dataset, label: &str) {
 
     println!("--- varying the number of query keywords (∆, Λ at defaults) ---");
     for keywords in 1..=5 {
-        let queries = make_workload(dataset, n, keywords, defaults.area_km2, defaults.delta_km, 150 + keywords as u64);
+        let queries = make_workload(
+            dataset,
+            n,
+            keywords,
+            defaults.area_km2,
+            defaults.delta_km,
+            150 + keywords as u64,
+        );
         run_setting(&queries, &format!("|Q.psi| = {keywords}"));
     }
     println!("--- varying the length constraint Q.delta ---");
     for step in -2i32..=2 {
         let delta = (defaults.delta_km * (1.0 + 0.2 * step as f64)).max(0.1);
-        let queries = make_workload(dataset, n, defaults.num_keywords, defaults.area_km2, delta, 160 + (step + 2) as u64);
+        let queries = make_workload(
+            dataset,
+            n,
+            defaults.num_keywords,
+            defaults.area_km2,
+            delta,
+            160 + (step + 2) as u64,
+        );
         run_setting(&queries, &format!("delta = {delta:.1} km"));
     }
     println!("--- varying the query region size Q.Lambda ---");
     for step in -2i32..=2 {
         let area = (defaults.area_km2 * (1.0 + 0.25 * step as f64)).max(0.1);
-        let queries = make_workload(dataset, n, defaults.num_keywords, area, defaults.delta_km, 170 + (step + 2) as u64);
+        let queries = make_workload(
+            dataset,
+            n,
+            defaults.num_keywords,
+            area,
+            defaults.delta_km,
+            170 + (step + 2) as u64,
+        );
         run_setting(&queries, &format!("area = {area:.1} km2"));
     }
 }
 
 /// Figures 17–19: the qualitative "cafe + restaurant" exploration example.
 fn fig17_19(ny: &Dataset) {
-    println!("\n## fig17_19 — qualitative example (cafe + restaurant): TGEN >= APP >= Greedy in content");
+    println!(
+        "\n## fig17_19 — qualitative example (cafe + restaurant): TGEN >= APP >= Greedy in content"
+    );
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
     // Pick a cafe/restaurant cluster as the downtown window, like the Bronx example.
     let center = ny
@@ -222,9 +304,17 @@ fn fig17_19(ny: &Dataset) {
     let roi = Rect::centered_square(center, side);
     let delta = (side * 0.5).min(8_000.0);
     let query = LcmsrQuery::new(["cafe", "restaurant"], delta, roi).unwrap();
-    println!("query: {:?}, ∆ = {:.0} m, Λ = {:.1} km²", query.keywords, query.delta, roi.area_km2());
+    println!(
+        "query: {:?}, ∆ = {:.0} m, Λ = {:.1} km²",
+        query.keywords,
+        query.delta,
+        roi.area_km2()
+    );
     let tgen_alpha = default_tgen_alpha(ny, std::slice::from_ref(&query));
-    println!("{:>8} {:>10} {:>12} {:>10} {:>12}", "algo", "objects", "weight", "nodes", "length (m)");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>12}",
+        "algo", "objects", "weight", "nodes", "length (m)"
+    );
     for algorithm in [
         Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
         Algorithm::App(AppParams::default()),
@@ -270,7 +360,10 @@ fn sec7_5(ny: &Dataset) {
     let mut maxrs_wins = 0usize;
     let mut ties = 0usize;
     let mut compared = 0usize;
-    println!("{:>4} {:>12} {:>12} {:>16} {:>10}", "q#", "MaxRS w", "LCMSR w", "MaxRS connected", "winner");
+    println!(
+        "{:>4} {:>12} {:>12} {:>16} {:>10}",
+        "q#", "MaxRS w", "LCMSR w", "MaxRS connected", "winner"
+    );
     for (i, query) in queries.iter().enumerate() {
         let Ok(Some(maxrs)) = engine.run_maxrs(query, 500.0, 500.0) else {
             continue;
@@ -281,7 +374,10 @@ fn sec7_5(ny: &Dataset) {
             LcmsrQuery::new(query.keywords.clone(), delta, query.region_of_interest).unwrap();
         let tgen_alpha = default_tgen_alpha(ny, std::slice::from_ref(&lcmsr_query));
         let lcmsr = engine
-            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }))
+            .run(
+                &lcmsr_query,
+                &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
+            )
             .expect("run")
             .region;
         let lcmsr_weight = lcmsr.map(|r| r.weight).unwrap_or(0.0);
@@ -341,8 +437,14 @@ fn fig21_22(ny: &Dataset, usanw: &Dataset) {
             let mut totals = [0.0f64; 3];
             for q in &queries {
                 totals[0] += measure_topk(&engine, q, &Algorithm::App(AppParams::default()), k);
-                totals[1] += measure_topk(&engine, q, &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }), k);
-                totals[2] += measure_topk(&engine, q, &Algorithm::Greedy(GreedyParams::default()), k);
+                totals[1] += measure_topk(
+                    &engine,
+                    q,
+                    &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
+                    k,
+                );
+                totals[2] +=
+                    measure_topk(&engine, q, &Algorithm::Greedy(GreedyParams::default()), k);
             }
             let n = queries.len() as f64;
             println!(

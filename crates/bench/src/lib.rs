@@ -118,7 +118,9 @@ pub struct Measurement {
 /// Runs one algorithm on one query and measures it.
 pub fn measure(engine: &LcmsrEngine<'_>, query: &LcmsrQuery, algorithm: &Algorithm) -> Measurement {
     let start = Instant::now();
-    let result = engine.run(query, algorithm).expect("query execution failed");
+    let result = engine
+        .run(query, algorithm)
+        .expect("query execution failed");
     let millis = start.elapsed().as_secs_f64() * 1e3;
     match result.region {
         Some(region) => Measurement {
@@ -226,9 +228,17 @@ mod tests {
         let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
         let alpha = default_tgen_alpha(&dataset, &queries);
         assert!(alpha >= 1.0);
-        let m = measure(&engine, &queries[0], &Algorithm::Greedy(GreedyParams::default()));
+        let m = measure(
+            &engine,
+            &queries[0],
+            &Algorithm::Greedy(GreedyParams::default()),
+        );
         assert!(m.millis >= 0.0);
-        let agg = aggregate(&engine, &queries, &Algorithm::Greedy(GreedyParams::default()));
+        let agg = aggregate(
+            &engine,
+            &queries,
+            &Algorithm::Greedy(GreedyParams::default()),
+        );
         assert!(agg.avg_millis >= 0.0);
     }
 }

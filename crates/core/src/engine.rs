@@ -186,10 +186,7 @@ impl<'a> LcmsrEngine<'a> {
             Algorithm::App(params) => topk_app(&graph, params, k)?,
             Algorithm::Tgen(params) => topk_tgen(&graph, params, k)?,
             Algorithm::Greedy(params) => topk_greedy(&graph, params, k)?,
-            Algorithm::Exact => ExactSolver::new()
-                .solve(&graph)?
-                .into_iter()
-                .collect(),
+            Algorithm::Exact => ExactSolver::new().solve(&graph)?.into_iter().collect(),
         };
         stats.elapsed = start.elapsed();
         Ok(TopKResult {
@@ -327,7 +324,13 @@ mod tests {
         let mut objects = Vec::new();
         let mut oid = 0u64;
         // Restaurant cluster near (0..200, 0..200).
-        for &(x, y) in &[(10.0, 10.0), (110.0, 10.0), (10.0, 110.0), (110.0, 110.0), (210.0, 10.0)] {
+        for &(x, y) in &[
+            (10.0, 10.0),
+            (110.0, 10.0),
+            (10.0, 110.0),
+            (110.0, 110.0),
+            (210.0, 10.0),
+        ] {
             objects.push(GeoTextObject::from_keywords(
                 oid,
                 Point::new(x, y),
@@ -386,7 +389,11 @@ mod tests {
         // Restrict Q.Λ to the south-west corner so the exact solver can enumerate.
         let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
         let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
-        let exact = engine.run(&query, &Algorithm::Exact).unwrap().region.unwrap();
+        let exact = engine
+            .run(&query, &Algorithm::Exact)
+            .unwrap()
+            .region
+            .unwrap();
         let tgen = engine
             .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
             .unwrap()

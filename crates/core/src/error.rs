@@ -39,7 +39,10 @@ impl fmt::Display for LcmsrError {
         match self {
             LcmsrError::EmptyKeywords => write!(f, "LCMSR query must have at least one keyword"),
             LcmsrError::InvalidDelta { delta } => {
-                write!(f, "length constraint must be positive and finite, got {delta}")
+                write!(
+                    f,
+                    "length constraint must be positive and finite, got {delta}"
+                )
             }
             LcmsrError::InvalidRegionOfInterest => {
                 write!(f, "region of interest must have positive area")
@@ -48,7 +51,10 @@ impl fmt::Display for LcmsrError {
                 name,
                 value,
                 expected,
-            } => write!(f, "parameter {name} = {value} is invalid: expected {expected}"),
+            } => write!(
+                f,
+                "parameter {name} = {value} is invalid: expected {expected}"
+            ),
             LcmsrError::EmptyQueryRegion => {
                 write!(f, "the region of interest contains no road-network node")
             }
@@ -86,8 +92,11 @@ mod tests {
         .to_string()
         .contains("alpha"));
         assert!(LcmsrError::EmptyQueryRegion.to_string().contains("no road"));
-        assert!(LcmsrError::GraphTooLargeForExact { nodes: 100, limit: 20 }
-            .to_string()
-            .contains("100"));
+        assert!(LcmsrError::GraphTooLargeForExact {
+            nodes: 100,
+            limit: 20
+        }
+        .to_string()
+        .contains("100"));
     }
 }

@@ -251,8 +251,14 @@ mod tests {
     #[test]
     fn mu_extremes_still_produce_valid_regions() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let weight_only = run_greedy(&qg, &GreedyParams { mu: 0.0 }).unwrap().best.unwrap();
-        let length_only = run_greedy(&qg, &GreedyParams { mu: 1.0 }).unwrap().best.unwrap();
+        let weight_only = run_greedy(&qg, &GreedyParams { mu: 0.0 })
+            .unwrap()
+            .best
+            .unwrap();
+        let length_only = run_greedy(&qg, &GreedyParams { mu: 1.0 })
+            .unwrap()
+            .best
+            .unwrap();
         assert!(weight_only.length <= 6.0 + 1e-9);
         assert!(length_only.length <= 6.0 + 1e-9);
     }

@@ -162,7 +162,11 @@ impl KMstSolver for DensityKMst {
             .collect();
         if candidates.is_empty() {
             return if quota == 0 {
-                Some(RegionTuple::singleton(0, graph.weight(0), graph.scaled_weight(0)))
+                Some(RegionTuple::singleton(
+                    0,
+                    graph.weight(0),
+                    graph.scaled_weight(0),
+                ))
             } else {
                 None
             };
@@ -235,8 +239,8 @@ mod tests {
         b.add_edge(a, c, 1.0).unwrap();
         let network = b.build().unwrap();
         let view = RegionView::whole(&network);
-        let qg =
-            crate::query_graph::QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5).unwrap();
+        let qg = crate::query_graph::QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5)
+            .unwrap();
         let mut solver = DensityKMst::new();
         assert!(solver.solve(&qg, 0).is_some());
         assert!(solver.solve(&qg, 5).is_none());

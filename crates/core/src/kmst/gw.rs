@@ -224,7 +224,11 @@ fn extract_best_pruned_tree(
             })
             .unwrap();
         let pruned = strong_prune(graph, prizes, &adj, root);
-        let candidate_value: f64 = pruned.nodes.iter().map(|&v| prizes[v as usize]).sum::<f64>()
+        let candidate_value: f64 = pruned
+            .nodes
+            .iter()
+            .map(|&v| prizes[v as usize])
+            .sum::<f64>()
             - pruned.length;
         let best_value = best
             .as_ref()

@@ -92,7 +92,10 @@ impl SegTree {
 /// Ties are broken arbitrarily.  Points exactly on the rectangle boundary count
 /// as covered.
 pub fn max_range_sum(points: &[(Point, f64)], width: f64, height: f64) -> Option<MaxRsResult> {
-    assert!(width > 0.0 && height > 0.0, "rectangle must have positive size");
+    assert!(
+        width > 0.0 && height > 0.0,
+        "rectangle must have positive size"
+    );
     let positive: Vec<(usize, Point, f64)> = points
         .iter()
         .enumerate()
@@ -112,9 +115,7 @@ pub fn max_range_sum(points: &[(Point, f64)], width: f64, height: f64) -> Option
     }
     ys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     ys.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-    let y_index = |y: f64| -> usize {
-        ys.partition_point(|&v| v < y - 1e-12)
-    };
+    let y_index = |y: f64| -> usize { ys.partition_point(|&v| v < y - 1e-12) };
     // Sweep events over x: at x = p.x − half_w the point's y-interval is added,
     // at x = p.x + half_w it is removed (inclusive boundary → remove strictly after).
     #[derive(Debug)]
@@ -169,10 +170,7 @@ pub fn max_range_sum(points: &[(Point, f64)], width: f64, height: f64) -> Option
         }
     }
     // Turn the elementary segment index back into a y coordinate (its lower endpoint).
-    let best_y = ys
-        .get(best_y_segment)
-        .copied()
-        .unwrap_or(positive[0].1.y);
+    let best_y = ys.get(best_y_segment).copied().unwrap_or(positive[0].1.y);
     let center = Point::new(best_x, best_y);
     // Collect the covered points at the reported centre.
     let covered: Vec<usize> = points
@@ -277,7 +275,9 @@ mod tests {
     fn matches_brute_force_on_pseudorandom_instances() {
         let mut state = 0xDEADBEEFu64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for case in 0..20 {

@@ -211,10 +211,7 @@ impl QueryGraph {
     /// The local id of a global node, if it lies in the query region.
     pub fn local_node(&self, node: NodeId) -> Option<u32> {
         // Linear probe avoided: node_ids is sorted (RegionView yields sorted ids).
-        self.node_ids
-            .binary_search(&node)
-            .ok()
-            .map(|i| i as u32)
+        self.node_ids.binary_search(&node).ok().map(|i| i as u32)
     }
 
     /// Location of a local node.
@@ -431,7 +428,11 @@ mod tests {
         // ⌊|V_Q|/α⌋ = ⌊6/0.15⌋ = 40, which equals the max scaled node weight.
         assert_eq!(qg.scaled_weight_lower_bound(), 40);
         assert_eq!(qg.scaled_weight_upper_bound(), 240);
-        let max_scaled = qg.node_indices().map(|v| qg.scaled_weight(v)).max().unwrap();
+        let max_scaled = qg
+            .node_indices()
+            .map(|v| qg.scaled_weight(v))
+            .max()
+            .unwrap();
         assert_eq!(max_scaled, qg.scaled_weight_lower_bound());
     }
 
@@ -474,7 +475,8 @@ mod tests {
             QueryGraph::build(&view, &weights, -1.0, 0.5),
             Err(LcmsrError::InvalidDelta { .. })
         ));
-        let empty_view = RegionView::new(&network, lcmsr_roadnet::geo::Rect::new(1e6, 1e6, 2e6, 2e6));
+        let empty_view =
+            RegionView::new(&network, lcmsr_roadnet::geo::Rect::new(1e6, 1e6, 2e6, 2e6));
         assert!(matches!(
             QueryGraph::build(&empty_view, &weights, 5.0, 0.5),
             Err(LcmsrError::EmptyQueryRegion)

@@ -42,6 +42,31 @@ impl RegionTuple {
         self.nodes.len()
     }
 
+    /// The total quality order shared by every ranking consumer
+    /// (`BestTracker::update`, TGEN's top list, the top-k ranking):
+    /// larger scaled weight first, then larger *original* weight (equal
+    /// scaled weights only differ through the scaling's floor), then shorter
+    /// length.  `Ordering::Less` means `self` ranks before (is better than)
+    /// `other`, so sorting with this comparator lists the best tuple first.
+    /// Keeping a single comparator is what guarantees `run_topk(…, 1)` agrees
+    /// with the single-region `run`.
+    pub fn cmp_quality(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .scaled
+            .cmp(&self.scaled)
+            .then_with(|| {
+                other
+                    .weight
+                    .partial_cmp(&self.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| {
+                self.length
+                    .partial_cmp(&other.length)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
     /// Whether the region contains the local node `v`.
     pub fn contains_node(&self, v: u32) -> bool {
         self.nodes.binary_search(&v).is_ok()
@@ -65,7 +90,10 @@ impl RegionTuple {
     /// `edge` of length `edge_length` (the edge's endpoints must lie one in each
     /// region, which the caller guarantees).
     pub fn combine(&self, other: &RegionTuple, edge: u32, edge_length: f64) -> RegionTuple {
-        debug_assert!(!self.shares_nodes(other), "combine requires disjoint regions");
+        debug_assert!(
+            !self.shares_nodes(other),
+            "combine requires disjoint regions"
+        );
         let mut nodes = Vec::with_capacity(self.nodes.len() + other.nodes.len());
         merge_sorted(&self.nodes, &other.nodes, &mut nodes);
         let mut edges = Vec::with_capacity(self.edges.len() + other.edges.len() + 1);
@@ -143,11 +171,7 @@ impl Region {
     pub fn from_tuple(graph: &QueryGraph, tuple: &RegionTuple) -> Self {
         let mut nodes: Vec<NodeId> = tuple.nodes.iter().map(|&v| graph.global_node(v)).collect();
         nodes.sort_unstable();
-        let mut edges: Vec<EdgeId> = tuple
-            .edges
-            .iter()
-            .map(|&e| graph.edge(e).global)
-            .collect();
+        let mut edges: Vec<EdgeId> = tuple.edges.iter().map(|&e| graph.edge(e).global).collect();
         edges.sort_unstable();
         Region {
             nodes,

@@ -50,8 +50,10 @@ impl TgenParams {
 pub struct TgenOutcome {
     /// The best feasible region found, if any node is relevant.
     pub best: Option<RegionTuple>,
-    /// All feasible tuples generated, ordered by decreasing scaled weight then
-    /// increasing length (used by the top-k extension); capped to `top_limit`.
+    /// All feasible tuples generated, ordered by the shared quality order
+    /// ([`RegionTuple::cmp_quality`]: decreasing scaled weight, then
+    /// decreasing original weight, then increasing length; used by the top-k
+    /// extension); capped to `TOP_LIMIT` distinct node sets.
     pub top_tuples: Vec<RegionTuple>,
     /// Number of edges processed.
     pub edges_processed: u64,
@@ -167,26 +169,29 @@ pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> 
 }
 
 /// Maintains the bounded list of best tuples (distinct node sets), ordered by
-/// decreasing scaled weight then increasing length.
+/// the shared quality order ([`RegionTuple::cmp_quality`], the same total
+/// order as `BestTracker::update`), so the head of the list is always the
+/// single-query best.
 fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple) {
-    if candidate.scaled == 0 {
+    // Filter on the original weight, not the scaled one: under a coarse
+    // scaling (α > |V_Q|) every scaled weight floors to 0 even though relevant
+    // regions exist, and rejecting scaled == 0 would leave the top list empty
+    // while `BestTracker` still reports a single-query best.
+    if candidate.weight <= 0.0 {
         return;
     }
-    if top.iter().any(|t| t.nodes == candidate.nodes) {
-        // Keep the better measure for an identical node set.
-        if let Some(existing) = top.iter_mut().find(|t| t.nodes == candidate.nodes) {
-            if candidate.length < existing.length {
-                *existing = candidate.clone();
-            }
+    if let Some(pos) = top.iter().position(|t| t.nodes == candidate.nodes) {
+        // Keep the better measure for an identical node set — judged by the
+        // same quality order, so the list never holds a variant of a node set
+        // that `BestTracker` would rank differently.
+        if candidate.cmp_quality(&top[pos]) == std::cmp::Ordering::Less {
+            top[pos] = candidate.clone();
+            top.sort_by(|a, b| a.cmp_quality(b));
         }
         return;
     }
     top.push(candidate.clone());
-    top.sort_by(|a, b| {
-        b.scaled
-            .cmp(&a.scaled)
-            .then_with(|| a.length.partial_cmp(&b.length).unwrap_or(std::cmp::Ordering::Equal))
-    });
+    top.sort_by(|a, b| a.cmp_quality(b));
     if top.len() > TOP_LIMIT {
         top.truncate(TOP_LIMIT);
     }
@@ -226,7 +231,11 @@ mod tests {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
             let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
             let best = outcome.best.unwrap();
-            assert!(best.length <= delta + 1e-9, "∆={delta}: length {}", best.length);
+            assert!(
+                best.length <= delta + 1e-9,
+                "∆={delta}: length {}",
+                best.length
+            );
             for t in &outcome.top_tuples {
                 assert!(t.length <= delta + 1e-9);
             }
@@ -284,6 +293,22 @@ mod tests {
         }
         // The first entry is the overall best.
         assert_eq!(top[0].scaled, outcome.best.unwrap().scaled);
+    }
+
+    #[test]
+    fn top_tuples_survive_a_scaling_that_floors_to_zero() {
+        // With α far above |V_Q| every scaled weight is ⌊|V_Q|/α⌋ = 0 (Lemma 5);
+        // the top list must still carry the relevant regions BestTracker sees,
+        // so run_topk(…, 1) keeps agreeing with the single-query best.
+        let (_n, qg) = figure2_query_graph(6.0, 100.0);
+        assert_eq!(qg.scaled_weight_lower_bound(), 0);
+        let outcome = run_tgen(&qg, &TgenParams { alpha: 100.0 }).unwrap();
+        let best = outcome.best.expect("relevant nodes exist");
+        assert!(best.weight > 0.0);
+        let top = &outcome.top_tuples;
+        assert!(!top.is_empty(), "scaled-0 tuples must not be discarded");
+        assert_eq!(top[0].nodes, best.nodes);
+        assert!((top[0].weight - best.weight).abs() < 1e-12);
     }
 
     #[test]

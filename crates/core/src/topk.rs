@@ -19,11 +19,11 @@ use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use crate::tgen::{run_tgen, TgenParams};
 
-/// Orders candidate tuples: larger scaled weight first, then shorter length.
+/// Orders candidate tuples with the shared quality order
+/// ([`RegionTuple::cmp_quality`]) so `run_topk(…, 1)` agrees with the
+/// single-region `run`.
 fn rank(a: &RegionTuple, b: &RegionTuple) -> std::cmp::Ordering {
-    b.scaled
-        .cmp(&a.scaled)
-        .then_with(|| a.length.partial_cmp(&b.length).unwrap_or(std::cmp::Ordering::Equal))
+    a.cmp_quality(b)
 }
 
 /// Deduplicates by node set, keeping the first (best-ranked) occurrence, and
@@ -196,8 +196,12 @@ mod tests {
     fn k_zero_and_irrelevant_queries_return_empty() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         assert!(topk_app(&qg, &AppParams::default(), 0).unwrap().is_empty());
-        assert!(topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 0).unwrap().is_empty());
-        assert!(topk_greedy(&qg, &GreedyParams::default(), 0).unwrap().is_empty());
+        assert!(topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 0)
+            .unwrap()
+            .is_empty());
+        assert!(topk_greedy(&qg, &GreedyParams::default(), 0)
+            .unwrap()
+            .is_empty());
 
         use lcmsr_geotext::collection::NodeWeights;
         use lcmsr_roadnet::subgraph::RegionView;
@@ -205,8 +209,12 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(topk_app(&qg0, &AppParams::default(), 3).unwrap().is_empty());
-        assert!(topk_tgen(&qg0, &TgenParams { alpha: 0.5 }, 3).unwrap().is_empty());
-        assert!(topk_greedy(&qg0, &GreedyParams::default(), 3).unwrap().is_empty());
+        assert!(topk_tgen(&qg0, &TgenParams { alpha: 0.5 }, 3)
+            .unwrap()
+            .is_empty());
+        assert!(topk_greedy(&qg0, &GreedyParams::default(), 3)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

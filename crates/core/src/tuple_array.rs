@@ -72,8 +72,9 @@ impl TupleArray {
 
 /// Keeps the overall best tuple(s) seen so far across the whole run.
 ///
-/// `update` applies the paper's ordering: larger scaled weight wins; among
-/// equal scaled weights the shorter region wins.
+/// `update` applies the shared quality order ([`RegionTuple::cmp_quality`]):
+/// larger scaled weight wins; among equal scaled weights the larger original
+/// weight wins, then the shorter region.
 #[derive(Debug, Clone, Default)]
 pub struct BestTracker {
     best: Option<RegionTuple>,
@@ -95,24 +96,15 @@ impl BestTracker {
         self.best
     }
 
-    /// Offers a candidate; keeps it when it beats the current best.
+    /// Offers a candidate; keeps it when it beats the current best under the
+    /// shared quality order ([`RegionTuple::cmp_quality`]: larger scaled
+    /// weight, then larger original weight, then shorter length — refining the
+    /// paper's tie-breaking without changing the scaled-weight objective).
     /// Returns true when the candidate became the new best.
-    ///
-    /// Ordering: larger scaled weight first; among equal scaled weights the
-    /// larger *original* weight wins (they only differ because of the scaling's
-    /// floor), and only then the shorter region — this refines the paper's
-    /// tie-breaking without changing the scaled-weight objective.
     pub fn update(&mut self, candidate: &RegionTuple) -> bool {
         let better = match &self.best {
             None => true,
-            Some(current) => {
-                candidate.scaled > current.scaled
-                    || (candidate.scaled == current.scaled
-                        && candidate.weight > current.weight + 1e-12)
-                    || (candidate.scaled == current.scaled
-                        && (candidate.weight - current.weight).abs() <= 1e-12
-                        && candidate.length < current.length)
-            }
+            Some(current) => candidate.cmp_quality(current) == std::cmp::Ordering::Less,
         };
         if better {
             self.best = Some(candidate.clone());
@@ -140,8 +132,14 @@ mod tests {
         let mut arr = TupleArray::new();
         assert!(arr.is_empty());
         assert!(arr.insert_if_better(tuple(10, 5.0, 1)));
-        assert!(!arr.insert_if_better(tuple(10, 6.0, 2)), "longer tuple rejected");
-        assert!(arr.insert_if_better(tuple(10, 4.0, 3)), "shorter tuple accepted");
+        assert!(
+            !arr.insert_if_better(tuple(10, 6.0, 2)),
+            "longer tuple rejected"
+        );
+        assert!(
+            arr.insert_if_better(tuple(10, 4.0, 3)),
+            "shorter tuple accepted"
+        );
         assert!(arr.insert_if_better(tuple(20, 9.0, 4)));
         assert_eq!(arr.len(), 2);
         assert_eq!(arr.get(10).unwrap().length, 4.0);
@@ -173,9 +171,18 @@ mod tests {
         let mut tracker = BestTracker::new();
         assert!(tracker.best().is_none());
         assert!(tracker.update(&tuple(10, 5.0, 1)));
-        assert!(!tracker.update(&tuple(9, 1.0, 2)), "lower weight never wins");
-        assert!(!tracker.update(&tuple(10, 6.0, 3)), "same weights, longer loses");
-        assert!(tracker.update(&tuple(10, 4.0, 4)), "same weights, shorter wins");
+        assert!(
+            !tracker.update(&tuple(9, 1.0, 2)),
+            "lower weight never wins"
+        );
+        assert!(
+            !tracker.update(&tuple(10, 6.0, 3)),
+            "same weights, longer loses"
+        );
+        assert!(
+            tracker.update(&tuple(10, 4.0, 4)),
+            "same weights, shorter wins"
+        );
         // Equal scaled weight but larger original weight wins regardless of length.
         let heavier = RegionTuple {
             length: 9.0,

@@ -102,11 +102,7 @@ pub fn usanw_like(scale: NetworkScale, seed: u64) -> Result<RoadNetwork> {
                 );
             }
             for e in town.edges() {
-                builder.add_edge(
-                    NodeId(base + e.a.0),
-                    NodeId(base + e.b.0),
-                    e.length,
-                )?;
+                builder.add_edge(NodeId(base + e.a.0), NodeId(base + e.b.0), e.length)?;
             }
             // The town centre is the first node of the radial network.
             row_centers.push(NodeId(base));
@@ -146,7 +142,11 @@ mod tests {
     #[test]
     fn ny_like_tiny_is_connected_and_dense() {
         let g = ny_like(NetworkScale::Tiny, 7).unwrap();
-        assert!(g.node_count() >= 350 && g.node_count() <= 500, "nodes {}", g.node_count());
+        assert!(
+            g.node_count() >= 350 && g.node_count() <= 500,
+            "nodes {}",
+            g.node_count()
+        );
         assert_eq!(connected_components(&g).len(), 1);
         let stats = g.stats();
         assert!(stats.avg_degree > 2.5, "avg degree {}", stats.avg_degree);
@@ -161,8 +161,12 @@ mod tests {
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
         let c = ny_like(NetworkScale::Tiny, 43).unwrap();
-        let identical = a.node_count() == c.node_count() && a.edge_count() == c.edge_count()
-            && a.nodes().iter().zip(c.nodes()).all(|(x, y)| x.point == y.point);
+        let identical = a.node_count() == c.node_count()
+            && a.edge_count() == c.edge_count()
+            && a.nodes()
+                .iter()
+                .zip(c.nodes())
+                .all(|(x, y)| x.point == y.point);
         assert!(!identical);
     }
 

@@ -118,9 +118,8 @@ pub fn generate_objects(
         let description =
             keywords.sample_description(&mut rng, category, params.extra_terms_per_object);
         let rating = 1.0 + rng.gen_range(0.0..4.0);
-        objects.push(
-            GeoTextObject::from_keywords(i as u64, point, description).with_rating(rating),
-        );
+        objects
+            .push(GeoTextObject::from_keywords(i as u64, point, description).with_rating(rating));
     }
     GeneratedObjects { objects, clusters }
 }
@@ -186,15 +185,24 @@ mod tests {
             ..ObjectGenParams::default()
         };
         let generated = generate_objects(&network, &kw, &params);
-        // Within each cluster's radius, the cluster's category should be clearly
-        // over-represented relative to its global share.
+        // Among the objects a cluster governs (those within its radius that lie
+        // nearer to it than to any other cluster — the assignment rule of
+        // `generate_objects`), the cluster's category should be clearly
+        // over-represented relative to its global share.  Grouping by raw
+        // radius membership instead would let overlapping clusters dilute each
+        // other and make the check depend on lucky cluster placement.
         let mut checked = 0;
         for cluster in &generated.clusters {
             let cat_term = CATEGORIES[cluster.category];
             let nearby: Vec<_> = generated
                 .objects
                 .iter()
-                .filter(|o| o.point.distance(&cluster.point) <= params.cluster_radius)
+                .filter(|o| {
+                    o.point.distance(&cluster.point) <= params.cluster_radius
+                        && generated.clusters.iter().all(|other| {
+                            o.point.distance(&other.point) >= o.point.distance(&cluster.point)
+                        })
+                })
                 .collect();
             if nearby.len() < 20 {
                 continue;

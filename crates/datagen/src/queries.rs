@@ -102,11 +102,7 @@ pub fn generate_queries(
 }
 
 /// Samples up to `count` distinct keywords proportionally to their frequency.
-fn sample_keywords(
-    rng: &mut StdRng,
-    term_freq: &HashMap<&str, u32>,
-    count: usize,
-) -> Vec<String> {
+fn sample_keywords(rng: &mut StdRng, term_freq: &HashMap<&str, u32>, count: usize) -> Vec<String> {
     let mut pool: Vec<(&str, u32)> = term_freq.iter().map(|(&t, &f)| (t, f)).collect();
     // Deterministic iteration order regardless of HashMap ordering.
     pool.sort_unstable_by(|a, b| a.0.cmp(b.0));

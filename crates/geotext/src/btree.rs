@@ -155,10 +155,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let (leaf, _) = self.find_leaf(key);
         match &self.pages[leaf.index()] {
-            Page::Leaf { keys, values, .. } => keys
-                .binary_search(key)
-                .ok()
-                .map(|i| &values[i]),
+            Page::Leaf { keys, values, .. } => keys.binary_search(key).ok().map(|i| &values[i]),
             Page::Internal { .. } => unreachable!("find_leaf returns a leaf"),
         }
     }

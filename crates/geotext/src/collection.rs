@@ -348,7 +348,11 @@ mod tests {
         let w = coll.node_weights_for_keywords(&["restaurant"], &rect);
         assert!(w.weight(NodeId(0)) > 0.0);
         assert!(w.weight(NodeId(1)) > 0.0);
-        assert_eq!(w.weight(NodeId(4)), 0.0, "object outside Q.Λ must not count");
+        assert_eq!(
+            w.weight(NodeId(4)),
+            0.0,
+            "object outside Q.Λ must not count"
+        );
     }
 
     #[test]

@@ -124,16 +124,26 @@ impl GridIndex {
     /// Objects outside the grid extent or with non-finite coordinates are
     /// rejected; objects with empty descriptions are rejected as well since
     /// they can never contribute to a query result.
-    pub fn insert(&mut self, vocabulary: &mut Vocabulary, object: &GeoTextObject) -> Result<CellId> {
+    pub fn insert(
+        &mut self,
+        vocabulary: &mut Vocabulary,
+        object: &GeoTextObject,
+    ) -> Result<CellId> {
         if !object.point.is_finite() {
-            return Err(GeoTextError::InvalidLocation { object: object.id.0 });
+            return Err(GeoTextError::InvalidLocation {
+                object: object.id.0,
+            });
         }
         if object.is_empty() {
-            return Err(GeoTextError::EmptyDescription { object: object.id.0 });
+            return Err(GeoTextError::EmptyDescription {
+                object: object.id.0,
+            });
         }
         let cell_id = self
             .cell_of(&object.point)
-            .ok_or(GeoTextError::InvalidLocation { object: object.id.0 })?;
+            .ok_or(GeoTextError::InvalidLocation {
+                object: object.id.0,
+            })?;
         let cell = self.cells.entry(cell_id).or_default();
         cell.objects.push(object.id);
         cell.inverted.add_object(vocabulary, object);
@@ -152,10 +162,14 @@ impl GridIndex {
             Some(r) => r,
             None => return Vec::new(),
         };
-        let col_lo = (((clipped.min_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
-        let col_hi = (((clipped.max_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
-        let row_lo = (((clipped.min_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
-        let row_hi = (((clipped.max_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        let col_lo =
+            (((clipped.min_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let col_hi =
+            (((clipped.max_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let row_lo =
+            (((clipped.min_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        let row_hi =
+            (((clipped.max_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
         let mut out = Vec::new();
         for col in col_lo..=col_hi {
             for row in row_lo..=row_hi {
@@ -271,7 +285,8 @@ mod tests {
             grid.insert(&mut vocab, &outside),
             Err(GeoTextError::InvalidLocation { object: 10 })
         ));
-        let empty = GeoTextObject::from_keywords(11u64, Point::new(10.0, 10.0), Vec::<String>::new());
+        let empty =
+            GeoTextObject::from_keywords(11u64, Point::new(10.0, 10.0), Vec::<String>::new());
         assert!(matches!(
             grid.insert(&mut vocab, &empty),
             Err(GeoTextError::EmptyDescription { object: 11 })

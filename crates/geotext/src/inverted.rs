@@ -138,7 +138,11 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let objects = vec![
             GeoTextObject::from_keywords(0u64, Point::new(0.0, 0.0), ["restaurant", "italian"]),
-            GeoTextObject::from_keywords(1u64, Point::new(1.0, 0.0), ["restaurant", "pizza", "pizza"]),
+            GeoTextObject::from_keywords(
+                1u64,
+                Point::new(1.0, 0.0),
+                ["restaurant", "pizza", "pizza"],
+            ),
             GeoTextObject::from_keywords(2u64, Point::new(2.0, 0.0), ["cafe", "coffee"]),
             GeoTextObject::from_keywords(3u64, Point::new(3.0, 0.0), Vec::<String>::new()),
         ];

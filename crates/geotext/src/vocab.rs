@@ -95,7 +95,10 @@ impl Vocabulary {
     /// The caller is responsible for passing *distinct* terms of the document
     /// (duplicates would inflate `f_t`); `register_document` deduplicates
     /// defensively.
-    pub fn register_document<'a>(&mut self, terms: impl IntoIterator<Item = &'a str>) -> Vec<TermId> {
+    pub fn register_document<'a>(
+        &mut self,
+        terms: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<TermId> {
         let mut ids: Vec<TermId> = terms.into_iter().map(|t| self.intern(t)).collect();
         ids.sort_unstable();
         ids.dedup();

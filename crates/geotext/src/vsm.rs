@@ -160,7 +160,11 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let objects = vec![
             GeoTextObject::from_keywords(0u64, Point::new(0.0, 0.0), ["restaurant", "italian"]),
-            GeoTextObject::from_keywords(1u64, Point::new(1.0, 0.0), ["restaurant", "pizza", "pizza"]),
+            GeoTextObject::from_keywords(
+                1u64,
+                Point::new(1.0, 0.0),
+                ["restaurant", "pizza", "pizza"],
+            ),
             GeoTextObject::from_keywords(2u64, Point::new(2.0, 0.0), ["cafe", "coffee"]),
             GeoTextObject::from_keywords(3u64, Point::new(3.0, 0.0), ["museum"]),
         ];
@@ -196,7 +200,12 @@ mod tests {
         assert!(!q.is_empty());
         assert_eq!(q.known_term_ids().len(), 2);
         // restaurant appears in 2 of 4 docs, pizza in 1 → pizza has higher idf.
-        let w_rest = q.terms.iter().find(|t| t.text == "restaurant").unwrap().weight;
+        let w_rest = q
+            .terms
+            .iter()
+            .find(|t| t.text == "restaurant")
+            .unwrap()
+            .weight;
         let w_pizza = q.terms.iter().find(|t| t.text == "pizza").unwrap().weight;
         assert!(w_pizza > w_rest);
         assert!((q.norm - (w_rest * w_rest + w_pizza * w_pizza).sqrt()).abs() < 1e-12);

@@ -69,26 +69,25 @@ fn parse_coords(co_text: &str) -> Result<(usize, Vec<CoordEntry>)> {
                 declared = n;
             }
             Some("v") => {
-                let id: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
+                let id: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    RoadNetError::Parse {
                         line: lineno + 1,
                         message: "missing node id in v line".into(),
+                    }
+                })?;
+                let lon_micro: f64 =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        RoadNetError::Parse {
+                            line: lineno + 1,
+                            message: "missing longitude in v line".into(),
+                        }
                     })?;
-                let lon_micro: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
-                        line: lineno + 1,
-                        message: "missing longitude in v line".into(),
-                    })?;
-                let lat_micro: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
-                        line: lineno + 1,
-                        message: "missing latitude in v line".into(),
+                let lat_micro: f64 =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                        RoadNetError::Parse {
+                            line: lineno + 1,
+                            message: "missing latitude in v line".into(),
+                        }
                     })?;
                 entries.push(CoordEntry {
                     id,
@@ -135,41 +134,40 @@ fn parse_arcs(gr_text: &str) -> Result<(usize, usize, Vec<ArcEntry>)> {
                         message: "malformed graph header".into(),
                     });
                 }
-                declared_nodes = tokens[tokens.len() - 2].parse().map_err(|_| {
-                    RoadNetError::Parse {
-                        line: lineno + 1,
-                        message: "bad node count in header".into(),
-                    }
-                })?;
-                declared_arcs = tokens[tokens.len() - 1].parse().map_err(|_| {
-                    RoadNetError::Parse {
-                        line: lineno + 1,
-                        message: "bad arc count in header".into(),
-                    }
-                })?;
+                declared_nodes =
+                    tokens[tokens.len() - 2]
+                        .parse()
+                        .map_err(|_| RoadNetError::Parse {
+                            line: lineno + 1,
+                            message: "bad node count in header".into(),
+                        })?;
+                declared_arcs =
+                    tokens[tokens.len() - 1]
+                        .parse()
+                        .map_err(|_| RoadNetError::Parse {
+                            line: lineno + 1,
+                            message: "bad arc count in header".into(),
+                        })?;
             }
             Some("a") => {
-                let from: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
+                let from: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    RoadNetError::Parse {
                         line: lineno + 1,
                         message: "missing source in a line".into(),
-                    })?;
-                let to: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
+                    }
+                })?;
+                let to: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    RoadNetError::Parse {
                         line: lineno + 1,
                         message: "missing target in a line".into(),
-                    })?;
-                let weight: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| RoadNetError::Parse {
+                    }
+                })?;
+                let weight: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    RoadNetError::Parse {
                         line: lineno + 1,
                         message: "missing weight in a line".into(),
-                    })?;
+                    }
+                })?;
                 arcs.push(ArcEntry { from, to, weight });
             }
             Some(other) => {
@@ -236,7 +234,9 @@ pub fn parse_dimacs(gr_text: &str, co_text: &str, unit: WeightUnit) -> Result<Ro
             .get(a.from)
             .copied()
             .flatten()
-            .ok_or(RoadNetError::UnknownNode { node: a.from as u32 })?;
+            .ok_or(RoadNetError::UnknownNode {
+                node: a.from as u32,
+            })?;
         let to = id_map
             .get(a.to)
             .copied()
@@ -323,7 +323,10 @@ a 1 4 111\n";
         assert_eq!(g.node_count(), 4);
         // 8 arcs collapse into 4 undirected edges.
         assert_eq!(g.edge_count(), 4);
-        assert_eq!(g.length(g.edge_between(NodeId(0), NodeId(1)).unwrap()), 85.0);
+        assert_eq!(
+            g.length(g.edge_between(NodeId(0), NodeId(1)).unwrap()),
+            85.0
+        );
     }
 
     #[test]
@@ -345,10 +348,16 @@ a 1 4 111\n";
     fn header_mismatch_is_reported() {
         let bad_gr = SAMPLE_GR.replace("p sp 4 8", "p sp 4 9");
         let err = parse_dimacs(&bad_gr, SAMPLE_CO, WeightUnit::Meters).unwrap_err();
-        assert!(matches!(err, RoadNetError::SizeMismatch { what: "arcs", .. }));
+        assert!(matches!(
+            err,
+            RoadNetError::SizeMismatch { what: "arcs", .. }
+        ));
         let bad_co = SAMPLE_CO.replace("p aux sp co 4", "p aux sp co 5");
         let err = parse_dimacs(SAMPLE_GR, &bad_co, WeightUnit::Meters).unwrap_err();
-        assert!(matches!(err, RoadNetError::SizeMismatch { what: "nodes", .. }));
+        assert!(matches!(
+            err,
+            RoadNetError::SizeMismatch { what: "nodes", .. }
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ impl SplitRng {
     /// Creates a generator from a seed; a zero seed is remapped to a constant.
     pub fn new(seed: u64) -> Self {
         SplitRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -97,10 +101,8 @@ impl Default for GridParams {
 /// affected corner), and occasional diagonals model cut-through streets.
 pub fn perturbed_grid(params: &GridParams) -> Result<RoadNetwork> {
     let mut rng = SplitRng::new(params.seed);
-    let mut builder = GraphBuilder::with_capacity(
-        params.cols * params.rows,
-        params.cols * params.rows * 2,
-    );
+    let mut builder =
+        GraphBuilder::with_capacity(params.cols * params.rows, params.cols * params.rows * 2);
     let mut ids = vec![Vec::with_capacity(params.cols); params.rows];
     for (r, row_ids) in ids.iter_mut().enumerate() {
         for c in 0..params.cols {
@@ -216,7 +218,8 @@ pub fn connect_components(network: RoadNetwork) -> Result<RoadNetwork> {
     if comps.len() <= 1 {
         return Ok(network);
     }
-    let mut builder = GraphBuilder::with_capacity(network.node_count(), network.edge_count() + comps.len());
+    let mut builder =
+        GraphBuilder::with_capacity(network.node_count(), network.edge_count() + comps.len());
     for n in network.nodes() {
         builder.add_node_with_kind(n.point, n.kind);
     }

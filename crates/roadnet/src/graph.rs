@@ -202,7 +202,11 @@ impl RoadNetwork {
     pub fn stats(&self) -> NetworkStats {
         let n = self.node_count();
         let m = self.edge_count();
-        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         let avg_edge_length = if m == 0 {
             0.0
         } else {
@@ -282,7 +286,10 @@ mod tests {
         assert_eq!(g.node_count(), 6);
         assert_eq!(g.edge_count(), 8);
         assert_eq!(g.degree(NodeId(1)), 3); // v2 connects v1, v3, v6
-        assert_eq!(g.edge_between(NodeId(0), NodeId(1)).map(|e| g.length(e)), Some(1.0));
+        assert_eq!(
+            g.edge_between(NodeId(0), NodeId(1)).map(|e| g.length(e)),
+            Some(1.0)
+        );
         assert!(g.edge_between(NodeId(0), NodeId(3)).is_none());
     }
 
@@ -290,8 +297,14 @@ mod tests {
     fn adjacency_is_symmetric() {
         let g = figure2_graph();
         for e in g.edges() {
-            assert!(g.neighbors(e.a).iter().any(|(n, id)| *n == e.b && *id == e.id));
-            assert!(g.neighbors(e.b).iter().any(|(n, id)| *n == e.a && *id == e.id));
+            assert!(g
+                .neighbors(e.a)
+                .iter()
+                .any(|(n, id)| *n == e.b && *id == e.id));
+            assert!(g
+                .neighbors(e.b)
+                .iter()
+                .any(|(n, id)| *n == e.a && *id == e.id));
         }
     }
 

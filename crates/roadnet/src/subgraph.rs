@@ -97,10 +97,7 @@ impl<'g> RegionView<'g> {
     /// Whether `node` belongs to the view.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.membership
-            .get(node.index())
-            .copied()
-            .unwrap_or(false)
+        self.membership.get(node.index()).copied().unwrap_or(false)
     }
 
     /// Neighbours of `node` restricted to the view, as `(neighbour, edge)` pairs.
@@ -182,7 +179,8 @@ impl<'g> RegionView<'g> {
         }
         // Adjacency restricted to the provided edges.
         let node_set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
-        let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> = std::collections::HashMap::new();
+        let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
         for &e in edges {
             let edge = self.graph.edge(e);
             if !node_set.contains(&edge.a) || !node_set.contains(&edge.b) {

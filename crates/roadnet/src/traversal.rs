@@ -195,11 +195,7 @@ pub fn dijkstra(
             }
         }
     }
-    ShortestPaths {
-        source,
-        dist,
-        prev,
-    }
+    ShortestPaths { source, dist, prev }
 }
 
 /// Dijkstra over the whole graph (no node restriction).
@@ -278,7 +274,9 @@ mod tests {
 
     fn line_graph(n: usize) -> RoadNetwork {
         let mut b = GraphBuilder::new();
-        let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1], 1.0).unwrap();
         }
@@ -287,7 +285,9 @@ mod tests {
 
     fn figure2() -> RoadNetwork {
         let mut b = GraphBuilder::new();
-        let v: Vec<NodeId> = (0..6).map(|i| b.add_node(Point::new(i as f64, 0.0))).collect();
+        let v: Vec<NodeId> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
         b.add_edge(v[0], v[1], 1.0).unwrap();
         b.add_edge(v[1], v[2], 3.1).unwrap();
         b.add_edge(v[2], v[3], 5.0).unwrap();

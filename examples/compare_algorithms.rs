@@ -47,7 +47,10 @@ fn main() {
     }
 
     // Relative ratio vs. TGEN (index 1), averaged over queries — the paper's metric.
-    println!("{:<8} {:>14} {:>20}", "algo", "avg time (ms)", "ratio vs TGEN (%)");
+    println!(
+        "{:<8} {:>14} {:>20}",
+        "algo", "avg time (ms)", "ratio vs TGEN (%)"
+    );
     for (i, (name, _)) in algorithms.iter().enumerate() {
         let mut ratio_sum = 0.0;
         let mut counted = 0usize;
@@ -57,7 +60,11 @@ fn main() {
                 counted += 1;
             }
         }
-        let avg_ratio = if counted > 0 { ratio_sum / counted as f64 } else { 0.0 };
+        let avg_ratio = if counted > 0 {
+            ratio_sum / counted as f64
+        } else {
+            0.0
+        };
         println!(
             "{:<8} {:>14.2} {:>20.1}",
             name,

@@ -55,10 +55,7 @@ fn main() {
         for &node in &region.nodes {
             for &obj in dataset.collection.objects_at(node) {
                 let object = dataset.collection.object(obj).unwrap();
-                let relevant = query
-                    .keywords
-                    .iter()
-                    .any(|k| object.contains_term(k));
+                let relevant = query.keywords.iter().any(|k| object.contains_term(k));
                 if relevant {
                     poi_count += 1;
                     for k in &query.keywords {

@@ -20,8 +20,8 @@ fn main() {
     // 2. Formulate an LCMSR query: keywords, a walking budget Q.∆, and the
     //    region of interest Q.Λ (here: the whole city).
     let roi = dataset.network.bounding_rect().unwrap();
-    let query = LcmsrQuery::new(["restaurant", "cafe"], 1_200.0, roi)
-        .expect("query arguments are valid");
+    let query =
+        LcmsrQuery::new(["restaurant", "cafe"], 1_200.0, roi).expect("query arguments are valid");
     println!(
         "\nquery   : keywords {:?}, ∆ = {} m, Λ = {:.1} km²",
         query.keywords,
@@ -36,7 +36,10 @@ fn main() {
         Algorithm::Tgen(TgenParams { alpha: 10.0 }),
         Algorithm::Greedy(GreedyParams::default()),
     ];
-    println!("\n{:<8} {:>10} {:>12} {:>8} {:>12}", "algo", "weight", "length (m)", "PoIs", "time (ms)");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>8} {:>12}",
+        "algo", "weight", "length (m)", "PoIs", "time (ms)"
+    );
     for algorithm in &algorithms {
         let result = engine.run(&query, algorithm).expect("query runs");
         match &result.region {

@@ -45,4 +45,29 @@ fn main() {
         }
         println!();
     }
+
+    // TGEN's default α (400, tuned for the paper's city-scale graphs) is far
+    // coarser than this tiny network: every scaled weight floors to zero.
+    // Top-k must still return regions and its #1 must agree with the
+    // single-region query.
+    let coarse = Algorithm::Tgen(TgenParams::default());
+    let single = engine.run(&query, &coarse).expect("query runs").region;
+    let top = engine.run_topk(&query, &coarse, k).expect("query runs");
+    println!(
+        "=== TGEN with default α = {} (coarse scaling) ===",
+        TgenParams::default().alpha
+    );
+    match (&single, top.regions.first()) {
+        (Some(s), Some(t)) => println!(
+            "  single best weight {:.4} | top-1 weight {:.4} ({} alternatives returned)",
+            s.weight,
+            t.weight,
+            top.regions.len()
+        ),
+        _ => println!(
+            "  single: {:?}, top-k: {} regions — INCONSISTENT",
+            single.is_some(),
+            top.regions.len()
+        ),
+    }
 }

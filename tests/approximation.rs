@@ -42,11 +42,7 @@ fn grid_world(
         .map(|(i, &node)| {
             let p = network.point(NodeId((node % (side * side)) as u32));
             // Offset slightly so several objects on one node stay distinct points.
-            GeoTextObject::from_keywords(
-                i as u64,
-                Point::new(p.x + 1.0, p.y + 1.0),
-                ["restaurant"],
-            )
+            GeoTextObject::from_keywords(i as u64, Point::new(p.x + 1.0, p.y + 1.0), ["restaurant"])
         })
         .collect();
     let collection = ObjectCollection::build(&network, objects, spacing.max(50.0)).unwrap();

@@ -116,7 +116,10 @@ fn accuracy_ordering_matches_the_paper() {
     }
     assert!(counted >= 4, "workload produced too few answerable queries");
     let [tgen_avg, app_avg, greedy_avg] = sums.map(|s| s / counted as f64);
-    assert!(app_avg >= 0.6 * tgen_avg, "APP avg {app_avg} vs TGEN {tgen_avg}");
+    assert!(
+        app_avg >= 0.6 * tgen_avg,
+        "APP avg {app_avg} vs TGEN {tgen_avg}"
+    );
     assert!(
         greedy_avg <= tgen_avg + 1e-9,
         "Greedy avg {greedy_avg} should not beat TGEN {tgen_avg}"
@@ -177,7 +180,9 @@ fn statistics_reflect_the_work_done() {
     let roi = dataset.network.bounding_rect().unwrap();
     let query = LcmsrQuery::new(["restaurant", "pizza"], 1_000.0, roi).unwrap();
 
-    let app = engine.run(&query, &Algorithm::App(AppParams::default())).unwrap();
+    let app = engine
+        .run(&query, &Algorithm::App(AppParams::default()))
+        .unwrap();
     assert_eq!(app.stats.algorithm, "APP");
     assert!(app.stats.nodes_in_region > 0);
     assert!(app.stats.kmst_calls > 0, "APP must call the k-MST oracle");
@@ -190,7 +195,10 @@ fn statistics_reflect_the_work_done() {
     let greedy = engine
         .run(&query, &Algorithm::Greedy(GreedyParams::default()))
         .unwrap();
-    assert!(greedy.stats.greedy_steps > 0, "Greedy must expand at least once");
+    assert!(
+        greedy.stats.greedy_steps > 0,
+        "Greedy must expand at least once"
+    );
     // The paper's headline efficiency ordering: Greedy is the fastest by far.
     assert!(greedy.stats.elapsed <= app.stats.elapsed * 4);
 }

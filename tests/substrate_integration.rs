@@ -88,7 +88,10 @@ fn generated_workloads_are_answerable() {
     }
     // The generator guarantees every query area contains relevant objects, so
     // the vast majority must be answerable (boundary effects may lose a couple).
-    assert!(answered >= 4, "only {answered} of 6 queries produced regions");
+    assert!(
+        answered >= 4,
+        "only {answered} of 6 queries produced regions"
+    );
 }
 
 #[test]

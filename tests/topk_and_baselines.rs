@@ -52,7 +52,11 @@ fn top1_matches_the_single_region_query_for_tgen() {
             assert_eq!(s.nodes, t.nodes);
         }
         (None, None) => {}
-        (s, t) => panic!("single {:?} vs top-1 {:?} disagree", s.is_some(), t.is_some()),
+        (s, t) => panic!(
+            "single {:?} vs top-1 {:?} disagree",
+            s.is_some(),
+            t.is_some()
+        ),
     }
 }
 
@@ -65,8 +69,16 @@ fn topk_runtime_grows_mildly_with_k() {
     let roi = dataset.network.bounding_rect().unwrap();
     let query = LcmsrQuery::new(["restaurant"], 900.0, roi).unwrap();
     let algorithm = Algorithm::Tgen(TgenParams { alpha: 5.0 });
-    let t1 = engine.run_topk(&query, &algorithm, 1).unwrap().stats.elapsed;
-    let t5 = engine.run_topk(&query, &algorithm, 5).unwrap().stats.elapsed;
+    let t1 = engine
+        .run_topk(&query, &algorithm, 1)
+        .unwrap()
+        .stats
+        .elapsed;
+    let t5 = engine
+        .run_topk(&query, &algorithm, 5)
+        .unwrap()
+        .stats
+        .elapsed;
     assert!(
         t5 < t1 * 20 + std::time::Duration::from_millis(50),
         "top-5 ({t5:?}) is unreasonably slower than top-1 ({t1:?})"

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io.  The workspace only uses
+//! serde for `#[derive(Serialize, Deserialize)]` annotations (no code actually
+//! serializes anything yet), so this vendored crate provides the two marker
+//! traits and re-exports no-op derive macros that accept the full `#[serde(…)]`
+//! attribute grammar and expand to nothing.
+//!
+//! When real serialization is needed (e.g. a wire format for a query service),
+//! replace this stub with the actual `serde` crate — call sites will not have
+//! to change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! Each derive accepts the `#[serde(…)]` helper attribute (so annotations like
+//! `#[serde(skip)]` parse) and expands to nothing: the marker traits in the
+//! stub `serde` crate have no methods, and nothing in the workspace serializes
+//! values yet.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
