@@ -5,6 +5,15 @@
 //! index and vector-space model, restriction to `Q.Λ`, weight scaling), runs
 //! the requested algorithm, and converts the winning tuple back into a global
 //! [`Region`].
+//!
+//! Interactive exploration produces many successive queries over the same
+//! network, so the engine supports **batched concurrent execution**:
+//! [`LcmsrEngine::run_batch`] fans a slice of queries out over scoped worker
+//! threads, each owning a [`QueryWorkspace`] whose scratch buffers (region
+//! extraction, keyword scoring, CSR query-graph construction) are recycled
+//! from query to query, so steady-state per-query preparation allocates
+//! near-zero.  Results come back in input order and are identical to what
+//! sequential [`LcmsrEngine::run`] calls produce.
 
 use crate::app::{run_app, AppParams};
 use crate::error::Result;
@@ -12,17 +21,17 @@ use crate::exact::ExactSolver;
 use crate::greedy::{run_greedy, GreedyParams};
 use crate::maxrs::{max_range_sum, MaxRsResult};
 use crate::query::LcmsrQuery;
-use crate::query_graph::QueryGraph;
+use crate::query_graph::{QueryGraph, QueryGraphBuilder};
 use crate::region::Region;
 use crate::stats::RunStats;
 use crate::tgen::{run_tgen, TgenParams};
 use crate::topk::{topk_app, topk_greedy, topk_tgen};
-use lcmsr_geotext::collection::ObjectCollection;
+use lcmsr_geotext::collection::{NodeWeights, ObjectCollection};
 use lcmsr_geotext::object::ObjectId;
 use lcmsr_roadnet::graph::RoadNetwork;
 use lcmsr_roadnet::node::NodeId;
-use lcmsr_roadnet::subgraph::RegionView;
-use lcmsr_roadnet::traversal::dijkstra;
+use lcmsr_roadnet::subgraph::{RegionScratch, RegionView};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::time::Instant;
 
 /// Which LCMSR algorithm to run, with its parameters.
@@ -54,8 +63,14 @@ impl Algorithm {
         match self {
             Algorithm::App(p) => p.alpha,
             Algorithm::Tgen(p) => p.alpha,
-            // Greedy and Exact work on the original weights; any valid α will do.
-            Algorithm::Greedy(_) | Algorithm::Exact => 1.0,
+            // Greedy works on the original weights; any valid α will do.
+            Algorithm::Greedy(_) => 1.0,
+            // Exact's top-k path ranks by the shared quality order, whose
+            // primary key is the scaled weight.  A very fine θ (= α·σ_max/|V_Q|)
+            // keeps that order faithful to the true weights — with α = 1.0 the
+            // floor quantisation could rank a lighter region above the true
+            // optimum (e.g. weights {0.3} vs {0.16, 0.16} under θ = 0.1).
+            Algorithm::Exact => 1e-6,
         }
     }
 }
@@ -99,6 +114,35 @@ pub struct MaxRsRegion {
     pub connected_in_network: bool,
 }
 
+/// Default worker count for batched execution: the available hardware
+/// parallelism (1 when it cannot be determined).
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Per-worker reusable state for answering a stream of queries.
+///
+/// Holds the scratch buffers of every preparation stage — `Q.Λ` extraction
+/// ([`RegionScratch`]), keyword scoring ([`NodeWeights`]) and query-graph
+/// construction ([`QueryGraphBuilder`]) — so repeated
+/// [`LcmsrEngine::run_with`] calls over the same network allocate near-zero.
+/// Each worker thread of [`LcmsrEngine::run_batch`] owns one workspace.
+#[derive(Debug, Clone, Default)]
+pub struct QueryWorkspace {
+    builder: QueryGraphBuilder,
+    region: RegionScratch,
+    weights: NodeWeights,
+}
+
+impl QueryWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The LCMSR query-processing engine.
 #[derive(Debug, Clone, Copy)]
 pub struct LcmsrEngine<'a> {
@@ -127,75 +171,282 @@ impl<'a> LcmsrEngine<'a> {
 
     /// Builds the scaled query graph for a query with the given α.
     pub fn prepare(&self, query: &LcmsrQuery, alpha: f64) -> Result<QueryGraph> {
+        self.prepare_with(&mut QueryWorkspace::new(), query, alpha)
+    }
+
+    /// Like [`LcmsrEngine::prepare`], but reuses the scratch buffers of a
+    /// caller-owned [`QueryWorkspace`].  Return the graph to the workspace
+    /// with [`LcmsrEngine::release`] once the algorithm is done with it.
+    pub fn prepare_with(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        alpha: f64,
+    ) -> Result<QueryGraph> {
         query.validate()?;
-        let weights = self
-            .collection
-            .node_weights_for_keywords(&query.keywords, &query.region_of_interest);
-        let view = RegionView::new(self.network, query.region_of_interest);
-        QueryGraph::build(&view, &weights, query.delta, alpha)
+        self.collection.node_weights_for_keywords_into(
+            &query.keywords,
+            &query.region_of_interest,
+            &mut workspace.weights,
+        );
+        let view = RegionView::new_reusing(
+            self.network,
+            query.region_of_interest,
+            &mut workspace.region,
+        );
+        let graph = workspace
+            .builder
+            .build(&view, &workspace.weights, query.delta, alpha);
+        view.recycle(&mut workspace.region);
+        graph
+    }
+
+    /// Returns a spent query graph's allocations to `workspace` so the next
+    /// [`LcmsrEngine::prepare_with`] call can reuse them.
+    pub fn release(&self, workspace: &mut QueryWorkspace, graph: QueryGraph) {
+        workspace.builder.recycle(graph);
     }
 
     /// Answers a query with the requested algorithm.
     pub fn run(&self, query: &LcmsrQuery, algorithm: &Algorithm) -> Result<QueryResult> {
+        self.run_with(&mut QueryWorkspace::new(), query, algorithm)
+    }
+
+    /// Like [`LcmsrEngine::run`], but reuses a caller-owned workspace — the
+    /// building block of [`LcmsrEngine::run_batch`], also useful on its own
+    /// for a sequential stream of queries.
+    pub fn run_with(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+    ) -> Result<QueryResult> {
         let start = Instant::now();
-        let graph = self.prepare(query, algorithm.alpha())?;
+        let graph = self.prepare_with(workspace, query, algorithm.alpha())?;
+        let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
+        stats.prepare_time = prepare_time;
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
-        let best = match algorithm {
+        let solve_start = Instant::now();
+        let solved = (|| match algorithm {
             Algorithm::App(params) => {
                 let outcome = run_app(&graph, params)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.dp_tuples;
-                outcome.best
+                Ok(outcome.best)
             }
             Algorithm::Tgen(params) => {
                 let outcome = run_tgen(&graph, params)?;
                 stats.tuples_generated = outcome.tuples_generated;
-                outcome.best
+                Ok(outcome.best)
             }
             Algorithm::Greedy(params) => {
                 let outcome = run_greedy(&graph, params)?;
                 stats.greedy_steps = outcome.steps;
-                outcome.best
+                Ok(outcome.best)
             }
-            Algorithm::Exact => ExactSolver::new().solve(&graph)?,
+            Algorithm::Exact => ExactSolver::new().solve(&graph),
+        })();
+        stats.solve_time = solve_start.elapsed();
+        // Return the graph to the pool on the error path too, so a failing
+        // query (e.g. Exact over an oversized region) does not cost the
+        // workspace its pooled allocations.
+        let region = match solved {
+            Ok(best) => best.map(|t| Region::from_tuple(&graph, &t)),
+            Err(e) => {
+                self.release(workspace, graph);
+                return Err(e);
+            }
         };
+        self.release(workspace, graph);
         stats.elapsed = start.elapsed();
-        Ok(QueryResult {
-            region: best.map(|t| Region::from_tuple(&graph, &t)),
-            stats,
-        })
+        Ok(QueryResult { region, stats })
     }
 
-    /// Answers a top-k query with the requested algorithm (`Exact` falls back to k = 1).
+    /// Answers a top-k query with the requested algorithm.
     pub fn run_topk(
         &self,
         query: &LcmsrQuery,
         algorithm: &Algorithm,
         k: usize,
     ) -> Result<TopKResult> {
+        self.run_topk_with(&mut QueryWorkspace::new(), query, algorithm, k)
+    }
+
+    /// Like [`LcmsrEngine::run_topk`], but reuses a caller-owned workspace.
+    pub fn run_topk_with(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<TopKResult> {
         let start = Instant::now();
-        let graph = self.prepare(query, algorithm.alpha())?;
+        let graph = self.prepare_with(workspace, query, algorithm.alpha())?;
+        let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
+        stats.prepare_time = prepare_time;
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
-        let tuples = match algorithm {
-            Algorithm::App(params) => topk_app(&graph, params, k)?,
-            Algorithm::Tgen(params) => topk_tgen(&graph, params, k)?,
-            Algorithm::Greedy(params) => topk_greedy(&graph, params, k)?,
-            Algorithm::Exact => ExactSolver::new().solve(&graph)?.into_iter().collect(),
+        let solve_start = Instant::now();
+        let solved = (|| match algorithm {
+            Algorithm::App(params) => {
+                let outcome = topk_app(&graph, params, k)?;
+                stats.kmst_calls = outcome.kmst_calls;
+                stats.tuples_generated = outcome.tuples_generated;
+                Ok(outcome.tuples)
+            }
+            Algorithm::Tgen(params) => {
+                let outcome = topk_tgen(&graph, params, k)?;
+                stats.tuples_generated = outcome.tuples_generated;
+                Ok(outcome.tuples)
+            }
+            Algorithm::Greedy(params) => {
+                let outcome = topk_greedy(&graph, params, k)?;
+                stats.greedy_steps = outcome.greedy_steps;
+                Ok(outcome.tuples)
+            }
+            Algorithm::Exact => {
+                let outcome = ExactSolver::new().solve_topk(&graph, k)?;
+                stats.tuples_generated = outcome.feasible_enumerated;
+                Ok(outcome.tuples)
+            }
+        })();
+        stats.solve_time = solve_start.elapsed();
+        // As in run_with: recycle the graph even when the solver errors.
+        let tuples = match solved {
+            Ok(tuples) => tuples,
+            Err(e) => {
+                self.release(workspace, graph);
+                return Err(e);
+            }
         };
+        let regions = tuples
+            .iter()
+            .map(|t| Region::from_tuple(&graph, t))
+            .collect();
+        self.release(workspace, graph);
         stats.elapsed = start.elapsed();
-        Ok(TopKResult {
-            regions: tuples
-                .iter()
-                .map(|t| Region::from_tuple(&graph, t))
-                .collect(),
-            stats,
+        Ok(TopKResult { regions, stats })
+    }
+
+    /// Answers a batch of queries concurrently, using one worker per
+    /// available CPU (capped at the batch size).  Results are returned in
+    /// input order and are identical to running each query sequentially with
+    /// [`LcmsrEngine::run`]; the first failing query's error (in input order)
+    /// is returned if any query fails.
+    pub fn run_batch(
+        &self,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+    ) -> Result<Vec<QueryResult>> {
+        self.run_batch_with(queries, algorithm, default_workers())
+    }
+
+    /// Like [`LcmsrEngine::run_batch`] with an explicit worker count.
+    ///
+    /// Workers pull queries from a shared atomic cursor (dynamic load
+    /// balancing), each runs with its own [`QueryWorkspace`], and every result
+    /// lands in its query's input slot.
+    pub fn run_batch_with(
+        &self,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+        workers: usize,
+    ) -> Result<Vec<QueryResult>> {
+        self.batch_over(queries, workers, |ws, query| {
+            self.run_with(ws, query, algorithm)
         })
+    }
+
+    /// Answers a batch of top-k queries concurrently (see
+    /// [`LcmsrEngine::run_batch`]).
+    pub fn run_topk_batch(
+        &self,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<Vec<TopKResult>> {
+        self.run_topk_batch_with(queries, algorithm, k, default_workers())
+    }
+
+    /// Like [`LcmsrEngine::run_topk_batch`] with an explicit worker count.
+    pub fn run_topk_batch_with(
+        &self,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<TopKResult>> {
+        self.batch_over(queries, workers, |ws, query| {
+            self.run_topk_with(ws, query, algorithm, k)
+        })
+    }
+
+    /// Shared batch driver: fans `queries` out over `workers` scoped threads,
+    /// each owning a workspace, and reassembles per-query results in input
+    /// order.  A single worker degenerates to an in-place sequential loop
+    /// (still with workspace reuse).
+    fn batch_over<T, F>(&self, queries: &[LcmsrQuery], workers: usize, job: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut QueryWorkspace, &LcmsrQuery) -> Result<T> + Sync,
+    {
+        let workers = workers.max(1).min(queries.len().max(1));
+        if workers <= 1 {
+            let mut workspace = QueryWorkspace::new();
+            return queries.iter().map(|q| job(&mut workspace, q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let mut slots: Vec<Option<Result<T>>> = Vec::with_capacity(queries.len());
+        slots.resize_with(queries.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut workspace = QueryWorkspace::new();
+                        let mut produced = Vec::new();
+                        // Stop claiming work once any query has failed — like
+                        // the sequential path, there is no point finishing a
+                        // batch whose result will be discarded.
+                        while !failed.load(AtomicOrdering::Relaxed) {
+                            let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            let result = job(&mut workspace, &queries[i]);
+                            if result.is_err() {
+                                failed.store(true, AtomicOrdering::Relaxed);
+                            }
+                            produced.push((i, result));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        // The cursor claims indices in increasing order, so processed slots
+        // form a contiguous prefix and any unprocessed tail is preceded by
+        // the failure that aborted the batch — an in-order scan therefore
+        // yields the first error in input order, matching the sequential path.
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(value)) => results.push(value),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("unprocessed query without a preceding error"),
+            }
+        }
+        Ok(results)
     }
 
     /// Runs the MaxRS baseline over the objects relevant to `query` inside
@@ -251,18 +502,26 @@ impl<'a> LcmsrEngine<'a> {
 
     /// Minimum road length connecting `nodes` inside `Q.Λ`: a spanning tree in
     /// the shortest-path metric (a standard 2-approximation of the Steiner tree).
+    ///
+    /// Each search runs entirely inside the `Q.Λ` [`RegionView`] with arrays
+    /// sized `|V_Q|`, so the per-terminal cost is independent of how many
+    /// nodes the network has outside the region of interest.
     fn connecting_length(&self, query: &LcmsrQuery, nodes: &[NodeId]) -> (Option<f64>, bool) {
         if nodes.len() < 2 {
             return (if nodes.len() == 1 { Some(0.0) } else { None }, true);
         }
-        let rect = query.region_of_interest;
-        let inside = |n: NodeId| rect.contains(&self.network.point(n));
+        let view = RegionView::new(self.network, query.region_of_interest);
+        let locals: Vec<Option<usize>> = nodes.iter().map(|&n| view.local_index(n)).collect();
+        // A terminal outside Q.Λ can never be connected inside it.
+        if locals.iter().any(Option::is_none) {
+            return (None, false);
+        }
         // Shortest-path distances between all pairs of terminal nodes.
         let mut dist = vec![vec![f64::INFINITY; nodes.len()]; nodes.len()];
         for (i, &src) in nodes.iter().enumerate() {
-            let sp = dijkstra(self.network, src, inside);
-            for (j, &dst) in nodes.iter().enumerate() {
-                if let Some(d) = sp.distance(dst) {
+            let sp = view.distances_from(src);
+            for (j, local) in locals.iter().enumerate() {
+                if let Some(d) = sp.by_local(local.expect("checked above")) {
                     dist[i][j] = d;
                 }
             }
@@ -457,6 +716,285 @@ mod tests {
             for r in &result.regions {
                 assert!(r.length <= 300.0 + 1e-9);
             }
+        }
+    }
+
+    /// A varied workload over the small world: different keywords, deltas and
+    /// rectangles, including queries with no relevant object.
+    fn mixed_workload(network: &RoadNetwork) -> Vec<LcmsrQuery> {
+        let whole = whole_rect(network);
+        let sw = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let ne = Rect::new(300.0, 300.0, 560.0, 560.0);
+        let mut queries = Vec::new();
+        for delta in [150.0, 300.0, 400.0, 700.0] {
+            queries.push(LcmsrQuery::new(["restaurant"], delta, whole).unwrap());
+            queries.push(LcmsrQuery::new(["cafe", "coffee"], delta, whole).unwrap());
+            queries.push(LcmsrQuery::new(["restaurant", "italian"], delta, sw).unwrap());
+            queries.push(LcmsrQuery::new(["cafe"], delta, ne).unwrap());
+            queries.push(LcmsrQuery::new(["museum"], delta, whole).unwrap());
+            queries.push(LcmsrQuery::new(["spaceship"], delta, whole).unwrap());
+            queries.push(LcmsrQuery::new(["restaurant", "cafe"], delta, whole).unwrap());
+            queries.push(LcmsrQuery::new(["italian"], delta, sw).unwrap());
+        }
+        queries
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_run_exactly() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let queries = mixed_workload(&network);
+        assert!(queries.len() >= 32);
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let sequential: Vec<_> = queries
+                .iter()
+                .map(|q| engine.run(q, &algorithm).unwrap().region)
+                .collect();
+            for workers in [1, 2, 4] {
+                let batched = engine
+                    .run_batch_with(&queries, &algorithm, workers)
+                    .unwrap();
+                assert_eq!(batched.len(), queries.len());
+                for (i, (seq, bat)) in sequential.iter().zip(&batched).enumerate() {
+                    assert_eq!(
+                        seq,
+                        &bat.region,
+                        "{} query {i} diverged with {workers} workers",
+                        algorithm.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_topk_batch_matches_sequential_topk() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let queries = mixed_workload(&network);
+        let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| engine.run_topk(q, &algorithm, 3).unwrap().regions)
+            .collect();
+        let batched = engine
+            .run_topk_batch_with(&queries, &algorithm, 3, 4)
+            .unwrap();
+        for (seq, bat) in sequential.iter().zip(&batched) {
+            assert_eq!(seq, &bat.regions);
+        }
+    }
+
+    #[test]
+    fn run_batch_propagates_the_first_error_in_input_order() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let mut queries = mixed_workload(&network);
+        // Bypass the constructor to craft an invalid query mid-batch.
+        queries[5].delta = -1.0;
+        queries[9].keywords.clear();
+        let err = engine
+            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
+            .unwrap_err();
+        assert!(matches!(err, crate::error::LcmsrError::InvalidDelta { .. }));
+    }
+
+    #[test]
+    fn workspace_reuse_produces_identical_results() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let queries = mixed_workload(&network);
+        let mut workspace = QueryWorkspace::new();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            for query in &queries {
+                let fresh = engine.run(query, &algorithm).unwrap();
+                let reused = engine.run_with(&mut workspace, query, &algorithm).unwrap();
+                assert_eq!(fresh.region, reused.region, "{}", algorithm.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_and_solve_times_are_bounded_by_elapsed() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let result = engine.run(&query, &algorithm).unwrap();
+            let s = &result.stats;
+            assert!(
+                s.prepare_time + s.solve_time <= s.elapsed,
+                "{}: prepare {:?} + solve {:?} > elapsed {:?}",
+                algorithm.name(),
+                s.prepare_time,
+                s.solve_time,
+                s.elapsed
+            );
+            let topk = engine.run_topk(&query, &algorithm, 2).unwrap();
+            assert!(topk.stats.prepare_time + topk.stats.solve_time <= topk.stats.elapsed);
+        }
+    }
+
+    #[test]
+    fn topk_stats_are_populated_for_every_algorithm() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant", "cafe"], 300.0, whole_rect(&network)).unwrap();
+        let app = engine
+            .run_topk(&query, &Algorithm::App(AppParams::default()), 3)
+            .unwrap();
+        assert!(app.stats.kmst_calls > 0, "top-k APP must count kmst calls");
+        assert!(app.stats.tuples_generated > 0);
+        let tgen = engine
+            .run_topk(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }), 3)
+            .unwrap();
+        assert!(
+            tgen.stats.tuples_generated > 0,
+            "top-k TGEN must count tuples"
+        );
+        let greedy = engine
+            .run_topk(&query, &Algorithm::Greedy(GreedyParams::default()), 3)
+            .unwrap();
+        assert!(
+            greedy.stats.greedy_steps > 0,
+            "top-k Greedy must count steps"
+        );
+    }
+
+    #[test]
+    fn exact_topk_returns_k_distinct_regions() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        // Restrict Q.Λ so the exact solver can enumerate.
+        let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
+        let result = engine.run_topk(&query, &Algorithm::Exact, 4).unwrap();
+        assert!(
+            result.regions.len() >= 2,
+            "Exact top-k must return more than one region, got {}",
+            result.regions.len()
+        );
+        assert!(result.regions.len() <= 4);
+        assert!(result.stats.tuples_generated > 0);
+        for pair in result.regions.windows(2) {
+            assert_ne!(pair[0].nodes, pair[1].nodes, "node sets must be distinct");
+            assert!(pair[0].scaled_weight >= pair[1].scaled_weight);
+        }
+        for r in &result.regions {
+            assert!(r.length <= 300.0 + 1e-9);
+        }
+        // The head agrees with the single-region Exact answer's measures.
+        let single = engine
+            .run(&query, &Algorithm::Exact)
+            .unwrap()
+            .region
+            .unwrap();
+        assert!((result.regions[0].weight - single.weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_topk_head_matches_exact_run_under_quantization_adversary() {
+        // Weights {0.3} vs {0.16, 0.16}: under the old Exact α = 1.0 the
+        // scaling θ = 0.1 floored the pair to 1+1 = 2 < 3, so run_topk ranked
+        // the single 0.3 node above the true optimum (weight 0.32) while run()
+        // returned the pair.  The fine Exact α must keep both paths agreeing.
+        use crate::exact::ExactSolver;
+        use crate::query_graph::QueryGraph;
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::node::NodeId;
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        let d = b.add_node(Point::new(11.0, 0.0));
+        b.add_edge(a, c, 10.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.3);
+        weights.by_node.insert(NodeId(1), 0.16);
+        weights.by_node.insert(NodeId(2), 0.16);
+        let view = RegionView::whole(&network);
+        let alpha = Algorithm::Exact.alpha();
+        let qg = QueryGraph::build(&view, &weights, 5.0, alpha).unwrap();
+        let single = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        assert!(
+            (single.weight - 0.32).abs() < 1e-12,
+            "true optimum is the pair"
+        );
+        let top = ExactSolver::new().solve_topk(&qg, 1).unwrap();
+        assert_eq!(
+            top.tuples[0].nodes, single.nodes,
+            "run_topk(Exact, 1) must return the same region as run(Exact)"
+        );
+    }
+
+    #[test]
+    fn connecting_length_cost_is_independent_of_outside_nodes() {
+        // The same objects and Q.Λ over the plain small world and over a
+        // network with a 2000-node appendage far outside the rectangle: the
+        // MaxRS comparison measures must be identical (and the per-terminal
+        // searches never touch the appendage).
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let rect = Rect::new(-50.0, -50.0, 560.0, 560.0);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, rect).unwrap();
+        let small = engine.run_maxrs(&query, 250.0, 250.0).unwrap().unwrap();
+
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..6 {
+            for x in 0..6 {
+                ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..6 {
+            for x in 0..6 {
+                let i = y * 6 + x;
+                if x < 5 {
+                    b.add_edge(ids[i], ids[i + 1], 100.0).unwrap();
+                }
+                if y < 5 {
+                    b.add_edge(ids[i], ids[i + 6], 100.0).unwrap();
+                }
+            }
+        }
+        let mut prev = ids[35];
+        for k in 0..2000 {
+            let n = b.add_node(Point::new(1000.0 + k as f64, 1000.0));
+            b.add_edge(prev, n, 1.0).unwrap();
+            prev = n;
+        }
+        let big_network = b.build().unwrap();
+        let objects = collection.objects().to_vec();
+        let big_collection = ObjectCollection::build(&big_network, objects, 200.0).unwrap();
+        let big_engine = LcmsrEngine::new(&big_network, &big_collection);
+        let big = big_engine.run_maxrs(&query, 250.0, 250.0).unwrap().unwrap();
+
+        assert_eq!(small.nodes, big.nodes);
+        assert_eq!(small.connecting_length, big.connecting_length);
+        assert_eq!(small.connected_in_network, big.connected_in_network);
+        // The search itself is bounded by the view: terminals settle at most
+        // |V_Q| nodes even on the 2036-node network.
+        let view = RegionView::new(&big_network, rect);
+        assert_eq!(view.node_count(), 36, "appendage lies outside Q.Λ");
+        for &n in &big.nodes {
+            let sp = view.distances_from(n);
+            assert!(sp.settled() <= view.node_count());
+            assert_eq!(sp.len(), 36, "arrays sized to |V_Q|, not |V|");
         }
     }
 

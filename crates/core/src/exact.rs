@@ -13,6 +13,8 @@
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use lcmsr_roadnet::epoch::EpochMap;
+use std::cmp::Ordering;
 
 /// Exhaustive-enumeration LCMSR solver.
 #[derive(Debug, Clone)]
@@ -45,37 +47,8 @@ impl ExactSolver {
     /// Finds the optimal region (maximum weight, length ≤ `Q.∆`), or `None`
     /// when no node carries a positive weight.
     pub fn solve(&self, graph: &QueryGraph) -> Result<Option<RegionTuple>> {
-        let n = graph.node_count();
-        if graph.sigma_max() <= 0.0 {
-            // No relevant node: the answer is None regardless of the graph size.
-            return Ok(None);
-        }
-        if n > self.node_limit {
-            return Err(LcmsrError::GraphTooLargeForExact {
-                nodes: n,
-                limit: self.node_limit,
-            });
-        }
-        let delta = graph.delta();
         let mut best: Option<RegionTuple> = None;
-        // Enumerate all non-empty node subsets.
-        for mask in 1u32..(1u32 << n) {
-            let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
-            let Some((edges, length)) = induced_mst(graph, &nodes) else {
-                continue; // the induced subgraph is disconnected
-            };
-            if length > delta + 1e-9 {
-                continue;
-            }
-            let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
-            let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
-            let candidate = RegionTuple {
-                length,
-                weight,
-                scaled,
-                nodes,
-                edges,
-            };
+        self.enumerate(graph, |candidate| {
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -87,44 +60,153 @@ impl ExactSolver {
             if better {
                 best = Some(candidate);
             }
-        }
+        })?;
         Ok(best)
+    }
+
+    /// Enumerates the `k` best *distinct node sets* (every subset of `Q.Λ` is
+    /// a distinct node set, so no deduplication is needed), ordered by the
+    /// shared quality order [`RegionTuple::cmp_quality`] — the same total
+    /// order the approximation algorithms' top-k paths use, so exact top-k
+    /// results are directly comparable to theirs.
+    pub fn solve_topk(&self, graph: &QueryGraph, k: usize) -> Result<ExactTopK> {
+        let mut top: Vec<RegionTuple> = Vec::with_capacity(k.min(64));
+        let mut feasible_enumerated = 0u64;
+        if k == 0 {
+            // Still validate the graph-size limit for a consistent API.
+            if graph.sigma_max() > 0.0 && graph.node_count() > self.node_limit {
+                return Err(LcmsrError::GraphTooLargeForExact {
+                    nodes: graph.node_count(),
+                    limit: self.node_limit,
+                });
+            }
+            return Ok(ExactTopK {
+                tuples: top,
+                feasible_enumerated,
+            });
+        }
+        self.enumerate(graph, |candidate| {
+            feasible_enumerated += 1;
+            let pos = top.partition_point(|t| t.cmp_quality(&candidate) != Ordering::Greater);
+            if pos < k {
+                top.insert(pos, candidate);
+                top.truncate(k);
+            }
+        })?;
+        Ok(ExactTopK {
+            tuples: top,
+            feasible_enumerated,
+        })
+    }
+
+    /// Runs the subset enumeration, invoking `visit` for every feasible
+    /// (connected, length ≤ `Q.∆`) region tuple.
+    fn enumerate(&self, graph: &QueryGraph, mut visit: impl FnMut(RegionTuple)) -> Result<()> {
+        let n = graph.node_count();
+        if graph.sigma_max() <= 0.0 {
+            // No relevant node: the answer is empty regardless of the graph size.
+            return Ok(());
+        }
+        if n > self.node_limit {
+            return Err(LcmsrError::GraphTooLargeForExact {
+                nodes: n,
+                limit: self.node_limit,
+            });
+        }
+        let delta = graph.delta();
+        let mut mst = MstScratch::new(n);
+        // Enumerate all non-empty node subsets.
+        for mask in 1u32..(1u32 << n) {
+            let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let Some((edges, length)) = induced_mst(graph, &nodes, &mut mst) else {
+                continue; // the induced subgraph is disconnected
+            };
+            if length > delta + 1e-9 {
+                continue;
+            }
+            let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
+            let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
+            visit(RegionTuple {
+                length,
+                weight,
+                scaled,
+                nodes,
+                edges,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`ExactSolver::solve_topk`].
+#[derive(Debug, Clone)]
+pub struct ExactTopK {
+    /// The `k` best distinct feasible regions, best first
+    /// ([`RegionTuple::cmp_quality`] order).
+    pub tuples: Vec<RegionTuple>,
+    /// Number of feasible regions enumerated (reported as `tuples_generated`).
+    pub feasible_enumerated: u64,
+}
+
+/// Dense scratch for the per-subset MST: an O(1)-clear membership table and
+/// a union-find array over the query graph's local node ids, reused across
+/// all `2^n` subsets instead of re-hashing per subset.
+struct MstScratch {
+    parent: Vec<u32>,
+    members: EpochMap,
+    candidates: Vec<u32>,
+}
+
+impl MstScratch {
+    fn new(n: usize) -> Self {
+        MstScratch {
+            parent: vec![0; n],
+            members: EpochMap::new(),
+            candidates: Vec::new(),
+        }
     }
 }
 
 /// Minimum spanning tree of the subgraph induced by `nodes`.
 /// Returns `None` when the induced subgraph is not connected.
-fn induced_mst(graph: &QueryGraph, nodes: &[u32]) -> Option<(Vec<u32>, f64)> {
+fn induced_mst(
+    graph: &QueryGraph,
+    nodes: &[u32],
+    scratch: &mut MstScratch,
+) -> Option<(Vec<u32>, f64)> {
     if nodes.len() == 1 {
         return Some((Vec::new(), 0.0));
     }
-    let node_set: std::collections::HashSet<u32> = nodes.iter().copied().collect();
+    scratch.members.begin(graph.node_count());
+    for &v in nodes {
+        scratch.members.insert(v as usize, v);
+        scratch.parent[v as usize] = v;
+    }
     // Collect induced edges sorted by length (Kruskal).
-    let mut candidates: Vec<u32> = Vec::new();
+    scratch.candidates.clear();
     for &v in nodes {
         for &(u, e) in graph.neighbors(v) {
-            if u > v && node_set.contains(&u) {
-                candidates.push(e);
+            if u > v && scratch.members.contains(u as usize) {
+                scratch.candidates.push(e);
             }
         }
     }
-    candidates.sort_by(|&x, &y| {
+    scratch.candidates.sort_by(|&x, &y| {
         graph
             .edge(x)
             .length
             .partial_cmp(&graph.edge(y).length)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
     });
-    let mut parent: std::collections::HashMap<u32, u32> = nodes.iter().map(|&v| (v, v)).collect();
-    fn find(parent: &mut std::collections::HashMap<u32, u32>, x: u32) -> u32 {
+    fn find(parent: &mut [u32], x: u32) -> u32 {
         let mut root = x;
-        while parent[&root] != root {
-            root = parent[&root];
+        while parent[root as usize] != root {
+            root = parent[root as usize];
         }
         let mut cur = x;
-        while parent[&cur] != root {
-            let next = parent[&cur];
-            parent.insert(cur, root);
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
             cur = next;
         }
         root
@@ -132,12 +214,12 @@ fn induced_mst(graph: &QueryGraph, nodes: &[u32]) -> Option<(Vec<u32>, f64)> {
     let mut edges = Vec::new();
     let mut length = 0.0;
     let mut merged = 0;
-    for e in candidates {
+    for &e in &scratch.candidates {
         let edge = graph.edge(e);
-        let ra = find(&mut parent, edge.a);
-        let rb = find(&mut parent, edge.b);
+        let ra = find(&mut scratch.parent, edge.a);
+        let rb = find(&mut scratch.parent, edge.b);
         if ra != rb {
-            parent.insert(ra, rb);
+            scratch.parent[ra as usize] = rb;
             edges.push(e);
             length += edge.length;
             merged += 1;
@@ -187,6 +269,89 @@ mod tests {
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
         let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
         assert!((best.weight - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topk_enumerates_distinct_regions_in_quality_order() {
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let top = ExactSolver::new().solve_topk(&qg, 5).unwrap();
+        assert_eq!(top.tuples.len(), 5);
+        assert!(top.feasible_enumerated >= 5);
+        // Best-first under the shared quality order, all feasible, all distinct.
+        for w in top.tuples.windows(2) {
+            assert_ne!(w[0].cmp_quality(&w[1]), std::cmp::Ordering::Greater);
+            assert_ne!(w[0].nodes, w[1].nodes);
+        }
+        for t in &top.tuples {
+            assert!(t.length <= 6.0 + 1e-9);
+        }
+        // The head is the true optimum (weight 1.1 — on this instance the
+        // scaled and original orders agree).
+        assert!((top.tuples[0].weight - 1.1).abs() < 1e-9);
+        // The runner-up is strictly worse than the optimum.
+        assert!(top.tuples[1].scaled <= top.tuples[0].scaled);
+    }
+
+    #[test]
+    fn topk_with_k_exceeding_candidates_returns_them_all() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::builder::GraphBuilder;
+        use lcmsr_roadnet::geo::Point;
+        use lcmsr_roadnet::node::NodeId;
+        use lcmsr_roadnet::subgraph::RegionView;
+
+        // Two nodes, one edge too long to combine: exactly 2 feasible regions.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        b.add_edge(a, c, 10.0).unwrap();
+        let network = b.build().unwrap();
+        let mut weights = NodeWeights::default();
+        weights.by_node.insert(NodeId(0), 0.9);
+        weights.by_node.insert(NodeId(1), 0.3);
+        let view = RegionView::whole(&network);
+        let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
+        let top = ExactSolver::new().solve_topk(&qg, 10).unwrap();
+        assert_eq!(top.tuples.len(), 2);
+        assert_eq!(top.feasible_enumerated, 2);
+        assert!((top.tuples[0].weight - 0.9).abs() < 1e-12);
+        assert!((top.tuples[1].weight - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_zero_k_and_irrelevant_graphs_are_empty() {
+        use lcmsr_geotext::collection::NodeWeights;
+        use lcmsr_roadnet::subgraph::RegionView;
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        assert!(ExactSolver::new()
+            .solve_topk(&qg, 0)
+            .unwrap()
+            .tuples
+            .is_empty());
+        let (network, _) = crate::query_graph::test_support::figure2();
+        let view = RegionView::whole(&network);
+        let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
+        assert!(ExactSolver::new()
+            .solve_topk(&qg0, 3)
+            .unwrap()
+            .tuples
+            .is_empty());
+        // The size limit still applies for k = 0 on a relevant graph.
+        assert!(ExactSolver::with_node_limit(3).solve_topk(&qg, 0).is_err());
+    }
+
+    #[test]
+    fn topk_head_agrees_with_solve_when_orders_coincide() {
+        // On Figure 2 with α = 0.15 the scaled weights are exact multiples of
+        // the originals, so cmp_quality and the true-weight order agree and
+        // solve_topk(…, 1) must reproduce solve().
+        for delta in [1.0, 3.0, 6.0, 12.0] {
+            let (_n, qg) = figure2_query_graph(delta, 0.15);
+            let single = ExactSolver::new().solve(&qg).unwrap().unwrap();
+            let top = ExactSolver::new().solve_topk(&qg, 1).unwrap();
+            assert_eq!(top.tuples.len(), 1);
+            assert_eq!(top.tuples[0].nodes, single.nodes);
+        }
     }
 
     #[test]

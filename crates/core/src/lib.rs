@@ -75,22 +75,26 @@ pub mod tuple_array;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::app::{AppParams, BinarySearchStep};
-    pub use crate::engine::{Algorithm, LcmsrEngine, MaxRsRegion, QueryResult, TopKResult};
+    pub use crate::engine::{
+        Algorithm, LcmsrEngine, MaxRsRegion, QueryResult, QueryWorkspace, TopKResult,
+    };
     pub use crate::error::{LcmsrError, Result as LcmsrResult};
-    pub use crate::exact::ExactSolver;
+    pub use crate::exact::{ExactSolver, ExactTopK};
     pub use crate::greedy::GreedyParams;
     pub use crate::kmst::KMstSolverKind;
     pub use crate::query::LcmsrQuery;
-    pub use crate::query_graph::QueryGraph;
+    pub use crate::query_graph::{QueryGraph, QueryGraphBuilder};
     pub use crate::region::Region;
     pub use crate::stats::RunStats;
     pub use crate::tgen::TgenParams;
+    pub use crate::topk::TopKOutcome;
 }
 
 pub use app::AppParams;
-pub use engine::{Algorithm, LcmsrEngine, QueryResult, TopKResult};
+pub use engine::{Algorithm, LcmsrEngine, QueryResult, QueryWorkspace, TopKResult};
 pub use error::{LcmsrError, Result};
 pub use greedy::GreedyParams;
 pub use query::LcmsrQuery;
+pub use query_graph::{QueryGraph, QueryGraphBuilder};
 pub use region::Region;
 pub use tgen::TgenParams;

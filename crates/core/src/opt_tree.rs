@@ -11,7 +11,7 @@
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use crate::tuple_array::{BestTracker, TupleArray};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Result of the tree DP: the best feasible region plus every node's final
@@ -21,8 +21,9 @@ pub struct OptTreeResult {
     /// The feasible region with the largest scaled weight, if any node of the
     /// tree lies within the length budget (single nodes always do).
     pub best: Option<RegionTuple>,
-    /// Final tuple arrays, keyed by local node id.
-    pub arrays: HashMap<u32, TupleArray>,
+    /// Final tuple arrays, keyed by local node id (ordered for deterministic
+    /// traversal in the top-k path).
+    pub arrays: BTreeMap<u32, TupleArray>,
     /// Number of region tuples generated (for statistics).
     pub tuples_generated: u64,
 }
@@ -32,63 +33,72 @@ pub struct OptTreeResult {
 /// best feasible region under the graph's length constraint `Q.∆`.
 pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
     let delta = graph.delta();
-    let mut arrays: HashMap<u32, TupleArray> = HashMap::with_capacity(tree.nodes.len());
+    let m = tree.nodes.len();
     let mut best = BestTracker::new();
     let mut tuples_generated = 0u64;
 
+    // All per-node DP state lives in flat vectors indexed by the node's
+    // position in the (sorted) tree node list; `tree_pos` translates a local
+    // graph id into that dense index.
+    let tree_pos = |v: u32| -> u32 {
+        tree.nodes
+            .binary_search(&v)
+            .expect("tree edge endpoint must be a tree node") as u32
+    };
+
     // Initialise every node's array with the single-node region (line 3–4).
+    let mut arrays: Vec<TupleArray> = Vec::with_capacity(m);
     for &v in &tree.nodes {
         let singleton = RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v));
         best.update(&singleton);
         let mut arr = TupleArray::new();
         arr.insert_if_better(singleton);
-        arrays.insert(v, arr);
+        arrays.push(arr);
         tuples_generated += 1;
     }
-    if tree.nodes.len() <= 1 {
-        return OptTreeResult {
+    let into_result = |best: BestTracker, arrays: Vec<TupleArray>, tuples_generated: u64| {
+        let arrays: BTreeMap<u32, TupleArray> = tree.nodes.iter().copied().zip(arrays).collect();
+        OptTreeResult {
             best: best.into_best(),
             arrays,
             tuples_generated,
-        };
+        }
+    };
+    if m <= 1 {
+        return into_result(best, arrays, tuples_generated);
     }
 
-    // Tree adjacency restricted to the candidate tree's edges.
-    let mut adj: HashMap<u32, Vec<(u32, u32)>> = HashMap::with_capacity(tree.nodes.len());
+    // Tree adjacency restricted to the candidate tree's edges, in tree positions.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
     for &e in &tree.edges {
         let edge = graph.edge(e);
-        adj.entry(edge.a).or_default().push((edge.b, e));
-        adj.entry(edge.b).or_default().push((edge.a, e));
+        let pa = tree_pos(edge.a);
+        let pb = tree_pos(edge.b);
+        adj[pa as usize].push((pb, e));
+        adj[pb as usize].push((pa, e));
     }
-    let mut degree: HashMap<u32, usize> = adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
-    let mut removed: HashMap<u32, bool> = tree.nodes.iter().map(|&v| (v, false)).collect();
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut removed = vec![false; m];
 
     // Leaf queue (nodes with exactly one remaining neighbour), lines 5–12.
-    let mut queue: VecDeque<u32> = tree
-        .nodes
-        .iter()
-        .copied()
-        .filter(|v| degree.get(v).copied().unwrap_or(0) == 1)
-        .collect();
-    let mut remaining = tree.nodes.len();
+    let mut queue: VecDeque<u32> = (0..m as u32).filter(|&p| degree[p as usize] == 1).collect();
+    let mut remaining = m;
 
     while remaining > 1 {
-        let Some(v) = queue.pop_front() else { break };
-        if removed[&v] || degree[&v] != 1 {
+        let Some(p) = queue.pop_front() else { break };
+        if removed[p as usize] || degree[p as usize] != 1 {
             continue;
         }
-        // The single remaining neighbour acts as v's parent.
-        let Some(&(parent, edge)) = adj
-            .get(&v)
-            .and_then(|ns| ns.iter().find(|(n, _)| !removed[n]))
+        // The single remaining neighbour acts as p's parent.
+        let Some(&(parent, edge)) = adj[p as usize].iter().find(|(n, _)| !removed[*n as usize])
         else {
             break;
         };
         let edge_length = graph.edge(edge).length;
-        // Combine every region rooted at v with every region rooted at the parent.
-        let v_tuples: Vec<RegionTuple> = arrays[&v].iter().cloned().collect();
-        let parent_tuples: Vec<RegionTuple> = arrays[&parent].iter().cloned().collect();
-        let parent_array = arrays.get_mut(&parent).expect("parent array exists");
+        // Combine every region rooted at p with every region rooted at the parent.
+        let v_tuples: Vec<RegionTuple> = arrays[p as usize].iter().cloned().collect();
+        let parent_tuples: Vec<RegionTuple> = arrays[parent as usize].iter().cloned().collect();
+        let parent_array = &mut arrays[parent as usize];
         for tv in &v_tuples {
             for tp in &parent_tuples {
                 let combined = tp.combine(tv, edge, edge_length);
@@ -99,22 +109,16 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
                 }
             }
         }
-        // Remove v from the tree.
-        removed.insert(v, true);
+        // Remove p from the tree.
+        removed[p as usize] = true;
         remaining -= 1;
-        if let Some(d) = degree.get_mut(&parent) {
-            *d = d.saturating_sub(1);
-            if *d == 1 {
-                queue.push_back(parent);
-            }
+        degree[parent as usize] = degree[parent as usize].saturating_sub(1);
+        if degree[parent as usize] == 1 {
+            queue.push_back(parent);
         }
     }
 
-    OptTreeResult {
-        best: best.into_best(),
-        arrays,
-        tuples_generated,
-    }
+    into_result(best, arrays, tuples_generated)
 }
 
 #[cfg(test)]

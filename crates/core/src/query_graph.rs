@@ -13,10 +13,10 @@
 use crate::error::{LcmsrError, Result};
 use lcmsr_geotext::collection::NodeWeights;
 use lcmsr_roadnet::edge::EdgeId;
+use lcmsr_roadnet::epoch::EpochMap;
 use lcmsr_roadnet::geo::Point;
 use lcmsr_roadnet::node::NodeId;
 use lcmsr_roadnet::subgraph::RegionView;
-use std::collections::HashMap;
 
 /// A local edge of the query graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,12 +45,21 @@ impl QgEdge {
 
 /// The query graph: `Q.Λ`-restricted topology plus per-node weights `σ_v` and
 /// scaled weights `σ̂_v`.
+///
+/// Adjacency is stored as a flat CSR (compressed sparse row) structure —
+/// `adj_offsets[v]..adj_offsets[v+1]` indexes the `(neighbour, edge)` pairs of
+/// node `v` inside one contiguous `adj_entries` array — so neighbour scans are
+/// cache-friendly and the whole graph is a handful of flat allocations that a
+/// [`QueryGraphBuilder`] can recycle across queries.
 #[derive(Debug, Clone)]
 pub struct QueryGraph {
     node_ids: Vec<NodeId>,
     node_points: Vec<Point>,
     edges: Vec<QgEdge>,
-    adj: Vec<Vec<(u32, u32)>>,
+    /// CSR row offsets into `adj_entries`; length `node_count() + 1`.
+    adj_offsets: Vec<u32>,
+    /// CSR payload: `(neighbour, edge)` pairs, grouped by source node.
+    adj_entries: Vec<(u32, u32)>,
     weights: Vec<f64>,
     scaled: Vec<u64>,
     theta: f64,
@@ -60,72 +69,41 @@ pub struct QueryGraph {
 }
 
 impl QueryGraph {
+    /// An empty shell whose vectors seed a builder's first build.  Not a
+    /// valid graph on its own (the CSR invariant `adj_offsets.len() ==
+    /// node_count() + 1` does not hold), which is why this is private:
+    /// [`QueryGraphBuilder::build`] populates every field before returning.
+    fn empty() -> Self {
+        QueryGraph {
+            node_ids: Vec::new(),
+            node_points: Vec::new(),
+            edges: Vec::new(),
+            adj_offsets: Vec::new(),
+            adj_entries: Vec::new(),
+            weights: Vec::new(),
+            scaled: Vec::new(),
+            theta: 0.0,
+            alpha: 0.0,
+            delta: 0.0,
+            sigma_max: 0.0,
+        }
+    }
+
     /// Builds the query graph from a region view, the per-node query weights,
     /// the length constraint `delta` (metres) and the scaling parameter `alpha`.
     ///
     /// `alpha` must be positive; the paper uses values below 1 for APP and
     /// values in the hundreds for TGEN.
+    ///
+    /// This is the one-shot entry point; batched callers should hold a
+    /// [`QueryGraphBuilder`] and let it recycle allocations across queries.
     pub fn build(
         view: &RegionView<'_>,
         node_weights: &NodeWeights,
         delta: f64,
         alpha: f64,
     ) -> Result<Self> {
-        if !(alpha.is_finite() && alpha > 0.0) {
-            return Err(LcmsrError::InvalidParameter {
-                name: "alpha",
-                value: alpha,
-                expected: "a positive finite number",
-            });
-        }
-        if !(delta.is_finite() && delta > 0.0) {
-            return Err(LcmsrError::InvalidDelta { delta });
-        }
-        if view.node_count() == 0 {
-            return Err(LcmsrError::EmptyQueryRegion);
-        }
-        let graph = view.graph();
-        let node_ids: Vec<NodeId> = view.nodes().to_vec();
-        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(node_ids.len());
-        for (i, &n) in node_ids.iter().enumerate() {
-            local_of.insert(n, i as u32);
-        }
-        let node_points: Vec<Point> = node_ids.iter().map(|&n| graph.point(n)).collect();
-        let mut edges = Vec::with_capacity(view.edge_count());
-        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); node_ids.len()];
-        for &eid in view.edges() {
-            let e = graph.edge(eid);
-            let a = local_of[&e.a];
-            let b = local_of[&e.b];
-            let local_edge = edges.len() as u32;
-            edges.push(QgEdge {
-                a,
-                b,
-                length: e.length,
-                global: eid,
-            });
-            adj[a as usize].push((b, local_edge));
-            adj[b as usize].push((a, local_edge));
-        }
-        let weights: Vec<f64> = node_ids
-            .iter()
-            .map(|&n| node_weights.weight(n).max(0.0))
-            .collect();
-        let sigma_max = weights.iter().fold(0.0f64, |a, &b| a.max(b));
-        let mut qg = QueryGraph {
-            node_ids,
-            node_points,
-            edges,
-            adj,
-            weights,
-            scaled: Vec::new(),
-            theta: 0.0,
-            alpha,
-            delta,
-            sigma_max,
-        };
-        qg.rescale(alpha)?;
-        Ok(qg)
+        QueryGraphBuilder::new().build(view, node_weights, delta, alpha)
     }
 
     /// Recomputes the integer scaling with a new `alpha` (θ = α·σ_max/|V_Q|,
@@ -144,19 +122,17 @@ impl QueryGraph {
         } else {
             0.0
         };
-        self.scaled = self
-            .weights
-            .iter()
-            .map(|&w| {
-                if self.theta > 0.0 {
-                    // A tiny epsilon guards against 0.4/0.2 = 1.999999… style
-                    // floating-point artefacts at exact multiples of θ.
-                    (w / self.theta + 1e-9).floor() as u64
-                } else {
-                    0
-                }
-            })
-            .collect();
+        let theta = self.theta;
+        self.scaled.clear();
+        self.scaled.extend(self.weights.iter().map(|&w| {
+            if theta > 0.0 {
+                // A tiny epsilon guards against 0.4/0.2 = 1.999999… style
+                // floating-point artefacts at exact multiples of θ.
+                (w / theta + 1e-9).floor() as u64
+            } else {
+                0
+            }
+        }));
         Ok(())
     }
 
@@ -231,10 +207,19 @@ impl QueryGraph {
         &self.edges[edge as usize]
     }
 
-    /// Neighbours of a local node as `(neighbour, edge)` pairs.
+    /// Neighbours of a local node as `(neighbour, edge)` pairs (a slice of the
+    /// flat CSR adjacency array).
     #[inline]
     pub fn neighbors(&self, node: u32) -> &[(u32, u32)] {
-        &self.adj[node as usize]
+        let start = self.adj_offsets[node as usize] as usize;
+        let end = self.adj_offsets[node as usize + 1] as usize;
+        &self.adj_entries[start..end]
+    }
+
+    /// Degree of a local node.
+    #[inline]
+    pub fn degree(&self, node: u32) -> usize {
+        (self.adj_offsets[node as usize + 1] - self.adj_offsets[node as usize]) as usize
     }
 
     /// Iterator over all local node ids.
@@ -294,6 +279,134 @@ impl QueryGraph {
     /// Upper bound `|V_Q|·⌊|V_Q|/α⌋` of Lemma 5.
     pub fn scaled_weight_upper_bound(&self) -> u64 {
         self.node_count() as u64 * self.scaled_weight_lower_bound()
+    }
+}
+
+/// Reusable workspace for building [`QueryGraph`]s.
+///
+/// Two things make a fresh `QueryGraph::build` allocation-heavy: the global→
+/// local node-id map (formerly a per-query `HashMap`) and the dozen vectors
+/// backing the graph itself.  The builder keeps both across calls:
+///
+/// * an [`EpochMap`] sized to the underlying network maps global node ids to
+///   dense local ids in O(1) per node with O(1) clearing,
+/// * a pooled `QueryGraph` donates its spent vectors to the next build via
+///   [`QueryGraphBuilder::recycle`].
+///
+/// Repeated `build`/`recycle` cycles over the same network therefore allocate
+/// near-zero once the buffers have grown to the workload's high-water mark.
+/// Each worker thread of a batched engine owns one builder.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGraphBuilder {
+    /// Global node index → dense local id for the current build.
+    local: EpochMap,
+    /// CSR fill cursors (reused between builds).
+    cursor: Vec<u32>,
+    /// Recycled graph whose allocations seed the next build.
+    pool: Option<QueryGraph>,
+}
+
+impl QueryGraphBuilder {
+    /// Creates an empty builder; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a spent graph's allocations to the pool for the next build.
+    pub fn recycle(&mut self, graph: QueryGraph) {
+        self.pool = Some(graph);
+    }
+
+    /// Builds a query graph (see [`QueryGraph::build`]), reusing this
+    /// builder's scratch space and any pooled allocations.
+    pub fn build(
+        &mut self,
+        view: &RegionView<'_>,
+        node_weights: &NodeWeights,
+        delta: f64,
+        alpha: f64,
+    ) -> Result<QueryGraph> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(LcmsrError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                expected: "a positive finite number",
+            });
+        }
+        if !(delta.is_finite() && delta > 0.0) {
+            return Err(LcmsrError::InvalidDelta { delta });
+        }
+        if view.node_count() == 0 {
+            return Err(LcmsrError::EmptyQueryRegion);
+        }
+        let graph = view.graph();
+        let n = view.node_count();
+
+        let mut qg = self.pool.take().unwrap_or_else(QueryGraph::empty);
+        qg.node_ids.clear();
+        qg.node_points.clear();
+        qg.edges.clear();
+        qg.adj_offsets.clear();
+        qg.adj_entries.clear();
+        qg.weights.clear();
+        qg.scaled.clear();
+
+        qg.node_ids.extend_from_slice(view.nodes());
+        qg.node_points
+            .extend(qg.node_ids.iter().map(|&id| graph.point(id)));
+        qg.weights.extend(
+            qg.node_ids
+                .iter()
+                .map(|&id| node_weights.weight(id).max(0.0)),
+        );
+        qg.sigma_max = qg.weights.iter().fold(0.0f64, |a, &b| a.max(b));
+        qg.delta = delta;
+
+        // Global → dense local ids via the O(1)-clear scratch table.
+        self.local.begin(graph.node_count());
+        for (i, &id) in qg.node_ids.iter().enumerate() {
+            self.local.insert(id.index(), i as u32);
+        }
+
+        // Local edges plus CSR degree counts in one pass.
+        qg.adj_offsets.resize(n + 1, 0);
+        qg.edges.reserve(view.edge_count());
+        for &eid in view.edges() {
+            let e = graph.edge(eid);
+            let a = self
+                .local
+                .get(e.a.index())
+                .expect("view edge endpoint inside the view");
+            let b = self
+                .local
+                .get(e.b.index())
+                .expect("view edge endpoint inside the view");
+            qg.edges.push(QgEdge {
+                a,
+                b,
+                length: e.length,
+                global: eid,
+            });
+            qg.adj_offsets[a as usize + 1] += 1;
+            qg.adj_offsets[b as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            qg.adj_offsets[i] += qg.adj_offsets[i - 1];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&qg.adj_offsets[..n]);
+        qg.adj_entries.resize(2 * qg.edges.len(), (0, 0));
+        for (le, edge) in qg.edges.iter().enumerate() {
+            let ca = &mut self.cursor[edge.a as usize];
+            qg.adj_entries[*ca as usize] = (edge.b, le as u32);
+            *ca += 1;
+            let cb = &mut self.cursor[edge.b as usize];
+            qg.adj_entries[*cb as usize] = (edge.a, le as u32);
+            *cb += 1;
+        }
+
+        qg.rescale(alpha)?;
+        Ok(qg)
     }
 }
 
@@ -461,6 +574,55 @@ mod tests {
         assert!(qg.max_weight_node().is_none());
         assert!(qg.node_indices().all(|v| qg.scaled_weight(v) == 0));
         assert!(qg.relevant_nodes().is_empty());
+    }
+
+    #[test]
+    fn csr_adjacency_matches_edge_list() {
+        let (_network, qg) = figure2_query_graph(6.0, 0.15);
+        for v in qg.node_indices() {
+            assert_eq!(qg.neighbors(v).len(), qg.degree(v));
+            for &(u, e) in qg.neighbors(v) {
+                let edge = qg.edge(e);
+                assert!(edge.a == v || edge.b == v);
+                assert_eq!(edge.other(v), u);
+            }
+        }
+        // Handshake: total CSR entries = 2·|E_Q|.
+        let total: usize = qg.node_indices().map(|v| qg.degree(v)).sum();
+        assert_eq!(total, 2 * qg.edge_count());
+    }
+
+    #[test]
+    fn builder_reuse_produces_identical_graphs() {
+        let (network, weights) = figure2();
+        let view = RegionView::whole(&network);
+        let mut builder = QueryGraphBuilder::new();
+        for (delta, alpha) in [(6.0, 0.15), (2.0, 0.5), (10.0, 3.0), (6.0, 0.15)] {
+            let fresh = QueryGraph::build(&view, &weights, delta, alpha).unwrap();
+            let reused = builder.build(&view, &weights, delta, alpha).unwrap();
+            assert_eq!(fresh.node_count(), reused.node_count());
+            assert_eq!(fresh.edge_count(), reused.edge_count());
+            for v in fresh.node_indices() {
+                assert_eq!(fresh.neighbors(v), reused.neighbors(v));
+                assert_eq!(fresh.weight(v), reused.weight(v));
+                assert_eq!(fresh.scaled_weight(v), reused.scaled_weight(v));
+                assert_eq!(fresh.global_node(v), reused.global_node(v));
+            }
+            assert_eq!(fresh.edges(), reused.edges());
+            assert_eq!(fresh.theta(), reused.theta());
+            builder.recycle(reused);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_input_like_the_one_shot_path() {
+        let (network, weights) = figure2();
+        let view = RegionView::whole(&network);
+        let mut builder = QueryGraphBuilder::new();
+        assert!(builder.build(&view, &weights, 5.0, 0.0).is_err());
+        assert!(builder.build(&view, &weights, -1.0, 0.5).is_err());
+        // The builder still works after rejecting bad parameters.
+        assert!(builder.build(&view, &weights, 5.0, 0.5).is_ok());
     }
 
     #[test]

@@ -10,6 +10,12 @@ pub struct RunStats {
     pub algorithm: String,
     /// Wall-clock time spent answering the query.
     pub elapsed: Duration,
+    /// Time spent preparing the query graph (keyword scoring, `Q.Λ`
+    /// extraction, CSR construction, weight scaling).
+    pub prepare_time: Duration,
+    /// Time spent inside the solver proper.  `prepare_time + solve_time` is
+    /// always ≤ `elapsed` (the remainder is result translation).
+    pub solve_time: Duration,
     /// Number of road-network nodes inside `Q.Λ` (`|V_Q|`).
     pub nodes_in_region: usize,
     /// Number of edges inside `Q.Λ` (`|E_Q|`).
@@ -37,15 +43,27 @@ impl RunStats {
     pub fn elapsed_ms(&self) -> f64 {
         self.elapsed.as_secs_f64() * 1_000.0
     }
+
+    /// Preparation time in milliseconds.
+    pub fn prepare_ms(&self) -> f64 {
+        self.prepare_time.as_secs_f64() * 1_000.0
+    }
+
+    /// Solver time in milliseconds.
+    pub fn solve_ms(&self) -> f64 {
+        self.solve_time.as_secs_f64() * 1_000.0
+    }
 }
 
 impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {:.2} ms (|V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={})",
+            "{}: {:.2} ms (prepare {:.2} + solve {:.2}; |V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={})",
             self.algorithm,
             self.elapsed_ms(),
+            self.prepare_ms(),
+            self.solve_ms(),
             self.nodes_in_region,
             self.edges_in_region,
             self.relevant_nodes,

@@ -43,15 +43,31 @@ fn dedupe_topk(mut tuples: Vec<RegionTuple>, k: usize) -> Vec<RegionTuple> {
     out
 }
 
+/// Result of a top-k run: the ranked tuples plus the solver statistics the
+/// engine reports in [`crate::stats::RunStats`] (previously the top-k path
+/// silently dropped them).
+#[derive(Debug, Clone, Default)]
+pub struct TopKOutcome {
+    /// The best `k` distinct feasible regions, best first.
+    pub tuples: Vec<RegionTuple>,
+    /// Number of k-MST oracle invocations (APP only).
+    pub kmst_calls: u64,
+    /// Number of region tuples generated (APP's DP and TGEN).
+    pub tuples_generated: u64,
+    /// Number of greedy expansion steps across all seeds (Greedy only).
+    pub greedy_steps: u64,
+}
+
 /// Top-k via APP: quota binary search, then the tuple arrays of the candidate tree.
-pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<Vec<RegionTuple>> {
+pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 || graph.sigma_max() <= 0.0 {
-        return Ok(Vec::new());
+        return Ok(TopKOutcome::default());
     }
     let mut solver = make_solver(params.solver);
     let (candidate, _trace) =
         binary_search(graph, solver.as_mut(), params.beta, params.max_iterations);
+    let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
         // Fall back to the k best single nodes.
         let mut singles: Vec<RegionTuple> = graph
@@ -59,12 +75,19 @@ pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<Vec<
             .filter(|&v| graph.weight(v) > 0.0)
             .map(|v| RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v)))
             .collect();
+        let tuples_generated = singles.len() as u64;
         singles.sort_by(rank);
         singles.truncate(k);
-        return Ok(singles);
+        return Ok(TopKOutcome {
+            tuples: singles,
+            kmst_calls,
+            tuples_generated,
+            greedy_steps: 0,
+        });
     };
     // Per Section 6.2, always compute the tuple arrays over the candidate tree.
     let dp = find_opt_tree(graph, &candidate);
+    let tuples_generated = dp.tuples_generated;
     let mut all: Vec<RegionTuple> = dp
         .arrays
         .into_values()
@@ -74,33 +97,41 @@ pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<Vec<
     if candidate.length <= graph.delta() + 1e-9 {
         all.push(candidate);
     }
-    Ok(dedupe_topk(all, k))
+    Ok(TopKOutcome {
+        tuples: dedupe_topk(all, k),
+        kmst_calls,
+        tuples_generated,
+        greedy_steps: 0,
+    })
 }
 
 /// Top-k via TGEN: the best tuples gathered during edge processing.
-pub fn topk_tgen(graph: &QueryGraph, params: &TgenParams, k: usize) -> Result<Vec<RegionTuple>> {
+pub fn topk_tgen(graph: &QueryGraph, params: &TgenParams, k: usize) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
-        return Ok(Vec::new());
+        return Ok(TopKOutcome::default());
     }
     let outcome = run_tgen(graph, params)?;
-    Ok(dedupe_topk(outcome.top_tuples, k))
+    Ok(TopKOutcome {
+        tuples: dedupe_topk(outcome.top_tuples, k),
+        kmst_calls: 0,
+        tuples_generated: outcome.tuples_generated,
+        greedy_steps: 0,
+    })
 }
 
 /// Top-k via Greedy: repeated expansion, each seeded outside previous regions.
-pub fn topk_greedy(
-    graph: &QueryGraph,
-    params: &GreedyParams,
-    k: usize,
-) -> Result<Vec<RegionTuple>> {
+pub fn topk_greedy(graph: &QueryGraph, params: &GreedyParams, k: usize) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
-        return Ok(Vec::new());
+        return Ok(TopKOutcome::default());
     }
     let mut regions: Vec<RegionTuple> = Vec::with_capacity(k);
     let mut excluded: Vec<u32> = Vec::new();
+    let mut greedy_steps = 0u64;
     for _ in 0..k {
         let outcome = run_greedy_excluding(graph, params, &excluded)?;
+        greedy_steps += outcome.steps;
         let Some(region) = outcome.best else { break };
         excluded.extend_from_slice(&region.nodes);
         regions.push(region);
@@ -108,7 +139,12 @@ pub fn topk_greedy(
     // Regions are discovered seed-by-seed; report them best-first like the
     // other algorithms.
     regions.sort_by(rank);
-    Ok(regions)
+    Ok(TopKOutcome {
+        tuples: regions,
+        kmst_calls: 0,
+        tuples_generated: 0,
+        greedy_steps,
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +187,10 @@ mod tests {
     #[test]
     fn topk_app_returns_distinct_feasible_regions_in_order() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let regions = topk_app(&qg, &AppParams::default(), 3).unwrap();
+        let outcome = topk_app(&qg, &AppParams::default(), 3).unwrap();
+        assert!(outcome.kmst_calls > 0, "oracle invocations must be counted");
+        assert!(outcome.tuples_generated > 0, "DP tuples must be counted");
+        let regions = outcome.tuples;
         assert!(!regions.is_empty() && regions.len() <= 3);
         for r in &regions {
             assert!(r.length <= 6.0 + 1e-9);
@@ -167,7 +206,10 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let params = TgenParams { alpha: 0.15 };
         let single = run_tgen(&qg, &params).unwrap().best.unwrap();
-        let regions = topk_tgen(&qg, &params, 4).unwrap();
+        let outcome = topk_tgen(&qg, &params, 4).unwrap();
+        assert!(outcome.tuples_generated > 0, "TGEN tuples must be counted");
+        assert_eq!(outcome.kmst_calls, 0);
+        let regions = outcome.tuples;
         assert!(!regions.is_empty());
         assert_eq!(regions[0].scaled, single.scaled);
         for r in &regions {
@@ -181,8 +223,12 @@ mod tests {
     #[test]
     fn topk_greedy_regions_have_disjoint_seeds() {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
-        let regions = topk_greedy(&qg, &GreedyParams::default(), 3).unwrap();
+        let outcome = topk_greedy(&qg, &GreedyParams::default(), 3).unwrap();
+        let regions = outcome.tuples;
         assert!(regions.len() >= 2);
+        // Every multi-node region required at least one expansion step.
+        let multi: u64 = regions.iter().map(|r| (r.nodes.len() - 1) as u64).sum();
+        assert!(outcome.greedy_steps >= multi);
         // Later regions never reuse an earlier region's nodes as their seed; with
         // a small ∆ the regions are in fact disjoint on this instance.
         for i in 0..regions.len() {
@@ -195,12 +241,17 @@ mod tests {
     #[test]
     fn k_zero_and_irrelevant_queries_return_empty() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        assert!(topk_app(&qg, &AppParams::default(), 0).unwrap().is_empty());
+        assert!(topk_app(&qg, &AppParams::default(), 0)
+            .unwrap()
+            .tuples
+            .is_empty());
         assert!(topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 0)
             .unwrap()
+            .tuples
             .is_empty());
         assert!(topk_greedy(&qg, &GreedyParams::default(), 0)
             .unwrap()
+            .tuples
             .is_empty());
 
         use lcmsr_geotext::collection::NodeWeights;
@@ -208,20 +259,29 @@ mod tests {
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
-        assert!(topk_app(&qg0, &AppParams::default(), 3).unwrap().is_empty());
+        assert!(topk_app(&qg0, &AppParams::default(), 3)
+            .unwrap()
+            .tuples
+            .is_empty());
         assert!(topk_tgen(&qg0, &TgenParams { alpha: 0.5 }, 3)
             .unwrap()
+            .tuples
             .is_empty());
         assert!(topk_greedy(&qg0, &GreedyParams::default(), 3)
             .unwrap()
+            .tuples
             .is_empty());
     }
 
     #[test]
     fn larger_k_never_shrinks_the_result() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let two = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 2).unwrap();
-        let five = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 5).unwrap();
+        let two = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 2)
+            .unwrap()
+            .tuples;
+        let five = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 5)
+            .unwrap()
+            .tuples;
         assert!(five.len() >= two.len());
         // The first entries agree.
         assert_eq!(five[0].nodes, two[0].nodes);

@@ -6,12 +6,16 @@
 //! the same structure over the whole graph).
 
 use crate::region::RegionTuple;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// A map from scaled weight to the minimum-length region tuple seen with that weight.
+/// A map from scaled weight to the minimum-length region tuple seen with that
+/// weight.  Backed by an ordered map so that iteration — and therefore every
+/// tie-break that depends on tuple enumeration order downstream — is
+/// deterministic run-to-run; batched execution relies on this to return
+/// byte-identical results to sequential execution.
 #[derive(Debug, Clone, Default)]
 pub struct TupleArray {
-    by_scaled: HashMap<u64, RegionTuple>,
+    by_scaled: BTreeMap<u64, RegionTuple>,
 }
 
 impl TupleArray {
@@ -47,7 +51,7 @@ impl TupleArray {
         }
     }
 
-    /// Iterates over the stored tuples (arbitrary order).
+    /// Iterates over the stored tuples in ascending scaled-weight order.
     pub fn iter(&self) -> impl Iterator<Item = &RegionTuple> {
         self.by_scaled.values()
     }

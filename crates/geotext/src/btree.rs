@@ -13,8 +13,8 @@
 //! exactly the operations the LCMSR indexing layer needs.
 
 use crate::error::{GeoTextError, Result};
-use std::cell::Cell;
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifier of a page in the page table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,17 +49,31 @@ enum Page<K, V> {
 ///
 /// `K` must be orderable and cloneable; `V` cloneable.  Duplicate keys are not
 /// allowed: inserting an existing key replaces its value.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BPlusTree<K, V> {
     pages: Vec<Page<K, V>>,
     root: PageId,
     len: usize,
     capacity: usize,
-    /// Number of pages read since construction (interior mutability so reads
-    /// can be counted on `&self` methods, mimicking a buffer-manager counter).
-    pages_read: Cell<u64>,
+    /// Number of pages read since construction (an atomic so reads can be
+    /// counted on `&self` methods — and across threads — mimicking a
+    /// buffer-manager counter).
+    pages_read: AtomicU64,
     /// Number of pages written (created or modified) since construction.
     pages_written: u64,
+}
+
+impl<K: Clone, V: Clone> Clone for BPlusTree<K, V> {
+    fn clone(&self) -> Self {
+        BPlusTree {
+            pages: self.pages.clone(),
+            root: self.root,
+            len: self.len,
+            capacity: self.capacity,
+            pages_read: AtomicU64::new(self.pages_read.load(Ordering::Relaxed)),
+            pages_written: self.pages_written,
+        }
+    }
 }
 
 impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
@@ -85,7 +99,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             root: PageId(0),
             len: 0,
             capacity,
-            pages_read: Cell::new(0),
+            pages_read: AtomicU64::new(0),
             pages_written: 1,
         })
     }
@@ -122,7 +136,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
 
     /// Total pages read by lookups/scans since construction (simulated I/O).
     pub fn pages_read(&self) -> u64 {
-        self.pages_read.get()
+        self.pages_read.load(Ordering::Relaxed)
     }
 
     /// Total pages written by inserts since construction (simulated I/O).
@@ -131,7 +145,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     }
 
     fn note_read(&self) {
-        self.pages_read.set(self.pages_read.get() + 1);
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Finds the leaf page that should contain `key`, recording the root-to-leaf path.

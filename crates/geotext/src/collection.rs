@@ -193,15 +193,34 @@ impl ObjectCollection {
     /// the node it is mapped to.
     pub fn node_weights(&self, query: &QueryVector, rect: &Rect) -> NodeWeights {
         let mut weights = NodeWeights::default();
+        self.node_weights_into(query, rect, &mut weights);
+        weights
+    }
+
+    /// Like [`ObjectCollection::node_weights`], but writes into a caller-owned
+    /// [`NodeWeights`], reusing its hash-map capacity.  Batched query engines
+    /// score thousands of queries against the same collection; recycling the
+    /// output avoids rebuilding both maps from scratch every time.
+    pub fn node_weights_into(&self, query: &QueryVector, rect: &Rect, out: &mut NodeWeights) {
+        out.by_node.clear();
+        out.by_object.clear();
         if query.norm == 0.0 {
-            return weights;
+            return;
         }
         let query_terms: Vec<(TermId, f64)> = query
             .terms
             .iter()
             .filter_map(|t| t.id.map(|id| (id, t.weight)))
             .collect();
-        let partials = self.grid.accumulate_scores_in_rect(rect, &query_terms);
+        // Accumulate in ascending object-id order: per-node weights are sums
+        // of floating-point scores, and a deterministic summation order makes
+        // repeated (and batched) runs of the same query bit-identical.
+        let mut partials: Vec<(ObjectId, f64)> = self
+            .grid
+            .accumulate_scores_in_rect(rect, &query_terms)
+            .into_iter()
+            .collect();
+        partials.sort_unstable_by_key(|&(id, _)| id);
         for (object_id, partial) in partials {
             let Some(&idx) = self.object_index.get(&object_id) else {
                 continue;
@@ -214,10 +233,9 @@ impl ObjectCollection {
             if score <= 0.0 {
                 continue;
             }
-            weights.by_object.insert(object_id, score);
-            *weights.by_node.entry(self.object_nodes[idx]).or_insert(0.0) += score;
+            out.by_object.insert(object_id, score);
+            *out.by_node.entry(self.object_nodes[idx]).or_insert(0.0) += score;
         }
-        weights
     }
 
     /// Convenience wrapper: computes node weights from raw keyword strings.
@@ -228,6 +246,18 @@ impl ObjectCollection {
     ) -> NodeWeights {
         let q = self.query_vector(keywords);
         self.node_weights(&q, rect)
+    }
+
+    /// Reusing variant of [`ObjectCollection::node_weights_for_keywords`]
+    /// (see [`ObjectCollection::node_weights_into`]).
+    pub fn node_weights_for_keywords_into(
+        &self,
+        keywords: &[impl AsRef<str>],
+        rect: &Rect,
+        out: &mut NodeWeights,
+    ) {
+        let q = self.query_vector(keywords);
+        self.node_weights_into(&q, rect, out);
     }
 
     /// The alternative scoring strategy of Section 2 of the paper: an object's
@@ -402,6 +432,24 @@ mod tests {
         assert!(coll
             .node_weights_by_rating(&["spaceship"], &rect, 1.0)
             .is_empty());
+    }
+
+    #[test]
+    fn reused_node_weights_match_fresh_ones() {
+        let (network, objects) = network_and_objects();
+        let coll = ObjectCollection::build(&network, objects, 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let mut reused = NodeWeights::default();
+        for keywords in [vec!["restaurant"], vec!["cafe", "pizza"], vec!["spaceship"]] {
+            let fresh = coll.node_weights_for_keywords(&keywords, &rect);
+            coll.node_weights_for_keywords_into(&keywords, &rect, &mut reused);
+            assert_eq!(fresh.by_node, reused.by_node);
+            assert_eq!(fresh.by_object, reused.by_object);
+        }
+        // Stale entries from a previous query never leak into the next one.
+        coll.node_weights_for_keywords_into(&["restaurant"], &rect, &mut reused);
+        coll.node_weights_for_keywords_into(&["spaceship"], &rect, &mut reused);
+        assert!(reused.is_empty());
     }
 
     #[test]

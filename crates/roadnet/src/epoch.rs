@@ -1,0 +1,116 @@
+//! [`EpochMap`]: a dense-keyed map with O(1) clearing.
+//!
+//! Several hot paths (query-graph construction, `Q.Λ` view membership, the
+//! exact solver's per-subset union-find) need a map from dense `usize` keys —
+//! node indices — to small ids, rebuilt for every query or subset.  Allocating
+//! or zeroing a network-sized table each time defeats the purpose, so entries
+//! are stamped with the generation that wrote them: bumping the generation
+//! counter invalidates every entry at once, and the rare counter wrap-around
+//! is handled in one audited place instead of being re-implemented per call
+//! site.
+
+/// A map from dense `usize` keys to `u32` values whose clear is O(1).
+///
+/// Call [`EpochMap::begin`] to start a new generation (clearing the map),
+/// then [`EpochMap::insert`]/[`EpochMap::get`].  Lookups before the first
+/// `begin` return `None`.
+#[derive(Debug, Clone, Default)]
+pub struct EpochMap {
+    /// Per-key `(stamp, value)`; the entry is live iff `stamp == epoch`.
+    entries: Vec<(u32, u32)>,
+    epoch: u32,
+}
+
+impl EpochMap {
+    /// Creates an empty map; the backing table grows on [`EpochMap::begin`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new generation covering keys `< universe`.  Amortised O(1):
+    /// the table only grows to a new high-water mark, and the stamp reset on
+    /// epoch wrap-around happens once per `u32::MAX` generations.
+    pub fn begin(&mut self, universe: usize) {
+        if self.epoch == u32::MAX {
+            self.entries.iter_mut().for_each(|e| e.0 = 0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        if self.entries.len() < universe {
+            self.entries.resize(universe, (0, 0));
+        }
+    }
+
+    /// Maps `key` to `value` in the current generation.
+    #[inline]
+    pub fn insert(&mut self, key: usize, value: u32) {
+        debug_assert!(self.epoch > 0, "EpochMap::begin must be called first");
+        self.entries[key] = (self.epoch, value);
+    }
+
+    /// The value of `key`, if it was inserted in the current generation.
+    #[inline]
+    pub fn get(&self, key: usize) -> Option<u32> {
+        if self.epoch == 0 {
+            return None;
+        }
+        match self.entries.get(key) {
+            Some(&(stamp, value)) if stamp == self.epoch => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` was inserted in the current generation.
+    #[inline]
+    pub fn contains(&self, key: usize) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_isolate_entries() {
+        let mut m = EpochMap::new();
+        assert!(!m.contains(0), "no entries before the first begin");
+        m.begin(4);
+        m.insert(1, 10);
+        m.insert(3, 30);
+        assert_eq!(m.get(1), Some(10));
+        assert_eq!(m.get(3), Some(30));
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(99), None, "out-of-universe keys are absent");
+        m.begin(4);
+        assert_eq!(m.get(1), None, "a new generation clears old entries");
+        m.insert(1, 11);
+        assert_eq!(m.get(1), Some(11));
+    }
+
+    #[test]
+    fn universe_can_grow_between_generations() {
+        let mut m = EpochMap::new();
+        m.begin(2);
+        m.insert(1, 1);
+        m.begin(6);
+        m.insert(5, 5);
+        assert_eq!(m.get(5), Some(5));
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_all_stamps() {
+        let mut m = EpochMap::new();
+        m.begin(2);
+        m.insert(0, 7);
+        // Force the wrap path.
+        m.epoch = u32::MAX;
+        m.begin(2);
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.get(0), None, "pre-wrap entries must not resurface");
+        m.insert(0, 8);
+        assert_eq!(m.get(0), Some(8));
+    }
+}

@@ -36,6 +36,7 @@
 pub mod builder;
 pub mod dimacs;
 pub mod edge;
+pub mod epoch;
 pub mod error;
 pub mod generator;
 pub mod geo;

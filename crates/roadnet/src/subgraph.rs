@@ -6,10 +6,34 @@
 //! adjacency that all LCMSR algorithms operate on.
 
 use crate::edge::EdgeId;
+use crate::epoch::EpochMap;
 use crate::geo::Rect;
 use crate::graph::RoadNetwork;
 use crate::node::NodeId;
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Reusable scratch buffers for building [`RegionView`]s.
+///
+/// Extracting `Q.Λ` allocates a node list, an edge list and a node→local-id
+/// table sized to the whole network.  A long-lived scratch lets successive
+/// queries over the same network reuse all three:
+/// [`RegionView::new_reusing`] takes the buffers out of the scratch and
+/// [`RegionView::recycle`] puts them back, so a steady stream of views
+/// performs no per-query allocation once the buffers have grown to size.
+#[derive(Debug, Clone, Default)]
+pub struct RegionScratch {
+    members: EpochMap,
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl RegionScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A view of the subgraph of a [`RoadNetwork`] induced by the nodes inside a
 /// rectangle (the paper's `Q.Λ`).
@@ -25,34 +49,54 @@ pub struct RegionView<'g> {
     nodes: Vec<NodeId>,
     /// Edges with both endpoints inside the rectangle, sorted by id.
     edges: Vec<EdgeId>,
-    /// membership[i] is true iff node i is inside the view.
-    membership: Vec<bool>,
+    /// Maps a member node's global index to its position in `nodes`
+    /// (the view's dense local id); cleared in O(1) when recycled.
+    members: EpochMap,
 }
 
 impl<'g> RegionView<'g> {
     /// Creates the view of `graph` induced by the nodes located inside `rect`.
     pub fn new(graph: &'g RoadNetwork, rect: Rect) -> Self {
-        let mut membership = vec![false; graph.node_count()];
-        let mut nodes = Vec::new();
+        Self::new_reusing(graph, rect, &mut RegionScratch::new())
+    }
+
+    /// Like [`RegionView::new`], but reuses the buffers held by `scratch`
+    /// (see [`RegionScratch`]).  Return them with [`RegionView::recycle`].
+    pub fn new_reusing(graph: &'g RoadNetwork, rect: Rect, scratch: &mut RegionScratch) -> Self {
+        let mut members = std::mem::take(&mut scratch.members);
+        members.begin(graph.node_count());
+        let mut nodes = std::mem::take(&mut scratch.nodes);
+        nodes.clear();
+        let mut edges = std::mem::take(&mut scratch.edges);
+        edges.clear();
         for n in graph.nodes() {
             if rect.contains(&n.point) {
-                membership[n.id.index()] = true;
+                members.insert(n.id.index(), nodes.len() as u32);
                 nodes.push(n.id);
             }
         }
-        let edges: Vec<EdgeId> = graph
-            .edges()
-            .iter()
-            .filter(|e| membership[e.a.index()] && membership[e.b.index()])
-            .map(|e| e.id)
-            .collect();
+        edges.extend(
+            graph
+                .edges()
+                .iter()
+                .filter(|e| members.contains(e.a.index()) && members.contains(e.b.index()))
+                .map(|e| e.id),
+        );
         RegionView {
             graph,
             rect,
             nodes,
             edges,
-            membership,
+            members,
         }
+    }
+
+    /// Returns the view's buffers to `scratch` so the next
+    /// [`RegionView::new_reusing`] call can reuse them.
+    pub fn recycle(self, scratch: &mut RegionScratch) {
+        scratch.members = self.members;
+        scratch.nodes = self.nodes;
+        scratch.edges = self.edges;
     }
 
     /// A view containing the whole network (`Q.Λ` = entire space).
@@ -97,7 +141,16 @@ impl<'g> RegionView<'g> {
     /// Whether `node` belongs to the view.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.membership.get(node.index()).copied().unwrap_or(false)
+        self.members.contains(node.index())
+    }
+
+    /// Position of `node` in [`RegionView::nodes`], if it lies in the view —
+    /// an O(1) table lookup.  Dense per-view state (distances, weights, …)
+    /// can live in flat vectors indexed by this local id even when the
+    /// network has millions of nodes.
+    #[inline]
+    pub fn local_index(&self, node: NodeId) -> Option<usize> {
+        self.members.get(node.index()).map(|i| i as usize)
     }
 
     /// Neighbours of `node` restricted to the view, as `(neighbour, edge)` pairs.
@@ -203,6 +256,111 @@ impl<'g> RegionView<'g> {
             }
         }
         seen.len() == nodes.len()
+    }
+
+    /// Dijkstra from `source` restricted to the view, with every per-node
+    /// array sized `|V_Q|` rather than `|V|`: the cost of a call depends only
+    /// on the view's size, not on how large the surrounding network is (the
+    /// property the MaxRS comparison of Section 7.5 relies on).
+    ///
+    /// Returns distances indexed by [`RegionView::local_index`].  A source
+    /// outside the view yields a result with every node unreachable.
+    pub fn distances_from(&self, source: NodeId) -> ViewDistances {
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut settled = 0usize;
+        let mut heap: BinaryHeap<ViewHeapEntry> = BinaryHeap::new();
+        if let Some(src) = self.local_index(source) {
+            dist[src] = 0.0;
+            heap.push(ViewHeapEntry {
+                dist: 0.0,
+                local: src as u32,
+            });
+        }
+        while let Some(ViewHeapEntry { dist: d, local }) = heap.pop() {
+            if d > dist[local as usize] {
+                continue;
+            }
+            settled += 1;
+            let v = self.nodes[local as usize];
+            for &(u, e) in self.graph.neighbors(v) {
+                let Some(lu) = self.local_index(u) else {
+                    continue;
+                };
+                let nd = d + self.graph.length(e);
+                if nd < dist[lu] {
+                    dist[lu] = nd;
+                    heap.push(ViewHeapEntry {
+                        dist: nd,
+                        local: lu as u32,
+                    });
+                }
+            }
+        }
+        ViewDistances { dist, settled }
+    }
+}
+
+/// Entry in the view-restricted Dijkstra priority queue (local node ids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ViewHeapEntry {
+    dist: f64,
+    local: u32,
+}
+
+impl Eq for ViewHeapEntry {}
+
+impl Ord for ViewHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the BinaryHeap (max-heap) pops the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.local.cmp(&self.local))
+    }
+}
+
+impl PartialOrd for ViewHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of [`RegionView::distances_from`]: shortest-path distances in local
+/// (view) node indices, plus the number of nodes the search settled — a
+/// machine-independent measure of the work performed, used by regression
+/// tests to pin the cost to `|V_Q|`.
+#[derive(Debug, Clone)]
+pub struct ViewDistances {
+    dist: Vec<f64>,
+    settled: usize,
+}
+
+impl ViewDistances {
+    /// Distance to the node at local index `local`, or `None` if unreachable.
+    pub fn by_local(&self, local: usize) -> Option<f64> {
+        let d = self.dist[local];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Number of local slots (equals the view's node count).
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether the view had no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Number of nodes settled by the search (≤ the view's node count).
+    pub fn settled(&self) -> usize {
+        self.settled
     }
 }
 
@@ -310,5 +468,103 @@ mod tests {
         let g = grid4();
         let v = RegionView::new(&g, Rect::new(0.0, 0.0, 1.0, 1.0));
         assert_eq!(v.node_count(), 4);
+    }
+
+    #[test]
+    fn reused_scratch_builds_identical_views() {
+        let g = grid4();
+        let mut scratch = RegionScratch::new();
+        for rect in [
+            Rect::new(-0.5, -0.5, 1.5, 1.5),
+            Rect::new(0.5, 0.5, 3.5, 3.5),
+            Rect::new(-0.5, -0.5, 3.5, 3.5),
+            Rect::new(100.0, 100.0, 101.0, 101.0),
+        ] {
+            let fresh = RegionView::new(&g, rect);
+            let reused = RegionView::new_reusing(&g, rect, &mut scratch);
+            assert_eq!(fresh.nodes(), reused.nodes());
+            assert_eq!(fresh.edges(), reused.edges());
+            for n in g.node_ids() {
+                assert_eq!(fresh.contains(n), reused.contains(n));
+                assert_eq!(fresh.local_index(n), reused.local_index(n));
+            }
+            reused.recycle(&mut scratch);
+        }
+    }
+
+    #[test]
+    fn local_index_matches_node_positions() {
+        let g = grid4();
+        let v = RegionView::new(&g, Rect::new(-0.5, -0.5, 1.5, 1.5));
+        for (i, &n) in v.nodes().iter().enumerate() {
+            assert_eq!(v.local_index(n), Some(i));
+        }
+        assert_eq!(v.local_index(NodeId(15)), None);
+    }
+
+    #[test]
+    fn view_distances_match_restricted_dijkstra() {
+        let g = grid4();
+        let rect = Rect::new(-0.5, -0.5, 2.5, 2.5); // 3x3 corner
+        let v = RegionView::new(&g, rect);
+        let inside = |n: NodeId| v.contains(n);
+        let full = crate::traversal::dijkstra(&g, NodeId(0), inside);
+        let local = v.distances_from(NodeId(0));
+        assert_eq!(local.len(), v.node_count());
+        assert!(!local.is_empty());
+        for (i, &n) in v.nodes().iter().enumerate() {
+            assert_eq!(full.distance(n), local.by_local(i));
+        }
+        // A source outside the view reaches nothing.
+        let outside = v.distances_from(NodeId(15));
+        assert!((0..v.node_count()).all(|i| outside.by_local(i).is_none()));
+        assert_eq!(outside.settled(), 0);
+    }
+
+    #[test]
+    fn view_distance_cost_is_independent_of_outside_nodes() {
+        // The same 2x2 region carved out of a 4x4 grid and out of a network
+        // with a long appendage of nodes outside the rectangle must settle the
+        // same number of nodes.
+        let small = grid4();
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                ids.push(b.add_node(Point::new(x as f64, y as f64)));
+            }
+        }
+        for y in 0..4 {
+            for x in 0..4 {
+                let i = y * 4 + x;
+                if x < 3 {
+                    b.add_edge(ids[i], ids[i + 1], 1.0).unwrap();
+                }
+                if y < 3 {
+                    b.add_edge(ids[i], ids[i + 4], 1.0).unwrap();
+                }
+            }
+        }
+        // 500 extra nodes trailing away from the region.
+        let mut prev = ids[15];
+        for k in 0..500 {
+            let n = b.add_node(Point::new(10.0 + k as f64, 10.0));
+            b.add_edge(prev, n, 1.0).unwrap();
+            prev = n;
+        }
+        let large = b.build().unwrap();
+
+        let rect = Rect::new(-0.5, -0.5, 1.5, 1.5);
+        let vs = RegionView::new(&small, rect);
+        let vl = RegionView::new(&large, rect);
+        assert_eq!(vs.node_count(), vl.node_count());
+        let ds = vs.distances_from(NodeId(0));
+        let dl = vl.distances_from(NodeId(0));
+        assert_eq!(ds.settled(), dl.settled());
+        assert!(ds.settled() <= vs.node_count());
+        assert_eq!(ds.len(), dl.len(), "arrays sized to |V_Q|, not |V|");
+        for i in 0..ds.len() {
+            assert_eq!(ds.by_local(i), dl.by_local(i));
+        }
     }
 }
