@@ -15,25 +15,6 @@
 
 use lcmsr_bench::*;
 use lcmsr_core::prelude::*;
-use std::time::Instant;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Best-of-`rounds` wall-clock seconds for `f`.
-fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..rounds {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
 
 fn main() {
     let scale = scale_from_env();

@@ -1,0 +1,182 @@
+//! Solve-phase benchmark: the TGEN edge-combine loop over arena-backed
+//! region tuples — the hot path PR 3's `TupleArena` refactor targets.
+//!
+//! Like `batch_throughput` this is a plain harness emitting a
+//! machine-readable `BENCH_solve.json` (path overridable via
+//! `LCMSR_BENCH_OUT`) that CI archives to track the combine-loop perf
+//! trajectory across PRs.  It measures, over a prepared query-graph workload:
+//!
+//! * **solve reused** — `run_tgen` with one warm arena, epoch-cleared between
+//!   queries (the steady state every pooled workspace reaches),
+//! * **solve fresh** — `run_tgen` with a brand-new arena per query (the cost
+//!   a one-shot caller pays before any capacity has grown),
+//! * arena activity: blocks allocated, free-list hits and top-of-slab
+//!   rollbacks per query — how many combine products were recycled instead of
+//!   becoming garbage.
+//!
+//! Knobs: `LCMSR_SCALE` (dataset size, default `tiny`), `LCMSR_SOLVE_QUERIES`
+//! (default 32), `LCMSR_SOLVE_ROUNDS` (default 3).  With `LCMSR_BENCH_STRICT`
+//! set the run fails when warm-arena solving is slower than
+//! `LCMSR_BENCH_MIN_SOLVE_SPEEDUP` (default 1.0) times the fresh-arena path,
+//! re-measuring once to derisk noisy neighbours; results must always be
+//! bit-identical between the two paths.
+
+use lcmsr_bench::*;
+use lcmsr_core::arena::TupleArena;
+use lcmsr_core::prelude::*;
+use lcmsr_core::tgen::run_tgen;
+
+/// Fingerprint of one solve outcome: exact measures of the best tuple plus
+/// its global node ids, enough to detect any divergence bit for bit.
+fn fingerprint(
+    graph: &lcmsr_core::query_graph::QueryGraph,
+    arena: &TupleArena,
+    outcome: &lcmsr_core::tgen::TgenOutcome,
+) -> (u64, u64, u64, Vec<u64>, usize) {
+    match &outcome.best {
+        None => (0, 0, 0, Vec::new(), outcome.top_tuples.len()),
+        Some(t) => (
+            t.scaled,
+            t.weight.to_bits(),
+            t.length.to_bits(),
+            t.nodes(arena)
+                .iter()
+                .map(|&v| graph.global_node(v).0 as u64)
+                .collect(),
+            outcome.top_tuples.len(),
+        ),
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let num_queries = env_usize("LCMSR_SOLVE_QUERIES", 32).max(1);
+    let rounds = env_usize("LCMSR_SOLVE_ROUNDS", 3).max(1);
+
+    let dataset = ny_dataset(scale);
+    let params = dataset.default_query_params(2024);
+    let queries = make_workload(
+        &dataset,
+        num_queries,
+        params.num_keywords,
+        params.area_km2,
+        params.delta_km,
+        2024,
+    );
+    let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+    let alpha = default_tgen_alpha(&dataset, &queries);
+    let tgen = lcmsr_core::tgen::TgenParams { alpha };
+
+    // Prepare every query graph once; this bench times the solve phase only.
+    let graphs: Vec<_> = queries
+        .iter()
+        .map(|q| engine.prepare(q, alpha).expect("prepare"))
+        .collect();
+
+    let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
+    let min_speedup: f64 = std::env::var("LCMSR_BENCH_MIN_SOLVE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    // Warm one arena to its high-water capacity, and collect the reference
+    // fingerprints plus arena activity for the steady state.
+    let mut warm = TupleArena::new();
+    let mut reference = Vec::new();
+    let mut tuples_total = 0u64;
+    let stats_before = warm.stats();
+    for g in &graphs {
+        warm.reset();
+        let outcome = run_tgen(g, &mut warm, &tgen).expect("tgen");
+        tuples_total += outcome.tuples_generated;
+        reference.push(fingerprint(g, &warm, &outcome));
+    }
+    let stats_after = warm.stats();
+    let allocs_per_query = (stats_after.allocs - stats_before.allocs) as f64 / graphs.len() as f64;
+    let recycled = (stats_after.free_list_hits - stats_before.free_list_hits)
+        + (stats_after.top_rollbacks - stats_before.top_rollbacks);
+    let recycled_per_query = recycled as f64 / graphs.len() as f64;
+    let slab_kib = warm.storage_capacity() as f64 * 4.0 / 1024.0;
+
+    // The strict gate re-measures once before failing: on shared CI runners a
+    // noisy neighbour can depress a single measurement window.
+    let mut reused_secs = 0.0;
+    let mut fresh_secs = 0.0;
+    let mut speedup = 0.0;
+    for attempt in 0..2 {
+        reused_secs = best_secs(rounds, || {
+            for g in &graphs {
+                warm.reset();
+                let _ = run_tgen(g, &mut warm, &tgen).expect("tgen");
+            }
+        }) / graphs.len() as f64;
+        fresh_secs = best_secs(rounds, || {
+            for g in &graphs {
+                let mut arena = TupleArena::new();
+                let _ = run_tgen(g, &mut arena, &tgen).expect("tgen");
+            }
+        }) / graphs.len() as f64;
+        speedup = fresh_secs / reused_secs.max(1e-12);
+        if !strict || speedup >= min_speedup {
+            break;
+        }
+        if attempt == 0 {
+            eprintln!(
+                "  solve speedup {speedup:.2}x below {min_speedup:.2}x target; re-measuring once"
+            );
+        }
+    }
+
+    // Fresh arenas must produce bit-identical outcomes to the warm arena.
+    let mut identical = true;
+    for (g, expect) in graphs.iter().zip(&reference) {
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(g, &mut arena, &tgen).expect("tgen");
+        if &fingerprint(g, &arena, &outcome) != expect {
+            identical = false;
+        }
+    }
+
+    let tuples_per_query = tuples_total as f64 / graphs.len() as f64;
+    let tuples_per_sec = tuples_per_query / reused_secs.max(1e-12);
+    println!(
+        "solve_phase (scale {scale:?}, {} queries, TGEN α {alpha:.1})",
+        graphs.len()
+    );
+    println!("  solve reused    : {:>10.1} µs/query", reused_secs * 1e6);
+    println!(
+        "  solve fresh     : {:>10.1} µs/query  ({speedup:.2}x)",
+        fresh_secs * 1e6
+    );
+    println!(
+        "  combine loop    : {:>10.0} tuples/query, {:.2} M tuples/s",
+        tuples_per_query,
+        tuples_per_sec / 1e6
+    );
+    println!(
+        "  arena           : {allocs_per_query:.0} blocks/query, {recycled_per_query:.0} recycled/query, slab {slab_kib:.1} KiB"
+    );
+    println!("  results identical: {identical}");
+
+    assert!(
+        identical,
+        "fresh-arena results must be identical to warm-arena output"
+    );
+    if strict {
+        assert!(
+            speedup >= min_speedup,
+            "warm-arena solve speedup {speedup:.2}x below the {min_speedup:.2}x floor"
+        );
+    }
+
+    let out_path =
+        std::env::var("LCMSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_solve.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"solve_phase\",\n  \"scale\": \"{scale:?}\",\n  \"queries\": {},\n  \"tgen_alpha\": {alpha:.3},\n  \"solve_reused_us_per_query\": {:.3},\n  \"solve_fresh_us_per_query\": {:.3},\n  \"reuse_speedup\": {speedup:.4},\n  \"tuples_per_query\": {tuples_per_query:.1},\n  \"tuples_per_sec\": {tuples_per_sec:.0},\n  \"arena_blocks_per_query\": {allocs_per_query:.1},\n  \"arena_recycled_per_query\": {recycled_per_query:.1},\n  \"arena_slab_kib\": {slab_kib:.1},\n  \"identical_results\": {identical}\n}}\n",
+        graphs.len(),
+        reused_secs * 1e6,
+        fresh_secs * 1e6,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_solve.json");
+    println!("  wrote {out_path}");
+}

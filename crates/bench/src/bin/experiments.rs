@@ -84,7 +84,8 @@ fn table1(ny: &Dataset) {
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
     let params = AppParams::default();
     let graph = engine.prepare(query, params.alpha).expect("prepare");
-    let outcome = run_app(&graph, &params).expect("APP run");
+    let mut arena = lcmsr_core::arena::TupleArena::new();
+    let outcome = run_app(&graph, &mut arena, &params).expect("APP run");
     println!(
         "query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m",
         query.keywords,
@@ -120,7 +121,7 @@ fn table1(ny: &Dataset) {
             "result: weight {:.4}, length {:.0} m, {} nodes",
             best.weight,
             best.length,
-            best.nodes.len()
+            best.node_count()
         );
     }
 }

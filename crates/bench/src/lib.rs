@@ -14,6 +14,26 @@ use lcmsr_core::prelude::*;
 use lcmsr_datagen::prelude::*;
 use std::time::Instant;
 
+/// Reads a `usize` knob from the environment, falling back to `default`.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`rounds` wall-clock seconds for `f` (the plain-harness benches
+/// gate on this; best-of smooths scheduler noise better than a mean).
+pub fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Resolves the dataset scale from `LCMSR_SCALE` (default: tiny).
 pub fn scale_from_env() -> NetworkScale {
     match std::env::var("LCMSR_SCALE").unwrap_or_default().as_str() {

@@ -16,6 +16,7 @@
 //! sequential [`LcmsrEngine::run`] calls produce.
 
 use crate::app::{run_app, AppParams};
+use crate::arena::TupleArena;
 use crate::error::Result;
 use crate::exact::ExactSolver;
 use crate::greedy::{run_greedy, GreedyParams};
@@ -32,6 +33,7 @@ use lcmsr_roadnet::graph::RoadNetwork;
 use lcmsr_roadnet::node::NodeId;
 use lcmsr_roadnet::subgraph::{RegionScratch, RegionView};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Which LCMSR algorithm to run, with its parameters.
@@ -126,14 +128,17 @@ fn default_workers() -> usize {
 ///
 /// Holds the scratch buffers of every preparation stage — `Q.Λ` extraction
 /// ([`RegionScratch`]), keyword scoring ([`NodeWeights`]) and query-graph
-/// construction ([`QueryGraphBuilder`]) — so repeated
-/// [`LcmsrEngine::run_with`] calls over the same network allocate near-zero.
-/// Each worker thread of [`LcmsrEngine::run_batch`] owns one workspace.
+/// construction ([`QueryGraphBuilder`]) — plus the solve phase's
+/// [`TupleArena`], so repeated [`LcmsrEngine::run_with`] calls over the same
+/// network allocate near-zero.  Each worker thread of
+/// [`LcmsrEngine::run_batch`] owns one workspace; one-shot `run`/`run_topk`
+/// calls check workspaces out of the engine's [`WorkspacePool`].
 #[derive(Debug, Clone, Default)]
 pub struct QueryWorkspace {
     builder: QueryGraphBuilder,
     region: RegionScratch,
     weights: NodeWeights,
+    arena: TupleArena,
 }
 
 impl QueryWorkspace {
@@ -141,13 +146,60 @@ impl QueryWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The workspace's tuple arena (diagnostics/benchmarks).
+    pub fn arena(&self) -> &TupleArena {
+        &self.arena
+    }
+}
+
+/// A lock-guarded stack of idle [`QueryWorkspace`]s owned by the engine.
+///
+/// `run`/`run_topk` and every batch worker check a workspace out and return
+/// it afterwards, so successive calls — including successive `run_batch`
+/// invocations — reuse the grown scratch buffers, query-graph pools and tuple
+/// arenas instead of rebuilding them per call.  The pool never shrinks; its
+/// size is bounded by the maximum number of concurrent workers seen.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<QueryWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an idle workspace, or creates a fresh one when none is pooled.
+    pub fn checkout(&self) -> QueryWorkspace {
+        self.idle
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a workspace to the pool for the next checkout.
+    pub fn recycle(&self, workspace: QueryWorkspace) {
+        self.idle
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(workspace);
+    }
+
+    /// Number of idle pooled workspaces (diagnostics/tests).
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("workspace pool poisoned").len()
+    }
 }
 
 /// The LCMSR query-processing engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct LcmsrEngine<'a> {
     network: &'a RoadNetwork,
     collection: &'a ObjectCollection,
+    pool: WorkspacePool,
 }
 
 impl<'a> LcmsrEngine<'a> {
@@ -156,7 +208,13 @@ impl<'a> LcmsrEngine<'a> {
         LcmsrEngine {
             network,
             collection,
+            pool: WorkspacePool::new(),
         }
+    }
+
+    /// The engine's workspace pool (diagnostics/tests).
+    pub fn workspace_pool(&self) -> &WorkspacePool {
+        &self.pool
     }
 
     /// The underlying road network.
@@ -171,7 +229,10 @@ impl<'a> LcmsrEngine<'a> {
 
     /// Builds the scaled query graph for a query with the given α.
     pub fn prepare(&self, query: &LcmsrQuery, alpha: f64) -> Result<QueryGraph> {
-        self.prepare_with(&mut QueryWorkspace::new(), query, alpha)
+        let mut workspace = self.pool.checkout();
+        let result = self.prepare_with(&mut workspace, query, alpha);
+        self.pool.recycle(workspace);
+        result
     }
 
     /// Like [`LcmsrEngine::prepare`], but reuses the scratch buffers of a
@@ -207,9 +268,13 @@ impl<'a> LcmsrEngine<'a> {
         workspace.builder.recycle(graph);
     }
 
-    /// Answers a query with the requested algorithm.
+    /// Answers a query with the requested algorithm, using a pooled workspace
+    /// (successive calls on the same engine reuse scratch buffers and arenas).
     pub fn run(&self, query: &LcmsrQuery, algorithm: &Algorithm) -> Result<QueryResult> {
-        self.run_with(&mut QueryWorkspace::new(), query, algorithm)
+        let mut workspace = self.pool.checkout();
+        let result = self.run_with(&mut workspace, query, algorithm);
+        self.pool.recycle(workspace);
+        result
     }
 
     /// Like [`LcmsrEngine::run`], but reuses a caller-owned workspace — the
@@ -230,31 +295,35 @@ impl<'a> LcmsrEngine<'a> {
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
         let solve_start = Instant::now();
+        // Epoch-clear the arena: every handle from the previous query dies
+        // here, while the slab's capacity carries over.
+        workspace.arena.reset();
+        let arena = &mut workspace.arena;
         let solved = (|| match algorithm {
             Algorithm::App(params) => {
-                let outcome = run_app(&graph, params)?;
+                let outcome = run_app(&graph, arena, params)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.dp_tuples;
                 Ok(outcome.best)
             }
             Algorithm::Tgen(params) => {
-                let outcome = run_tgen(&graph, params)?;
+                let outcome = run_tgen(&graph, arena, params)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 Ok(outcome.best)
             }
             Algorithm::Greedy(params) => {
-                let outcome = run_greedy(&graph, params)?;
+                let outcome = run_greedy(&graph, arena, params)?;
                 stats.greedy_steps = outcome.steps;
                 Ok(outcome.best)
             }
-            Algorithm::Exact => ExactSolver::new().solve(&graph),
+            Algorithm::Exact => ExactSolver::new().solve(&graph, arena),
         })();
         stats.solve_time = solve_start.elapsed();
         // Return the graph to the pool on the error path too, so a failing
         // query (e.g. Exact over an oversized region) does not cost the
         // workspace its pooled allocations.
         let region = match solved {
-            Ok(best) => best.map(|t| Region::from_tuple(&graph, &t)),
+            Ok(best) => best.map(|t| Region::from_tuple(&graph, &workspace.arena, &t)),
             Err(e) => {
                 self.release(workspace, graph);
                 return Err(e);
@@ -265,14 +334,18 @@ impl<'a> LcmsrEngine<'a> {
         Ok(QueryResult { region, stats })
     }
 
-    /// Answers a top-k query with the requested algorithm.
+    /// Answers a top-k query with the requested algorithm, using a pooled
+    /// workspace (see [`LcmsrEngine::run`]).
     pub fn run_topk(
         &self,
         query: &LcmsrQuery,
         algorithm: &Algorithm,
         k: usize,
     ) -> Result<TopKResult> {
-        self.run_topk_with(&mut QueryWorkspace::new(), query, algorithm, k)
+        let mut workspace = self.pool.checkout();
+        let result = self.run_topk_with(&mut workspace, query, algorithm, k);
+        self.pool.recycle(workspace);
+        result
     }
 
     /// Like [`LcmsrEngine::run_topk`], but reuses a caller-owned workspace.
@@ -292,25 +365,27 @@ impl<'a> LcmsrEngine<'a> {
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
         let solve_start = Instant::now();
+        workspace.arena.reset();
+        let arena = &mut workspace.arena;
         let solved = (|| match algorithm {
             Algorithm::App(params) => {
-                let outcome = topk_app(&graph, params, k)?;
+                let outcome = topk_app(&graph, arena, params, k)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.tuples_generated;
                 Ok(outcome.tuples)
             }
             Algorithm::Tgen(params) => {
-                let outcome = topk_tgen(&graph, params, k)?;
+                let outcome = topk_tgen(&graph, arena, params, k)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 Ok(outcome.tuples)
             }
             Algorithm::Greedy(params) => {
-                let outcome = topk_greedy(&graph, params, k)?;
+                let outcome = topk_greedy(&graph, arena, params, k)?;
                 stats.greedy_steps = outcome.greedy_steps;
                 Ok(outcome.tuples)
             }
             Algorithm::Exact => {
-                let outcome = ExactSolver::new().solve_topk(&graph, k)?;
+                let outcome = ExactSolver::new().solve_topk(&graph, arena, k)?;
                 stats.tuples_generated = outcome.feasible_enumerated;
                 Ok(outcome.tuples)
             }
@@ -326,7 +401,7 @@ impl<'a> LcmsrEngine<'a> {
         };
         let regions = tuples
             .iter()
-            .map(|t| Region::from_tuple(&graph, t))
+            .map(|t| Region::from_tuple(&graph, &workspace.arena, t))
             .collect();
         self.release(workspace, graph);
         stats.elapsed = start.elapsed();
@@ -397,8 +472,10 @@ impl<'a> LcmsrEngine<'a> {
     {
         let workers = workers.max(1).min(queries.len().max(1));
         if workers <= 1 {
-            let mut workspace = QueryWorkspace::new();
-            return queries.iter().map(|q| job(&mut workspace, q)).collect();
+            let mut workspace = self.pool.checkout();
+            let result = queries.iter().map(|q| job(&mut workspace, q)).collect();
+            self.pool.recycle(workspace);
+            return result;
         }
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -408,7 +485,9 @@ impl<'a> LcmsrEngine<'a> {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut workspace = QueryWorkspace::new();
+                        // Reuse a pooled workspace; consecutive batches on the
+                        // same engine keep their grown buffers and arenas.
+                        let mut workspace = self.pool.checkout();
                         let mut produced = Vec::new();
                         // Stop claiming work once any query has failed — like
                         // the sequential path, there is no point finishing a
@@ -424,6 +503,7 @@ impl<'a> LcmsrEngine<'a> {
                             }
                             produced.push((i, result));
                         }
+                        self.pool.recycle(workspace);
                         produced
                     })
                 })
@@ -804,6 +884,78 @@ mod tests {
     }
 
     #[test]
+    fn one_shot_runs_recycle_a_pooled_workspace() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        assert_eq!(engine.workspace_pool().idle_count(), 0);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let first = engine
+            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+            .unwrap();
+        assert_eq!(
+            engine.workspace_pool().idle_count(),
+            1,
+            "run must return its workspace to the pool"
+        );
+        // The second run reuses the same workspace (the pool does not grow)
+        // and produces the identical region.
+        let second = engine
+            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+            .unwrap();
+        assert_eq!(engine.workspace_pool().idle_count(), 1);
+        assert_eq!(first.region, second.region);
+        // Top-k and batch paths recycle too.
+        let _ = engine
+            .run_topk(&query, &Algorithm::Greedy(GreedyParams::default()), 2)
+            .unwrap();
+        assert_eq!(engine.workspace_pool().idle_count(), 1);
+        let queries = mixed_workload(&network);
+        let _ = engine
+            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
+            .unwrap();
+        let pooled = engine.workspace_pool().idle_count();
+        assert!(
+            (1..=4).contains(&pooled),
+            "batch workers must recycle their workspaces, pooled {pooled}"
+        );
+        // A failing query still returns the workspace.
+        let mut bad = queries[0].clone();
+        bad.delta = -1.0;
+        assert!(engine
+            .run(&bad, &Algorithm::Greedy(GreedyParams::default()))
+            .is_err());
+        assert_eq!(engine.workspace_pool().idle_count(), pooled);
+    }
+
+    #[test]
+    fn pooled_engine_matches_fresh_workspaces_across_interleaved_algorithms() {
+        // Interleave algorithms and queries on one pooled engine: every result
+        // must equal a run with a brand-new workspace (fresh arena, fresh
+        // builder), i.e. arena recycling must never leak state across queries.
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let queries = mixed_workload(&network);
+        let algorithms = [
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::App(AppParams::default()),
+            Algorithm::Greedy(GreedyParams::default()),
+        ];
+        for (i, query) in queries.iter().enumerate() {
+            let algorithm = &algorithms[i % algorithms.len()];
+            let pooled = engine.run(query, algorithm).unwrap();
+            let fresh = engine
+                .run_with(&mut QueryWorkspace::new(), query, algorithm)
+                .unwrap();
+            assert_eq!(
+                pooled.region,
+                fresh.region,
+                "{} query {i}",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
     fn workspace_reuse_produces_identical_results() {
         let (network, collection) = small_world();
         let engine = LcmsrEngine::new(&network, &collection);
@@ -930,14 +1082,15 @@ mod tests {
         let view = RegionView::whole(&network);
         let alpha = Algorithm::Exact.alpha();
         let qg = QueryGraph::build(&view, &weights, 5.0, alpha).unwrap();
-        let single = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        let mut arena = TupleArena::new();
+        let single = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
         assert!(
             (single.weight - 0.32).abs() < 1e-12,
             "true optimum is the pair"
         );
-        let top = ExactSolver::new().solve_topk(&qg, 1).unwrap();
-        assert_eq!(
-            top.tuples[0].nodes, single.nodes,
+        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 1).unwrap();
+        assert!(
+            top.tuples[0].same_nodes(&single, &arena),
             "run_topk(Exact, 1) must return the same region as run(Exact)"
         );
     }

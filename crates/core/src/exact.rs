@@ -10,6 +10,7 @@
 //! and property tests compare APP, TGEN and Greedy against it on graphs with up
 //! to [`ExactSolver::DEFAULT_NODE_LIMIT`] nodes.
 
+use crate::arena::TupleArena;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
@@ -46,9 +47,9 @@ impl ExactSolver {
 
     /// Finds the optimal region (maximum weight, length ≤ `Q.∆`), or `None`
     /// when no node carries a positive weight.
-    pub fn solve(&self, graph: &QueryGraph) -> Result<Option<RegionTuple>> {
+    pub fn solve(&self, graph: &QueryGraph, arena: &mut TupleArena) -> Result<Option<RegionTuple>> {
         let mut best: Option<RegionTuple> = None;
-        self.enumerate(graph, |candidate| {
+        self.enumerate(graph, arena, |arena, candidate| {
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -57,8 +58,13 @@ impl ExactSolver {
                             && candidate.length < b.length)
                 }
             };
+            // Every enumerated tuple has a single owner, so losers recycle.
             if better {
-                best = Some(candidate);
+                if let Some(old) = best.replace(candidate) {
+                    old.free(arena);
+                }
+            } else {
+                candidate.free(arena);
             }
         })?;
         Ok(best)
@@ -69,7 +75,12 @@ impl ExactSolver {
     /// shared quality order [`RegionTuple::cmp_quality`] — the same total
     /// order the approximation algorithms' top-k paths use, so exact top-k
     /// results are directly comparable to theirs.
-    pub fn solve_topk(&self, graph: &QueryGraph, k: usize) -> Result<ExactTopK> {
+    pub fn solve_topk(
+        &self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        k: usize,
+    ) -> Result<ExactTopK> {
         let mut top: Vec<RegionTuple> = Vec::with_capacity(k.min(64));
         let mut feasible_enumerated = 0u64;
         if k == 0 {
@@ -85,12 +96,17 @@ impl ExactSolver {
                 feasible_enumerated,
             });
         }
-        self.enumerate(graph, |candidate| {
+        self.enumerate(graph, arena, |arena, candidate| {
             feasible_enumerated += 1;
             let pos = top.partition_point(|t| t.cmp_quality(&candidate) != Ordering::Greater);
             if pos < k {
                 top.insert(pos, candidate);
-                top.truncate(k);
+                if top.len() > k {
+                    // The pushed-out tuple is exclusively ours — recycle it.
+                    top.pop().expect("len > k").free(arena);
+                }
+            } else {
+                candidate.free(arena);
             }
         })?;
         Ok(ExactTopK {
@@ -100,8 +116,14 @@ impl ExactSolver {
     }
 
     /// Runs the subset enumeration, invoking `visit` for every feasible
-    /// (connected, length ≤ `Q.∆`) region tuple.
-    fn enumerate(&self, graph: &QueryGraph, mut visit: impl FnMut(RegionTuple)) -> Result<()> {
+    /// (connected, length ≤ `Q.∆`) region tuple.  Each visited tuple is owned
+    /// by the callback alone, which may free it.
+    fn enumerate(
+        &self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        mut visit: impl FnMut(&mut TupleArena, RegionTuple),
+    ) -> Result<()> {
         let n = graph.node_count();
         if graph.sigma_max() <= 0.0 {
             // No relevant node: the answer is empty regardless of the graph size.
@@ -126,13 +148,8 @@ impl ExactSolver {
             }
             let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
             let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
-            visit(RegionTuple {
-                length,
-                weight,
-                scaled,
-                nodes,
-                edges,
-            });
+            let tuple = RegionTuple::from_parts(arena, length, weight, scaled, &nodes, &edges);
+            visit(arena, tuple);
         }
         Ok(())
     }
@@ -177,7 +194,7 @@ fn induced_mst(
     if nodes.len() == 1 {
         return Some((Vec::new(), 0.0));
     }
-    scratch.members.begin(graph.node_count());
+    scratch.members.begin();
     for &v in nodes {
         scratch.members.insert(v as usize, v);
         scratch.parent[v as usize] = v;
@@ -244,12 +261,11 @@ mod tests {
     #[test]
     fn finds_the_papers_optimum_on_figure2() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        let mut arena = TupleArena::new();
+        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
         assert!((best.weight - 1.1).abs() < 1e-9);
         assert!((best.length - 5.9).abs() < 1e-9);
-        let mut nodes = best.nodes.clone();
-        nodes.sort_unstable();
-        assert_eq!(nodes, vec![1, 3, 4, 5]);
+        assert_eq!(best.nodes(&arena), &[1, 3, 4, 5]);
     }
 
     #[test]
@@ -257,7 +273,8 @@ mod tests {
         let mut previous = 0.0;
         for delta in [0.5, 1.5, 3.0, 4.5, 6.0, 8.0, 12.0, 20.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
-            let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+            let mut arena = TupleArena::new();
+            let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
             assert!(best.length <= delta + 1e-9);
             assert!(
                 best.weight + 1e-12 >= previous,
@@ -267,20 +284,22 @@ mod tests {
         }
         // With a huge ∆ the whole graph is optimal.
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
-        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
+        let mut arena = TupleArena::new();
+        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
         assert!((best.weight - 1.7).abs() < 1e-9);
     }
 
     #[test]
     fn topk_enumerates_distinct_regions_in_quality_order() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let top = ExactSolver::new().solve_topk(&qg, 5).unwrap();
+        let mut arena = TupleArena::new();
+        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 5).unwrap();
         assert_eq!(top.tuples.len(), 5);
         assert!(top.feasible_enumerated >= 5);
         // Best-first under the shared quality order, all feasible, all distinct.
         for w in top.tuples.windows(2) {
             assert_ne!(w[0].cmp_quality(&w[1]), std::cmp::Ordering::Greater);
-            assert_ne!(w[0].nodes, w[1].nodes);
+            assert!(!w[0].same_nodes(&w[1], &arena));
         }
         for t in &top.tuples {
             assert!(t.length <= 6.0 + 1e-9);
@@ -311,7 +330,8 @@ mod tests {
         weights.by_node.insert(NodeId(1), 0.3);
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
-        let top = ExactSolver::new().solve_topk(&qg, 10).unwrap();
+        let mut arena = TupleArena::new();
+        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 10).unwrap();
         assert_eq!(top.tuples.len(), 2);
         assert_eq!(top.feasible_enumerated, 2);
         assert!((top.tuples[0].weight - 0.9).abs() < 1e-12);
@@ -323,8 +343,9 @@ mod tests {
         use lcmsr_geotext::collection::NodeWeights;
         use lcmsr_roadnet::subgraph::RegionView;
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         assert!(ExactSolver::new()
-            .solve_topk(&qg, 0)
+            .solve_topk(&qg, &mut arena, 0)
             .unwrap()
             .tuples
             .is_empty());
@@ -332,12 +353,14 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(ExactSolver::new()
-            .solve_topk(&qg0, 3)
+            .solve_topk(&qg0, &mut arena, 3)
             .unwrap()
             .tuples
             .is_empty());
         // The size limit still applies for k = 0 on a relevant graph.
-        assert!(ExactSolver::with_node_limit(3).solve_topk(&qg, 0).is_err());
+        assert!(ExactSolver::with_node_limit(3)
+            .solve_topk(&qg, &mut arena, 0)
+            .is_err());
     }
 
     #[test]
@@ -347,10 +370,11 @@ mod tests {
         // solve_topk(…, 1) must reproduce solve().
         for delta in [1.0, 3.0, 6.0, 12.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
-            let single = ExactSolver::new().solve(&qg).unwrap().unwrap();
-            let top = ExactSolver::new().solve_topk(&qg, 1).unwrap();
+            let mut arena = TupleArena::new();
+            let single = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+            let top = ExactSolver::new().solve_topk(&qg, &mut arena, 1).unwrap();
             assert_eq!(top.tuples.len(), 1);
-            assert_eq!(top.tuples[0].nodes, single.nodes);
+            assert!(top.tuples[0].same_nodes(&single, &arena));
         }
     }
 
@@ -359,7 +383,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let solver = ExactSolver::with_node_limit(3);
         assert!(matches!(
-            solver.solve(&qg),
+            solver.solve(&qg, &mut TupleArena::new()),
             Err(LcmsrError::GraphTooLargeForExact { nodes: 6, limit: 3 })
         ));
     }
@@ -371,7 +395,10 @@ mod tests {
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
-        assert!(ExactSolver::new().solve(&qg).unwrap().is_none());
+        assert!(ExactSolver::new()
+            .solve(&qg, &mut TupleArena::new())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -393,8 +420,9 @@ mod tests {
         let view = RegionView::whole(&network);
         // ∆ smaller than the connecting edge: only single nodes are feasible.
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
-        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
-        assert_eq!(best.nodes.len(), 1);
+        let mut arena = TupleArena::new();
+        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        assert_eq!(best.node_count(), 1);
         assert!((best.weight - 0.9).abs() < 1e-12);
     }
 
@@ -420,8 +448,9 @@ mod tests {
         weights.by_node.insert(NodeId(1), 0.5);
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 10.0, 0.5).unwrap();
-        let best = ExactSolver::new().solve(&qg).unwrap().unwrap();
-        assert_eq!(best.nodes, vec![0, 1]);
+        let mut arena = TupleArena::new();
+        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        assert_eq!(best.nodes(&arena), &[0, 1]);
         assert!((best.length - 1.0).abs() < 1e-12);
     }
 }

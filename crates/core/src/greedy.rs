@@ -18,6 +18,7 @@
 //! road segment length" of the *candidate*) — we use the candidate's weight
 //! `σ_{v_i}`.  DESIGN.md records this reading.
 
+use crate::arena::TupleArena;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
@@ -61,8 +62,12 @@ pub struct GreedyOutcome {
 }
 
 /// Runs Greedy on a prepared query graph, seeding at the maximum-weight node.
-pub fn run_greedy(graph: &QueryGraph, params: &GreedyParams) -> Result<GreedyOutcome> {
-    run_greedy_excluding(graph, params, &[])
+pub fn run_greedy(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &GreedyParams,
+) -> Result<GreedyOutcome> {
+    run_greedy_excluding(graph, arena, params, &[])
 }
 
 /// Runs Greedy but seeds at the maximum-weight node *not* contained in
@@ -70,6 +75,7 @@ pub fn run_greedy(graph: &QueryGraph, params: &GreedyParams) -> Result<GreedyOut
 /// may still be absorbed during expansion; only the seed choice is restricted.
 pub fn run_greedy_excluding(
     graph: &QueryGraph,
+    arena: &mut TupleArena,
     params: &GreedyParams,
     excluded: &[u32],
 ) -> Result<GreedyOutcome> {
@@ -104,14 +110,15 @@ pub fn run_greedy_excluding(
     let n = graph.node_count();
     let mut in_region = vec![false; n];
     in_region[seed as usize] = true;
-    let mut region = RegionTuple::singleton(seed, graph.weight(seed), graph.scaled_weight(seed));
+    let mut region =
+        RegionTuple::singleton(arena, seed, graph.weight(seed), graph.scaled_weight(seed));
     let mut steps = 0u64;
 
     loop {
         // Gather frontier candidates: nodes adjacent to the region, with the
         // shortest connecting edge for each.
         let mut best_candidate: Option<(u32, u32, f64, f64)> = None; // (node, edge, edge_len, score)
-        for &v in &region.nodes {
+        for &v in region.nodes(arena) {
             for &(u, e) in graph.neighbors(v) {
                 if in_region[u as usize] {
                     continue;
@@ -137,7 +144,17 @@ pub fn run_greedy_excluding(
         let Some((u, e, edge_len, _)) = best_candidate else {
             break; // no candidate fits within Q.∆
         };
-        region = region.extend(u, graph.weight(u), graph.scaled_weight(u), e, edge_len);
+        let grown = region.extend(
+            u,
+            graph.weight(u),
+            graph.scaled_weight(u),
+            e,
+            edge_len,
+            arena,
+        );
+        // The superseded region is purely local to this loop — recycle it.
+        region.free(arena);
+        region = grown;
         in_region[u as usize] = true;
         steps += 1;
         if steps as usize > n {
@@ -169,12 +186,16 @@ mod tests {
     #[test]
     fn grows_a_feasible_region_from_the_heaviest_node() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let outcome = run_greedy(&qg, &GreedyParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
         let region = outcome.best.unwrap();
         assert!(region.length <= 6.0 + 1e-9);
         assert!(region.weight > 0.0);
         // The seed (a 0.4-weight node) must be in the region.
-        assert!(region.nodes.iter().any(|&v| qg.weight(v) >= 0.4 - 1e-12));
+        assert!(region
+            .nodes(&arena)
+            .iter()
+            .any(|&v| qg.weight(v) >= 0.4 - 1e-12));
         assert!(outcome.steps >= 1);
     }
 
@@ -183,7 +204,8 @@ mod tests {
         for delta in [0.5, 1.0, 3.0, 6.0, 10.0, 50.0] {
             for mu in [0.0, 0.2, 0.5, 0.8, 1.0] {
                 let (_n, qg) = figure2_query_graph(delta, 0.15);
-                let outcome = run_greedy(&qg, &GreedyParams { mu }).unwrap();
+                let mut arena = TupleArena::new();
+                let outcome = run_greedy(&qg, &mut arena, &GreedyParams { mu }).unwrap();
                 let region = outcome.best.unwrap();
                 assert!(
                     region.length <= delta + 1e-9,
@@ -197,9 +219,10 @@ mod tests {
     #[test]
     fn tiny_delta_returns_the_seed_alone() {
         let (_n, qg) = figure2_query_graph(0.1, 0.15);
-        let outcome = run_greedy(&qg, &GreedyParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
         let region = outcome.best.unwrap();
-        assert_eq!(region.nodes.len(), 1);
+        assert_eq!(region.node_count(), 1);
         assert_eq!(outcome.steps, 0);
         assert!((region.weight - 0.4).abs() < 1e-12);
     }
@@ -207,9 +230,10 @@ mod tests {
     #[test]
     fn huge_delta_eventually_covers_the_component() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
-        let outcome = run_greedy(&qg, &GreedyParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
         let region = outcome.best.unwrap();
-        assert_eq!(region.nodes.len(), 6);
+        assert_eq!(region.node_count(), 6);
         assert!((region.weight - 1.7).abs() < 1e-9);
     }
 
@@ -218,7 +242,8 @@ mod tests {
         // For ∆ = 6 the optimum is 1.1; Greedy must not exceed it (it returns a
         // feasible region) and typically falls short.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let outcome = run_greedy(&qg, &GreedyParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
         assert!(outcome.best.unwrap().weight <= 1.1 + 1e-9);
     }
 
@@ -229,33 +254,37 @@ mod tests {
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
-        let outcome = run_greedy(&qg, &GreedyParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
         assert!(outcome.best.is_none());
     }
 
     #[test]
     fn excluding_the_best_seed_changes_the_region() {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
-        let first = run_greedy(&qg, &GreedyParams::default())
+        let mut arena = TupleArena::new();
+        let first = run_greedy(&qg, &mut arena, &GreedyParams::default())
             .unwrap()
             .best
             .unwrap();
-        let second = run_greedy_excluding(&qg, &GreedyParams::default(), &first.nodes)
+        let first_nodes: Vec<u32> = first.nodes(&arena).to_vec();
+        let second = run_greedy_excluding(&qg, &mut arena, &GreedyParams::default(), &first_nodes)
             .unwrap()
             .best
             .unwrap();
         // The second region is seeded elsewhere.
-        assert_ne!(first.nodes, second.nodes);
+        assert!(!first.same_nodes(&second, &arena));
     }
 
     #[test]
     fn mu_extremes_still_produce_valid_regions() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let weight_only = run_greedy(&qg, &GreedyParams { mu: 0.0 })
+        let mut arena = TupleArena::new();
+        let weight_only = run_greedy(&qg, &mut arena, &GreedyParams { mu: 0.0 })
             .unwrap()
             .best
             .unwrap();
-        let length_only = run_greedy(&qg, &GreedyParams { mu: 1.0 })
+        let length_only = run_greedy(&qg, &mut arena, &GreedyParams { mu: 1.0 })
             .unwrap()
             .best
             .unwrap();

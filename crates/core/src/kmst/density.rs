@@ -8,6 +8,7 @@
 //! tree over all roots wins.
 
 use super::KMstSolver;
+use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use std::cmp::Ordering;
@@ -48,7 +49,12 @@ impl DensityKMst {
 
     /// Grows a quota tree from `root`; returns `None` when the quota cannot be
     /// reached from this root's connected component.
-    fn grow(graph: &QueryGraph, root: u32, quota: u64) -> Option<RegionTuple> {
+    fn grow(
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        root: u32,
+        quota: u64,
+    ) -> Option<RegionTuple> {
         let n = graph.node_count();
         let mut in_tree = vec![false; n];
         let mut tree_nodes = vec![root];
@@ -118,13 +124,14 @@ impl DensityKMst {
         tree_nodes.sort_unstable();
         tree_edges.sort_unstable();
         let weight = tree_nodes.iter().map(|&v| graph.weight(v)).sum();
-        Some(RegionTuple {
+        Some(RegionTuple::from_parts(
+            arena,
             length,
             weight,
             scaled,
-            nodes: tree_nodes,
-            edges: tree_edges,
-        })
+            &tree_nodes,
+            &tree_edges,
+        ))
     }
 }
 
@@ -153,7 +160,12 @@ impl PartialOrd for HeapEntry {
 }
 
 impl KMstSolver for DensityKMst {
-    fn solve(&mut self, graph: &QueryGraph, quota: u64) -> Option<RegionTuple> {
+    fn solve(
+        &mut self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        quota: u64,
+    ) -> Option<RegionTuple> {
         self.invocations += 1;
         // Candidate roots: the highest-scaled-weight nodes.
         let mut candidates: Vec<u32> = graph
@@ -163,6 +175,7 @@ impl KMstSolver for DensityKMst {
         if candidates.is_empty() {
             return if quota == 0 {
                 Some(RegionTuple::singleton(
+                    arena,
                     0,
                     graph.weight(0),
                     graph.scaled_weight(0),
@@ -178,13 +191,18 @@ impl KMstSolver for DensityKMst {
         }
         let mut best: Option<RegionTuple> = None;
         for &root in &candidates {
-            if let Some(tree) = Self::grow(graph, root, quota) {
+            if let Some(tree) = Self::grow(graph, arena, root, quota) {
                 let better = best
                     .as_ref()
                     .map(|b| tree.length < b.length)
                     .unwrap_or(true);
                 if better {
-                    best = Some(tree);
+                    // The displaced tree has a single owner — recycle it.
+                    if let Some(old) = best.replace(tree) {
+                        old.free(arena);
+                    }
+                } else {
+                    tree.free(arena);
                 }
             }
         }
@@ -209,11 +227,12 @@ mod tests {
     #[test]
     fn meets_quota_with_valid_trees() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = DensityKMst::new();
         for quota in [10u64, 40, 70, 110, 150, 170] {
-            let t = solver.solve(&qg, quota).unwrap();
+            let t = solver.solve(&qg, &mut arena, quota).unwrap();
             assert!(t.scaled >= quota);
-            validate_tree(&qg, &t);
+            validate_tree(&qg, &arena, &t);
         }
         assert_eq!(solver.invocations(), 6);
         assert_eq!(solver.name(), "density");
@@ -223,7 +242,10 @@ mod tests {
     fn unreachable_quota_is_rejected() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut solver = DensityKMst::new();
-        assert!(solver.solve(&qg, qg.total_scaled_weight() + 1).is_none());
+        let mut arena = TupleArena::new();
+        assert!(solver
+            .solve(&qg, &mut arena, qg.total_scaled_weight() + 1)
+            .is_none());
     }
 
     #[test]
@@ -242,16 +264,18 @@ mod tests {
         let qg = crate::query_graph::QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5)
             .unwrap();
         let mut solver = DensityKMst::new();
-        assert!(solver.solve(&qg, 0).is_some());
-        assert!(solver.solve(&qg, 5).is_none());
+        let mut arena = TupleArena::new();
+        assert!(solver.solve(&qg, &mut arena, 0).is_some());
+        assert!(solver.solve(&qg, &mut arena, 5).is_none());
     }
 
     #[test]
     fn finds_compact_tree_on_figure2() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut solver = DensityKMst::with_roots(6);
+        let mut arena = TupleArena::new();
         // Quota 110 = the optimal example region {v2,v4,v5,v6} (length 5.9).
-        let t = solver.solve(&qg, 110).unwrap();
+        let t = solver.solve(&qg, &mut arena, 110).unwrap();
         assert!(t.scaled >= 110);
         // The greedy tree should not be wildly longer than the optimum.
         assert!(t.length <= 3.0 * 5.9, "length {}", t.length);
@@ -262,9 +286,10 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut few = DensityKMst::with_roots(1);
         let mut many = DensityKMst::with_roots(6);
+        let mut arena = TupleArena::new();
         let quota = 130;
-        let t_few = few.solve(&qg, quota).unwrap();
-        let t_many = many.solve(&qg, quota).unwrap();
+        let t_few = few.solve(&qg, &mut arena, quota).unwrap();
+        let t_many = many.solve(&qg, &mut arena, quota).unwrap();
         assert!(t_many.length <= t_few.length + 1e-9);
     }
 }

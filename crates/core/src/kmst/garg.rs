@@ -10,6 +10,7 @@
 
 use super::gw::pcst;
 use super::KMstSolver;
+use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use std::collections::HashMap;
@@ -24,6 +25,10 @@ const MAX_DOUBLINGS: usize = 24;
 pub struct GargKMst {
     lambda_steps: usize,
     cache: HashMap<u64, RegionTuple>,
+    /// Arena generation the cached handles belong to; the cache is dropped
+    /// whenever the caller's arena identity or reset count differs (cached
+    /// `RegionTuple`s are handles — after a reset they would dangle).
+    cache_generation: Option<(u64, u64)>,
     invocations: u64,
     gw_runs: u64,
 }
@@ -40,6 +45,7 @@ impl GargKMst {
         GargKMst {
             lambda_steps: DEFAULT_LAMBDA_STEPS,
             cache: HashMap::new(),
+            cache_generation: None,
             invocations: 0,
             gw_runs: 0,
         }
@@ -59,39 +65,63 @@ impl GargKMst {
         self.gw_runs
     }
 
-    /// Clears the λ cache.  Call when switching to a different query graph.
+    /// Clears the λ cache.  Call when switching to a different query graph
+    /// (arena switches and resets are detected automatically via
+    /// [`TupleArena::generation`]).
     pub fn reset_cache(&mut self) {
         self.cache.clear();
+        self.cache_generation = None;
     }
 
-    fn tree_for_lambda(&mut self, graph: &QueryGraph, lambda: f64) -> RegionTuple {
+    /// Drops cached trees whose handles do not belong to `arena`'s current
+    /// generation — they would dangle into reset or foreign slab memory.
+    fn sync_cache_to(&mut self, arena: &TupleArena) {
+        let generation = arena.generation();
+        if self.cache_generation != Some(generation) {
+            self.cache.clear();
+            self.cache_generation = Some(generation);
+        }
+    }
+
+    fn tree_for_lambda(
+        &mut self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        lambda: f64,
+    ) -> RegionTuple {
         let key = lambda.to_bits();
         if let Some(t) = self.cache.get(&key) {
-            return t.clone();
+            return *t;
         }
         let prizes: Vec<f64> = (0..graph.node_count() as u32)
             .map(|v| graph.scaled_weight(v) as f64 * lambda)
             .collect();
         self.gw_runs += 1;
-        let result = pcst(graph, &prizes);
-        self.cache.insert(key, result.tree.clone());
+        let result = pcst(graph, arena, &prizes);
+        self.cache.insert(key, result.tree);
         result.tree
     }
 
     /// The best single node as a degenerate tree (used for quota 0 or tiny quotas).
-    fn best_singleton(graph: &QueryGraph) -> RegionTuple {
+    fn best_singleton(graph: &QueryGraph, arena: &mut TupleArena) -> RegionTuple {
         let v = graph
             .node_indices()
             .max_by_key(|&v| graph.scaled_weight(v))
             .unwrap_or(0);
-        RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v))
+        RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v))
     }
 }
 
 impl KMstSolver for GargKMst {
-    fn solve(&mut self, graph: &QueryGraph, quota: u64) -> Option<RegionTuple> {
+    fn solve(
+        &mut self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        quota: u64,
+    ) -> Option<RegionTuple> {
         self.invocations += 1;
-        let best_single = Self::best_singleton(graph);
+        self.sync_cache_to(arena);
+        let best_single = Self::best_singleton(graph, arena);
         if quota == 0 || best_single.scaled >= quota {
             return Some(best_single);
         }
@@ -101,11 +131,11 @@ impl KMstSolver for GargKMst {
         // Establish an upper λ bound that reaches the quota.
         let total_length: f64 = graph.edges().iter().map(|e| e.length).sum();
         let mut lambda_hi = (total_length.max(1.0) / quota.max(1) as f64).max(1e-6);
-        let mut hi_tree = self.tree_for_lambda(graph, lambda_hi);
+        let mut hi_tree = self.tree_for_lambda(graph, arena, lambda_hi);
         let mut doublings = 0;
         while hi_tree.scaled < quota && doublings < MAX_DOUBLINGS {
             lambda_hi *= 2.0;
-            hi_tree = self.tree_for_lambda(graph, lambda_hi);
+            hi_tree = self.tree_for_lambda(graph, arena, lambda_hi);
             doublings += 1;
         }
         if hi_tree.scaled < quota {
@@ -123,12 +153,12 @@ impl KMstSolver for GargKMst {
             if mid <= lo || mid >= hi {
                 break;
             }
-            let tree = self.tree_for_lambda(graph, mid);
+            let tree = self.tree_for_lambda(graph, arena, mid);
             if tree.scaled >= quota {
                 if tree.length < best.length
                     || (tree.length <= best.length + 1e-12 && tree.scaled > best.scaled)
                 {
-                    best = tree.clone();
+                    best = tree;
                 }
                 hi = mid;
             } else {
@@ -156,9 +186,10 @@ mod tests {
     #[test]
     fn quota_zero_returns_best_singleton() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let t = solver.solve(&qg, 0).unwrap();
-        assert_eq!(t.nodes.len(), 1);
+        let t = solver.solve(&qg, &mut arena, 0).unwrap();
+        assert_eq!(t.node_count(), 1);
         assert_eq!(t.scaled, 40); // a 0.4-weight node scaled 100×
         assert_eq!(solver.invocations(), 1);
     }
@@ -167,32 +198,35 @@ mod tests {
     fn unreachable_quota_returns_none() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let total = qg.total_scaled_weight();
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        assert!(solver.solve(&qg, total + 1).is_none());
-        assert!(solver.solve(&qg, total).is_some());
+        assert!(solver.solve(&qg, &mut arena, total + 1).is_none());
+        assert!(solver.solve(&qg, &mut arena, total).is_some());
     }
 
     #[test]
     fn returned_trees_meet_the_quota_and_are_valid() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
         for quota in [10u64, 40, 70, 90, 110, 130, 150, 170] {
             let t = solver
-                .solve(&qg, quota)
+                .solve(&qg, &mut arena, quota)
                 .unwrap_or_else(|| panic!("quota {quota} should be attainable"));
             assert!(t.scaled >= quota, "quota {quota}, got {}", t.scaled);
-            validate_tree(&qg, &t);
+            validate_tree(&qg, &arena, &t);
         }
     }
 
     #[test]
     fn larger_quotas_produce_longer_trees() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let small = solver.solve(&qg, 40).unwrap();
-        let large = solver.solve(&qg, 150).unwrap();
+        let small = solver.solve(&qg, &mut arena, 40).unwrap();
+        let large = solver.solve(&qg, &mut arena, 150).unwrap();
         assert!(large.length >= small.length);
-        assert!(large.nodes.len() >= small.nodes.len());
+        assert!(large.node_count() >= small.node_count());
     }
 
     #[test]
@@ -201,8 +235,9 @@ mod tests {
         // the optimum connects {v2,v4,v5,v6} with length 5.9; a 3-approximation
         // style oracle should stay within a small constant factor.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let t = solver.solve(&qg, 110).unwrap();
+        let t = solver.solve(&qg, &mut arena, 110).unwrap();
         assert!(t.scaled >= 110);
         assert!(
             t.length <= 3.0 * 5.9 + 1e-9,
@@ -214,15 +249,54 @@ mod tests {
     #[test]
     fn cache_prevents_repeated_gw_runs() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let _ = solver.solve(&qg, 100);
+        let _ = solver.solve(&qg, &mut arena, 100);
         let runs_after_first = solver.gw_runs();
-        let _ = solver.solve(&qg, 100);
+        let _ = solver.solve(&qg, &mut arena, 100);
         // The second identical call should be mostly served from the cache.
         assert!(solver.gw_runs() <= runs_after_first + 2);
         solver.reset_cache();
-        let _ = solver.solve(&qg, 100);
+        let _ = solver.solve(&qg, &mut arena, 100);
         assert!(solver.gw_runs() > runs_after_first);
+    }
+
+    #[test]
+    fn cache_survives_neither_arena_resets_nor_arena_switches() {
+        // Cached trees are arena handles: reusing one solver after a reset
+        // (or with a different arena) must re-run GW instead of returning
+        // handles that dangle into reclaimed slab memory.
+        let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut solver = GargKMst::new();
+        let mut arena = TupleArena::new();
+        let first = solver.solve(&qg, &mut arena, 110).unwrap();
+        validate_tree(&qg, &arena, &first);
+        let first_nodes: Vec<u32> = first.nodes(&arena).to_vec();
+        let runs_warm = solver.gw_runs();
+
+        // Same arena, no reset: served from cache.
+        let again = solver.solve(&qg, &mut arena, 110).unwrap();
+        assert_eq!(again.nodes(&arena), first_nodes.as_slice());
+        assert!(solver.gw_runs() <= runs_warm + 2);
+
+        // Reset between queries: the stale cache must be dropped and the
+        // result still be a valid identical tree in the fresh slab.
+        arena.reset();
+        let after_reset = solver.solve(&qg, &mut arena, 110).unwrap();
+        validate_tree(&qg, &arena, &after_reset);
+        assert_eq!(after_reset.nodes(&arena), first_nodes.as_slice());
+        assert!(
+            solver.gw_runs() > runs_warm,
+            "reset must invalidate the cache"
+        );
+
+        // A different arena entirely gets the same treatment.
+        let runs_reset = solver.gw_runs();
+        let mut other = TupleArena::new();
+        let cross = solver.solve(&qg, &mut other, 110).unwrap();
+        validate_tree(&qg, &other, &cross);
+        assert_eq!(cross.nodes(&other), first_nodes.as_slice());
+        assert!(solver.gw_runs() > runs_reset);
     }
 
     #[test]

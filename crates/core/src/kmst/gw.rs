@@ -13,6 +13,7 @@
 //! Each iteration scans all edges to find the next event, giving `O(n·m)`
 //! worst-case time — adequate for query-region subgraphs, which is where it runs.
 
+use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 
@@ -64,11 +65,11 @@ impl UnionFind {
 }
 
 /// Runs GW moat growing with the given per-node prizes and returns the pruned
-/// tree of the best component.
+/// tree of the best component (allocated in `arena`).
 ///
 /// `prizes` must have one entry per local node.  The returned tree always
 /// contains at least one node (the best single node when nothing larger pays off).
-pub fn pcst(graph: &QueryGraph, prizes: &[f64]) -> PcstResult {
+pub fn pcst(graph: &QueryGraph, arena: &mut TupleArena, prizes: &[f64]) -> PcstResult {
     let n = graph.node_count();
     assert_eq!(prizes.len(), n, "one prize per node required");
     let mut uf = UnionFind::new(n);
@@ -175,7 +176,7 @@ pub fn pcst(graph: &QueryGraph, prizes: &[f64]) -> PcstResult {
         }
     }
 
-    let tree = extract_best_pruned_tree(graph, prizes, &forest_edges);
+    let tree = extract_best_pruned_tree(graph, arena, prizes, &forest_edges);
     PcstResult { tree, iterations }
 }
 
@@ -184,6 +185,7 @@ pub fn pcst(graph: &QueryGraph, prizes: &[f64]) -> PcstResult {
 /// connecting edge are cut.
 fn extract_best_pruned_tree(
     graph: &QueryGraph,
+    arena: &mut TupleArena,
     prizes: &[f64],
     forest_edges: &[u32],
 ) -> RegionTuple {
@@ -196,7 +198,7 @@ fn extract_best_pruned_tree(
         adj[edge.b as usize].push((edge.a, e));
     }
     let mut visited = vec![false; n];
-    let mut best: Option<RegionTuple> = None;
+    let mut best: Option<(RegionTuple, f64)> = None;
     for start in 0..n as u32 {
         if visited[start as usize] {
             continue;
@@ -223,24 +225,26 @@ fn extract_best_pruned_tree(
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap();
-        let pruned = strong_prune(graph, prizes, &adj, root);
+        let pruned = strong_prune(graph, arena, prizes, &adj, root);
         let candidate_value: f64 = pruned
-            .nodes
+            .nodes(arena)
             .iter()
             .map(|&v| prizes[v as usize])
             .sum::<f64>()
             - pruned.length;
-        let best_value = best
-            .as_ref()
-            .map(|t| t.nodes.iter().map(|&v| prizes[v as usize]).sum::<f64>() - t.length)
-            .unwrap_or(f64::NEG_INFINITY);
+        let best_value = best.as_ref().map(|(_, v)| *v).unwrap_or(f64::NEG_INFINITY);
         if candidate_value > best_value {
-            best = Some(pruned);
+            // The displaced tree has a single owner here — recycle it.
+            if let Some((old, _)) = best.replace((pruned, candidate_value)) {
+                old.free(arena);
+            }
+        } else {
+            pruned.free(arena);
         }
     }
-    best.unwrap_or_else(|| {
+    best.map(|(t, _)| t).unwrap_or_else(|| {
         // Degenerate case (no nodes): cannot happen because QueryGraph is non-empty.
-        RegionTuple::singleton(0, graph.weight(0), graph.scaled_weight(0))
+        RegionTuple::singleton(arena, 0, graph.weight(0), graph.scaled_weight(0))
     })
 }
 
@@ -249,6 +253,7 @@ fn extract_best_pruned_tree(
 /// containing `root` as a region tuple with graph weights.
 fn strong_prune(
     graph: &QueryGraph,
+    arena: &mut TupleArena,
     prizes: &[f64],
     adj: &[Vec<(u32, u32)>],
     root: u32,
@@ -309,13 +314,7 @@ fn strong_prune(
     edges.sort_unstable();
     let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
     let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
-    RegionTuple {
-        length,
-        weight,
-        scaled,
-        nodes,
-        edges,
-    }
+    RegionTuple::from_parts(arena, length, weight, scaled, &nodes, &edges)
 }
 
 #[cfg(test)]
@@ -327,20 +326,22 @@ mod tests {
     #[test]
     fn zero_prizes_give_a_singleton() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let prizes = vec![0.0; qg.node_count()];
-        let result = pcst(&qg, &prizes);
-        assert_eq!(result.tree.nodes.len(), 1);
-        assert!(result.tree.edges.is_empty());
+        let result = pcst(&qg, &mut arena, &prizes);
+        assert_eq!(result.tree.node_count(), 1);
+        assert_eq!(result.tree.edge_count(), 0);
     }
 
     #[test]
     fn huge_prizes_span_the_whole_graph() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let prizes = vec![1000.0; qg.node_count()];
-        let result = pcst(&qg, &prizes);
-        assert_eq!(result.tree.nodes.len(), qg.node_count());
-        assert_eq!(result.tree.edges.len(), qg.node_count() - 1);
-        validate_tree(&qg, &result.tree);
+        let result = pcst(&qg, &mut arena, &prizes);
+        assert_eq!(result.tree.node_count(), qg.node_count());
+        assert_eq!(result.tree.edge_count(), qg.node_count() - 1);
+        validate_tree(&qg, &arena, &result.tree);
         // A spanning tree of Figure 2 cannot be longer than the total edge length.
         let total: f64 = qg.edges().iter().map(|e| e.length).sum();
         assert!(result.tree.length < total);
@@ -352,16 +353,17 @@ mod tests {
         // Prize 2.0 at v1, v2, v6 (local 0, 1, 5) which form a cheap triangle
         // (edges 1.0 and 1.6), tiny prizes elsewhere: the expensive far nodes
         // should be pruned away.
+        let mut arena = TupleArena::new();
         let mut prizes = vec![0.01; qg.node_count()];
         prizes[0] = 2.0;
         prizes[1] = 2.0;
         prizes[5] = 2.0;
-        let result = pcst(&qg, &prizes);
-        validate_tree(&qg, &result.tree);
-        assert!(result.tree.nodes.contains(&0));
-        assert!(result.tree.nodes.contains(&1));
-        assert!(result.tree.nodes.contains(&5));
-        assert!(result.tree.nodes.len() <= 4, "far nodes should be pruned");
+        let result = pcst(&qg, &mut arena, &prizes);
+        validate_tree(&qg, &arena, &result.tree);
+        assert!(result.tree.contains_node(0, &arena));
+        assert!(result.tree.contains_node(1, &arena));
+        assert!(result.tree.contains_node(5, &arena));
+        assert!(result.tree.node_count() <= 4, "far nodes should be pruned");
     }
 
     #[test]
@@ -370,11 +372,12 @@ mod tests {
         let base: Vec<f64> = (0..qg.node_count() as u32)
             .map(|v| qg.scaled_weight(v) as f64)
             .collect();
+        let mut arena = TupleArena::new();
         let mut previous_scaled = 0;
         for lambda in [0.0001, 0.01, 0.05, 0.2, 1.0] {
             let prizes: Vec<f64> = base.iter().map(|&b| b * lambda).collect();
-            let result = pcst(&qg, &prizes);
-            validate_tree(&qg, &result.tree);
+            let result = pcst(&qg, &mut arena, &prizes);
+            validate_tree(&qg, &arena, &result.tree);
             // The kept scaled weight should not decrease as λ grows.
             assert!(
                 result.tree.scaled >= previous_scaled,
@@ -407,20 +410,21 @@ mod tests {
         weights.by_node.insert(NodeId(5), 1.0);
         let view = RegionView::whole(&network);
         let qg = crate::query_graph::QueryGraph::build(&view, &weights, 100.0, 0.5).unwrap();
+        let mut arena = TupleArena::new();
         for lambda in [0.1, 1.0, 10.0, 60.0] {
             let prizes: Vec<f64> = (0..qg.node_count() as u32)
                 .map(|v| qg.scaled_weight(v) as f64 * lambda)
                 .collect();
-            let r = pcst(&qg, &prizes);
-            validate_tree(&qg, &r.tree);
+            let r = pcst(&qg, &mut arena, &prizes);
+            validate_tree(&qg, &arena, &r.tree);
         }
         // With a very large λ the tree must connect both prize nodes across the
         // zero-weight middle nodes (a Steiner-style connection).
         let prizes: Vec<f64> = (0..qg.node_count() as u32)
             .map(|v| qg.scaled_weight(v) as f64 * 100.0)
             .collect();
-        let r = pcst(&qg, &prizes);
-        assert_eq!(r.tree.nodes.len(), 6);
+        let r = pcst(&qg, &mut arena, &prizes);
+        assert_eq!(r.tree.node_count(), 6);
         assert!((r.tree.length - 50.0).abs() < 1e-9);
     }
 
@@ -428,6 +432,6 @@ mod tests {
     #[should_panic(expected = "one prize per node")]
     fn wrong_prize_length_panics() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let _ = pcst(&qg, &[1.0, 2.0]);
+        let _ = pcst(&qg, &mut TupleArena::new(), &[1.0, 2.0]);
     }
 }

@@ -19,6 +19,7 @@ pub mod density;
 pub mod garg;
 pub mod gw;
 
+use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 
@@ -26,10 +27,18 @@ use crate::region::RegionTuple;
 pub trait KMstSolver {
     /// Returns a tree (as a region tuple) whose total *scaled* node weight is at
     /// least `quota`, with total edge length as small as the solver can manage.
+    /// The tree's node/edge sets are allocated in `arena` and stay live until
+    /// the arena is reset (solvers may cache and return the same handles for
+    /// repeated quotas).
     ///
     /// Returns `None` when no tree in the query graph can reach the quota
     /// (i.e. the quota exceeds the total scaled weight of the graph).
-    fn solve(&mut self, graph: &QueryGraph, quota: u64) -> Option<RegionTuple>;
+    fn solve(
+        &mut self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        quota: u64,
+    ) -> Option<RegionTuple>;
 
     /// Human-readable solver name (used in experiment output).
     fn name(&self) -> &'static str;
@@ -60,19 +69,17 @@ pub fn make_solver(kind: KMstSolverKind) -> Box<dyn KMstSolver> {
 /// connected, edge endpoints inside the node set, |E| = |V| − 1, and measures
 /// consistent with the graph.  Used by tests for every solver.
 #[cfg(test)]
-pub(crate) fn validate_tree(graph: &QueryGraph, tree: &RegionTuple) {
+pub(crate) fn validate_tree(graph: &QueryGraph, arena: &TupleArena, tree: &RegionTuple) {
     use std::collections::{HashMap, HashSet, VecDeque};
-    assert!(!tree.nodes.is_empty(), "tree has no nodes");
-    assert_eq!(
-        tree.edges.len() + 1,
-        tree.nodes.len(),
-        "a tree must have |V|-1 edges"
-    );
-    let node_set: HashSet<u32> = tree.nodes.iter().copied().collect();
-    assert_eq!(node_set.len(), tree.nodes.len(), "duplicate nodes");
+    let nodes = tree.nodes(arena);
+    let edges = tree.edges(arena);
+    assert!(!nodes.is_empty(), "tree has no nodes");
+    assert_eq!(edges.len() + 1, nodes.len(), "a tree must have |V|-1 edges");
+    let node_set: HashSet<u32> = nodes.iter().copied().collect();
+    assert_eq!(node_set.len(), nodes.len(), "duplicate nodes");
     let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
     let mut length = 0.0;
-    for &e in &tree.edges {
+    for &e in edges {
         let edge = graph.edge(e);
         assert!(node_set.contains(&edge.a) && node_set.contains(&edge.b));
         adj.entry(edge.a).or_default().push(edge.b);
@@ -80,15 +87,15 @@ pub(crate) fn validate_tree(graph: &QueryGraph, tree: &RegionTuple) {
         length += edge.length;
     }
     assert!((length - tree.length).abs() < 1e-6, "length mismatch");
-    let weight: f64 = tree.nodes.iter().map(|&v| graph.weight(v)).sum();
+    let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
     assert!((weight - tree.weight).abs() < 1e-6, "weight mismatch");
-    let scaled: u64 = tree.nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
+    let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
     assert_eq!(scaled, tree.scaled, "scaled weight mismatch");
     // Connectivity.
     let mut seen = HashSet::new();
     let mut q = VecDeque::new();
-    seen.insert(tree.nodes[0]);
-    q.push_back(tree.nodes[0]);
+    seen.insert(nodes[0]);
+    q.push_back(nodes[0]);
     while let Some(v) = q.pop_front() {
         if let Some(ns) = adj.get(&v) {
             for &n in ns {
@@ -98,7 +105,7 @@ pub(crate) fn validate_tree(graph: &QueryGraph, tree: &RegionTuple) {
             }
         }
     }
-    assert_eq!(seen.len(), tree.nodes.len(), "tree is not connected");
+    assert_eq!(seen.len(), nodes.len(), "tree is not connected");
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod arena;
 pub mod engine;
 pub mod error;
 pub mod exact;
@@ -75,8 +76,9 @@ pub mod tuple_array;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::app::{AppParams, BinarySearchStep};
+    pub use crate::arena::{IdSetHandle, TupleArena};
     pub use crate::engine::{
-        Algorithm, LcmsrEngine, MaxRsRegion, QueryResult, QueryWorkspace, TopKResult,
+        Algorithm, LcmsrEngine, MaxRsRegion, QueryResult, QueryWorkspace, TopKResult, WorkspacePool,
     };
     pub use crate::error::{LcmsrError, Result as LcmsrResult};
     pub use crate::exact::{ExactSolver, ExactTopK};
@@ -91,7 +93,8 @@ pub mod prelude {
 }
 
 pub use app::AppParams;
-pub use engine::{Algorithm, LcmsrEngine, QueryResult, QueryWorkspace, TopKResult};
+pub use arena::TupleArena;
+pub use engine::{Algorithm, LcmsrEngine, QueryResult, QueryWorkspace, TopKResult, WorkspacePool};
 pub use error::{LcmsrError, Result};
 pub use greedy::GreedyParams;
 pub use query::LcmsrQuery;

@@ -7,7 +7,11 @@
 //! keeps a *region tuple array* — for each scaled weight, the shortest region
 //! rooted at that node (Definition 5, justified by Lemma 6) — and arrays are
 //! combined bottom-up by peeling leaves (Lemma 7).
+//!
+//! Tuples live in the caller's [`TupleArena`]; a combination that is neither
+//! the new best nor enters the parent's array is rolled straight back.
 
+use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use crate::tuple_array::{BestTracker, TupleArray};
@@ -31,9 +35,17 @@ pub struct OptTreeResult {
 /// Runs the `findOptTree` dynamic program over the candidate tree `tree`
 /// (a [`RegionTuple`] whose nodes/edges form a tree in `graph`), returning the
 /// best feasible region under the graph's length constraint `Q.∆`.
-pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
+pub fn find_opt_tree(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    tree: &RegionTuple,
+) -> OptTreeResult {
     let delta = graph.delta();
-    let m = tree.nodes.len();
+    // Materialise the tree's id sets so the arena stays free for tuple
+    // allocation inside the loops (the candidate tree is small).
+    let tree_nodes: Vec<u32> = tree.nodes(arena).to_vec();
+    let tree_edges: Vec<u32> = tree.edges(arena).to_vec();
+    let m = tree_nodes.len();
     let mut best = BestTracker::new();
     let mut tuples_generated = 0u64;
 
@@ -41,15 +53,15 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
     // position in the (sorted) tree node list; `tree_pos` translates a local
     // graph id into that dense index.
     let tree_pos = |v: u32| -> u32 {
-        tree.nodes
+        tree_nodes
             .binary_search(&v)
             .expect("tree edge endpoint must be a tree node") as u32
     };
 
     // Initialise every node's array with the single-node region (line 3–4).
     let mut arrays: Vec<TupleArray> = Vec::with_capacity(m);
-    for &v in &tree.nodes {
-        let singleton = RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v));
+    for &v in &tree_nodes {
+        let singleton = RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v));
         best.update(&singleton);
         let mut arr = TupleArray::new();
         arr.insert_if_better(singleton);
@@ -57,7 +69,7 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
         tuples_generated += 1;
     }
     let into_result = |best: BestTracker, arrays: Vec<TupleArray>, tuples_generated: u64| {
-        let arrays: BTreeMap<u32, TupleArray> = tree.nodes.iter().copied().zip(arrays).collect();
+        let arrays: BTreeMap<u32, TupleArray> = tree_nodes.iter().copied().zip(arrays).collect();
         OptTreeResult {
             best: best.into_best(),
             arrays,
@@ -70,7 +82,7 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
 
     // Tree adjacency restricted to the candidate tree's edges, in tree positions.
     let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
-    for &e in &tree.edges {
+    for &e in &tree_edges {
         let edge = graph.edge(e);
         let pa = tree_pos(edge.a);
         let pb = tree_pos(edge.b);
@@ -83,6 +95,9 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
     // Leaf queue (nodes with exactly one remaining neighbour), lines 5–12.
     let mut queue: VecDeque<u32> = (0..m as u32).filter(|&p| degree[p as usize] == 1).collect();
     let mut remaining = m;
+    // Per-step snapshots (handle copies), hoisted for reuse.
+    let mut v_tuples: Vec<RegionTuple> = Vec::new();
+    let mut parent_tuples: Vec<RegionTuple> = Vec::new();
 
     while remaining > 1 {
         let Some(p) = queue.pop_front() else { break };
@@ -96,16 +111,24 @@ pub fn find_opt_tree(graph: &QueryGraph, tree: &RegionTuple) -> OptTreeResult {
         };
         let edge_length = graph.edge(edge).length;
         // Combine every region rooted at p with every region rooted at the parent.
-        let v_tuples: Vec<RegionTuple> = arrays[p as usize].iter().cloned().collect();
-        let parent_tuples: Vec<RegionTuple> = arrays[parent as usize].iter().cloned().collect();
+        v_tuples.clear();
+        v_tuples.extend(arrays[p as usize].iter().copied());
+        parent_tuples.clear();
+        parent_tuples.extend(arrays[parent as usize].iter().copied());
         let parent_array = &mut arrays[parent as usize];
         for tv in &v_tuples {
             for tp in &parent_tuples {
-                let combined = tp.combine(tv, edge, edge_length);
+                let combined = tp.combine(tv, edge, edge_length, arena);
                 tuples_generated += 1;
                 if combined.length <= delta + 1e-9 {
-                    best.update(&combined);
-                    parent_array.insert_if_better(combined);
+                    let became_best = best.update(&combined);
+                    let inserted = parent_array.insert_if_better(combined);
+                    if !became_best && !inserted {
+                        // Rejected by every consumer — single owner, roll back.
+                        combined.free(arena);
+                    }
+                } else {
+                    combined.free(arena);
                 }
             }
         }
@@ -129,7 +152,7 @@ mod tests {
     /// Builds a candidate tree covering the whole Figure-2 graph: a spanning
     /// tree chosen by hand — v1-v2 (1.0), v2-v6 (1.6), v6-v5 (1.5), v5-v4 (2.8),
     /// v2-v3 (3.1); total length 10.0.
-    fn spanning_tree_of_figure2(qg: &QueryGraph) -> RegionTuple {
+    fn spanning_tree_of_figure2(qg: &QueryGraph, arena: &mut TupleArena) -> RegionTuple {
         let find_edge = |a: u32, b: u32| -> u32 {
             qg.neighbors(a)
                 .iter()
@@ -138,7 +161,7 @@ mod tests {
                 .map(|(_, e)| e)
                 .unwrap()
         };
-        let edges = vec![
+        let mut edges = vec![
             find_edge(0, 1),
             find_edge(1, 5),
             find_edge(5, 4),
@@ -149,15 +172,8 @@ mod tests {
         let length: f64 = edges.iter().map(|&e| qg.edge(e).length).sum();
         let weight: f64 = nodes.iter().map(|&v| qg.weight(v)).sum();
         let scaled: u64 = nodes.iter().map(|&v| qg.scaled_weight(v)).sum();
-        let mut edges = edges;
         edges.sort_unstable();
-        RegionTuple {
-            length,
-            weight,
-            scaled,
-            nodes,
-            edges,
-        }
+        RegionTuple::from_parts(arena, length, weight, scaled, &nodes, &edges)
     }
 
     #[test]
@@ -166,15 +182,14 @@ mod tests {
         // {v2, v4, v5, v6} with weight 1.1 and length 5.9 — and that region is
         // contained in our spanning tree, so the DP must find it.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let tree = spanning_tree_of_figure2(&qg);
-        let result = find_opt_tree(&qg, &tree);
+        let mut arena = TupleArena::new();
+        let tree = spanning_tree_of_figure2(&qg, &mut arena);
+        let result = find_opt_tree(&qg, &mut arena, &tree);
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 110);
         assert!((best.weight - 1.1).abs() < 1e-9);
         assert!((best.length - 5.9).abs() < 1e-9);
-        let mut nodes = best.nodes.clone();
-        nodes.sort_unstable();
-        assert_eq!(nodes, vec![1, 3, 4, 5]);
+        assert_eq!(best.nodes(&arena), &[1, 3, 4, 5]);
         assert!(result.tuples_generated > 6);
         assert_eq!(result.arrays.len(), 6);
     }
@@ -182,20 +197,22 @@ mod tests {
     #[test]
     fn small_delta_returns_best_single_node() {
         let (_n, qg) = figure2_query_graph(0.5, 0.15);
-        let tree = spanning_tree_of_figure2(&qg);
-        let result = find_opt_tree(&qg, &tree);
+        let mut arena = TupleArena::new();
+        let tree = spanning_tree_of_figure2(&qg, &mut arena);
+        let result = find_opt_tree(&qg, &mut arena, &tree);
         let best = result.best.unwrap();
-        assert_eq!(best.nodes.len(), 1);
+        assert_eq!(best.node_count(), 1);
         assert_eq!(best.scaled, 40);
     }
 
     #[test]
     fn large_delta_keeps_the_whole_tree() {
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
-        let tree = spanning_tree_of_figure2(&qg);
-        let result = find_opt_tree(&qg, &tree);
+        let mut arena = TupleArena::new();
+        let tree = spanning_tree_of_figure2(&qg, &mut arena);
+        let result = find_opt_tree(&qg, &mut arena, &tree);
         let best = result.best.unwrap();
-        assert_eq!(best.nodes.len(), 6);
+        assert_eq!(best.node_count(), 6);
         assert_eq!(best.scaled, 170);
         assert!((best.length - 10.0).abs() < 1e-9);
     }
@@ -203,16 +220,17 @@ mod tests {
     #[test]
     fn every_stored_tuple_is_feasible_or_a_singleton() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let tree = spanning_tree_of_figure2(&qg);
-        let result = find_opt_tree(&qg, &tree);
+        let mut arena = TupleArena::new();
+        let tree = spanning_tree_of_figure2(&qg, &mut arena);
+        let result = find_opt_tree(&qg, &mut arena, &tree);
         for arr in result.arrays.values() {
             for t in arr.iter() {
                 assert!(
-                    t.length <= qg.delta() + 1e-9 || t.nodes.len() == 1,
+                    t.length <= qg.delta() + 1e-9 || t.node_count() == 1,
                     "infeasible multi-node tuple stored: {t:?}"
                 );
                 // Measures are internally consistent.
-                let w: f64 = t.nodes.iter().map(|&v| qg.weight(v)).sum();
+                let w: f64 = t.nodes(&arena).iter().map(|&v| qg.weight(v)).sum();
                 assert!((w - t.weight).abs() < 1e-9);
             }
         }
@@ -221,9 +239,10 @@ mod tests {
     #[test]
     fn single_node_tree_is_handled() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let tree = RegionTuple::singleton(2, qg.weight(2), qg.scaled_weight(2));
-        let result = find_opt_tree(&qg, &tree);
-        assert_eq!(result.best.unwrap().nodes, vec![2]);
+        let mut arena = TupleArena::new();
+        let tree = RegionTuple::singleton(&mut arena, 2, qg.weight(2), qg.scaled_weight(2));
+        let result = find_opt_tree(&qg, &mut arena, &tree);
+        assert_eq!(result.best.unwrap().nodes(&arena), &[2]);
     }
 
     #[test]
@@ -254,17 +273,12 @@ mod tests {
         let qg = crate::query_graph::QueryGraph::build(&view, &weights, 10.0, 0.075).unwrap();
         assert_eq!(qg.scaled_weight(0), 20);
         assert_eq!(qg.scaled_weight(2), 40);
-        let tree = RegionTuple {
-            length: 9.0,
-            weight: 0.8,
-            scaled: 80,
-            nodes: vec![0, 1, 2],
-            edges: vec![0, 1],
-        };
-        let result = find_opt_tree(&qg, &tree);
+        let mut arena = TupleArena::new();
+        let tree = RegionTuple::from_parts(&mut arena, 9.0, 0.8, 80, &[0, 1, 2], &[0, 1]);
+        let result = find_opt_tree(&qg, &mut arena, &tree);
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 80);
-        assert_eq!(best.nodes.len(), 3);
+        assert_eq!(best.node_count(), 3);
         // The v1 array should now contain entries for 20 (itself), 40 (v1+v2),
         // 60 (v1+v3) and 80 (all three) — as walked through in Example 5.
         let v1_array = &result.arrays[&0];

@@ -362,8 +362,9 @@ impl QueryGraphBuilder {
         qg.sigma_max = qg.weights.iter().fold(0.0f64, |a, &b| a.max(b));
         qg.delta = delta;
 
-        // Global → dense local ids via the O(1)-clear scratch table.
-        self.local.begin(graph.node_count());
+        // Global → dense local ids via the O(1)-clear, lazily-sized scratch
+        // table (it grows with the touched node-id range, not the network).
+        self.local.begin();
         for (i, &id) in qg.node_ids.iter().enumerate() {
             self.local.insert(id.index(), i as u32);
         }

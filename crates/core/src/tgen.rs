@@ -9,7 +9,13 @@
 //! never be optimal).  Because only one tuple per (node, scaled weight) pair is
 //! kept, enumeration is polynomial but the optimum may be missed — TGEN is a
 //! heuristic, empirically the most accurate of the three algorithms.
+//!
+//! The edge-combine loop is the hottest code in the whole system; all tuples
+//! live in a [`TupleArena`], so enumerating and snapshotting arrays copies
+//! handles only, and a combination that violates `Q.∆` is rolled straight
+//! back into the arena instead of costing two heap allocations.
 
+use crate::arena::TupleArena;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
@@ -65,8 +71,13 @@ pub struct TgenOutcome {
 const TOP_LIMIT: usize = 64;
 
 /// Runs TGEN on a prepared query graph (which must already be scaled with the
-/// TGEN α; [`crate::engine::LcmsrEngine`] takes care of this).
-pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> {
+/// TGEN α; [`crate::engine::LcmsrEngine`] takes care of this).  All tuples —
+/// including those in the returned outcome — live in `arena`.
+pub fn run_tgen(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &TgenParams,
+) -> Result<TgenOutcome> {
     params.validate()?;
     let delta = graph.delta();
     let n = graph.node_count();
@@ -85,21 +96,25 @@ pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> 
     }
 
     // Explored tuple arrays, one per node, initialised with the node itself.
-    let mut arrays: Vec<TupleArray> = (0..n as u32)
-        .map(|v| {
-            let mut arr = TupleArray::new();
-            let singleton = RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v));
-            best.update(&singleton);
-            offer_top(&mut top, &singleton);
-            arr.insert_if_better(singleton);
-            arr
-        })
-        .collect();
+    let mut arrays: Vec<TupleArray> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let mut arr = TupleArray::new();
+        let singleton = RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v));
+        best.update(&singleton);
+        offer_top(&mut top, &singleton, arena);
+        arr.insert_if_better(singleton);
+        arrays.push(arr);
+    }
     tuples_generated += n as u64;
 
     let mut node_processed = vec![false; n];
     let mut edge_visited = vec![false; graph.edge_count()];
     let mut enqueued = vec![false; n];
+    // Per-edge snapshots of the two endpoint arrays (handle copies), hoisted
+    // out of the loops so the steady state allocates nothing.
+    let mut left: Vec<RegionTuple> = Vec::new();
+    let mut right: Vec<RegionTuple> = Vec::new();
+    let mut new_tuples: Vec<RegionTuple> = Vec::new();
 
     // Outer loop: cover every connected component of Q.Λ (lines 2–4).
     for start in 0..n as u32 {
@@ -126,31 +141,36 @@ pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> 
                     queue.push_back(vj);
                 }
                 // Combine every region containing vi with every region containing vj.
-                let left: Vec<RegionTuple> = arrays[vi as usize].iter().cloned().collect();
-                let right: Vec<RegionTuple> = arrays[vj as usize].iter().cloned().collect();
-                let mut new_tuples: Vec<RegionTuple> = Vec::new();
+                left.clear();
+                left.extend(arrays[vi as usize].iter().copied());
+                right.clear();
+                right.extend(arrays[vj as usize].iter().copied());
+                new_tuples.clear();
                 for ti in &left {
                     for tj in &right {
-                        if ti.shares_nodes(tj) {
+                        if ti.shares_nodes(tj, arena) {
                             continue; // Lemma 9: would close a cycle
                         }
-                        let combined = ti.combine(tj, e, edge_length);
+                        let combined = ti.combine(tj, e, edge_length, arena);
                         tuples_generated += 1;
                         if combined.length <= delta + 1e-9 {
                             best.update(&combined);
-                            offer_top(&mut top, &combined);
+                            offer_top(&mut top, &combined, arena);
                             new_tuples.push(combined);
+                        } else {
+                            // Nobody saw this candidate: roll it back.
+                            combined.free(arena);
                         }
                     }
                 }
                 // Update the arrays of the unprocessed nodes contained in each
                 // new tuple (lines 12–14).
-                for t in new_tuples {
-                    for &v in &t.nodes {
+                for t in &new_tuples {
+                    for &v in t.nodes(arena) {
                         if node_processed[v as usize] {
                             continue;
                         }
-                        arrays[v as usize].insert_if_better(t.clone());
+                        arrays[v as usize].insert_if_better(*t);
                     }
                 }
             }
@@ -172,7 +192,14 @@ pub fn run_tgen(graph: &QueryGraph, params: &TgenParams) -> Result<TgenOutcome> 
 /// the shared quality order ([`RegionTuple::cmp_quality`], the same total
 /// order as `BestTracker::update`), so the head of the list is always the
 /// single-query best.
-fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple) {
+///
+/// The list is kept sorted at all times, so a candidate is placed by binary
+/// search instead of the former push-then-sort, and a candidate that would
+/// fall off the end is rejected before any duplicate scan.  A duplicate node
+/// set always has the *same* scaled weight (an exact integer sum over the
+/// node set), so the duplicate scan is confined to the equal-scaled run
+/// around the insertion point rather than the whole list.
+fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple, arena: &TupleArena) {
     // Filter on the original weight, not the scaled one: under a coarse
     // scaling (α > |V_Q|) every scaled weight floors to 0 even though relevant
     // regions exist, and rejecting scaled == 0 would leave the top list empty
@@ -180,18 +207,33 @@ fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple) {
     if candidate.weight <= 0.0 {
         return;
     }
-    if let Some(pos) = top.iter().position(|t| t.nodes == candidate.nodes) {
-        // Keep the better measure for an identical node set — judged by the
-        // same quality order, so the list never holds a variant of a node set
-        // that `BestTracker` would rank differently.
-        if candidate.cmp_quality(&top[pos]) == std::cmp::Ordering::Less {
-            top[pos] = candidate.clone();
-            top.sort_by(|a, b| a.cmp_quality(b));
-        }
-        return;
+    // First index whose tuple ranks strictly after the candidate; entries
+    // before it rank better-or-equal (matching the stable push-then-sort
+    // order the previous implementation produced).
+    let pos = top.partition_point(|t| t.cmp_quality(candidate) != std::cmp::Ordering::Greater);
+    if pos == TOP_LIMIT {
+        return; // full list, candidate ranks last: it cannot enter
     }
-    top.push(candidate.clone());
-    top.sort_by(|a, b| a.cmp_quality(b));
+    // Duplicate scan over the equal-scaled run.  Backward: a duplicate there
+    // ranks better-or-equal, so the candidate is dropped.  Forward: a
+    // duplicate there ranks strictly worse, so it is replaced.
+    let mut i = pos;
+    while i > 0 && top[i - 1].scaled == candidate.scaled {
+        i -= 1;
+        if top[i].same_nodes(candidate, arena) {
+            return;
+        }
+    }
+    let mut j = pos;
+    while j < top.len() && top[j].scaled == candidate.scaled {
+        if top[j].same_nodes(candidate, arena) {
+            top.remove(j);
+            top.insert(pos, *candidate);
+            return;
+        }
+        j += 1;
+    }
+    top.insert(pos, *candidate);
     if top.len() > TOP_LIMIT {
         top.truncate(TOP_LIMIT);
     }
@@ -214,13 +256,12 @@ mod tests {
         // With a fine scaling TGEN finds the exact optimum of Figure 2 (∆ = 6):
         // {v2, v4, v5, v6}, weight 1.1, length 5.9.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
         let best = outcome.best.unwrap();
         assert!((best.weight - 1.1).abs() < 1e-9, "weight {}", best.weight);
         assert!((best.length - 5.9).abs() < 1e-9);
-        let mut nodes = best.nodes.clone();
-        nodes.sort_unstable();
-        assert_eq!(nodes, vec![1, 3, 4, 5]);
+        assert_eq!(best.nodes(&arena), &[1, 3, 4, 5]);
         assert_eq!(outcome.edges_processed, 8);
         assert!(outcome.tuples_generated > 8);
     }
@@ -229,7 +270,8 @@ mod tests {
     fn respects_the_length_constraint() {
         for delta in [0.5, 1.0, 2.5, 4.0, 6.0, 9.0, 15.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
-            let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+            let mut arena = TupleArena::new();
+            let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
             let best = outcome.best.unwrap();
             assert!(
                 best.length <= delta + 1e-9,
@@ -245,12 +287,14 @@ mod tests {
     #[test]
     fn coarser_scaling_cannot_increase_accuracy() {
         let (_n, qg_fine) = figure2_query_graph(6.0, 0.15);
-        let fine = run_tgen(&qg_fine, &TgenParams { alpha: 0.15 })
+        let mut arena = TupleArena::new();
+        let fine = run_tgen(&qg_fine, &mut arena, &TgenParams { alpha: 0.15 })
             .unwrap()
             .best
             .unwrap();
         let (_n, qg_coarse) = figure2_query_graph(6.0, 3.0);
-        let coarse = run_tgen(&qg_coarse, &TgenParams { alpha: 3.0 })
+        arena.reset();
+        let coarse = run_tgen(&qg_coarse, &mut arena, &TgenParams { alpha: 3.0 })
             .unwrap()
             .best
             .unwrap();
@@ -264,7 +308,8 @@ mod tests {
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 400.0).unwrap();
-        let outcome = run_tgen(&qg, &TgenParams::default()).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams::default()).unwrap();
         assert!(outcome.best.is_none());
         assert!(outcome.top_tuples.is_empty());
     }
@@ -272,16 +317,18 @@ mod tests {
     #[test]
     fn huge_delta_collects_all_relevant_weight() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
-        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
         let best = outcome.best.unwrap();
-        assert_eq!(best.nodes.len(), 6);
+        assert_eq!(best.node_count(), 6);
         assert!((best.weight - 1.7).abs() < 1e-9);
     }
 
     #[test]
     fn top_tuples_are_sorted_and_distinct() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.15 }).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
         let top = &outcome.top_tuples;
         assert!(!top.is_empty());
         for w in top.windows(2) {
@@ -289,7 +336,7 @@ mod tests {
                 w[0].scaled > w[1].scaled
                     || (w[0].scaled == w[1].scaled && w[0].length <= w[1].length + 1e-9)
             );
-            assert_ne!(w[0].nodes, w[1].nodes);
+            assert!(!w[0].same_nodes(&w[1], &arena));
         }
         // The first entry is the overall best.
         assert_eq!(top[0].scaled, outcome.best.unwrap().scaled);
@@ -302,13 +349,30 @@ mod tests {
         // so run_topk(…, 1) keeps agreeing with the single-query best.
         let (_n, qg) = figure2_query_graph(6.0, 100.0);
         assert_eq!(qg.scaled_weight_lower_bound(), 0);
-        let outcome = run_tgen(&qg, &TgenParams { alpha: 100.0 }).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 100.0 }).unwrap();
         let best = outcome.best.expect("relevant nodes exist");
         assert!(best.weight > 0.0);
         let top = &outcome.top_tuples;
         assert!(!top.is_empty(), "scaled-0 tuples must not be discarded");
-        assert_eq!(top[0].nodes, best.nodes);
+        assert!(top[0].same_nodes(&best, &arena));
         assert!((top[0].weight - best.weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discarded_combinations_are_rolled_back_into_the_arena() {
+        // A tight ∆ makes many combinations infeasible; the arena footprint
+        // must stay close to what the retained tuples actually need, far below
+        // one block per generated tuple.
+        let (_n, qg) = figure2_query_graph(3.0, 0.15);
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        assert!(outcome.tuples_generated > 6);
+        let rollbacks = arena.stats().top_rollbacks + arena.stats().free_list_hits;
+        assert!(
+            rollbacks > 0,
+            "infeasible combinations must recycle their blocks"
+        );
     }
 
     #[test]
@@ -335,11 +399,14 @@ mod tests {
         weights.by_node.insert(NodeId(3), 0.5);
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.1).unwrap();
-        let outcome = run_tgen(&qg, &TgenParams { alpha: 0.1 }).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.1 }).unwrap();
         let best = outcome.best.unwrap();
-        let mut nodes = best.nodes.clone();
-        nodes.sort_unstable();
-        assert_eq!(nodes, vec![2, 3], "the heavier component must win");
+        assert_eq!(
+            best.nodes(&arena),
+            &[2, 3],
+            "the heavier component must win"
+        );
         assert!((best.weight - 1.0).abs() < 1e-9);
         assert_eq!(outcome.edges_processed, 2);
     }

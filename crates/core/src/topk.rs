@@ -11,6 +11,7 @@
 //!   largest-weight node not contained in any previous region.
 
 use crate::app::{binary_search, AppParams};
+use crate::arena::TupleArena;
 use crate::error::Result;
 use crate::greedy::{run_greedy_excluding, GreedyParams};
 use crate::kmst::make_solver;
@@ -28,11 +29,11 @@ fn rank(a: &RegionTuple, b: &RegionTuple) -> std::cmp::Ordering {
 
 /// Deduplicates by node set, keeping the first (best-ranked) occurrence, and
 /// truncates to `k`.
-fn dedupe_topk(mut tuples: Vec<RegionTuple>, k: usize) -> Vec<RegionTuple> {
+fn dedupe_topk(arena: &TupleArena, mut tuples: Vec<RegionTuple>, k: usize) -> Vec<RegionTuple> {
     tuples.sort_by(rank);
     let mut out: Vec<RegionTuple> = Vec::with_capacity(k);
     for t in tuples {
-        if out.iter().any(|existing| existing.nodes == t.nodes) {
+        if out.iter().any(|existing| existing.same_nodes(&t, arena)) {
             continue;
         }
         out.push(t);
@@ -59,21 +60,31 @@ pub struct TopKOutcome {
 }
 
 /// Top-k via APP: quota binary search, then the tuple arrays of the candidate tree.
-pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<TopKOutcome> {
+pub fn topk_app(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &AppParams,
+    k: usize,
+) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 || graph.sigma_max() <= 0.0 {
         return Ok(TopKOutcome::default());
     }
     let mut solver = make_solver(params.solver);
-    let (candidate, _trace) =
-        binary_search(graph, solver.as_mut(), params.beta, params.max_iterations);
+    let (candidate, _trace) = binary_search(
+        graph,
+        arena,
+        solver.as_mut(),
+        params.beta,
+        params.max_iterations,
+    );
     let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
         // Fall back to the k best single nodes.
         let mut singles: Vec<RegionTuple> = graph
             .node_indices()
             .filter(|&v| graph.weight(v) > 0.0)
-            .map(|v| RegionTuple::singleton(v, graph.weight(v), graph.scaled_weight(v)))
+            .map(|v| RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v)))
             .collect();
         let tuples_generated = singles.len() as u64;
         singles.sort_by(rank);
@@ -86,7 +97,7 @@ pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<TopK
         });
     };
     // Per Section 6.2, always compute the tuple arrays over the candidate tree.
-    let dp = find_opt_tree(graph, &candidate);
+    let dp = find_opt_tree(graph, arena, &candidate);
     let tuples_generated = dp.tuples_generated;
     let mut all: Vec<RegionTuple> = dp
         .arrays
@@ -98,7 +109,7 @@ pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<TopK
         all.push(candidate);
     }
     Ok(TopKOutcome {
-        tuples: dedupe_topk(all, k),
+        tuples: dedupe_topk(arena, all, k),
         kmst_calls,
         tuples_generated,
         greedy_steps: 0,
@@ -106,14 +117,19 @@ pub fn topk_app(graph: &QueryGraph, params: &AppParams, k: usize) -> Result<TopK
 }
 
 /// Top-k via TGEN: the best tuples gathered during edge processing.
-pub fn topk_tgen(graph: &QueryGraph, params: &TgenParams, k: usize) -> Result<TopKOutcome> {
+pub fn topk_tgen(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &TgenParams,
+    k: usize,
+) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
         return Ok(TopKOutcome::default());
     }
-    let outcome = run_tgen(graph, params)?;
+    let outcome = run_tgen(graph, arena, params)?;
     Ok(TopKOutcome {
-        tuples: dedupe_topk(outcome.top_tuples, k),
+        tuples: dedupe_topk(arena, outcome.top_tuples, k),
         kmst_calls: 0,
         tuples_generated: outcome.tuples_generated,
         greedy_steps: 0,
@@ -121,7 +137,12 @@ pub fn topk_tgen(graph: &QueryGraph, params: &TgenParams, k: usize) -> Result<To
 }
 
 /// Top-k via Greedy: repeated expansion, each seeded outside previous regions.
-pub fn topk_greedy(graph: &QueryGraph, params: &GreedyParams, k: usize) -> Result<TopKOutcome> {
+pub fn topk_greedy(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &GreedyParams,
+    k: usize,
+) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
         return Ok(TopKOutcome::default());
@@ -130,10 +151,10 @@ pub fn topk_greedy(graph: &QueryGraph, params: &GreedyParams, k: usize) -> Resul
     let mut excluded: Vec<u32> = Vec::new();
     let mut greedy_steps = 0u64;
     for _ in 0..k {
-        let outcome = run_greedy_excluding(graph, params, &excluded)?;
+        let outcome = run_greedy_excluding(graph, arena, params, &excluded)?;
         greedy_steps += outcome.steps;
         let Some(region) = outcome.best else { break };
-        excluded.extend_from_slice(&region.nodes);
+        excluded.extend_from_slice(region.nodes(arena));
         regions.push(region);
     }
     // Regions are discovered seed-by-seed; report them best-first like the
@@ -154,40 +175,24 @@ mod tests {
 
     #[test]
     fn ranks_and_dedupes() {
-        let a = RegionTuple {
-            length: 2.0,
-            weight: 0.5,
-            scaled: 50,
-            nodes: vec![1, 2],
-            edges: vec![0],
-        };
-        let b = RegionTuple {
-            length: 1.0,
-            weight: 0.5,
-            scaled: 50,
-            nodes: vec![1, 2],
-            edges: vec![1],
-        };
-        let c = RegionTuple {
-            length: 4.0,
-            weight: 0.9,
-            scaled: 90,
-            nodes: vec![3, 4],
-            edges: vec![2],
-        };
-        let top = dedupe_topk(vec![a, b.clone(), c.clone()], 5);
+        let mut arena = TupleArena::new();
+        let a = RegionTuple::from_parts(&mut arena, 2.0, 0.5, 50, &[1, 2], &[0]);
+        let b = RegionTuple::from_parts(&mut arena, 1.0, 0.5, 50, &[1, 2], &[1]);
+        let c = RegionTuple::from_parts(&mut arena, 4.0, 0.9, 90, &[3, 4], &[2]);
+        let top = dedupe_topk(&arena, vec![a, b, c], 5);
         assert_eq!(top.len(), 2);
-        assert_eq!(top[0].nodes, c.nodes);
+        assert!(top[0].same_nodes(&c, &arena));
         assert_eq!(top[1].length, b.length, "shorter duplicate must survive");
-        let top1 = dedupe_topk(vec![b, c.clone()], 1);
+        let top1 = dedupe_topk(&arena, vec![b, c], 1);
         assert_eq!(top1.len(), 1);
-        assert_eq!(top1[0].nodes, c.nodes);
+        assert!(top1[0].same_nodes(&c, &arena));
     }
 
     #[test]
     fn topk_app_returns_distinct_feasible_regions_in_order() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let outcome = topk_app(&qg, &AppParams::default(), 3).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = topk_app(&qg, &mut arena, &AppParams::default(), 3).unwrap();
         assert!(outcome.kmst_calls > 0, "oracle invocations must be counted");
         assert!(outcome.tuples_generated > 0, "DP tuples must be counted");
         let regions = outcome.tuples;
@@ -197,16 +202,18 @@ mod tests {
         }
         for w in regions.windows(2) {
             assert!(w[0].scaled >= w[1].scaled);
-            assert_ne!(w[0].nodes, w[1].nodes);
+            assert!(!w[0].same_nodes(&w[1], &arena));
         }
     }
 
     #[test]
     fn topk_tgen_first_region_matches_single_query() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
+        let mut arena = TupleArena::new();
         let params = TgenParams { alpha: 0.15 };
-        let single = run_tgen(&qg, &params).unwrap().best.unwrap();
-        let outcome = topk_tgen(&qg, &params, 4).unwrap();
+        let single = run_tgen(&qg, &mut arena, &params).unwrap().best.unwrap();
+        arena.reset();
+        let outcome = topk_tgen(&qg, &mut arena, &params, 4).unwrap();
         assert!(outcome.tuples_generated > 0, "TGEN tuples must be counted");
         assert_eq!(outcome.kmst_calls, 0);
         let regions = outcome.tuples;
@@ -223,17 +230,18 @@ mod tests {
     #[test]
     fn topk_greedy_regions_have_disjoint_seeds() {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
-        let outcome = topk_greedy(&qg, &GreedyParams::default(), 3).unwrap();
+        let mut arena = TupleArena::new();
+        let outcome = topk_greedy(&qg, &mut arena, &GreedyParams::default(), 3).unwrap();
         let regions = outcome.tuples;
         assert!(regions.len() >= 2);
         // Every multi-node region required at least one expansion step.
-        let multi: u64 = regions.iter().map(|r| (r.nodes.len() - 1) as u64).sum();
+        let multi: u64 = regions.iter().map(|r| (r.node_count() - 1) as u64).sum();
         assert!(outcome.greedy_steps >= multi);
         // Later regions never reuse an earlier region's nodes as their seed; with
         // a small ∆ the regions are in fact disjoint on this instance.
         for i in 0..regions.len() {
             for j in (i + 1)..regions.len() {
-                assert_ne!(regions[i].nodes, regions[j].nodes);
+                assert!(!regions[i].same_nodes(&regions[j], &arena));
             }
         }
     }
@@ -241,15 +249,16 @@ mod tests {
     #[test]
     fn k_zero_and_irrelevant_queries_return_empty() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        assert!(topk_app(&qg, &AppParams::default(), 0)
+        let mut arena = TupleArena::new();
+        assert!(topk_app(&qg, &mut arena, &AppParams::default(), 0)
             .unwrap()
             .tuples
             .is_empty());
-        assert!(topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 0)
+        assert!(topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 0)
             .unwrap()
             .tuples
             .is_empty());
-        assert!(topk_greedy(&qg, &GreedyParams::default(), 0)
+        assert!(topk_greedy(&qg, &mut arena, &GreedyParams::default(), 0)
             .unwrap()
             .tuples
             .is_empty());
@@ -259,15 +268,15 @@ mod tests {
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
-        assert!(topk_app(&qg0, &AppParams::default(), 3)
+        assert!(topk_app(&qg0, &mut arena, &AppParams::default(), 3)
             .unwrap()
             .tuples
             .is_empty());
-        assert!(topk_tgen(&qg0, &TgenParams { alpha: 0.5 }, 3)
+        assert!(topk_tgen(&qg0, &mut arena, &TgenParams { alpha: 0.5 }, 3)
             .unwrap()
             .tuples
             .is_empty());
-        assert!(topk_greedy(&qg0, &GreedyParams::default(), 3)
+        assert!(topk_greedy(&qg0, &mut arena, &GreedyParams::default(), 3)
             .unwrap()
             .tuples
             .is_empty());
@@ -276,14 +285,15 @@ mod tests {
     #[test]
     fn larger_k_never_shrinks_the_result() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
-        let two = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 2)
+        let mut arena = TupleArena::new();
+        let two = topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 2)
             .unwrap()
             .tuples;
-        let five = topk_tgen(&qg, &TgenParams { alpha: 0.15 }, 5)
+        let five = topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 5)
             .unwrap()
             .tuples;
         assert!(five.len() >= two.len());
         // The first entries agree.
-        assert_eq!(five[0].nodes, two[0].nodes);
+        assert!(five[0].same_nodes(&two[0], &arena));
     }
 }

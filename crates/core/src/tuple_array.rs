@@ -4,6 +4,12 @@
 //! the smallest length among all enumerated regions having scaled weight `S`
 //! (Lemma 6 justifies this dominance pruning inside `findOptTree`; TGEN reuses
 //! the same structure over the whole graph).
+//!
+//! Tuples are arena-backed handle structs (`Copy`), so storing, replacing and
+//! iterating entries moves no id data.  Replaced entries are *not* returned to
+//! the arena — the same tuple is routinely stored in several node arrays at
+//! once, so individual entries have no single owner; the workspace arena
+//! reclaims everything between queries.
 
 use crate::region::RegionTuple;
 use std::collections::BTreeMap;
@@ -79,6 +85,10 @@ impl TupleArray {
 /// `update` applies the shared quality order ([`RegionTuple::cmp_quality`]):
 /// larger scaled weight wins; among equal scaled weights the larger original
 /// weight wins, then the shorter region.
+///
+/// The tracker holds a handle copy of the winning tuple, so callers must not
+/// free a tuple after offering it (solvers only free candidates that were
+/// rejected by *every* consumer).
 #[derive(Debug, Clone, Default)]
 pub struct BestTracker {
     best: Option<RegionTuple>,
@@ -111,7 +121,7 @@ impl BestTracker {
             Some(current) => candidate.cmp_quality(current) == std::cmp::Ordering::Less,
         };
         if better {
-            self.best = Some(candidate.clone());
+            self.best = Some(*candidate);
         }
         better
     }
@@ -120,31 +130,25 @@ impl BestTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::TupleArena;
 
-    fn tuple(scaled: u64, length: f64, node: u32) -> RegionTuple {
-        RegionTuple {
-            length,
-            weight: scaled as f64 / 100.0,
-            scaled,
-            nodes: vec![node],
-            edges: vec![],
-        }
+    fn tuple(arena: &mut TupleArena, scaled: u64, length: f64, node: u32) -> RegionTuple {
+        RegionTuple::from_parts(arena, length, scaled as f64 / 100.0, scaled, &[node], &[])
     }
 
     #[test]
     fn insert_keeps_min_length_per_scaled_weight() {
+        let mut arena = TupleArena::new();
         let mut arr = TupleArray::new();
         assert!(arr.is_empty());
-        assert!(arr.insert_if_better(tuple(10, 5.0, 1)));
-        assert!(
-            !arr.insert_if_better(tuple(10, 6.0, 2)),
-            "longer tuple rejected"
-        );
-        assert!(
-            arr.insert_if_better(tuple(10, 4.0, 3)),
-            "shorter tuple accepted"
-        );
-        assert!(arr.insert_if_better(tuple(20, 9.0, 4)));
+        let t = tuple(&mut arena, 10, 5.0, 1);
+        assert!(arr.insert_if_better(t));
+        let t = tuple(&mut arena, 10, 6.0, 2);
+        assert!(!arr.insert_if_better(t), "longer tuple rejected");
+        let t = tuple(&mut arena, 10, 4.0, 3);
+        assert!(arr.insert_if_better(t), "shorter tuple accepted");
+        let t = tuple(&mut arena, 20, 9.0, 4);
+        assert!(arr.insert_if_better(t));
         assert_eq!(arr.len(), 2);
         assert_eq!(arr.get(10).unwrap().length, 4.0);
         assert!(arr.get(15).is_none());
@@ -154,50 +158,48 @@ mod tests {
 
     #[test]
     fn equal_length_does_not_replace() {
+        let mut arena = TupleArena::new();
         let mut arr = TupleArray::new();
-        assert!(arr.insert_if_better(tuple(5, 2.0, 1)));
-        assert!(!arr.insert_if_better(tuple(5, 2.0, 9)));
-        assert_eq!(arr.get(5).unwrap().nodes, vec![1]);
+        let t = tuple(&mut arena, 5, 2.0, 1);
+        assert!(arr.insert_if_better(t));
+        let t = tuple(&mut arena, 5, 2.0, 9);
+        assert!(!arr.insert_if_better(t));
+        assert_eq!(arr.get(5).unwrap().nodes(&arena), &[1]);
     }
 
     #[test]
     fn best_prefers_scaled_weight_then_length() {
+        let mut arena = TupleArena::new();
         let mut arr = TupleArray::new();
-        arr.insert_if_better(tuple(10, 1.0, 1));
-        arr.insert_if_better(tuple(30, 9.0, 2));
-        arr.insert_if_better(tuple(20, 0.5, 3));
+        let t = tuple(&mut arena, 10, 1.0, 1);
+        arr.insert_if_better(t);
+        let t = tuple(&mut arena, 30, 9.0, 2);
+        arr.insert_if_better(t);
+        let t = tuple(&mut arena, 20, 0.5, 3);
+        arr.insert_if_better(t);
         assert_eq!(arr.best().unwrap().scaled, 30);
         assert!(TupleArray::new().best().is_none());
     }
 
     #[test]
     fn best_tracker_orders_candidates() {
+        let mut arena = TupleArena::new();
         let mut tracker = BestTracker::new();
         assert!(tracker.best().is_none());
-        assert!(tracker.update(&tuple(10, 5.0, 1)));
-        assert!(
-            !tracker.update(&tuple(9, 1.0, 2)),
-            "lower weight never wins"
-        );
-        assert!(
-            !tracker.update(&tuple(10, 6.0, 3)),
-            "same weights, longer loses"
-        );
-        assert!(
-            tracker.update(&tuple(10, 4.0, 4)),
-            "same weights, shorter wins"
-        );
+        let t = tuple(&mut arena, 10, 5.0, 1);
+        assert!(tracker.update(&t));
+        let t = tuple(&mut arena, 9, 1.0, 2);
+        assert!(!tracker.update(&t), "lower weight never wins");
+        let t = tuple(&mut arena, 10, 6.0, 3);
+        assert!(!tracker.update(&t), "same weights, longer loses");
+        let t = tuple(&mut arena, 10, 4.0, 4);
+        assert!(tracker.update(&t), "same weights, shorter wins");
         // Equal scaled weight but larger original weight wins regardless of length.
-        let heavier = RegionTuple {
-            length: 9.0,
-            weight: 0.2,
-            scaled: 10,
-            nodes: vec![8],
-            edges: vec![],
-        };
+        let heavier = RegionTuple::from_parts(&mut arena, 9.0, 0.2, 10, &[8], &[]);
         assert!(tracker.update(&heavier));
-        assert!(tracker.update(&tuple(11, 9.0, 5)));
+        let t = tuple(&mut arena, 11, 9.0, 5);
+        assert!(tracker.update(&t));
         assert_eq!(tracker.best().unwrap().scaled, 11);
-        assert_eq!(tracker.into_best().unwrap().nodes, vec![5]);
+        assert_eq!(tracker.into_best().unwrap().nodes(&arena), &[5]);
     }
 }

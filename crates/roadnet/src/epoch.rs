@@ -1,4 +1,4 @@
-//! [`EpochMap`]: a dense-keyed map with O(1) clearing.
+//! [`EpochMap`]: a dense-keyed map with O(1) clearing and lazy sizing.
 //!
 //! Several hot paths (query-graph construction, `Q.Λ` view membership, the
 //! exact solver's per-subset union-find) need a map from dense `usize` keys —
@@ -8,12 +8,25 @@
 //! counter invalidates every entry at once, and the rare counter wrap-around
 //! is handled in one audited place instead of being re-implemented per call
 //! site.
+//!
+//! The table is sized **lazily**: it grows (amortised, geometrically) to the
+//! largest key actually inserted, not to the declared universe.  A one-shot
+//! query over a small rectangle of a continent-scale network therefore pays
+//! for the touched prefix of the node-id space only — not 8 bytes per node of
+//! the whole network, the regression ROADMAP recorded after PR 2.  Caveat:
+//! the bound is the largest touched *key*, not the touched-key *count* — a
+//! region whose nodes carry the highest ids of the network still grows the
+//! table to the full id range (node ids are assigned in build order, which
+//! for the generators and DIMACS reader is spatially coherent, so small
+//! regions usually touch a narrow id band; an offset-rebased table is the
+//! upgrade if an id layout ever defeats this).
 
-/// A map from dense `usize` keys to `u32` values whose clear is O(1).
+/// A map from dense `usize` keys to `u32` values whose clear is O(1) and
+/// whose backing table grows lazily with the keys actually inserted.
 ///
 /// Call [`EpochMap::begin`] to start a new generation (clearing the map),
 /// then [`EpochMap::insert`]/[`EpochMap::get`].  Lookups before the first
-/// `begin` return `None`.
+/// `begin`, and lookups beyond the table, return `None`.
 #[derive(Debug, Clone, Default)]
 pub struct EpochMap {
     /// Per-key `(stamp, value)`; the entry is live iff `stamp == epoch`.
@@ -22,30 +35,32 @@ pub struct EpochMap {
 }
 
 impl EpochMap {
-    /// Creates an empty map; the backing table grows on [`EpochMap::begin`].
+    /// Creates an empty map; the backing table grows on insert.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Starts a new generation covering keys `< universe`.  Amortised O(1):
-    /// the table only grows to a new high-water mark, and the stamp reset on
-    /// epoch wrap-around happens once per `u32::MAX` generations.
-    pub fn begin(&mut self, universe: usize) {
+    /// Starts a new generation, invalidating every entry.  Amortised O(1):
+    /// the stamp reset on epoch wrap-around happens once per `u32::MAX`
+    /// generations.  No storage is touched otherwise — the table grows only
+    /// when [`EpochMap::insert`] actually reaches a new high-water key.
+    pub fn begin(&mut self) {
         if self.epoch == u32::MAX {
             self.entries.iter_mut().for_each(|e| e.0 = 0);
             self.epoch = 1;
         } else {
             self.epoch += 1;
         }
-        if self.entries.len() < universe {
-            self.entries.resize(universe, (0, 0));
-        }
     }
 
-    /// Maps `key` to `value` in the current generation.
+    /// Maps `key` to `value` in the current generation, growing the table to
+    /// `key + 1` entries if needed (geometric growth via `Vec`'s reserve).
     #[inline]
     pub fn insert(&mut self, key: usize, value: u32) {
         debug_assert!(self.epoch > 0, "EpochMap::begin must be called first");
+        if key >= self.entries.len() {
+            self.entries.resize(key + 1, (0, 0));
+        }
         self.entries[key] = (self.epoch, value);
     }
 
@@ -66,6 +81,12 @@ impl EpochMap {
     pub fn contains(&self, key: usize) -> bool {
         self.get(key).is_some()
     }
+
+    /// Current backing-table length — the high-water inserted key + 1, *not*
+    /// the universe size (regression tests pin the lazy-sizing behaviour).
+    pub fn table_len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -76,38 +97,54 @@ mod tests {
     fn generations_isolate_entries() {
         let mut m = EpochMap::new();
         assert!(!m.contains(0), "no entries before the first begin");
-        m.begin(4);
+        m.begin();
         m.insert(1, 10);
         m.insert(3, 30);
         assert_eq!(m.get(1), Some(10));
         assert_eq!(m.get(3), Some(30));
         assert_eq!(m.get(0), None);
-        assert_eq!(m.get(99), None, "out-of-universe keys are absent");
-        m.begin(4);
+        assert_eq!(m.get(99), None, "never-inserted keys are absent");
+        m.begin();
         assert_eq!(m.get(1), None, "a new generation clears old entries");
         m.insert(1, 11);
         assert_eq!(m.get(1), Some(11));
     }
 
     #[test]
-    fn universe_can_grow_between_generations() {
+    fn keys_can_grow_between_generations() {
         let mut m = EpochMap::new();
-        m.begin(2);
+        m.begin();
         m.insert(1, 1);
-        m.begin(6);
+        m.begin();
         m.insert(5, 5);
         assert_eq!(m.get(5), Some(5));
         assert_eq!(m.get(1), None);
     }
 
     #[test]
+    fn table_is_sized_by_touched_keys_not_universe() {
+        let mut m = EpochMap::new();
+        m.begin();
+        assert_eq!(m.table_len(), 0, "begin allocates nothing");
+        m.insert(9, 1);
+        assert_eq!(m.table_len(), 10, "grown to the high-water key + 1");
+        m.insert(3, 2);
+        assert_eq!(m.table_len(), 10, "smaller keys reuse the table");
+        assert_eq!(m.get(9), Some(1));
+        assert_eq!(m.get(3), Some(2));
+        assert_eq!(m.get(1_000_000), None, "huge keys read as absent for free");
+        m.begin();
+        assert_eq!(m.table_len(), 10, "generations keep the table");
+    }
+
+    #[test]
     fn epoch_wraparound_resets_all_stamps() {
         let mut m = EpochMap::new();
-        m.begin(2);
+        m.begin();
         m.insert(0, 7);
         // Force the wrap path.
         m.epoch = u32::MAX;
-        m.begin(2);
+        m.begin();
         assert_eq!(m.epoch, 1);
         assert_eq!(m.get(0), None, "pre-wrap entries must not resurface");
         m.insert(0, 8);

@@ -64,7 +64,7 @@ impl<'g> RegionView<'g> {
     /// (see [`RegionScratch`]).  Return them with [`RegionView::recycle`].
     pub fn new_reusing(graph: &'g RoadNetwork, rect: Rect, scratch: &mut RegionScratch) -> Self {
         let mut members = std::mem::take(&mut scratch.members);
-        members.begin(graph.node_count());
+        members.begin();
         let mut nodes = std::mem::take(&mut scratch.nodes);
         nodes.clear();
         let mut edges = std::mem::take(&mut scratch.edges);
@@ -490,6 +490,50 @@ mod tests {
             }
             reused.recycle(&mut scratch);
         }
+    }
+
+    #[test]
+    fn membership_table_is_sized_by_touched_nodes_not_network() {
+        // A 4x4 grid plus a 2000-node appendage with higher node ids: a view
+        // over the grid corner must size its epoch table by the touched node
+        // ids (≤ 16 here), not pay 8 bytes per node of the whole network —
+        // the PR 2 one-shot regression ROADMAP recorded.
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                ids.push(b.add_node(Point::new(x as f64, y as f64)));
+            }
+        }
+        for y in 0..4 {
+            for x in 0..4 {
+                let i = y * 4 + x;
+                if x < 3 {
+                    b.add_edge(ids[i], ids[i + 1], 1.0).unwrap();
+                }
+                if y < 3 {
+                    b.add_edge(ids[i], ids[i + 4], 1.0).unwrap();
+                }
+            }
+        }
+        let mut prev = ids[15];
+        for k in 0..2000 {
+            let n = b.add_node(Point::new(100.0 + k as f64, 100.0));
+            b.add_edge(prev, n, 1.0).unwrap();
+            prev = n;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 2016);
+
+        let mut scratch = RegionScratch::new();
+        let v = RegionView::new_reusing(&g, Rect::new(-0.5, -0.5, 1.5, 1.5), &mut scratch);
+        assert_eq!(v.node_count(), 4);
+        v.recycle(&mut scratch);
+        assert!(
+            scratch.members.table_len() <= 16,
+            "epoch table grew to {} entries for a 4-node view of a 2016-node network",
+            scratch.members.table_len()
+        );
     }
 
     #[test]

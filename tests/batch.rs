@@ -52,28 +52,46 @@ fn whole(network: &RoadNetwork) -> Rect {
     network.bounding_rect().unwrap().expanded(10.0)
 }
 
-/// Compares a batched result list against sequential `run` calls, demanding
-/// exact equality of the regions (node sets, edge sets, bitwise weights and
-/// lengths).
+/// Compares batched results against sequential `run` calls, demanding exact
+/// equality of the regions (node sets, edge sets, bitwise weights and
+/// lengths).  The batch is executed `rounds` times on the same engine, so the
+/// engine's workspace pool hands the same recycled workspaces (arenas,
+/// builders, epoch maps) to consecutive batches — every round must still be
+/// bit-identical.
+fn assert_batches_match_sequential(
+    engine: &LcmsrEngine<'_>,
+    queries: &[LcmsrQuery],
+    algorithm: &Algorithm,
+    workers: usize,
+    rounds: usize,
+) {
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| engine.run(q, algorithm).expect("sequential run").region)
+        .collect();
+    for round in 0..rounds {
+        let batched = engine
+            .run_batch_with(queries, algorithm, workers)
+            .expect("batch must succeed");
+        assert_eq!(batched.len(), queries.len());
+        for (i, (expect, batch_result)) in sequential.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                expect,
+                &batch_result.region,
+                "{} query {i} diverged under {workers} workers in round {round}",
+                algorithm.name()
+            );
+        }
+    }
+}
+
 fn assert_batch_matches_sequential(
     engine: &LcmsrEngine<'_>,
     queries: &[LcmsrQuery],
     algorithm: &Algorithm,
     workers: usize,
 ) {
-    let batched = engine
-        .run_batch_with(queries, algorithm, workers)
-        .expect("batch must succeed");
-    assert_eq!(batched.len(), queries.len());
-    for (i, (query, batch_result)) in queries.iter().zip(&batched).enumerate() {
-        let sequential = engine.run(query, algorithm).expect("sequential run");
-        assert_eq!(
-            sequential.region,
-            batch_result.region,
-            "{} query {i} diverged under {workers} workers",
-            algorithm.name()
-        );
-    }
+    assert_batches_match_sequential(engine, queries, algorithm, workers, 1);
 }
 
 proptest! {
@@ -100,12 +118,15 @@ proptest! {
             LcmsrQuery::new(["restaurant", "bakery"], delta * 1.5, roi).unwrap(),
             LcmsrQuery::new(["restaurant"], delta * 2.0, sw).unwrap(),
         ];
+        // Three consecutive batches on one engine: the workspace pool recycles
+        // the workers' arenas and builders across batches, and every round
+        // must stay bit-identical to the sequential reference.
         for algorithm in [
             Algorithm::App(AppParams::default()),
             Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            assert_batch_matches_sequential(&engine, &queries, &algorithm, 4);
+            assert_batches_match_sequential(&engine, &queries, &algorithm, 4, 3);
         }
     }
 }
