@@ -1,0 +1,215 @@
+//! Service-throughput benchmark: N closed-loop client threads drive a live
+//! `lcmsr_service` server over loopback HTTP, once against the micro-batching
+//! scheduler and once against the one-engine-call-per-request baseline
+//! (`max_batch = 1`).  Both modes serve the same synthetic dataset through
+//! the same HTTP stack, so the measured difference is the scheduler's.
+//!
+//! Like `batch_throughput` this is a plain harness emitting a
+//! machine-readable `BENCH_service.json` (override via `LCMSR_BENCH_OUT`).
+//! Knobs: `LCMSR_SCALE` (default `tiny`), `LCMSR_SERVICE_CLIENTS` (default
+//! 8), `LCMSR_SERVICE_REQUESTS` per client per round (default 8),
+//! `LCMSR_SERVICE_ROUNDS` best-of rounds (default 2).
+//!
+//! The strict CI gate (`LCMSR_BENCH_STRICT`) requires batched throughput ≥
+//! the unbatched path (`LCMSR_BENCH_MIN_SERVICE_SPEEDUP`, default 1.0) and
+//! re-measures twice before failing to ride out noisy neighbours; it also
+//! asserts both modes returned identical regions for every request.
+
+use lcmsr_bench::*;
+use lcmsr_service::http::ServerConfig;
+use lcmsr_service::{
+    leak_engine, serve, BatchConfig, HttpClient, QueryRequest, QueryResponse, ServiceConfig,
+};
+use std::time::Duration;
+
+/// Runs one closed-loop measurement: `clients` threads, each issuing every
+/// request body `requests` times over a keep-alive connection.  Returns the
+/// wall-clock seconds and the region parts of all responses (client-major,
+/// request-minor) for the identical-results check.
+fn drive(
+    addr: std::net::SocketAddr,
+    bodies: &[String],
+    clients: usize,
+    requests: usize,
+) -> (f64, Vec<String>) {
+    let start = std::time::Instant::now();
+    let mut all_regions: Vec<(usize, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut regions = Vec::with_capacity(requests * bodies.len());
+                    for r in 0..requests {
+                        let body = &bodies[(c + r) % bodies.len()];
+                        let (status, response) = client.post("/query", body).expect("request");
+                        assert_eq!(status, 200, "{response}");
+                        let parsed = QueryResponse::from_body(&response).expect("valid response");
+                        // Keep only the deterministic part (stats contain
+                        // timings, which differ run to run).
+                        regions.push(format!("{:?}", parsed.regions));
+                    }
+                    (c, regions)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    all_regions.sort_by_key(|(c, _)| *c);
+    (secs, all_regions.into_iter().flat_map(|(_, r)| r).collect())
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let clients = env_usize("LCMSR_SERVICE_CLIENTS", 8).max(1);
+    let requests = env_usize("LCMSR_SERVICE_REQUESTS", 8).max(1);
+    let rounds = env_usize("LCMSR_SERVICE_ROUNDS", 2).max(1);
+    let workers = workers_from_env();
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let dataset = ny_dataset(scale);
+    let params = dataset.default_query_params(777);
+    let queries = make_workload(
+        &dataset,
+        8,
+        params.num_keywords,
+        params.area_km2,
+        params.delta_km,
+        777,
+    );
+    let alpha = default_tgen_alpha(&dataset, &queries);
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            QueryRequest {
+                algorithm: "tgen".into(),
+                keywords: q.keywords.clone(),
+                rect: q.region_of_interest,
+                budget: q.delta,
+                k: None,
+                alpha: Some(alpha),
+                beta: None,
+                mu: None,
+            }
+            .to_body()
+        })
+        .collect();
+    let engine = leak_engine(dataset.network, dataset.collection);
+
+    let serve_mode = |max_batch: usize| {
+        serve(
+            engine,
+            ServiceConfig {
+                server: ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    // Both modes get enough handler threads that the HTTP
+                    // pool never caps concurrency; what differs is only how
+                    // queries reach the engine.
+                    http_workers: clients + 2,
+                    max_body_bytes: 1024 * 1024,
+                    ..ServerConfig::default()
+                },
+                batch: BatchConfig {
+                    max_batch,
+                    max_delay: Duration::from_millis(1),
+                    queue_capacity: (clients * 4).max(64),
+                    batch_workers: workers,
+                },
+            },
+        )
+        .expect("service must start")
+    };
+
+    let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
+    let min_speedup: f64 = std::env::var("LCMSR_BENCH_MIN_SERVICE_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    let mut baseline_secs = f64::INFINITY;
+    let mut batched_secs = f64::INFINITY;
+    let mut speedup = 0.0;
+    let mut identical = false;
+    let mut mean_batch_size = 0.0;
+    let mut p50_us = 0;
+    let mut p99_us = 0;
+    // The strict gate re-measures the whole comparison up to twice: loopback
+    // servers on shared runners see real scheduling noise.
+    for attempt in 0..3 {
+        // --- baseline: one engine call per request ------------------------
+        let baseline = serve_mode(1);
+        let _warmup = drive(baseline.addr(), &bodies, clients, 1);
+        for _ in 0..rounds {
+            let (secs, _) = drive(baseline.addr(), &bodies, clients, requests);
+            baseline_secs = baseline_secs.min(secs);
+        }
+        let (_, baseline_regions) = drive(baseline.addr(), &bodies, clients, requests);
+        baseline.shutdown();
+
+        // --- micro-batched scheduler --------------------------------------
+        let batched = serve_mode((clients * 2).max(8));
+        let _warmup = drive(batched.addr(), &bodies, clients, 1);
+        for _ in 0..rounds {
+            let (secs, _) = drive(batched.addr(), &bodies, clients, requests);
+            batched_secs = batched_secs.min(secs);
+        }
+        let (_, batched_regions) = drive(batched.addr(), &bodies, clients, requests);
+        mean_batch_size = batched.metrics().mean_batch_size();
+        p50_us = batched.metrics().latency.quantile_us(0.50);
+        p99_us = batched.metrics().latency.quantile_us(0.99);
+        batched.shutdown();
+
+        identical = baseline_regions == batched_regions;
+        speedup = baseline_secs / batched_secs.max(1e-12);
+        if !strict || (identical && speedup >= min_speedup) {
+            break;
+        }
+        if attempt < 2 {
+            eprintln!(
+                "  batched/unbatched {speedup:.2}x below {min_speedup:.2}x target; re-measuring"
+            );
+        }
+    }
+
+    let total = (clients * requests) as f64;
+    let baseline_qps = total / baseline_secs;
+    let batched_qps = total / batched_secs;
+    println!(
+        "service_throughput (scale {scale:?}, {clients} clients x {requests} reqs, {workers} engine workers, {cpus} CPUs)"
+    );
+    println!(
+        "  unbatched (per-request) : {:>9.1} ms total  ({baseline_qps:.1} q/s)",
+        baseline_secs * 1e3
+    );
+    println!(
+        "  micro-batched           : {:>9.1} ms total  ({batched_qps:.1} q/s)",
+        batched_secs * 1e3
+    );
+    println!(
+        "  speedup                 : {speedup:.2}x   mean batch {mean_batch_size:.2}   p50 {p50_us} µs   p99 {p99_us} µs   identical: {identical}"
+    );
+
+    assert!(
+        identical,
+        "batched and unbatched modes must serve identical regions"
+    );
+    if strict {
+        assert!(
+            speedup >= min_speedup,
+            "micro-batched throughput {batched_qps:.1} q/s fell below the unbatched \
+             baseline {baseline_qps:.1} q/s ({speedup:.2}x < {min_speedup:.2}x)"
+        );
+    }
+
+    let out_path =
+        std::env::var("LCMSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"scale\": \"{scale:?}\",\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \"engine_workers\": {workers},\n  \"cpus\": {cpus},\n  \"unbatched_ms\": {:.3},\n  \"batched_ms\": {:.3},\n  \"unbatched_qps\": {baseline_qps:.2},\n  \"batched_qps\": {batched_qps:.2},\n  \"speedup\": {speedup:.4},\n  \"mean_batch_size\": {mean_batch_size:.3},\n  \"latency_p50_us\": {p50_us},\n  \"latency_p99_us\": {p99_us},\n  \"identical_results\": {identical}\n}}\n",
+        baseline_secs * 1e3,
+        batched_secs * 1e3,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_service.json");
+    println!("  wrote {out_path}");
+}

@@ -7,10 +7,16 @@
 //! cargo run -p lcmsr-bench --release --bin experiments -- all
 //! cargo run -p lcmsr-bench --release --bin experiments -- fig7_8 fig15
 //! LCMSR_SCALE=small LCMSR_QUERIES=20 cargo run -p lcmsr-bench --release --bin experiments -- all
+//! cargo run -p lcmsr-bench --release --bin experiments -- serve --addr 127.0.0.1:7878
 //! ```
 //!
 //! Available experiment ids: `table1`, `fig7_8`, `fig9_10`, `fig11_12`,
-//! `fig13_14`, `fig15`, `fig16`, `fig17_19`, `sec7_5`, `fig21_22`, `all`.
+//! `fig13_14`, `fig15`, `fig16`, `fig17_19`, `sec7_5`, `fig21_22`, `all` —
+//! plus `serve`, which starts the `lcmsr_service` HTTP front-end over the
+//! synthetic NY dataset (flags: `--addr`, `--max-batch`, `--max-delay-ms`,
+//! `--queue-capacity`, `--http-workers`).  Engine worker counts honour
+//! `--workers N` / `LCMSR_WORKERS` everywhere they apply (the `table1`
+//! batched-workload line and the serve scheduler alike).
 //! Absolute numbers differ from the paper (synthetic data, reduced scale);
 //! the reported *shapes* are what EXPERIMENTS.md records and compares.
 
@@ -21,7 +27,12 @@ use lcmsr_datagen::prelude::*;
 use lcmsr_roadnet::geo::Rect;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = take_workers_flag(&mut args).unwrap_or_else(workers_from_env);
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_command(&args[1..], workers);
+        return;
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1", "fig7_8", "fig9_10", "fig11_12", "fig13_14", "fig15", "fig16", "fig17_19",
@@ -58,7 +69,7 @@ fn main() {
 
     for id in &wanted {
         match id.as_str() {
-            "table1" => table1(&ny),
+            "table1" => table1(&ny, workers),
             "fig7_8" => fig7_8(&ny),
             "fig9_10" => fig9_10(&ny),
             "fig11_12" => fig11_12(&ny),
@@ -73,8 +84,83 @@ fn main() {
     }
 }
 
-/// Table 1: an example trace of APP's quota binary search.
-fn table1(ny: &Dataset) {
+/// Parses `--flag value` / `--flag=value` from a serve-style argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            let value = iter.next().map(String::as_str);
+            if value.is_none() {
+                eprintln!("{flag} requires a value; ignoring");
+            }
+            return value;
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|v| v.strip_prefix('=')) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// `serve`: load/generate a dataset and serve it over HTTP until killed.
+fn serve_command(args: &[String], workers: usize) {
+    use lcmsr_service::http::ServerConfig;
+    use lcmsr_service::{leak_engine, serve, BatchConfig, ServiceConfig};
+
+    let addr = flag_value(args, "--addr")
+        .unwrap_or("127.0.0.1:7878")
+        .to_string();
+    // Malformed numeric flags are reported, not silently defaulted — an
+    // operator tuning the scheduler must know when a knob did not take.
+    let parse_or = |flag: &str, default: usize| match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("ignoring invalid {flag} value '{v}' (expected a number); using {default}");
+            default
+        }),
+    };
+    let max_batch = parse_or("--max-batch", 32);
+    let max_delay_ms = parse_or("--max-delay-ms", 2);
+    let queue_capacity = parse_or("--queue-capacity", 1024);
+    let http_workers = parse_or("--http-workers", (workers * 4).max(8));
+
+    let scale = scale_from_env();
+    println!("# lcmsr serve");
+    println!("# building NY-like dataset at scale {scale:?}…");
+    let dataset = ny_dataset(scale);
+    println!("# network    : {}", dataset.network.stats());
+    println!(
+        "# objects    : {} ({} keywords)",
+        dataset.collection.len(),
+        dataset.collection.keyword_count()
+    );
+    let engine = leak_engine(dataset.network, dataset.collection);
+    let config = ServiceConfig {
+        server: ServerConfig {
+            addr,
+            http_workers,
+            max_body_bytes: 1024 * 1024,
+            ..ServerConfig::default()
+        },
+        batch: BatchConfig {
+            max_batch,
+            max_delay: std::time::Duration::from_millis(max_delay_ms as u64),
+            queue_capacity,
+            batch_workers: workers,
+        },
+    };
+    println!(
+        "# scheduler  : max_batch {max_batch}, max_delay {max_delay_ms} ms, queue {queue_capacity}, {workers} engine workers, {http_workers} http workers"
+    );
+    let handle = serve(engine, config).expect("service must start");
+    println!("# listening on http://{}", handle.addr());
+    println!("# routes: POST /query, GET /healthz, GET /metrics   (Ctrl-C to stop)");
+    handle.wait();
+}
+
+/// Table 1: an example trace of APP's quota binary search, plus a batched
+/// workload-throughput line honouring the shared worker count.
+fn table1(ny: &Dataset, workers: usize) {
     println!("\n## table1 — binary-search trace (Table 1 analogue)");
     let queries = default_workload(ny, 101);
     let Some(query) = queries.first() else {
@@ -124,6 +210,20 @@ fn table1(ny: &Dataset) {
             best.node_count()
         );
     }
+    // The same workload through the batched engine path, honouring the
+    // --workers / LCMSR_WORKERS knob the serve path uses.
+    let start = std::time::Instant::now();
+    let results = engine
+        .run_batch_with(&queries, &Algorithm::App(params), workers)
+        .expect("batched workload");
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "workload: {} queries via run_batch_with({} workers) in {:.1} ms ({:.1} q/s)",
+        results.len(),
+        workers,
+        secs * 1e3,
+        results.len() as f64 / secs.max(1e-12)
+    );
 }
 
 /// Figures 7 and 8: APP runtime and region weight vs the scaling parameter α.

@@ -34,6 +34,60 @@ pub fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Resolves the engine worker count shared by the experiments CLI and the
+/// serving path: an explicit `--workers N` flag wins, then the
+/// `LCMSR_WORKERS` environment variable, then the available hardware
+/// parallelism.  `take_workers_flag` removes the flag (and its value) from an
+/// argument list so subcommand parsing never sees it.
+pub fn workers_from_env() -> usize {
+    parse_workers_value(std::env::var("LCMSR_WORKERS").ok().as_deref())
+}
+
+/// The pure half of [`workers_from_env`], separated so tests need not mutate
+/// process-global environment (a data race under the parallel test harness).
+fn parse_workers_value(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Extracts `--workers N` (or `--workers=N`) from `args`, returning the
+/// parsed count and leaving the remaining arguments in place.  A malformed or
+/// missing value is reported on stderr and ignored (the caller falls back to
+/// `LCMSR_WORKERS` / auto-detection) rather than silently dropped.
+pub fn take_workers_flag(args: &mut Vec<String>) -> Option<usize> {
+    let mut found = None;
+    let mut report = |value: &str| match value.parse::<usize>() {
+        Ok(w) => found = Some(w.max(1)),
+        Err(_) => eprintln!("ignoring invalid --workers value '{value}' (expected a number)"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--workers" {
+            if i + 1 < args.len() {
+                let value = args[i + 1].clone();
+                report(&value);
+                args.drain(i..i + 2);
+            } else {
+                eprintln!("--workers requires a value; ignoring");
+                args.remove(i);
+            }
+        } else if let Some(value) = args[i].strip_prefix("--workers=") {
+            let value = value.to_string();
+            report(&value);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
 /// Resolves the dataset scale from `LCMSR_SCALE` (default: tiny).
 pub fn scale_from_env() -> NetworkScale {
     match std::env::var("LCMSR_SCALE").unwrap_or_default().as_str() {
@@ -238,6 +292,49 @@ mod tests {
     fn scale_from_env_defaults_to_tiny() {
         std::env::remove_var("LCMSR_SCALE");
         assert_eq!(scale_from_env(), NetworkScale::Tiny);
+    }
+
+    #[test]
+    fn workers_flag_is_extracted_from_args() {
+        let mut args: Vec<String> = ["serve", "--workers", "3", "--addr", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(take_workers_flag(&mut args), Some(3));
+        assert_eq!(args, vec!["serve", "--addr", "x"]);
+
+        let mut args: Vec<String> = vec!["--workers=7".into(), "table1".into()];
+        assert_eq!(take_workers_flag(&mut args), Some(7));
+        assert_eq!(args, vec!["table1"]);
+
+        let mut args: Vec<String> = vec!["table1".into()];
+        assert_eq!(take_workers_flag(&mut args), None);
+        assert_eq!(args, vec!["table1"]);
+
+        // A zero count clamps to one worker.
+        let mut args: Vec<String> = vec!["--workers".into(), "0".into()];
+        assert_eq!(take_workers_flag(&mut args), Some(1));
+
+        // Malformed and valueless flags are consumed (not left behind to
+        // confuse later parsing) and yield None.
+        let mut args: Vec<String> = vec!["serve".into(), "--workers".into(), "abc".into()];
+        assert_eq!(take_workers_flag(&mut args), None);
+        assert_eq!(args, vec!["serve"]);
+        let mut args: Vec<String> = vec!["serve".into(), "--workers".into()];
+        assert_eq!(take_workers_flag(&mut args), None);
+        assert_eq!(args, vec!["serve"]);
+        let mut args: Vec<String> = vec!["--workers=bad".into()];
+        assert_eq!(take_workers_flag(&mut args), None);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn workers_value_parsing_matches_env_semantics() {
+        assert!(parse_workers_value(None) >= 1);
+        assert_eq!(parse_workers_value(Some("5")), 5);
+        assert!(parse_workers_value(Some("junk")) >= 1);
+        assert!(parse_workers_value(Some("0")) >= 1);
+        assert!(workers_from_env() >= 1);
     }
 
     #[test]

@@ -158,17 +158,42 @@ impl QueryWorkspace {
 /// `run`/`run_topk` and every batch worker check a workspace out and return
 /// it afterwards, so successive calls — including successive `run_batch`
 /// invocations — reuse the grown scratch buffers, query-graph pools and tuple
-/// arenas instead of rebuilding them per call.  The pool never shrinks; its
-/// size is bounded by the maximum number of concurrent workers seen.
-#[derive(Debug, Default)]
+/// arenas instead of rebuilding them per call.
+///
+/// Idle growth is capped at [`WorkspacePool::max_idle`] workspaces (default:
+/// the available hardware parallelism): a burst of concurrent one-shot calls
+/// can momentarily check out more workspaces than that, but `recycle` drops
+/// the excess instead of pinning their grown buffers forever.  Anything above
+/// the cap could never be handed out concurrently again without the same
+/// burst recurring, so the cap trades a re-warm on the next burst for a
+/// bounded steady-state footprint.
+#[derive(Debug)]
 pub struct WorkspacePool {
     idle: Mutex<Vec<QueryWorkspace>>,
+    max_idle: AtomicUsize,
+}
+
+impl Default for WorkspacePool {
+    fn default() -> Self {
+        WorkspacePool {
+            idle: Mutex::new(Vec::new()),
+            max_idle: AtomicUsize::new(default_workers()),
+        }
+    }
 }
 
 impl WorkspacePool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with `max_idle` = available parallelism.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pool keeping at most `max_idle` idle workspaces.
+    pub fn with_max_idle(max_idle: usize) -> Self {
+        WorkspacePool {
+            idle: Mutex::new(Vec::new()),
+            max_idle: AtomicUsize::new(max_idle),
+        }
     }
 
     /// Takes an idle workspace, or creates a fresh one when none is pooled.
@@ -180,21 +205,53 @@ impl WorkspacePool {
             .unwrap_or_default()
     }
 
-    /// Returns a workspace to the pool for the next checkout.
+    /// Returns a workspace to the pool for the next checkout, unless the pool
+    /// already holds [`WorkspacePool::max_idle`] idle workspaces — then the
+    /// workspace (and its grown buffers) is dropped instead.
     pub fn recycle(&self, workspace: QueryWorkspace) {
-        self.idle
-            .lock()
-            .expect("workspace pool poisoned")
-            .push(workspace);
+        let mut idle = self.idle.lock().expect("workspace pool poisoned");
+        if idle.len() < self.max_idle.load(AtomicOrdering::Relaxed) {
+            idle.push(workspace);
+        }
     }
 
     /// Number of idle pooled workspaces (diagnostics/tests).
     pub fn idle_count(&self) -> usize {
         self.idle.lock().expect("workspace pool poisoned").len()
     }
+
+    /// The cap on idle pooled workspaces.
+    pub fn max_idle(&self) -> usize {
+        self.max_idle.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Changes the idle cap (a shared-reference operation, so a serving
+    /// front-end can tune a live engine's pool).  Workspaces already pooled
+    /// above a lowered cap are dropped immediately.
+    pub fn set_max_idle(&self, max_idle: usize) {
+        self.max_idle.store(max_idle, AtomicOrdering::Relaxed);
+        let mut idle = self.idle.lock().expect("workspace pool poisoned");
+        idle.truncate(max_idle);
+    }
+
+    /// Raises the idle cap to at least `workers`.  The batch paths call this
+    /// with their explicit worker count: a caller asking for N concurrent
+    /// workers wants N workspaces reused across batches, and without this a
+    /// cap below N would silently drop (and re-warm) the excess every batch.
+    pub fn ensure_max_idle(&self, workers: usize) {
+        self.max_idle.fetch_max(workers, AtomicOrdering::Relaxed);
+    }
 }
 
 /// The LCMSR query-processing engine.
+///
+/// The engine is `Send + Sync`: one instance can be shared across threads
+/// (`Arc<LcmsrEngine>`, `&'static LcmsrEngine`, or scoped borrows) by a
+/// serving front-end whose scheduler and handler threads run queries
+/// concurrently.  All interior mutability is confined to the
+/// [`WorkspacePool`]'s mutex and the network/collection indexes' atomics;
+/// the network and collection themselves are only read.  A compile-time
+/// audit lives in this module's tests (`engine_is_send_and_sync`).
 #[derive(Debug)]
 pub struct LcmsrEngine<'a> {
     network: &'a RoadNetwork,
@@ -471,6 +528,9 @@ impl<'a> LcmsrEngine<'a> {
         F: Fn(&mut QueryWorkspace, &LcmsrQuery) -> Result<T> + Sync,
     {
         let workers = workers.max(1).min(queries.len().max(1));
+        // An explicit worker count is a statement that `workers` workspaces
+        // are worth keeping around between batches.
+        self.pool.ensure_max_idle(workers);
         if workers <= 1 {
             let mut workspace = self.pool.checkout();
             let result = queries.iter().map(|q| job(&mut workspace, q)).collect();
@@ -881,6 +941,93 @@ mod tests {
             .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
             .unwrap_err();
         assert!(matches!(err, crate::error::LcmsrError::InvalidDelta { .. }));
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // The serving front-end shares one engine across scheduler and
+        // handler threads; this pins the auto-trait audit at compile time.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LcmsrEngine<'static>>();
+        assert_send_sync::<WorkspacePool>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<TopKResult>();
+    }
+
+    #[test]
+    fn workspace_pool_growth_is_capped_at_max_idle() {
+        let pool = WorkspacePool::with_max_idle(2);
+        assert_eq!(pool.max_idle(), 2);
+        // A burst of six concurrent checkouts…
+        let burst: Vec<QueryWorkspace> = (0..6).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.idle_count(), 0);
+        // …recycles down to the cap, not to the burst size.
+        for ws in burst {
+            pool.recycle(ws);
+        }
+        assert_eq!(pool.idle_count(), 2, "recycle must drop beyond max_idle");
+        // Lowering the cap trims the already-pooled excess.
+        pool.set_max_idle(1);
+        assert_eq!(pool.idle_count(), 1);
+        // Raising it lets future recycles pool more again.
+        pool.set_max_idle(3);
+        for _ in 0..4 {
+            pool.recycle(QueryWorkspace::new());
+        }
+        assert_eq!(pool.idle_count(), 3);
+        // ensure_max_idle only ever raises the cap.
+        pool.ensure_max_idle(2);
+        assert_eq!(pool.max_idle(), 3);
+        pool.ensure_max_idle(5);
+        assert_eq!(pool.max_idle(), 5);
+    }
+
+    #[test]
+    fn explicit_batch_worker_counts_raise_the_idle_cap() {
+        // A cap below the requested worker count would silently drop (and
+        // re-warm) workspaces every batch — run_batch_with must widen it.
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        engine.workspace_pool().set_max_idle(1);
+        let queries = mixed_workload(&network);
+        let _ = engine
+            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
+            .unwrap();
+        assert!(
+            engine.workspace_pool().max_idle() >= 4,
+            "batch with 4 workers must raise the idle cap, got {}",
+            engine.workspace_pool().max_idle()
+        );
+        // A second batch can now reuse every worker's workspace.
+        let _ = engine
+            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
+            .unwrap();
+        assert!(engine.workspace_pool().idle_count() >= 1);
+    }
+
+    #[test]
+    fn engine_pool_defaults_to_available_parallelism_cap() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        assert_eq!(engine.workspace_pool().max_idle(), default_workers());
+        // A burst of one-shot runs through the engine's own pool never pins
+        // more than the cap.
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        engine.workspace_pool().set_max_idle(2);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    engine
+                        .run(&query, &Algorithm::Greedy(GreedyParams::default()))
+                        .unwrap()
+                });
+            }
+        });
+        assert!(
+            engine.workspace_pool().idle_count() <= 2,
+            "burst must not pin workspaces beyond the cap, pooled {}",
+            engine.workspace_pool().idle_count()
+        );
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub struct RunStats {
     /// Time spent inside the solver proper.  `prepare_time + solve_time` is
     /// always ≤ `elapsed` (the remainder is result translation).
     pub solve_time: Duration,
+    /// Time the query spent parked in a serving front-end's queue before an
+    /// engine worker picked it up.  Always zero on the direct engine paths
+    /// (`run`, `run_topk`, `run_batch`); the `lcmsr_service` micro-batching
+    /// scheduler measures and fills it in.  Not included in `elapsed`, which
+    /// covers engine execution only.
+    pub queue_time: Duration,
     /// Number of road-network nodes inside `Q.Λ` (`|V_Q|`).
     pub nodes_in_region: usize,
     /// Number of edges inside `Q.Λ` (`|E_Q|`).
@@ -52,6 +58,11 @@ impl RunStats {
     /// Solver time in milliseconds.
     pub fn solve_ms(&self) -> f64 {
         self.solve_time.as_secs_f64() * 1_000.0
+    }
+
+    /// Queue wait in milliseconds (zero outside a serving front-end).
+    pub fn queue_ms(&self) -> f64 {
+        self.queue_time.as_secs_f64() * 1_000.0
     }
 }
 
@@ -92,7 +103,9 @@ mod tests {
     fn default_is_zeroed() {
         let s = RunStats::default();
         assert_eq!(s.elapsed, Duration::ZERO);
+        assert_eq!(s.queue_time, Duration::ZERO);
         assert_eq!(s.kmst_calls, 0);
         assert_eq!(s.elapsed_ms(), 0.0);
+        assert_eq!(s.queue_ms(), 0.0);
     }
 }

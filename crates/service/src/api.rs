@@ -1,0 +1,746 @@
+//! The service's wire types: query requests and region responses.
+//!
+//! A request is a JSON object
+//!
+//! ```json
+//! {
+//!   "algorithm": "tgen",            // "app" | "tgen" | "greedy" | "exact"
+//!   "keywords": ["restaurant"],
+//!   "rect": [min_x, min_y, max_x, max_y],
+//!   "budget": 1500.0,               // the length constraint Q.∆, metres
+//!   "k": 3,                         // optional: top-k instead of single-best
+//!   "alpha": 1.0,                   // optional: APP/TGEN scaling override
+//!   "beta": 0.1,                    // optional: APP binary-search override
+//!   "mu": 0.2                       // optional: Greedy trade-off override
+//! }
+//! ```
+//!
+//! and a response carries the regions (one for a single query, up to `k` for
+//! top-k) plus [`RunStats`] including the scheduler's queue wait:
+//!
+//! ```json
+//! {"regions": [{"nodes": [...], "edges": [...], "length": ..., "weight": ...,
+//!               "scaled_weight": ...}],
+//!  "stats": {"algorithm": "TGEN", "elapsed_ns": ..., "prepare_ns": ...,
+//!            "solve_ns": ..., "queue_ns": ..., ...}}
+//! ```
+//!
+//! Durations travel as integer nanoseconds and floats print in Rust's
+//! shortest-round-trip form, so a response decodes back to bit-identical
+//! measures — the end-to-end tests compare served responses against direct
+//! [`lcmsr_core::engine::LcmsrEngine::run`] calls with `==`.
+
+use crate::json::{parse, Json, JsonError};
+use lcmsr_core::engine::{QueryResult, TopKResult};
+use lcmsr_core::prelude::*;
+use lcmsr_core::{AppParams, GreedyParams, TgenParams};
+use lcmsr_roadnet::edge::EdgeId;
+use lcmsr_roadnet::geo::Rect;
+use lcmsr_roadnet::node::NodeId;
+use std::time::Duration;
+
+/// Largest `k` a top-k request may ask for.
+pub const MAX_TOPK: usize = 64;
+
+/// A malformed or invalid request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiError {
+    /// Human-readable description, returned in the `400` body.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(message: impl Into<String>) -> Self {
+        ApiError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<JsonError> for ApiError {
+    fn from(e: JsonError) -> Self {
+        ApiError::new(e.to_string())
+    }
+}
+
+/// A decoded query request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Algorithm name: `app`, `tgen`, `greedy` or `exact` (case-insensitive).
+    pub algorithm: String,
+    /// Query keywords `Q.ψ`.
+    pub keywords: Vec<String>,
+    /// Region of interest `Q.Λ`.
+    pub rect: Rect,
+    /// Length constraint `Q.∆` in metres.
+    pub budget: f64,
+    /// `Some(k)` for a top-k query, `None` for single-best.
+    pub k: Option<usize>,
+    /// Optional scaling override (APP and TGEN).
+    pub alpha: Option<f64>,
+    /// Optional binary-search override (APP).
+    pub beta: Option<f64>,
+    /// Optional trade-off override (Greedy).
+    pub mu: Option<f64>,
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<f64, ApiError> {
+    obj.get(key)
+        .ok_or_else(|| ApiError::new(format!("missing field \"{key}\"")))?
+        .as_f64()
+        .ok_or_else(|| ApiError::new(format!("field \"{key}\" must be a number")))
+}
+
+fn optional_f64(obj: &Json, key: &str) -> Result<Option<f64>, ApiError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ApiError::new(format!("field \"{key}\" must be a number"))),
+    }
+}
+
+impl QueryRequest {
+    /// Decodes a request from a JSON body.
+    pub fn from_body(body: &str) -> Result<Self, ApiError> {
+        Self::from_json(&parse(body)?)
+    }
+
+    /// Decodes a request from a parsed JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, ApiError> {
+        if !matches!(value, Json::Object(_)) {
+            return Err(ApiError::new("request body must be a JSON object"));
+        }
+        let algorithm = value
+            .get("algorithm")
+            .ok_or_else(|| ApiError::new("missing field \"algorithm\""))?
+            .as_str()
+            .ok_or_else(|| ApiError::new("field \"algorithm\" must be a string"))?
+            .to_string();
+        let keywords = value
+            .get("keywords")
+            .ok_or_else(|| ApiError::new("missing field \"keywords\""))?
+            .as_array()
+            .ok_or_else(|| ApiError::new("field \"keywords\" must be an array of strings"))?
+            .iter()
+            .map(|k| {
+                k.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ApiError::new("field \"keywords\" must be an array of strings"))
+            })
+            .collect::<Result<Vec<String>, ApiError>>()?;
+        let rect_values = value
+            .get("rect")
+            .ok_or_else(|| ApiError::new("missing field \"rect\""))?
+            .as_array()
+            .ok_or_else(|| ApiError::new("field \"rect\" must be [min_x, min_y, max_x, max_y]"))?;
+        if rect_values.len() != 4 {
+            return Err(ApiError::new(
+                "field \"rect\" must be [min_x, min_y, max_x, max_y]",
+            ));
+        }
+        let mut corners = [0.0f64; 4];
+        for (i, v) in rect_values.iter().enumerate() {
+            corners[i] = v
+                .as_f64()
+                .ok_or_else(|| ApiError::new("field \"rect\" must contain numbers"))?;
+            if !corners[i].is_finite() {
+                return Err(ApiError::new("field \"rect\" must contain finite numbers"));
+            }
+        }
+        if corners[0] >= corners[2] || corners[1] >= corners[3] {
+            return Err(ApiError::new(
+                "field \"rect\" must satisfy min_x < max_x and min_y < max_y",
+            ));
+        }
+        let budget = field_f64(value, "budget")?;
+        let k = match value.get("k") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let k = v
+                    .as_u64()
+                    .ok_or_else(|| ApiError::new("field \"k\" must be a positive integer"))?;
+                if k == 0 || k as usize > MAX_TOPK {
+                    return Err(ApiError::new(format!(
+                        "field \"k\" must be in 1..={MAX_TOPK}"
+                    )));
+                }
+                Some(k as usize)
+            }
+        };
+        Ok(QueryRequest {
+            algorithm,
+            keywords,
+            rect: Rect::new(corners[0], corners[1], corners[2], corners[3]),
+            budget,
+            k,
+            alpha: optional_f64(value, "alpha")?,
+            beta: optional_f64(value, "beta")?,
+            mu: optional_f64(value, "mu")?,
+        })
+    }
+
+    /// Encodes the request as a JSON value (used by clients and round-trip
+    /// tests; the server only decodes).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("algorithm".into(), Json::String(self.algorithm.clone())),
+            (
+                "keywords".into(),
+                Json::Array(
+                    self.keywords
+                        .iter()
+                        .map(|k| Json::String(k.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rect".into(),
+                Json::Array(vec![
+                    Json::Number(self.rect.min_x),
+                    Json::Number(self.rect.min_y),
+                    Json::Number(self.rect.max_x),
+                    Json::Number(self.rect.max_y),
+                ]),
+            ),
+            ("budget".into(), Json::Number(self.budget)),
+        ];
+        if let Some(k) = self.k {
+            fields.push(("k".into(), Json::Number(k as f64)));
+        }
+        for (name, v) in [("alpha", self.alpha), ("beta", self.beta), ("mu", self.mu)] {
+            if let Some(v) = v {
+                fields.push((name.into(), Json::Number(v)));
+            }
+        }
+        Json::Object(fields)
+    }
+
+    /// Encodes the request as a JSON body.
+    pub fn to_body(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Resolves the algorithm to run, applying parameter overrides.
+    pub fn to_algorithm(&self) -> Result<Algorithm, ApiError> {
+        match self.algorithm.to_ascii_lowercase().as_str() {
+            "app" => {
+                let mut params = AppParams::default();
+                if let Some(alpha) = self.alpha {
+                    params.alpha = alpha;
+                }
+                if let Some(beta) = self.beta {
+                    params.beta = beta;
+                }
+                Ok(Algorithm::App(params))
+            }
+            "tgen" => {
+                let mut params = TgenParams::default();
+                if let Some(alpha) = self.alpha {
+                    params.alpha = alpha;
+                }
+                Ok(Algorithm::Tgen(params))
+            }
+            "greedy" => {
+                let mut params = GreedyParams::default();
+                if let Some(mu) = self.mu {
+                    params.mu = mu;
+                }
+                Ok(Algorithm::Greedy(params))
+            }
+            "exact" => Ok(Algorithm::Exact),
+            other => Err(ApiError::new(format!(
+                "unknown algorithm \"{other}\" (expected app, tgen, greedy or exact)"
+            ))),
+        }
+    }
+
+    /// Builds and validates the engine-level query.
+    pub fn to_query(&self) -> Result<LcmsrQuery, ApiError> {
+        LcmsrQuery::new(self.keywords.clone(), self.budget, self.rect)
+            .map_err(|e| ApiError::new(e.to_string()))
+    }
+}
+
+/// A served region in global ids, mirroring [`Region`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDto {
+    /// Global node ids, sorted.
+    pub nodes: Vec<u32>,
+    /// Global edge ids, sorted.
+    pub edges: Vec<u32>,
+    /// Total road length, metres.
+    pub length: f64,
+    /// Total relevance weight.
+    pub weight: f64,
+    /// Scaled weight under the algorithm's scaling.
+    pub scaled_weight: u64,
+}
+
+impl RegionDto {
+    /// Converts an engine region into its wire form.
+    pub fn from_region(region: &Region) -> Self {
+        RegionDto {
+            nodes: region.nodes.iter().map(|n| n.0).collect(),
+            edges: region.edges.iter().map(|e| e.0).collect(),
+            length: region.length,
+            weight: region.weight,
+            scaled_weight: region.scaled_weight,
+        }
+    }
+
+    /// Converts back into an engine [`Region`] (clients, tests).
+    pub fn to_region(&self) -> Region {
+        Region {
+            nodes: self.nodes.iter().map(|&n| NodeId(n)).collect(),
+            edges: self.edges.iter().map(|&e| EdgeId(e)).collect(),
+            length: self.length,
+            weight: self.weight,
+            scaled_weight: self.scaled_weight,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "nodes".into(),
+                Json::Array(self.nodes.iter().map(|&n| Json::Number(n as f64)).collect()),
+            ),
+            (
+                "edges".into(),
+                Json::Array(self.edges.iter().map(|&e| Json::Number(e as f64)).collect()),
+            ),
+            ("length".into(), Json::Number(self.length)),
+            ("weight".into(), Json::Number(self.weight)),
+            (
+                "scaled_weight".into(),
+                Json::Number(self.scaled_weight as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, ApiError> {
+        let ids = |key: &str| -> Result<Vec<u32>, ApiError> {
+            value
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::new(format!("region field \"{key}\" must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .filter(|&id| id <= u32::MAX as u64)
+                        .map(|id| id as u32)
+                        .ok_or_else(|| {
+                            ApiError::new(format!("region field \"{key}\" must hold u32 ids"))
+                        })
+                })
+                .collect()
+        };
+        Ok(RegionDto {
+            nodes: ids("nodes")?,
+            edges: ids("edges")?,
+            length: field_f64(value, "length")?,
+            weight: field_f64(value, "weight")?,
+            scaled_weight: value
+                .get("scaled_weight")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| {
+                    ApiError::new("region field \"scaled_weight\" must be an integer")
+                })?,
+        })
+    }
+}
+
+/// Wire form of [`RunStats`]; durations in integer nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsDto {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Engine wall-clock, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Preparation time, nanoseconds.
+    pub prepare_ns: u64,
+    /// Solver time, nanoseconds.
+    pub solve_ns: u64,
+    /// Scheduler queue wait, nanoseconds.
+    pub queue_ns: u64,
+    /// `|V_Q|`.
+    pub nodes_in_region: u64,
+    /// `|E_Q|`.
+    pub edges_in_region: u64,
+    /// Nodes with positive query weight.
+    pub relevant_nodes: u64,
+    /// k-MST oracle invocations (APP).
+    pub kmst_calls: u64,
+    /// Tuples generated (APP/TGEN).
+    pub tuples_generated: u64,
+    /// Greedy expansion steps.
+    pub greedy_steps: u64,
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl StatsDto {
+    /// Converts engine statistics into their wire form.
+    pub fn from_stats(stats: &RunStats) -> Self {
+        StatsDto {
+            algorithm: stats.algorithm.clone(),
+            elapsed_ns: duration_ns(stats.elapsed),
+            prepare_ns: duration_ns(stats.prepare_time),
+            solve_ns: duration_ns(stats.solve_time),
+            queue_ns: duration_ns(stats.queue_time),
+            nodes_in_region: stats.nodes_in_region as u64,
+            edges_in_region: stats.edges_in_region as u64,
+            relevant_nodes: stats.relevant_nodes as u64,
+            kmst_calls: stats.kmst_calls,
+            tuples_generated: stats.tuples_generated,
+            greedy_steps: stats.greedy_steps,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("algorithm".into(), Json::String(self.algorithm.clone())),
+            ("elapsed_ns".into(), Json::Number(self.elapsed_ns as f64)),
+            ("prepare_ns".into(), Json::Number(self.prepare_ns as f64)),
+            ("solve_ns".into(), Json::Number(self.solve_ns as f64)),
+            ("queue_ns".into(), Json::Number(self.queue_ns as f64)),
+            (
+                "nodes_in_region".into(),
+                Json::Number(self.nodes_in_region as f64),
+            ),
+            (
+                "edges_in_region".into(),
+                Json::Number(self.edges_in_region as f64),
+            ),
+            (
+                "relevant_nodes".into(),
+                Json::Number(self.relevant_nodes as f64),
+            ),
+            ("kmst_calls".into(), Json::Number(self.kmst_calls as f64)),
+            (
+                "tuples_generated".into(),
+                Json::Number(self.tuples_generated as f64),
+            ),
+            (
+                "greedy_steps".into(),
+                Json::Number(self.greedy_steps as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, ApiError> {
+        let int = |key: &str| -> Result<u64, ApiError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::new(format!("stats field \"{key}\" must be an integer")))
+        };
+        Ok(StatsDto {
+            algorithm: value
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ApiError::new("stats field \"algorithm\" must be a string"))?
+                .to_string(),
+            elapsed_ns: int("elapsed_ns")?,
+            prepare_ns: int("prepare_ns")?,
+            solve_ns: int("solve_ns")?,
+            queue_ns: int("queue_ns")?,
+            nodes_in_region: int("nodes_in_region")?,
+            edges_in_region: int("edges_in_region")?,
+            relevant_nodes: int("relevant_nodes")?,
+            kmst_calls: int("kmst_calls")?,
+            tuples_generated: int("tuples_generated")?,
+            greedy_steps: int("greedy_steps")?,
+        })
+    }
+}
+
+/// A served query response: regions (0 or 1 for single-best, up to `k` for
+/// top-k) plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The regions, best first.
+    pub regions: Vec<RegionDto>,
+    /// Execution statistics, including queue wait.
+    pub stats: StatsDto,
+}
+
+impl QueryResponse {
+    /// Builds the response for a single-best result.
+    pub fn from_single(result: &QueryResult) -> Self {
+        QueryResponse {
+            regions: result.region.iter().map(RegionDto::from_region).collect(),
+            stats: StatsDto::from_stats(&result.stats),
+        }
+    }
+
+    /// Builds the response for a top-k result.
+    pub fn from_topk(result: &TopKResult) -> Self {
+        QueryResponse {
+            regions: result.regions.iter().map(RegionDto::from_region).collect(),
+            stats: StatsDto::from_stats(&result.stats),
+        }
+    }
+
+    /// Encodes the response as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "regions".into(),
+                Json::Array(self.regions.iter().map(RegionDto::to_json).collect()),
+            ),
+            ("stats".into(), self.stats.to_json()),
+        ])
+    }
+
+    /// Encodes the response as a JSON body.
+    pub fn to_body(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Decodes a response from a JSON body (clients, tests).
+    pub fn from_body(body: &str) -> Result<Self, ApiError> {
+        Self::from_json(&parse(body)?)
+    }
+
+    /// Decodes a response from a parsed JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, ApiError> {
+        let regions = value
+            .get("regions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ApiError::new("response field \"regions\" must be an array"))?
+            .iter()
+            .map(RegionDto::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let stats = StatsDto::from_json(
+            value
+                .get("stats")
+                .ok_or_else(|| ApiError::new("missing response field \"stats\""))?,
+        )?;
+        Ok(QueryResponse { regions, stats })
+    }
+}
+
+/// Encodes an error body `{"error": "..."}`.
+pub fn error_body(message: &str) -> String {
+    Json::Object(vec![("error".into(), Json::String(message.into()))]).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> QueryRequest {
+        QueryRequest {
+            algorithm: "tgen".into(),
+            keywords: vec!["restaurant".into(), "cafe".into()],
+            rect: Rect::new(-50.0, -50.0, 550.0, 550.0),
+            budget: 400.0,
+            k: Some(3),
+            alpha: Some(1.0),
+            beta: None,
+            mu: None,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_the_codec() {
+        let req = sample_request();
+        let body = req.to_body();
+        let back = QueryRequest::from_body(&body).unwrap();
+        assert_eq!(req, back);
+        // Without optional fields too.
+        let minimal = QueryRequest {
+            k: None,
+            alpha: None,
+            ..sample_request()
+        };
+        assert_eq!(
+            QueryRequest::from_body(&minimal.to_body()).unwrap(),
+            minimal
+        );
+    }
+
+    #[test]
+    fn request_maps_to_engine_types() {
+        let req = sample_request();
+        let algorithm = req.to_algorithm().unwrap();
+        assert_eq!(algorithm, Algorithm::Tgen(TgenParams { alpha: 1.0 }));
+        let query = req.to_query().unwrap();
+        assert_eq!(query.delta, 400.0);
+        assert_eq!(query.keywords, vec!["restaurant", "cafe"]);
+
+        for (name, expected) in [
+            ("app", Algorithm::App(AppParams::default())),
+            ("APP", Algorithm::App(AppParams::default())),
+            ("greedy", Algorithm::Greedy(GreedyParams::default())),
+            ("Exact", Algorithm::Exact),
+        ] {
+            let req = QueryRequest {
+                algorithm: name.into(),
+                alpha: None,
+                ..sample_request()
+            };
+            assert_eq!(req.to_algorithm().unwrap(), expected);
+        }
+        let bad = QueryRequest {
+            algorithm: "magic".into(),
+            ..sample_request()
+        };
+        assert!(bad.to_algorithm().is_err());
+    }
+
+    #[test]
+    fn parameter_overrides_apply() {
+        let req = QueryRequest {
+            algorithm: "app".into(),
+            alpha: Some(0.25),
+            beta: Some(0.05),
+            ..sample_request()
+        };
+        match req.to_algorithm().unwrap() {
+            Algorithm::App(p) => {
+                assert_eq!(p.alpha, 0.25);
+                assert_eq!(p.beta, 0.05);
+            }
+            other => panic!("expected APP, got {other:?}"),
+        }
+        let req = QueryRequest {
+            algorithm: "greedy".into(),
+            mu: Some(0.7),
+            ..sample_request()
+        };
+        assert_eq!(
+            req.to_algorithm().unwrap(),
+            Algorithm::Greedy(GreedyParams { mu: 0.7 })
+        );
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_messages() {
+        for (body, needle) in [
+            ("[]", "object"),
+            ("{}", "algorithm"),
+            (r#"{"algorithm":"tgen"}"#, "keywords"),
+            (
+                r#"{"algorithm":7,"keywords":[],"rect":[0,0,1,1],"budget":1}"#,
+                "string",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":"x","rect":[0,0,1,1],"budget":1}"#,
+                "array of strings",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":[1],"rect":[0,0,1,1],"budget":1}"#,
+                "array of strings",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1],"budget":1}"#,
+                "rect",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,"y"],"budget":1}"#,
+                "numbers",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[5,0,1,1],"budget":1}"#,
+                "min_x < max_x",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1]}"#,
+                "budget",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"k":0}"#,
+                "k",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"k":1.5}"#,
+                "k",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"k":10000}"#,
+                "k",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"alpha":"big"}"#,
+                "alpha",
+            ),
+            ("{not json", "invalid JSON"),
+        ] {
+            let err = QueryRequest::from_body(body).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{body}: expected {needle:?} in {:?}",
+                err.message
+            );
+        }
+        // Validation errors surface through to_query.
+        let req = QueryRequest {
+            budget: -1.0,
+            ..sample_request()
+        };
+        assert!(req.to_query().is_err());
+        let req = QueryRequest {
+            keywords: vec![],
+            ..sample_request()
+        };
+        assert!(req.to_query().is_err());
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let response = QueryResponse {
+            regions: vec![RegionDto {
+                nodes: vec![1, 5, 9],
+                edges: vec![2, 7],
+                length: 123.456789,
+                weight: 0.1 + 0.2, // a value with an inexact decimal expansion
+                scaled_weight: 110,
+            }],
+            stats: StatsDto {
+                algorithm: "TGEN".into(),
+                elapsed_ns: 1_234_567_891,
+                prepare_ns: 23_456,
+                solve_ns: 1_200_000_000,
+                queue_ns: 11_111_111,
+                nodes_in_region: 36,
+                edges_in_region: 60,
+                relevant_nodes: 5,
+                kmst_calls: 0,
+                tuples_generated: 420,
+                greedy_steps: 0,
+            },
+        };
+        let body = response.to_body();
+        let back = QueryResponse::from_body(&body).unwrap();
+        assert_eq!(response, back);
+        assert_eq!(
+            back.regions[0].weight.to_bits(),
+            (0.1f64 + 0.2).to_bits(),
+            "floats survive the wire bit-exactly"
+        );
+        // DTO ↔ engine Region round-trip.
+        let region = back.regions[0].to_region();
+        assert_eq!(RegionDto::from_region(&region), back.regions[0]);
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let body = error_body("bad \"thing\"");
+        let v = parse(&body).unwrap();
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad \"thing\""));
+    }
+}

@@ -1,0 +1,94 @@
+//! A tiny blocking HTTP/1.1 client over one keep-alive connection — just
+//! enough for the end-to-end tests, the CI smoke checks and the closed-loop
+//! `service_throughput` benchmark clients.  Not a general HTTP client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` with a 30 s I/O timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends a `GET` and returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` with a JSON body and returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: lcmsr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed before the status line"));
+        }
+        // "HTTP/1.1 200 OK"
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("malformed Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|body| (status, body))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}

@@ -1,0 +1,248 @@
+//! Service counters and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free atomics so the hot path (one `record` per request)
+//! never contends with `/metrics` scrapes.  Quantiles are estimated from the
+//! histogram as the upper bound of the bucket containing the target rank —
+//! coarse but monotone, cheap, and entirely allocation-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (inclusive) of the latency buckets, in microseconds; a final
+/// overflow bucket catches everything beyond the last bound.
+pub const LATENCY_BOUNDS_US: [u64; 15] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram over [`LATENCY_BOUNDS_US`].
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.total_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in 0..=1) as the upper bound of the bucket
+    /// holding the target rank, in microseconds.  The overflow bucket reports
+    /// twice the last bound.  Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= target {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2);
+            }
+        }
+        LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2
+    }
+
+    /// Cumulative bucket counts in `(upper_bound_us, cumulative_count)` form,
+    /// the overflow bucket last with `u64::MAX` as its bound.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            let bound = LATENCY_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, seen));
+        }
+        out
+    }
+}
+
+/// Counters shared by the HTTP workers and the micro-batching scheduler.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// HTTP requests received on any route.
+    pub requests: AtomicU64,
+    /// Query requests admitted to the scheduler (or run directly).
+    pub queries: AtomicU64,
+    /// `200` responses.
+    pub responses_ok: AtomicU64,
+    /// `4xx` responses (malformed or invalid requests).
+    pub responses_client_error: AtomicU64,
+    /// `503` load-shed responses.
+    pub shed: AtomicU64,
+    /// Batches dispatched to the engine.
+    pub batches: AtomicU64,
+    /// Total queries across all dispatched batches.
+    pub batched_queries: AtomicU64,
+    /// Current scheduler queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// End-to-end request latency (parse → response ready), query route only.
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean queries per dispatched batch (0 when no batch ran yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_queries.load(Ordering::Relaxed) as f64 / batches as f64
+        }
+    }
+
+    /// Renders the Prometheus text exposition for `/metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut gauge = |name: &str, value: String| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        gauge("lcmsr_requests_total", load(&self.requests).to_string());
+        gauge("lcmsr_queries_total", load(&self.queries).to_string());
+        gauge(
+            "lcmsr_responses_ok_total",
+            load(&self.responses_ok).to_string(),
+        );
+        gauge(
+            "lcmsr_responses_client_error_total",
+            load(&self.responses_client_error).to_string(),
+        );
+        gauge("lcmsr_shed_total", load(&self.shed).to_string());
+        gauge("lcmsr_batches_total", load(&self.batches).to_string());
+        gauge(
+            "lcmsr_batched_queries_total",
+            load(&self.batched_queries).to_string(),
+        );
+        gauge(
+            "lcmsr_mean_batch_size",
+            format!("{:.3}", self.mean_batch_size()),
+        );
+        gauge("lcmsr_queue_depth", load(&self.queue_depth).to_string());
+        gauge("lcmsr_latency_count", self.latency.count().to_string());
+        gauge(
+            "lcmsr_latency_mean_us",
+            format!("{:.1}", self.latency.mean_us()),
+        );
+        gauge(
+            "lcmsr_latency_p50_us",
+            self.latency.quantile_us(0.50).to_string(),
+        );
+        gauge(
+            "lcmsr_latency_p99_us",
+            self.latency.quantile_us(0.99).to_string(),
+        );
+        for (bound, cumulative) in self.latency.cumulative() {
+            let le = if bound == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                bound.to_string()
+            };
+            out.push_str(&format!(
+                "lcmsr_latency_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(80));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(40_000));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 100, "p50 lands in the first bucket");
+        assert_eq!(h.quantile_us(0.99), 50_000, "p99 lands in the slow bucket");
+        assert!(h.mean_us() > 80.0 && h.mean_us() < 40_000.0);
+        // Overflow bucket reports a finite sentinel.
+        h.record(Duration::from_secs(60));
+        assert_eq!(h.quantile_us(1.0), LATENCY_BOUNDS_US[14] * 2);
+        let cumulative = h.cumulative();
+        assert_eq!(cumulative.last().unwrap(), &(u64::MAX, 101));
+        // Cumulative counts are monotone.
+        for pair in cumulative.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn render_exposes_all_series() {
+        let m = ServiceMetrics::new();
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.batches.fetch_add(2, Ordering::Relaxed);
+        m.batched_queries.fetch_add(7, Ordering::Relaxed);
+        m.latency.record(Duration::from_millis(3));
+        let text = m.render();
+        for series in [
+            "lcmsr_requests_total 5",
+            "lcmsr_queries_total 0",
+            "lcmsr_responses_ok_total",
+            "lcmsr_responses_client_error_total",
+            "lcmsr_shed_total",
+            "lcmsr_batches_total 2",
+            "lcmsr_batched_queries_total 7",
+            "lcmsr_mean_batch_size 3.500",
+            "lcmsr_queue_depth",
+            "lcmsr_latency_count 1",
+            "lcmsr_latency_p50_us",
+            "lcmsr_latency_p99_us",
+            "lcmsr_latency_bucket{le=\"+Inf\"} 1",
+        ] {
+            assert!(text.contains(series), "missing {series:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn mean_batch_size_handles_zero() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.mean_batch_size(), 0.0);
+    }
+}

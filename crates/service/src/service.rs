@@ -1,0 +1,200 @@
+//! The LCMSR service: HTTP routes glued to the micro-batching scheduler.
+//!
+//! Routes:
+//!
+//! * `POST /query` — an LCMSR query (see [`crate::api`] for the body format);
+//!   single-best without `"k"`, top-k with it.  `400` for malformed or
+//!   invalid requests (including engine-reported query errors), `503` with
+//!   `Retry-After` when the admission queue is full.
+//! * `GET /healthz` — liveness plus basic dataset/queue facts.
+//! * `GET /metrics` — Prometheus text exposition (see [`crate::metrics`]).
+
+use crate::api::{error_body, QueryRequest, QueryResponse};
+use crate::http::{self, Handler, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
+use crate::json::Json;
+use crate::metrics::ServiceMetrics;
+use crate::scheduler::{BatchConfig, JobKind, JobOutput, QueryJob, Scheduler, SubmitError};
+use lcmsr_core::engine::LcmsrEngine;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Full service configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// HTTP listener knobs.
+    pub server: ServerConfig,
+    /// Micro-batching scheduler knobs.
+    pub batch: BatchConfig,
+}
+
+/// The request handler: routes to the scheduler and metrics.
+struct ServiceHandlerInner {
+    engine: &'static LcmsrEngine<'static>,
+    scheduler: Scheduler,
+    metrics: Arc<ServiceMetrics>,
+    started: Instant,
+}
+
+impl ServiceHandlerInner {
+    fn handle_query(&self, request: &HttpRequest) -> HttpResponse {
+        let start = Instant::now();
+        let outcome = self.run_query(request);
+        match outcome {
+            Ok(body) => {
+                self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                // Only served queries enter the histogram: microsecond 503s
+                // and 400s would otherwise drag p50/p99 *down* exactly when
+                // the service is shedding — the opposite of the truth.
+                self.metrics.latency.record(start.elapsed());
+                HttpResponse::json(200, body)
+            }
+            Err(response) => response,
+        }
+    }
+
+    fn run_query(&self, request: &HttpRequest) -> Result<String, HttpResponse> {
+        let client_error = |message: String| {
+            self.metrics
+                .responses_client_error
+                .fetch_add(1, Ordering::Relaxed);
+            HttpResponse::json(400, error_body(&message))
+        };
+        let body = request
+            .body_utf8()
+            .ok_or_else(|| client_error("request body must be UTF-8".into()))?;
+        let parsed = QueryRequest::from_body(body).map_err(|e| client_error(e.message))?;
+        let query = parsed.to_query().map_err(|e| client_error(e.message))?;
+        let algorithm = parsed.to_algorithm().map_err(|e| client_error(e.message))?;
+        let kind = match parsed.k {
+            Some(k) => JobKind::TopK(k),
+            None => JobKind::Single,
+        };
+        let ticket = self
+            .scheduler
+            .submit(QueryJob {
+                query,
+                algorithm,
+                kind,
+            })
+            .map_err(|e| {
+                // Shed counting happens inside the scheduler.
+                let status = match e {
+                    SubmitError::Overloaded | SubmitError::ShuttingDown => 503,
+                };
+                HttpResponse::json(status, error_body(&e.to_string()))
+            })?;
+        // Counted only after admission, so `queries - responses` never drifts
+        // by the shed count under overload.
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        let output = ticket.wait().map_err(|e| {
+            // An engine-level failure is query-dependent (e.g. Exact over an
+            // oversized region): the client's fault, not the server's.
+            client_error(format!("query failed: {e}"))
+        })?;
+        let response = match output {
+            JobOutput::Single(result) => QueryResponse::from_single(&result),
+            JobOutput::TopK(result) => QueryResponse::from_topk(&result),
+        };
+        Ok(response.to_body())
+    }
+
+    fn handle_healthz(&self) -> HttpResponse {
+        let network = self.engine.network();
+        let body = Json::Object(vec![
+            ("status".into(), Json::String("ok".into())),
+            (
+                "uptime_s".into(),
+                Json::Number(self.started.elapsed().as_secs_f64().floor()),
+            ),
+            ("batching".into(), Json::Bool(self.scheduler.batching())),
+            (
+                "queue_depth".into(),
+                Json::Number(self.scheduler.queue_depth() as f64),
+            ),
+            (
+                "network_nodes".into(),
+                Json::Number(network.node_count() as f64),
+            ),
+            (
+                "objects".into(),
+                Json::Number(self.engine.collection().len() as f64),
+            ),
+        ]);
+        HttpResponse::json(200, body.encode())
+    }
+}
+
+impl Handler for ServiceHandlerInner {
+    fn handle(&self, request: &HttpRequest) -> HttpResponse {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/query") => self.handle_query(request),
+            ("GET", "/healthz") => self.handle_healthz(),
+            ("GET", "/metrics") => HttpResponse::text(200, self.metrics.render()),
+            ("GET", "/query") | ("POST", "/healthz") | ("POST", "/metrics") => {
+                HttpResponse::json(405, error_body("method not allowed"))
+            }
+            _ => HttpResponse::json(404, error_body("no such route")),
+        }
+    }
+}
+
+/// A running LCMSR service.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    server: ServerHandle,
+    handler: Arc<ServiceHandlerInner>,
+}
+
+impl ServiceHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The live metrics (scrape-free access for tests and benchmarks).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.handler.metrics
+    }
+
+    /// Gracefully stops the HTTP server, then drains the scheduler.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+        self.handler.scheduler.shutdown();
+    }
+
+    /// Blocks until the server stops (foreground serving).
+    pub fn wait(self) {
+        self.server.wait();
+    }
+}
+
+/// Starts serving `engine` with the given configuration.
+///
+/// The engine reference must be `'static` because handler and scheduler
+/// threads outlive the caller's stack frame; for a process-lifetime server
+/// obtain one with [`crate::leak_engine`].
+pub fn serve(
+    engine: &'static LcmsrEngine<'static>,
+    config: ServiceConfig,
+) -> std::io::Result<ServiceHandle> {
+    let metrics = Arc::new(ServiceMetrics::new());
+    let scheduler = Scheduler::start(engine, config.batch.clone(), Arc::clone(&metrics));
+    let handler = Arc::new(ServiceHandlerInner {
+        engine,
+        scheduler,
+        metrics,
+        started: Instant::now(),
+    });
+    let server = http::start(&config.server, Arc::clone(&handler) as Arc<dyn Handler>)?;
+    Ok(ServiceHandle { server, handler })
+}
+
+impl std::fmt::Debug for ServiceHandlerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandlerInner")
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,418 @@
+//! End-to-end tests against a live server: spawned on an OS-assigned port,
+//! queried over real sockets by concurrent clients, answers compared
+//! bit-identically against direct engine calls on the same dataset.
+
+use lcmsr_core::engine::{Algorithm, LcmsrEngine};
+use lcmsr_core::{LcmsrQuery, TgenParams};
+use lcmsr_geotext::collection::ObjectCollection;
+use lcmsr_geotext::object::GeoTextObject;
+use lcmsr_roadnet::builder::GraphBuilder;
+use lcmsr_roadnet::geo::{Point, Rect};
+use lcmsr_service::http::ServerConfig;
+use lcmsr_service::scheduler::BatchConfig;
+use lcmsr_service::service::{serve, ServiceConfig, ServiceHandle};
+use lcmsr_service::{leak_engine, HttpClient, QueryRequest, QueryResponse, RegionDto};
+use std::time::Duration;
+
+/// A 6×6 grid city with a restaurant cluster and scattered cafes, leaked for
+/// the process-lifetime engine the service needs.
+fn leaked_city() -> &'static LcmsrEngine<'static> {
+    let mut b = GraphBuilder::new();
+    let mut ids = Vec::new();
+    for y in 0..6 {
+        for x in 0..6 {
+            ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+        }
+    }
+    for y in 0..6 {
+        for x in 0..6 {
+            let i = y * 6 + x;
+            if x < 5 {
+                b.add_edge(ids[i], ids[i + 1], 100.0).unwrap();
+            }
+            if y < 5 {
+                b.add_edge(ids[i], ids[i + 6], 100.0).unwrap();
+            }
+        }
+    }
+    let network = b.build().unwrap();
+    let mut objects = Vec::new();
+    let mut oid = 0u64;
+    for &(x, y) in &[(10.0, 10.0), (110.0, 10.0), (10.0, 110.0), (210.0, 110.0)] {
+        objects.push(GeoTextObject::from_keywords(
+            oid,
+            Point::new(x, y),
+            ["restaurant", "italian"],
+        ));
+        oid += 1;
+    }
+    for &(x, y) in &[(410.0, 410.0), (510.0, 310.0), (310.0, 510.0)] {
+        objects.push(GeoTextObject::from_keywords(
+            oid,
+            Point::new(x, y),
+            ["cafe"],
+        ));
+        oid += 1;
+    }
+    let collection = ObjectCollection::build(&network, objects, 200.0).unwrap();
+    leak_engine(network, collection)
+}
+
+fn serve_city(engine: &'static LcmsrEngine<'static>, batch: BatchConfig) -> ServiceHandle {
+    serve(
+        engine,
+        ServiceConfig {
+            server: ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                http_workers: 8,
+                max_body_bytes: 64 * 1024,
+                ..ServerConfig::default()
+            },
+            batch,
+        },
+    )
+    .expect("service must start")
+}
+
+fn request_for(keywords: &[&str], budget: f64, k: Option<usize>) -> QueryRequest {
+    QueryRequest {
+        algorithm: "tgen".into(),
+        keywords: keywords.iter().map(|s| s.to_string()).collect(),
+        rect: Rect::new(-50.0, -50.0, 560.0, 560.0),
+        budget,
+        k,
+        alpha: Some(1.0),
+        beta: None,
+        mu: None,
+    }
+}
+
+#[test]
+fn served_answers_are_bit_identical_to_direct_engine_calls() {
+    let engine = leaked_city();
+    let service = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(5),
+            queue_capacity: 256,
+            batch_workers: 2,
+        },
+    );
+    let addr = service.addr();
+
+    // Concurrent clients mixing single and top-k queries; every response must
+    // equal the direct engine call on the same dataset, bit for bit.
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                let keywords: &[&str] = if t % 2 == 0 {
+                    &["restaurant"]
+                } else {
+                    &["cafe", "restaurant"]
+                };
+                for i in 0..6 {
+                    let budget = 150.0 + (i as f64) * 90.0;
+                    let k = if i % 3 == 2 { Some(3) } else { None };
+                    let request = request_for(keywords, budget, k);
+                    let (status, body) = client.post("/query", &request.to_body()).unwrap();
+                    assert_eq!(status, 200, "{body}");
+                    let response = QueryResponse::from_body(&body).unwrap();
+
+                    let query = LcmsrQuery::new(
+                        keywords.iter().map(|s| s.to_string()),
+                        budget,
+                        request.rect,
+                    )
+                    .unwrap();
+                    let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+                    let expected: Vec<RegionDto> = match k {
+                        None => engine
+                            .run(&query, &algorithm)
+                            .unwrap()
+                            .region
+                            .iter()
+                            .map(RegionDto::from_region)
+                            .collect(),
+                        Some(k) => engine
+                            .run_topk(&query, &algorithm, k)
+                            .unwrap()
+                            .regions
+                            .iter()
+                            .map(RegionDto::from_region)
+                            .collect(),
+                    };
+                    assert_eq!(
+                        response.regions, expected,
+                        "client {t} query {i} (budget {budget}, k {k:?}) diverged"
+                    );
+                    assert_eq!(response.stats.algorithm, "TGEN");
+                    assert!(
+                        response.stats.prepare_ns + response.stats.solve_ns
+                            <= response.stats.elapsed_ns
+                    );
+                }
+            });
+        }
+    });
+
+    // The scheduler actually batched: with 6 concurrent closed-loop clients
+    // some dispatches must have carried more than one query.
+    let metrics = service.metrics();
+    let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let batched = metrics
+        .batched_queries
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(batched, 36, "every query must flow through the scheduler");
+    assert!(batches >= 1);
+    service.shutdown();
+}
+
+#[test]
+fn queue_wait_is_reported_in_served_stats() {
+    let engine = leaked_city();
+    let service = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 16,
+            // A long window guarantees a measurable queue wait for a lone query.
+            max_delay: Duration::from_millis(40),
+            queue_capacity: 64,
+            batch_workers: 1,
+        },
+    );
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let (status, body) = client
+        .post(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let response = QueryResponse::from_body(&body).unwrap();
+    assert!(
+        response.stats.queue_ns >= 10_000_000,
+        "a lone query waits out the batching window, got {} ns",
+        response.stats.queue_ns
+    );
+    service.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_503() {
+    let engine = leaked_city();
+    let service = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 64,
+            // The dispatcher holds the first request for 500 ms, so the tiny
+            // queue is saturated while the burst arrives.
+            max_delay: Duration::from_millis(500),
+            queue_capacity: 2,
+            batch_workers: 1,
+        },
+    );
+    let addr = service.addr();
+    let outcomes: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    let (status, _body) = client
+                        .post(
+                            "/query",
+                            &request_for(&["restaurant"], 300.0, None).to_body(),
+                        )
+                        .unwrap();
+                    status
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = outcomes.iter().filter(|&&s| s == 200).count();
+    let shed = outcomes.iter().filter(|&&s| s == 503).count();
+    assert_eq!(ok + shed, 6, "only 200s and 503s, got {outcomes:?}");
+    assert!(
+        (1..=2).contains(&ok),
+        "queue capacity bounds admissions: {outcomes:?}"
+    );
+    assert!(shed >= 4, "the overflow must be shed: {outcomes:?}");
+    assert_eq!(
+        service
+            .metrics()
+            .shed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        shed as u64
+    );
+    service.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_clean_400s() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+
+    // Garbage JSON.
+    let (status, body) = client.post("/query", "this is not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"));
+    // Valid JSON, wrong shape.
+    let (status, _) = client.post("/query", "[1,2,3]").unwrap();
+    assert_eq!(status, 400);
+    // Missing fields.
+    let (status, body) = client.post("/query", r#"{"algorithm":"tgen"}"#).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("keywords"), "{body}");
+    // Semantically invalid query (negative budget).
+    let (status, _) = client
+        .post(
+            "/query",
+            &request_for(&["restaurant"], -5.0, None).to_body(),
+        )
+        .unwrap();
+    assert_eq!(status, 400);
+    // Unknown algorithm.
+    let mut bad = request_for(&["restaurant"], 300.0, None);
+    bad.algorithm = "quantum".into();
+    let (status, body) = client.post("/query", &bad.to_body()).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("quantum"), "{body}");
+    // Unknown route and wrong method.
+    assert_eq!(client.get("/nope").unwrap().0, 404);
+    assert_eq!(client.get("/query").unwrap().0, 405);
+
+    // The connection and the server both survived all of the above.
+    let (status, body) = client
+        .post(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let errors = service
+        .metrics()
+        .responses_client_error
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(errors, 5);
+    service.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_refused() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    // 64 KiB limit in the fixture; send ~200 KiB of keywords.
+    let mut request = request_for(&["restaurant"], 300.0, None);
+    request.keywords = (0..20_000).map(|i| format!("kw{i}")).collect();
+    let body = request.to_body();
+    assert!(body.len() > 64 * 1024);
+    let (status, message) = client.post("/query", &body).unwrap();
+    assert_eq!(status, 400, "{message}");
+    assert!(message.contains("exceeds"), "{message}");
+    service.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_expose_service_state() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    let health = lcmsr_service::json::parse(&body).unwrap();
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{body}"
+    );
+    assert_eq!(
+        health.get("network_nodes").and_then(|v| v.as_u64()),
+        Some(36)
+    );
+    assert_eq!(health.get("batching").and_then(|v| v.as_bool()), Some(true));
+
+    // Run a couple of queries, then check the counters moved.
+    for _ in 0..3 {
+        let (status, _) = client
+            .post("/query", &request_for(&["cafe"], 300.0, Some(2)).to_body())
+            .unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, metrics_text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "lcmsr_requests_total",
+        "lcmsr_queries_total 3",
+        "lcmsr_responses_ok_total 3",
+        "lcmsr_batches_total",
+        "lcmsr_mean_batch_size",
+        "lcmsr_queue_depth",
+        "lcmsr_latency_p50_us",
+        "lcmsr_latency_p99_us",
+        "lcmsr_latency_bucket{le=\"+Inf\"} 3",
+    ] {
+        assert!(
+            metrics_text.contains(needle),
+            "missing {needle:?} in:\n{metrics_text}"
+        );
+    }
+    service.shutdown();
+}
+
+#[test]
+fn unbatched_baseline_mode_serves_identically() {
+    let engine = leaked_city();
+    let batched = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(3),
+            queue_capacity: 64,
+            batch_workers: 2,
+        },
+    );
+    let baseline = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 1, // per-request engine calls, no dispatcher
+            max_delay: Duration::ZERO,
+            queue_capacity: 64,
+            batch_workers: 1,
+        },
+    );
+    let mut batched_client = HttpClient::connect(batched.addr()).unwrap();
+    let mut baseline_client = HttpClient::connect(baseline.addr()).unwrap();
+    for budget in [150.0, 300.0, 450.0] {
+        let body = request_for(&["restaurant", "cafe"], budget, Some(2)).to_body();
+        let (sa, ba) = batched_client.post("/query", &body).unwrap();
+        let (sb, bb) = baseline_client.post("/query", &body).unwrap();
+        assert_eq!((sa, sb), (200, 200));
+        let ra = QueryResponse::from_body(&ba).unwrap();
+        let rb = QueryResponse::from_body(&bb).unwrap();
+        assert_eq!(ra.regions, rb.regions, "budget {budget}");
+        assert_eq!(rb.stats.queue_ns, 0, "baseline mode never queues");
+    }
+    batched.shutdown();
+    baseline.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_refuses_new_connections() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let addr = service.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+    service.shutdown();
+    // After shutdown the port no longer answers.
+    let refused = HttpClient::connect(addr).is_err()
+        || HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/healthz"))
+            .is_err();
+    assert!(refused, "server must stop answering after shutdown");
+}

@@ -20,7 +20,10 @@
 //!   lists over a paged B⁺-tree,
 //! * [`datagen`] — synthetic NY-like / USANW-like data sets and query workloads,
 //! * [`core`] — the LCMSR algorithms: APP (5+ε approximation), TGEN, Greedy,
-//!   their top-k variants, an exact reference solver and the MaxRS baseline.
+//!   their top-k variants, an exact reference solver and the MaxRS baseline,
+//! * [`service`] — a concurrent HTTP serving subsystem: micro-batching
+//!   scheduler over `run_batch`, hand-rolled JSON codec, `/healthz` and
+//!   `/metrics`.
 //!
 //! # Quick start
 //!
@@ -47,6 +50,7 @@ pub use lcmsr_core as core;
 pub use lcmsr_datagen as datagen;
 pub use lcmsr_geotext as geotext;
 pub use lcmsr_roadnet as roadnet;
+pub use lcmsr_service as service;
 
 /// One-stop re-exports for applications.
 pub mod prelude {
@@ -54,4 +58,7 @@ pub mod prelude {
     pub use lcmsr_datagen::prelude::*;
     pub use lcmsr_geotext::prelude::*;
     pub use lcmsr_roadnet::prelude::*;
+    pub use lcmsr_service::{
+        leak_engine, serve, BatchConfig, HttpClient, QueryRequest, QueryResponse, ServiceConfig,
+    };
 }

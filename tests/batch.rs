@@ -206,7 +206,24 @@ fn batch_stats_split_prepare_and_solve_consistently() {
             s.solve_time,
             s.elapsed
         );
+        assert_eq!(
+            s.queue_time,
+            std::time::Duration::ZERO,
+            "direct batch paths never queue"
+        );
         assert_eq!(s.algorithm, "TGEN");
         assert!(s.nodes_in_region > 0);
     }
+    // The one-shot paths report zero queue wait too — only a serving
+    // front-end's scheduler fills queue_time in.
+    let single = engine
+        .run(&queries[0], &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+        .unwrap();
+    assert_eq!(single.stats.queue_time, std::time::Duration::ZERO);
+    assert!(single.stats.prepare_time + single.stats.solve_time <= single.stats.elapsed);
+    let topk = engine
+        .run_topk(&queries[0], &Algorithm::Tgen(TgenParams { alpha: 1.0 }), 2)
+        .unwrap();
+    assert_eq!(topk.stats.queue_time, std::time::Duration::ZERO);
+    assert!(topk.stats.prepare_time + topk.stats.solve_time <= topk.stats.elapsed);
 }
