@@ -67,10 +67,7 @@ fn main() {
     // The strict speedup gate re-measures once before failing: on shared CI
     // runners a noisy neighbour can depress a single measurement window.
     let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
-    let min_speedup = std::env::var("LCMSR_BENCH_MIN_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
+    let min_speedup = env_f64("LCMSR_BENCH_MIN_SPEEDUP", 2.0);
     let mut sequential_regions = Vec::new();
     let mut batched_regions = Vec::new();
     let mut seq_secs = 0.0;

@@ -123,10 +123,7 @@ fn main() {
     };
 
     let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
-    let min_speedup: f64 = std::env::var("LCMSR_BENCH_MIN_SERVICE_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+    let min_speedup = env_f64("LCMSR_BENCH_MIN_SERVICE_SPEEDUP", 1.0);
 
     let mut baseline_secs = f64::INFINITY;
     let mut batched_secs = f64::INFINITY;

@@ -1,5 +1,5 @@
-//! Solve-phase benchmark: the TGEN edge-combine loop over arena-backed
-//! region tuples — the hot path PR 3's `TupleArena` refactor targets.
+//! Solve-phase benchmark: the TGEN edge-combine loop — the hot path PR 3's
+//! `TupleArena` refactor and PR 5's budget-pruned flat tuple arrays target.
 //!
 //! Like `batch_throughput` this is a plain harness emitting a
 //! machine-readable `BENCH_solve.json` (path overridable via
@@ -10,21 +10,28 @@
 //!   queries (the steady state every pooled workspace reaches),
 //! * **solve fresh** — `run_tgen` with a brand-new arena per query (the cost
 //!   a one-shot caller pays before any capacity has grown),
-//! * arena activity: blocks allocated, free-list hits and top-of-slab
-//!   rollbacks per query — how many combine products were recycled instead of
-//!   becoming garbage.
+//! * **solve baseline** — `run_tgen_baseline`, the PR 3/4 combine loop
+//!   (`BTreeMap` arrays, every pair materialised then feasibility-checked)
+//!   with a warm arena: the apples-to-apples predecessor the frontier loop
+//!   must beat,
+//! * combine-loop effectiveness: pairs budget-pruned without materialisation,
+//!   array sizes (which must never exceed the baseline's), and arena
+//!   activity.
 //!
 //! Knobs: `LCMSR_SCALE` (dataset size, default `tiny`), `LCMSR_SOLVE_QUERIES`
 //! (default 32), `LCMSR_SOLVE_ROUNDS` (default 3).  With `LCMSR_BENCH_STRICT`
 //! set the run fails when warm-arena solving is slower than
 //! `LCMSR_BENCH_MIN_SOLVE_SPEEDUP` (default 1.0) times the fresh-arena path,
-//! re-measuring once to derisk noisy neighbours; results must always be
-//! bit-identical between the two paths.
+//! or when the combine loop is slower than `LCMSR_BENCH_MIN_COMBINE_SPEEDUP`
+//! (default 1.0) times the baseline loop; both re-measure once to derisk
+//! noisy neighbours.  Results must always be bit-identical across all three
+//! paths, and the per-node array footprint must never exceed the baseline's
+//! — the dominance/size gate CI holds the line with.
 
 use lcmsr_bench::*;
 use lcmsr_core::arena::TupleArena;
 use lcmsr_core::prelude::*;
-use lcmsr_core::tgen::run_tgen;
+use lcmsr_core::tgen::{run_tgen, run_tgen_baseline};
 
 /// Fingerprint of one solve outcome: exact measures of the best tuple plus
 /// its global node ids, enough to detect any divergence bit for bit.
@@ -74,21 +81,25 @@ fn main() {
         .collect();
 
     let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
-    let min_speedup: f64 = std::env::var("LCMSR_BENCH_MIN_SOLVE_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+    let min_speedup = env_f64("LCMSR_BENCH_MIN_SOLVE_SPEEDUP", 1.0);
+    let min_combine_speedup = env_f64("LCMSR_BENCH_MIN_COMBINE_SPEEDUP", 1.0);
 
-    // Warm one arena to its high-water capacity, and collect the reference
-    // fingerprints plus arena activity for the steady state.
+    // Warm one arena to its high-water capacity, collect the reference
+    // fingerprints plus frontier/arena activity for the steady state.
     let mut warm = TupleArena::new();
     let mut reference = Vec::new();
     let mut tuples_total = 0u64;
+    let mut pruned_total = 0u64;
+    let mut frontier_total = 0u64;
+    let mut frontier_peak = 0u64;
     let stats_before = warm.stats();
     for g in &graphs {
         warm.reset();
         let outcome = run_tgen(g, &mut warm, &tgen).expect("tgen");
         tuples_total += outcome.tuples_generated;
+        pruned_total += outcome.pruned_pairs;
+        frontier_total += outcome.frontier_tuples;
+        frontier_peak = frontier_peak.max(outcome.frontier_peak);
         reference.push(fingerprint(g, &warm, &outcome));
     }
     let stats_after = warm.stats();
@@ -98,11 +109,32 @@ fn main() {
     let recycled_per_query = recycled as f64 / graphs.len() as f64;
     let slab_kib = warm.storage_capacity() as f64 * 4.0 / 1024.0;
 
-    // The strict gate re-measures once before failing: on shared CI runners a
+    // The PR 3/4 baseline loop on the same workload: results must be
+    // bit-identical, and the flat per-scaled arrays must never hold more
+    // tuples than the BTreeMap arrays did (they hold exactly as many; the
+    // frontier arrays inside `findOptTree` hold fewer) — this is the
+    // "array-size counter" gate CI tracks.
+    let mut baseline_arena = TupleArena::new();
+    let mut baseline_tuples_total = 0u64;
+    let mut baseline_array_total = 0u64;
+    let mut baseline_identical = true;
+    for (g, expect) in graphs.iter().zip(&reference) {
+        baseline_arena.reset();
+        let outcome = run_tgen_baseline(g, &mut baseline_arena, &tgen).expect("tgen baseline");
+        baseline_tuples_total += outcome.tuples_generated;
+        baseline_array_total += outcome.frontier_tuples;
+        if &fingerprint(g, &baseline_arena, &outcome) != expect {
+            baseline_identical = false;
+        }
+    }
+
+    // The strict gates re-measure once before failing: on shared CI runners a
     // noisy neighbour can depress a single measurement window.
     let mut reused_secs = 0.0;
     let mut fresh_secs = 0.0;
+    let mut baseline_secs = 0.0;
     let mut speedup = 0.0;
+    let mut combine_speedup = 0.0;
     for attempt in 0..2 {
         reused_secs = best_secs(rounds, || {
             for g in &graphs {
@@ -116,13 +148,21 @@ fn main() {
                 let _ = run_tgen(g, &mut arena, &tgen).expect("tgen");
             }
         }) / graphs.len() as f64;
+        baseline_secs = best_secs(rounds, || {
+            for g in &graphs {
+                baseline_arena.reset();
+                let _ = run_tgen_baseline(g, &mut baseline_arena, &tgen).expect("tgen baseline");
+            }
+        }) / graphs.len() as f64;
         speedup = fresh_secs / reused_secs.max(1e-12);
-        if !strict || speedup >= min_speedup {
+        combine_speedup = baseline_secs / reused_secs.max(1e-12);
+        if !strict || (speedup >= min_speedup && combine_speedup >= min_combine_speedup) {
             break;
         }
         if attempt == 0 {
             eprintln!(
-                "  solve speedup {speedup:.2}x below {min_speedup:.2}x target; re-measuring once"
+                "  speedups {speedup:.2}x / {combine_speedup:.2}x below targets \
+                 {min_speedup:.2}x / {min_combine_speedup:.2}x; re-measuring once"
             );
         }
     }
@@ -138,6 +178,10 @@ fn main() {
     }
 
     let tuples_per_query = tuples_total as f64 / graphs.len() as f64;
+    let pruned_per_query = pruned_total as f64 / graphs.len() as f64;
+    let frontier_per_query = frontier_total as f64 / graphs.len() as f64;
+    let baseline_array_per_query = baseline_array_total as f64 / graphs.len() as f64;
+    let baseline_tuples_per_query = baseline_tuples_total as f64 / graphs.len() as f64;
     let tuples_per_sec = tuples_per_query / reused_secs.max(1e-12);
     println!(
         "solve_phase (scale {scale:?}, {} queries, TGEN α {alpha:.1})",
@@ -149,33 +193,55 @@ fn main() {
         fresh_secs * 1e6
     );
     println!(
-        "  combine loop    : {:>10.0} tuples/query, {:.2} M tuples/s",
-        tuples_per_query,
-        tuples_per_sec / 1e6
+        "  solve baseline  : {:>10.1} µs/query  ({combine_speedup:.2}x, PR 3/4 loop)",
+        baseline_secs * 1e6
+    );
+    println!(
+        "  combine loop    : {:>10.0} materialised + {:>8.0} pruned pairs/query (baseline materialised {:.0})",
+        tuples_per_query, pruned_per_query, baseline_tuples_per_query
+    );
+    println!(
+        "  arrays          : {:>10.0} tuples/query resident (baseline {:.0}), peak {frontier_peak}",
+        frontier_per_query, baseline_array_per_query
     );
     println!(
         "  arena           : {allocs_per_query:.0} blocks/query, {recycled_per_query:.0} recycled/query, slab {slab_kib:.1} KiB"
     );
-    println!("  results identical: {identical}");
+    println!("  results identical: {identical} (baseline: {baseline_identical})");
 
     assert!(
         identical,
         "fresh-arena results must be identical to warm-arena output"
+    );
+    assert!(
+        baseline_identical,
+        "frontier combine loop must produce bit-identical results to the PR 3/4 baseline"
+    );
+    assert!(
+        frontier_total <= baseline_array_total,
+        "per-node arrays must never hold more tuples than the pre-frontier baseline \
+         ({frontier_total} > {baseline_array_total})"
     );
     if strict {
         assert!(
             speedup >= min_speedup,
             "warm-arena solve speedup {speedup:.2}x below the {min_speedup:.2}x floor"
         );
+        assert!(
+            combine_speedup >= min_combine_speedup,
+            "combine-loop speedup {combine_speedup:.2}x over the PR 3/4 baseline is below \
+             the {min_combine_speedup:.2}x floor"
+        );
     }
 
     let out_path =
         std::env::var("LCMSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_solve.json".to_string());
     let json = format!(
-        "{{\n  \"bench\": \"solve_phase\",\n  \"scale\": \"{scale:?}\",\n  \"queries\": {},\n  \"tgen_alpha\": {alpha:.3},\n  \"solve_reused_us_per_query\": {:.3},\n  \"solve_fresh_us_per_query\": {:.3},\n  \"reuse_speedup\": {speedup:.4},\n  \"tuples_per_query\": {tuples_per_query:.1},\n  \"tuples_per_sec\": {tuples_per_sec:.0},\n  \"arena_blocks_per_query\": {allocs_per_query:.1},\n  \"arena_recycled_per_query\": {recycled_per_query:.1},\n  \"arena_slab_kib\": {slab_kib:.1},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"solve_phase\",\n  \"scale\": \"{scale:?}\",\n  \"queries\": {},\n  \"tgen_alpha\": {alpha:.3},\n  \"solve_reused_us_per_query\": {:.3},\n  \"solve_fresh_us_per_query\": {:.3},\n  \"solve_baseline_us_per_query\": {:.3},\n  \"reuse_speedup\": {speedup:.4},\n  \"combine_speedup\": {combine_speedup:.4},\n  \"tuples_per_query\": {tuples_per_query:.1},\n  \"pruned_pairs_per_query\": {pruned_per_query:.1},\n  \"baseline_tuples_per_query\": {baseline_tuples_per_query:.1},\n  \"frontier_tuples_per_query\": {frontier_per_query:.1},\n  \"baseline_array_tuples_per_query\": {baseline_array_per_query:.1},\n  \"frontier_peak\": {frontier_peak},\n  \"tuples_per_sec\": {tuples_per_sec:.0},\n  \"arena_blocks_per_query\": {allocs_per_query:.1},\n  \"arena_recycled_per_query\": {recycled_per_query:.1},\n  \"arena_slab_kib\": {slab_kib:.1},\n  \"identical_results\": {identical},\n  \"baseline_identical\": {baseline_identical}\n}}\n",
         graphs.len(),
         reused_secs * 1e6,
         fresh_secs * 1e6,
+        baseline_secs * 1e6,
     );
     std::fs::write(&out_path, json).expect("write BENCH_solve.json");
     println!("  wrote {out_path}");

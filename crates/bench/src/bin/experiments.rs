@@ -14,7 +14,9 @@
 //! `fig13_14`, `fig15`, `fig16`, `fig17_19`, `sec7_5`, `fig21_22`, `all` —
 //! plus `serve`, which starts the `lcmsr_service` HTTP front-end over the
 //! synthetic NY dataset (flags: `--addr`, `--max-batch`, `--max-delay-ms`,
-//! `--queue-capacity`, `--http-workers`).  Engine worker counts honour
+//! `--queue-capacity`, `--http-workers`), and `dump`, which renders the
+//! bit-exact golden-region snapshot (`--out FILE`, default stdout) that
+//! `tests/golden/` pins.  Engine worker counts honour
 //! `--workers N` / `LCMSR_WORKERS` everywhere they apply (the `table1`
 //! batched-workload line and the serve scheduler alike).
 //! Absolute numbers differ from the paper (synthetic data, reduced scale);
@@ -31,6 +33,10 @@ fn main() {
     let workers = take_workers_flag(&mut args).unwrap_or_else(workers_from_env);
     if args.first().map(String::as_str) == Some("serve") {
         serve_command(&args[1..], workers);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("dump") {
+        dump_command(&args[1..]);
         return;
     }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -100,6 +106,28 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         }
     }
     None
+}
+
+/// `dump`: render the bit-exact golden-region dump (TGEN/APP/Greedy, single +
+/// top-3, deterministic NY workload) to stdout or `--out FILE`.  The committed
+/// snapshot under `tests/golden/` is regenerated with exactly this command;
+/// `tests/golden_regions.rs` and the CI `golden-regions` job compare against
+/// it byte for byte.
+fn dump_command(args: &[String]) {
+    let scale = scale_from_env();
+    let dataset = ny_dataset(scale);
+    let dump = render_golden_dump(&dataset);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &dump).expect("write golden dump");
+            eprintln!(
+                "# wrote {} lines ({} bytes) to {path}",
+                dump.lines().count(),
+                dump.len()
+            );
+        }
+        None => print!("{dump}"),
+    }
 }
 
 /// `serve`: load/generate a dataset and serve it over HTTP until killed.

@@ -22,6 +22,15 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Reads an `f64` knob from the environment (bench gate thresholds),
+/// falling back to `default`.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Best-of-`rounds` wall-clock seconds for `f` (the plain-harness benches
 /// gate on this; best-of smooths scheduler noise better than a mean).
 pub fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
@@ -174,6 +183,102 @@ pub fn default_tgen_alpha(dataset: &Dataset, queries: &[LcmsrQuery]) -> f64 {
 /// A similar helper for APP's α: the paper's default 0.5 works at any scale.
 pub fn default_app_params() -> AppParams {
     AppParams::default()
+}
+
+/// The deterministic golden workload: the exact query set the committed
+/// golden-region snapshot under `tests/golden/` was rendered from (the same
+/// 32-query tiny-NY workload the `solve_phase` bench tracks).  Any change to
+/// this function invalidates the snapshot — regenerate it with
+/// `experiments dump` and explain the regeneration in the commit.
+pub fn golden_workload(dataset: &Dataset) -> Vec<LcmsrQuery> {
+    let params = dataset.default_query_params(2024);
+    make_workload(
+        dataset,
+        32,
+        params.num_keywords,
+        params.area_km2,
+        params.delta_km,
+        2024,
+    )
+}
+
+/// Renders one region as a fully bit-exact golden line: measures as raw IEEE
+/// bit patterns (hex) plus the sorted global node and edge ids.  Any change
+/// anywhere in the pipeline — scoring, scaling, solver tie-breaks — shows up
+/// as a byte diff.
+fn golden_region_line(out: &mut String, region: &lcmsr_core::region::Region) {
+    use std::fmt::Write;
+    write!(
+        out,
+        "scaled={} weight={:016x} length={:016x} nodes=",
+        region.scaled_weight,
+        region.weight.to_bits(),
+        region.length.to_bits()
+    )
+    .unwrap();
+    for (i, n) in region.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}", n.0).unwrap();
+    }
+    out.push_str(" edges=");
+    for (i, e) in region.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{}", e.0).unwrap();
+    }
+    out.push('\n');
+}
+
+/// Renders the full golden-region dump for a dataset: for every query of
+/// [`golden_workload`] and each of TGEN, APP and Greedy, the single best
+/// region (`run`) and the top-3 regions (`run_topk`), one line per region,
+/// bit-exact.  Committed under `tests/golden/` and compared byte-for-byte by
+/// `tests/golden_regions.rs` and the CI `golden-regions` job — this replaces
+/// the ad-hoc cross-worktree diffs earlier PRs did by hand.
+pub fn render_golden_dump(dataset: &Dataset) -> String {
+    use std::fmt::Write;
+    let queries = golden_workload(dataset);
+    let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+    let tgen_alpha = default_tgen_alpha(dataset, &queries);
+    let algorithms = [
+        ("TGEN", Algorithm::Tgen(TgenParams { alpha: tgen_alpha })),
+        ("APP", Algorithm::App(AppParams::default())),
+        ("Greedy", Algorithm::Greedy(GreedyParams::default())),
+    ];
+    let mut out = String::new();
+    // The header records the dataset scale so a snapshot regenerated under a
+    // stray `LCMSR_SCALE` fails the diff on its *first* line with the cause
+    // spelled out, instead of producing an inscrutable whole-file divergence.
+    writeln!(
+        out,
+        "# golden regions: NY-like synthetic dataset, scale={:?}, {} queries, tgen_alpha={:016x}",
+        dataset.config.scale,
+        queries.len(),
+        tgen_alpha.to_bits()
+    )
+    .unwrap();
+    for (name, algorithm) in &algorithms {
+        for (qi, query) in queries.iter().enumerate() {
+            let single = engine.run(query, algorithm).expect("golden run");
+            write!(out, "{name} q{qi:02} single ").unwrap();
+            match &single.region {
+                Some(region) => golden_region_line(&mut out, region),
+                None => out.push_str("(none)\n"),
+            }
+            let topk = engine.run_topk(query, algorithm, 3).expect("golden topk");
+            if topk.regions.is_empty() {
+                writeln!(out, "{name} q{qi:02} top3 (none)").unwrap();
+            }
+            for (r, region) in topk.regions.iter().enumerate() {
+                write!(out, "{name} q{qi:02} top3 r{r} ").unwrap();
+                golden_region_line(&mut out, region);
+            }
+        }
+    }
+    out
 }
 
 /// Measured outcome of one algorithm on one query.

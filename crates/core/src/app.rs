@@ -104,8 +104,17 @@ pub struct AppOutcome {
     pub trace: Vec<BinarySearchStep>,
     /// Number of k-MST oracle invocations.
     pub kmst_calls: u64,
-    /// Tuples generated by `findOptTree` (0 when the tree was already feasible).
+    /// Tuples materialised by `findOptTree` (0 when the tree was already feasible).
     pub dp_tuples: u64,
+    /// Combine pairs `findOptTree` skipped via the frontier's length-budget
+    /// `partition_point` (0 when the tree was already feasible).
+    pub dp_pruned_pairs: u64,
+    /// Tuples resident across the candidate tree's final arrays.
+    pub frontier_tuples: u64,
+    /// Largest single tuple array of the candidate tree.
+    pub frontier_peak: u64,
+    /// Array entries evicted by dominating inserts during the DP.
+    pub dominance_evictions: u64,
     /// The tuple arrays of the candidate tree (present only when `findOptTree`
     /// ran; used by the top-k extension).
     pub tree_arrays: Option<OptTreeResult>,
@@ -209,6 +218,10 @@ pub fn run_app(
             trace: Vec::new(),
             kmst_calls: 0,
             dp_tuples: 0,
+            dp_pruned_pairs: 0,
+            frontier_tuples: 0,
+            frontier_peak: 0,
+            dominance_evictions: 0,
             tree_arrays: None,
         });
     }
@@ -239,6 +252,10 @@ pub fn run_app(
             trace,
             kmst_calls,
             dp_tuples: 0,
+            dp_pruned_pairs: 0,
+            frontier_tuples: 0,
+            frontier_peak: 0,
+            dominance_evictions: 0,
             tree_arrays: None,
         });
     };
@@ -251,16 +268,25 @@ pub fn run_app(
             trace,
             kmst_calls,
             dp_tuples: 0,
+            dp_pruned_pairs: 0,
+            frontier_tuples: 0,
+            frontier_peak: 0,
+            dominance_evictions: 0,
             tree_arrays: None,
         });
     }
     let dp = find_opt_tree(graph, arena, &candidate);
+    let (frontier_tuples, frontier_peak, dominance_evictions) = dp.frontier_stats();
     Ok(AppOutcome {
         best: dp.best,
         candidate_tree: Some(candidate),
         trace,
         kmst_calls,
         dp_tuples: dp.tuples_generated,
+        dp_pruned_pairs: dp.pruned_pairs,
+        frontier_tuples,
+        frontier_peak,
+        dominance_evictions,
         tree_arrays: Some(dp),
     })
 }

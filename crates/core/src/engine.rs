@@ -361,11 +361,19 @@ impl<'a> LcmsrEngine<'a> {
                 let outcome = run_app(&graph, arena, params)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.dp_tuples;
+                stats.pruned_pairs = outcome.dp_pruned_pairs;
+                stats.frontier_tuples = outcome.frontier_tuples;
+                stats.frontier_peak = outcome.frontier_peak;
+                stats.dominance_evictions = outcome.dominance_evictions;
                 Ok(outcome.best)
             }
             Algorithm::Tgen(params) => {
                 let outcome = run_tgen(&graph, arena, params)?;
                 stats.tuples_generated = outcome.tuples_generated;
+                stats.pruned_pairs = outcome.pruned_pairs;
+                stats.frontier_tuples = outcome.frontier_tuples;
+                stats.frontier_peak = outcome.frontier_peak;
+                stats.dominance_evictions = outcome.dominance_evictions;
                 Ok(outcome.best)
             }
             Algorithm::Greedy(params) => {
@@ -429,11 +437,19 @@ impl<'a> LcmsrEngine<'a> {
                 let outcome = topk_app(&graph, arena, params, k)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.tuples_generated;
+                stats.pruned_pairs = outcome.pruned_pairs;
+                stats.frontier_tuples = outcome.frontier_tuples;
+                stats.frontier_peak = outcome.frontier_peak;
+                stats.dominance_evictions = outcome.dominance_evictions;
                 Ok(outcome.tuples)
             }
             Algorithm::Tgen(params) => {
                 let outcome = topk_tgen(&graph, arena, params, k)?;
                 stats.tuples_generated = outcome.tuples_generated;
+                stats.pruned_pairs = outcome.pruned_pairs;
+                stats.frontier_tuples = outcome.frontier_tuples;
+                stats.frontier_peak = outcome.frontier_peak;
+                stats.dominance_evictions = outcome.dominance_evictions;
                 Ok(outcome.tuples)
             }
             Algorithm::Greedy(params) => {
@@ -1170,6 +1186,62 @@ mod tests {
             greedy.stats.greedy_steps > 0,
             "top-k Greedy must count steps"
         );
+    }
+
+    #[test]
+    fn frontier_counters_reach_run_stats() {
+        // The PR 5 counters must flow from the solvers through the engine on
+        // both the single and top-k paths, for TGEN and APP alike.
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant", "cafe"], 300.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::App(AppParams::default()),
+        ] {
+            let single = engine.run(&query, &algorithm).unwrap().stats;
+            // APP skips `findOptTree` (and its arrays) when the candidate
+            // tree is already feasible — counters then legitimately stay 0,
+            // flagged by tuples_generated being 0 too.
+            if single.tuples_generated > 0 {
+                assert!(
+                    single.frontier_tuples > 0,
+                    "{}: frontier_tuples must be counted",
+                    algorithm.name()
+                );
+                assert!(single.frontier_peak > 0, "{}", algorithm.name());
+                assert!(
+                    single.frontier_peak <= single.frontier_tuples,
+                    "{}: peak cannot exceed the total",
+                    algorithm.name()
+                );
+            }
+            let tgen_like = matches!(algorithm, Algorithm::Tgen(_));
+            if tgen_like {
+                assert!(single.frontier_tuples > 0, "TGEN always builds arrays");
+            }
+            let topk = engine.run_topk(&query, &algorithm, 3).unwrap().stats;
+            if topk.tuples_generated > 0 {
+                assert!(topk.frontier_tuples > 0, "{}", algorithm.name());
+            }
+        }
+        // A tight budget forces the combine loops to prune pairs.
+        let tight = LcmsrQuery::new(["restaurant"], 150.0, whole_rect(&network)).unwrap();
+        let stats = engine
+            .run(&tight, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+            .unwrap()
+            .stats;
+        assert!(
+            stats.pruned_pairs > 0,
+            "a tight ∆ must budget-prune combine pairs, stats: {stats}"
+        );
+        // Greedy never touches tuple arrays.
+        let greedy = engine
+            .run(&query, &Algorithm::Greedy(GreedyParams::default()))
+            .unwrap()
+            .stats;
+        assert_eq!(greedy.frontier_tuples, 0);
+        assert_eq!(greedy.pruned_pairs, 0);
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! Finding the region with the largest scaled weight and length ≤ `Q.∆` inside
 //! a tree is NP-hard (Theorem 3, knapsack reduction), but because node weights
 //! are scaled integers a pseudo-polynomial dynamic program works: every node
-//! keeps a *region tuple array* — for each scaled weight, the shortest region
-//! rooted at that node (Definition 5, justified by Lemma 6) — and arrays are
-//! combined bottom-up by peeling leaves (Lemma 7).
+//! keeps a *region tuple array* — a Pareto frontier holding, per scaled
+//! weight, the shortest region rooted at that node (Definition 5, justified
+//! by Lemma 6; cross-weight dominance per [`TupleArray`]) — and arrays are
+//! combined bottom-up by peeling leaves (Lemma 7).  Frontier lengths are
+//! monotone, so each leaf tuple confines its scan of the parent array to the
+//! `partition_point` prefix that keeps the combination within `Q.∆`;
+//! infeasible pairs are counted, never materialised.
 //!
 //! Tuples live in the caller's [`TupleArena`]; a combination that is neither
 //! the new best nor enters the parent's array is rolled straight back.
+//! Entries *evicted* from an array by a dominating insert are not freed —
+//! they may be shared with the best tracker or other arrays; the per-query
+//! arena reset reclaims them.
 
 use crate::arena::TupleArena;
 use crate::query_graph::QueryGraph;
@@ -28,8 +35,32 @@ pub struct OptTreeResult {
     /// Final tuple arrays, keyed by local node id (ordered for deterministic
     /// traversal in the top-k path).
     pub arrays: BTreeMap<u32, TupleArray>,
-    /// Number of region tuples generated (for statistics).
+    /// Number of region tuples materialised (for statistics).
     pub tuples_generated: u64,
+    /// Combine pairs skipped by the length-budget `partition_point` without
+    /// being materialised.
+    pub pruned_pairs: u64,
+}
+
+impl OptTreeResult {
+    /// Aggregate frontier counters over the final arrays, in the shape
+    /// [`crate::stats::RunStats`] reports: total resident tuples, the largest
+    /// single array, and dominance evictions.
+    pub fn frontier_stats(&self) -> (u64, u64, u64) {
+        let total: u64 = self.arrays.values().map(|a| a.len() as u64).sum();
+        let peak = self
+            .arrays
+            .values()
+            .map(|a| a.len() as u64)
+            .max()
+            .unwrap_or(0);
+        let evictions: u64 = self
+            .arrays
+            .values()
+            .map(TupleArray::dominance_evictions)
+            .sum();
+        (total, peak, evictions)
+    }
 }
 
 /// Runs the `findOptTree` dynamic program over the candidate tree `tree`
@@ -48,6 +79,7 @@ pub fn find_opt_tree(
     let m = tree_nodes.len();
     let mut best = BestTracker::new();
     let mut tuples_generated = 0u64;
+    let mut pruned_pairs = 0u64;
 
     // All per-node DP state lives in flat vectors indexed by the node's
     // position in the (sorted) tree node list; `tree_pos` translates a local
@@ -68,16 +100,19 @@ pub fn find_opt_tree(
         arrays.push(arr);
         tuples_generated += 1;
     }
-    let into_result = |best: BestTracker, arrays: Vec<TupleArray>, tuples_generated: u64| {
-        let arrays: BTreeMap<u32, TupleArray> = tree_nodes.iter().copied().zip(arrays).collect();
-        OptTreeResult {
-            best: best.into_best(),
-            arrays,
-            tuples_generated,
-        }
-    };
+    let into_result =
+        |best: BestTracker, arrays: Vec<TupleArray>, tuples_generated: u64, pruned_pairs: u64| {
+            let arrays: BTreeMap<u32, TupleArray> =
+                tree_nodes.iter().copied().zip(arrays).collect();
+            OptTreeResult {
+                best: best.into_best(),
+                arrays,
+                tuples_generated,
+                pruned_pairs,
+            }
+        };
     if m <= 1 {
-        return into_result(best, arrays, tuples_generated);
+        return into_result(best, arrays, tuples_generated, pruned_pairs);
     }
 
     // Tree adjacency restricted to the candidate tree's edges, in tree positions.
@@ -110,24 +145,32 @@ pub fn find_opt_tree(
             break;
         };
         let edge_length = graph.edge(edge).length;
-        // Combine every region rooted at p with every region rooted at the parent.
+        // Combine every region rooted at p with every feasible region rooted
+        // at the parent.  Both snapshots keep the frontier order (length
+        // ascending), so the feasible parent partners of each leaf tuple form
+        // a prefix, and once a leaf tuple's prefix is empty every longer leaf
+        // tuple's is too.
         v_tuples.clear();
         v_tuples.extend(arrays[p as usize].iter().copied());
         parent_tuples.clear();
         parent_tuples.extend(arrays[parent as usize].iter().copied());
         let parent_array = &mut arrays[parent as usize];
-        for tv in &v_tuples {
-            for tp in &parent_tuples {
+        for (vi, tv) in v_tuples.iter().enumerate() {
+            let feasible = parent_tuples
+                .partition_point(|tp| tp.length + tv.length + edge_length <= delta + 1e-9);
+            pruned_pairs += (parent_tuples.len() - feasible) as u64;
+            if feasible == 0 {
+                pruned_pairs += ((v_tuples.len() - vi - 1) * parent_tuples.len()) as u64;
+                break;
+            }
+            for tp in &parent_tuples[..feasible] {
                 let combined = tp.combine(tv, edge, edge_length, arena);
+                debug_assert!(combined.length <= delta + 1e-9);
                 tuples_generated += 1;
-                if combined.length <= delta + 1e-9 {
-                    let became_best = best.update(&combined);
-                    let inserted = parent_array.insert_if_better(combined);
-                    if !became_best && !inserted {
-                        // Rejected by every consumer — single owner, roll back.
-                        combined.free(arena);
-                    }
-                } else {
+                let became_best = best.update(&combined);
+                let inserted = parent_array.insert_if_better(combined);
+                if !became_best && !inserted {
+                    // Rejected by every consumer — single owner, roll back.
                     combined.free(arena);
                 }
             }
@@ -141,7 +184,7 @@ pub fn find_opt_tree(
         }
     }
 
-    into_result(best, arrays, tuples_generated)
+    into_result(best, arrays, tuples_generated, pruned_pairs)
 }
 
 #[cfg(test)]

@@ -30,10 +30,23 @@ pub struct RunStats {
     pub relevant_nodes: usize,
     /// Number of k-MST oracle invocations (APP only).
     pub kmst_calls: u64,
-    /// Number of region tuples generated (APP's DP and TGEN).
+    /// Number of region tuples materialised (APP's DP and TGEN).
     pub tuples_generated: u64,
     /// Number of greedy expansion steps (Greedy only).
     pub greedy_steps: u64,
+    /// Combine pairs skipped by the tuple-array frontier's length-budget
+    /// `partition_point` without ever being materialised (APP's DP and TGEN;
+    /// the pre-frontier combine loops allocated each of these and rolled it
+    /// back).
+    pub pruned_pairs: u64,
+    /// Region tuples resident across all per-node frontier arrays when the
+    /// solve phase finished (APP's DP and TGEN).
+    pub frontier_tuples: u64,
+    /// Largest single frontier array at the end of the solve phase.
+    pub frontier_peak: u64,
+    /// Frontier entries evicted by dominating inserts (Lemma 6 extended
+    /// across scaled weights) during the solve phase.
+    pub dominance_evictions: u64,
 }
 
 impl RunStats {
@@ -70,7 +83,7 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {:.2} ms (prepare {:.2} + solve {:.2}; |V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={})",
+            "{}: {:.2} ms (prepare {:.2} + solve {:.2}; |V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={}, pruned={}, frontier={})",
             self.algorithm,
             self.elapsed_ms(),
             self.prepare_ms(),
@@ -79,7 +92,9 @@ impl std::fmt::Display for RunStats {
             self.edges_in_region,
             self.relevant_nodes,
             self.kmst_calls,
-            self.tuples_generated
+            self.tuples_generated,
+            self.pruned_pairs,
+            self.frontier_tuples
         )
     }
 }

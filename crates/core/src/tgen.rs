@@ -3,23 +3,41 @@
 //! TGEN generalises the `findOptTree` dynamic program from a tree to the whole
 //! scaled query graph: nodes are visited in breadth-first order, every edge is
 //! processed exactly once, and each node keeps an *explored region tuple array*
-//! (Definition 6) holding, per scaled weight, the shortest feasible region seen
-//! that contains the node.  Combining regions across an edge skips pairs that
-//! share nodes (Lemma 9 — such a combination would contain a cycle and can
-//! never be optimal).  Because only one tuple per (node, scaled weight) pair is
-//! kept, enumeration is polynomial but the optimum may be missed — TGEN is a
-//! heuristic, empirically the most accurate of the three algorithms.
+//! (Definition 6) holding, per scaled weight, the shortest feasible region
+//! seen that contains the node.  Combining regions across an edge skips pairs
+//! that share nodes (Lemma 9 — such a combination would contain a cycle and
+//! can never be optimal).  Because only one tuple per (node, scaled weight)
+//! pair is kept, enumeration is polynomial but the optimum may be missed —
+//! TGEN is a heuristic, empirically the most accurate of the three
+//! algorithms.
 //!
-//! The edge-combine loop is the hottest code in the whole system; all tuples
-//! live in a [`TupleArena`], so enumerating and snapshotting arrays copies
-//! handles only, and a combination that violates `Q.∆` is rolled straight
-//! back into the arena instead of costing two heap allocations.
+//! The edge-combine loop is the hottest code in the whole system.  Each
+//! node's array is an [`ExploredArray`] — flat sorted `Vec`, per-scaled
+//! pruning only; cross-weight Pareto dominance is *unsound* here because
+//! Lemma 9's disjointness check breaks the dominator-substitution argument
+//! (see the [`crate::tuple_array`] docs for the measured counterexample).
+//! Budget pruning still never materialises an infeasible pair: the right
+//! snapshot is additionally sorted by length once per edge, so for each
+//! left-hand tuple the feasible partners (`l_i + l_j + edge ≤ Q.∆`) form a
+//! `partition_point` prefix of that permutation.  Scanning partners in
+//! length order instead of scaled order is output-neutral: combinations of
+//! one left tuple have pairwise-distinct scaled weights (the right array
+//! holds one tuple per scaled weight), so no quality tie — and therefore no
+//! tie-break — exists inside a reordered group, while groups themselves stay
+//! in scaled order.  The PR ≤ 4 loop instead allocated every combination and
+//! rolled the infeasible ~80 % straight back.  All tuples live in a
+//! [`TupleArena`], so enumerating and snapshotting arrays copies handles
+//! only.
+//!
+//! [`run_tgen_baseline`] preserves the PR 3/4 combine loop over the
+//! pre-frontier [`NaiveTupleArray`]; `bench/benches/solve_phase.rs` runs both
+//! on the same workload to gate the frontier's speedup and result identity.
 
 use crate::arena::TupleArena;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
-use crate::tuple_array::{BestTracker, TupleArray};
+use crate::tuple_array::{BestTracker, ExploredArray, NaiveTupleArray};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -63,8 +81,21 @@ pub struct TgenOutcome {
     pub top_tuples: Vec<RegionTuple>,
     /// Number of edges processed.
     pub edges_processed: u64,
-    /// Number of region tuples generated.
+    /// Number of region tuples materialised (feasible combinations plus the
+    /// per-node singletons).
     pub tuples_generated: u64,
+    /// Combine pairs skipped by the frontier's length-budget `partition_point`
+    /// without being materialised (the PR ≤ 4 loop allocated each of these
+    /// and rolled it back).
+    pub pruned_pairs: u64,
+    /// Tuples resident across all per-node arrays when the run finished.
+    pub frontier_tuples: u64,
+    /// Largest single per-node array observed at the end of the run.
+    pub frontier_peak: u64,
+    /// Array entries evicted by dominating inserts across the run (for TGEN:
+    /// same-scaled Lemma 6 replacements; `findOptTree` additionally evicts
+    /// across scaled weights).
+    pub dominance_evictions: u64,
 }
 
 /// Maximum number of distinct top tuples retained for top-k extraction.
@@ -85,6 +116,7 @@ pub fn run_tgen(
     let mut top: Vec<RegionTuple> = Vec::new();
     let mut edges_processed = 0u64;
     let mut tuples_generated = 0u64;
+    let mut pruned_pairs = 0u64;
 
     if graph.sigma_max() <= 0.0 {
         return Ok(TgenOutcome {
@@ -92,13 +124,17 @@ pub fn run_tgen(
             top_tuples: Vec::new(),
             edges_processed: 0,
             tuples_generated: 0,
+            pruned_pairs: 0,
+            frontier_tuples: 0,
+            frontier_peak: 0,
+            dominance_evictions: 0,
         });
     }
 
     // Explored tuple arrays, one per node, initialised with the node itself.
-    let mut arrays: Vec<TupleArray> = Vec::with_capacity(n);
+    let mut arrays: Vec<ExploredArray> = Vec::with_capacity(n);
     for v in 0..n as u32 {
-        let mut arr = TupleArray::new();
+        let mut arr = ExploredArray::new();
         let singleton = RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v));
         best.update(&singleton);
         offer_top(&mut top, &singleton, arena);
@@ -111,9 +147,12 @@ pub fn run_tgen(
     let mut edge_visited = vec![false; graph.edge_count()];
     let mut enqueued = vec![false; n];
     // Per-edge snapshots of the two endpoint arrays (handle copies), hoisted
-    // out of the loops so the steady state allocates nothing.
+    // out of the loops so the steady state allocates nothing.  `right_by_len`
+    // is the right snapshot re-sorted by (length, scaled): the shape the
+    // budget `partition_point` needs; the scaled tie-break keeps equal-length
+    // runs in canonical array order so the scan stays deterministic.
     let mut left: Vec<RegionTuple> = Vec::new();
-    let mut right: Vec<RegionTuple> = Vec::new();
+    let mut right_by_len: Vec<RegionTuple> = Vec::new();
     let mut new_tuples: Vec<RegionTuple> = Vec::new();
 
     // Outer loop: cover every connected component of Q.Λ (lines 2–4).
@@ -140,27 +179,38 @@ pub fn run_tgen(
                     enqueued[vj as usize] = true;
                     queue.push_back(vj);
                 }
-                // Combine every region containing vi with every region containing vj.
+                // Combine every region containing vi with every feasible
+                // region containing vj.
                 left.clear();
                 left.extend(arrays[vi as usize].iter().copied());
-                right.clear();
-                right.extend(arrays[vj as usize].iter().copied());
+                right_by_len.clear();
+                right_by_len.extend(arrays[vj as usize].iter().copied());
+                right_by_len.sort_unstable_by(|a, b| {
+                    a.length
+                        .partial_cmp(&b.length)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.scaled.cmp(&b.scaled))
+                });
                 new_tuples.clear();
                 for ti in &left {
-                    for tj in &right {
+                    // Lengths ascend along the permutation, so the partners
+                    // that keep `l_i + l_j + edge ≤ ∆` form a prefix — the
+                    // same comparison the materialise-then-check loop used,
+                    // hoisted into a binary search.  Pairs beyond the prefix
+                    // are pruned without touching the arena.
+                    let feasible = right_by_len
+                        .partition_point(|tj| ti.length + tj.length + edge_length <= delta + 1e-9);
+                    pruned_pairs += (right_by_len.len() - feasible) as u64;
+                    for tj in &right_by_len[..feasible] {
                         if ti.shares_nodes(tj, arena) {
                             continue; // Lemma 9: would close a cycle
                         }
                         let combined = ti.combine(tj, e, edge_length, arena);
+                        debug_assert!(combined.length <= delta + 1e-9);
                         tuples_generated += 1;
-                        if combined.length <= delta + 1e-9 {
-                            best.update(&combined);
-                            offer_top(&mut top, &combined, arena);
-                            new_tuples.push(combined);
-                        } else {
-                            // Nobody saw this candidate: roll it back.
-                            combined.free(arena);
-                        }
+                        best.update(&combined);
+                        offer_top(&mut top, &combined, arena);
+                        new_tuples.push(combined);
                     }
                 }
                 // Update the arrays of the unprocessed nodes contained in each
@@ -180,11 +230,139 @@ pub fn run_tgen(
         }
     }
 
+    let frontier_tuples: u64 = arrays.iter().map(|a| a.len() as u64).sum();
+    let frontier_peak = arrays.iter().map(|a| a.len() as u64).max().unwrap_or(0);
+    let dominance_evictions: u64 = arrays.iter().map(ExploredArray::replacements).sum();
     Ok(TgenOutcome {
         best: best.into_best(),
         top_tuples: top,
         edges_processed,
         tuples_generated,
+        pruned_pairs,
+        frontier_tuples,
+        frontier_peak,
+        dominance_evictions,
+    })
+}
+
+/// The PR 3/4 TGEN combine loop over [`NaiveTupleArray`]s: per-scaled-weight
+/// pruning only, every combination materialised first and rolled back when
+/// infeasible.  Kept as the measured baseline for the frontier rewrite — the
+/// `solve_phase` bench gates `run_tgen`'s combine-loop speedup and result
+/// identity against this function, and tests compare the two directly.  Not
+/// wired to any engine path.
+#[doc(hidden)]
+pub fn run_tgen_baseline(
+    graph: &QueryGraph,
+    arena: &mut TupleArena,
+    params: &TgenParams,
+) -> Result<TgenOutcome> {
+    params.validate()?;
+    let delta = graph.delta();
+    let n = graph.node_count();
+    let mut best = BestTracker::new();
+    let mut top: Vec<RegionTuple> = Vec::new();
+    let mut edges_processed = 0u64;
+    let mut tuples_generated = 0u64;
+
+    if graph.sigma_max() <= 0.0 {
+        return Ok(TgenOutcome {
+            best: None,
+            top_tuples: Vec::new(),
+            edges_processed: 0,
+            tuples_generated: 0,
+            pruned_pairs: 0,
+            frontier_tuples: 0,
+            frontier_peak: 0,
+            dominance_evictions: 0,
+        });
+    }
+
+    let mut arrays: Vec<NaiveTupleArray> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let mut arr = NaiveTupleArray::new();
+        let singleton = RegionTuple::singleton(arena, v, graph.weight(v), graph.scaled_weight(v));
+        best.update(&singleton);
+        offer_top(&mut top, &singleton, arena);
+        arr.insert_if_better(singleton);
+        arrays.push(arr);
+    }
+    tuples_generated += n as u64;
+
+    let mut node_processed = vec![false; n];
+    let mut edge_visited = vec![false; graph.edge_count()];
+    let mut enqueued = vec![false; n];
+    let mut left: Vec<RegionTuple> = Vec::new();
+    let mut right: Vec<RegionTuple> = Vec::new();
+    let mut new_tuples: Vec<RegionTuple> = Vec::new();
+
+    for start in 0..n as u32 {
+        if node_processed[start as usize] || enqueued[start as usize] {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        enqueued[start as usize] = true;
+        while let Some(vi) = queue.pop_front() {
+            for &(vj, e) in graph.neighbors(vi) {
+                if edge_visited[e as usize] {
+                    continue;
+                }
+                edge_visited[e as usize] = true;
+                edges_processed += 1;
+                let edge_length = graph.edge(e).length;
+                if edge_length > delta {
+                    continue;
+                }
+                if !enqueued[vj as usize] {
+                    enqueued[vj as usize] = true;
+                    queue.push_back(vj);
+                }
+                left.clear();
+                left.extend(arrays[vi as usize].iter().copied());
+                right.clear();
+                right.extend(arrays[vj as usize].iter().copied());
+                new_tuples.clear();
+                for ti in &left {
+                    for tj in &right {
+                        if ti.shares_nodes(tj, arena) {
+                            continue;
+                        }
+                        let combined = ti.combine(tj, e, edge_length, arena);
+                        tuples_generated += 1;
+                        if combined.length <= delta + 1e-9 {
+                            best.update(&combined);
+                            offer_top(&mut top, &combined, arena);
+                            new_tuples.push(combined);
+                        } else {
+                            combined.free(arena);
+                        }
+                    }
+                }
+                for t in &new_tuples {
+                    for &v in t.nodes(arena) {
+                        if node_processed[v as usize] {
+                            continue;
+                        }
+                        arrays[v as usize].insert_if_better(*t);
+                    }
+                }
+            }
+            node_processed[vi as usize] = true;
+        }
+    }
+
+    let frontier_tuples: u64 = arrays.iter().map(|a| a.len() as u64).sum();
+    let frontier_peak = arrays.iter().map(|a| a.len() as u64).max().unwrap_or(0);
+    Ok(TgenOutcome {
+        best: best.into_best(),
+        top_tuples: top,
+        edges_processed,
+        tuples_generated,
+        pruned_pairs: 0,
+        frontier_tuples,
+        frontier_peak,
+        dominance_evictions: 0,
     })
 }
 
@@ -264,6 +442,8 @@ mod tests {
         assert_eq!(best.nodes(&arena), &[1, 3, 4, 5]);
         assert_eq!(outcome.edges_processed, 8);
         assert!(outcome.tuples_generated > 8);
+        assert!(outcome.frontier_tuples > 0);
+        assert!(outcome.frontier_peak > 0);
     }
 
     #[test]
@@ -282,6 +462,65 @@ mod tests {
                 assert!(t.length <= delta + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn matches_the_baseline_loop_across_deltas_and_scalings() {
+        // The frontier rewrite must leave the single best bit-identical to
+        // the PR 3/4 loop, and never hold more array tuples.
+        for delta in [0.5, 1.0, 2.5, 4.0, 6.0, 9.0, 15.0, 1000.0] {
+            for alpha in [0.15, 0.5, 3.0, 100.0] {
+                let (_n, qg) = figure2_query_graph(delta, alpha);
+                let params = TgenParams { alpha };
+                let mut arena = TupleArena::new();
+                let frontier = run_tgen(&qg, &mut arena, &params).unwrap();
+                let mut baseline_arena = TupleArena::new();
+                let baseline = run_tgen_baseline(&qg, &mut baseline_arena, &params).unwrap();
+                match (&frontier.best, &baseline.best) {
+                    (None, None) => {}
+                    (Some(f), Some(b)) => {
+                        assert_eq!(f.scaled, b.scaled, "∆={delta} α={alpha}");
+                        assert_eq!(f.weight.to_bits(), b.weight.to_bits());
+                        assert_eq!(f.length.to_bits(), b.length.to_bits());
+                        assert_eq!(f.nodes(&arena), b.nodes(&baseline_arena));
+                        assert_eq!(f.edges(&arena), b.edges(&baseline_arena));
+                    }
+                    (f, b) => panic!("∆={delta} α={alpha}: frontier {f:?} vs baseline {b:?}"),
+                }
+                assert!(
+                    frontier.frontier_tuples <= baseline.frontier_tuples,
+                    "∆={delta} α={alpha}: frontier {} > naive {}",
+                    frontier.frontier_tuples,
+                    baseline.frontier_tuples
+                );
+                assert_eq!(frontier.edges_processed, baseline.edges_processed);
+                // Dominance can only shrink the combine work: the frontier
+                // loop never materialises more tuples than the baseline.
+                assert!(frontier.tuples_generated <= baseline.tuples_generated);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_pruning_skips_infeasible_pairs_without_materialising() {
+        // A tight ∆ makes many combinations infeasible; the frontier loop
+        // must count them as pruned pairs instead of allocating and rolling
+        // back (the arena sees only feasible products).
+        let (_n, qg) = figure2_query_graph(3.0, 0.15);
+        let mut arena = TupleArena::new();
+        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        assert!(outcome.pruned_pairs > 0, "tight ∆ must prune pairs");
+        // Compare against the baseline: it materialises what we prune.
+        let mut baseline_arena = TupleArena::new();
+        let baseline =
+            run_tgen_baseline(&qg, &mut baseline_arena, &TgenParams { alpha: 0.15 }).unwrap();
+        assert!(baseline.tuples_generated > outcome.tuples_generated);
+        let rollbacks =
+            baseline_arena.stats().top_rollbacks + baseline_arena.stats().free_list_hits;
+        assert!(
+            rollbacks > 0,
+            "the baseline pays for infeasible combinations with rollbacks"
+        );
     }
 
     #[test]
@@ -312,6 +551,7 @@ mod tests {
         let outcome = run_tgen(&qg, &mut arena, &TgenParams::default()).unwrap();
         assert!(outcome.best.is_none());
         assert!(outcome.top_tuples.is_empty());
+        assert_eq!(outcome.frontier_tuples, 0);
     }
 
     #[test]
@@ -357,22 +597,6 @@ mod tests {
         assert!(!top.is_empty(), "scaled-0 tuples must not be discarded");
         assert!(top[0].same_nodes(&best, &arena));
         assert!((top[0].weight - best.weight).abs() < 1e-12);
-    }
-
-    #[test]
-    fn discarded_combinations_are_rolled_back_into_the_arena() {
-        // A tight ∆ makes many combinations infeasible; the arena footprint
-        // must stay close to what the retained tuples actually need, far below
-        // one block per generated tuple.
-        let (_n, qg) = figure2_query_graph(3.0, 0.15);
-        let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
-        assert!(outcome.tuples_generated > 6);
-        let rollbacks = arena.stats().top_rollbacks + arena.stats().free_list_hits;
-        assert!(
-            rollbacks > 0,
-            "infeasible combinations must recycle their blocks"
-        );
     }
 
     #[test]

@@ -53,10 +53,19 @@ pub struct TopKOutcome {
     pub tuples: Vec<RegionTuple>,
     /// Number of k-MST oracle invocations (APP only).
     pub kmst_calls: u64,
-    /// Number of region tuples generated (APP's DP and TGEN).
+    /// Number of region tuples materialised (APP's DP and TGEN).
     pub tuples_generated: u64,
     /// Number of greedy expansion steps across all seeds (Greedy only).
     pub greedy_steps: u64,
+    /// Combine pairs skipped by the frontier's length-budget pruning
+    /// (APP's DP and TGEN).
+    pub pruned_pairs: u64,
+    /// Tuples resident across the final tuple arrays (APP's DP and TGEN).
+    pub frontier_tuples: u64,
+    /// Largest single tuple array at the end of the run.
+    pub frontier_peak: u64,
+    /// Array entries evicted by dominating inserts across the run.
+    pub dominance_evictions: u64,
 }
 
 /// Top-k via APP: quota binary search, then the tuple arrays of the candidate tree.
@@ -93,12 +102,25 @@ pub fn topk_app(
             tuples: singles,
             kmst_calls,
             tuples_generated,
-            greedy_steps: 0,
+            ..TopKOutcome::default()
         });
     };
     // Per Section 6.2, always compute the tuple arrays over the candidate tree.
     let dp = find_opt_tree(graph, arena, &candidate);
     let tuples_generated = dp.tuples_generated;
+    let pruned_pairs = dp.pruned_pairs;
+    let (frontier_tuples, frontier_peak, dominance_evictions) = dp.frontier_stats();
+    // The runners-up are read straight off the candidate tree's frontier
+    // arrays.  Chosen top-k semantics for dominated-but-distinct node sets:
+    // a node set evicted from (or never admitted to) every array it touched
+    // is not reported — whenever that happens, a dominating region (scaled
+    // weight ≥, length ≤) is in the result instead.  Dominance filtering is
+    // per array, so the merged list can still contain a set dominated by an
+    // entry of a *different* node's array; only same-array dominance prunes.
+    // Behaviour pinned byte-for-byte by the committed golden top-3 suite
+    // (`tests/golden_regions.rs`), which PR 5 regenerated for exactly these
+    // APP runner-up lines (17 of 384; every vanished region verified
+    // dominated by a reported one — singles untouched).
     let mut all: Vec<RegionTuple> = dp
         .arrays
         .into_values()
@@ -113,6 +135,10 @@ pub fn topk_app(
         kmst_calls,
         tuples_generated,
         greedy_steps: 0,
+        pruned_pairs,
+        frontier_tuples,
+        frontier_peak,
+        dominance_evictions,
     })
 }
 
@@ -133,6 +159,10 @@ pub fn topk_tgen(
         kmst_calls: 0,
         tuples_generated: outcome.tuples_generated,
         greedy_steps: 0,
+        pruned_pairs: outcome.pruned_pairs,
+        frontier_tuples: outcome.frontier_tuples,
+        frontier_peak: outcome.frontier_peak,
+        dominance_evictions: outcome.dominance_evictions,
     })
 }
 
@@ -162,9 +192,8 @@ pub fn topk_greedy(
     regions.sort_by(rank);
     Ok(TopKOutcome {
         tuples: regions,
-        kmst_calls: 0,
-        tuples_generated: 0,
         greedy_steps,
+        ..TopKOutcome::default()
     })
 }
 

@@ -381,10 +381,19 @@ pub struct StatsDto {
     pub relevant_nodes: u64,
     /// k-MST oracle invocations (APP).
     pub kmst_calls: u64,
-    /// Tuples generated (APP/TGEN).
+    /// Tuples materialised (APP/TGEN).
     pub tuples_generated: u64,
     /// Greedy expansion steps.
     pub greedy_steps: u64,
+    /// Combine pairs skipped by the tuple-array length-budget pruning
+    /// (APP/TGEN).
+    pub pruned_pairs: u64,
+    /// Tuples resident across the solve phase's frontier arrays (APP/TGEN).
+    pub frontier_tuples: u64,
+    /// Largest single frontier array during the solve phase.
+    pub frontier_peak: u64,
+    /// Frontier entries evicted by dominating inserts.
+    pub dominance_evictions: u64,
 }
 
 fn duration_ns(d: Duration) -> u64 {
@@ -406,6 +415,10 @@ impl StatsDto {
             kmst_calls: stats.kmst_calls,
             tuples_generated: stats.tuples_generated,
             greedy_steps: stats.greedy_steps,
+            pruned_pairs: stats.pruned_pairs,
+            frontier_tuples: stats.frontier_tuples,
+            frontier_peak: stats.frontier_peak,
+            dominance_evictions: stats.dominance_evictions,
         }
     }
 
@@ -437,6 +450,22 @@ impl StatsDto {
                 "greedy_steps".into(),
                 Json::Number(self.greedy_steps as f64),
             ),
+            (
+                "pruned_pairs".into(),
+                Json::Number(self.pruned_pairs as f64),
+            ),
+            (
+                "frontier_tuples".into(),
+                Json::Number(self.frontier_tuples as f64),
+            ),
+            (
+                "frontier_peak".into(),
+                Json::Number(self.frontier_peak as f64),
+            ),
+            (
+                "dominance_evictions".into(),
+                Json::Number(self.dominance_evictions as f64),
+            ),
         ])
     }
 
@@ -463,6 +492,10 @@ impl StatsDto {
             kmst_calls: int("kmst_calls")?,
             tuples_generated: int("tuples_generated")?,
             greedy_steps: int("greedy_steps")?,
+            pruned_pairs: int("pruned_pairs")?,
+            frontier_tuples: int("frontier_tuples")?,
+            frontier_peak: int("frontier_peak")?,
+            dominance_evictions: int("dominance_evictions")?,
         })
     }
 }
@@ -722,6 +755,10 @@ mod tests {
                 kmst_calls: 0,
                 tuples_generated: 420,
                 greedy_steps: 0,
+                pruned_pairs: 7_000,
+                frontier_tuples: 96,
+                frontier_peak: 12,
+                dominance_evictions: 3,
             },
         };
         let body = response.to_body();

@@ -103,6 +103,10 @@ proptest! {
                 kmst_calls: counters.0 / 2,
                 tuples_generated: counters.1 / 2,
                 greedy_steps: counters.2 / 2,
+                pruned_pairs: counters.0 / 3,
+                frontier_tuples: counters.1 / 3,
+                frontier_peak: counters.2 / 3,
+                dominance_evictions: counters.0 / 5,
             },
         };
         let body = response.to_body();

@@ -1,0 +1,89 @@
+//! Committed golden-region snapshot test.
+//!
+//! `tests/golden/regions_ny_tiny.txt` pins the bit-exact output — single best
+//! region and top-3 regions for TGEN, APP and Greedy — over the deterministic
+//! 32-query tiny-NY workload (`lcmsr_bench::golden_workload`).  This is the
+//! machine-checked version of the cross-worktree diffs PRs 2–3 ran by hand:
+//! any solver change that shifts a single bit of any result line fails here.
+//!
+//! Provenance: the snapshot was first rendered from the pre-frontier (PR 4)
+//! solvers.  When the Pareto-frontier `TupleArray` landed (PR 5), all 96
+//! `single` lines and every TGEN/Greedy `top3` line were verified bit-
+//! identical against that PR 4 render; 17 APP `top3` runner-up lines were
+//! then regenerated under the documented dominance semantics (each vanished
+//! runner-up is dominated — scaled weight ≤, length ≥ — by a region the new
+//! list reports; see `lcmsr_core::tuple_array`).
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! cargo run --release -p lcmsr-bench --bin experiments -- \
+//!     dump --out tests/golden/regions_ny_tiny.txt
+//! ```
+//!
+//! and justify the regeneration in the commit message.
+
+use lcmsr_bench::{ny_dataset, render_golden_dump};
+use lcmsr_datagen::prelude::NetworkScale;
+
+const COMMITTED: &str = include_str!("golden/regions_ny_tiny.txt");
+
+/// Rebuilds the dump from scratch (dataset generation included) and compares
+/// byte for byte against the committed snapshot.  On mismatch the first
+/// diverging line is reported before the full assert, so a failure points
+/// straight at the query/algorithm that moved.
+#[test]
+fn golden_regions_are_bit_identical_to_the_committed_snapshot() {
+    let dataset = ny_dataset(NetworkScale::Tiny);
+    let fresh = render_golden_dump(&dataset);
+    if fresh != COMMITTED {
+        let mut diverged = None;
+        for (i, (got, want)) in fresh.lines().zip(COMMITTED.lines()).enumerate() {
+            if got != want {
+                diverged = Some((i + 1, want.to_string(), got.to_string()));
+                break;
+            }
+        }
+        match diverged {
+            Some((line, want, got)) => panic!(
+                "golden dump diverged at line {line}:\n  committed: {want}\n  fresh:     {got}"
+            ),
+            None => panic!(
+                "golden dump diverged in length: committed {} lines, fresh {} lines",
+                COMMITTED.lines().count(),
+                fresh.lines().count()
+            ),
+        }
+    }
+}
+
+/// The snapshot has the expected shape: a header plus one `single` line per
+/// (algorithm, query) and between one and three `top3` lines each.
+#[test]
+fn committed_snapshot_is_well_formed() {
+    let mut singles = 0usize;
+    let mut top3 = 0usize;
+    for line in COMMITTED.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let algo = fields.next().expect("algorithm column");
+        assert!(
+            matches!(algo, "TGEN" | "APP" | "Greedy"),
+            "unexpected algorithm {algo:?}"
+        );
+        let query = fields.next().expect("query column");
+        assert!(query.starts_with('q'), "unexpected query id {query:?}");
+        match fields.next().expect("kind column") {
+            "single" => singles += 1,
+            "top3" => top3 += 1,
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+    assert_eq!(singles, 3 * 32, "one single line per algorithm per query");
+    assert!(
+        top3 >= 3 * 32,
+        "at least one top3 line per algorithm per query, got {top3}"
+    );
+}

@@ -1,0 +1,201 @@
+//! Shadow-model property tests for the Pareto-frontier `TupleArray`.
+//!
+//! The model is the pre-frontier array (`NaiveTupleArray`: a `BTreeMap`
+//! keeping the first-seen minimum-length tuple per scaled weight) followed by
+//! a post-hoc cross-weight dominance filter (`pareto_filtered`).  Feeding any
+//! insert sequence to both structures must agree on `len`, `get`, the best
+//! tuple, and the full iteration order — including *which* tuple survives a
+//! tie, which insertion order decides identically in both.
+//!
+//! Scaled weights and lengths are drawn from deliberately tiny domains so
+//! that equal-scaled collisions, equal-length ties across scaled weights, and
+//! multi-entry eviction runs all occur constantly.
+
+use lcmsr::core::arena::TupleArena;
+use lcmsr::core::region::RegionTuple;
+use lcmsr::core::tuple_array::{NaiveTupleArray, TupleArray};
+use proptest::prelude::*;
+
+/// Lengths drawn from a small lattice so exact equality happens often.
+fn length_of(idx: u64) -> f64 {
+    idx as f64 * 0.5
+}
+
+fn assert_agrees(arena: &TupleArena, frontier: &TupleArray, naive: &NaiveTupleArray, step: usize) {
+    let filtered = naive.pareto_filtered();
+    assert_eq!(
+        frontier.len(),
+        filtered.len(),
+        "step {step}: frontier holds {} entries, model {}",
+        frontier.len(),
+        filtered.len()
+    );
+    for (i, (got, want)) in frontier.iter().zip(&filtered).enumerate() {
+        assert_eq!(got.scaled, want.scaled, "step {step}, position {i}");
+        assert_eq!(
+            got.length.to_bits(),
+            want.length.to_bits(),
+            "step {step}, position {i} (scaled {})",
+            got.scaled
+        );
+        assert!(
+            got.same_nodes(want, arena),
+            "step {step}, position {i}: tie broken differently (scaled {}, nodes {:?} vs {:?})",
+            got.scaled,
+            got.nodes(arena),
+            want.nodes(arena)
+        );
+    }
+    // `get` agrees for every scaled weight in (and around) the domain:
+    // present exactly when the model's filtered view retains that weight.
+    for s in 0..16u64 {
+        let want = filtered.iter().find(|t| t.scaled == s);
+        match (frontier.get(s), want) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert!(a.same_nodes(b, arena), "step {step}: get({s})"),
+            (a, b) => panic!(
+                "step {step}: get({s}) disagrees (frontier {:?}, model {:?})",
+                a.map(|t| t.scaled),
+                b.map(|t| t.scaled)
+            ),
+        }
+    }
+    // The best tuple is the largest scaled weight on both sides.
+    match (frontier.best(), filtered.last()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.scaled, b.scaled, "step {step}: best");
+            assert!(a.same_nodes(b, arena), "step {step}: best node set");
+        }
+        (a, b) => panic!("step {step}: best disagrees ({a:?} vs {b:?})"),
+    }
+}
+
+proptest! {
+    /// Random insert sequences over tiny (scaled, length) domains: the
+    /// frontier must match the naive-map-plus-dominance-filter model after
+    /// every single insert, not just at the end (eviction happens *during*
+    /// the sequence, the filter afterwards — agreeing at every prefix proves
+    /// eager eviction equals lazy filtering).
+    #[test]
+    fn frontier_matches_naive_model_under_random_inserts(
+        inserts in proptest::collection::vec((0u64..12, 0u64..8), 1..80),
+    ) {
+        let mut arena = TupleArena::new();
+        let mut frontier = TupleArray::new();
+        let mut naive = NaiveTupleArray::new();
+        for (step, &(scaled, len_idx)) in inserts.iter().enumerate() {
+            let node = step as u32; // distinct node set per insert: ties are observable
+            let tuple = RegionTuple::from_parts(
+                &mut arena,
+                length_of(len_idx),
+                scaled as f64,
+                scaled,
+                &[node],
+                &[],
+            );
+            frontier.insert_if_better(tuple);
+            naive.insert_if_better(tuple);
+            assert_agrees(&arena, &frontier, &naive, step);
+        }
+        // The frontier invariant proper: both keys strictly increase.
+        let entries: Vec<_> = frontier.iter().copied().collect();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].scaled < w[1].scaled);
+            prop_assert!(w[0].length < w[1].length);
+        }
+        // Accounting: the reject counter matches an independent quadratic
+        // replay, and every accepted insert is on the frontier or was evicted.
+        prop_assert_eq!(frontier.dominated_rejects(), dominance_rejects(&inserts));
+        let accepted = inserts.len() as u64 - frontier.dominated_rejects();
+        prop_assert_eq!(
+            frontier.len() as u64 + frontier.dominance_evictions(),
+            accepted,
+            "inserts = survivors + evictions + rejects"
+        );
+    }
+
+    /// A frontier array never holds more tuples than the naive array fed the
+    /// same inserts — the CI size gate in miniature.
+    #[test]
+    fn frontier_is_never_larger_than_the_naive_array(
+        inserts in proptest::collection::vec((0u64..20, 0u64..10), 1..60),
+    ) {
+        let mut arena = TupleArena::new();
+        let mut frontier = TupleArray::new();
+        let mut naive = NaiveTupleArray::new();
+        for (step, &(scaled, len_idx)) in inserts.iter().enumerate() {
+            let tuple = RegionTuple::from_parts(
+                &mut arena,
+                length_of(len_idx),
+                scaled as f64,
+                scaled,
+                &[step as u32],
+                &[],
+            );
+            frontier.insert_if_better(tuple);
+            naive.insert_if_better(tuple);
+            prop_assert!(frontier.len() <= naive.len());
+        }
+    }
+}
+
+/// Independent quadratic replay of the dominance contract: a candidate is
+/// rejected iff some live tuple has scaled ≥ and length ≤ (ties included);
+/// an accepted candidate removes every live tuple it dominates.  No sorting,
+/// no binary search — the obviously-correct mirror of `insert_if_better`.
+fn dominance_rejects(inserts: &[(u64, u64)]) -> u64 {
+    let mut live: Vec<(u64, f64)> = Vec::new();
+    let mut rejects = 0u64;
+    for &(scaled, len_idx) in inserts {
+        let length = length_of(len_idx);
+        if live.iter().any(|&(s, l)| s >= scaled && l <= length) {
+            rejects += 1;
+            continue;
+        }
+        live.retain(|&(s, l)| !(scaled >= s && length <= l));
+        live.push((scaled, length));
+    }
+    rejects
+}
+
+/// Handwritten eviction edge cases the random generator may under-sample —
+/// equal scaled weight, equal length, and evictions spanning several entries
+/// at once — checked against the same model.
+#[test]
+fn eviction_edge_cases_match_the_model() {
+    let sequences: &[&[(u64, u64)]] = &[
+        // Equal scaled weight, equal length: first wins everywhere.
+        &[(5, 4), (5, 4), (5, 4)],
+        // Equal scaled weight, decreasing lengths: each replaces.
+        &[(5, 6), (5, 4), (5, 2)],
+        // Equal length across scaled weights: highest scaled survives alone.
+        &[(3, 4), (7, 4), (5, 4)],
+        // One insert evicts the entire array.
+        &[(1, 1), (2, 2), (3, 3), (4, 4), (9, 0)],
+        // Partial multi-entry eviction: middle run goes, flanks stay.
+        &[(1, 0), (3, 2), (5, 3), (9, 7), (6, 1)],
+        // Dominated candidate arrives after its dominator.
+        &[(8, 2), (4, 2), (4, 3), (8, 3)],
+        // Interleaved improvements and dominations.
+        &[(2, 3), (6, 5), (2, 1), (6, 2), (4, 1), (4, 0), (7, 0)],
+    ];
+    for (si, seq) in sequences.iter().enumerate() {
+        let mut arena = TupleArena::new();
+        let mut frontier = TupleArray::new();
+        let mut naive = NaiveTupleArray::new();
+        for (step, &(scaled, len_idx)) in seq.iter().enumerate() {
+            let tuple = RegionTuple::from_parts(
+                &mut arena,
+                length_of(len_idx),
+                scaled as f64,
+                scaled,
+                &[(si * 100 + step) as u32],
+                &[],
+            );
+            frontier.insert_if_better(tuple);
+            naive.insert_if_better(tuple);
+            assert_agrees(&arena, &frontier, &naive, step);
+        }
+    }
+}
