@@ -22,7 +22,7 @@ fn bench_app_alpha(c: &mut Criterion) {
                 alpha,
                 ..AppParams::default()
             });
-            b.iter(|| black_box(engine.run(&query, &algorithm).unwrap()));
+            b.iter(|| black_box(run_query(&engine, &query, &algorithm).unwrap()));
         });
     }
     group.finish();

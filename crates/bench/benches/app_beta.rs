@@ -23,7 +23,7 @@ fn bench_app_beta(c: &mut Criterion) {
                 beta,
                 ..AppParams::default()
             });
-            b.iter(|| black_box(engine.run(&query, &algorithm).unwrap()));
+            b.iter(|| black_box(run_query(&engine, &query, &algorithm).unwrap()));
         });
     }
     group.finish();

@@ -77,12 +77,11 @@ fn main() {
         seq_secs = best_secs(rounds, || {
             sequential_regions = queries
                 .iter()
-                .map(|q| engine.run(q, &algorithm).expect("run").region)
+                .map(|q| run_query(&engine, q, &algorithm).expect("run").region)
                 .collect();
         });
         batch_secs = best_secs(rounds, || {
-            batched_regions = engine
-                .run_batch_with(&queries, &algorithm, workers)
+            batched_regions = run_query_batch(&engine, &queries, &algorithm, workers)
                 .expect("run_batch")
                 .into_iter()
                 .map(|r| r.region)

@@ -28,7 +28,7 @@ fn bench_kmst_ablation(c: &mut Criterion) {
                 solver: kind,
                 ..AppParams::default()
             });
-            b.iter(|| black_box(engine.run(&query, &algorithm).unwrap()));
+            b.iter(|| black_box(run_query(&engine, &query, &algorithm).unwrap()));
         });
     }
     group.finish();

@@ -92,6 +92,8 @@ fn main() {
                 alpha: Some(alpha),
                 beta: None,
                 mu: None,
+                deadline_ms: None,
+                priority: None,
             }
             .to_body()
         })

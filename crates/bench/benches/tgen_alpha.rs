@@ -24,7 +24,7 @@ fn bench_tgen_alpha(c: &mut Criterion) {
             &alpha,
             |b, &alpha| {
                 let algorithm = Algorithm::Tgen(TgenParams { alpha });
-                b.iter(|| black_box(engine.run(&query, &algorithm).unwrap()));
+                b.iter(|| black_box(run_query(&engine, &query, &algorithm).unwrap()));
             },
         );
     }

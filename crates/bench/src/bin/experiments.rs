@@ -199,7 +199,7 @@ fn table1(ny: &Dataset, workers: usize) {
     let params = AppParams::default();
     let graph = engine.prepare(query, params.alpha).expect("prepare");
     let mut arena = lcmsr_core::arena::TupleArena::new();
-    let outcome = run_app(&graph, &mut arena, &params).expect("APP run");
+    let outcome = run_app(&graph, &mut arena, &params, &CancelToken::none()).expect("APP run");
     println!(
         "query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m",
         query.keywords,
@@ -241,12 +241,11 @@ fn table1(ny: &Dataset, workers: usize) {
     // The same workload through the batched engine path, honouring the
     // --workers / LCMSR_WORKERS knob the serve path uses.
     let start = std::time::Instant::now();
-    let results = engine
-        .run_batch_with(&queries, &Algorithm::App(params), workers)
+    let results = run_query_batch(&engine, &queries, &Algorithm::App(params), workers)
         .expect("batched workload");
     let secs = start.elapsed().as_secs_f64();
     println!(
-        "workload: {} queries via run_batch_with({} workers) in {:.1} ms ({:.1} q/s)",
+        "workload: {} queries batched over {} workers in {:.1} ms ({:.1} q/s)",
         results.len(),
         workers,
         secs * 1e3,
@@ -449,7 +448,7 @@ fn fig17_19(ny: &Dataset) {
         Algorithm::App(AppParams::default()),
         Algorithm::Greedy(GreedyParams::default()),
     ] {
-        let result = engine.run(&query, &algorithm).expect("run");
+        let result = run_query(&engine, &query, &algorithm).expect("run");
         match result.region {
             Some(region) => {
                 let objects: usize = region
@@ -502,13 +501,13 @@ fn sec7_5(ny: &Dataset) {
         let lcmsr_query =
             LcmsrQuery::new(query.keywords.clone(), delta, query.region_of_interest).unwrap();
         let tgen_alpha = default_tgen_alpha(ny, std::slice::from_ref(&lcmsr_query));
-        let lcmsr = engine
-            .run(
-                &lcmsr_query,
-                &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
-            )
-            .expect("run")
-            .region;
+        let lcmsr = run_query(
+            &engine,
+            &lcmsr_query,
+            &Algorithm::Tgen(TgenParams { alpha: tgen_alpha }),
+        )
+        .expect("run")
+        .region;
         let lcmsr_weight = lcmsr.map(|r| r.weight).unwrap_or(0.0);
         // Automatic quality proxy (replaces the paper's human annotators, see
         // DESIGN.md §4): a result is better when it is connected on the network

@@ -14,6 +14,51 @@ use lcmsr_core::prelude::*;
 use lcmsr_datagen::prelude::*;
 use std::time::Instant;
 
+/// Runs one query through the unified [`QueryRequest`] API and returns the
+/// single-result view — the bench-side replacement for the deprecated
+/// `LcmsrEngine::run`.
+pub fn run_query(
+    engine: &LcmsrEngine<'_>,
+    query: &LcmsrQuery,
+    algorithm: &Algorithm,
+) -> LcmsrResult<QueryResult> {
+    engine
+        .execute(&QueryRequest::new(query, algorithm.clone()))
+        .map(QueryOutcome::into_single)
+}
+
+/// Top-k counterpart of [`run_query`], replacing `LcmsrEngine::run_topk`.
+pub fn run_query_topk(
+    engine: &LcmsrEngine<'_>,
+    query: &LcmsrQuery,
+    algorithm: &Algorithm,
+    k: usize,
+) -> LcmsrResult<TopKResult> {
+    engine
+        .execute(&QueryRequest::new(query, algorithm.clone()).top_k(k))
+        .map(QueryOutcome::into_topk)
+}
+
+/// Batched counterpart over the unified API, replacing
+/// `LcmsrEngine::run_batch_with`: one request per query, all sharing the
+/// given algorithm, solved on `workers` threads.
+pub fn run_query_batch(
+    engine: &LcmsrEngine<'_>,
+    queries: &[LcmsrQuery],
+    algorithm: &Algorithm,
+    workers: usize,
+) -> LcmsrResult<Vec<QueryResult>> {
+    let requests: Vec<QueryRequest<'_>> = queries
+        .iter()
+        .map(|q| QueryRequest::new(q, algorithm.clone()))
+        .collect();
+    Ok(engine
+        .execute_batch_with(&requests, workers)?
+        .into_iter()
+        .map(QueryOutcome::into_single)
+        .collect())
+}
+
 /// Reads a `usize` knob from the environment, falling back to `default`.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -262,13 +307,13 @@ pub fn render_golden_dump(dataset: &Dataset) -> String {
     .unwrap();
     for (name, algorithm) in &algorithms {
         for (qi, query) in queries.iter().enumerate() {
-            let single = engine.run(query, algorithm).expect("golden run");
+            let single = run_query(&engine, query, algorithm).expect("golden run");
             write!(out, "{name} q{qi:02} single ").unwrap();
             match &single.region {
                 Some(region) => golden_region_line(&mut out, region),
                 None => out.push_str("(none)\n"),
             }
-            let topk = engine.run_topk(query, algorithm, 3).expect("golden topk");
+            let topk = run_query_topk(&engine, query, algorithm, 3).expect("golden topk");
             if topk.regions.is_empty() {
                 writeln!(out, "{name} q{qi:02} top3 (none)").unwrap();
             }
@@ -297,9 +342,7 @@ pub struct Measurement {
 /// Runs one algorithm on one query and measures it.
 pub fn measure(engine: &LcmsrEngine<'_>, query: &LcmsrQuery, algorithm: &Algorithm) -> Measurement {
     let start = Instant::now();
-    let result = engine
-        .run(query, algorithm)
-        .expect("query execution failed");
+    let result = run_query(engine, query, algorithm).expect("query execution failed");
     let millis = start.elapsed().as_secs_f64() * 1e3;
     match result.region {
         Some(region) => Measurement {
@@ -325,9 +368,7 @@ pub fn measure_topk(
     k: usize,
 ) -> f64 {
     let start = Instant::now();
-    let _ = engine
-        .run_topk(query, algorithm, k)
-        .expect("top-k execution failed");
+    let _ = run_query_topk(engine, query, algorithm, k).expect("top-k execution failed");
     start.elapsed().as_secs_f64() * 1e3
 }
 

@@ -14,6 +14,7 @@
 //! The overall approximation ratio is `(5 + ε)` (Theorem 4).
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::kmst::{make_solver, KMstSolver, KMstSolverKind};
 use crate::opt_tree::{find_opt_tree, OptTreeResult};
@@ -118,6 +119,9 @@ pub struct AppOutcome {
     /// The tuple arrays of the candidate tree (present only when `findOptTree`
     /// ran; used by the top-k extension).
     pub tree_arrays: Option<OptTreeResult>,
+    /// Whether any stage (binary search or DP) stopped early on cancellation.
+    /// `best` is then the best feasible incumbent found before the interrupt.
+    pub interrupted: bool,
 }
 
 /// Runs the quota binary search of Function `binarySearch` (Section 4.2.2),
@@ -131,7 +135,8 @@ pub fn binary_search(
     solver: &mut dyn KMstSolver,
     beta: f64,
     max_iterations: usize,
-) -> (Option<RegionTuple>, Vec<BinarySearchStep>) {
+    ctl: &CancelToken,
+) -> (Option<RegionTuple>, Vec<BinarySearchStep>, bool) {
     let mut trace = Vec::new();
     let three_delta = 3.0 * graph.delta();
     let mut lower = graph.scaled_weight_lower_bound().max(1);
@@ -143,8 +148,13 @@ pub fn binary_search(
         if upper <= lower {
             break;
         }
+        // Poll once per probe; the oracle also polls internally, so an expiry
+        // mid-solve surfaces here at the latest on the next probe.
+        if ctl.is_cancelled() {
+            return (best_feasible, trace, true);
+        }
         let x = lower + (upper - lower) / 2;
-        let tc = solver.solve(graph, arena, x);
+        let tc = solver.solve(graph, arena, x, ctl);
         let tc_length = tc.as_ref().map(|t| t.length);
         let mut entry = BinarySearchStep {
             step,
@@ -176,7 +186,7 @@ pub fn binary_search(
                 }
                 let x_beta = (((x as f64) * (1.0 + beta)).ceil() as u64).max(x + 1);
                 entry.x_beta = x_beta;
-                let tprime = solver.solve(graph, arena, x_beta);
+                let tprime = solver.solve(graph, arena, x_beta, ctl);
                 entry.tprime_length = tprime.as_ref().map(|t| t.length);
                 let stop = match &tprime {
                     None => true,
@@ -184,7 +194,7 @@ pub fn binary_search(
                 };
                 trace.push(entry);
                 if stop {
-                    return (Some(tree), trace);
+                    return (Some(tree), trace, false);
                 }
                 if x == lower {
                     // Cannot tighten further with integer quotas.
@@ -197,7 +207,7 @@ pub fn binary_search(
             break;
         }
     }
-    (best_feasible, trace)
+    (best_feasible, trace, false)
 }
 
 /// Runs APP on a prepared query graph.
@@ -208,6 +218,7 @@ pub fn run_app(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     params: &AppParams,
+    ctl: &CancelToken,
 ) -> Result<AppOutcome> {
     params.validate()?;
     if graph.sigma_max() <= 0.0 {
@@ -223,15 +234,17 @@ pub fn run_app(
             frontier_peak: 0,
             dominance_evictions: 0,
             tree_arrays: None,
+            interrupted: false,
         });
     }
     let mut solver = make_solver(params.solver);
-    let (candidate, trace) = binary_search(
+    let (candidate, trace, search_interrupted) = binary_search(
         graph,
         arena,
         solver.as_mut(),
         params.beta,
         params.max_iterations,
+        ctl,
     );
     let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
@@ -257,6 +270,7 @@ pub fn run_app(
             frontier_peak: 0,
             dominance_evictions: 0,
             tree_arrays: None,
+            interrupted: search_interrupted,
         });
     };
     // Algorithm 1, line 3: when the candidate tree already satisfies Q.∆ it is
@@ -273,9 +287,10 @@ pub fn run_app(
             frontier_peak: 0,
             dominance_evictions: 0,
             tree_arrays: None,
+            interrupted: search_interrupted,
         });
     }
-    let dp = find_opt_tree(graph, arena, &candidate);
+    let dp = find_opt_tree(graph, arena, &candidate, ctl);
     let (frontier_tuples, frontier_peak, dominance_evictions) = dp.frontier_stats();
     Ok(AppOutcome {
         best: dp.best,
@@ -287,6 +302,7 @@ pub fn run_app(
         frontier_tuples,
         frontier_peak,
         dominance_evictions,
+        interrupted: search_interrupted || dp.interrupted,
         tree_arrays: Some(dp),
     })
 }
@@ -324,7 +340,8 @@ mod tests {
         // Exact optimum for ∆ = 6 is weight 1.1 ({v2,v4,v5,v6}).
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &AppParams::default()).unwrap();
+        let outcome =
+            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
         let best = outcome.best.expect("a region must be found");
         assert!(best.length <= 6.0 + 1e-9, "length {}", best.length);
         // Theorem 4 guarantees ≥ (1-α)/(5+5β)·opt ≈ 0.17; in practice APP does
@@ -339,7 +356,8 @@ mod tests {
         for delta in [1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 20.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.5);
             let mut arena = TupleArena::new();
-            let outcome = run_app(&qg, &mut arena, &AppParams::default()).unwrap();
+            let outcome =
+                run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
             let best = outcome.best.expect("region expected");
             assert!(
                 best.length <= delta + 1e-9,
@@ -354,7 +372,8 @@ mod tests {
     fn app_with_huge_delta_collects_everything() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &AppParams::default()).unwrap();
+        let outcome =
+            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
         let best = outcome.best.unwrap();
         assert_eq!(best.node_count(), 6);
         assert!((best.weight - 1.7).abs() < 1e-9);
@@ -368,7 +387,8 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &AppParams::default()).unwrap();
+        let outcome =
+            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
         assert!(outcome.best.is_none());
         assert_eq!(outcome.kmst_calls, 0);
     }
@@ -378,7 +398,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
         let params = AppParams::default();
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &params).unwrap();
+        let outcome = run_app(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
         let three_delta = 3.0 * qg.delta();
         for step in &outcome.trace {
             assert!(step.lower <= step.x && step.x <= step.upper);
@@ -407,7 +427,7 @@ mod tests {
             ..AppParams::default()
         };
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &params).unwrap();
+        let outcome = run_app(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
         let best = outcome.best.unwrap();
         assert!(best.length <= 6.0 + 1e-9);
         assert!(best.weight >= 0.5);
@@ -418,8 +438,10 @@ mod tests {
         let (_n, qg) = figure2_query_graph(3.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = crate::kmst::garg::GargKMst::new();
-        let (tree, trace) = binary_search(&qg, &mut arena, &mut solver, 0.1, 64);
+        let (tree, trace, interrupted) =
+            binary_search(&qg, &mut arena, &mut solver, 0.1, 64, &CancelToken::none());
         assert!(!trace.is_empty());
+        assert!(!interrupted);
         if let Some(t) = tree {
             assert!(t.length <= 3.0 * qg.delta() + 1e-9);
         }

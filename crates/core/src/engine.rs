@@ -6,25 +6,34 @@
 //! the requested algorithm, and converts the winning tuple back into a global
 //! [`Region`].
 //!
+//! Requests are described by a [`QueryRequest`] — query, algorithm, and
+//! [`QueryOptions`] (top-k, deadline, priority, parameter overrides) — and
+//! answered by [`LcmsrEngine::execute`].  A request with a
+//! [`crate::cancel::Deadline`] runs as an *anytime query*: the solvers poll a
+//! cooperative [`crate::cancel::CancelToken`] at their loop boundaries and,
+//! on expiry, return the best feasible region found so far with
+//! `partial: true` in [`RunStats`] instead of running to completion.
+//!
 //! Interactive exploration produces many successive queries over the same
 //! network, so the engine supports **batched concurrent execution**:
-//! [`LcmsrEngine::run_batch`] fans a slice of queries out over scoped worker
-//! threads, each owning a [`QueryWorkspace`] whose scratch buffers (region
-//! extraction, keyword scoring, CSR query-graph construction) are recycled
-//! from query to query, so steady-state per-query preparation allocates
-//! near-zero.  Results come back in input order and are identical to what
-//! sequential [`LcmsrEngine::run`] calls produce.
+//! [`LcmsrEngine::execute_batch`] fans a slice of requests out over scoped
+//! worker threads, each owning a [`QueryWorkspace`] whose scratch buffers
+//! (region extraction, keyword scoring, CSR query-graph construction) are
+//! recycled from query to query, so steady-state per-query preparation
+//! allocates near-zero.  Results come back in input order and are identical
+//! to what sequential [`LcmsrEngine::execute`] calls produce.
 
 use crate::app::{run_app, AppParams};
 use crate::arena::TupleArena;
+use crate::cancel::{CancelToken, Deadline};
 use crate::error::Result;
 use crate::exact::ExactSolver;
 use crate::greedy::{run_greedy, GreedyParams};
 use crate::maxrs::{max_range_sum, MaxRsResult};
 use crate::query::LcmsrQuery;
 use crate::query_graph::{QueryGraph, QueryGraphBuilder};
-use crate::region::Region;
-use crate::stats::RunStats;
+use crate::region::{Region, RegionTuple};
+use crate::stats::{PartialCause, RunStats};
 use crate::tgen::{run_tgen, TgenParams};
 use crate::topk::{topk_app, topk_greedy, topk_tgen};
 use lcmsr_geotext::collection::{NodeWeights, ObjectCollection};
@@ -34,7 +43,7 @@ use lcmsr_roadnet::node::NodeId;
 use lcmsr_roadnet::subgraph::{RegionScratch, RegionView};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which LCMSR algorithm to run, with its parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +82,247 @@ impl Algorithm {
             // floor quantisation could rank a lighter region above the true
             // optimum (e.g. weights {0.3} vs {0.16, 0.16} under θ = 0.1).
             Algorithm::Exact => 1e-6,
+        }
+    }
+}
+
+/// Scheduling priority of a request.  The engine itself treats priorities
+/// identically; serving front-ends (the `lcmsr_service` scheduler) use them
+/// to pick queue lanes — interactive requests preempt batch ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// A user is waiting on the answer; served first.
+    #[default]
+    Interactive,
+    /// Throughput work; served when no interactive request is queued.
+    Batch,
+}
+
+impl Priority {
+    /// The stable wire/display spelling ("interactive" / "batch").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses the wire spelling back into a priority.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-request execution options carried by a [`QueryRequest`].
+///
+/// The `Default` options reproduce the classic single-region run exactly: no
+/// top-k, no deadline, no overrides — and, crucially, no armed cancellation
+/// token, so the solve path is bit-identical to one without anytime support.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// `Some(k)` answers the request as a top-k query (up to `k` best
+    /// distinct regions); `None` returns the single best region.
+    pub k: Option<usize>,
+    /// Wall-clock budget for the whole request.  When it expires mid-solve
+    /// the engine returns the best feasible region found so far and marks the
+    /// stats `partial: true` with a `deadline_exceeded` cause.
+    pub deadline: Option<Deadline>,
+    /// External cancellation hook, polled by the solvers exactly like a
+    /// deadline.  When set it replaces the token the deadline would have
+    /// produced, so a caller combining both should arm this token with the
+    /// deadline instant itself ([`CancelToken::with_deadline`]).
+    pub cancel: Option<CancelToken>,
+    /// Scheduling priority (engine-neutral; see [`Priority`]).
+    pub priority: Priority,
+    /// Overrides the algorithm's scaling parameter α (APP, TGEN).
+    pub alpha: Option<f64>,
+    /// Overrides APP's binary-search parameter β.
+    pub beta: Option<f64>,
+    /// Overrides Greedy's expansion parameter µ.
+    pub mu: Option<f64>,
+}
+
+impl QueryOptions {
+    /// The token the solvers should poll for this request.
+    fn solve_token(&self) -> CancelToken {
+        if let Some(token) = &self.cancel {
+            return token.clone();
+        }
+        self.deadline
+            .map(|d| d.token())
+            .unwrap_or_else(CancelToken::none)
+    }
+}
+
+/// A self-describing query request: the query, the algorithm, and the
+/// execution options — one surface replacing the grown positional-argument
+/// family (`run`/`run_with`/`run_topk`/`run_topk_with`/`run_batch`/…).
+///
+/// ```ignore
+/// let request = QueryRequest::new(&query, Algorithm::Exact)
+///     .top_k(3)
+///     .deadline_in(Duration::from_millis(50))
+///     .priority(Priority::Batch);
+/// let outcome = engine.execute(&request)?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryRequest<'q> {
+    /// The LCMSR query to answer.
+    pub query: &'q LcmsrQuery,
+    /// The algorithm with its base parameters ([`QueryOptions`] overrides
+    /// apply on top).
+    pub algorithm: Algorithm,
+    /// Execution options.
+    pub options: QueryOptions,
+}
+
+impl<'q> QueryRequest<'q> {
+    /// A request with default options: single best region, no deadline.
+    pub fn new(query: &'q LcmsrQuery, algorithm: Algorithm) -> Self {
+        QueryRequest {
+            query,
+            algorithm,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// A request with explicit options (the non-builder construction path,
+    /// used when options arrive already assembled, e.g. off the wire).
+    pub fn with_options(
+        query: &'q LcmsrQuery,
+        algorithm: Algorithm,
+        options: QueryOptions,
+    ) -> Self {
+        QueryRequest {
+            query,
+            algorithm,
+            options,
+        }
+    }
+
+    /// Answers as a top-k query returning up to `k` distinct regions.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.options.k = Some(k);
+        self
+    }
+
+    /// Runs under `deadline` (stamped where the request entered the system).
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Runs under a deadline `budget` from now.
+    pub fn deadline_in(mut self, budget: Duration) -> Self {
+        self.options.deadline = Some(Deadline::after(budget));
+        self
+    }
+
+    /// Polls `token` instead of a deadline-derived one (see
+    /// [`QueryOptions::cancel`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.options.cancel = Some(token);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Overrides the algorithm's α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.options.alpha = Some(alpha);
+        self
+    }
+
+    /// Overrides APP's β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.options.beta = Some(beta);
+        self
+    }
+
+    /// Overrides Greedy's µ.
+    pub fn mu(mut self, mu: f64) -> Self {
+        self.options.mu = Some(mu);
+        self
+    }
+
+    /// The algorithm with the option overrides folded in.
+    fn effective_algorithm(&self) -> Algorithm {
+        let mut algorithm = self.algorithm.clone();
+        match &mut algorithm {
+            Algorithm::App(p) => {
+                if let Some(alpha) = self.options.alpha {
+                    p.alpha = alpha;
+                }
+                if let Some(beta) = self.options.beta {
+                    p.beta = beta;
+                }
+            }
+            Algorithm::Tgen(p) => {
+                if let Some(alpha) = self.options.alpha {
+                    p.alpha = alpha;
+                }
+            }
+            Algorithm::Greedy(p) => {
+                if let Some(mu) = self.options.mu {
+                    p.mu = mu;
+                }
+            }
+            Algorithm::Exact => {}
+        }
+        algorithm
+    }
+}
+
+/// Result of [`LcmsrEngine::execute`]: the best regions found (at most one
+/// for a single-region request, up to `k` for top-k), best first, plus the
+/// run statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Best-first feasible regions; empty when no object matches.
+    pub regions: Vec<Region>,
+    /// Execution statistics, including the partial/deadline marks.
+    pub stats: RunStats,
+}
+
+impl QueryOutcome {
+    /// The best region, if any.
+    pub fn best(&self) -> Option<&Region> {
+        self.regions.first()
+    }
+
+    /// Whether the run stopped early and `regions` holds best-so-far
+    /// incumbents (see [`RunStats::partial`]).
+    pub fn is_partial(&self) -> bool {
+        self.stats.partial
+    }
+
+    /// Converts into the legacy single-region result shape.
+    pub fn into_single(self) -> QueryResult {
+        QueryResult {
+            region: self.regions.into_iter().next(),
+            stats: self.stats,
+        }
+    }
+
+    /// Converts into the legacy top-k result shape.
+    pub fn into_topk(self) -> TopKResult {
+        TopKResult {
+            regions: self.regions,
+            stats: self.stats,
         }
     }
 }
@@ -325,29 +575,32 @@ impl<'a> LcmsrEngine<'a> {
         workspace.builder.recycle(graph);
     }
 
-    /// Answers a query with the requested algorithm, using a pooled workspace
-    /// (successive calls on the same engine reuse scratch buffers and arenas).
-    pub fn run(&self, query: &LcmsrQuery, algorithm: &Algorithm) -> Result<QueryResult> {
+    /// Answers a [`QueryRequest`], using a pooled workspace (successive calls
+    /// on the same engine reuse scratch buffers and arenas).
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutcome> {
         let mut workspace = self.pool.checkout();
-        let result = self.run_with(&mut workspace, query, algorithm);
+        let result = self.execute_with(&mut workspace, request);
         self.pool.recycle(workspace);
         result
     }
 
-    /// Like [`LcmsrEngine::run`], but reuses a caller-owned workspace — the
-    /// building block of [`LcmsrEngine::run_batch`], also useful on its own
-    /// for a sequential stream of queries.
-    pub fn run_with(
+    /// Like [`LcmsrEngine::execute`], but reuses a caller-owned workspace —
+    /// the building block of [`LcmsrEngine::execute_batch`], also useful on
+    /// its own for a sequential stream of requests.
+    pub fn execute_with(
         &self,
         workspace: &mut QueryWorkspace,
-        query: &LcmsrQuery,
-        algorithm: &Algorithm,
-    ) -> Result<QueryResult> {
+        request: &QueryRequest,
+    ) -> Result<QueryOutcome> {
         let start = Instant::now();
-        let graph = self.prepare_with(workspace, query, algorithm.alpha())?;
+        let algorithm = request.effective_algorithm();
+        let options = &request.options;
+        let ctl = options.solve_token();
+        let graph = self.prepare_with(workspace, request.query, algorithm.alpha())?;
         let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
         stats.prepare_time = prepare_time;
+        stats.deadline = options.deadline.map(|d| d.budget());
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
@@ -356,115 +609,78 @@ impl<'a> LcmsrEngine<'a> {
         // here, while the slab's capacity carries over.
         workspace.arena.reset();
         let arena = &mut workspace.arena;
-        let solved = (|| match algorithm {
-            Algorithm::App(params) => {
-                let outcome = run_app(&graph, arena, params)?;
+        let mut interrupted = false;
+        let solved: Result<Vec<RegionTuple>> = (|| match (&algorithm, options.k) {
+            (Algorithm::App(params), None) => {
+                let outcome = run_app(&graph, arena, params, &ctl)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.dp_tuples;
                 stats.pruned_pairs = outcome.dp_pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
                 stats.frontier_peak = outcome.frontier_peak;
                 stats.dominance_evictions = outcome.dominance_evictions;
-                Ok(outcome.best)
+                interrupted = outcome.interrupted;
+                Ok(outcome.best.into_iter().collect())
             }
-            Algorithm::Tgen(params) => {
-                let outcome = run_tgen(&graph, arena, params)?;
+            (Algorithm::Tgen(params), None) => {
+                let outcome = run_tgen(&graph, arena, params, &ctl)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
                 stats.frontier_peak = outcome.frontier_peak;
                 stats.dominance_evictions = outcome.dominance_evictions;
-                Ok(outcome.best)
+                interrupted = outcome.interrupted;
+                Ok(outcome.best.into_iter().collect())
             }
-            Algorithm::Greedy(params) => {
-                let outcome = run_greedy(&graph, arena, params)?;
+            (Algorithm::Greedy(params), None) => {
+                let outcome = run_greedy(&graph, arena, params, &ctl)?;
                 stats.greedy_steps = outcome.steps;
-                Ok(outcome.best)
+                interrupted = outcome.interrupted;
+                Ok(outcome.best.into_iter().collect())
             }
-            Algorithm::Exact => ExactSolver::new().solve(&graph, arena),
-        })();
-        stats.solve_time = solve_start.elapsed();
-        // Return the graph to the pool on the error path too, so a failing
-        // query (e.g. Exact over an oversized region) does not cost the
-        // workspace its pooled allocations.
-        let region = match solved {
-            Ok(best) => best.map(|t| Region::from_tuple(&graph, &workspace.arena, &t)),
-            Err(e) => {
-                self.release(workspace, graph);
-                return Err(e);
+            (Algorithm::Exact, None) => {
+                let outcome = ExactSolver::new().solve(&graph, arena, &ctl)?;
+                interrupted = outcome.interrupted;
+                Ok(outcome.best.into_iter().collect())
             }
-        };
-        self.release(workspace, graph);
-        stats.elapsed = start.elapsed();
-        Ok(QueryResult { region, stats })
-    }
-
-    /// Answers a top-k query with the requested algorithm, using a pooled
-    /// workspace (see [`LcmsrEngine::run`]).
-    pub fn run_topk(
-        &self,
-        query: &LcmsrQuery,
-        algorithm: &Algorithm,
-        k: usize,
-    ) -> Result<TopKResult> {
-        let mut workspace = self.pool.checkout();
-        let result = self.run_topk_with(&mut workspace, query, algorithm, k);
-        self.pool.recycle(workspace);
-        result
-    }
-
-    /// Like [`LcmsrEngine::run_topk`], but reuses a caller-owned workspace.
-    pub fn run_topk_with(
-        &self,
-        workspace: &mut QueryWorkspace,
-        query: &LcmsrQuery,
-        algorithm: &Algorithm,
-        k: usize,
-    ) -> Result<TopKResult> {
-        let start = Instant::now();
-        let graph = self.prepare_with(workspace, query, algorithm.alpha())?;
-        let prepare_time = start.elapsed();
-        let mut stats = RunStats::new(algorithm.name());
-        stats.prepare_time = prepare_time;
-        stats.nodes_in_region = graph.node_count();
-        stats.edges_in_region = graph.edge_count();
-        stats.relevant_nodes = graph.relevant_nodes().len();
-        let solve_start = Instant::now();
-        workspace.arena.reset();
-        let arena = &mut workspace.arena;
-        let solved = (|| match algorithm {
-            Algorithm::App(params) => {
-                let outcome = topk_app(&graph, arena, params, k)?;
+            (Algorithm::App(params), Some(k)) => {
+                let outcome = topk_app(&graph, arena, params, k, &ctl)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
                 stats.frontier_peak = outcome.frontier_peak;
                 stats.dominance_evictions = outcome.dominance_evictions;
+                interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
-            Algorithm::Tgen(params) => {
-                let outcome = topk_tgen(&graph, arena, params, k)?;
+            (Algorithm::Tgen(params), Some(k)) => {
+                let outcome = topk_tgen(&graph, arena, params, k, &ctl)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
                 stats.frontier_peak = outcome.frontier_peak;
                 stats.dominance_evictions = outcome.dominance_evictions;
+                interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
-            Algorithm::Greedy(params) => {
-                let outcome = topk_greedy(&graph, arena, params, k)?;
+            (Algorithm::Greedy(params), Some(k)) => {
+                let outcome = topk_greedy(&graph, arena, params, k, &ctl)?;
                 stats.greedy_steps = outcome.greedy_steps;
+                interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
-            Algorithm::Exact => {
-                let outcome = ExactSolver::new().solve_topk(&graph, arena, k)?;
+            (Algorithm::Exact, Some(k)) => {
+                let outcome = ExactSolver::new().solve_topk(&graph, arena, k, &ctl)?;
                 stats.tuples_generated = outcome.feasible_enumerated;
+                interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
         })();
         stats.solve_time = solve_start.elapsed();
-        // As in run_with: recycle the graph even when the solver errors.
+        // Return the graph to the pool on the error path too, so a failing
+        // request (e.g. Exact over an oversized region) does not cost the
+        // workspace its pooled allocations.
         let tuples = match solved {
             Ok(tuples) => tuples,
             Err(e) => {
@@ -472,56 +688,153 @@ impl<'a> LcmsrEngine<'a> {
                 return Err(e);
             }
         };
+        if interrupted {
+            stats.mark_partial(match options.deadline {
+                Some(_) => PartialCause::DeadlineExceeded,
+                None => PartialCause::Cancelled,
+            });
+        }
         let regions = tuples
             .iter()
             .map(|t| Region::from_tuple(&graph, &workspace.arena, t))
             .collect();
         self.release(workspace, graph);
         stats.elapsed = start.elapsed();
-        Ok(TopKResult { regions, stats })
+        Ok(QueryOutcome { regions, stats })
     }
 
-    /// Answers a batch of queries concurrently, using one worker per
+    /// Answers a batch of requests concurrently, using one worker per
     /// available CPU (capped at the batch size).  Results are returned in
-    /// input order and are identical to running each query sequentially with
-    /// [`LcmsrEngine::run`]; the first failing query's error (in input order)
-    /// is returned if any query fails.
+    /// input order and are identical to running each request sequentially
+    /// with [`LcmsrEngine::execute`]; the first failing request's error (in
+    /// input order) is returned if any request fails.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryOutcome>> {
+        self.execute_batch_with(requests, default_workers())
+    }
+
+    /// Like [`LcmsrEngine::execute_batch`] with an explicit worker count.
+    ///
+    /// Workers pull requests from a shared atomic cursor (dynamic load
+    /// balancing), each runs with its own [`QueryWorkspace`], and every
+    /// result lands in its request's input slot.  Each member runs under its
+    /// own deadline; a front-end that wants one deadline for a dispatched
+    /// group stamps that deadline on every member.
+    pub fn execute_batch_with(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Result<Vec<QueryOutcome>> {
+        self.batch_over(requests, workers, |ws, request| {
+            self.execute_with(ws, request)
+        })
+    }
+
+    /// Answers a query with the requested algorithm, using a pooled workspace.
+    #[deprecated(since = "0.6.0", note = "build a QueryRequest and call execute")]
+    pub fn run(&self, query: &LcmsrQuery, algorithm: &Algorithm) -> Result<QueryResult> {
+        self.execute(&QueryRequest::new(query, algorithm.clone()))
+            .map(QueryOutcome::into_single)
+    }
+
+    /// Like `run`, but reuses a caller-owned workspace.
+    #[deprecated(since = "0.6.0", note = "build a QueryRequest and call execute_with")]
+    pub fn run_with(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+    ) -> Result<QueryResult> {
+        self.execute_with(workspace, &QueryRequest::new(query, algorithm.clone()))
+            .map(QueryOutcome::into_single)
+    }
+
+    /// Answers a top-k query with the requested algorithm.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a QueryRequest with top_k and call execute"
+    )]
+    pub fn run_topk(
+        &self,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<TopKResult> {
+        self.execute(&QueryRequest::new(query, algorithm.clone()).top_k(k))
+            .map(QueryOutcome::into_topk)
+    }
+
+    /// Like `run_topk`, but reuses a caller-owned workspace.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a QueryRequest with top_k and call execute_with"
+    )]
+    pub fn run_topk_with(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<TopKResult> {
+        self.execute_with(
+            workspace,
+            &QueryRequest::new(query, algorithm.clone()).top_k(k),
+        )
+        .map(QueryOutcome::into_topk)
+    }
+
+    /// Answers a batch of queries concurrently with default workers.
+    #[deprecated(since = "0.6.0", note = "build QueryRequests and call execute_batch")]
     pub fn run_batch(
         &self,
         queries: &[LcmsrQuery],
         algorithm: &Algorithm,
     ) -> Result<Vec<QueryResult>> {
+        #[allow(deprecated)]
         self.run_batch_with(queries, algorithm, default_workers())
     }
 
-    /// Like [`LcmsrEngine::run_batch`] with an explicit worker count.
-    ///
-    /// Workers pull queries from a shared atomic cursor (dynamic load
-    /// balancing), each runs with its own [`QueryWorkspace`], and every result
-    /// lands in its query's input slot.
+    /// Answers a batch of queries concurrently with an explicit worker count.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build QueryRequests and call execute_batch_with"
+    )]
     pub fn run_batch_with(
         &self,
         queries: &[LcmsrQuery],
         algorithm: &Algorithm,
         workers: usize,
     ) -> Result<Vec<QueryResult>> {
-        self.batch_over(queries, workers, |ws, query| {
-            self.run_with(ws, query, algorithm)
-        })
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::new(q, algorithm.clone()))
+            .collect();
+        Ok(self
+            .execute_batch_with(&requests, workers)?
+            .into_iter()
+            .map(QueryOutcome::into_single)
+            .collect())
     }
 
-    /// Answers a batch of top-k queries concurrently (see
-    /// [`LcmsrEngine::run_batch`]).
+    /// Answers a batch of top-k queries concurrently with default workers.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build QueryRequests with top_k and call execute_batch"
+    )]
     pub fn run_topk_batch(
         &self,
         queries: &[LcmsrQuery],
         algorithm: &Algorithm,
         k: usize,
     ) -> Result<Vec<TopKResult>> {
+        #[allow(deprecated)]
         self.run_topk_batch_with(queries, algorithm, k, default_workers())
     }
 
-    /// Like [`LcmsrEngine::run_topk_batch`] with an explicit worker count.
+    /// Answers a batch of top-k queries with an explicit worker count.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build QueryRequests with top_k and call execute_batch_with"
+    )]
     pub fn run_topk_batch_with(
         &self,
         queries: &[LcmsrQuery],
@@ -529,34 +842,41 @@ impl<'a> LcmsrEngine<'a> {
         k: usize,
         workers: usize,
     ) -> Result<Vec<TopKResult>> {
-        self.batch_over(queries, workers, |ws, query| {
-            self.run_topk_with(ws, query, algorithm, k)
-        })
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::new(q, algorithm.clone()).top_k(k))
+            .collect();
+        Ok(self
+            .execute_batch_with(&requests, workers)?
+            .into_iter()
+            .map(QueryOutcome::into_topk)
+            .collect())
     }
 
-    /// Shared batch driver: fans `queries` out over `workers` scoped threads,
-    /// each owning a workspace, and reassembles per-query results in input
+    /// Shared batch driver: fans `items` out over `workers` scoped threads,
+    /// each owning a workspace, and reassembles per-item results in input
     /// order.  A single worker degenerates to an in-place sequential loop
     /// (still with workspace reuse).
-    fn batch_over<T, F>(&self, queries: &[LcmsrQuery], workers: usize, job: F) -> Result<Vec<T>>
+    fn batch_over<I, T, F>(&self, items: &[I], workers: usize, job: F) -> Result<Vec<T>>
     where
+        I: Sync,
         T: Send,
-        F: Fn(&mut QueryWorkspace, &LcmsrQuery) -> Result<T> + Sync,
+        F: Fn(&mut QueryWorkspace, &I) -> Result<T> + Sync,
     {
-        let workers = workers.max(1).min(queries.len().max(1));
+        let workers = workers.max(1).min(items.len().max(1));
         // An explicit worker count is a statement that `workers` workspaces
         // are worth keeping around between batches.
         self.pool.ensure_max_idle(workers);
         if workers <= 1 {
             let mut workspace = self.pool.checkout();
-            let result = queries.iter().map(|q| job(&mut workspace, q)).collect();
+            let result = items.iter().map(|item| job(&mut workspace, item)).collect();
             self.pool.recycle(workspace);
             return result;
         }
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let mut slots: Vec<Option<Result<T>>> = Vec::with_capacity(queries.len());
-        slots.resize_with(queries.len(), || None);
+        let mut slots: Vec<Option<Result<T>>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -565,15 +885,15 @@ impl<'a> LcmsrEngine<'a> {
                         // same engine keep their grown buffers and arenas.
                         let mut workspace = self.pool.checkout();
                         let mut produced = Vec::new();
-                        // Stop claiming work once any query has failed — like
+                        // Stop claiming work once any item has failed — like
                         // the sequential path, there is no point finishing a
                         // batch whose result will be discarded.
                         while !failed.load(AtomicOrdering::Relaxed) {
                             let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                            if i >= queries.len() {
+                            if i >= items.len() {
                                 break;
                             }
-                            let result = job(&mut workspace, &queries[i]);
+                            let result = job(&mut workspace, &items[i]);
                             if result.is_err() {
                                 failed.store(true, AtomicOrdering::Relaxed);
                             }
@@ -599,7 +919,7 @@ impl<'a> LcmsrEngine<'a> {
             match slot {
                 Some(Ok(value)) => results.push(value),
                 Some(Err(e)) => return Err(e),
-                None => unreachable!("unprocessed query without a preceding error"),
+                None => unreachable!("unprocessed item without a preceding error"),
             }
         }
         Ok(results)
@@ -710,9 +1030,80 @@ impl<'a> LcmsrEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelToken;
+    use crate::stats::PartialCause;
     use lcmsr_geotext::object::GeoTextObject;
     use lcmsr_roadnet::builder::GraphBuilder;
     use lcmsr_roadnet::geo::{Point, Rect};
+
+    /// Legacy-shaped helpers: the pre-existing tests keep their call shape
+    /// while exercising the new [`QueryRequest`] surface end to end.
+    fn run1(
+        engine: &LcmsrEngine,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+    ) -> Result<QueryResult> {
+        engine
+            .execute(&QueryRequest::new(query, algorithm.clone()))
+            .map(QueryOutcome::into_single)
+    }
+
+    fn run1_with(
+        engine: &LcmsrEngine,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+    ) -> Result<QueryResult> {
+        engine
+            .execute_with(workspace, &QueryRequest::new(query, algorithm.clone()))
+            .map(QueryOutcome::into_single)
+    }
+
+    fn runk(
+        engine: &LcmsrEngine,
+        query: &LcmsrQuery,
+        algorithm: &Algorithm,
+        k: usize,
+    ) -> Result<TopKResult> {
+        engine
+            .execute(&QueryRequest::new(query, algorithm.clone()).top_k(k))
+            .map(QueryOutcome::into_topk)
+    }
+
+    fn batch1(
+        engine: &LcmsrEngine,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+        workers: usize,
+    ) -> Result<Vec<QueryResult>> {
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::new(q, algorithm.clone()))
+            .collect();
+        Ok(engine
+            .execute_batch_with(&requests, workers)?
+            .into_iter()
+            .map(QueryOutcome::into_single)
+            .collect())
+    }
+
+    fn batchk(
+        engine: &LcmsrEngine,
+        queries: &[LcmsrQuery],
+        algorithm: &Algorithm,
+        k: usize,
+        workers: usize,
+    ) -> Result<Vec<TopKResult>> {
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::new(q, algorithm.clone()).top_k(k))
+            .collect();
+        Ok(engine
+            .execute_batch_with(&requests, workers)?
+            .into_iter()
+            .map(QueryOutcome::into_topk)
+            .collect())
+    }
 
     /// A 6×6 grid network (100 m blocks) with a restaurant cluster in the
     /// south-west corner and a couple of isolated cafes elsewhere.
@@ -786,7 +1177,7 @@ mod tests {
             Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            let result = engine.run(&query, &algorithm).unwrap();
+            let result = run1(&engine, &query, &algorithm).unwrap();
             let region = result
                 .region
                 .unwrap_or_else(|| panic!("{} found no region", algorithm.name()));
@@ -804,13 +1195,11 @@ mod tests {
         // Restrict Q.Λ to the south-west corner so the exact solver can enumerate.
         let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
         let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
-        let exact = engine
-            .run(&query, &Algorithm::Exact)
+        let exact = run1(&engine, &query, &Algorithm::Exact)
             .unwrap()
             .region
             .unwrap();
-        let tgen = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
+        let tgen = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
             .unwrap()
             .region
             .unwrap();
@@ -829,7 +1218,7 @@ mod tests {
             Algorithm::Greedy(GreedyParams::default()),
             Algorithm::Exact,
         ] {
-            let result = engine.run(&query, &algorithm).unwrap();
+            let result = run1(&engine, &query, &algorithm).unwrap();
             assert!(result.region.is_none(), "{}", algorithm.name());
         }
     }
@@ -841,15 +1230,11 @@ mod tests {
         // Only the north-east part, where no restaurant lies.
         let rect = Rect::new(300.0, 300.0, 560.0, 560.0);
         let query = LcmsrQuery::new(["restaurant"], 400.0, rect).unwrap();
-        let result = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
-            .unwrap();
+        let result = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 1.0 })).unwrap();
         assert!(result.region.is_none());
         // Cafes are there, though.
         let query = LcmsrQuery::new(["cafe"], 400.0, rect).unwrap();
-        let result = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
-            .unwrap();
+        let result = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 1.0 })).unwrap();
         assert!(result.region.is_some());
     }
 
@@ -863,7 +1248,7 @@ mod tests {
             Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            let result = engine.run_topk(&query, &algorithm, 3).unwrap();
+            let result = runk(&engine, &query, &algorithm, 3).unwrap();
             assert!(!result.regions.is_empty(), "{}", algorithm.name());
             assert!(result.regions.len() <= 3);
             for w in result.regions.windows(2) {
@@ -908,12 +1293,10 @@ mod tests {
         ] {
             let sequential: Vec<_> = queries
                 .iter()
-                .map(|q| engine.run(q, &algorithm).unwrap().region)
+                .map(|q| run1(&engine, q, &algorithm).unwrap().region)
                 .collect();
             for workers in [1, 2, 4] {
-                let batched = engine
-                    .run_batch_with(&queries, &algorithm, workers)
-                    .unwrap();
+                let batched = batch1(&engine, &queries, &algorithm, workers).unwrap();
                 assert_eq!(batched.len(), queries.len());
                 for (i, (seq, bat)) in sequential.iter().zip(&batched).enumerate() {
                     assert_eq!(
@@ -935,11 +1318,9 @@ mod tests {
         let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
         let sequential: Vec<_> = queries
             .iter()
-            .map(|q| engine.run_topk(q, &algorithm, 3).unwrap().regions)
+            .map(|q| runk(&engine, q, &algorithm, 3).unwrap().regions)
             .collect();
-        let batched = engine
-            .run_topk_batch_with(&queries, &algorithm, 3, 4)
-            .unwrap();
+        let batched = batchk(&engine, &queries, &algorithm, 3, 4).unwrap();
         for (seq, bat) in sequential.iter().zip(&batched) {
             assert_eq!(seq, &bat.regions);
         }
@@ -953,9 +1334,13 @@ mod tests {
         // Bypass the constructor to craft an invalid query mid-batch.
         queries[5].delta = -1.0;
         queries[9].keywords.clear();
-        let err = engine
-            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
-            .unwrap_err();
+        let err = batch1(
+            &engine,
+            &queries,
+            &Algorithm::Greedy(GreedyParams::default()),
+            4,
+        )
+        .unwrap_err();
         assert!(matches!(err, crate::error::LcmsrError::InvalidDelta { .. }));
     }
 
@@ -1006,18 +1391,26 @@ mod tests {
         let engine = LcmsrEngine::new(&network, &collection);
         engine.workspace_pool().set_max_idle(1);
         let queries = mixed_workload(&network);
-        let _ = engine
-            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
-            .unwrap();
+        let _ = batch1(
+            &engine,
+            &queries,
+            &Algorithm::Greedy(GreedyParams::default()),
+            4,
+        )
+        .unwrap();
         assert!(
             engine.workspace_pool().max_idle() >= 4,
             "batch with 4 workers must raise the idle cap, got {}",
             engine.workspace_pool().max_idle()
         );
         // A second batch can now reuse every worker's workspace.
-        let _ = engine
-            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
-            .unwrap();
+        let _ = batch1(
+            &engine,
+            &queries,
+            &Algorithm::Greedy(GreedyParams::default()),
+            4,
+        )
+        .unwrap();
         assert!(engine.workspace_pool().idle_count() >= 1);
     }
 
@@ -1033,9 +1426,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..6 {
                 scope.spawn(|| {
-                    engine
-                        .run(&query, &Algorithm::Greedy(GreedyParams::default()))
-                        .unwrap()
+                    run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default())).unwrap()
                 });
             }
         });
@@ -1052,9 +1443,7 @@ mod tests {
         let engine = LcmsrEngine::new(&network, &collection);
         assert_eq!(engine.workspace_pool().idle_count(), 0);
         let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
-        let first = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
-            .unwrap();
+        let first = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 1.0 })).unwrap();
         assert_eq!(
             engine.workspace_pool().idle_count(),
             1,
@@ -1062,20 +1451,26 @@ mod tests {
         );
         // The second run reuses the same workspace (the pool does not grow)
         // and produces the identical region.
-        let second = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
-            .unwrap();
+        let second = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 1.0 })).unwrap();
         assert_eq!(engine.workspace_pool().idle_count(), 1);
         assert_eq!(first.region, second.region);
         // Top-k and batch paths recycle too.
-        let _ = engine
-            .run_topk(&query, &Algorithm::Greedy(GreedyParams::default()), 2)
-            .unwrap();
+        let _ = runk(
+            &engine,
+            &query,
+            &Algorithm::Greedy(GreedyParams::default()),
+            2,
+        )
+        .unwrap();
         assert_eq!(engine.workspace_pool().idle_count(), 1);
         let queries = mixed_workload(&network);
-        let _ = engine
-            .run_batch_with(&queries, &Algorithm::Greedy(GreedyParams::default()), 4)
-            .unwrap();
+        let _ = batch1(
+            &engine,
+            &queries,
+            &Algorithm::Greedy(GreedyParams::default()),
+            4,
+        )
+        .unwrap();
         let pooled = engine.workspace_pool().idle_count();
         assert!(
             (1..=4).contains(&pooled),
@@ -1084,9 +1479,7 @@ mod tests {
         // A failing query still returns the workspace.
         let mut bad = queries[0].clone();
         bad.delta = -1.0;
-        assert!(engine
-            .run(&bad, &Algorithm::Greedy(GreedyParams::default()))
-            .is_err());
+        assert!(run1(&engine, &bad, &Algorithm::Greedy(GreedyParams::default())).is_err());
         assert_eq!(engine.workspace_pool().idle_count(), pooled);
     }
 
@@ -1105,10 +1498,8 @@ mod tests {
         ];
         for (i, query) in queries.iter().enumerate() {
             let algorithm = &algorithms[i % algorithms.len()];
-            let pooled = engine.run(query, algorithm).unwrap();
-            let fresh = engine
-                .run_with(&mut QueryWorkspace::new(), query, algorithm)
-                .unwrap();
+            let pooled = run1(&engine, query, algorithm).unwrap();
+            let fresh = run1_with(&engine, &mut QueryWorkspace::new(), query, algorithm).unwrap();
             assert_eq!(
                 pooled.region,
                 fresh.region,
@@ -1130,8 +1521,8 @@ mod tests {
             Algorithm::Greedy(GreedyParams::default()),
         ] {
             for query in &queries {
-                let fresh = engine.run(query, &algorithm).unwrap();
-                let reused = engine.run_with(&mut workspace, query, &algorithm).unwrap();
+                let fresh = run1(&engine, query, &algorithm).unwrap();
+                let reused = run1_with(&engine, &mut workspace, query, &algorithm).unwrap();
                 assert_eq!(fresh.region, reused.region, "{}", algorithm.name());
             }
         }
@@ -1147,7 +1538,7 @@ mod tests {
             Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            let result = engine.run(&query, &algorithm).unwrap();
+            let result = run1(&engine, &query, &algorithm).unwrap();
             let s = &result.stats;
             assert!(
                 s.prepare_time + s.solve_time <= s.elapsed,
@@ -1157,7 +1548,7 @@ mod tests {
                 s.solve_time,
                 s.elapsed
             );
-            let topk = engine.run_topk(&query, &algorithm, 2).unwrap();
+            let topk = runk(&engine, &query, &algorithm, 2).unwrap();
             assert!(topk.stats.prepare_time + topk.stats.solve_time <= topk.stats.elapsed);
         }
     }
@@ -1167,21 +1558,27 @@ mod tests {
         let (network, collection) = small_world();
         let engine = LcmsrEngine::new(&network, &collection);
         let query = LcmsrQuery::new(["restaurant", "cafe"], 300.0, whole_rect(&network)).unwrap();
-        let app = engine
-            .run_topk(&query, &Algorithm::App(AppParams::default()), 3)
-            .unwrap();
+        let app = runk(&engine, &query, &Algorithm::App(AppParams::default()), 3).unwrap();
         assert!(app.stats.kmst_calls > 0, "top-k APP must count kmst calls");
         assert!(app.stats.tuples_generated > 0);
-        let tgen = engine
-            .run_topk(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 }), 3)
-            .unwrap();
+        let tgen = runk(
+            &engine,
+            &query,
+            &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            3,
+        )
+        .unwrap();
         assert!(
             tgen.stats.tuples_generated > 0,
             "top-k TGEN must count tuples"
         );
-        let greedy = engine
-            .run_topk(&query, &Algorithm::Greedy(GreedyParams::default()), 3)
-            .unwrap();
+        let greedy = runk(
+            &engine,
+            &query,
+            &Algorithm::Greedy(GreedyParams::default()),
+            3,
+        )
+        .unwrap();
         assert!(
             greedy.stats.greedy_steps > 0,
             "top-k Greedy must count steps"
@@ -1199,7 +1596,7 @@ mod tests {
             Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             Algorithm::App(AppParams::default()),
         ] {
-            let single = engine.run(&query, &algorithm).unwrap().stats;
+            let single = run1(&engine, &query, &algorithm).unwrap().stats;
             // APP skips `findOptTree` (and its arrays) when the candidate
             // tree is already feasible — counters then legitimately stay 0,
             // flagged by tuples_generated being 0 too.
@@ -1220,15 +1617,14 @@ mod tests {
             if tgen_like {
                 assert!(single.frontier_tuples > 0, "TGEN always builds arrays");
             }
-            let topk = engine.run_topk(&query, &algorithm, 3).unwrap().stats;
+            let topk = runk(&engine, &query, &algorithm, 3).unwrap().stats;
             if topk.tuples_generated > 0 {
                 assert!(topk.frontier_tuples > 0, "{}", algorithm.name());
             }
         }
         // A tight budget forces the combine loops to prune pairs.
         let tight = LcmsrQuery::new(["restaurant"], 150.0, whole_rect(&network)).unwrap();
-        let stats = engine
-            .run(&tight, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+        let stats = run1(&engine, &tight, &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
             .unwrap()
             .stats;
         assert!(
@@ -1236,8 +1632,7 @@ mod tests {
             "a tight ∆ must budget-prune combine pairs, stats: {stats}"
         );
         // Greedy never touches tuple arrays.
-        let greedy = engine
-            .run(&query, &Algorithm::Greedy(GreedyParams::default()))
+        let greedy = run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default()))
             .unwrap()
             .stats;
         assert_eq!(greedy.frontier_tuples, 0);
@@ -1251,7 +1646,7 @@ mod tests {
         // Restrict Q.Λ so the exact solver can enumerate.
         let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
         let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
-        let result = engine.run_topk(&query, &Algorithm::Exact, 4).unwrap();
+        let result = runk(&engine, &query, &Algorithm::Exact, 4).unwrap();
         assert!(
             result.regions.len() >= 2,
             "Exact top-k must return more than one region, got {}",
@@ -1267,8 +1662,7 @@ mod tests {
             assert!(r.length <= 300.0 + 1e-9);
         }
         // The head agrees with the single-region Exact answer's measures.
-        let single = engine
-            .run(&query, &Algorithm::Exact)
+        let single = run1(&engine, &query, &Algorithm::Exact)
             .unwrap()
             .region
             .unwrap();
@@ -1302,12 +1696,18 @@ mod tests {
         let alpha = Algorithm::Exact.alpha();
         let qg = QueryGraph::build(&view, &weights, 5.0, alpha).unwrap();
         let mut arena = TupleArena::new();
-        let single = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        let single = ExactSolver::new()
+            .solve(&qg, &mut arena, &CancelToken::none())
+            .unwrap()
+            .best
+            .unwrap();
         assert!(
             (single.weight - 0.32).abs() < 1e-12,
             "true optimum is the pair"
         );
-        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 1).unwrap();
+        let top = ExactSolver::new()
+            .solve_topk(&qg, &mut arena, 1, &CancelToken::none())
+            .unwrap();
         assert!(
             top.tuples[0].same_nodes(&single, &arena),
             "run_topk(Exact, 1) must return the same region as run(Exact)"
@@ -1393,13 +1793,156 @@ mod tests {
         let maxrs = engine.run_maxrs(&query, 250.0, 250.0).unwrap().unwrap();
         let delta = maxrs.connecting_length.unwrap().max(100.0);
         let lcmsr_query = LcmsrQuery::new(["restaurant"], delta, whole_rect(&network)).unwrap();
-        let lcmsr = engine
-            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
-            .unwrap()
-            .region
-            .unwrap();
+        let lcmsr = run1(
+            &engine,
+            &lcmsr_query,
+            &Algorithm::Tgen(TgenParams { alpha: 0.5 }),
+        )
+        .unwrap()
+        .region
+        .unwrap();
         // Under the same connectivity budget the network-aware region should
         // gather at least as much weight as the rectangle's connected content.
         assert!(lcmsr.weight + 1e-9 >= maxrs.weight * 0.9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_execute() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 300.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::Tgen(TgenParams { alpha: 0.5 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let outcome = engine
+                .execute(&QueryRequest::new(&query, algorithm.clone()))
+                .unwrap();
+            let legacy = engine.run(&query, &algorithm).unwrap();
+            assert_eq!(legacy.region.as_ref(), outcome.best());
+            let topk = engine.run_topk(&query, &algorithm, 3).unwrap();
+            let via_request = engine
+                .execute(&QueryRequest::new(&query, algorithm.clone()).top_k(3))
+                .unwrap();
+            assert_eq!(topk.regions, via_request.regions);
+            let batch = engine
+                .run_batch(std::slice::from_ref(&query), &algorithm)
+                .unwrap();
+            assert_eq!(batch[0].region.as_ref(), outcome.best());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_incumbent_for_exact() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        // 3×3 corner of the grid: 9 nodes, 511 subset masks, so enumeration
+        // passes the poll stride (256) and the expired deadline fires with an
+        // incumbent already in hand.
+        let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
+        let request =
+            QueryRequest::new(&query, Algorithm::Exact).deadline(Deadline::after(Duration::ZERO));
+        let partial = engine.execute(&request).unwrap();
+        assert!(partial.is_partial());
+        assert_eq!(
+            partial.stats.partial_cause,
+            Some(PartialCause::DeadlineExceeded)
+        );
+        assert_eq!(partial.stats.deadline, Some(Duration::ZERO));
+        let incumbent = partial.best().expect("best-so-far incumbent");
+        assert!(incumbent.length <= 300.0 + 1e-9);
+        // Without a deadline the same query completes and is at least as good.
+        let full = engine
+            .execute(&QueryRequest::new(&query, Algorithm::Exact))
+            .unwrap();
+        assert!(!full.is_partial());
+        assert_eq!(full.stats.partial_cause, None);
+        assert!(full.best().unwrap().weight + 1e-9 >= incumbent.weight);
+    }
+
+    #[test]
+    fn manual_cancellation_marks_partial_cancelled() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let token = CancelToken::manual();
+        token.cancel();
+        let request = QueryRequest::new(&query, Algorithm::Greedy(GreedyParams::default()))
+            .cancel_token(token);
+        let outcome = engine.execute(&request).unwrap();
+        assert!(outcome.is_partial());
+        // No deadline was set, so the cause is attributed to cancellation.
+        assert_eq!(outcome.stats.partial_cause, Some(PartialCause::Cancelled));
+        assert_eq!(outcome.stats.deadline, None);
+        // Greedy seeds its best before the expansion loop, so a region is
+        // still returned.
+        assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn unarmed_requests_never_report_partial() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 0.5 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let outcome = engine
+                .execute(&QueryRequest::new(&query, algorithm))
+                .unwrap();
+            assert!(!outcome.is_partial());
+            assert_eq!(outcome.stats.partial_cause, None);
+        }
+        // Exact needs a sub-node-limit window.
+        let corner = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let small = LcmsrQuery::new(["restaurant"], 300.0, corner).unwrap();
+        let outcome = engine
+            .execute(&QueryRequest::new(&small, Algorithm::Exact))
+            .unwrap();
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.stats.partial_cause, None);
+    }
+
+    #[test]
+    fn option_overrides_patch_the_effective_algorithm() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let overridden = engine
+            .execute(
+                &QueryRequest::new(&query, Algorithm::Tgen(TgenParams { alpha: 1.0 })).alpha(0.25),
+            )
+            .unwrap();
+        let direct = engine
+            .execute(&QueryRequest::new(
+                &query,
+                Algorithm::Tgen(TgenParams { alpha: 0.25 }),
+            ))
+            .unwrap();
+        assert_eq!(overridden.regions, direct.regions);
+        let mu_override = engine
+            .execute(&QueryRequest::new(&query, Algorithm::Greedy(GreedyParams::default())).mu(0.9))
+            .unwrap();
+        let mu_direct = engine
+            .execute(&QueryRequest::new(
+                &query,
+                Algorithm::Greedy(GreedyParams { mu: 0.9 }),
+            ))
+            .unwrap();
+        assert_eq!(mu_override.regions, mu_direct.regions);
+    }
+
+    #[test]
+    fn priority_parses_and_displays_stably() {
+        assert_eq!(Priority::parse("interactive"), Some(Priority::Interactive));
+        assert_eq!(Priority::parse("batch"), Some(Priority::Batch));
+        assert_eq!(Priority::parse("bogus"), None);
+        assert_eq!(Priority::Interactive.to_string(), "interactive");
+        assert_eq!(Priority::Batch.as_str(), "batch");
+        assert_eq!(Priority::default(), Priority::Interactive);
     }
 }

@@ -11,11 +11,16 @@
 //! to [`ExactSolver::DEFAULT_NODE_LIMIT`] nodes.
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use lcmsr_roadnet::epoch::EpochMap;
 use std::cmp::Ordering;
+
+/// How many subset masks the exact enumeration processes between two polls of
+/// the cancellation token.  A power of two so the check compiles to a mask.
+const CANCEL_POLL_STRIDE: u32 = 256;
 
 /// Exhaustive-enumeration LCMSR solver.
 #[derive(Debug, Clone)]
@@ -47,9 +52,19 @@ impl ExactSolver {
 
     /// Finds the optimal region (maximum weight, length ≤ `Q.∆`), or `None`
     /// when no node carries a positive weight.
-    pub fn solve(&self, graph: &QueryGraph, arena: &mut TupleArena) -> Result<Option<RegionTuple>> {
+    ///
+    /// When `ctl` fires mid-enumeration the solver stops at the next poll
+    /// stride and returns its incumbent — the best region over every subset
+    /// enumerated so far — with [`ExactOutcome::interrupted`] set.  The
+    /// incumbent is always feasible; it just may not be the true optimum.
+    pub fn solve(
+        &self,
+        graph: &QueryGraph,
+        arena: &mut TupleArena,
+        ctl: &CancelToken,
+    ) -> Result<ExactOutcome> {
         let mut best: Option<RegionTuple> = None;
-        self.enumerate(graph, arena, |arena, candidate| {
+        let interrupted = self.enumerate(graph, arena, ctl, |arena, candidate| {
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -67,7 +82,7 @@ impl ExactSolver {
                 candidate.free(arena);
             }
         })?;
-        Ok(best)
+        Ok(ExactOutcome { best, interrupted })
     }
 
     /// Enumerates the `k` best *distinct node sets* (every subset of `Q.Λ` is
@@ -80,6 +95,7 @@ impl ExactSolver {
         graph: &QueryGraph,
         arena: &mut TupleArena,
         k: usize,
+        ctl: &CancelToken,
     ) -> Result<ExactTopK> {
         let mut top: Vec<RegionTuple> = Vec::with_capacity(k.min(64));
         let mut feasible_enumerated = 0u64;
@@ -94,9 +110,10 @@ impl ExactSolver {
             return Ok(ExactTopK {
                 tuples: top,
                 feasible_enumerated,
+                interrupted: false,
             });
         }
-        self.enumerate(graph, arena, |arena, candidate| {
+        let interrupted = self.enumerate(graph, arena, ctl, |arena, candidate| {
             feasible_enumerated += 1;
             let pos = top.partition_point(|t| t.cmp_quality(&candidate) != Ordering::Greater);
             if pos < k {
@@ -112,22 +129,25 @@ impl ExactSolver {
         Ok(ExactTopK {
             tuples: top,
             feasible_enumerated,
+            interrupted,
         })
     }
 
     /// Runs the subset enumeration, invoking `visit` for every feasible
     /// (connected, length ≤ `Q.∆`) region tuple.  Each visited tuple is owned
-    /// by the callback alone, which may free it.
+    /// by the callback alone, which may free it.  Returns `true` when the
+    /// cancellation token fired and the enumeration stopped early.
     fn enumerate(
         &self,
         graph: &QueryGraph,
         arena: &mut TupleArena,
+        ctl: &CancelToken,
         mut visit: impl FnMut(&mut TupleArena, RegionTuple),
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let n = graph.node_count();
         if graph.sigma_max() <= 0.0 {
             // No relevant node: the answer is empty regardless of the graph size.
-            return Ok(());
+            return Ok(false);
         }
         if n > self.node_limit {
             return Err(LcmsrError::GraphTooLargeForExact {
@@ -139,6 +159,10 @@ impl ExactSolver {
         let mut mst = MstScratch::new(n);
         // Enumerate all non-empty node subsets.
         for mask in 1u32..(1u32 << n) {
+            // Poll coarsely: one clock read per stride of 2^n masks.
+            if mask % CANCEL_POLL_STRIDE == 0 && ctl.is_cancelled() {
+                return Ok(true);
+            }
             let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             let Some((edges, length)) = induced_mst(graph, &nodes, &mut mst) else {
                 continue; // the induced subgraph is disconnected
@@ -151,8 +175,20 @@ impl ExactSolver {
             let tuple = RegionTuple::from_parts(arena, length, weight, scaled, &nodes, &edges);
             visit(arena, tuple);
         }
-        Ok(())
+        Ok(false)
     }
+}
+
+/// Result of [`ExactSolver::solve`].
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// The best feasible region found (`None` when no node carries a positive
+    /// weight, or when an interrupt fired before any feasible subset was
+    /// enumerated).
+    pub best: Option<RegionTuple>,
+    /// Whether the enumeration stopped early on cancellation; `best` is then
+    /// the incumbent, not necessarily the optimum.
+    pub interrupted: bool,
 }
 
 /// Result of [`ExactSolver::solve_topk`].
@@ -163,6 +199,8 @@ pub struct ExactTopK {
     pub tuples: Vec<RegionTuple>,
     /// Number of feasible regions enumerated (reported as `tuples_generated`).
     pub feasible_enumerated: u64,
+    /// Whether the enumeration stopped early on cancellation.
+    pub interrupted: bool,
 }
 
 /// Dense scratch for the per-subset MST: an O(1)-clear membership table and
@@ -258,11 +296,18 @@ mod tests {
     use super::*;
     use crate::query_graph::test_support::figure2_query_graph;
 
+    fn solve_best(qg: &QueryGraph, arena: &mut TupleArena) -> Option<RegionTuple> {
+        ExactSolver::new()
+            .solve(qg, arena, &CancelToken::none())
+            .unwrap()
+            .best
+    }
+
     #[test]
     fn finds_the_papers_optimum_on_figure2() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        let best = solve_best(&qg, &mut arena).unwrap();
         assert!((best.weight - 1.1).abs() < 1e-9);
         assert!((best.length - 5.9).abs() < 1e-9);
         assert_eq!(best.nodes(&arena), &[1, 3, 4, 5]);
@@ -274,7 +319,7 @@ mod tests {
         for delta in [0.5, 1.5, 3.0, 4.5, 6.0, 8.0, 12.0, 20.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
             let mut arena = TupleArena::new();
-            let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+            let best = solve_best(&qg, &mut arena).unwrap();
             assert!(best.length <= delta + 1e-9);
             assert!(
                 best.weight + 1e-12 >= previous,
@@ -285,7 +330,7 @@ mod tests {
         // With a huge ∆ the whole graph is optimal.
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
         let mut arena = TupleArena::new();
-        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        let best = solve_best(&qg, &mut arena).unwrap();
         assert!((best.weight - 1.7).abs() < 1e-9);
     }
 
@@ -293,7 +338,9 @@ mod tests {
     fn topk_enumerates_distinct_regions_in_quality_order() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 5).unwrap();
+        let top = ExactSolver::new()
+            .solve_topk(&qg, &mut arena, 5, &CancelToken::none())
+            .unwrap();
         assert_eq!(top.tuples.len(), 5);
         assert!(top.feasible_enumerated >= 5);
         // Best-first under the shared quality order, all feasible, all distinct.
@@ -331,7 +378,9 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let top = ExactSolver::new().solve_topk(&qg, &mut arena, 10).unwrap();
+        let top = ExactSolver::new()
+            .solve_topk(&qg, &mut arena, 10, &CancelToken::none())
+            .unwrap();
         assert_eq!(top.tuples.len(), 2);
         assert_eq!(top.feasible_enumerated, 2);
         assert!((top.tuples[0].weight - 0.9).abs() < 1e-12);
@@ -345,7 +394,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         assert!(ExactSolver::new()
-            .solve_topk(&qg, &mut arena, 0)
+            .solve_topk(&qg, &mut arena, 0, &CancelToken::none())
             .unwrap()
             .tuples
             .is_empty());
@@ -353,13 +402,13 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(ExactSolver::new()
-            .solve_topk(&qg0, &mut arena, 3)
+            .solve_topk(&qg0, &mut arena, 3, &CancelToken::none())
             .unwrap()
             .tuples
             .is_empty());
         // The size limit still applies for k = 0 on a relevant graph.
         assert!(ExactSolver::with_node_limit(3)
-            .solve_topk(&qg, &mut arena, 0)
+            .solve_topk(&qg, &mut arena, 0, &CancelToken::none())
             .is_err());
     }
 
@@ -371,8 +420,10 @@ mod tests {
         for delta in [1.0, 3.0, 6.0, 12.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
             let mut arena = TupleArena::new();
-            let single = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
-            let top = ExactSolver::new().solve_topk(&qg, &mut arena, 1).unwrap();
+            let single = solve_best(&qg, &mut arena).unwrap();
+            let top = ExactSolver::new()
+                .solve_topk(&qg, &mut arena, 1, &CancelToken::none())
+                .unwrap();
             assert_eq!(top.tuples.len(), 1);
             assert!(top.tuples[0].same_nodes(&single, &arena));
         }
@@ -383,7 +434,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let solver = ExactSolver::with_node_limit(3);
         assert!(matches!(
-            solver.solve(&qg, &mut TupleArena::new()),
+            solver.solve(&qg, &mut TupleArena::new(), &CancelToken::none()),
             Err(LcmsrError::GraphTooLargeForExact { nodes: 6, limit: 3 })
         ));
     }
@@ -396,8 +447,9 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(ExactSolver::new()
-            .solve(&qg, &mut TupleArena::new())
+            .solve(&qg, &mut TupleArena::new(), &CancelToken::none())
             .unwrap()
+            .best
             .is_none());
     }
 
@@ -421,7 +473,7 @@ mod tests {
         // ∆ smaller than the connecting edge: only single nodes are feasible.
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        let best = solve_best(&qg, &mut arena).unwrap();
         assert_eq!(best.node_count(), 1);
         assert!((best.weight - 0.9).abs() < 1e-12);
     }
@@ -449,7 +501,7 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 10.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let best = ExactSolver::new().solve(&qg, &mut arena).unwrap().unwrap();
+        let best = solve_best(&qg, &mut arena).unwrap();
         assert_eq!(best.nodes(&arena), &[0, 1]);
         assert!((best.length - 1.0).abs() < 1e-12);
     }

@@ -19,6 +19,7 @@
 //! `σ_{v_i}`.  DESIGN.md records this reading.
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
@@ -59,15 +60,23 @@ pub struct GreedyOutcome {
     pub best: Option<RegionTuple>,
     /// Number of expansion steps performed.
     pub steps: u64,
+    /// Whether the expansion stopped early at a cancellation poll point;
+    /// `best` is then the (always feasible) region grown so far.
+    pub interrupted: bool,
 }
 
 /// Runs Greedy on a prepared query graph, seeding at the maximum-weight node.
+///
+/// `ctl` is polled once per expansion step; when it fires the expansion stops
+/// and the region grown so far (always feasible) is returned with
+/// `interrupted: true`.
 pub fn run_greedy(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     params: &GreedyParams,
+    ctl: &CancelToken,
 ) -> Result<GreedyOutcome> {
-    run_greedy_excluding(graph, arena, params, &[])
+    run_greedy_excluding(graph, arena, params, &[], ctl)
 }
 
 /// Runs Greedy but seeds at the maximum-weight node *not* contained in
@@ -78,6 +87,7 @@ pub fn run_greedy_excluding(
     arena: &mut TupleArena,
     params: &GreedyParams,
     excluded: &[u32],
+    ctl: &CancelToken,
 ) -> Result<GreedyOutcome> {
     params.validate()?;
     let delta = graph.delta();
@@ -86,6 +96,7 @@ pub fn run_greedy_excluding(
         return Ok(GreedyOutcome {
             best: None,
             steps: 0,
+            interrupted: false,
         });
     }
     let excluded_set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
@@ -104,6 +115,7 @@ pub fn run_greedy_excluding(
         return Ok(GreedyOutcome {
             best: None,
             steps: 0,
+            interrupted: false,
         });
     };
     let tau_max = graph.max_edge_length().max(f64::MIN_POSITIVE);
@@ -113,8 +125,15 @@ pub fn run_greedy_excluding(
     let mut region =
         RegionTuple::singleton(arena, seed, graph.weight(seed), graph.scaled_weight(seed));
     let mut steps = 0u64;
+    let mut interrupted = false;
 
     loop {
+        // Deadline poll, once per expansion step: the region grown so far is
+        // always feasible, so it is a valid anytime answer.
+        if ctl.is_cancelled() {
+            interrupted = true;
+            break;
+        }
         // Gather frontier candidates: nodes adjacent to the region, with the
         // shortest connecting edge for each.
         let mut best_candidate: Option<(u32, u32, f64, f64)> = None; // (node, edge, edge_len, score)
@@ -165,12 +184,14 @@ pub fn run_greedy_excluding(
     Ok(GreedyOutcome {
         best: Some(region),
         steps,
+        interrupted,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelToken;
     use crate::query_graph::test_support::figure2_query_graph;
 
     #[test]
@@ -187,7 +208,13 @@ mod tests {
     fn grows_a_feasible_region_from_the_heaviest_node() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
+        let outcome = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let region = outcome.best.unwrap();
         assert!(region.length <= 6.0 + 1e-9);
         assert!(region.weight > 0.0);
@@ -205,7 +232,9 @@ mod tests {
             for mu in [0.0, 0.2, 0.5, 0.8, 1.0] {
                 let (_n, qg) = figure2_query_graph(delta, 0.15);
                 let mut arena = TupleArena::new();
-                let outcome = run_greedy(&qg, &mut arena, &GreedyParams { mu }).unwrap();
+                let outcome =
+                    run_greedy(&qg, &mut arena, &GreedyParams { mu }, &CancelToken::none())
+                        .unwrap();
                 let region = outcome.best.unwrap();
                 assert!(
                     region.length <= delta + 1e-9,
@@ -220,7 +249,13 @@ mod tests {
     fn tiny_delta_returns_the_seed_alone() {
         let (_n, qg) = figure2_query_graph(0.1, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
+        let outcome = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let region = outcome.best.unwrap();
         assert_eq!(region.node_count(), 1);
         assert_eq!(outcome.steps, 0);
@@ -231,7 +266,13 @@ mod tests {
     fn huge_delta_eventually_covers_the_component() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
+        let outcome = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         let region = outcome.best.unwrap();
         assert_eq!(region.node_count(), 6);
         assert!((region.weight - 1.7).abs() < 1e-9);
@@ -243,7 +284,13 @@ mod tests {
         // feasible region) and typically falls short.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
+        let outcome = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert!(outcome.best.unwrap().weight <= 1.1 + 1e-9);
     }
 
@@ -255,7 +302,13 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let outcome = run_greedy(&qg, &mut arena, &GreedyParams::default()).unwrap();
+        let outcome = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert!(outcome.best.is_none());
     }
 
@@ -263,15 +316,26 @@ mod tests {
     fn excluding_the_best_seed_changes_the_region() {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
         let mut arena = TupleArena::new();
-        let first = run_greedy(&qg, &mut arena, &GreedyParams::default())
-            .unwrap()
-            .best
-            .unwrap();
+        let first = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         let first_nodes: Vec<u32> = first.nodes(&arena).to_vec();
-        let second = run_greedy_excluding(&qg, &mut arena, &GreedyParams::default(), &first_nodes)
-            .unwrap()
-            .best
-            .unwrap();
+        let second = run_greedy_excluding(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            &first_nodes,
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         // The second region is seeded elsewhere.
         assert!(!first.same_nodes(&second, &arena));
     }
@@ -280,14 +344,24 @@ mod tests {
     fn mu_extremes_still_produce_valid_regions() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let weight_only = run_greedy(&qg, &mut arena, &GreedyParams { mu: 0.0 })
-            .unwrap()
-            .best
-            .unwrap();
-        let length_only = run_greedy(&qg, &mut arena, &GreedyParams { mu: 1.0 })
-            .unwrap()
-            .best
-            .unwrap();
+        let weight_only = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams { mu: 0.0 },
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
+        let length_only = run_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams { mu: 1.0 },
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         assert!(weight_only.length <= 6.0 + 1e-9);
         assert!(length_only.length <= 6.0 + 1e-9);
     }

@@ -9,6 +9,7 @@
 
 use super::KMstSolver;
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use std::cmp::Ordering;
@@ -54,6 +55,7 @@ impl DensityKMst {
         arena: &mut TupleArena,
         root: u32,
         quota: u64,
+        ctl: &CancelToken,
     ) -> Option<RegionTuple> {
         let n = graph.node_count();
         let mut in_tree = vec![false; n];
@@ -64,6 +66,11 @@ impl DensityKMst {
         in_tree[root as usize] = true;
 
         while scaled < quota {
+            // A tree below the quota is not a usable partial answer, so a
+            // cancelled grow abandons the root entirely.
+            if ctl.is_cancelled() {
+                return None;
+            }
             // Multi-source Dijkstra from the current tree.
             let mut dist = vec![f64::INFINITY; n];
             let mut prev: Vec<Option<(u32, u32)>> = vec![None; n];
@@ -165,6 +172,7 @@ impl KMstSolver for DensityKMst {
         graph: &QueryGraph,
         arena: &mut TupleArena,
         quota: u64,
+        ctl: &CancelToken,
     ) -> Option<RegionTuple> {
         self.invocations += 1;
         // Candidate roots: the highest-scaled-weight nodes.
@@ -191,7 +199,12 @@ impl KMstSolver for DensityKMst {
         }
         let mut best: Option<RegionTuple> = None;
         for &root in &candidates {
-            if let Some(tree) = Self::grow(graph, arena, root, quota) {
+            // Every completed root already yields a quota-meeting tree, so on
+            // cancellation skip the remaining roots and return the best so far.
+            if ctl.is_cancelled() {
+                break;
+            }
+            if let Some(tree) = Self::grow(graph, arena, root, quota, ctl) {
                 let better = best
                     .as_ref()
                     .map(|b| tree.length < b.length)
@@ -230,7 +243,9 @@ mod tests {
         let mut arena = TupleArena::new();
         let mut solver = DensityKMst::new();
         for quota in [10u64, 40, 70, 110, 150, 170] {
-            let t = solver.solve(&qg, &mut arena, quota).unwrap();
+            let t = solver
+                .solve(&qg, &mut arena, quota, &CancelToken::none())
+                .unwrap();
             assert!(t.scaled >= quota);
             validate_tree(&qg, &arena, &t);
         }
@@ -244,7 +259,12 @@ mod tests {
         let mut solver = DensityKMst::new();
         let mut arena = TupleArena::new();
         assert!(solver
-            .solve(&qg, &mut arena, qg.total_scaled_weight() + 1)
+            .solve(
+                &qg,
+                &mut arena,
+                qg.total_scaled_weight() + 1,
+                &CancelToken::none()
+            )
             .is_none());
     }
 
@@ -265,8 +285,12 @@ mod tests {
             .unwrap();
         let mut solver = DensityKMst::new();
         let mut arena = TupleArena::new();
-        assert!(solver.solve(&qg, &mut arena, 0).is_some());
-        assert!(solver.solve(&qg, &mut arena, 5).is_none());
+        assert!(solver
+            .solve(&qg, &mut arena, 0, &CancelToken::none())
+            .is_some());
+        assert!(solver
+            .solve(&qg, &mut arena, 5, &CancelToken::none())
+            .is_none());
     }
 
     #[test]
@@ -275,7 +299,9 @@ mod tests {
         let mut solver = DensityKMst::with_roots(6);
         let mut arena = TupleArena::new();
         // Quota 110 = the optimal example region {v2,v4,v5,v6} (length 5.9).
-        let t = solver.solve(&qg, &mut arena, 110).unwrap();
+        let t = solver
+            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .unwrap();
         assert!(t.scaled >= 110);
         // The greedy tree should not be wildly longer than the optimum.
         assert!(t.length <= 3.0 * 5.9, "length {}", t.length);
@@ -288,8 +314,12 @@ mod tests {
         let mut many = DensityKMst::with_roots(6);
         let mut arena = TupleArena::new();
         let quota = 130;
-        let t_few = few.solve(&qg, &mut arena, quota).unwrap();
-        let t_many = many.solve(&qg, &mut arena, quota).unwrap();
+        let t_few = few
+            .solve(&qg, &mut arena, quota, &CancelToken::none())
+            .unwrap();
+        let t_many = many
+            .solve(&qg, &mut arena, quota, &CancelToken::none())
+            .unwrap();
         assert!(t_many.length <= t_few.length + 1e-9);
     }
 }

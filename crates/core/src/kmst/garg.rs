@@ -11,6 +11,7 @@
 use super::gw::pcst;
 use super::KMstSolver;
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use std::collections::HashMap;
@@ -118,6 +119,7 @@ impl KMstSolver for GargKMst {
         graph: &QueryGraph,
         arena: &mut TupleArena,
         quota: u64,
+        ctl: &CancelToken,
     ) -> Option<RegionTuple> {
         self.invocations += 1;
         self.sync_cache_to(arena);
@@ -134,6 +136,10 @@ impl KMstSolver for GargKMst {
         let mut hi_tree = self.tree_for_lambda(graph, arena, lambda_hi);
         let mut doublings = 0;
         while hi_tree.scaled < quota && doublings < MAX_DOUBLINGS {
+            if ctl.is_cancelled() {
+                // No quota-meeting tree yet; nothing partial to hand back.
+                return None;
+            }
             lambda_hi *= 2.0;
             hi_tree = self.tree_for_lambda(graph, arena, lambda_hi);
             doublings += 1;
@@ -149,6 +155,11 @@ impl KMstSolver for GargKMst {
         let mut best = hi_tree;
         let mut hi = lambda_hi;
         for _ in 0..self.lambda_steps {
+            // `best` already meets the quota — on cancellation, stop
+            // tightening and return it as-is.
+            if ctl.is_cancelled() {
+                break;
+            }
             let mid = (lo + hi) / 2.0;
             if mid <= lo || mid >= hi {
                 break;
@@ -188,7 +199,9 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let t = solver.solve(&qg, &mut arena, 0).unwrap();
+        let t = solver
+            .solve(&qg, &mut arena, 0, &CancelToken::none())
+            .unwrap();
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.scaled, 40); // a 0.4-weight node scaled 100×
         assert_eq!(solver.invocations(), 1);
@@ -200,8 +213,12 @@ mod tests {
         let total = qg.total_scaled_weight();
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        assert!(solver.solve(&qg, &mut arena, total + 1).is_none());
-        assert!(solver.solve(&qg, &mut arena, total).is_some());
+        assert!(solver
+            .solve(&qg, &mut arena, total + 1, &CancelToken::none())
+            .is_none());
+        assert!(solver
+            .solve(&qg, &mut arena, total, &CancelToken::none())
+            .is_some());
     }
 
     #[test]
@@ -211,7 +228,7 @@ mod tests {
         let mut solver = GargKMst::new();
         for quota in [10u64, 40, 70, 90, 110, 130, 150, 170] {
             let t = solver
-                .solve(&qg, &mut arena, quota)
+                .solve(&qg, &mut arena, quota, &CancelToken::none())
                 .unwrap_or_else(|| panic!("quota {quota} should be attainable"));
             assert!(t.scaled >= quota, "quota {quota}, got {}", t.scaled);
             validate_tree(&qg, &arena, &t);
@@ -223,8 +240,12 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let small = solver.solve(&qg, &mut arena, 40).unwrap();
-        let large = solver.solve(&qg, &mut arena, 150).unwrap();
+        let small = solver
+            .solve(&qg, &mut arena, 40, &CancelToken::none())
+            .unwrap();
+        let large = solver
+            .solve(&qg, &mut arena, 150, &CancelToken::none())
+            .unwrap();
         assert!(large.length >= small.length);
         assert!(large.node_count() >= small.node_count());
     }
@@ -237,7 +258,9 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let t = solver.solve(&qg, &mut arena, 110).unwrap();
+        let t = solver
+            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .unwrap();
         assert!(t.scaled >= 110);
         assert!(
             t.length <= 3.0 * 5.9 + 1e-9,
@@ -251,13 +274,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let _ = solver.solve(&qg, &mut arena, 100);
+        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
         let runs_after_first = solver.gw_runs();
-        let _ = solver.solve(&qg, &mut arena, 100);
+        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
         // The second identical call should be mostly served from the cache.
         assert!(solver.gw_runs() <= runs_after_first + 2);
         solver.reset_cache();
-        let _ = solver.solve(&qg, &mut arena, 100);
+        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
         assert!(solver.gw_runs() > runs_after_first);
     }
 
@@ -269,20 +292,26 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut solver = GargKMst::new();
         let mut arena = TupleArena::new();
-        let first = solver.solve(&qg, &mut arena, 110).unwrap();
+        let first = solver
+            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .unwrap();
         validate_tree(&qg, &arena, &first);
         let first_nodes: Vec<u32> = first.nodes(&arena).to_vec();
         let runs_warm = solver.gw_runs();
 
         // Same arena, no reset: served from cache.
-        let again = solver.solve(&qg, &mut arena, 110).unwrap();
+        let again = solver
+            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .unwrap();
         assert_eq!(again.nodes(&arena), first_nodes.as_slice());
         assert!(solver.gw_runs() <= runs_warm + 2);
 
         // Reset between queries: the stale cache must be dropped and the
         // result still be a valid identical tree in the fresh slab.
         arena.reset();
-        let after_reset = solver.solve(&qg, &mut arena, 110).unwrap();
+        let after_reset = solver
+            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .unwrap();
         validate_tree(&qg, &arena, &after_reset);
         assert_eq!(after_reset.nodes(&arena), first_nodes.as_slice());
         assert!(
@@ -293,7 +322,9 @@ mod tests {
         // A different arena entirely gets the same treatment.
         let runs_reset = solver.gw_runs();
         let mut other = TupleArena::new();
-        let cross = solver.solve(&qg, &mut other, 110).unwrap();
+        let cross = solver
+            .solve(&qg, &mut other, 110, &CancelToken::none())
+            .unwrap();
         validate_tree(&qg, &other, &cross);
         assert_eq!(cross.nodes(&other), first_nodes.as_slice());
         assert!(solver.gw_runs() > runs_reset);

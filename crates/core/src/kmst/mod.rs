@@ -20,6 +20,7 @@ pub mod garg;
 pub mod gw;
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 
@@ -33,11 +34,17 @@ pub trait KMstSolver {
     ///
     /// Returns `None` when no tree in the query graph can reach the quota
     /// (i.e. the quota exceeds the total scaled weight of the graph).
+    ///
+    /// Solvers poll `ctl` at their outer iteration boundaries (λ-bisection
+    /// steps, candidate roots) and, once it fires, return the best
+    /// quota-meeting tree found so far — or `None` when none has been found
+    /// yet.  Callers detect the interruption through the token itself.
     fn solve(
         &mut self,
         graph: &QueryGraph,
         arena: &mut TupleArena,
         quota: u64,
+        ctl: &CancelToken,
     ) -> Option<RegionTuple>;
 
     /// Human-readable solver name (used in experiment output).

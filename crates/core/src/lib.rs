@@ -48,8 +48,9 @@
 //! let engine = LcmsrEngine::new(&network, &collection);
 //! let query = LcmsrQuery::new(["restaurant"], 150.0,
 //!                             network.bounding_rect().unwrap().expanded(10.0)).unwrap();
-//! let result = engine.run(&query, &Algorithm::Tgen(TgenParams { alpha: 1.0 })).unwrap();
-//! let region = result.region.unwrap();
+//! let request = QueryRequest::new(&query, Algorithm::Tgen(TgenParams { alpha: 1.0 }));
+//! let outcome = engine.execute(&request).unwrap();
+//! let region = outcome.best().unwrap();
 //! assert_eq!(region.node_count(), 2);          // two adjacent restaurant nodes
 //! assert!(region.length <= 150.0);
 //! ```
@@ -58,6 +59,7 @@
 
 pub mod app;
 pub mod arena;
+pub mod cancel;
 pub mod engine;
 pub mod error;
 pub mod exact;
@@ -77,8 +79,10 @@ pub mod tuple_array;
 pub mod prelude {
     pub use crate::app::{AppParams, BinarySearchStep};
     pub use crate::arena::{IdSetHandle, TupleArena};
+    pub use crate::cancel::{CancelToken, Deadline};
     pub use crate::engine::{
-        Algorithm, LcmsrEngine, MaxRsRegion, QueryResult, QueryWorkspace, TopKResult, WorkspacePool,
+        Algorithm, LcmsrEngine, MaxRsRegion, Priority, QueryOptions, QueryOutcome, QueryRequest,
+        QueryResult, QueryWorkspace, TopKResult, WorkspacePool,
     };
     pub use crate::error::{LcmsrError, Result as LcmsrResult};
     pub use crate::exact::{ExactSolver, ExactTopK};
@@ -87,14 +91,18 @@ pub mod prelude {
     pub use crate::query::LcmsrQuery;
     pub use crate::query_graph::{QueryGraph, QueryGraphBuilder};
     pub use crate::region::Region;
-    pub use crate::stats::RunStats;
+    pub use crate::stats::{PartialCause, RunStats};
     pub use crate::tgen::TgenParams;
     pub use crate::topk::TopKOutcome;
 }
 
 pub use app::AppParams;
 pub use arena::TupleArena;
-pub use engine::{Algorithm, LcmsrEngine, QueryResult, QueryWorkspace, TopKResult, WorkspacePool};
+pub use cancel::{CancelToken, Deadline};
+pub use engine::{
+    Algorithm, LcmsrEngine, Priority, QueryOptions, QueryOutcome, QueryRequest, QueryResult,
+    QueryWorkspace, TopKResult, WorkspacePool,
+};
 pub use error::{LcmsrError, Result};
 pub use greedy::GreedyParams;
 pub use query::LcmsrQuery;

@@ -19,6 +19,7 @@
 //! arena reset reclaims them.
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use crate::tuple_array::{BestTracker, TupleArray};
@@ -40,6 +41,9 @@ pub struct OptTreeResult {
     /// Combine pairs skipped by the length-budget `partition_point` without
     /// being materialised.
     pub pruned_pairs: u64,
+    /// Whether the DP stopped early at a cancellation poll point; `best` is
+    /// then the best-so-far incumbent over the leaves peeled so far.
+    pub interrupted: bool,
 }
 
 impl OptTreeResult {
@@ -66,10 +70,14 @@ impl OptTreeResult {
 /// Runs the `findOptTree` dynamic program over the candidate tree `tree`
 /// (a [`RegionTuple`] whose nodes/edges form a tree in `graph`), returning the
 /// best feasible region under the graph's length constraint `Q.∆`.
+///
+/// `ctl` is polled once per peeled leaf; when it fires the DP stops and
+/// returns its incumbent with `interrupted: true`.
 pub fn find_opt_tree(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     tree: &RegionTuple,
+    ctl: &CancelToken,
 ) -> OptTreeResult {
     let delta = graph.delta();
     // Materialise the tree's id sets so the arena stays free for tuple
@@ -80,6 +88,7 @@ pub fn find_opt_tree(
     let mut best = BestTracker::new();
     let mut tuples_generated = 0u64;
     let mut pruned_pairs = 0u64;
+    let mut interrupted = false;
 
     // All per-node DP state lives in flat vectors indexed by the node's
     // position in the (sorted) tree node list; `tree_pos` translates a local
@@ -100,19 +109,22 @@ pub fn find_opt_tree(
         arrays.push(arr);
         tuples_generated += 1;
     }
-    let into_result =
-        |best: BestTracker, arrays: Vec<TupleArray>, tuples_generated: u64, pruned_pairs: u64| {
-            let arrays: BTreeMap<u32, TupleArray> =
-                tree_nodes.iter().copied().zip(arrays).collect();
-            OptTreeResult {
-                best: best.into_best(),
-                arrays,
-                tuples_generated,
-                pruned_pairs,
-            }
-        };
+    let into_result = |best: BestTracker,
+                       arrays: Vec<TupleArray>,
+                       tuples_generated: u64,
+                       pruned_pairs: u64,
+                       interrupted: bool| {
+        let arrays: BTreeMap<u32, TupleArray> = tree_nodes.iter().copied().zip(arrays).collect();
+        OptTreeResult {
+            best: best.into_best(),
+            arrays,
+            tuples_generated,
+            pruned_pairs,
+            interrupted,
+        }
+    };
     if m <= 1 {
-        return into_result(best, arrays, tuples_generated, pruned_pairs);
+        return into_result(best, arrays, tuples_generated, pruned_pairs, interrupted);
     }
 
     // Tree adjacency restricted to the candidate tree's edges, in tree positions.
@@ -135,6 +147,12 @@ pub fn find_opt_tree(
     let mut parent_tuples: Vec<RegionTuple> = Vec::new();
 
     while remaining > 1 {
+        // Deadline poll, once per peeled leaf: the incumbent in `best` is a
+        // valid anytime answer between peels.
+        if ctl.is_cancelled() {
+            interrupted = true;
+            break;
+        }
         let Some(p) = queue.pop_front() else { break };
         if removed[p as usize] || degree[p as usize] != 1 {
             continue;
@@ -184,12 +202,13 @@ pub fn find_opt_tree(
         }
     }
 
-    into_result(best, arrays, tuples_generated, pruned_pairs)
+    into_result(best, arrays, tuples_generated, pruned_pairs, interrupted)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelToken;
     use crate::query_graph::test_support::figure2_query_graph;
 
     /// Builds a candidate tree covering the whole Figure-2 graph: a spanning
@@ -227,7 +246,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 110);
         assert!((best.weight - 1.1).abs() < 1e-9);
@@ -242,7 +261,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(0.5, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         let best = result.best.unwrap();
         assert_eq!(best.node_count(), 1);
         assert_eq!(best.scaled, 40);
@@ -253,7 +272,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         let best = result.best.unwrap();
         assert_eq!(best.node_count(), 6);
         assert_eq!(best.scaled, 170);
@@ -265,7 +284,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         for arr in result.arrays.values() {
             for t in arr.iter() {
                 assert!(
@@ -284,7 +303,7 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = RegionTuple::singleton(&mut arena, 2, qg.weight(2), qg.scaled_weight(2));
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         assert_eq!(result.best.unwrap().nodes(&arena), &[2]);
     }
 
@@ -318,7 +337,7 @@ mod tests {
         assert_eq!(qg.scaled_weight(2), 40);
         let mut arena = TupleArena::new();
         let tree = RegionTuple::from_parts(&mut arena, 9.0, 0.8, 80, &[0, 1, 2], &[0, 1]);
-        let result = find_opt_tree(&qg, &mut arena, &tree);
+        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 80);
         assert_eq!(best.node_count(), 3);

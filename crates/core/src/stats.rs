@@ -3,6 +3,33 @@
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// Why a run returned a partial (best-so-far) result instead of running to
+/// completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartialCause {
+    /// The query's deadline expired mid-solve; the solver stopped at the next
+    /// poll point and returned its incumbent.
+    DeadlineExceeded,
+    /// The query's cancellation token was fired explicitly.
+    Cancelled,
+}
+
+impl PartialCause {
+    /// The stable wire/display spelling of the cause.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PartialCause::DeadlineExceeded => "deadline_exceeded",
+            PartialCause::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for PartialCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Statistics collected while answering one query with one algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct RunStats {
@@ -47,6 +74,15 @@ pub struct RunStats {
     /// Frontier entries evicted by dominating inserts (Lemma 6 extended
     /// across scaled weights) during the solve phase.
     pub dominance_evictions: u64,
+    /// Whether the solver stopped early (deadline or cancellation) and the
+    /// result is its best-so-far incumbent rather than the full answer.
+    pub partial: bool,
+    /// Why the result is partial (`None` for complete runs).
+    pub partial_cause: Option<PartialCause>,
+    /// The deadline budget the query ran under (`None` when no deadline was
+    /// set).  Reported on the wire as `deadline_ns`; the absolute expiry
+    /// instant is process-local and deliberately not recorded here.
+    pub deadline: Option<Duration>,
 }
 
 impl RunStats {
@@ -77,6 +113,13 @@ impl RunStats {
     pub fn queue_ms(&self) -> f64 {
         self.queue_time.as_secs_f64() * 1_000.0
     }
+
+    /// Marks the run partial with the given cause (idempotent; the first
+    /// cause wins so an outer layer never overwrites an inner one).
+    pub fn mark_partial(&mut self, cause: PartialCause) {
+        self.partial = true;
+        self.partial_cause.get_or_insert(cause);
+    }
 }
 
 impl std::fmt::Display for RunStats {
@@ -95,7 +138,14 @@ impl std::fmt::Display for RunStats {
             self.tuples_generated,
             self.pruned_pairs,
             self.frontier_tuples
-        )
+        )?;
+        if self.partial {
+            match self.partial_cause {
+                Some(cause) => write!(f, " [partial: {cause}]")?,
+                None => write!(f, " [partial]")?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -122,5 +172,21 @@ mod tests {
         assert_eq!(s.kmst_calls, 0);
         assert_eq!(s.elapsed_ms(), 0.0);
         assert_eq!(s.queue_ms(), 0.0);
+        assert!(!s.partial);
+        assert_eq!(s.partial_cause, None);
+        assert_eq!(s.deadline, None);
+    }
+
+    #[test]
+    fn partial_marking_keeps_the_first_cause_and_shows_in_display() {
+        let mut s = RunStats::new("Exact");
+        s.mark_partial(PartialCause::DeadlineExceeded);
+        s.mark_partial(PartialCause::Cancelled);
+        assert!(s.partial);
+        assert_eq!(s.partial_cause, Some(PartialCause::DeadlineExceeded));
+        assert_eq!(PartialCause::DeadlineExceeded.as_str(), "deadline_exceeded");
+        assert_eq!(PartialCause::Cancelled.to_string(), "cancelled");
+        assert!(s.to_string().contains("[partial: deadline_exceeded]"));
+        assert!(!RunStats::new("Exact").to_string().contains("partial"));
     }
 }

@@ -34,6 +34,7 @@
 //! on the same workload to gate the frontier's speedup and result identity.
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
@@ -96,6 +97,10 @@ pub struct TgenOutcome {
     /// same-scaled Lemma 6 replacements; `findOptTree` additionally evicts
     /// across scaled weights).
     pub dominance_evictions: u64,
+    /// Whether the run stopped early at a cancellation poll point; `best` and
+    /// `top_tuples` then hold the best-so-far incumbents, every one of them
+    /// still feasible (budget pruning never admits an infeasible tuple).
+    pub interrupted: bool,
 }
 
 /// Maximum number of distinct top tuples retained for top-k extraction.
@@ -104,10 +109,15 @@ const TOP_LIMIT: usize = 64;
 /// Runs TGEN on a prepared query graph (which must already be scaled with the
 /// TGEN α; [`crate::engine::LcmsrEngine`] takes care of this).  All tuples —
 /// including those in the returned outcome — live in `arena`.
+///
+/// `ctl` is polled once per enumerated edge; when it fires the run stops and
+/// returns its incumbents with `interrupted: true`.  The inert token costs a
+/// predicted branch per edge and perturbs nothing.
 pub fn run_tgen(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     params: &TgenParams,
+    ctl: &CancelToken,
 ) -> Result<TgenOutcome> {
     params.validate()?;
     let delta = graph.delta();
@@ -117,6 +127,7 @@ pub fn run_tgen(
     let mut edges_processed = 0u64;
     let mut tuples_generated = 0u64;
     let mut pruned_pairs = 0u64;
+    let mut interrupted = false;
 
     if graph.sigma_max() <= 0.0 {
         return Ok(TgenOutcome {
@@ -128,6 +139,7 @@ pub fn run_tgen(
             frontier_tuples: 0,
             frontier_peak: 0,
             dominance_evictions: 0,
+            interrupted: false,
         });
     }
 
@@ -156,7 +168,7 @@ pub fn run_tgen(
     let mut new_tuples: Vec<RegionTuple> = Vec::new();
 
     // Outer loop: cover every connected component of Q.Λ (lines 2–4).
-    for start in 0..n as u32 {
+    'components: for start in 0..n as u32 {
         if node_processed[start as usize] || enqueued[start as usize] {
             continue;
         }
@@ -168,6 +180,12 @@ pub fn run_tgen(
             for &(vj, e) in graph.neighbors(vi) {
                 if edge_visited[e as usize] {
                     continue;
+                }
+                // Deadline poll, once per edge: the incumbent in `best` (and
+                // the top list) is a valid anytime answer at every boundary.
+                if ctl.is_cancelled() {
+                    interrupted = true;
+                    break 'components;
                 }
                 edge_visited[e as usize] = true;
                 edges_processed += 1;
@@ -242,6 +260,7 @@ pub fn run_tgen(
         frontier_tuples,
         frontier_peak,
         dominance_evictions,
+        interrupted,
     })
 }
 
@@ -275,6 +294,7 @@ pub fn run_tgen_baseline(
             frontier_tuples: 0,
             frontier_peak: 0,
             dominance_evictions: 0,
+            interrupted: false,
         });
     }
 
@@ -363,6 +383,7 @@ pub fn run_tgen_baseline(
         frontier_tuples,
         frontier_peak,
         dominance_evictions: 0,
+        interrupted: false,
     })
 }
 
@@ -420,6 +441,7 @@ fn offer_top(top: &mut Vec<RegionTuple>, candidate: &RegionTuple, arena: &TupleA
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cancel::CancelToken;
     use crate::query_graph::test_support::figure2_query_graph;
 
     #[test]
@@ -435,7 +457,13 @@ mod tests {
         // {v2, v4, v5, v6}, weight 1.1, length 5.9.
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         let best = outcome.best.unwrap();
         assert!((best.weight - 1.1).abs() < 1e-9, "weight {}", best.weight);
         assert!((best.length - 5.9).abs() < 1e-9);
@@ -451,7 +479,13 @@ mod tests {
         for delta in [0.5, 1.0, 2.5, 4.0, 6.0, 9.0, 15.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.15);
             let mut arena = TupleArena::new();
-            let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+            let outcome = run_tgen(
+                &qg,
+                &mut arena,
+                &TgenParams { alpha: 0.15 },
+                &CancelToken::none(),
+            )
+            .unwrap();
             let best = outcome.best.unwrap();
             assert!(
                 best.length <= delta + 1e-9,
@@ -473,7 +507,7 @@ mod tests {
                 let (_n, qg) = figure2_query_graph(delta, alpha);
                 let params = TgenParams { alpha };
                 let mut arena = TupleArena::new();
-                let frontier = run_tgen(&qg, &mut arena, &params).unwrap();
+                let frontier = run_tgen(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
                 let mut baseline_arena = TupleArena::new();
                 let baseline = run_tgen_baseline(&qg, &mut baseline_arena, &params).unwrap();
                 match (&frontier.best, &baseline.best) {
@@ -508,7 +542,13 @@ mod tests {
         // back (the arena sees only feasible products).
         let (_n, qg) = figure2_query_graph(3.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert!(outcome.pruned_pairs > 0, "tight ∆ must prune pairs");
         // Compare against the baseline: it materialises what we prune.
         let mut baseline_arena = TupleArena::new();
@@ -527,16 +567,26 @@ mod tests {
     fn coarser_scaling_cannot_increase_accuracy() {
         let (_n, qg_fine) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let fine = run_tgen(&qg_fine, &mut arena, &TgenParams { alpha: 0.15 })
-            .unwrap()
-            .best
-            .unwrap();
+        let fine = run_tgen(
+            &qg_fine,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         let (_n, qg_coarse) = figure2_query_graph(6.0, 3.0);
         arena.reset();
-        let coarse = run_tgen(&qg_coarse, &mut arena, &TgenParams { alpha: 3.0 })
-            .unwrap()
-            .best
-            .unwrap();
+        let coarse = run_tgen(
+            &qg_coarse,
+            &mut arena,
+            &TgenParams { alpha: 3.0 },
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         assert!(coarse.weight <= fine.weight + 1e-9);
     }
 
@@ -548,7 +598,13 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 400.0).unwrap();
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams::default()).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams::default(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert!(outcome.best.is_none());
         assert!(outcome.top_tuples.is_empty());
         assert_eq!(outcome.frontier_tuples, 0);
@@ -558,7 +614,13 @@ mod tests {
     fn huge_delta_collects_all_relevant_weight() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         let best = outcome.best.unwrap();
         assert_eq!(best.node_count(), 6);
         assert!((best.weight - 1.7).abs() < 1e-9);
@@ -568,7 +630,13 @@ mod tests {
     fn top_tuples_are_sorted_and_distinct() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         let top = &outcome.top_tuples;
         assert!(!top.is_empty());
         for w in top.windows(2) {
@@ -590,7 +658,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 100.0);
         assert_eq!(qg.scaled_weight_lower_bound(), 0);
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 100.0 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 100.0 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         let best = outcome.best.expect("relevant nodes exist");
         assert!(best.weight > 0.0);
         let top = &outcome.top_tuples;
@@ -624,7 +698,13 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.1).unwrap();
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(&qg, &mut arena, &TgenParams { alpha: 0.1 }).unwrap();
+        let outcome = run_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.1 },
+            &CancelToken::none(),
+        )
+        .unwrap();
         let best = outcome.best.unwrap();
         assert_eq!(
             best.nodes(&arena),

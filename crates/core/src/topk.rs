@@ -12,6 +12,7 @@
 
 use crate::app::{binary_search, AppParams};
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
 use crate::error::Result;
 use crate::greedy::{run_greedy_excluding, GreedyParams};
 use crate::kmst::make_solver;
@@ -66,6 +67,9 @@ pub struct TopKOutcome {
     pub frontier_peak: u64,
     /// Array entries evicted by dominating inserts across the run.
     pub dominance_evictions: u64,
+    /// Whether any underlying stage stopped early on cancellation; `tuples`
+    /// then holds the best feasible regions found before the interrupt.
+    pub interrupted: bool,
 }
 
 /// Top-k via APP: quota binary search, then the tuple arrays of the candidate tree.
@@ -74,18 +78,20 @@ pub fn topk_app(
     arena: &mut TupleArena,
     params: &AppParams,
     k: usize,
+    ctl: &CancelToken,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 || graph.sigma_max() <= 0.0 {
         return Ok(TopKOutcome::default());
     }
     let mut solver = make_solver(params.solver);
-    let (candidate, _trace) = binary_search(
+    let (candidate, _trace, search_interrupted) = binary_search(
         graph,
         arena,
         solver.as_mut(),
         params.beta,
         params.max_iterations,
+        ctl,
     );
     let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
@@ -102,13 +108,15 @@ pub fn topk_app(
             tuples: singles,
             kmst_calls,
             tuples_generated,
+            interrupted: search_interrupted,
             ..TopKOutcome::default()
         });
     };
     // Per Section 6.2, always compute the tuple arrays over the candidate tree.
-    let dp = find_opt_tree(graph, arena, &candidate);
+    let dp = find_opt_tree(graph, arena, &candidate, ctl);
     let tuples_generated = dp.tuples_generated;
     let pruned_pairs = dp.pruned_pairs;
+    let dp_interrupted = dp.interrupted;
     let (frontier_tuples, frontier_peak, dominance_evictions) = dp.frontier_stats();
     // The runners-up are read straight off the candidate tree's frontier
     // arrays.  Chosen top-k semantics for dominated-but-distinct node sets:
@@ -139,6 +147,7 @@ pub fn topk_app(
         frontier_tuples,
         frontier_peak,
         dominance_evictions,
+        interrupted: search_interrupted || dp_interrupted,
     })
 }
 
@@ -148,12 +157,13 @@ pub fn topk_tgen(
     arena: &mut TupleArena,
     params: &TgenParams,
     k: usize,
+    ctl: &CancelToken,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
         return Ok(TopKOutcome::default());
     }
-    let outcome = run_tgen(graph, arena, params)?;
+    let outcome = run_tgen(graph, arena, params, ctl)?;
     Ok(TopKOutcome {
         tuples: dedupe_topk(arena, outcome.top_tuples, k),
         kmst_calls: 0,
@@ -163,6 +173,7 @@ pub fn topk_tgen(
         frontier_tuples: outcome.frontier_tuples,
         frontier_peak: outcome.frontier_peak,
         dominance_evictions: outcome.dominance_evictions,
+        interrupted: outcome.interrupted,
     })
 }
 
@@ -172,6 +183,7 @@ pub fn topk_greedy(
     arena: &mut TupleArena,
     params: &GreedyParams,
     k: usize,
+    ctl: &CancelToken,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
@@ -180,12 +192,18 @@ pub fn topk_greedy(
     let mut regions: Vec<RegionTuple> = Vec::with_capacity(k);
     let mut excluded: Vec<u32> = Vec::new();
     let mut greedy_steps = 0u64;
+    let mut interrupted = false;
     for _ in 0..k {
-        let outcome = run_greedy_excluding(graph, arena, params, &excluded)?;
+        let outcome = run_greedy_excluding(graph, arena, params, &excluded, ctl)?;
         greedy_steps += outcome.steps;
+        interrupted |= outcome.interrupted;
         let Some(region) = outcome.best else { break };
         excluded.extend_from_slice(region.nodes(arena));
         regions.push(region);
+        if interrupted {
+            // Completed seeds stay in the result; skip the remaining ones.
+            break;
+        }
     }
     // Regions are discovered seed-by-seed; report them best-first like the
     // other algorithms.
@@ -193,6 +211,7 @@ pub fn topk_greedy(
     Ok(TopKOutcome {
         tuples: regions,
         greedy_steps,
+        interrupted,
         ..TopKOutcome::default()
     })
 }
@@ -221,7 +240,14 @@ mod tests {
     fn topk_app_returns_distinct_feasible_regions_in_order() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = topk_app(&qg, &mut arena, &AppParams::default(), 3).unwrap();
+        let outcome = topk_app(
+            &qg,
+            &mut arena,
+            &AppParams::default(),
+            3,
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert!(outcome.kmst_calls > 0, "oracle invocations must be counted");
         assert!(outcome.tuples_generated > 0, "DP tuples must be counted");
         let regions = outcome.tuples;
@@ -240,9 +266,12 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let params = TgenParams { alpha: 0.15 };
-        let single = run_tgen(&qg, &mut arena, &params).unwrap().best.unwrap();
+        let single = run_tgen(&qg, &mut arena, &params, &CancelToken::none())
+            .unwrap()
+            .best
+            .unwrap();
         arena.reset();
-        let outcome = topk_tgen(&qg, &mut arena, &params, 4).unwrap();
+        let outcome = topk_tgen(&qg, &mut arena, &params, 4, &CancelToken::none()).unwrap();
         assert!(outcome.tuples_generated > 0, "TGEN tuples must be counted");
         assert_eq!(outcome.kmst_calls, 0);
         let regions = outcome.tuples;
@@ -260,7 +289,14 @@ mod tests {
     fn topk_greedy_regions_have_disjoint_seeds() {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome = topk_greedy(&qg, &mut arena, &GreedyParams::default(), 3).unwrap();
+        let outcome = topk_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            3,
+            &CancelToken::none(),
+        )
+        .unwrap();
         let regions = outcome.tuples;
         assert!(regions.len() >= 2);
         // Every multi-node region required at least one expansion step.
@@ -279,48 +315,96 @@ mod tests {
     fn k_zero_and_irrelevant_queries_return_empty() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        assert!(topk_app(&qg, &mut arena, &AppParams::default(), 0)
-            .unwrap()
-            .tuples
-            .is_empty());
-        assert!(topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 0)
-            .unwrap()
-            .tuples
-            .is_empty());
-        assert!(topk_greedy(&qg, &mut arena, &GreedyParams::default(), 0)
-            .unwrap()
-            .tuples
-            .is_empty());
+        assert!(topk_app(
+            &qg,
+            &mut arena,
+            &AppParams::default(),
+            0,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
+        assert!(topk_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            0,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
+        assert!(topk_greedy(
+            &qg,
+            &mut arena,
+            &GreedyParams::default(),
+            0,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
 
         use lcmsr_geotext::collection::NodeWeights;
         use lcmsr_roadnet::subgraph::RegionView;
         let (network, _) = crate::query_graph::test_support::figure2();
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
-        assert!(topk_app(&qg0, &mut arena, &AppParams::default(), 3)
-            .unwrap()
-            .tuples
-            .is_empty());
-        assert!(topk_tgen(&qg0, &mut arena, &TgenParams { alpha: 0.5 }, 3)
-            .unwrap()
-            .tuples
-            .is_empty());
-        assert!(topk_greedy(&qg0, &mut arena, &GreedyParams::default(), 3)
-            .unwrap()
-            .tuples
-            .is_empty());
+        assert!(topk_app(
+            &qg0,
+            &mut arena,
+            &AppParams::default(),
+            3,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
+        assert!(topk_tgen(
+            &qg0,
+            &mut arena,
+            &TgenParams { alpha: 0.5 },
+            3,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
+        assert!(topk_greedy(
+            &qg0,
+            &mut arena,
+            &GreedyParams::default(),
+            3,
+            &CancelToken::none()
+        )
+        .unwrap()
+        .tuples
+        .is_empty());
     }
 
     #[test]
     fn larger_k_never_shrinks_the_result() {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let two = topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 2)
-            .unwrap()
-            .tuples;
-        let five = topk_tgen(&qg, &mut arena, &TgenParams { alpha: 0.15 }, 5)
-            .unwrap()
-            .tuples;
+        let two = topk_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            2,
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .tuples;
+        let five = topk_tgen(
+            &qg,
+            &mut arena,
+            &TgenParams { alpha: 0.15 },
+            5,
+            &CancelToken::none(),
+        )
+        .unwrap()
+        .tuples;
         assert!(five.len() >= two.len());
         // The first entries agree.
         assert!(five[0].same_nodes(&two[0], &arena));

@@ -11,9 +11,18 @@
 //!   "k": 3,                         // optional: top-k instead of single-best
 //!   "alpha": 1.0,                   // optional: APP/TGEN scaling override
 //!   "beta": 0.1,                    // optional: APP binary-search override
-//!   "mu": 0.2                       // optional: Greedy trade-off override
+//!   "mu": 0.2,                      // optional: Greedy trade-off override
+//!   "deadline_ms": 50,              // optional: anytime-answer deadline
+//!   "priority": "interactive"       // optional: "interactive" | "batch" lane
 //! }
 //! ```
+//!
+//! `deadline_ms` starts counting when the service decodes the request, so
+//! queue wait spends the same budget the solver does.  A response produced
+//! under an expired deadline carries the solver's best-so-far region with
+//! `"partial": true` and a `"partial_cause"` of `"deadline_exceeded"`; a
+//! request whose deadline cannot even survive the predicted queue wait is
+//! shed up front with `503` + `Retry-After`.
 //!
 //! and a response carries the regions (one for a single query, up to `k` for
 //! top-k) plus [`RunStats`] including the scheduler's queue wait:
@@ -90,6 +99,11 @@ pub struct QueryRequest {
     pub beta: Option<f64>,
     /// Optional trade-off override (Greedy).
     pub mu: Option<f64>,
+    /// Optional anytime-answer deadline in milliseconds, counted from the
+    /// moment the service decodes the request.
+    pub deadline_ms: Option<u64>,
+    /// Optional scheduling lane: `"interactive"` (default) or `"batch"`.
+    pub priority: Option<String>,
 }
 
 fn field_f64(obj: &Json, key: &str) -> Result<f64, ApiError> {
@@ -177,6 +191,26 @@ impl QueryRequest {
                 Some(k as usize)
             }
         };
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ApiError::new("field \"deadline_ms\" must be a non-negative integer")
+            })?),
+        };
+        let priority = match value.get("priority") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let lane = v.as_str().ok_or_else(|| {
+                    ApiError::new("field \"priority\" must be \"interactive\" or \"batch\"")
+                })?;
+                if Priority::parse(lane).is_none() {
+                    return Err(ApiError::new(format!(
+                        "field \"priority\" must be \"interactive\" or \"batch\", got \"{lane}\""
+                    )));
+                }
+                Some(lane.to_string())
+            }
+        };
         Ok(QueryRequest {
             algorithm,
             keywords,
@@ -186,6 +220,8 @@ impl QueryRequest {
             alpha: optional_f64(value, "alpha")?,
             beta: optional_f64(value, "beta")?,
             mu: optional_f64(value, "mu")?,
+            deadline_ms,
+            priority,
         })
     }
 
@@ -221,6 +257,12 @@ impl QueryRequest {
             if let Some(v) = v {
                 fields.push((name.into(), Json::Number(v)));
             }
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Number(ms as f64)));
+        }
+        if let Some(priority) = &self.priority {
+            fields.push(("priority".into(), Json::String(priority.clone())));
         }
         Json::Object(fields)
     }
@@ -261,6 +303,18 @@ impl QueryRequest {
             other => Err(ApiError::new(format!(
                 "unknown algorithm \"{other}\" (expected app, tgen, greedy or exact)"
             ))),
+        }
+    }
+
+    /// Resolves the scheduling lane (interactive when unset).
+    pub fn to_priority(&self) -> Result<Priority, ApiError> {
+        match &self.priority {
+            None => Ok(Priority::default()),
+            Some(lane) => Priority::parse(lane).ok_or_else(|| {
+                ApiError::new(format!(
+                    "field \"priority\" must be \"interactive\" or \"batch\", got \"{lane}\""
+                ))
+            }),
         }
     }
 
@@ -394,6 +448,15 @@ pub struct StatsDto {
     pub frontier_peak: u64,
     /// Frontier entries evicted by dominating inserts.
     pub dominance_evictions: u64,
+    /// Whether the result is a best-so-far partial answer (deadline expired
+    /// or the query was cancelled mid-solve).
+    pub partial: bool,
+    /// Why the result is partial: `"deadline_exceeded"` or `"cancelled"`
+    /// (absent for complete runs).
+    pub partial_cause: Option<String>,
+    /// The deadline budget the query ran under, in nanoseconds (absent when
+    /// no deadline was set).
+    pub deadline_ns: Option<u64>,
 }
 
 fn duration_ns(d: Duration) -> u64 {
@@ -419,11 +482,14 @@ impl StatsDto {
             frontier_tuples: stats.frontier_tuples,
             frontier_peak: stats.frontier_peak,
             dominance_evictions: stats.dominance_evictions,
+            partial: stats.partial,
+            partial_cause: stats.partial_cause.map(|c| c.as_str().to_string()),
+            deadline_ns: stats.deadline.map(duration_ns),
         }
     }
 
     fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut out = Json::Object(vec![
             ("algorithm".into(), Json::String(self.algorithm.clone())),
             ("elapsed_ns".into(), Json::Number(self.elapsed_ns as f64)),
             ("prepare_ns".into(), Json::Number(self.prepare_ns as f64)),
@@ -466,7 +532,18 @@ impl StatsDto {
                 "dominance_evictions".into(),
                 Json::Number(self.dominance_evictions as f64),
             ),
-        ])
+        ]);
+        let Json::Object(fields) = &mut out else {
+            unreachable!("stats encode as an object");
+        };
+        fields.push(("partial".into(), Json::Bool(self.partial)));
+        if let Some(cause) = &self.partial_cause {
+            fields.push(("partial_cause".into(), Json::String(cause.clone())));
+        }
+        if let Some(ns) = self.deadline_ns {
+            fields.push(("deadline_ns".into(), Json::Number(ns as f64)));
+        }
+        out
     }
 
     fn from_json(value: &Json) -> Result<Self, ApiError> {
@@ -496,6 +573,28 @@ impl StatsDto {
             frontier_tuples: int("frontier_tuples")?,
             frontier_peak: int("frontier_peak")?,
             dominance_evictions: int("dominance_evictions")?,
+            partial: match value.get("partial") {
+                None | Some(Json::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| ApiError::new("stats field \"partial\" must be a boolean"))?,
+            },
+            partial_cause: match value.get("partial_cause") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ApiError::new("stats field \"partial_cause\" must be a string")
+                        })?
+                        .to_string(),
+                ),
+            },
+            deadline_ns: match value.get("deadline_ns") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    ApiError::new("stats field \"deadline_ns\" must be an integer")
+                })?),
+            },
         })
     }
 }
@@ -585,6 +684,8 @@ mod tests {
             alpha: Some(1.0),
             beta: None,
             mu: None,
+            deadline_ms: None,
+            priority: None,
         }
     }
 
@@ -603,6 +704,16 @@ mod tests {
         assert_eq!(
             QueryRequest::from_body(&minimal.to_body()).unwrap(),
             minimal
+        );
+        // With deadline and priority set.
+        let deadlined = QueryRequest {
+            deadline_ms: Some(50),
+            priority: Some("batch".into()),
+            ..sample_request()
+        };
+        assert_eq!(
+            QueryRequest::from_body(&deadlined.to_body()).unwrap(),
+            deadlined
         );
     }
 
@@ -711,6 +822,22 @@ mod tests {
                 r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"alpha":"big"}"#,
                 "alpha",
             ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"deadline_ms":-5}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"deadline_ms":1.5}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"priority":"urgent"}"#,
+                "priority",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"priority":7}"#,
+                "priority",
+            ),
             ("{not json", "invalid JSON"),
         ] {
             let err = QueryRequest::from_body(body).unwrap_err();
@@ -759,6 +886,9 @@ mod tests {
                 frontier_tuples: 96,
                 frontier_peak: 12,
                 dominance_evictions: 3,
+                partial: false,
+                partial_cause: None,
+                deadline_ns: None,
             },
         };
         let body = response.to_body();
@@ -779,5 +909,54 @@ mod tests {
         let body = error_body("bad \"thing\"");
         let v = parse(&body).unwrap();
         assert_eq!(v.get("error").and_then(Json::as_str), Some("bad \"thing\""));
+    }
+
+    #[test]
+    fn priority_resolves_with_interactive_default() {
+        assert_eq!(
+            sample_request().to_priority().unwrap(),
+            Priority::Interactive
+        );
+        let batch = QueryRequest {
+            priority: Some("batch".into()),
+            ..sample_request()
+        };
+        assert_eq!(batch.to_priority().unwrap(), Priority::Batch);
+        let bad = QueryRequest {
+            priority: Some("urgent".into()),
+            ..sample_request()
+        };
+        assert!(bad.to_priority().unwrap_err().message.contains("priority"));
+    }
+
+    #[test]
+    fn partial_stats_round_trip_on_the_wire() {
+        let mut stats = RunStats::new("Exact");
+        stats.deadline = Some(Duration::from_millis(50));
+        stats.mark_partial(PartialCause::DeadlineExceeded);
+        let dto = StatsDto::from_stats(&stats);
+        assert!(dto.partial);
+        assert_eq!(dto.partial_cause.as_deref(), Some("deadline_exceeded"));
+        assert_eq!(dto.deadline_ns, Some(50_000_000));
+        let response = QueryResponse {
+            regions: vec![],
+            stats: dto,
+        };
+        let back = QueryResponse::from_body(&response.to_body()).unwrap();
+        assert_eq!(response, back);
+        let body = response.to_body();
+        assert!(body.contains("\"partial\":true"), "body: {body}");
+        assert!(body.contains("\"partial_cause\":\"deadline_exceeded\""));
+        assert!(body.contains("\"deadline_ns\":50000000"));
+        // Complete runs stay partial-free and omit the optional fields.
+        let complete = QueryResponse {
+            regions: vec![],
+            stats: StatsDto::from_stats(&RunStats::new("TGEN")),
+        };
+        let body = complete.to_body();
+        assert!(body.contains("\"partial\":false"));
+        assert!(!body.contains("partial_cause"));
+        assert!(!body.contains("deadline_ns"));
+        assert_eq!(QueryResponse::from_body(&body).unwrap(), complete);
     }
 }

@@ -6,6 +6,28 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// A decoded HTTP response: status, headers (names lower-cased) and body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// A keep-alive connection to one server.
 #[derive(Debug)]
 pub struct HttpClient {
@@ -29,11 +51,23 @@ impl HttpClient {
 
     /// Sends a `GET` and returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        self.request("GET", path, None)
+        self.request("GET", path, None).map(|r| (r.status, r.body))
     }
 
     /// Sends a `POST` with a JSON body and returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(body))
+            .map(|r| (r.status, r.body))
+    }
+
+    /// Sends a `GET` and returns the full response including headers.
+    pub fn get_full(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` and returns the full response including headers
+    /// (e.g. `Retry-After` on a `503` shed).
+    pub fn post_full(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
         self.request("POST", path, Some(body))
     }
 
@@ -42,7 +76,7 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+    ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or("");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: lcmsr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
@@ -54,7 +88,7 @@ impl HttpClient {
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -67,6 +101,7 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
@@ -77,18 +112,22 @@ impl HttpClient {
                 break;
             }
             if let Some((name, value)) = trimmed.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| bad("malformed Content-Length"))?;
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| bad("malformed Content-Length"))?;
                 }
+                headers.push((name, value));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|body| (status, body))
+            .map(|body| ClientResponse {
+                status,
+                headers,
+                body,
+            })
             .map_err(|_| bad("response body is not UTF-8"))
     }
 }

@@ -16,12 +16,17 @@
 //! * [`api`] — the wire types: query requests (`algorithm`, `keywords`,
 //!   `rect`, `budget`, optional `k`) and region responses with full
 //!   [`lcmsr_core::stats::RunStats`] including queue wait;
-//! * [`scheduler`] — the heart: a **micro-batching scheduler**.  Requests
-//!   park on a bounded queue; a dispatcher drains up to `max_batch` of them
-//!   (or whatever accumulated within `max_delay` of the oldest), groups by
-//!   algorithm, and fans each group through `run_batch` on the shared
-//!   engine, completing requests via per-request condvar slots.  A full
-//!   queue sheds new requests with `503` instead of collapsing latency;
+//! * [`scheduler`] — the heart: a **micro-batching scheduler** with two
+//!   priority lanes (interactive preempts batch).  Requests park on a
+//!   bounded queue; a dispatcher drains up to `max_batch` of them (or
+//!   whatever accumulated within `max_delay` of the oldest), groups by
+//!   algorithm, and fans each group through `execute_batch_with` on the
+//!   shared engine, completing requests via per-request condvar slots.  A
+//!   full queue sheds new requests with `503`, and a request whose
+//!   `deadline_ms` is already blown — or predicted to be blown by queue
+//!   wait — is shed up front with `503` + `Retry-After` instead of burning
+//!   engine time; deadlines that expire mid-solve yield the solver's
+//!   best-so-far answer with `"partial": true`;
 //! * [`metrics`] — atomically-maintained counters and a fixed-bucket latency
 //!   histogram behind `/metrics`, plus `/healthz`;
 //! * [`client`] — a tiny blocking client for tests, smoke checks and the
@@ -55,7 +60,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use api::{QueryRequest, QueryResponse, RegionDto, StatsDto};
-pub use client::HttpClient;
+pub use client::{ClientResponse, HttpClient};
 pub use metrics::ServiceMetrics;
 pub use scheduler::{BatchConfig, JobKind, Scheduler};
 pub use service::{serve, ServiceConfig, ServiceHandle};

@@ -96,8 +96,14 @@ pub struct ServiceMetrics {
     pub responses_ok: AtomicU64,
     /// `4xx` responses (malformed or invalid requests).
     pub responses_client_error: AtomicU64,
-    /// `503` load-shed responses.
+    /// `503` load-shed responses (queue or in-flight cap full).
     pub shed: AtomicU64,
+    /// `503` responses shed because the request's deadline was already blown
+    /// or would be blown by the predicted queue wait.
+    pub deadline_shed: AtomicU64,
+    /// `200` responses whose result was partial (deadline or cancellation
+    /// stopped the solver at its best-so-far incumbent).
+    pub partial: AtomicU64,
     /// Batches dispatched to the engine.
     pub batches: AtomicU64,
     /// Total queries across all dispatched batches.
@@ -145,6 +151,11 @@ impl ServiceMetrics {
             load(&self.responses_client_error).to_string(),
         );
         gauge("lcmsr_shed_total", load(&self.shed).to_string());
+        gauge(
+            "lcmsr_deadline_shed_total",
+            load(&self.deadline_shed).to_string(),
+        );
+        gauge("lcmsr_partial_total", load(&self.partial).to_string());
         gauge("lcmsr_batches_total", load(&self.batches).to_string());
         gauge(
             "lcmsr_batched_queries_total",
@@ -217,6 +228,8 @@ mod tests {
     fn render_exposes_all_series() {
         let m = ServiceMetrics::new();
         m.requests.fetch_add(5, Ordering::Relaxed);
+        m.deadline_shed.fetch_add(3, Ordering::Relaxed);
+        m.partial.fetch_add(4, Ordering::Relaxed);
         m.batches.fetch_add(2, Ordering::Relaxed);
         m.batched_queries.fetch_add(7, Ordering::Relaxed);
         m.latency.record(Duration::from_millis(3));
@@ -227,6 +240,8 @@ mod tests {
             "lcmsr_responses_ok_total",
             "lcmsr_responses_client_error_total",
             "lcmsr_shed_total",
+            "lcmsr_deadline_shed_total 3",
+            "lcmsr_partial_total 4",
             "lcmsr_batches_total 2",
             "lcmsr_batched_queries_total 7",
             "lcmsr_mean_batch_size 3.500",

@@ -1,17 +1,26 @@
 //! The micro-batching scheduler: the piece that turns a stream of concurrent
-//! single-query HTTP requests into [`LcmsrEngine::run_batch`] /
-//! [`LcmsrEngine::run_topk_batch`] calls.
+//! single-query HTTP requests into [`LcmsrEngine::execute_batch_with`] calls.
 //!
-//! Requests park on a bounded MPSC queue.  A dispatcher thread drains up to
-//! `max_batch` jobs — or whatever has accumulated when a `max_delay` deadline
-//! (started at the first queued job) expires, whichever comes first — groups
-//! them by `(algorithm, kind)` and fans each group through the shared
-//! engine's batch path.  Each request completes through its own
-//! mutex+condvar slot, so HTTP workers block only on their own result.
+//! Requests park on a bounded two-lane queue: the **interactive** lane is
+//! always drained before the **batch** lane, so background bulk work never
+//! delays interactive queries within a dispatch window.  A dispatcher thread
+//! drains up to `max_batch` jobs — or whatever has accumulated when a
+//! `max_delay` window (started at the oldest queued job) expires, whichever
+//! comes first — groups them by `(algorithm, kind)` and fans each group
+//! through the shared engine's batch path.  Each request completes through
+//! its own mutex+condvar slot, so HTTP workers block only on their own
+//! result.
 //!
-//! Admission control is the bounded queue: when it is full, [`Scheduler::submit`]
-//! returns [`SubmitError::Overloaded`] and the HTTP layer sheds the request
-//! with a `503` instead of letting latency collapse for everyone.
+//! Admission control is the bounded queue plus **deadline-aware shedding**:
+//! when the queue is full, [`Scheduler::submit`] returns
+//! [`SubmitError::Overloaded`]; when a job carries a [`Deadline`] that has
+//! already expired — or that an EWMA of recent per-query service times
+//! predicts will expire before the job can be dispatched — submit returns
+//! [`SubmitError::DeadlineUnmeetable`].  Both are shed by the HTTP layer
+//! with a `503` + `Retry-After` instead of letting latency collapse for
+//! everyone.  Jobs admitted *with* a deadline carry it into the engine, so a
+//! deadline that expires mid-solve still yields the solver's best-so-far
+//! incumbent (`partial: true`) rather than nothing.
 //!
 //! With `max_batch <= 1` the scheduler degenerates to the **unbatched
 //! baseline**: no dispatcher thread, each request runs on its caller's thread
@@ -19,11 +28,14 @@
 //! The `service_throughput` benchmark compares exactly these two modes.
 
 use crate::metrics::ServiceMetrics;
-use lcmsr_core::engine::{Algorithm, LcmsrEngine, QueryResult, TopKResult};
+use lcmsr_core::cancel::Deadline;
+use lcmsr_core::engine::{
+    Algorithm, LcmsrEngine, Priority, QueryOutcome, QueryRequest, QueryResult, TopKResult,
+};
 use lcmsr_core::error::{LcmsrError, Result as LcmsrResult};
 use lcmsr_core::query::LcmsrQuery;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -74,6 +86,24 @@ pub struct QueryJob {
     pub algorithm: Algorithm,
     /// Single-best or top-k.
     pub kind: JobKind,
+    /// Scheduling lane: interactive jobs always dispatch before batch jobs.
+    pub priority: Priority,
+    /// Optional deadline, stamped when the request entered the service so
+    /// queue wait counts against the budget.
+    pub deadline: Option<Deadline>,
+}
+
+impl QueryJob {
+    /// An interactive, deadline-free job (the common case).
+    pub fn new(query: LcmsrQuery, algorithm: Algorithm, kind: JobKind) -> Self {
+        QueryJob {
+            query,
+            algorithm,
+            kind,
+            priority: Priority::Interactive,
+            deadline: None,
+        }
+    }
 }
 
 /// A completed job.
@@ -90,6 +120,10 @@ pub enum JobOutput {
 pub enum SubmitError {
     /// The bounded queue (or in-flight cap) is full — shed with `503`.
     Overloaded,
+    /// The job's deadline has already expired, or the predicted queue wait
+    /// exceeds what is left of it — shed with `503` + `Retry-After` now
+    /// instead of burning engine time on an answer nobody is waiting for.
+    DeadlineUnmeetable,
     /// The scheduler is shutting down.
     ShuttingDown,
 }
@@ -98,6 +132,9 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Overloaded => write!(f, "service overloaded, request shed"),
+            SubmitError::DeadlineUnmeetable => {
+                write!(f, "deadline unmeetable given queue wait, request shed")
+            }
             SubmitError::ShuttingDown => write!(f, "service shutting down"),
         }
     }
@@ -145,8 +182,38 @@ struct PendingJob {
 }
 
 struct QueueState {
-    jobs: VecDeque<PendingJob>,
+    /// Interactive lane: always drained first.
+    interactive: VecDeque<PendingJob>,
+    /// Batch lane: drained only after the interactive lane is empty.
+    batch: VecDeque<PendingJob>,
     shutdown: bool,
+}
+
+impl QueueState {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.batch.is_empty()
+    }
+
+    /// Arrival instant of the oldest queued job across both lanes (the
+    /// micro-batching window is anchored there).
+    fn oldest_enqueued(&self) -> Option<Instant> {
+        match (self.interactive.front(), self.batch.front()) {
+            (Some(a), Some(b)) => Some(a.enqueued.min(b.enqueued)),
+            (Some(a), None) => Some(a.enqueued),
+            (None, Some(b)) => Some(b.enqueued),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<PendingJob> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())
+    }
 }
 
 struct SchedulerShared {
@@ -158,6 +225,43 @@ struct SchedulerShared {
     metrics: Arc<ServiceMetrics>,
     /// In-flight cap used by the direct (`max_batch <= 1`) path.
     in_flight: AtomicUsize,
+    /// EWMA (α = 1/8) of per-query engine service time in nanoseconds;
+    /// 0 until the first dispatch completes.  Feeds the predictive half of
+    /// deadline-aware shedding.
+    service_time_ns: AtomicU64,
+}
+
+impl SchedulerShared {
+    /// Whether a deadline is definitely or predictably unmeetable: already
+    /// expired, or the EWMA-predicted wait behind `queued_ahead` jobs exceeds
+    /// what is left of the budget.  With no service-time sample yet the
+    /// prediction abstains (admit optimistically).
+    fn deadline_unmeetable(&self, deadline: &Deadline, queued_ahead: usize) -> bool {
+        if deadline.expired() {
+            return true;
+        }
+        let ewma = self.service_time_ns.load(Ordering::Relaxed);
+        if ewma == 0 || queued_ahead == 0 {
+            return false;
+        }
+        let workers = self.config.batch_workers.max(1) as u64;
+        let predicted_wait =
+            Duration::from_nanos(ewma.saturating_mul(queued_ahead as u64) / workers);
+        deadline.remaining() <= predicted_wait
+    }
+}
+
+/// Folds one dispatch into the service-time EWMA (α = 1/8; the first sample
+/// seeds it directly).
+fn record_service_time(shared: &SchedulerShared, elapsed: Duration, queries: usize) {
+    let per_query = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX) / queries.max(1) as u64;
+    let old = shared.service_time_ns.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        per_query
+    } else {
+        old - old / 8 + per_query / 8
+    };
+    shared.service_time_ns.store(new, Ordering::Relaxed);
 }
 
 /// The micro-batching scheduler over a shared engine.
@@ -186,12 +290,14 @@ impl Scheduler {
             engine,
             config,
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
                 shutdown: false,
             }),
             wake: Condvar::new(),
             metrics,
             in_flight: AtomicUsize::new(0),
+            service_time_ns: AtomicU64::new(0),
         });
         let dispatcher = if shared.config.max_batch > 1 {
             let shared = Arc::clone(&shared);
@@ -234,19 +340,29 @@ impl Scheduler {
             if queue.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
-            if queue.jobs.len() >= shared.config.queue_capacity {
+            if queue.len() >= shared.config.queue_capacity {
                 shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Overloaded);
             }
-            queue.jobs.push_back(PendingJob {
+            if let Some(deadline) = &job.deadline {
+                if shared.deadline_unmeetable(deadline, queue.len()) {
+                    shared.metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::DeadlineUnmeetable);
+                }
+            }
+            let pending = PendingJob {
                 job,
                 enqueued: Instant::now(),
                 slot: Arc::clone(&slot),
-            });
+            };
+            match pending.job.priority {
+                Priority::Interactive => queue.interactive.push_back(pending),
+                Priority::Batch => queue.batch.push_back(pending),
+            }
             shared
                 .metrics
                 .queue_depth
-                .store(queue.jobs.len() as u64, Ordering::Relaxed);
+                .store(queue.len() as u64, Ordering::Relaxed);
         }
         shared.wake.notify_one();
         Ok(Ticket { slot })
@@ -265,17 +381,28 @@ impl Scheduler {
             shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Overloaded);
         }
+        // The direct path runs immediately, so only a definitely-expired
+        // deadline is shed (there is no queue wait to predict).
+        if let Some(deadline) = &job.deadline {
+            if deadline.expired() {
+                shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                shared.metrics.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::DeadlineUnmeetable);
+            }
+        }
         let slot = Arc::new(Slot::default());
+        let started = Instant::now();
         let output = run_single_job(shared.engine, &job, Duration::ZERO);
+        record_service_time(shared, started.elapsed(), 1);
         record_batch(&shared.metrics, 1);
         slot.fill(output);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         Ok(Ticket { slot })
     }
 
-    /// Current queue depth (0 in baseline mode).
+    /// Current queue depth across both lanes (0 in baseline mode).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+        self.shared.queue.lock().expect("queue poisoned").len()
     }
 
     /// Stops accepting jobs, drains everything already queued, and joins the
@@ -330,18 +457,18 @@ fn collect_batch(shared: &SchedulerShared) -> Vec<PendingJob> {
     let config = &shared.config;
     let mut queue = shared.queue.lock().expect("queue poisoned");
     loop {
-        if !queue.jobs.is_empty() || queue.shutdown {
+        if !queue.is_empty() || queue.shutdown {
             break;
         }
         queue = shared.wake.wait(queue).expect("queue poisoned");
     }
-    if queue.jobs.is_empty() {
+    if queue.is_empty() {
         return Vec::new(); // shutdown with an empty queue
     }
     // The micro-batching window: the deadline starts at the *oldest* queued
     // job, so a request never waits more than max_delay before dispatch.
-    let deadline = queue.jobs[0].enqueued + config.max_delay;
-    while queue.jobs.len() < config.max_batch && !queue.shutdown {
+    let deadline = queue.oldest_enqueued().expect("non-empty queue") + config.max_delay;
+    while queue.len() < config.max_batch && !queue.shutdown {
         let now = Instant::now();
         if now >= deadline {
             break;
@@ -352,12 +479,20 @@ fn collect_batch(shared: &SchedulerShared) -> Vec<PendingJob> {
             .expect("queue poisoned");
         queue = guard;
     }
-    let take = queue.jobs.len().min(config.max_batch);
-    let batch: Vec<PendingJob> = queue.jobs.drain(..take).collect();
+    // Interactive preempts batch: the interactive lane empties into the
+    // dispatch before the batch lane contributes anything.
+    let take = queue.len().min(config.max_batch);
+    let mut batch = Vec::with_capacity(take);
+    while batch.len() < take {
+        match queue.pop_next() {
+            Some(pending) => batch.push(pending),
+            None => break,
+        }
+    }
     shared
         .metrics
         .queue_depth
-        .store(queue.jobs.len() as u64, Ordering::Relaxed);
+        .store(queue.len() as u64, Ordering::Relaxed);
     batch
 }
 
@@ -382,6 +517,29 @@ fn execute_batch(shared: &SchedulerShared, batch: Vec<PendingJob>) {
     }
 }
 
+/// Builds the engine-level request for a job.  The job's own deadline rides
+/// along: the engine polls per member, so within a dispatched group the
+/// *tightest* member deadline is what effectively bounds the group's engine
+/// time, while looser members still run out their own budgets.
+fn build_request(job: &QueryJob) -> QueryRequest<'_> {
+    let mut request = QueryRequest::new(&job.query, job.algorithm.clone()).priority(job.priority);
+    if let JobKind::TopK(k) = job.kind {
+        request = request.top_k(k);
+    }
+    if let Some(deadline) = job.deadline {
+        request = request.deadline(deadline);
+    }
+    request
+}
+
+/// Shapes an engine outcome into the job's requested output form.
+fn into_output(outcome: QueryOutcome, kind: JobKind) -> JobOutput {
+    match kind {
+        JobKind::Single => JobOutput::Single(outcome.into_single()),
+        JobKind::TopK(_) => JobOutput::TopK(outcome.into_topk()),
+    }
+}
+
 /// Runs one homogeneous group.  If the engine's batch path fails (it aborts
 /// the whole batch on the first failing query), each query is retried
 /// individually so one poisonous request cannot fail its batch-mates.
@@ -391,29 +549,21 @@ fn execute_group(shared: &SchedulerShared, group: Vec<PendingJob>) {
     // time belongs in queue_time, not silently nowhere.
     let dispatched = Instant::now();
     let engine = shared.engine;
-    let algorithm = group[0].job.algorithm.clone();
-    let kind = group[0].job.kind;
     let workers = shared.config.batch_workers.max(1);
-    let queries: Vec<LcmsrQuery> = group.iter().map(|p| p.job.query.clone()).collect();
+    let requests: Vec<QueryRequest> = group.iter().map(|p| build_request(&p.job)).collect();
 
-    let batch_outcome: LcmsrResult<Vec<JobOutput>> = match kind {
-        JobKind::Single if queries.len() == 1 => engine
-            .run(&queries[0], &algorithm)
-            .map(|r| vec![JobOutput::Single(r)]),
-        JobKind::Single => engine
-            .run_batch_with(&queries, &algorithm, workers)
-            .map(|results| results.into_iter().map(JobOutput::Single).collect()),
-        JobKind::TopK(k) if queries.len() == 1 => engine
-            .run_topk(&queries[0], &algorithm, k)
-            .map(|r| vec![JobOutput::TopK(r)]),
-        JobKind::TopK(k) => engine
-            .run_topk_batch_with(&queries, &algorithm, k, workers)
-            .map(|results| results.into_iter().map(JobOutput::TopK).collect()),
+    let batch_outcome: LcmsrResult<Vec<QueryOutcome>> = if requests.len() == 1 {
+        engine.execute(&requests[0]).map(|outcome| vec![outcome])
+    } else {
+        engine.execute_batch_with(&requests, workers)
     };
+    drop(requests);
 
     match batch_outcome {
-        Ok(outputs) => {
-            for (pending, mut output) in group.into_iter().zip(outputs) {
+        Ok(outcomes) => {
+            record_service_time(shared, dispatched.elapsed(), group.len());
+            for (pending, outcome) in group.into_iter().zip(outcomes) {
+                let mut output = into_output(outcome, pending.job.kind);
                 stamp_queue_time(&mut output, dispatched - pending.enqueued);
                 pending.slot.fill(Ok(output));
             }
@@ -444,10 +594,8 @@ fn run_single_job(
     job: &QueryJob,
     queued_for: Duration,
 ) -> Result<JobOutput, LcmsrError> {
-    let mut output = match job.kind {
-        JobKind::Single => JobOutput::Single(engine.run(&job.query, &job.algorithm)?),
-        JobKind::TopK(k) => JobOutput::TopK(engine.run_topk(&job.query, &job.algorithm, k)?),
-    };
+    let outcome = engine.execute(&build_request(job))?;
+    let mut output = into_output(outcome, job.kind);
     stamp_queue_time(&mut output, queued_for);
     Ok(output)
 }
@@ -496,11 +644,22 @@ mod tests {
 
     fn job(engine: &LcmsrEngine<'_>, delta: f64, kind: JobKind) -> QueryJob {
         let roi = engine.network().bounding_rect().unwrap().expanded(10.0);
-        QueryJob {
-            query: LcmsrQuery::new(["restaurant"], delta, roi).unwrap(),
-            algorithm: Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+        QueryJob::new(
+            LcmsrQuery::new(["restaurant"], delta, roi).unwrap(),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
             kind,
-        }
+        )
+    }
+
+    /// Direct engine answer for comparison against served results.
+    fn direct_single(engine: &LcmsrEngine<'_>, query: &LcmsrQuery) -> QueryResult {
+        engine
+            .execute(&QueryRequest::new(
+                query,
+                Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            ))
+            .unwrap()
+            .into_single()
     }
 
     fn start(engine: &'static LcmsrEngine<'static>, config: BatchConfig) -> Scheduler {
@@ -528,12 +687,7 @@ mod tests {
                 JobOutput::Single(r) => r,
                 other => panic!("expected single, got {other:?}"),
             };
-            let direct = engine
-                .run(
-                    &job(engine, delta, JobKind::Single).query,
-                    &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
-                )
-                .unwrap();
+            let direct = direct_single(engine, &job(engine, delta, JobKind::Single).query);
             assert_eq!(served.region, direct.region, "delta {delta}");
         }
         scheduler.shutdown();
@@ -577,25 +731,22 @@ mod tests {
             match (kind, ticket.wait().unwrap()) {
                 (JobKind::Single, JobOutput::Single(r)) => {
                     if delta > 0.0 {
-                        let direct = engine
-                            .run(
-                                &job(engine, delta, JobKind::Single).query,
-                                &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
-                            )
-                            .unwrap();
+                        let direct =
+                            direct_single(engine, &job(engine, delta, JobKind::Single).query);
                         assert_eq!(r.region, direct.region);
                     } else {
                         assert!(r.region.is_some());
                     }
                 }
                 (JobKind::TopK(k), JobOutput::TopK(r)) => {
+                    let query = job(engine, delta, JobKind::TopK(k)).query;
                     let direct = engine
-                        .run_topk(
-                            &job(engine, delta, JobKind::TopK(k)).query,
-                            &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
-                            k,
+                        .execute(
+                            &QueryRequest::new(&query, Algorithm::Tgen(TgenParams { alpha: 1.0 }))
+                                .top_k(k),
                         )
-                        .unwrap();
+                        .unwrap()
+                        .into_topk();
                     assert_eq!(r.regions, direct.regions);
                 }
                 (kind, output) => panic!("kind {kind:?} got mismatched output {output:?}"),
@@ -757,5 +908,173 @@ mod tests {
             start.elapsed() < Duration::from_secs(4),
             "shutdown must not wait out the batching window"
         );
+    }
+
+    fn bare_shared(engine: &'static LcmsrEngine<'static>, config: BatchConfig) -> SchedulerShared {
+        SchedulerShared {
+            engine,
+            config,
+            queue: Mutex::new(QueueState {
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            metrics: Arc::new(ServiceMetrics::new()),
+            in_flight: AtomicUsize::new(0),
+            service_time_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn pending(engine: &LcmsrEngine<'_>, delta: f64, priority: Priority) -> PendingJob {
+        PendingJob {
+            job: QueryJob {
+                priority,
+                ..job(engine, delta, JobKind::Single)
+            },
+            enqueued: Instant::now(),
+            slot: Arc::new(Slot::default()),
+        }
+    }
+
+    #[test]
+    fn collect_batch_drains_interactive_before_batch() {
+        let engine = leaked_engine();
+        let shared = bare_shared(
+            engine,
+            BatchConfig {
+                max_batch: 2,
+                max_delay: Duration::ZERO,
+                ..BatchConfig::default()
+            },
+        );
+        {
+            let mut queue = shared.queue.lock().unwrap();
+            queue
+                .batch
+                .push_back(pending(engine, 100.0, Priority::Batch));
+            queue
+                .batch
+                .push_back(pending(engine, 200.0, Priority::Batch));
+            queue
+                .interactive
+                .push_back(pending(engine, 300.0, Priority::Interactive));
+        }
+        let first = collect_batch(&shared);
+        assert_eq!(first.len(), 2);
+        assert_eq!(
+            first[0].job.query.delta, 300.0,
+            "the interactive job must jump ahead of earlier batch-lane jobs"
+        );
+        assert_eq!(first[1].job.query.delta, 100.0);
+        let second = collect_batch(&shared);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].job.query.delta, 200.0);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_submit() {
+        let engine = leaked_engine();
+        let metrics = Arc::new(ServiceMetrics::new());
+        let scheduler = Scheduler::start(engine, BatchConfig::default(), Arc::clone(&metrics));
+        let mut doomed = job(engine, 300.0, JobKind::Single);
+        doomed.deadline = Some(Deadline::after(Duration::ZERO));
+        assert_eq!(
+            scheduler.submit(doomed).unwrap_err(),
+            SubmitError::DeadlineUnmeetable
+        );
+        assert_eq!(metrics.deadline_shed.load(Ordering::Relaxed), 1);
+        scheduler.shutdown();
+        // The direct (baseline) path sheds the same way.
+        let direct = Scheduler::start(
+            engine,
+            BatchConfig {
+                max_batch: 1,
+                ..BatchConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let mut doomed = job(engine, 300.0, JobKind::Single);
+        doomed.deadline = Some(Deadline::after(Duration::ZERO));
+        assert_eq!(
+            direct.submit(doomed).unwrap_err(),
+            SubmitError::DeadlineUnmeetable
+        );
+        assert_eq!(metrics.deadline_shed.load(Ordering::Relaxed), 2);
+        direct.shutdown();
+    }
+
+    #[test]
+    fn predicted_queue_wait_sheds_tight_deadlines() {
+        let engine = leaked_engine();
+        let shared = bare_shared(
+            engine,
+            BatchConfig {
+                batch_workers: 1,
+                ..BatchConfig::default()
+            },
+        );
+        // A 10s-per-query service history with one job already queued.
+        shared
+            .service_time_ns
+            .store(10_000_000_000, Ordering::Relaxed);
+        let tight = Deadline::after(Duration::from_secs(1));
+        assert!(shared.deadline_unmeetable(&tight, 1));
+        // A generous deadline is admitted.
+        let loose = Deadline::after(Duration::from_secs(60));
+        assert!(!shared.deadline_unmeetable(&loose, 1));
+        // An empty queue admits any unexpired deadline.
+        assert!(!shared.deadline_unmeetable(&tight, 0));
+        // With no service-time sample the prediction abstains.
+        shared.service_time_ns.store(0, Ordering::Relaxed);
+        assert!(!shared.deadline_unmeetable(&tight, 5));
+    }
+
+    #[test]
+    fn deadline_expiring_in_queue_yields_a_partial_result() {
+        let engine = leaked_engine();
+        let scheduler = start(
+            engine,
+            BatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(40),
+                ..BatchConfig::default()
+            },
+        );
+        let mut doomed = job(engine, 300.0, JobKind::Single);
+        // Unexpired at submit, long gone by the time the 40 ms window closes.
+        doomed.deadline = Some(Deadline::after(Duration::from_millis(2)));
+        let ticket = scheduler.submit(doomed).unwrap();
+        let JobOutput::Single(result) = ticket.wait().unwrap() else {
+            panic!("expected single result");
+        };
+        assert!(
+            result.stats.partial,
+            "a deadline blown in the queue must yield a best-so-far partial answer"
+        );
+        assert_eq!(
+            result.stats.partial_cause.map(|c| c.as_str()),
+            Some("deadline_exceeded")
+        );
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn service_time_ewma_converges_toward_samples() {
+        let engine = leaked_engine();
+        let shared = bare_shared(engine, BatchConfig::default());
+        record_service_time(&shared, Duration::from_micros(800), 1);
+        assert_eq!(shared.service_time_ns.load(Ordering::Relaxed), 800_000);
+        for _ in 0..64 {
+            record_service_time(&shared, Duration::from_micros(100), 1);
+        }
+        let ewma = shared.service_time_ns.load(Ordering::Relaxed);
+        assert!(
+            (90_000..200_000).contains(&ewma),
+            "EWMA should approach the steady 100µs samples, got {ewma}"
+        );
+        // Batches divide elapsed across their members.
+        record_service_time(&shared, Duration::from_micros(400), 4);
+        assert!(shared.service_time_ns.load(Ordering::Relaxed) < ewma.max(100_001));
     }
 }

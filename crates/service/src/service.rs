@@ -14,11 +14,12 @@ use crate::http::{self, Handler, HttpRequest, HttpResponse, ServerConfig, Server
 use crate::json::Json;
 use crate::metrics::ServiceMetrics;
 use crate::scheduler::{BatchConfig, JobKind, JobOutput, QueryJob, Scheduler, SubmitError};
+use lcmsr_core::cancel::Deadline;
 use lcmsr_core::engine::LcmsrEngine;
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Full service configuration.
 #[derive(Debug, Clone, Default)]
@@ -67,21 +68,32 @@ impl ServiceHandlerInner {
         let parsed = QueryRequest::from_body(body).map_err(|e| client_error(e.message))?;
         let query = parsed.to_query().map_err(|e| client_error(e.message))?;
         let algorithm = parsed.to_algorithm().map_err(|e| client_error(e.message))?;
+        let priority = parsed.to_priority().map_err(|e| client_error(e.message))?;
         let kind = match parsed.k {
             Some(k) => JobKind::TopK(k),
             None => JobKind::Single,
         };
+        // The deadline clock starts here, at decode time, so every later
+        // stage — queue wait included — counts against the budget.
+        let deadline = parsed
+            .deadline_ms
+            .map(|ms| Deadline::after(Duration::from_millis(ms)));
         let ticket = self
             .scheduler
             .submit(QueryJob {
                 query,
                 algorithm,
                 kind,
+                priority,
+                deadline,
             })
             .map_err(|e| {
-                // Shed counting happens inside the scheduler.
+                // Shed counting happens inside the scheduler; every shed
+                // variant maps to a 503 and the HTTP layer adds Retry-After.
                 let status = match e {
-                    SubmitError::Overloaded | SubmitError::ShuttingDown => 503,
+                    SubmitError::Overloaded
+                    | SubmitError::DeadlineUnmeetable
+                    | SubmitError::ShuttingDown => 503,
                 };
                 HttpResponse::json(status, error_body(&e.to_string()))
             })?;
@@ -97,6 +109,9 @@ impl ServiceHandlerInner {
             JobOutput::Single(result) => QueryResponse::from_single(&result),
             JobOutput::TopK(result) => QueryResponse::from_topk(&result),
         };
+        if response.stats.partial {
+            self.metrics.partial.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(response.to_body())
     }
 

@@ -2,7 +2,7 @@
 //! queried over real sockets by concurrent clients, answers compared
 //! bit-identically against direct engine calls on the same dataset.
 
-use lcmsr_core::engine::{Algorithm, LcmsrEngine};
+use lcmsr_core::engine::{Algorithm, LcmsrEngine, QueryRequest as EngineRequest};
 use lcmsr_core::{LcmsrQuery, TgenParams};
 use lcmsr_geotext::collection::ObjectCollection;
 use lcmsr_geotext::object::GeoTextObject;
@@ -84,6 +84,8 @@ fn request_for(keywords: &[&str], budget: f64, k: Option<usize>) -> QueryRequest
         alpha: Some(1.0),
         beta: None,
         mu: None,
+        deadline_ms: None,
+        priority: None,
     }
 }
 
@@ -127,22 +129,17 @@ fn served_answers_are_bit_identical_to_direct_engine_calls() {
                     )
                     .unwrap();
                     let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
-                    let expected: Vec<RegionDto> = match k {
-                        None => engine
-                            .run(&query, &algorithm)
-                            .unwrap()
-                            .region
-                            .iter()
-                            .map(RegionDto::from_region)
-                            .collect(),
-                        Some(k) => engine
-                            .run_topk(&query, &algorithm, k)
-                            .unwrap()
-                            .regions
-                            .iter()
-                            .map(RegionDto::from_region)
-                            .collect(),
-                    };
+                    let mut engine_request = EngineRequest::new(&query, algorithm.clone());
+                    if let Some(k) = k {
+                        engine_request = engine_request.top_k(k);
+                    }
+                    let expected: Vec<RegionDto> = engine
+                        .execute(&engine_request)
+                        .unwrap()
+                        .regions
+                        .iter()
+                        .map(RegionDto::from_region)
+                        .collect();
                     assert_eq!(
                         response.regions, expected,
                         "client {t} query {i} (budget {budget}, k {k:?}) diverged"
@@ -415,4 +412,95 @@ fn graceful_shutdown_refuses_new_connections() {
             .and_then(|mut c| c.get("/healthz"))
             .is_err();
     assert!(refused, "server must stop answering after shutdown");
+}
+
+#[test]
+fn doomed_deadlines_are_shed_with_503_and_retry_after() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    // deadline_ms: 0 has expired by the time the scheduler sees it.
+    let mut doomed = request_for(&["restaurant"], 300.0, None);
+    doomed.deadline_ms = Some(0);
+    let response = client.post_full("/query", &doomed.to_body()).unwrap();
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert_eq!(
+        response.header("retry-after"),
+        Some("1"),
+        "sheds must tell the client when to come back"
+    );
+    assert!(response.body.contains("deadline"), "{}", response.body);
+    assert_eq!(
+        service
+            .metrics()
+            .deadline_shed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // A generous deadline on the same connection is served completely.
+    let mut relaxed = request_for(&["restaurant"], 300.0, None);
+    relaxed.deadline_ms = Some(60_000);
+    let (status, body) = client.post("/query", &relaxed.to_body()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let response = QueryResponse::from_body(&body).unwrap();
+    assert!(!response.stats.partial);
+    assert_eq!(response.stats.deadline_ns, Some(60_000_000_000));
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expiring_in_the_queue_serves_a_partial_answer() {
+    let engine = leaked_city();
+    let service = serve_city(
+        engine,
+        BatchConfig {
+            max_batch: 16,
+            // The window outlives the deadline, so the solver starts with an
+            // already-expired token and must return its best-so-far.
+            max_delay: Duration::from_millis(40),
+            queue_capacity: 64,
+            batch_workers: 1,
+        },
+    );
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let mut tight = request_for(&["restaurant"], 300.0, None);
+    tight.deadline_ms = Some(2);
+    let (status, body) = client.post("/query", &tight.to_body()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let response = QueryResponse::from_body(&body).unwrap();
+    assert!(response.stats.partial, "{body}");
+    assert_eq!(
+        response.stats.partial_cause.as_deref(),
+        Some("deadline_exceeded")
+    );
+    assert_eq!(response.stats.deadline_ns, Some(2_000_000));
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.partial.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // The partial counter is scraped through /metrics too.
+    let (status, text) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(text.contains("lcmsr_partial_total 1"), "{text}");
+    assert!(text.contains("lcmsr_deadline_shed_total 0"), "{text}");
+    service.shutdown();
+}
+
+#[test]
+fn batch_priority_requests_are_served() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let mut bulk = request_for(&["restaurant"], 300.0, None);
+    bulk.priority = Some("batch".into());
+    let (status, body) = client.post("/query", &bulk.to_body()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    // An unknown lane is a clean 400.
+    let mut bad = request_for(&["restaurant"], 300.0, None);
+    bad.priority = Some("urgent".into());
+    let (status, body) = client.post("/query", &bad.to_body()).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("priority"), "{body}");
+    service.shutdown();
 }

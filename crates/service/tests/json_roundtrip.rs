@@ -42,6 +42,16 @@ fn build_request(
         } else {
             Some(mu_milli as f64 / 1013.0)
         },
+        deadline_ms: if alpha_milli % 2 == 0 {
+            None
+        } else {
+            Some(alpha_milli)
+        },
+        priority: match k % 3 {
+            0 => None,
+            1 => Some("interactive".to_string()),
+            _ => Some("batch".to_string()),
+        },
     }
 }
 
@@ -107,6 +117,13 @@ proptest! {
                 frontier_tuples: counters.1 / 3,
                 frontier_peak: counters.2 / 3,
                 dominance_evictions: counters.0 / 5,
+                partial: counters.0 % 2 == 1,
+                partial_cause: if counters.0 % 2 == 1 {
+                    Some("deadline_exceeded".to_string())
+                } else {
+                    None
+                },
+                deadline_ns: if counters.1 % 2 == 1 { Some(times.0) } else { None },
             },
         };
         let body = response.to_body();

@@ -40,7 +40,10 @@ fn main() {
             .expect("generated queries are valid");
         for (i, (_, algorithm)) in algorithms.iter().enumerate() {
             let started = Instant::now();
-            let result = engine.run(&lcmsr_query, algorithm).expect("query runs");
+            let result = engine
+                .execute(&QueryRequest::new(&lcmsr_query, algorithm.clone()))
+                .expect("query runs")
+                .into_single();
             runtimes[i] += started.elapsed().as_secs_f64() * 1_000.0;
             weights[i].push(result.region.map(|r| r.weight).unwrap_or(0.0));
         }

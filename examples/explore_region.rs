@@ -42,7 +42,10 @@ fn main() {
         Algorithm::Greedy(GreedyParams::default()),
     ];
     for algorithm in &algorithms {
-        let result = engine.run(&query, algorithm).expect("query runs");
+        let result = engine
+            .execute(&QueryRequest::new(&query, algorithm.clone()))
+            .expect("query runs")
+            .into_single();
         println!("\n=== {} ===", algorithm.name());
         let Some(region) = result.region else {
             println!("no relevant region found");

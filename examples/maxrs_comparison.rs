@@ -39,9 +39,11 @@ fn main() {
         let delta = maxrs.connecting_length.unwrap_or(query.delta).max(250.0);
         let lcmsr_query =
             LcmsrQuery::new(generated.keywords.clone(), delta, generated.rect).unwrap();
+        let request = QueryRequest::new(&lcmsr_query, Algorithm::Tgen(TgenParams { alpha: 5.0 }));
         let lcmsr_weight = engine
-            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
+            .execute(&request)
             .expect("query runs")
+            .into_single()
             .region
             .map(|r| r.weight)
             .unwrap_or(0.0);

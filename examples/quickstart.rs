@@ -41,7 +41,10 @@ fn main() {
         "algo", "weight", "length (m)", "PoIs", "time (ms)"
     );
     for algorithm in &algorithms {
-        let result = engine.run(&query, algorithm).expect("query runs");
+        let result = engine
+            .execute(&QueryRequest::new(&query, algorithm.clone()))
+            .expect("query runs")
+            .into_single();
         match &result.region {
             Some(region) => println!(
                 "{:<8} {:>10.4} {:>12.1} {:>8} {:>12.2}",

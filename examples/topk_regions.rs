@@ -24,7 +24,10 @@ fn main() {
         Algorithm::App(AppParams::default()),
         Algorithm::Greedy(GreedyParams::default()),
     ] {
-        let result = engine.run_topk(&query, &algorithm, k).expect("query runs");
+        let result = engine
+            .execute(&QueryRequest::new(&query, algorithm.clone()).top_k(k))
+            .expect("query runs")
+            .into_topk();
         println!(
             "=== {} (top-{k}) — {:.2} ms ===",
             algorithm.name(),
@@ -51,8 +54,15 @@ fn main() {
     // Top-k must still return regions and its #1 must agree with the
     // single-region query.
     let coarse = Algorithm::Tgen(TgenParams::default());
-    let single = engine.run(&query, &coarse).expect("query runs").region;
-    let top = engine.run_topk(&query, &coarse, k).expect("query runs");
+    let single = engine
+        .execute(&QueryRequest::new(&query, coarse.clone()))
+        .expect("query runs")
+        .into_single()
+        .region;
+    let top = engine
+        .execute(&QueryRequest::new(&query, coarse.clone()).top_k(k))
+        .expect("query runs")
+        .into_topk();
     println!(
         "=== TGEN with default α = {} (coarse scaling) ===",
         TgenParams::default().alpha

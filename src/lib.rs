@@ -37,9 +37,8 @@
 //! // Ask for a walkable region of restaurants.
 //! let roi = dataset.network.bounding_rect().unwrap();
 //! let query = LcmsrQuery::new(["restaurant"], 1_500.0, roi).unwrap();
-//! let result = engine
-//!     .run(&query, &Algorithm::Tgen(TgenParams { alpha: 50.0 }))
-//!     .unwrap();
+//! let request = QueryRequest::new(&query, Algorithm::Tgen(TgenParams { alpha: 50.0 }));
+//! let result = engine.execute(&request).unwrap().into_single();
 //! if let Some(region) = result.region {
 //!     assert!(region.length <= 1_500.0);
 //!     assert!(region.weight > 0.0);
@@ -58,7 +57,10 @@ pub mod prelude {
     pub use lcmsr_datagen::prelude::*;
     pub use lcmsr_geotext::prelude::*;
     pub use lcmsr_roadnet::prelude::*;
+    // The wire DTO is aliased so the engine's `QueryRequest` — the primary
+    // query surface since PR 6 — keeps the unqualified name.
     pub use lcmsr_service::{
-        leak_engine, serve, BatchConfig, HttpClient, QueryRequest, QueryResponse, ServiceConfig,
+        leak_engine, serve, BatchConfig, HttpClient, QueryRequest as WireQueryRequest,
+        QueryResponse, ServiceConfig,
     };
 }

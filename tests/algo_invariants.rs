@@ -22,6 +22,9 @@ use lcmsr::geotext::{GeoTextObject, ObjectCollection};
 use lcmsr::roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
 use proptest::prelude::*;
 
+mod common;
+use common::*;
+
 /// A `side × side` grid network (100 m blocks) hosting a restaurant at each
 /// node of `restaurants` and a cafe at each node of `cafes` (both indices
 /// into the row-major grid), so node weights vary across the instance.
@@ -116,15 +119,14 @@ proptest! {
         let roi = network.bounding_rect().unwrap().expanded(10.0);
         let query = LcmsrQuery::new(["restaurant", "cafe"], delta, roi).unwrap();
 
-        let exact = engine
-            .run(&query, &Algorithm::Exact)
+        let exact = run1(&engine, &query, &Algorithm::Exact)
             .expect("16 nodes is within the exact solver's limit")
             .region
             .expect("relevant objects exist");
         prop_assert!(exact.length <= delta + 1e-9, "Exact must respect Q.∆");
 
         for algorithm in heuristics() {
-            let result = engine.run(&query, &algorithm).unwrap();
+            let result = run1(&engine, &query, &algorithm).unwrap();
             let region = result
                 .region
                 .unwrap_or_else(|| panic!("{} found no region", algorithm.name()));
@@ -152,7 +154,7 @@ proptest! {
             Algorithm::App(AppParams::default()),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            let topk = engine.run_topk(&query, &algorithm, 4).unwrap();
+            let topk = runk(&engine, &query, &algorithm, 4).unwrap();
             for r in &topk.regions {
                 prop_assert!(
                     r.length <= delta + 1e-9,
@@ -205,8 +207,8 @@ proptest! {
             Algorithm::Tgen(TgenParams { alpha: 0.5 }),
             Algorithm::Greedy(GreedyParams::default()),
         ] {
-            let single = engine.run(&query, &algorithm).unwrap().region;
-            let top1 = engine.run_topk(&query, &algorithm, 1).unwrap().regions;
+            let single = run1(&engine, &query, &algorithm).unwrap().region;
+            let top1 = runk(&engine, &query, &algorithm, 1).unwrap().regions;
             match (&single, top1.first()) {
                 (Some(s), Some(t)) => prop_assert_eq!(s, t, "{} top-1 ≠ single", algorithm.name()),
                 (None, None) => {}

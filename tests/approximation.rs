@@ -9,6 +9,9 @@ use lcmsr::geotext::{GeoTextObject, ObjectCollection};
 use lcmsr::roadnet::{GraphBuilder, NodeId, Point, Rect, RoadNetwork};
 use proptest::prelude::*;
 
+mod common;
+use common::*;
+
 /// Builds a `side × side` grid road network with `spacing`-metre blocks and a
 /// restaurant placed at each node listed in `restaurant_nodes` (index into the
 /// row-major grid).
@@ -67,14 +70,12 @@ fn app_meets_its_theoretical_guarantee_on_small_instances() {
         let engine = LcmsrEngine::new(&network, &collection);
         for delta in [150.0, 300.0, 500.0] {
             let query = LcmsrQuery::new(["restaurant"], delta, whole(&network)).unwrap();
-            let exact = engine
-                .run(&query, &Algorithm::Exact)
+            let exact = run1(&engine, &query, &Algorithm::Exact)
                 .unwrap()
                 .region
                 .expect("exact optimum exists");
             let params = AppParams::default();
-            let app = engine
-                .run(&query, &Algorithm::App(params))
+            let app = run1(&engine, &query, &Algorithm::App(params))
                 .unwrap()
                 .region
                 .expect("APP returns a region");
@@ -112,18 +113,15 @@ fn tgen_is_at_least_as_accurate_as_greedy_on_average() {
         let (network, collection) = grid_world(4, 100.0, &restaurants);
         let engine = LcmsrEngine::new(&network, &collection);
         let query = LcmsrQuery::new(["restaurant"], 350.0, whole(&network)).unwrap();
-        let exact = engine
-            .run(&query, &Algorithm::Exact)
+        let exact = run1(&engine, &query, &Algorithm::Exact)
             .unwrap()
             .region
             .unwrap();
-        let tgen = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
+        let tgen = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
             .unwrap()
             .region
             .unwrap();
-        let greedy = engine
-            .run(&query, &Algorithm::Greedy(GreedyParams::default()))
+        let greedy = run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default()))
             .unwrap()
             .region
             .unwrap();
@@ -145,13 +143,11 @@ fn tgen_with_fine_scaling_matches_exact_on_tiny_instances() {
     let engine = LcmsrEngine::new(&network, &collection);
     for delta in [100.0, 200.0, 300.0, 450.0] {
         let query = LcmsrQuery::new(["restaurant"], delta, whole(&network)).unwrap();
-        let exact = engine
-            .run(&query, &Algorithm::Exact)
+        let exact = run1(&engine, &query, &Algorithm::Exact)
             .unwrap()
             .region
             .unwrap();
-        let tgen = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
+        let tgen = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 0.1 }))
             .unwrap()
             .region
             .unwrap();
@@ -179,25 +175,23 @@ proptest! {
         let engine = LcmsrEngine::new(&network, &collection);
         let delta = delta_blocks as f64 * 100.0;
         let query = LcmsrQuery::new(["restaurant"], delta, whole(&network)).unwrap();
-        let exact = engine.run(&query, &Algorithm::Exact).unwrap().region.unwrap();
+        let exact = run1(&engine, &query, &Algorithm::Exact).unwrap().region.unwrap();
         let params = AppParams::default();
         let bound = (1.0 - params.alpha) / (5.0 + 5.0 * params.beta);
 
-        let app = engine.run(&query, &Algorithm::App(params)).unwrap().region.unwrap();
+        let app = run1(&engine, &query, &Algorithm::App(params)).unwrap().region.unwrap();
         prop_assert!(app.length <= delta + 1e-6);
         prop_assert!(app.weight <= exact.weight + 1e-9);
         prop_assert!(app.weight >= bound * exact.weight - 1e-9);
 
-        let tgen = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
+        let tgen = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 0.5 }))
             .unwrap()
             .region
             .unwrap();
         prop_assert!(tgen.length <= delta + 1e-6);
         prop_assert!(tgen.weight <= exact.weight + 1e-9);
 
-        let greedy = engine
-            .run(&query, &Algorithm::Greedy(GreedyParams::default()))
+        let greedy = run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default()))
             .unwrap()
             .region
             .unwrap();

@@ -16,6 +16,9 @@ use lcmsr::core::{AppParams, GreedyParams, LcmsrQuery, TgenParams};
 use lcmsr::prelude::{Dataset, DatasetConfig};
 use proptest::prelude::*;
 
+mod common;
+use common::*;
+
 /// One random arena operation, drawn as raw integers and interpreted below.
 type Op = (u32, u32, u32);
 
@@ -208,9 +211,8 @@ proptest! {
         for round in 0..3 {
             for (i, query) in queries.iter().enumerate() {
                 let algorithm = &algorithms[(round + i) % algorithms.len()];
-                let pooled = engine.run(query, algorithm).unwrap();
-                let fresh = engine
-                    .run_with(&mut QueryWorkspace::new(), query, algorithm)
+                let pooled = run1(&engine, query, algorithm).unwrap();
+                let fresh = run1_with(&engine, &mut QueryWorkspace::new(), query, algorithm)
                     .unwrap();
                 prop_assert_eq!(pooled.region, fresh.region);
             }
@@ -236,13 +238,13 @@ fn pooled_engine_is_bit_identical_on_the_synthetic_dataset() {
         .iter()
         .map(|q| {
             let fresh_engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
-            fresh_engine.run(q, &algorithm).unwrap().region
+            run1(&fresh_engine, q, &algorithm).unwrap().region
         })
         .collect();
     let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
     for round in 0..3 {
         for (q, expect) in queries.iter().zip(&reference) {
-            let got = engine.run(q, &algorithm).unwrap().region;
+            let got = run1(&engine, q, &algorithm).unwrap().region;
             assert_eq!(&got, expect, "round {round} diverged");
         }
     }

@@ -10,6 +10,9 @@ use lcmsr::prelude::{Dataset, DatasetConfig};
 use lcmsr::roadnet::{GraphBuilder, NodeId, Point, Rect, RoadNetwork};
 use proptest::prelude::*;
 
+mod common;
+use common::*;
+
 /// Builds a `side × side` grid road network with `spacing`-metre blocks and a
 /// restaurant at each listed node (index into the row-major grid).
 fn grid_world(
@@ -67,12 +70,10 @@ fn assert_batches_match_sequential(
 ) {
     let sequential: Vec<_> = queries
         .iter()
-        .map(|q| engine.run(q, algorithm).expect("sequential run").region)
+        .map(|q| run1(engine, q, algorithm).expect("sequential run").region)
         .collect();
     for round in 0..rounds {
-        let batched = engine
-            .run_batch_with(queries, algorithm, workers)
-            .expect("batch must succeed");
+        let batched = batch1_with(engine, queries, algorithm, workers).expect("batch must succeed");
         assert_eq!(batched.len(), queries.len());
         for (i, (expect, batch_result)) in sequential.iter().zip(&batched).enumerate() {
             assert_eq!(
@@ -171,11 +172,9 @@ fn topk_batches_match_sequential_topk() {
         Algorithm::Tgen(TgenParams { alpha: 1.0 }),
         Algorithm::Greedy(GreedyParams::default()),
     ] {
-        let batched = engine
-            .run_topk_batch_with(&queries, &algorithm, 3, 4)
-            .unwrap();
+        let batched = batchk_with(&engine, &queries, &algorithm, 3, 4).unwrap();
         for (query, batch_result) in queries.iter().zip(&batched) {
-            let sequential = engine.run_topk(query, &algorithm, 3).unwrap();
+            let sequential = runk(&engine, query, &algorithm, 3).unwrap();
             assert_eq!(
                 sequential.regions,
                 batch_result.regions,
@@ -194,9 +193,13 @@ fn batch_stats_split_prepare_and_solve_consistently() {
     let queries: Vec<LcmsrQuery> = (1..=32)
         .map(|i| LcmsrQuery::new(["restaurant"], 100.0 + (i % 6) as f64 * 80.0, roi).unwrap())
         .collect();
-    let results = engine
-        .run_batch_with(&queries, &Algorithm::Tgen(TgenParams { alpha: 1.0 }), 4)
-        .unwrap();
+    let results = batch1_with(
+        &engine,
+        &queries,
+        &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+        4,
+    )
+    .unwrap();
     for result in &results {
         let s = &result.stats;
         assert!(
@@ -216,14 +219,21 @@ fn batch_stats_split_prepare_and_solve_consistently() {
     }
     // The one-shot paths report zero queue wait too — only a serving
     // front-end's scheduler fills queue_time in.
-    let single = engine
-        .run(&queries[0], &Algorithm::Tgen(TgenParams { alpha: 1.0 }))
-        .unwrap();
+    let single = run1(
+        &engine,
+        &queries[0],
+        &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+    )
+    .unwrap();
     assert_eq!(single.stats.queue_time, std::time::Duration::ZERO);
     assert!(single.stats.prepare_time + single.stats.solve_time <= single.stats.elapsed);
-    let topk = engine
-        .run_topk(&queries[0], &Algorithm::Tgen(TgenParams { alpha: 1.0 }), 2)
-        .unwrap();
+    let topk = runk(
+        &engine,
+        &queries[0],
+        &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+        2,
+    )
+    .unwrap();
     assert_eq!(topk.stats.queue_time, std::time::Duration::ZERO);
     assert!(topk.stats.prepare_time + topk.stats.solve_time <= topk.stats.elapsed);
 }

@@ -4,6 +4,9 @@
 
 use lcmsr::prelude::*;
 
+mod common;
+use common::*;
+
 fn dataset() -> Dataset {
     Dataset::build(DatasetConfig::tiny(17))
 }
@@ -33,7 +36,7 @@ fn every_algorithm_returns_feasible_connected_regions() {
     for query in &queries {
         let view = RegionView::new(&dataset.network, query.region_of_interest);
         for algorithm in &algorithms {
-            let result = engine.run(query, algorithm).expect("query must run");
+            let result = run1(&engine, query, algorithm).expect("query must run");
             let Some(region) = result.region else {
                 continue; // a workload query may have sparse areas for some keywords
             };
@@ -88,8 +91,7 @@ fn accuracy_ordering_matches_the_paper() {
     let mut sums = [0.0f64; 3];
     let mut counted = 0usize;
     for query in &queries {
-        let tgen = engine
-            .run(query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
+        let tgen = run1(&engine, query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
             .map(|r| r.weight)
@@ -97,14 +99,12 @@ fn accuracy_ordering_matches_the_paper() {
         if tgen <= 0.0 {
             continue;
         }
-        let app = engine
-            .run(query, &Algorithm::App(AppParams::default()))
+        let app = run1(&engine, query, &Algorithm::App(AppParams::default()))
             .unwrap()
             .region
             .map(|r| r.weight)
             .unwrap_or(0.0);
-        let greedy = engine
-            .run(query, &Algorithm::Greedy(GreedyParams::default()))
+        let greedy = run1(&engine, query, &Algorithm::Greedy(GreedyParams::default()))
             .unwrap()
             .region
             .map(|r| r.weight)
@@ -134,8 +134,7 @@ fn growing_delta_never_hurts_the_result() {
     let mut previous = 0.0;
     for delta in [300.0, 600.0, 1_200.0, 2_400.0] {
         let query = LcmsrQuery::new(["restaurant"], delta, roi).unwrap();
-        let weight = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
+        let weight = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
             .map(|r| r.weight)
@@ -159,8 +158,7 @@ fn growing_the_region_of_interest_never_hurts() {
     for side in [800.0, 1_600.0, 3_200.0, full.width().max(full.height())] {
         let roi = Rect::centered_square(center, side);
         let query = LcmsrQuery::new(["cafe", "coffee"], 900.0, roi).unwrap();
-        let weight = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
+        let weight = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
             .map(|r| r.weight)
@@ -180,21 +178,15 @@ fn statistics_reflect_the_work_done() {
     let roi = dataset.network.bounding_rect().unwrap();
     let query = LcmsrQuery::new(["restaurant", "pizza"], 1_000.0, roi).unwrap();
 
-    let app = engine
-        .run(&query, &Algorithm::App(AppParams::default()))
-        .unwrap();
+    let app = run1(&engine, &query, &Algorithm::App(AppParams::default())).unwrap();
     assert_eq!(app.stats.algorithm, "APP");
     assert!(app.stats.nodes_in_region > 0);
     assert!(app.stats.kmst_calls > 0, "APP must call the k-MST oracle");
 
-    let tgen = engine
-        .run(&query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
-        .unwrap();
+    let tgen = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 })).unwrap();
     assert!(tgen.stats.tuples_generated > 0, "TGEN must generate tuples");
 
-    let greedy = engine
-        .run(&query, &Algorithm::Greedy(GreedyParams::default()))
-        .unwrap();
+    let greedy = run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default())).unwrap();
     assert!(
         greedy.stats.greedy_steps > 0,
         "Greedy must expand at least once"
@@ -213,9 +205,7 @@ fn usanw_like_dataset_also_answers_queries() {
     let mut answered = 0;
     for q in queries {
         let query = LcmsrQuery::new(q.keywords, q.delta, q.rect).unwrap();
-        let result = engine
-            .run(&query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
-            .unwrap();
+        let result = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 })).unwrap();
         if let Some(region) = result.region {
             assert!(region.length <= query.delta + 1e-6);
             answered += 1;

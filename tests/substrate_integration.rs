@@ -6,6 +6,9 @@ use lcmsr::geotext::vsm::QueryVector;
 use lcmsr::prelude::*;
 use lcmsr::roadnet::dimacs::{parse_dimacs, to_dimacs_strings, WeightUnit};
 
+mod common;
+use common::*;
+
 #[test]
 fn synthetic_network_round_trips_through_dimacs() {
     let network = ny_like(NetworkScale::Tiny, 13).unwrap();
@@ -79,9 +82,7 @@ fn generated_workloads_are_answerable() {
     let mut answered = 0;
     for q in queries {
         let query = LcmsrQuery::new(q.keywords.clone(), q.delta, q.rect).unwrap();
-        let result = engine
-            .run(&query, &Algorithm::Greedy(GreedyParams::default()))
-            .unwrap();
+        let result = run1(&engine, &query, &Algorithm::Greedy(GreedyParams::default())).unwrap();
         if result.region.is_some() {
             answered += 1;
         }

@@ -3,6 +3,9 @@
 
 use lcmsr::prelude::*;
 
+mod common;
+use common::*;
+
 fn dataset() -> Dataset {
     Dataset::build(DatasetConfig::tiny(41))
 }
@@ -19,7 +22,7 @@ fn topk_regions_are_feasible_distinct_and_ordered() {
         Algorithm::Greedy(GreedyParams::default()),
     ] {
         for k in [1usize, 3, 5] {
-            let result = engine.run_topk(&query, &algorithm, k).unwrap();
+            let result = runk(&engine, &query, &algorithm, k).unwrap();
             assert!(result.regions.len() <= k);
             for region in &result.regions {
                 assert!(region.length <= 900.0 + 1e-6, "{}", algorithm.name());
@@ -44,8 +47,8 @@ fn top1_matches_the_single_region_query_for_tgen() {
     let roi = dataset.network.bounding_rect().unwrap();
     let query = LcmsrQuery::new(["bakery", "dessert"], 700.0, roi).unwrap();
     let algorithm = Algorithm::Tgen(TgenParams { alpha: 5.0 });
-    let single = engine.run(&query, &algorithm).unwrap().region;
-    let top = engine.run_topk(&query, &algorithm, 1).unwrap().regions;
+    let single = run1(&engine, &query, &algorithm).unwrap().region;
+    let top = runk(&engine, &query, &algorithm, 1).unwrap().regions;
     match (single, top.first()) {
         (Some(s), Some(t)) => {
             assert!((s.weight - t.weight).abs() < 1e-9);
@@ -69,16 +72,8 @@ fn topk_runtime_grows_mildly_with_k() {
     let roi = dataset.network.bounding_rect().unwrap();
     let query = LcmsrQuery::new(["restaurant"], 900.0, roi).unwrap();
     let algorithm = Algorithm::Tgen(TgenParams { alpha: 5.0 });
-    let t1 = engine
-        .run_topk(&query, &algorithm, 1)
-        .unwrap()
-        .stats
-        .elapsed;
-    let t5 = engine
-        .run_topk(&query, &algorithm, 5)
-        .unwrap()
-        .stats
-        .elapsed;
+    let t1 = runk(&engine, &query, &algorithm, 1).unwrap().stats.elapsed;
+    let t5 = runk(&engine, &query, &algorithm, 5).unwrap().stats.elapsed;
     assert!(
         t5 < t1 * 20 + std::time::Duration::from_millis(50),
         "top-5 ({t5:?}) is unreasonably slower than top-1 ({t1:?})"
@@ -111,11 +106,14 @@ fn maxrs_baseline_and_section_75_comparison() {
     if let Some(connecting) = maxrs.connecting_length {
         let delta = connecting.max(200.0);
         let lcmsr_query = LcmsrQuery::new(["restaurant"], delta, roi).unwrap();
-        let lcmsr = engine
-            .run(&lcmsr_query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
-            .unwrap()
-            .region
-            .expect("LCMSR region exists when MaxRS found objects");
+        let lcmsr = run1(
+            &engine,
+            &lcmsr_query,
+            &Algorithm::Tgen(TgenParams { alpha: 5.0 }),
+        )
+        .unwrap()
+        .region
+        .expect("LCMSR region exists when MaxRS found objects");
         // The LCMSR region is connected by construction and network-aware; its
         // weight should be competitive with the rectangle's content.
         assert!(lcmsr.weight >= 0.5 * maxrs.weight);
