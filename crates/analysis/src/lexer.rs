@@ -1,0 +1,447 @@
+//! A from-scratch token-level Rust lexer.
+//!
+//! The lint rules only need to tell *code* apart from *comments and string
+//! literals* — a finding inside a doc comment or a log message is not a
+//! finding — plus identifier and punctuation tokens with line numbers for
+//! diagnostics.  That is exactly what this lexer produces; it does not build
+//! an AST and it tolerates arbitrary bytes (including invalid UTF-8 and
+//! truncated literals) without ever panicking.
+//!
+//! Guarantees relied on by the rule engine and pinned by proptests:
+//!
+//! * **Totality** — `lex` terminates on every byte string.
+//! * **Tiling** — token spans are in order, non-overlapping, and every input
+//!   byte is covered by exactly one token (whitespace runs are tokens too).
+//! * **Containment** — trigger words inside `//`/`/* */` comments, string or
+//!   raw-string literals, and char literals come out as comment/literal
+//!   tokens, never as identifiers.
+
+/// What a token is.  Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also runs of non-ASCII bytes — close enough
+    /// for linting, and total over arbitrary input).
+    Ident,
+    /// `'lifetime` (no closing quote).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting honoured; unterminated runs to end of input.
+    BlockComment,
+    /// A single punctuation byte.
+    Punct(u8),
+    /// A run of ASCII whitespace.
+    Whitespace,
+}
+
+/// One lexed token: kind plus byte span and 1-based line number of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, keeping the line counter honest.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes until `stop` returns true or input ends.
+    fn bump_while(&mut self, mut keep: impl FnMut(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !keep(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn whitespace(&mut self) {
+        self.bump_while(|b| b.is_ascii_whitespace());
+    }
+
+    fn line_comment(&mut self) {
+        self.bump_while(|b| b != b'\n');
+    }
+
+    fn block_comment(&mut self) {
+        self.bump_n(2); // the opening `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break, // unterminated: runs to EOF
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honouring
+    /// backslash escapes; unterminated runs to EOF.
+    fn string_body(&mut self) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') if self.peek(1).is_some() => self.bump_n(2),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"…"##` starting at the first `#` or `"`
+    /// (the `r`/`br`/`cr` prefix already consumed).
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; lex whatever follows normally
+        }
+        self.bump();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    let mut closed = 0usize;
+                    while closed < hashes && self.peek(0) == Some(b'#') {
+                        closed += 1;
+                        self.bump();
+                    }
+                    if closed == hashes {
+                        break;
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Is `r`/`b`/`br`/`rb`/`c`/`cr` at `pos` the prefix of a (raw) string or
+    /// byte-char literal?  Returns the prefix length to skip, the raw flag,
+    /// and whether it is a char-flavoured literal (`b'…'`).
+    fn literal_prefix(&self) -> Option<(usize, bool, bool)> {
+        let raw_at = |off: usize| {
+            // `r` followed by zero or more `#` then `"`.
+            let mut i = off + 1;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            self.peek(i) == Some(b'"')
+        };
+        match self.peek(0) {
+            Some(b'r') if raw_at(0) => Some((1, true, false)),
+            Some(b'b' | b'c') => match self.peek(1) {
+                Some(b'"') => Some((1, false, false)),
+                Some(b'r') if self.peek(0) == Some(b'b') && raw_at(1) => Some((2, true, false)),
+                Some(b'\'') if self.peek(0) == Some(b'b') => Some((1, false, true)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// A `'` token: char literal, lifetime, or a lone quote.
+    fn quote(&mut self) -> TokenKind {
+        self.bump(); // the `'`
+        match self.peek(0) {
+            // `'\n'`, `'\''`, `'\u{…}'` — escape means char literal.
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                // Consume to the closing quote (covers `\u{1F600}`).
+                self.bump_while(|b| b != b'\'' && b != b'\n');
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            // `'a'` is a char; `'a` (no closing quote) is a lifetime.
+            Some(b) if is_ident_start(b) => {
+                self.bump();
+                let mut len = 1usize;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                    len += 1;
+                }
+                // One ident char then `'` → char literal (`'a'`); longer
+                // names are lifetimes even if a stray quote follows.
+                if self.peek(0) == Some(b'\'') && len == 1 {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            // `'+'`-style: non-ident char closed by a quote.
+            Some(b) if b != b'\'' && b != b'\n' && self.peek(1) == Some(b'\'') => {
+                self.bump_n(2);
+                TokenKind::Char
+            }
+            _ => TokenKind::Punct(b'\''),
+        }
+    }
+
+    fn number(&mut self) {
+        // Good enough for linting: digits, `_`, type suffixes, hex/oct/bin
+        // letters, `.` for floats, and a signed exponent.
+        loop {
+            match self.peek(0) {
+                Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' => {
+                    let exponent = (b == b'e' || b == b'E') && self.pos < self.src.len();
+                    self.bump();
+                    if exponent && matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        let start = self.pos;
+        let line = self.line;
+        let b = self.peek(0)?;
+        let kind = if b.is_ascii_whitespace() {
+            self.whitespace();
+            TokenKind::Whitespace
+        } else if b == b'/' && self.peek(1) == Some(b'/') {
+            self.line_comment();
+            TokenKind::LineComment
+        } else if b == b'/' && self.peek(1) == Some(b'*') {
+            self.block_comment();
+            TokenKind::BlockComment
+        } else if let Some((skip, raw, char_like)) = self.literal_prefix() {
+            self.bump_n(skip);
+            if char_like {
+                self.quote()
+            } else if raw {
+                self.raw_string_body();
+                TokenKind::Str
+            } else {
+                self.bump(); // opening `"`
+                self.string_body();
+                TokenKind::Str
+            }
+        } else if b == b'"' {
+            self.bump();
+            self.string_body();
+            TokenKind::Str
+        } else if b == b'\'' {
+            self.quote()
+        } else if b.is_ascii_digit() {
+            self.number();
+            TokenKind::Number
+        } else if is_ident_start(b) {
+            self.bump_while(is_ident_continue);
+            TokenKind::Ident
+        } else {
+            self.bump();
+            TokenKind::Punct(b)
+        };
+        debug_assert!(self.pos > start, "lexer must always make progress");
+        Some(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        })
+    }
+}
+
+/// Lexes `src` into a complete, tiling token stream.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut lexer = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(token) = lexer.next_token() {
+        tokens.push(token);
+    }
+    tokens
+}
+
+/// The token's text (for `Ident`, comments, …).
+pub fn text<'a>(src: &'a [u8], token: &Token) -> &'a [u8] {
+    &src[token.start..token.end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("let x = y.z();"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct(b'='),
+                TokenKind::Ident,
+                TokenKind::Punct(b'.'),
+                TokenKind::Ident,
+                TokenKind::Punct(b'('),
+                TokenKind::Punct(b')'),
+                TokenKind::Punct(b';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_absorb_trigger_words() {
+        let src = "// HashMap here\n/* Instant::now() \n /* nested */ unwrap */ x";
+        let tokens = lex(src.as_bytes());
+        let code_idents: Vec<&[u8]> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| text(src.as_bytes(), t))
+            .collect();
+        assert_eq!(code_idents, vec![b"x".as_slice()]);
+    }
+
+    #[test]
+    fn strings_absorb_trigger_words() {
+        for src in [
+            r#"let m = "HashMap::new()";"#,
+            r##"let m = r#"Instant::now() "quoted" "#;"##,
+            r#"let m = b"unwrap()";"#,
+            r#"let m = c"panic!";"#,
+            r##"let m = br#"expect("x")"#;"##,
+        ] {
+            let tokens = lex(src.as_bytes());
+            assert!(
+                tokens
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Str && t.end - t.start > 2),
+                "{src}: no string token found"
+            );
+            let idents: Vec<&[u8]> = tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| text(src.as_bytes(), t))
+                .collect();
+            assert_eq!(idents, vec![b"let".as_slice(), b"m".as_slice()], "{src}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let tokens = lex(src.as_bytes());
+        let lifetimes = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+        // Escapes and unicode escapes are chars, not lifetimes.
+        for src in ["'\\n'", "'\\''", "'\\u{1F600}'", "b'\\t'"] {
+            let t = lex(src.as_bytes());
+            assert_eq!(t.len(), 1, "{src}: {t:?}");
+            assert_eq!(t[0].kind, TokenKind::Char, "{src}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let src = "a\nb\n\ncd /* x\ny */ e";
+        let lines: Vec<(Vec<u8>, u32)> = lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (text(src.as_bytes(), &t).to_vec(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                (b"a".to_vec(), 1),
+                (b"b".to_vec(), 2),
+                (b"cd".to_vec(), 4),
+                (b"e".to_vec(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang_or_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "r#", "1e"] {
+            let tokens = lex(src.as_bytes());
+            assert_eq!(tokens.last().map(|t| t.end), Some(src.len()), "{src}");
+        }
+    }
+
+    #[test]
+    fn spans_tile_ascii_source() {
+        let src = "fn main() { let s = \"x\"; // done\n}";
+        let tokens = lex(src.as_bytes());
+        let mut cursor = 0;
+        for t in &tokens {
+            assert_eq!(t.start, cursor);
+            assert!(t.end > t.start);
+            cursor = t.end;
+        }
+        assert_eq!(cursor, src.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! `lcmsr-analysis` — repo-invariant static analysis for the LCMSR workspace.
+//!
+//! The binary (`lcmsr-lint`) walks the repository's Rust sources through a
+//! from-scratch token-level lexer ([`lexer`]) and a small rule engine
+//! ([`rules`]) that checks the invariants the codebase's correctness
+//! arguments rest on: deterministic collections in solver code, audited
+//! clocks, panic-free serving, `SAFETY:`-documented unsafe, and
+//! single-`.lock()` function bodies.  See README.md § "Static analysis" for
+//! the rule catalogue and the escape-hatch policy.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p lcmsr-analysis -- check [--root <repo>] [--format json]
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, vendored dependency stubs (not
+/// repo code), and VCS metadata.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", ".github"];
+
+/// Collects every `.rs` file under `root` (sorted, repo-relative paths).
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Analyzes the whole repository rooted at `root`.
+pub fn analyze_repo(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in rust_files(root)? {
+        let relative = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read(&path)?;
+        findings.extend(rules::analyze_source(&relative, &source));
+    }
+    Ok(findings)
+}
+
+/// Renders findings as line-oriented human diagnostics.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: {}: {}\n",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding{}\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON report (for the CI gate artifact).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.name(),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Rule;
+
+    #[test]
+    fn json_report_shape() {
+        let findings = vec![Finding {
+            rule: Rule::Clock,
+            file: "crates/core/src/engine.rs".into(),
+            line: 7,
+            message: "raw \"clock\"".into(),
+        }];
+        let json = render_json(&findings);
+        assert!(json.contains("\"total\": 1"), "{json}");
+        assert!(json.contains("\\\"clock\\\""), "{json}");
+        assert!(render_json(&[]).contains("\"total\": 0"));
+    }
+
+    #[test]
+    fn text_report_counts() {
+        assert!(render_text(&[]).contains("0 findings"));
+    }
+}

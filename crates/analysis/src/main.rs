@@ -1,0 +1,82 @@
+//! `lcmsr-lint` — the CLI for the repo-invariant static-analysis pass.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lcmsr-lint check [--root <dir>] [--format text|json]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "check" {
+        eprintln!("unknown command '{command}'\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    while let Some(arg) = args.next() {
+        let mut take_value = |inline: Option<&str>| match inline {
+            Some(v) => Some(v.to_string()),
+            None => args.next(),
+        };
+        if arg == "--root" || arg.starts_with("--root=") {
+            match take_value(arg.strip_prefix("--root=")) {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--format" || arg.starts_with("--format=") {
+            match take_value(arg.strip_prefix("--format=")) {
+                Some(v) if v == "text" || v == "json" => format = v,
+                _ => {
+                    eprintln!("--format must be 'text' or 'json'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            eprintln!("unknown argument '{arg}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    // Default to the workspace root: `cargo run -p lcmsr-analysis` sets the
+    // cwd to wherever the user is, so prefer the manifest's grandparent when
+    // no explicit root was given and the cwd has no crates/ directory.
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or(cwd)
+        }
+    });
+
+    match lcmsr_analysis::analyze_repo(&root) {
+        Ok(findings) => {
+            let report = if format == "json" {
+                lcmsr_analysis::render_json(&findings)
+            } else {
+                lcmsr_analysis::render_text(&findings)
+            };
+            print!("{report}");
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("lcmsr-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

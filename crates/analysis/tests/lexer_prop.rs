@@ -1,0 +1,127 @@
+//! Property tests for the lint lexer and analyzer: totality over arbitrary
+//! bytes, exact span tiling, and containment of trigger words inside
+//! comments and string literals.
+
+use lcmsr_analysis::lexer::{lex, TokenKind};
+use lcmsr_analysis::rules::analyze_source;
+use proptest::prelude::*;
+
+/// Bytes biased toward lexer-interesting characters so random inputs actually
+/// hit string/comment/char-literal machinery, not just ASCII noise.
+fn decode_byte(choice: u16) -> u8 {
+    const INTERESTING: &[u8] = b"\"'/r#b\\\n{}().; *!azHM_09\xc3\xa9\xff";
+    let choice = choice as usize;
+    if choice < INTERESTING.len() * 8 {
+        INTERESTING[choice % INTERESTING.len()]
+    } else {
+        (choice % 256) as u8
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer must be total: no panic, no infinite loop, on any byte soup.
+    #[test]
+    fn lexing_arbitrary_bytes_never_panics(
+        choices in collection::vec(0u16..512, 0..300),
+    ) {
+        let src: Vec<u8> = choices.into_iter().map(decode_byte).collect();
+        let _ = lex(&src);
+    }
+
+    /// Token spans tile the input exactly: start at 0, end at len, no gaps,
+    /// no overlaps, every token non-empty.
+    #[test]
+    fn token_spans_tile_the_input(
+        choices in collection::vec(0u16..512, 0..300),
+    ) {
+        let src: Vec<u8> = choices.into_iter().map(decode_byte).collect();
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for token in &tokens {
+            prop_assert_eq!(token.start, cursor, "gap or overlap before a token");
+            prop_assert!(token.end > token.start, "empty token");
+            cursor = token.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "tokens must cover the whole input");
+    }
+
+    /// Line numbers are monotone and match the newline count seen so far.
+    #[test]
+    fn line_numbers_are_monotone(
+        choices in collection::vec(0u16..512, 0..300),
+    ) {
+        let src: Vec<u8> = choices.into_iter().map(decode_byte).collect();
+        let mut previous = 1u32;
+        for token in lex(&src) {
+            let newlines_before =
+                src[..token.start].iter().filter(|&&b| b == b'\n').count() as u32;
+            prop_assert_eq!(token.line, newlines_before + 1);
+            prop_assert!(token.line >= previous);
+            previous = token.line;
+        }
+    }
+
+    /// The analyzer as a whole is total on arbitrary bytes, too.
+    #[test]
+    fn analyzing_arbitrary_bytes_never_panics(
+        choices in collection::vec(0u16..512, 0..300),
+    ) {
+        let src: Vec<u8> = choices.into_iter().map(decode_byte).collect();
+        let _ = analyze_source("crates/core/src/fuzz.rs", &src);
+        let _ = analyze_source("crates/service/src/fuzz.rs", &src);
+    }
+
+    /// Trigger words wrapped in comments or string literals never produce
+    /// findings, for any combination of rule scope and container.
+    #[test]
+    fn trigger_words_in_comments_and_strings_are_inert(
+        which in 0usize..5,
+        container in 0usize..4,
+    ) {
+        let trigger = [
+            "HashMap::new()",
+            "Instant::now()",
+            ".unwrap()",
+            "unsafe {",
+            ".lock() and .lock()",
+        ][which];
+        let wrapped = match container {
+            0 => format!("// {trigger}\n"),
+            1 => format!("/* {trigger} */\n"),
+            2 => format!("fn f() -> &'static str {{ \"{trigger}\" }}\n"),
+            _ => format!("fn f() -> &'static str {{ r#\"{trigger}\"# }}\n"),
+        };
+        for path in ["crates/core/src/fuzz.rs", "crates/service/src/fuzz.rs"] {
+            let findings = analyze_source(path, wrapped.as_bytes());
+            prop_assert!(
+                findings.is_empty(),
+                "contained trigger {:?} via container {} leaked findings {:?}",
+                trigger,
+                container,
+                findings
+            );
+        }
+    }
+}
+
+/// Tokens classified as comments/strings must reproduce their source bytes
+/// exactly (a spot check that spans point at the right bytes).
+#[test]
+fn token_text_matches_spans() {
+    let src = br#"let s = "str // not a comment"; // real comment"#;
+    let tokens = lex(src);
+    let strings: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strings.len(), 1);
+    assert_eq!(
+        &src[strings[0].start..strings[0].end],
+        br#""str // not a comment""#
+    );
+    let comments: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::LineComment)
+        .collect();
+    assert_eq!(comments.len(), 1);
+    assert_eq!(&src[comments[0].start..comments[0].end], b"// real comment");
+}

@@ -21,9 +21,7 @@ fn main() {
     let num_queries = env_usize("LCMSR_BATCH_QUERIES", 32).max(1);
     let workers = env_usize("LCMSR_BATCH_WORKERS", 4).max(1);
     let rounds = env_usize("LCMSR_BATCH_ROUNDS", 3).max(1);
-    let cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let dataset = ny_dataset(scale);
     let params = dataset.default_query_params(4242);

@@ -65,9 +65,7 @@ fn main() {
     let requests = env_usize("LCMSR_SERVICE_REQUESTS", 8).max(1);
     let rounds = env_usize("LCMSR_SERVICE_ROUNDS", 2).max(1);
     let workers = workers_from_env();
-    let cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let dataset = ny_dataset(scale);
     let params = dataset.default_query_params(777);

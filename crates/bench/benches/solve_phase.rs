@@ -36,7 +36,7 @@ use lcmsr_core::tgen::{run_tgen, run_tgen_baseline};
 /// Fingerprint of one solve outcome: exact measures of the best tuple plus
 /// its global node ids, enough to detect any divergence bit for bit.
 fn fingerprint(
-    graph: &lcmsr_core::query_graph::QueryGraph,
+    graph: &QueryGraph,
     arena: &TupleArena,
     outcome: &lcmsr_core::tgen::TgenOutcome,
 ) -> (u64, u64, u64, Vec<u64>, usize) {
@@ -72,7 +72,7 @@ fn main() {
     );
     let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
     let alpha = default_tgen_alpha(&dataset, &queries);
-    let tgen = lcmsr_core::tgen::TgenParams { alpha };
+    let tgen = TgenParams { alpha };
 
     // Prepare every query graph once; this bench times the solve phase only.
     let graphs: Vec<_> = queries
@@ -197,12 +197,10 @@ fn main() {
         baseline_secs * 1e6
     );
     println!(
-        "  combine loop    : {:>10.0} materialised + {:>8.0} pruned pairs/query (baseline materialised {:.0})",
-        tuples_per_query, pruned_per_query, baseline_tuples_per_query
+        "  combine loop    : {tuples_per_query:>10.0} materialised + {pruned_per_query:>8.0} pruned pairs/query (baseline materialised {baseline_tuples_per_query:.0})"
     );
     println!(
-        "  arrays          : {:>10.0} tuples/query resident (baseline {:.0}), peak {frontier_peak}",
-        frontier_per_query, baseline_array_per_query
+        "  arrays          : {frontier_per_query:>10.0} tuples/query resident (baseline {baseline_array_per_query:.0}), peak {frontier_peak}"
     );
     println!(
         "  arena           : {allocs_per_query:.0} blocks/query, {recycled_per_query:.0} recycled/query, slab {slab_kib:.1} KiB"

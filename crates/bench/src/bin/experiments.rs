@@ -198,7 +198,7 @@ fn table1(ny: &Dataset, workers: usize) {
     let engine = LcmsrEngine::new(&ny.network, &ny.collection);
     let params = AppParams::default();
     let graph = engine.prepare(query, params.alpha).expect("prepare");
-    let mut arena = lcmsr_core::arena::TupleArena::new();
+    let mut arena = TupleArena::new();
     let outcome = run_app(&graph, &mut arena, &params, &CancelToken::none()).expect("APP run");
     println!(
         "query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m",
@@ -218,16 +218,14 @@ fn table1(ny: &Dataset, workers: usize) {
             s.upper,
             s.x,
             s.tc_length
-                .map(|l| format!("{l:.0}"))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |l| format!("{l:.0}")),
             if s.x_beta > 0 {
                 s.x_beta.to_string()
             } else {
                 "-".into()
             },
             s.tprime_length
-                .map(|l| format!("{l:.0}"))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |l| format!("{l:.0}")),
         );
     }
     if let Some(best) = outcome.best {
@@ -425,8 +423,7 @@ fn fig17_19(ny: &Dataset) {
         .clusters
         .iter()
         .find(|c| matches!(CATEGORIES[c.category], "restaurant" | "cafe" | "coffee"))
-        .map(|c| c.point)
-        .unwrap_or_else(|| ny.network.bounding_rect().unwrap().center());
+        .map_or_else(|| ny.network.bounding_rect().unwrap().center(), |c| c.point);
     let extent = ny.network.bounding_rect().unwrap();
     let side = (extent.width().min(extent.height()) * 0.6).min(8_000.0);
     let roi = Rect::centered_square(center, side);
@@ -508,7 +505,7 @@ fn sec7_5(ny: &Dataset) {
         )
         .expect("run")
         .region;
-        let lcmsr_weight = lcmsr.map(|r| r.weight).unwrap_or(0.0);
+        let lcmsr_weight = lcmsr.map_or(0.0, |r| r.weight);
         // Automatic quality proxy (replaces the paper's human annotators, see
         // DESIGN.md §4): a result is better when it is connected on the network
         // and gathers more relevant weight under the same connectivity budget.

@@ -104,9 +104,7 @@ fn parse_workers_value(value: Option<&str>) -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&w| w >= 1)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         })
 }
 
@@ -251,7 +249,7 @@ pub fn golden_workload(dataset: &Dataset) -> Vec<LcmsrQuery> {
 /// bit patterns (hex) plus the sorted global node and edge ids.  Any change
 /// anywhere in the pipeline — scoring, scaling, solver tie-breaks — shows up
 /// as a byte diff.
-fn golden_region_line(out: &mut String, region: &lcmsr_core::region::Region) {
+fn golden_region_line(out: &mut String, region: &Region) {
     use std::fmt::Write;
     write!(
         out,
@@ -444,7 +442,7 @@ mod tests {
     fn workers_flag_is_extracted_from_args() {
         let mut args: Vec<String> = ["serve", "--workers", "3", "--addr", "x"]
             .iter()
-            .map(|s| s.to_string())
+            .map(|s| (*s).to_string())
             .collect();
         assert_eq!(take_workers_flag(&mut args), Some(3));
         assert_eq!(args, vec!["serve", "--addr", "x"]);

@@ -179,8 +179,7 @@ pub fn binary_search(
                 // Feasible under 3∆ — remember it, then probe (1+β)·X.
                 if best_feasible
                     .as_ref()
-                    .map(|b| tree.scaled > b.scaled)
-                    .unwrap_or(true)
+                    .map_or(true, |b| tree.scaled > b.scaled)
                 {
                     best_feasible = Some(tree);
                 }

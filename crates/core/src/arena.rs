@@ -333,8 +333,7 @@ impl TupleArena {
         // need a ~16 GiB slab to get here).
         assert!(
             offset + len <= u32::MAX as usize,
-            "TupleArena slab exceeded u32 addressing ({} + {len} slots)",
-            offset
+            "TupleArena slab exceeded u32 addressing ({offset} + {len} slots)"
         );
         self.data.resize(offset + len, 0);
         IdSetHandle {

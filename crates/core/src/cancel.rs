@@ -27,6 +27,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Reads the monotonic clock.
+///
+/// This module is the audited clock source for solver-side code: everything
+/// under `crates/core` that needs a timestamp (deadline stamping, phase
+/// timing in [`crate::stats::RunStats`]) goes through here, so a reviewer —
+/// or `lcmsr-lint`'s `clock` rule — can find every time dependency of the
+/// solve path in one place.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
 /// A deadline: the absolute instant work stops mattering, plus the relative
 /// budget that instant was derived from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -43,7 +43,7 @@ use lcmsr_roadnet::node::NodeId;
 use lcmsr_roadnet::subgraph::{RegionScratch, RegionView};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which LCMSR algorithm to run, with its parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,9 +158,7 @@ impl QueryOptions {
         if let Some(token) = &self.cancel {
             return token.clone();
         }
-        self.deadline
-            .map(|d| d.token())
-            .unwrap_or_else(CancelToken::none)
+        self.deadline.map_or_else(CancelToken::none, |d| d.token())
     }
 }
 
@@ -369,9 +367,7 @@ pub struct MaxRsRegion {
 /// Default worker count for batched execution: the available hardware
 /// parallelism (1 when it cannot be determined).
 fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Per-worker reusable state for answering a stream of queries.
@@ -577,7 +573,7 @@ impl<'a> LcmsrEngine<'a> {
 
     /// Answers a [`QueryRequest`], using a pooled workspace (successive calls
     /// on the same engine reuse scratch buffers and arenas).
-    pub fn execute(&self, request: &QueryRequest) -> Result<QueryOutcome> {
+    pub fn execute(&self, request: &QueryRequest<'_>) -> Result<QueryOutcome> {
         let mut workspace = self.pool.checkout();
         let result = self.execute_with(&mut workspace, request);
         self.pool.recycle(workspace);
@@ -590,9 +586,9 @@ impl<'a> LcmsrEngine<'a> {
     pub fn execute_with(
         &self,
         workspace: &mut QueryWorkspace,
-        request: &QueryRequest,
+        request: &QueryRequest<'_>,
     ) -> Result<QueryOutcome> {
-        let start = Instant::now();
+        let start = crate::cancel::now();
         let algorithm = request.effective_algorithm();
         let options = &request.options;
         let ctl = options.solve_token();
@@ -604,7 +600,7 @@ impl<'a> LcmsrEngine<'a> {
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
         stats.relevant_nodes = graph.relevant_nodes().len();
-        let solve_start = Instant::now();
+        let solve_start = crate::cancel::now();
         // Epoch-clear the arena: every handle from the previous query dies
         // here, while the slab's capacity carries over.
         workspace.arena.reset();
@@ -708,7 +704,7 @@ impl<'a> LcmsrEngine<'a> {
     /// input order and are identical to running each request sequentially
     /// with [`LcmsrEngine::execute`]; the first failing request's error (in
     /// input order) is returned if any request fails.
-    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryOutcome>> {
+    pub fn execute_batch(&self, requests: &[QueryRequest<'_>]) -> Result<Vec<QueryOutcome>> {
         self.execute_batch_with(requests, default_workers())
     }
 
@@ -721,7 +717,7 @@ impl<'a> LcmsrEngine<'a> {
     /// group stamps that deadline on every member.
     pub fn execute_batch_with(
         &self,
-        requests: &[QueryRequest],
+        requests: &[QueryRequest<'_>],
         workers: usize,
     ) -> Result<Vec<QueryOutcome>> {
         self.batch_over(requests, workers, |ws, request| {
@@ -804,7 +800,7 @@ impl<'a> LcmsrEngine<'a> {
         algorithm: &Algorithm,
         workers: usize,
     ) -> Result<Vec<QueryResult>> {
-        let requests: Vec<QueryRequest> = queries
+        let requests: Vec<QueryRequest<'_>> = queries
             .iter()
             .map(|q| QueryRequest::new(q, algorithm.clone()))
             .collect();
@@ -842,7 +838,7 @@ impl<'a> LcmsrEngine<'a> {
         k: usize,
         workers: usize,
     ) -> Result<Vec<TopKResult>> {
-        let requests: Vec<QueryRequest> = queries
+        let requests: Vec<QueryRequest<'_>> = queries
             .iter()
             .map(|q| QueryRequest::new(q, algorithm.clone()).top_k(k))
             .collect();
@@ -1039,7 +1035,7 @@ mod tests {
     /// Legacy-shaped helpers: the pre-existing tests keep their call shape
     /// while exercising the new [`QueryRequest`] surface end to end.
     fn run1(
-        engine: &LcmsrEngine,
+        engine: &LcmsrEngine<'_>,
         query: &LcmsrQuery,
         algorithm: &Algorithm,
     ) -> Result<QueryResult> {
@@ -1049,7 +1045,7 @@ mod tests {
     }
 
     fn run1_with(
-        engine: &LcmsrEngine,
+        engine: &LcmsrEngine<'_>,
         workspace: &mut QueryWorkspace,
         query: &LcmsrQuery,
         algorithm: &Algorithm,
@@ -1060,7 +1056,7 @@ mod tests {
     }
 
     fn runk(
-        engine: &LcmsrEngine,
+        engine: &LcmsrEngine<'_>,
         query: &LcmsrQuery,
         algorithm: &Algorithm,
         k: usize,
@@ -1071,12 +1067,12 @@ mod tests {
     }
 
     fn batch1(
-        engine: &LcmsrEngine,
+        engine: &LcmsrEngine<'_>,
         queries: &[LcmsrQuery],
         algorithm: &Algorithm,
         workers: usize,
     ) -> Result<Vec<QueryResult>> {
-        let requests: Vec<QueryRequest> = queries
+        let requests: Vec<QueryRequest<'_>> = queries
             .iter()
             .map(|q| QueryRequest::new(q, algorithm.clone()))
             .collect();
@@ -1088,13 +1084,13 @@ mod tests {
     }
 
     fn batchk(
-        engine: &LcmsrEngine,
+        engine: &LcmsrEngine<'_>,
         queries: &[LcmsrQuery],
         algorithm: &Algorithm,
         k: usize,
         workers: usize,
     ) -> Result<Vec<TopKResult>> {
-        let requests: Vec<QueryRequest> = queries
+        let requests: Vec<QueryRequest<'_>> = queries
             .iter()
             .map(|q| QueryRequest::new(q, algorithm.clone()).top_k(k))
             .collect();

@@ -345,7 +345,7 @@ mod tests {
         assert!(top.feasible_enumerated >= 5);
         // Best-first under the shared quality order, all feasible, all distinct.
         for w in top.tuples.windows(2) {
-            assert_ne!(w[0].cmp_quality(&w[1]), std::cmp::Ordering::Greater);
+            assert_ne!(w[0].cmp_quality(&w[1]), Ordering::Greater);
             assert!(!w[0].same_nodes(&w[1], &arena));
         }
         for t in &top.tuples {

@@ -99,7 +99,7 @@ pub fn run_greedy_excluding(
             interrupted: false,
         });
     }
-    let excluded_set: std::collections::HashSet<u32> = excluded.iter().copied().collect();
+    let excluded_set: std::collections::BTreeSet<u32> = excluded.iter().copied().collect();
     // Seed: the largest-weight node outside the excluded set.
     let seed = graph
         .node_indices()

@@ -103,7 +103,7 @@ impl DensityKMst {
                     continue;
                 }
                 let ratio = graph.scaled_weight(v) as f64 / d;
-                if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                if best.map_or(true, |(_, r)| ratio > r) {
                     best = Some((v, ratio));
                 }
             }
@@ -205,10 +205,7 @@ impl KMstSolver for DensityKMst {
                 break;
             }
             if let Some(tree) = Self::grow(graph, arena, root, quota, ctl) {
-                let better = best
-                    .as_ref()
-                    .map(|b| tree.length < b.length)
-                    .unwrap_or(true);
+                let better = best.as_ref().map_or(true, |b| tree.length < b.length);
                 if better {
                     // The displaced tree has a single owner — recycle it.
                     if let Some(old) = best.replace(tree) {
@@ -281,8 +278,7 @@ mod tests {
         b.add_edge(a, c, 1.0).unwrap();
         let network = b.build().unwrap();
         let view = RegionView::whole(&network);
-        let qg = crate::query_graph::QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5)
-            .unwrap();
+        let qg = QueryGraph::build(&view, &NodeWeights::default(), 10.0, 0.5).unwrap();
         let mut solver = DensityKMst::new();
         let mut arena = TupleArena::new();
         assert!(solver

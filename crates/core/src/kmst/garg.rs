@@ -14,7 +14,7 @@ use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default number of λ-bisection steps.
 const DEFAULT_LAMBDA_STEPS: usize = 14;
@@ -25,7 +25,7 @@ const MAX_DOUBLINGS: usize = 24;
 #[derive(Debug)]
 pub struct GargKMst {
     lambda_steps: usize,
-    cache: HashMap<u64, RegionTuple>,
+    cache: BTreeMap<u64, RegionTuple>,
     /// Arena generation the cached handles belong to; the cache is dropped
     /// whenever the caller's arena identity or reset count differs (cached
     /// `RegionTuple`s are handles — after a reset they would dangle).
@@ -45,7 +45,7 @@ impl GargKMst {
     pub fn new() -> Self {
         GargKMst {
             lambda_steps: DEFAULT_LAMBDA_STEPS,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             cache_generation: None,
             invocations: 0,
             gw_runs: 0,

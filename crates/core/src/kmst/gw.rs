@@ -232,7 +232,7 @@ fn extract_best_pruned_tree(
             .map(|&v| prizes[v as usize])
             .sum::<f64>()
             - pruned.length;
-        let best_value = best.as_ref().map(|(_, v)| *v).unwrap_or(f64::NEG_INFINITY);
+        let best_value = best.as_ref().map_or(f64::NEG_INFINITY, |(_, v)| *v);
         if candidate_value > best_value {
             // The displaced tree has a single owner here — recycle it.
             if let Some((old, _)) = best.replace((pruned, candidate_value)) {
@@ -242,10 +242,13 @@ fn extract_best_pruned_tree(
             pruned.free(arena);
         }
     }
-    best.map(|(t, _)| t).unwrap_or_else(|| {
-        // Degenerate case (no nodes): cannot happen because QueryGraph is non-empty.
-        RegionTuple::singleton(arena, 0, graph.weight(0), graph.scaled_weight(0))
-    })
+    best.map_or_else(
+        || {
+            // Degenerate case (no nodes): cannot happen because QueryGraph is non-empty.
+            RegionTuple::singleton(arena, 0, graph.weight(0), graph.scaled_weight(0))
+        },
+        |(t, _)| t,
+    )
 }
 
 /// Strong pruning: rooted DP keeping a child subtree only when its net worth
@@ -409,7 +412,7 @@ mod tests {
         weights.by_node.insert(NodeId(0), 1.0);
         weights.by_node.insert(NodeId(5), 1.0);
         let view = RegionView::whole(&network);
-        let qg = crate::query_graph::QueryGraph::build(&view, &weights, 100.0, 0.5).unwrap();
+        let qg = QueryGraph::build(&view, &weights, 100.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
         for lambda in [0.1, 1.0, 10.0, 60.0] {
             let prizes: Vec<f64> = (0..qg.node_count() as u32)

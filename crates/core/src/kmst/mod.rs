@@ -77,14 +77,14 @@ pub fn make_solver(kind: KMstSolverKind) -> Box<dyn KMstSolver> {
 /// consistent with the graph.  Used by tests for every solver.
 #[cfg(test)]
 pub(crate) fn validate_tree(graph: &QueryGraph, arena: &TupleArena, tree: &RegionTuple) {
-    use std::collections::{HashMap, HashSet, VecDeque};
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
     let nodes = tree.nodes(arena);
     let edges = tree.edges(arena);
     assert!(!nodes.is_empty(), "tree has no nodes");
     assert_eq!(edges.len() + 1, nodes.len(), "a tree must have |V|-1 edges");
-    let node_set: HashSet<u32> = nodes.iter().copied().collect();
+    let node_set: BTreeSet<u32> = nodes.iter().copied().collect();
     assert_eq!(node_set.len(), nodes.len(), "duplicate nodes");
-    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
     let mut length = 0.0;
     for &e in edges {
         let edge = graph.edge(e);
@@ -99,7 +99,7 @@ pub(crate) fn validate_tree(graph: &QueryGraph, arena: &TupleArena, tree: &Regio
     let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
     assert_eq!(scaled, tree.scaled, "scaled weight mismatch");
     // Connectivity.
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut q = VecDeque::new();
     seen.insert(nodes[0]);
     q.push_back(nodes[0]);

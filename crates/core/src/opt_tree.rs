@@ -332,7 +332,7 @@ mod tests {
         // α chosen so weights scale 100× (θ = 0.004·... we pick α = 0.03:
         // θ = 0.03·0.4/3 = 0.004 → scaled weights 50/50/100).  To match the
         // figure's 20/20/40 use α = 0.075: θ = 0.01.
-        let qg = crate::query_graph::QueryGraph::build(&view, &weights, 10.0, 0.075).unwrap();
+        let qg = QueryGraph::build(&view, &weights, 10.0, 0.075).unwrap();
         assert_eq!(qg.scaled_weight(0), 20);
         assert_eq!(qg.scaled_weight(2), 40);
         let mut arena = TupleArena::new();

@@ -57,7 +57,7 @@ impl LcmsrQuery {
 
     /// The query keywords as string slices.
     pub fn keyword_refs(&self) -> Vec<&str> {
-        self.keywords.iter().map(|s| s.as_str()).collect()
+        self.keywords.iter().map(String::as_str).collect()
     }
 }
 

@@ -132,7 +132,7 @@ pub fn topk_app(
     let mut all: Vec<RegionTuple> = dp
         .arrays
         .into_values()
-        .flat_map(|arr| arr.into_tuples())
+        .flat_map(super::tuple_array::TupleArray::into_tuples)
         .filter(|t| t.length <= graph.delta() + 1e-9)
         .collect();
     if candidate.length <= graph.delta() + 1e-9 {

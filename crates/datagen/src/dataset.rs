@@ -125,11 +125,7 @@ impl Dataset {
     /// (3 keywords; ∆ = 10 km / 15 km; Λ = 100 km² / 150 km²), scaled down for
     /// small synthetic networks so that `Q.Λ` does not exceed the data extent.
     pub fn default_query_params(&self, seed: u64) -> QueryGenParams {
-        let extent_km2 = self
-            .network
-            .bounding_rect()
-            .map(|r| r.area_km2())
-            .unwrap_or(1.0);
+        let extent_km2 = self.network.bounding_rect().map_or(1.0, |r| r.area_km2());
         let (paper_area, paper_delta): (f64, f64) = match self.config.kind {
             DatasetKind::NyLike => (100.0, 10.0),
             DatasetKind::UsanwLike => (150.0, 15.0),

@@ -176,7 +176,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for (cat, expected) in CATEGORIES.iter().enumerate().take(10) {
             let desc = m.sample_description(&mut rng, cat, 3);
-            assert!(desc.contains(&expected.to_string()));
+            assert!(desc.contains(&(*expected).to_string()));
             assert!(desc.len() >= 4 && desc.len() <= 5);
         }
     }

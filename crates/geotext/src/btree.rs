@@ -504,7 +504,7 @@ mod tests {
         /// lookups and ordered iteration, across page capacities.
         #[test]
         fn behaves_like_btreemap(
-            ops in proptest::collection::vec((0u16..500, 0u32..1000), 1..400),
+            ops in collection::vec((0u16..500, 0u32..1000), 1..400),
             capacity in 4usize..32,
         ) {
             let mut tree = BPlusTree::with_page_capacity(capacity).unwrap();
@@ -526,7 +526,7 @@ mod tests {
         /// Range scans agree with BTreeMap range scans.
         #[test]
         fn range_matches_btreemap(
-            keys in proptest::collection::btree_set(0u16..300, 0..150),
+            keys in collection::btree_set(0u16..300, 0..150),
             lo in 0u16..300,
             hi in 0u16..300,
         ) {

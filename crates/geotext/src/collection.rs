@@ -15,7 +15,7 @@ use crate::vsm::QueryVector;
 use lcmsr_roadnet::geo::Rect;
 use lcmsr_roadnet::graph::RoadNetwork;
 use lcmsr_roadnet::node::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default grid cell size in metres (roughly a city block neighbourhood).
 pub const DEFAULT_CELL_SIZE: f64 = 500.0;
@@ -25,9 +25,9 @@ pub const DEFAULT_CELL_SIZE: f64 = 500.0;
 #[derive(Debug, Clone, Default)]
 pub struct NodeWeights {
     /// Relevance weight per node; only nodes with a positive weight appear.
-    pub by_node: HashMap<NodeId, f64>,
+    pub by_node: BTreeMap<NodeId, f64>,
     /// Relevance score per matching object.
-    pub by_object: HashMap<ObjectId, f64>,
+    pub by_object: BTreeMap<ObjectId, f64>,
 }
 
 impl NodeWeights {
@@ -66,9 +66,9 @@ pub struct ObjectCollection {
     /// Node each object is mapped to, aligned with `objects`.
     object_nodes: Vec<NodeId>,
     /// Objects hosted by each node.
-    node_objects: HashMap<NodeId, Vec<ObjectId>>,
+    node_objects: BTreeMap<NodeId, Vec<ObjectId>>,
     /// Position of each object id in `objects` (ids need not be dense).
-    object_index: HashMap<ObjectId, usize>,
+    object_index: BTreeMap<ObjectId, usize>,
 }
 
 impl ObjectCollection {
@@ -95,7 +95,7 @@ impl ObjectCollection {
             if o.is_empty() || !o.point.is_finite() || !extent.contains(&o.point) {
                 continue;
             }
-            vocabulary.register_document(o.terms.keys().map(|s| s.as_str()));
+            vocabulary.register_document(o.terms.keys().map(String::as_str));
             kept.push(o);
         }
         for o in &kept {
@@ -107,8 +107,8 @@ impl ObjectCollection {
         } else {
             map_points_to_nodes(network, &points)
         };
-        let mut node_objects: HashMap<NodeId, Vec<ObjectId>> = HashMap::new();
-        let mut object_index = HashMap::with_capacity(kept.len());
+        let mut node_objects: BTreeMap<NodeId, Vec<ObjectId>> = BTreeMap::new();
+        let mut object_index = BTreeMap::new();
         for (i, o) in kept.iter().enumerate() {
             object_index.insert(o.id, i);
             node_objects.entry(object_nodes[i]).or_default().push(o.id);
@@ -167,10 +167,7 @@ impl ObjectCollection {
 
     /// Objects hosted by a node.
     pub fn objects_at(&self, node: NodeId) -> &[ObjectId] {
-        self.node_objects
-            .get(&node)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.node_objects.get(&node).map_or(&[], Vec::as_slice)
     }
 
     /// An object by id.
@@ -198,7 +195,7 @@ impl ObjectCollection {
     }
 
     /// Like [`ObjectCollection::node_weights`], but writes into a caller-owned
-    /// [`NodeWeights`], reusing its hash-map capacity.  Batched query engines
+    /// [`NodeWeights`].  Batched query engines
     /// score thousands of queries against the same collection; recycling the
     /// output avoids rebuilding both maps from scratch every time.
     pub fn node_weights_into(&self, query: &QueryVector, rect: &Rect, out: &mut NodeWeights) {
@@ -214,14 +211,9 @@ impl ObjectCollection {
             .collect();
         // Accumulate in ascending object-id order: per-node weights are sums
         // of floating-point scores, and a deterministic summation order makes
-        // repeated (and batched) runs of the same query bit-identical.
-        let mut partials: Vec<(ObjectId, f64)> = self
-            .grid
-            .accumulate_scores_in_rect(rect, &query_terms)
-            .into_iter()
-            .collect();
-        partials.sort_unstable_by_key(|&(id, _)| id);
-        for (object_id, partial) in partials {
+        // repeated (and batched) runs of the same query bit-identical.  The
+        // grid returns a BTreeMap, so its iteration order *is* that order.
+        for (object_id, partial) in self.grid.accumulate_scores_in_rect(rect, &query_terms) {
             let Some(&idx) = self.object_index.get(&object_id) else {
                 continue;
             };

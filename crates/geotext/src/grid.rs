@@ -15,10 +15,10 @@ use crate::inverted::InvertedIndex;
 use crate::object::{GeoTextObject, ObjectId};
 use crate::vocab::{TermId, Vocabulary};
 use lcmsr_roadnet::geo::{Point, Rect};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a grid cell as (column, row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId {
     /// Column index (x direction).
     pub col: u32,
@@ -43,7 +43,7 @@ pub struct GridIndex {
     cell_size: f64,
     cols: u32,
     rows: u32,
-    cells: HashMap<CellId, GridCell>,
+    cells: BTreeMap<CellId, GridCell>,
     object_count: usize,
 }
 
@@ -67,7 +67,7 @@ impl GridIndex {
             cell_size,
             cols,
             rows,
-            cells: HashMap::new(),
+            cells: BTreeMap::new(),
             object_count: 0,
         })
     }
@@ -158,9 +158,8 @@ impl GridIndex {
 
     /// Ids of the occupied cells whose rectangle intersects `rect`.
     pub fn cells_intersecting(&self, rect: &Rect) -> Vec<CellId> {
-        let clipped = match self.extent.intersection(rect) {
-            Some(r) => r,
-            None => return Vec::new(),
+        let Some(clipped) = self.extent.intersection(rect) else {
+            return Vec::new();
         };
         let col_lo =
             (((clipped.min_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
@@ -190,8 +189,8 @@ impl GridIndex {
         &self,
         rect: &Rect,
         query_terms: &[(TermId, f64)],
-    ) -> HashMap<ObjectId, f64> {
-        let mut acc = HashMap::new();
+    ) -> BTreeMap<ObjectId, f64> {
+        let mut acc = BTreeMap::new();
         for cell_id in self.cells_intersecting(rect) {
             if let Some(cell) = self.cells.get(&cell_id) {
                 for (obj, partial) in cell.inverted.accumulate_scores(query_terms) {
@@ -221,7 +220,7 @@ mod tests {
         let mut grid = GridIndex::new(extent, 100.0).unwrap();
         let mut vocab = Vocabulary::new();
         for o in make_objects() {
-            vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+            vocab.register_document(o.terms.keys().map(String::as_str));
             grid.insert(&mut vocab, &o).unwrap();
         }
         (grid, vocab)

@@ -112,8 +112,8 @@ impl InvertedIndex {
     pub fn accumulate_scores(
         &self,
         query_terms: &[(TermId, f64)],
-    ) -> std::collections::HashMap<ObjectId, f64> {
-        let mut acc = std::collections::HashMap::new();
+    ) -> std::collections::BTreeMap<ObjectId, f64> {
+        let mut acc = std::collections::BTreeMap::new();
         for &(term, idf) in query_terms {
             if idf == 0.0 {
                 continue;
@@ -149,7 +149,7 @@ mod tests {
         // Register documents first so IDF reflects the corpus, then index.
         for o in &objects {
             if !o.is_empty() {
-                vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+                vocab.register_document(o.terms.keys().map(String::as_str));
             }
         }
         let mut idx = InvertedIndex::new();

@@ -9,7 +9,7 @@
 use lcmsr_roadnet::geo::{Point, Rect};
 use lcmsr_roadnet::graph::RoadNetwork;
 use lcmsr_roadnet::node::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Spatial hash over the nodes of a road network supporting nearest-node queries.
 #[derive(Debug, Clone)]
@@ -18,7 +18,7 @@ pub struct NodeLocator {
     extent: Rect,
     cols: i64,
     rows: i64,
-    buckets: HashMap<(i64, i64), Vec<NodeId>>,
+    buckets: BTreeMap<(i64, i64), Vec<NodeId>>,
     points: Vec<Point>,
 }
 
@@ -37,7 +37,7 @@ impl NodeLocator {
             .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
         let cols = ((extent.width() / cell_size).ceil() as i64).max(1);
         let rows = ((extent.height() / cell_size).ceil() as i64).max(1);
-        let mut buckets: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        let mut buckets: BTreeMap<(i64, i64), Vec<NodeId>> = BTreeMap::new();
         let mut points = Vec::with_capacity(network.node_count());
         for n in network.nodes() {
             points.push(n.point);
@@ -91,7 +91,7 @@ impl NodeLocator {
                     if let Some(ids) = self.buckets.get(&key) {
                         for &id in ids {
                             let d = self.points[id.index()].distance_sq(p);
-                            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                            if best.map_or(true, |(_, bd)| d < bd) {
                                 best = Some((id, d));
                             }
                         }

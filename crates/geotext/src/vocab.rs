@@ -7,7 +7,7 @@
 
 use crate::object::normalize_term;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Dense identifier of an interned term.
 #[derive(
@@ -34,7 +34,7 @@ impl std::fmt::Display for TermId {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Vocabulary {
     terms: Vec<String>,
-    by_name: HashMap<String, TermId>,
+    by_name: BTreeMap<String, TermId>,
     document_frequency: Vec<u32>,
     /// Total number of documents (objects) registered, `|D|` in Equation 1.
     document_count: u64,

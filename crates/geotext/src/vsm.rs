@@ -84,7 +84,7 @@ impl QueryVector {
                 continue;
             }
             let id = vocabulary.lookup(&norm);
-            let weight = id.map(|t| vocabulary.idf(t)).unwrap_or(0.0);
+            let weight = id.map_or(0.0, |t| vocabulary.idf(t));
             terms.push(QueryTerm {
                 text: norm,
                 id,
@@ -169,7 +169,7 @@ mod tests {
             GeoTextObject::from_keywords(3u64, Point::new(3.0, 0.0), ["museum"]),
         ];
         for o in &objects {
-            vocab.register_document(o.terms.keys().map(|s| s.as_str()));
+            vocab.register_document(o.terms.keys().map(String::as_str));
         }
         (vocab, objects)
     }

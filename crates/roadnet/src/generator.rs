@@ -233,7 +233,7 @@ pub fn connect_components(network: RoadNetwork) -> Result<RoadNetwork> {
         for &a in main.iter().step_by(1 + main.len() / 512) {
             for &b in other.iter().step_by(1 + other.len() / 512) {
                 let d = network.point(a).distance(&network.point(b));
-                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                if best.map_or(true, |(_, _, bd)| d < bd) {
                     best = Some((a, b, d));
                 }
             }

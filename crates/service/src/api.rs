@@ -489,7 +489,7 @@ impl StatsDto {
     }
 
     fn to_json(&self) -> Json {
-        let mut out = Json::Object(vec![
+        let mut fields: Vec<(String, Json)> = vec![
             ("algorithm".into(), Json::String(self.algorithm.clone())),
             ("elapsed_ns".into(), Json::Number(self.elapsed_ns as f64)),
             ("prepare_ns".into(), Json::Number(self.prepare_ns as f64)),
@@ -532,10 +532,7 @@ impl StatsDto {
                 "dominance_evictions".into(),
                 Json::Number(self.dominance_evictions as f64),
             ),
-        ]);
-        let Json::Object(fields) = &mut out else {
-            unreachable!("stats encode as an object");
-        };
+        ];
         fields.push(("partial".into(), Json::Bool(self.partial)));
         if let Some(cause) = &self.partial_cause {
             fields.push(("partial_cause".into(), Json::String(cause.clone())));
@@ -543,7 +540,7 @@ impl StatsDto {
         if let Some(ns) = self.deadline_ns {
             fields.push(("deadline_ns".into(), Json::Number(ns as f64)));
         }
-        out
+        Json::Object(fields)
     }
 
     fn from_json(value: &Json) -> Result<Self, ApiError> {

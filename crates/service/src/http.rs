@@ -8,6 +8,7 @@
 //! clean `400` and the connection closed — a bad client can cost the worker
 //! one response, never a panic.
 
+use crate::sync::{lock_or_recover, wait_or_recover};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -323,10 +324,7 @@ impl ServerShared {
     fn register(&self, stream: &TcpStream) -> u64 {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            self.open
-                .lock()
-                .expect("open registry poisoned")
-                .push((id, clone));
+            lock_or_recover(&self.open).push((id, clone));
         }
         // Close the register-vs-shutdown race: if shutdown swept the registry
         // before this connection appeared in it (the worker popped it from
@@ -339,10 +337,7 @@ impl ServerShared {
     }
 
     fn deregister(&self, id: u64) {
-        self.open
-            .lock()
-            .expect("open registry poisoned")
-            .retain(|(conn_id, _)| *conn_id != id);
+        lock_or_recover(&self.open).retain(|(conn_id, _)| *conn_id != id);
     }
 }
 
@@ -370,11 +365,13 @@ impl ServerHandle {
     /// Blocks until the server stops (i.e. forever, for a foreground server
     /// that only dies with the process).
     pub fn wait(mut self) {
+        // Join errors mean a thread panicked; the panic is already on stderr
+        // and re-raising it here would only take the supervisor down too.
         if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().expect("acceptor panicked");
+            let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
-            worker.join().expect("http worker panicked");
+            let _ = worker.join();
         }
     }
 
@@ -383,27 +380,21 @@ impl ServerHandle {
         // Unblock the acceptor with a wake-up connection to ourselves.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().expect("acceptor panicked");
+            let _ = acceptor.join();
         }
         // Never-served connections are dropped (reset), not handed to workers.
-        self.shared
-            .pending
-            .lock()
-            .expect("pending queue poisoned")
-            .clear();
-        // Unblock workers parked reading the next keep-alive request.
-        for (_, stream) in self
-            .shared
-            .open
-            .lock()
-            .expect("open registry poisoned")
-            .iter()
-        {
+        lock_or_recover(&self.shared.pending).clear();
+        // Unblock workers parked reading the next keep-alive request.  The
+        // pending guard above is a temporary dropped at its statement's end,
+        // so it cannot still be held when the open registry is locked here.
+        // lcmsr-lint: allow(lock_nesting) — the pending guard dies at its own
+        // statement; the two guards can never be held at the same time.
+        for (_, stream) in lock_or_recover(&self.shared.open).iter() {
             let _ = stream.shutdown(Shutdown::Read);
         }
         self.shared.available.notify_all();
         for worker in self.workers.drain(..) {
-            worker.join().expect("http worker panicked");
+            let _ = worker.join();
         }
     }
 }
@@ -417,6 +408,9 @@ impl Drop for ServerHandle {
 }
 
 /// Starts the server: binds, spawns the acceptor and `http_workers` workers.
+// By-value by design: the caller hands over its share of the handler; a
+// `&Arc` parameter would just move the clone to every call site.
+#[allow(clippy::needless_pass_by_value)]
 pub fn start(config: &ServerConfig, handler: Arc<dyn Handler>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
@@ -440,18 +434,15 @@ pub fn start(config: &ServerConfig, handler: Arc<dyn Handler>) -> std::io::Resul
                     if shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let stream = match incoming {
-                        Ok(stream) => stream,
-                        Err(_) => {
-                            // Persistent accept failures (e.g. fd exhaustion
-                            // under overload) must not busy-spin a core.
-                            std::thread::sleep(Duration::from_millis(10));
-                            continue;
-                        }
+                    let Ok(stream) = incoming else {
+                        // Persistent accept failures (e.g. fd exhaustion
+                        // under overload) must not busy-spin a core.
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
                     };
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_read_timeout(Some(shared.read_timeout));
-                    let mut pending = shared.pending.lock().expect("pending queue poisoned");
+                    let mut pending = lock_or_recover(&shared.pending);
                     if pending.len() >= shared.max_pending {
                         // A connection flood: drop the newcomer (reset) rather
                         // than queueing unboundedly behind connections we can
@@ -462,8 +453,7 @@ pub fn start(config: &ServerConfig, handler: Arc<dyn Handler>) -> std::io::Resul
                     drop(pending);
                     shared.available.notify_one();
                 }
-            })
-            .expect("spawn acceptor")
+            })?
     };
 
     let workers = (0..config.http_workers.max(1))
@@ -473,9 +463,8 @@ pub fn start(config: &ServerConfig, handler: Arc<dyn Handler>) -> std::io::Resul
             std::thread::Builder::new()
                 .name(format!("lcmsr-http-{i}"))
                 .spawn(move || worker_loop(&shared, handler.as_ref()))
-                .expect("spawn http worker")
         })
-        .collect();
+        .collect::<std::io::Result<Vec<_>>>()?;
 
     Ok(ServerHandle {
         local_addr,
@@ -488,7 +477,7 @@ pub fn start(config: &ServerConfig, handler: Arc<dyn Handler>) -> std::io::Resul
 fn worker_loop(shared: &ServerShared, handler: &dyn Handler) {
     loop {
         let stream = {
-            let mut pending = shared.pending.lock().expect("pending queue poisoned");
+            let mut pending = lock_or_recover(&shared.pending);
             loop {
                 // FIFO: the connection waiting longest is served next.
                 if let Some(stream) = pending.pop_front() {
@@ -497,20 +486,15 @@ fn worker_loop(shared: &ServerShared, handler: &dyn Handler) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                pending = shared
-                    .available
-                    .wait(pending)
-                    .expect("pending queue poisoned");
+                pending = wait_or_recover(&shared.available, pending);
             }
         };
         handle_connection(shared, handler, stream);
-        if shared.shutdown.load(Ordering::SeqCst)
-            && shared
-                .pending
-                .lock()
-                .expect("pending queue poisoned")
-                .is_empty()
-        {
+        // The first pending guard was confined to the block that produced
+        // `stream` and is long dead by the time this drain check re-locks.
+        // lcmsr-lint: allow(lock_nesting) — re-acquisition after the first
+        // guard's block closed; the two guards can never overlap.
+        if shared.shutdown.load(Ordering::SeqCst) && lock_or_recover(&shared.pending).is_empty() {
             return;
         }
     }
@@ -772,7 +756,7 @@ mod tests {
         let start = std::time::Instant::now();
         server.shutdown();
         assert!(
-            start.elapsed() < std::time::Duration::from_secs(2),
+            start.elapsed() < Duration::from_secs(2),
             "shutdown must not wait for idle connections"
         );
         // New connections are refused (or reset) after shutdown.

@@ -252,7 +252,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         match self.bump() {
             Some(b) if b == byte => Ok(()),
             Some(b) => Err(JsonError {
@@ -305,7 +305,15 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        // The scanned range is sign/digit/dot/exponent ASCII, so this cannot
+        // fail; a decoder must still not be able to panic, so route it as a
+        // (unreachable) parse error instead of asserting.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(JsonError {
+                offset: start,
+                message: "non-ASCII byte in number".into(),
+            });
+        };
         // Rust's f64 parser is laxer than JSON ("1.", ".5", "01" all parse),
         // so validate the JSON number grammar before handing it over.
         if !is_json_number(text) {
@@ -328,7 +336,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -386,8 +394,14 @@ impl<'a> Parser<'a> {
                     while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
                         end += 1;
                     }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .expect("input &str is valid UTF-8");
+                    // The input arrived as a &str, so the sequence is valid
+                    // UTF-8; still surface a parse error rather than assert.
+                    let Ok(s) = std::str::from_utf8(&self.bytes[start..end]) else {
+                        return Err(JsonError {
+                            offset: start,
+                            message: "invalid UTF-8 in string".into(),
+                        });
+                    };
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -410,7 +424,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -433,7 +447,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -447,7 +461,7 @@ impl<'a> Parser<'a> {
                 return Err(self.error(format!("duplicate key \"{key}\"")));
             }
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.parse_value(depth + 1)?;
             fields.push((key, value));
             self.skip_whitespace();

@@ -58,6 +58,7 @@ pub mod json;
 pub mod metrics;
 pub mod scheduler;
 pub mod service;
+mod sync;
 
 pub use api::{QueryRequest, QueryResponse, RegionDto, StatsDto};
 pub use client::{ClientResponse, HttpClient};

@@ -28,6 +28,7 @@
 //! The `service_throughput` benchmark compares exactly these two modes.
 
 use crate::metrics::ServiceMetrics;
+use crate::sync::{lock_or_recover, wait_or_recover, wait_timeout_or_recover};
 use lcmsr_core::cancel::Deadline;
 use lcmsr_core::engine::{
     Algorithm, LcmsrEngine, Priority, QueryOutcome, QueryRequest, QueryResult, TopKResult,
@@ -56,9 +57,8 @@ pub struct BatchConfig {
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        let parallelism = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let parallelism =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         BatchConfig {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
@@ -150,7 +150,7 @@ struct Slot {
 
 impl Slot {
     fn fill(&self, output: LcmsrResult<JobOutput>) {
-        let mut guard = self.result.lock().expect("slot poisoned");
+        let mut guard = lock_or_recover(&self.result);
         *guard = Some(output);
         self.ready.notify_all();
     }
@@ -165,12 +165,12 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the job completes and returns its output.
     pub fn wait(self) -> LcmsrResult<JobOutput> {
-        let mut guard = self.slot.result.lock().expect("slot poisoned");
+        let mut guard = lock_or_recover(&self.slot.result);
         loop {
             if let Some(output) = guard.take() {
                 return output;
             }
-            guard = self.slot.ready.wait(guard).expect("slot poisoned");
+            guard = wait_or_recover(&self.slot.ready, guard);
         }
     }
 }
@@ -280,12 +280,13 @@ impl std::fmt::Debug for Scheduler {
 
 impl Scheduler {
     /// Starts a scheduler over `engine`.  With `max_batch > 1` this spawns
-    /// the dispatcher thread; otherwise jobs run on their submitters' threads.
+    /// the dispatcher thread; otherwise jobs run on their submitters'
+    /// threads.  Errors if the dispatcher thread cannot be spawned.
     pub fn start(
         engine: &'static LcmsrEngine<'static>,
         config: BatchConfig,
         metrics: Arc<ServiceMetrics>,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let shared = Arc::new(SchedulerShared {
             engine,
             config,
@@ -304,16 +305,15 @@ impl Scheduler {
             Some(
                 std::thread::Builder::new()
                     .name("lcmsr-dispatcher".into())
-                    .spawn(move || dispatcher_loop(&shared))
-                    .expect("spawn dispatcher"),
+                    .spawn(move || dispatcher_loop(&shared))?,
             )
         } else {
             None
         };
-        Scheduler {
+        Ok(Scheduler {
             shared,
             dispatcher: Mutex::new(dispatcher),
-        }
+        })
     }
 
     /// Whether micro-batching is active (false = per-request baseline mode).
@@ -328,7 +328,7 @@ impl Scheduler {
         if self.batching() {
             self.submit_queued(job)
         } else {
-            self.submit_direct(job)
+            self.submit_direct(&job)
         }
     }
 
@@ -336,7 +336,7 @@ impl Scheduler {
         let shared = &self.shared;
         let slot = Arc::new(Slot::default());
         {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_or_recover(&shared.queue);
             if queue.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -368,9 +368,9 @@ impl Scheduler {
         Ok(Ticket { slot })
     }
 
-    fn submit_direct(&self, job: QueryJob) -> Result<Ticket, SubmitError> {
+    fn submit_direct(&self, job: &QueryJob) -> Result<Ticket, SubmitError> {
         let shared = &self.shared;
-        if shared.queue.lock().expect("queue poisoned").shutdown {
+        if lock_or_recover(&shared.queue).shutdown {
             return Err(SubmitError::ShuttingDown);
         }
         // The queue-capacity knob doubles as an in-flight cap so the baseline
@@ -392,7 +392,7 @@ impl Scheduler {
         }
         let slot = Arc::new(Slot::default());
         let started = Instant::now();
-        let output = run_single_job(shared.engine, &job, Duration::ZERO);
+        let output = run_single_job(shared.engine, job, Duration::ZERO);
         record_service_time(shared, started.elapsed(), 1);
         record_batch(&shared.metrics, 1);
         slot.fill(output);
@@ -402,24 +402,25 @@ impl Scheduler {
 
     /// Current queue depth across both lanes (0 in baseline mode).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").len()
+        lock_or_recover(&self.shared.queue).len()
     }
 
     /// Stops accepting jobs, drains everything already queued, and joins the
     /// dispatcher.  Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut queue = self.shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_or_recover(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.wake.notify_all();
-        if let Some(handle) = self
-            .dispatcher
-            .lock()
-            .expect("dispatcher handle poisoned")
-            .take()
-        {
-            handle.join().expect("dispatcher panicked");
+        // lcmsr-lint: allow(lock_nesting) — the queue guard above died at its
+        // block's closing brace, so it can never overlap the handle guard.
+        let handle = lock_or_recover(&self.dispatcher).take();
+        if let Some(handle) = handle {
+            // An Err here means the dispatcher itself panicked; the panic has
+            // already been reported on stderr and shutdown must not amplify
+            // it into a second panic on the caller's thread.
+            let _ = handle.join();
         }
     }
 }
@@ -455,28 +456,26 @@ fn dispatcher_loop(shared: &SchedulerShared) {
 /// `max_batch`.  At shutdown, drains whatever is left without delay.
 fn collect_batch(shared: &SchedulerShared) -> Vec<PendingJob> {
     let config = &shared.config;
-    let mut queue = shared.queue.lock().expect("queue poisoned");
+    let mut queue = lock_or_recover(&shared.queue);
     loop {
         if !queue.is_empty() || queue.shutdown {
             break;
         }
-        queue = shared.wake.wait(queue).expect("queue poisoned");
-    }
-    if queue.is_empty() {
-        return Vec::new(); // shutdown with an empty queue
+        queue = wait_or_recover(&shared.wake, queue);
     }
     // The micro-batching window: the deadline starts at the *oldest* queued
-    // job, so a request never waits more than max_delay before dispatch.
-    let deadline = queue.oldest_enqueued().expect("non-empty queue") + config.max_delay;
+    // job, so a request never waits more than max_delay before dispatch.  An
+    // empty queue here means shutdown with nothing left to drain.
+    let Some(oldest) = queue.oldest_enqueued() else {
+        return Vec::new();
+    };
+    let deadline = oldest + config.max_delay;
     while queue.len() < config.max_batch && !queue.shutdown {
         let now = Instant::now();
         if now >= deadline {
             break;
         }
-        let (guard, _timeout) = shared
-            .wake
-            .wait_timeout(queue, deadline - now)
-            .expect("queue poisoned");
+        let (guard, _timeout) = wait_timeout_or_recover(&shared.wake, queue, deadline - now);
         queue = guard;
     }
     // Interactive preempts batch: the interactive lane empties into the
@@ -501,16 +500,16 @@ fn collect_batch(shared: &SchedulerShared) -> Vec<PendingJob> {
 fn execute_batch(shared: &SchedulerShared, batch: Vec<PendingJob>) {
     let mut remaining: Vec<Option<PendingJob>> = batch.into_iter().map(Some).collect();
     for i in 0..remaining.len() {
-        if remaining[i].is_none() {
+        let Some(first) = remaining[i].take() else {
             continue;
-        }
-        let mut group = vec![remaining[i].take().expect("checked above")];
+        };
+        let mut group = vec![first];
         for candidate in remaining.iter_mut().skip(i + 1) {
             let matches = candidate.as_ref().is_some_and(|c| {
                 c.job.kind == group[0].job.kind && c.job.algorithm == group[0].job.algorithm
             });
             if matches {
-                group.push(candidate.take().expect("checked above"));
+                group.extend(candidate.take());
             }
         }
         execute_group(shared, group);
@@ -550,7 +549,7 @@ fn execute_group(shared: &SchedulerShared, group: Vec<PendingJob>) {
     let dispatched = Instant::now();
     let engine = shared.engine;
     let workers = shared.config.batch_workers.max(1);
-    let requests: Vec<QueryRequest> = group.iter().map(|p| build_request(&p.job)).collect();
+    let requests: Vec<QueryRequest<'_>> = group.iter().map(|p| build_request(&p.job)).collect();
 
     let batch_outcome: LcmsrResult<Vec<QueryOutcome>> = if requests.len() == 1 {
         engine.execute(&requests[0]).map(|outcome| vec![outcome])
@@ -663,7 +662,7 @@ mod tests {
     }
 
     fn start(engine: &'static LcmsrEngine<'static>, config: BatchConfig) -> Scheduler {
-        Scheduler::start(engine, config, Arc::new(ServiceMetrics::new()))
+        Scheduler::start(engine, config, Arc::new(ServiceMetrics::new())).unwrap()
     }
 
     #[test]
@@ -705,7 +704,8 @@ mod tests {
                 ..BatchConfig::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let mut tickets = Vec::new();
         for i in 0..4 {
             tickets.push((
@@ -798,7 +798,8 @@ mod tests {
                 batch_workers: 1,
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let t1 = scheduler
             .submit(job(engine, 100.0, JobKind::Single))
             .unwrap();
@@ -834,7 +835,8 @@ mod tests {
                 ..BatchConfig::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         assert!(!scheduler.batching());
         let ticket = scheduler
             .submit(job(engine, 300.0, JobKind::Single))
@@ -976,7 +978,8 @@ mod tests {
     fn expired_deadline_is_shed_at_submit() {
         let engine = leaked_engine();
         let metrics = Arc::new(ServiceMetrics::new());
-        let scheduler = Scheduler::start(engine, BatchConfig::default(), Arc::clone(&metrics));
+        let scheduler =
+            Scheduler::start(engine, BatchConfig::default(), Arc::clone(&metrics)).unwrap();
         let mut doomed = job(engine, 300.0, JobKind::Single);
         doomed.deadline = Some(Deadline::after(Duration::ZERO));
         assert_eq!(
@@ -993,7 +996,8 @@ mod tests {
                 ..BatchConfig::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .unwrap();
         let mut doomed = job(engine, 300.0, JobKind::Single);
         doomed.deadline = Some(Deadline::after(Duration::ZERO));
         assert_eq!(

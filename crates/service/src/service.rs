@@ -40,7 +40,7 @@ struct ServiceHandlerInner {
 
 impl ServiceHandlerInner {
     fn handle_query(&self, request: &HttpRequest) -> HttpResponse {
-        let start = Instant::now();
+        let start = crate::metrics::now();
         let outcome = self.run_query(request);
         match outcome {
             Ok(body) => {
@@ -195,15 +195,16 @@ pub fn serve(
     engine: &'static LcmsrEngine<'static>,
     config: ServiceConfig,
 ) -> std::io::Result<ServiceHandle> {
+    let ServiceConfig { server, batch } = config;
     let metrics = Arc::new(ServiceMetrics::new());
-    let scheduler = Scheduler::start(engine, config.batch.clone(), Arc::clone(&metrics));
+    let scheduler = Scheduler::start(engine, batch, Arc::clone(&metrics))?;
     let handler = Arc::new(ServiceHandlerInner {
         engine,
         scheduler,
         metrics,
-        started: Instant::now(),
+        started: crate::metrics::now(),
     });
-    let server = http::start(&config.server, Arc::clone(&handler) as Arc<dyn Handler>)?;
+    let server = http::start(&server, Arc::clone(&handler) as Arc<dyn Handler>)?;
     Ok(ServiceHandle { server, handler })
 }
 

@@ -77,7 +77,7 @@ fn serve_city(engine: &'static LcmsrEngine<'static>, batch: BatchConfig) -> Serv
 fn request_for(keywords: &[&str], budget: f64, k: Option<usize>) -> QueryRequest {
     QueryRequest {
         algorithm: "tgen".into(),
-        keywords: keywords.iter().map(|s| s.to_string()).collect(),
+        keywords: keywords.iter().map(|s| (*s).to_string()).collect(),
         rect: Rect::new(-50.0, -50.0, 560.0, 560.0),
         budget,
         k,
@@ -123,7 +123,7 @@ fn served_answers_are_bit_identical_to_direct_engine_calls() {
                     let response = QueryResponse::from_body(&body).unwrap();
 
                     let query = LcmsrQuery::new(
-                        keywords.iter().map(|s| s.to_string()),
+                        keywords.iter().map(|s| (*s).to_string()),
                         budget,
                         request.rect,
                     )
@@ -328,10 +328,17 @@ fn healthz_and_metrics_expose_service_state() {
         "{body}"
     );
     assert_eq!(
-        health.get("network_nodes").and_then(|v| v.as_u64()),
+        health
+            .get("network_nodes")
+            .and_then(lcmsr_service::json::Json::as_u64),
         Some(36)
     );
-    assert_eq!(health.get("batching").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        health
+            .get("batching")
+            .and_then(lcmsr_service::json::Json::as_bool),
+        Some(true)
+    );
 
     // Run a couple of queries, then check the counters moved.
     for _ in 0..3 {

@@ -15,7 +15,7 @@ const ALGORITHMS: [&str; 4] = ["app", "tgen", "greedy", "exact"];
 #[allow(clippy::too_many_arguments)]
 fn build_request(
     algorithm_index: usize,
-    keyword_ids: Vec<u32>,
+    keyword_ids: &[u32],
     origin: (f64, f64),
     extent: (f64, f64),
     budget: f64,
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn requests_round_trip_exactly(
         algorithm_index in 0usize..4,
-        keyword_ids in proptest::collection::vec(0u32..10_000, 1..6),
+        keyword_ids in collection::vec(0u32..10_000, 1..6),
         origin in (-1.0e6f64..1.0e6, -1.0e6f64..1.0e6),
         extent in (1.0e-3f64..1.0e5, 1.0e-3f64..1.0e5),
         budget in 1.0e-3f64..1.0e7,
@@ -70,7 +70,7 @@ proptest! {
         mu_milli in 0u64..1_000,
     ) {
         let request = build_request(
-            algorithm_index, keyword_ids, origin, extent, budget, k, alpha_milli, mu_milli,
+            algorithm_index, &keyword_ids, origin, extent, budget, k, alpha_milli, mu_milli,
         );
         let body = request.to_body();
         let decoded = QueryRequest::from_body(&body).expect("encoded request must decode");
@@ -81,8 +81,8 @@ proptest! {
 
     #[test]
     fn responses_round_trip_exactly(
-        node_ids in proptest::collection::btree_set(0u32..1_000_000, 1..40),
-        edge_ids in proptest::collection::btree_set(0u32..1_000_000, 1..40),
+        node_ids in collection::btree_set(0u32..1_000_000, 1..40),
+        edge_ids in collection::btree_set(0u32..1_000_000, 1..40),
         length_micro in 0u64..100_000_000_000,
         weight_nano in 0u64..1_000_000_000_000,
         scaled in 0u64..1_000_000_000,
@@ -145,11 +145,11 @@ proptest! {
 
     #[test]
     fn truncated_bodies_error_cleanly(
-        keyword_ids in proptest::collection::vec(0u32..100, 1..4),
+        keyword_ids in collection::vec(0u32..100, 1..4),
         cut_permille in 0usize..1000,
     ) {
         let request = build_request(
-            1, keyword_ids, (0.0, 0.0), (100.0, 100.0), 500.0, 2, 42, 0,
+            1, &keyword_ids, (0.0, 0.0), (100.0, 100.0), 500.0, 2, 42, 0,
         );
         let body = request.to_body();
         // Truncate somewhere strictly inside the body (never at full length).
@@ -163,12 +163,12 @@ proptest! {
 
     #[test]
     fn mutated_bodies_never_panic(
-        keyword_ids in proptest::collection::vec(0u32..100, 1..4),
+        keyword_ids in collection::vec(0u32..100, 1..4),
         position_permille in 0usize..1000,
         replacement in 0u8..128,
     ) {
         let request = build_request(
-            0, keyword_ids, (0.0, 0.0), (10.0, 10.0), 100.0, 0, 0, 7,
+            0, &keyword_ids, (0.0, 0.0), (10.0, 10.0), 100.0, 0, 0, 7,
         );
         let mut body = request.to_body().into_bytes();
         let position = (position_permille * (body.len() - 1)) / 1000;

@@ -45,7 +45,7 @@ fn main() {
                 .expect("query runs")
                 .into_single();
             runtimes[i] += started.elapsed().as_secs_f64() * 1_000.0;
-            weights[i].push(result.region.map(|r| r.weight).unwrap_or(0.0));
+            weights[i].push(result.region.map_or(0.0, |r| r.weight));
         }
     }
 

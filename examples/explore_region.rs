@@ -23,8 +23,10 @@ fn main() {
             let term = CATEGORIES[c.category];
             term == "restaurant" || term == "cafe" || term == "coffee"
         })
-        .map(|c| c.point)
-        .unwrap_or_else(|| dataset.network.bounding_rect().unwrap().center());
+        .map_or_else(
+            || dataset.network.bounding_rect().unwrap().center(),
+            |c| c.point,
+        );
     let roi = Rect::centered_square(center, 3_000.0); // a 3 km × 3 km downtown
     let query = LcmsrQuery::new(["cafe", "restaurant"], 2_000.0, roi).unwrap();
     println!(

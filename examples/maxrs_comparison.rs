@@ -45,8 +45,7 @@ fn main() {
             .expect("query runs")
             .into_single()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         let lcmsr_better = !maxrs.connected_in_network || lcmsr_weight >= maxrs.weight * 0.98;
         if lcmsr_better {
             lcmsr_preferred += 1;

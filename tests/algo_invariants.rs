@@ -107,8 +107,8 @@ proptest! {
     /// is feasible, and top-k lists are sorted with distinct node sets.
     #[test]
     fn exact_bounds_heuristics_and_topk_lists_are_sound(
-        restaurants in proptest::collection::btree_set(0usize..16, 1..8),
-        cafes in proptest::collection::btree_set(0usize..16, 1..6),
+        restaurants in collection::btree_set(0usize..16, 1..8),
+        cafes in collection::btree_set(0usize..16, 1..6),
         delta_blocks in 1usize..8,
     ) {
         let restaurants: Vec<usize> = restaurants.into_iter().collect();
@@ -193,7 +193,7 @@ proptest! {
     /// contract that makes `run_topk(…, 1)` a drop-in for `run`.
     #[test]
     fn top1_agrees_with_the_single_answer(
-        restaurants in proptest::collection::btree_set(0usize..16, 2..8),
+        restaurants in collection::btree_set(0usize..16, 2..8),
         delta_blocks in 1usize..6,
     ) {
         let restaurants: Vec<usize> = restaurants.into_iter().collect();

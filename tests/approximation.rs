@@ -167,7 +167,7 @@ proptest! {
     /// exceeds the exact optimum, and APP honours its approximation bound.
     #[test]
     fn randomized_instances_respect_bounds(
-        restaurants in proptest::collection::btree_set(0usize..16, 2..9),
+        restaurants in collection::btree_set(0usize..16, 2..9),
         delta_blocks in 1usize..6,
     ) {
         let restaurants: Vec<usize> = restaurants.into_iter().collect();

@@ -95,7 +95,7 @@ proptest! {
     /// Interleaved build/recycle cycles never alias live handles.
     #[test]
     fn random_alloc_free_reset_interleavings_never_alias(
-        ops in proptest::collection::vec((0u32..12, 0u32..100_000, 0u32..100_000), 20..250),
+        ops in collection::vec((0u32..12, 0u32..100_000, 0u32..100_000), 20..250),
     ) {
         apply_ops(&ops);
     }
@@ -109,7 +109,7 @@ proptest! {
     /// and discarding an unshared combine rolls its storage back fully.
     #[test]
     fn combine_and_free_round_trips(
-        seeds in proptest::collection::btree_set(0u32..64, 2..10),
+        seeds in collection::btree_set(0u32..64, 2..10),
     ) {
         let mut arena = TupleArena::new();
         let tuples: Vec<RegionTuple> = seeds
@@ -189,7 +189,7 @@ proptest! {
     /// arena epochs and recycled builders must never leak across queries.
     #[test]
     fn pooled_workspaces_match_fresh_workspaces_on_random_instances(
-        restaurants in proptest::collection::btree_set(0usize..25, 2..9),
+        restaurants in collection::btree_set(0usize..25, 2..9),
         delta_blocks in 1usize..7,
     ) {
         let restaurants: Vec<usize> = restaurants.into_iter().collect();

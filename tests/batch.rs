@@ -102,7 +102,7 @@ proptest! {
     /// identical regions whether run sequentially or batched over 4 workers.
     #[test]
     fn batch_results_are_identical_to_sequential_runs(
-        restaurants in proptest::collection::btree_set(0usize..25, 2..10),
+        restaurants in collection::btree_set(0usize..25, 2..10),
         delta_blocks in 1usize..7,
     ) {
         let restaurants: Vec<usize> = restaurants.into_iter().collect();

@@ -102,7 +102,7 @@ proptest! {
     /// or accumulation anywhere in the solve phase.
     #[test]
     fn runs_finishing_before_the_deadline_are_bit_identical(
-        restaurants in proptest::collection::btree_set(0usize..16, 2..10),
+        restaurants in collection::btree_set(0usize..16, 2..10),
         delta_blocks in 1usize..6,
     ) {
         // A 4×4 grid keeps the instance inside Exact's 20-node limit while
@@ -181,8 +181,8 @@ fn tight_deadline_interrupts_exact_with_a_feasible_partial() {
     }
     // The full run dominates (or matches) any interrupted incumbent.
     let full = run1(&engine, &query, &Algorithm::Exact).unwrap();
-    let full_weight = full.region.as_ref().map(|r| r.weight).unwrap_or(0.0);
-    let partial_weight = result.region.as_ref().map(|r| r.weight).unwrap_or(0.0);
+    let full_weight = full.region.as_ref().map_or(0.0, |r| r.weight);
+    let partial_weight = result.region.as_ref().map_or(0.0, |r| r.weight);
     assert!(full_weight >= partial_weight - 1e-12);
 }
 
@@ -238,7 +238,10 @@ fn batched_members_honour_their_own_deadlines() {
         QueryRequest::new(&q2, tgen.clone()).deadline(Deadline::after(Duration::ZERO)),
     ];
     let outcomes = engine.execute_batch_with(&requests, 2).unwrap();
-    let results: Vec<_> = outcomes.into_iter().map(|o| o.into_single()).collect();
+    let results: Vec<_> = outcomes
+        .into_iter()
+        .map(lcmsr::prelude::QueryOutcome::into_single)
+        .collect();
 
     assert!(
         !results[0].stats.partial,

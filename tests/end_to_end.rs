@@ -94,21 +94,18 @@ fn accuracy_ordering_matches_the_paper() {
         let tgen = run1(&engine, query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         if tgen <= 0.0 {
             continue;
         }
         let app = run1(&engine, query, &Algorithm::App(AppParams::default()))
             .unwrap()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         let greedy = run1(&engine, query, &Algorithm::Greedy(GreedyParams::default()))
             .unwrap()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         sums[0] += tgen;
         sums[1] += app;
         sums[2] += greedy;
@@ -137,8 +134,7 @@ fn growing_delta_never_hurts_the_result() {
         let weight = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         assert!(
             weight + 1e-9 >= previous,
             "weight decreased from {previous} to {weight} when ∆ grew to {delta}"
@@ -161,8 +157,7 @@ fn growing_the_region_of_interest_never_hurts() {
         let weight = run1(&engine, &query, &Algorithm::Tgen(TgenParams { alpha: 5.0 }))
             .unwrap()
             .region
-            .map(|r| r.weight)
-            .unwrap_or(0.0);
+            .map_or(0.0, |r| r.weight);
         assert!(
             weight + 1e-9 >= previous,
             "weight decreased from {previous} to {weight} when Λ grew to {side} m"

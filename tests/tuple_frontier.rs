@@ -79,7 +79,7 @@ proptest! {
     /// eager eviction equals lazy filtering).
     #[test]
     fn frontier_matches_naive_model_under_random_inserts(
-        inserts in proptest::collection::vec((0u64..12, 0u64..8), 1..80),
+        inserts in collection::vec((0u64..12, 0u64..8), 1..80),
     ) {
         let mut arena = TupleArena::new();
         let mut frontier = TupleArray::new();
@@ -119,7 +119,7 @@ proptest! {
     /// same inserts — the CI size gate in miniature.
     #[test]
     fn frontier_is_never_larger_than_the_naive_array(
-        inserts in proptest::collection::vec((0u64..20, 0u64..10), 1..60),
+        inserts in collection::vec((0u64..20, 0u64..10), 1..60),
     ) {
         let mut arena = TupleArena::new();
         let mut frontier = TupleArray::new();
