@@ -18,7 +18,10 @@
 //! bit-exact golden-region snapshot (`--out FILE`, default stdout) that
 //! `tests/golden/` pins.  Engine worker counts honour
 //! `--workers N` / `LCMSR_WORKERS` everywhere they apply (the `table1`
-//! batched-workload line and the serve scheduler alike).
+//! batched-workload line and the serve scheduler alike), and the dataset
+//! scale honours `--scale NAME` / `LCMSR_SCALE`
+//! (`tiny` | `small` | `medium` | `large` | `huge`); malformed values for
+//! either are reported on stderr instead of silently defaulting.
 //! Absolute numbers differ from the paper (synthetic data, reduced scale);
 //! the reported *shapes* are what EXPERIMENTS.md records and compares.
 
@@ -31,12 +34,13 @@ use lcmsr_roadnet::geo::Rect;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let workers = take_workers_flag(&mut args).unwrap_or_else(workers_from_env);
+    let scale = take_scale_flag(&mut args).unwrap_or_else(scale_from_env);
     if args.first().map(String::as_str) == Some("serve") {
-        serve_command(&args[1..], workers);
+        serve_command(&args[1..], workers, scale);
         return;
     }
     if args.first().map(String::as_str) == Some("dump") {
-        dump_command(&args[1..]);
+        dump_command(&args[1..], scale);
         return;
     }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -50,7 +54,6 @@ fn main() {
     } else {
         args
     };
-    let scale = scale_from_env();
     println!("# LCMSR experiment harness");
     println!(
         "# scale = {scale:?}, queries/setting = {}",
@@ -113,8 +116,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// snapshot under `tests/golden/` is regenerated with exactly this command;
 /// `tests/golden_regions.rs` and the CI `golden-regions` job compare against
 /// it byte for byte.
-fn dump_command(args: &[String]) {
-    let scale = scale_from_env();
+fn dump_command(args: &[String], scale: NetworkScale) {
     let dataset = ny_dataset(scale);
     let dump = render_golden_dump(&dataset);
     match flag_value(args, "--out") {
@@ -131,7 +133,7 @@ fn dump_command(args: &[String]) {
 }
 
 /// `serve`: load/generate a dataset and serve it over HTTP until killed.
-fn serve_command(args: &[String], workers: usize) {
+fn serve_command(args: &[String], workers: usize, scale: NetworkScale) {
     use lcmsr_service::http::ServerConfig;
     use lcmsr_service::{leak_engine, serve, BatchConfig, ServiceConfig};
 
@@ -152,7 +154,6 @@ fn serve_command(args: &[String], workers: usize) {
     let queue_capacity = parse_or("--queue-capacity", 1024);
     let http_workers = parse_or("--http-workers", (workers * 4).max(8));
 
-    let scale = scale_from_env();
     println!("# lcmsr serve");
     println!("# building NY-like dataset at scale {scale:?}…");
     let dataset = ny_dataset(scale);

@@ -6,9 +6,10 @@
 //! all — synthetic data at reduced scale); what the harness checks and reports
 //! is the *shape* of each result: orderings, trends, and crossovers.
 //!
-//! Scale is controlled by the `LCMSR_SCALE` environment variable
-//! (`tiny` | `small` | `medium`); the default is `tiny` so that
-//! `cargo bench`/`cargo run -p lcmsr-bench` finish quickly on a laptop.
+//! Scale is controlled by the `--scale` CLI flag or the `LCMSR_SCALE`
+//! environment variable (`tiny` | `small` | `medium` | `large` | `huge`);
+//! the default is `tiny` so that `cargo bench`/`cargo run -p lcmsr-bench`
+//! finish quickly on a laptop.
 
 use lcmsr_core::prelude::*;
 use lcmsr_datagen::prelude::*;
@@ -140,14 +141,73 @@ pub fn take_workers_flag(args: &mut Vec<String>) -> Option<usize> {
     found
 }
 
-/// Resolves the dataset scale from `LCMSR_SCALE` (default: tiny).
-pub fn scale_from_env() -> NetworkScale {
-    match std::env::var("LCMSR_SCALE").unwrap_or_default().as_str() {
-        "small" => NetworkScale::Small,
-        "medium" => NetworkScale::Medium,
-        "large" => NetworkScale::Large,
-        _ => NetworkScale::Tiny,
+/// Maps a preset name to its scale; `None` for unknown names.
+fn scale_by_name(name: &str) -> Option<NetworkScale> {
+    match name {
+        "tiny" => Some(NetworkScale::Tiny),
+        "small" => Some(NetworkScale::Small),
+        "medium" => Some(NetworkScale::Medium),
+        "large" => Some(NetworkScale::Large),
+        "huge" => Some(NetworkScale::Huge),
+        _ => None,
     }
+}
+
+/// Resolves the dataset scale from `LCMSR_SCALE` (default: tiny).  A
+/// malformed value is reported on stderr and falls back to tiny rather than
+/// being silently swallowed.
+pub fn scale_from_env() -> NetworkScale {
+    parse_scale_value(std::env::var("LCMSR_SCALE").ok().as_deref())
+}
+
+/// The pure half of [`scale_from_env`], separated so tests need not mutate
+/// process-global environment (a data race under the parallel test harness).
+fn parse_scale_value(value: Option<&str>) -> NetworkScale {
+    match value {
+        None | Some("") => NetworkScale::Tiny,
+        Some(name) => scale_by_name(name).unwrap_or_else(|| {
+            eprintln!(
+                "ignoring invalid scale '{name}' \
+                 (expected tiny|small|medium|large|huge); using tiny"
+            );
+            NetworkScale::Tiny
+        }),
+    }
+}
+
+/// Extracts `--scale NAME` (or `--scale=NAME`) from `args`, returning the
+/// parsed preset and leaving the remaining arguments in place.  A malformed
+/// or missing value is reported on stderr and ignored (the caller falls back
+/// to `LCMSR_SCALE` / the tiny default) rather than silently dropped.
+pub fn take_scale_flag(args: &mut Vec<String>) -> Option<NetworkScale> {
+    let mut found = None;
+    let mut report = |value: &str| match scale_by_name(value) {
+        Some(scale) => found = Some(scale),
+        None => eprintln!(
+            "ignoring invalid --scale value '{value}' \
+             (expected tiny|small|medium|large|huge)"
+        ),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--scale" {
+            if i + 1 < args.len() {
+                let value = args[i + 1].clone();
+                report(&value);
+                args.drain(i..i + 2);
+            } else {
+                eprintln!("--scale requires a value; ignoring");
+                args.remove(i);
+            }
+        } else if let Some(value) = args[i].strip_prefix("--scale=") {
+            let value = value.to_string();
+            report(&value);
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    found
 }
 
 /// Builds the NY-like dataset at the given scale.
@@ -470,6 +530,49 @@ mod tests {
         let mut args: Vec<String> = vec!["--workers=bad".into()];
         assert_eq!(take_workers_flag(&mut args), None);
         assert!(args.is_empty());
+    }
+
+    #[test]
+    fn scale_flag_is_extracted_from_args() {
+        let mut args: Vec<String> = ["scale", "--scale", "huge", "--workers", "4"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        assert_eq!(take_scale_flag(&mut args), Some(NetworkScale::Huge));
+        assert_eq!(args, vec!["scale", "--workers", "4"]);
+
+        let mut args: Vec<String> = vec!["--scale=large".into(), "table1".into()];
+        assert_eq!(take_scale_flag(&mut args), Some(NetworkScale::Large));
+        assert_eq!(args, vec!["table1"]);
+
+        let mut args: Vec<String> = vec!["table1".into()];
+        assert_eq!(take_scale_flag(&mut args), None);
+        assert_eq!(args, vec!["table1"]);
+
+        // Malformed and valueless flags are consumed (reported on stderr, not
+        // left behind to confuse later parsing) and yield None.
+        let mut args: Vec<String> = vec!["dump".into(), "--scale".into(), "enormous".into()];
+        assert_eq!(take_scale_flag(&mut args), None);
+        assert_eq!(args, vec!["dump"]);
+        let mut args: Vec<String> = vec!["dump".into(), "--scale".into()];
+        assert_eq!(take_scale_flag(&mut args), None);
+        assert_eq!(args, vec!["dump"]);
+        let mut args: Vec<String> = vec!["--scale=".into()];
+        assert_eq!(take_scale_flag(&mut args), None);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn scale_value_parsing_matches_env_semantics() {
+        assert_eq!(parse_scale_value(None), NetworkScale::Tiny);
+        assert_eq!(parse_scale_value(Some("")), NetworkScale::Tiny);
+        assert_eq!(parse_scale_value(Some("tiny")), NetworkScale::Tiny);
+        assert_eq!(parse_scale_value(Some("small")), NetworkScale::Small);
+        assert_eq!(parse_scale_value(Some("medium")), NetworkScale::Medium);
+        assert_eq!(parse_scale_value(Some("large")), NetworkScale::Large);
+        assert_eq!(parse_scale_value(Some("huge")), NetworkScale::Huge);
+        // Unknown names report on stderr and fall back to tiny.
+        assert_eq!(parse_scale_value(Some("enormous")), NetworkScale::Tiny);
     }
 
     #[test]

@@ -385,6 +385,19 @@ pub struct QueryWorkspace {
     region: RegionScratch,
     weights: NodeWeights,
     arena: TupleArena,
+    /// Timing split of the most recent `prepare_with` call on this workspace.
+    prepare_breakdown: PrepareBreakdown,
+}
+
+/// Component timings of one prepare phase, copied into
+/// [`RunStats::grid_score_time`] / [`RunStats::graph_build_time`] by the
+/// execute paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareBreakdown {
+    /// Keyword scoring against the grid index.
+    pub grid_score_time: Duration,
+    /// `Q.Λ` extraction plus scaled query-graph construction.
+    pub graph_build_time: Duration,
 }
 
 impl QueryWorkspace {
@@ -396,6 +409,18 @@ impl QueryWorkspace {
     /// The workspace's tuple arena (diagnostics/benchmarks).
     pub fn arena(&self) -> &TupleArena {
         &self.arena
+    }
+
+    /// Timing split of the most recent prepare phase run on this workspace.
+    pub fn prepare_breakdown(&self) -> PrepareBreakdown {
+        self.prepare_breakdown
+    }
+
+    /// Size of the region scratch's membership table after the last prepare —
+    /// proportional to the touched node-id band, not the network
+    /// (diagnostics/benchmarks).
+    pub fn member_table_len(&self) -> usize {
+        self.region.member_table_len()
     }
 }
 
@@ -503,6 +528,10 @@ pub struct LcmsrEngine<'a> {
     network: &'a RoadNetwork,
     collection: &'a ObjectCollection,
     pool: WorkspacePool,
+    /// Threads the prepare phase may fan grid scoring and `Q.Λ` extraction
+    /// out across.  1 = fully sequential; any value yields bit-identical
+    /// results (sharded scoring and banded gathering merge deterministically).
+    prepare_workers: AtomicUsize,
 }
 
 impl<'a> LcmsrEngine<'a> {
@@ -512,7 +541,27 @@ impl<'a> LcmsrEngine<'a> {
             network,
             collection,
             pool: WorkspacePool::new(),
+            prepare_workers: AtomicUsize::new(1),
         }
+    }
+
+    /// Sets the prepare-phase worker count (builder style).
+    pub fn with_prepare_workers(self, workers: usize) -> Self {
+        self.set_prepare_workers(workers);
+        self
+    }
+
+    /// Sets the number of threads the prepare phase fans out across.  The
+    /// output of every query is bit-identical for any value; this only trades
+    /// latency for cores.  Clamped to at least 1.
+    pub fn set_prepare_workers(&self, workers: usize) {
+        self.prepare_workers
+            .store(workers.max(1), AtomicOrdering::Relaxed);
+    }
+
+    /// The configured prepare-phase worker count.
+    pub fn prepare_workers(&self) -> usize {
+        self.prepare_workers.load(AtomicOrdering::Relaxed)
     }
 
     /// The engine's workspace pool (diagnostics/tests).
@@ -548,20 +597,31 @@ impl<'a> LcmsrEngine<'a> {
         alpha: f64,
     ) -> Result<QueryGraph> {
         query.validate()?;
-        self.collection.node_weights_for_keywords_into(
-            &query.keywords,
+        let workers = self.prepare_workers();
+        let score_start = crate::cancel::now();
+        let q = self.collection.query_vector(&query.keywords);
+        self.collection.node_weights_into_with_workers(
+            &q,
             &query.region_of_interest,
             &mut workspace.weights,
+            workers,
         );
-        let view = RegionView::new_reusing(
+        let grid_score_time = score_start.elapsed();
+        let build_start = crate::cancel::now();
+        let view = RegionView::new_reusing_with_workers(
             self.network,
             query.region_of_interest,
             &mut workspace.region,
+            workers,
         );
         let graph = workspace
             .builder
             .build(&view, &workspace.weights, query.delta, alpha);
         view.recycle(&mut workspace.region);
+        workspace.prepare_breakdown = PrepareBreakdown {
+            grid_score_time,
+            graph_build_time: build_start.elapsed(),
+        };
         graph
     }
 
@@ -596,6 +656,8 @@ impl<'a> LcmsrEngine<'a> {
         let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
         stats.prepare_time = prepare_time;
+        stats.grid_score_time = workspace.prepare_breakdown.grid_score_time;
+        stats.graph_build_time = workspace.prepare_breakdown.graph_build_time;
         stats.deadline = options.deadline.map(|d| d.budget());
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
@@ -1302,6 +1364,37 @@ mod tests {
                         algorithm.name()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_workers_never_change_results_and_fill_the_timing_split() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        assert_eq!(engine.prepare_workers(), 1);
+        let queries = mixed_workload(&network);
+        let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| run1(&engine, q, &algorithm).unwrap())
+            .collect();
+        for workers in [2usize, 4, 7] {
+            let parallel = LcmsrEngine::new(&network, &collection).with_prepare_workers(workers);
+            assert_eq!(parallel.prepare_workers(), workers);
+            for (i, (q, seq)) in queries.iter().zip(&sequential).enumerate() {
+                let out = run1(&parallel, q, &algorithm).unwrap();
+                assert_eq!(
+                    out.region, seq.region,
+                    "query {i} diverged with {workers} prepare workers"
+                );
+                assert_eq!(out.stats.nodes_in_region, seq.stats.nodes_in_region);
+                assert_eq!(out.stats.relevant_nodes, seq.stats.relevant_nodes);
+                assert!(
+                    out.stats.grid_score_time + out.stats.graph_build_time
+                        <= out.stats.prepare_time,
+                    "split must be contained in prepare_time"
+                );
             }
         }
     }

@@ -288,8 +288,8 @@ impl QueryGraph {
 /// local node-id map (formerly a per-query `HashMap`) and the dozen vectors
 /// backing the graph itself.  The builder keeps both across calls:
 ///
-/// * an [`EpochMap`] sized to the underlying network maps global node ids to
-///   dense local ids in O(1) per node with O(1) clearing,
+/// * an [`EpochMap`] sized to the touched node-id band of `Q.Λ` maps global
+///   node ids to dense local ids in O(1) per node with O(1) clearing,
 /// * a pooled `QueryGraph` donates its spent vectors to the next build via
 ///   [`QueryGraphBuilder::recycle`].
 ///
@@ -315,6 +315,14 @@ impl QueryGraphBuilder {
     /// Returns a spent graph's allocations to the pool for the next build.
     pub fn recycle(&mut self, graph: QueryGraph) {
         self.pool = Some(graph);
+    }
+
+    /// Current size of the global→local scratch table, in entries — after a
+    /// build, the width of the node-id band it touched.  Scale benches use
+    /// this to evidence that prepare memory is bounded by the query rect's
+    /// cell cover rather than the network size.
+    pub fn local_table_len(&self) -> usize {
+        self.local.table_len()
     }
 
     /// Builds a query graph (see [`QueryGraph::build`]), reusing this
@@ -363,8 +371,11 @@ impl QueryGraphBuilder {
         qg.delta = delta;
 
         // Global → dense local ids via the O(1)-clear, lazily-sized scratch
-        // table (it grows with the touched node-id range, not the network).
-        self.local.begin();
+        // table, rebased at the smallest member id so it spans the touched
+        // node-id *band* of `Q.Λ`'s cell cover — not the id-space prefix, and
+        // never the network.
+        self.local
+            .begin_at(qg.node_ids.first().map_or(0, |id| id.index()));
         for (i, &id) in qg.node_ids.iter().enumerate() {
             self.local.insert(id.index(), i as u32);
         }

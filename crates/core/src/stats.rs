@@ -40,6 +40,13 @@ pub struct RunStats {
     /// Time spent preparing the query graph (keyword scoring, `Q.Λ`
     /// extraction, CSR construction, weight scaling).
     pub prepare_time: Duration,
+    /// Component of `prepare_time`: keyword scoring against the grid index
+    /// (Equation-2 accumulation over the cells intersecting `Q.Λ`).
+    pub grid_score_time: Duration,
+    /// Component of `prepare_time`: `Q.Λ` subgraph extraction plus scaled
+    /// CSR query-graph construction.  `grid_score_time + graph_build_time`
+    /// is ≤ `prepare_time` (the remainder is validation and bookkeeping).
+    pub graph_build_time: Duration,
     /// Time spent inside the solver proper.  `prepare_time + solve_time` is
     /// always ≤ `elapsed` (the remainder is result translation).
     pub solve_time: Duration,
@@ -104,6 +111,16 @@ impl RunStats {
         self.prepare_time.as_secs_f64() * 1_000.0
     }
 
+    /// Grid-scoring component of the preparation time, in milliseconds.
+    pub fn grid_score_ms(&self) -> f64 {
+        self.grid_score_time.as_secs_f64() * 1_000.0
+    }
+
+    /// Graph-build component of the preparation time, in milliseconds.
+    pub fn graph_build_ms(&self) -> f64 {
+        self.graph_build_time.as_secs_f64() * 1_000.0
+    }
+
     /// Solver time in milliseconds.
     pub fn solve_ms(&self) -> f64 {
         self.solve_time.as_secs_f64() * 1_000.0
@@ -126,10 +143,12 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {:.2} ms (prepare {:.2} + solve {:.2}; |V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={}, pruned={}, frontier={})",
+            "{}: {:.2} ms (prepare {:.2} [score {:.2} + build {:.2}] + solve {:.2}; |V_Q|={}, |E_Q|={}, relevant={}, kmst={}, tuples={}, pruned={}, frontier={})",
             self.algorithm,
             self.elapsed_ms(),
             self.prepare_ms(),
+            self.grid_score_ms(),
+            self.graph_build_ms(),
             self.solve_ms(),
             self.nodes_in_region,
             self.edges_in_region,
@@ -169,6 +188,10 @@ mod tests {
         let s = RunStats::default();
         assert_eq!(s.elapsed, Duration::ZERO);
         assert_eq!(s.queue_time, Duration::ZERO);
+        assert_eq!(s.grid_score_time, Duration::ZERO);
+        assert_eq!(s.graph_build_time, Duration::ZERO);
+        assert_eq!(s.grid_score_ms(), 0.0);
+        assert_eq!(s.graph_build_ms(), 0.0);
         assert_eq!(s.kmst_calls, 0);
         assert_eq!(s.elapsed_ms(), 0.0);
         assert_eq!(s.queue_ms(), 0.0);

@@ -17,9 +17,14 @@
 //! Lemma 9's disjointness check breaks the dominator-substitution argument
 //! (see the [`crate::tuple_array`] docs for the measured counterexample).
 //! Budget pruning still never materialises an infeasible pair: the right
-//! snapshot is additionally sorted by length once per edge, so for each
-//! left-hand tuple the feasible partners (`l_i + l_j + edge ≤ Q.∆`) form a
-//! `partition_point` prefix of that permutation.  Scanning partners in
+//! snapshot is additionally sorted by length, so for each left-hand tuple
+//! the feasible partners (`l_i + l_j + edge ≤ Q.∆`) form a `partition_point`
+//! prefix of that permutation.  The sorted snapshot is cached per node and
+//! stamped with the [`ExploredArray`] content version, so a node whose array
+//! did not change between two of its edges reuses the permutation instead of
+//! re-sorting — and the cached copy is bit-identical to a fresh sort because
+//! scaled weights are distinct within an array, making `(length, scaled)` a
+//! total order with a unique sorted permutation.  Scanning partners in
 //! length order instead of scaled order is output-neutral: combinations of
 //! one left tuple have pairwise-distinct scaled weights (the right array
 //! holds one tuple per scaled weight), so no quality tie — and therefore no
@@ -158,14 +163,19 @@ pub fn run_tgen(
     let mut node_processed = vec![false; n];
     let mut edge_visited = vec![false; graph.edge_count()];
     let mut enqueued = vec![false; n];
-    // Per-edge snapshots of the two endpoint arrays (handle copies), hoisted
-    // out of the loops so the steady state allocates nothing.  `right_by_len`
-    // is the right snapshot re-sorted by (length, scaled): the shape the
-    // budget `partition_point` needs; the scaled tie-break keeps equal-length
-    // runs in canonical array order so the scan stays deterministic.
+    // Per-edge snapshot of the left endpoint array (handle copies), hoisted
+    // out of the loops so the steady state allocates nothing.
     let mut left: Vec<RegionTuple> = Vec::new();
-    let mut right_by_len: Vec<RegionTuple> = Vec::new();
     let mut new_tuples: Vec<RegionTuple> = Vec::new();
+    // Per-node right snapshots re-sorted by (length, scaled): the shape the
+    // budget `partition_point` needs; the scaled tie-break keeps equal-length
+    // runs in canonical array order so the scan stays deterministic.  Each
+    // snapshot is stamped with the array's content version and rebuilt only
+    // when the array changed since it was last sorted — a node of degree d
+    // whose array stays quiet pays one sort instead of d.  `u64::MAX` marks
+    // "never built" (a live version starts at 0 and only increments).
+    let mut right_by_len: Vec<Vec<RegionTuple>> = vec![Vec::new(); n];
+    let mut right_version: Vec<u64> = vec![u64::MAX; n];
 
     // Outer loop: cover every connected component of Q.Λ (lines 2–4).
     'components: for start in 0..n as u32 {
@@ -201,14 +211,19 @@ pub fn run_tgen(
                 // region containing vj.
                 left.clear();
                 left.extend(arrays[vi as usize].iter().copied());
-                right_by_len.clear();
-                right_by_len.extend(arrays[vj as usize].iter().copied());
-                right_by_len.sort_unstable_by(|a, b| {
-                    a.length
-                        .partial_cmp(&b.length)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.scaled.cmp(&b.scaled))
-                });
+                if right_version[vj as usize] != arrays[vj as usize].version() {
+                    let snapshot = &mut right_by_len[vj as usize];
+                    snapshot.clear();
+                    snapshot.extend(arrays[vj as usize].iter().copied());
+                    snapshot.sort_unstable_by(|a, b| {
+                        a.length
+                            .partial_cmp(&b.length)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| a.scaled.cmp(&b.scaled))
+                    });
+                    right_version[vj as usize] = arrays[vj as usize].version();
+                }
+                let right_by_len = &right_by_len[vj as usize];
                 new_tuples.clear();
                 for ti in &left {
                     // Lengths ascend along the permutation, so the partners

@@ -196,6 +196,10 @@ pub struct ExploredArray {
     /// Entries replaced by a same-scaled shorter tuple (Lemma 6 pruning;
     /// cumulative, diagnostics).
     replacements: u64,
+    /// Bumped on every content change; snapshot caches (TGEN's per-edge
+    /// length-sorted right snapshot) compare it to skip rebuild+re-sort when
+    /// the array is unchanged since the last snapshot.
+    version: u64,
 }
 
 impl ExploredArray {
@@ -235,10 +239,12 @@ impl ExploredArray {
                 }
                 self.by_scaled[i] = tuple;
                 self.replacements += 1;
+                self.version += 1;
                 true
             }
             Err(i) => {
                 self.by_scaled.insert(i, tuple);
+                self.version += 1;
                 true
             }
         }
@@ -268,6 +274,12 @@ impl ExploredArray {
     /// Entries replaced by same-scaled shorter tuples since construction.
     pub fn replacements(&self) -> u64 {
         self.replacements
+    }
+
+    /// Content version: changes exactly when the array's contents change.
+    /// Starts at 0 for an empty array.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -552,6 +564,29 @@ mod tests {
         assert!(naive.get(20).is_some());
         assert!(!naive.is_empty());
         assert_eq!(naive.iter().count(), 5);
+    }
+
+    #[test]
+    fn explored_version_changes_exactly_with_the_contents() {
+        let mut arena = TupleArena::new();
+        let mut arr = ExploredArray::new();
+        assert_eq!(arr.version(), 0);
+        let t = tuple(&mut arena, 10, 5.0, 1);
+        assert!(arr.insert_if_better(t));
+        assert_eq!(arr.version(), 1, "insert bumps the version");
+        let t = tuple(&mut arena, 10, 6.0, 2);
+        assert!(!arr.insert_if_better(t));
+        assert_eq!(arr.version(), 1, "rejected insert leaves the version alone");
+        let t = tuple(&mut arena, 10, 4.0, 3);
+        assert!(arr.insert_if_better(t));
+        assert_eq!(
+            arr.version(),
+            2,
+            "same-scaled replacement bumps the version"
+        );
+        let t = tuple(&mut arena, 20, 9.0, 4);
+        assert!(arr.insert_if_better(t));
+        assert_eq!(arr.version(), 3);
     }
 
     #[test]

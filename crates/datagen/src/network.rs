@@ -34,6 +34,9 @@ pub enum NetworkScale {
     Medium,
     /// Towards the paper's scale (hundreds of thousands of nodes); slow to build.
     Large,
+    /// Past the paper's NY scale (a million nodes); the continent-scale tier
+    /// exercised by `bench/benches/scale.rs` and the CI `scale-smoke` job.
+    Huge,
 }
 
 impl NetworkScale {
@@ -44,6 +47,7 @@ impl NetworkScale {
             NetworkScale::Small => 4_000,
             NetworkScale::Medium => 25_000,
             NetworkScale::Large => 250_000,
+            NetworkScale::Huge => 1_000_000,
         }
     }
 }
@@ -77,6 +81,8 @@ pub fn usanw_like(scale: NetworkScale, seed: u64) -> Result<RoadNetwork> {
         NetworkScale::Small => (4, 6, 10),
         NetworkScale::Medium => (7, 8, 12),
         NetworkScale::Large => (16, 12, 20),
+        // 1024 towns * (1 + 24*40) ≈ 984k nodes, plus highway lattice.
+        NetworkScale::Huge => (32, 24, 40),
     };
     let town_spacing = 8_000.0; // 8 km between town centres
     let mut builder = GraphBuilder::new();
@@ -137,6 +143,8 @@ mod tests {
         assert!(NetworkScale::Tiny.target_nodes() < NetworkScale::Small.target_nodes());
         assert!(NetworkScale::Small.target_nodes() < NetworkScale::Medium.target_nodes());
         assert!(NetworkScale::Medium.target_nodes() < NetworkScale::Large.target_nodes());
+        assert!(NetworkScale::Large.target_nodes() < NetworkScale::Huge.target_nodes());
+        assert!(NetworkScale::Huge.target_nodes() >= 1_000_000);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! consume.
 
 use crate::error::Result;
-use crate::grid::GridIndex;
+use crate::grid::{GridIndex, DEFAULT_SHARD_COUNT};
 use crate::mapping::map_points_to_nodes;
 use crate::object::{GeoTextObject, ObjectId};
 use crate::vocab::{TermId, Vocabulary};
@@ -84,11 +84,41 @@ impl ObjectCollection {
         objects: Vec<GeoTextObject>,
         cell_size: f64,
     ) -> Result<Self> {
+        Self::build_with_workers(network, objects, cell_size, 1)
+    }
+
+    /// Like [`ObjectCollection::build`], filling the grid's column-band shards
+    /// on up to `workers` scoped threads.  The vocabulary is registered by a
+    /// sequential pass first (term ids depend on encounter order), then the
+    /// shards — disjoint by construction — are indexed concurrently against
+    /// the now-read-only vocabulary.  The resulting collection is
+    /// bit-identical to a single-threaded build.
+    pub fn build_with_workers(
+        network: &RoadNetwork,
+        objects: Vec<GeoTextObject>,
+        cell_size: f64,
+        workers: usize,
+    ) -> Result<Self> {
+        Self::build_sharded(network, objects, cell_size, DEFAULT_SHARD_COUNT, workers)
+    }
+
+    /// Like [`ObjectCollection::build_with_workers`], with an explicit grid
+    /// shard count.  Sharding is a layout detail: every shard count produces
+    /// bit-identical postings and scores (each object lives in exactly one
+    /// cell, so per-shard score maps are key-disjoint and merge exactly);
+    /// `tests/sharded_prepare.rs` holds this property under proptest.
+    pub fn build_sharded(
+        network: &RoadNetwork,
+        objects: Vec<GeoTextObject>,
+        cell_size: f64,
+        shard_count: usize,
+        workers: usize,
+    ) -> Result<Self> {
         let extent = network
             .bounding_rect()
             .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0))
             .expanded(cell_size.max(1.0));
-        let mut grid = GridIndex::new(extent, cell_size)?;
+        let mut grid = GridIndex::new_sharded(extent, cell_size, shard_count)?;
         let mut vocabulary = Vocabulary::new();
         let mut kept: Vec<GeoTextObject> = Vec::with_capacity(objects.len());
         for o in objects {
@@ -98,9 +128,7 @@ impl ObjectCollection {
             vocabulary.register_document(o.terms.keys().map(String::as_str));
             kept.push(o);
         }
-        for o in &kept {
-            grid.insert(&mut vocabulary, o)?;
-        }
+        grid.bulk_insert_preinterned(&vocabulary, &kept, workers)?;
         let points: Vec<_> = kept.iter().map(|o| o.point).collect();
         let object_nodes = if kept.is_empty() {
             Vec::new()
@@ -199,6 +227,20 @@ impl ObjectCollection {
     /// score thousands of queries against the same collection; recycling the
     /// output avoids rebuilding both maps from scratch every time.
     pub fn node_weights_into(&self, query: &QueryVector, rect: &Rect, out: &mut NodeWeights) {
+        self.node_weights_into_with_workers(query, rect, out, 1);
+    }
+
+    /// Like [`ObjectCollection::node_weights_into`], fanning the grid scoring
+    /// out across up to `workers` threads (one per intersecting column-band
+    /// shard at most).  Bit-identical to the sequential path — see
+    /// [`GridIndex::accumulate_scores_in_rect_with_workers`].
+    pub fn node_weights_into_with_workers(
+        &self,
+        query: &QueryVector,
+        rect: &Rect,
+        out: &mut NodeWeights,
+        workers: usize,
+    ) {
         out.by_node.clear();
         out.by_object.clear();
         if query.norm == 0.0 {
@@ -213,7 +255,10 @@ impl ObjectCollection {
         // of floating-point scores, and a deterministic summation order makes
         // repeated (and batched) runs of the same query bit-identical.  The
         // grid returns a BTreeMap, so its iteration order *is* that order.
-        for (object_id, partial) in self.grid.accumulate_scores_in_rect(rect, &query_terms) {
+        for (object_id, partial) in
+            self.grid
+                .accumulate_scores_in_rect_with_workers(rect, &query_terms, workers)
+        {
             let Some(&idx) = self.object_index.get(&object_id) else {
                 continue;
             };
@@ -442,6 +487,30 @@ mod tests {
         coll.node_weights_for_keywords_into(&["restaurant"], &rect, &mut reused);
         coll.node_weights_for_keywords_into(&["spaceship"], &rect, &mut reused);
         assert!(reused.is_empty());
+    }
+
+    #[test]
+    fn parallel_build_and_scoring_match_the_sequential_path() {
+        let (network, objects) = network_and_objects();
+        let sequential = ObjectCollection::build(&network, objects.clone(), 200.0).unwrap();
+        let rect = network.bounding_rect().unwrap().expanded(50.0);
+        let q = sequential.query_vector(&["restaurant", "pizza"]);
+        let reference = sequential.node_weights(&q, &rect);
+        for workers in [2usize, 4, 7] {
+            let parallel =
+                ObjectCollection::build_with_workers(&network, objects.clone(), 200.0, workers)
+                    .unwrap();
+            assert_eq!(parallel.len(), sequential.len());
+            assert_eq!(parallel.keyword_count(), sequential.keyword_count());
+            let mut w = NodeWeights::default();
+            parallel.node_weights_into_with_workers(&q, &rect, &mut w, workers);
+            assert_eq!(w.by_node.len(), reference.by_node.len());
+            for ((na, sa), (nb, sb)) in reference.by_node.iter().zip(&w.by_node) {
+                assert_eq!(na, nb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "workers={workers} node={na:?}");
+            }
+            assert_eq!(w.by_object, reference.by_object);
+        }
     }
 
     #[test]

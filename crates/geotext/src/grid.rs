@@ -1,4 +1,4 @@
-//! The uniform spatial grid index of Section 3.
+//! The uniform spatial grid index of Section 3, sharded into column bands.
 //!
 //! "We use a grid index to organize the geo-textual objects.  We partition the
 //! entire space according to a uniform grid, and each object is stored in the
@@ -9,6 +9,19 @@
 //! [`GridIndex`] partitions the bounding extent into square cells of a
 //! configurable size; each cell holds its objects' ids plus an
 //! [`InvertedIndex`] backed by the paged B⁺-tree.
+//!
+//! # Sharding
+//!
+//! The cell columns are split into contiguous **column bands** (shards), each
+//! owning its own cell map.  Because every object lives in exactly one cell —
+//! and hence exactly one shard — shards are mutually disjoint: the build
+//! phase can fill them concurrently behind independent locks
+//! ([`GridIndex::bulk_insert_preinterned`]), and keyword scoring can fan a
+//! query rectangle's shard range out across threads and merge per-shard
+//! accumulators in ascending shard order with a result bit-identical to the
+//! sequential pass ([`GridIndex::accumulate_scores_in_rect_with_workers`]).
+//! A rectangle's cover maps to a *contiguous* shard range, so a query touches
+//! only the shards its columns intersect.
 
 use crate::error::{GeoTextError, Result};
 use crate::inverted::InvertedIndex;
@@ -16,6 +29,12 @@ use crate::object::{GeoTextObject, ObjectId};
 use crate::vocab::{TermId, Vocabulary};
 use lcmsr_roadnet::geo::{Point, Rect};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of column-band shards for [`GridIndex::new`] (clamped to
+/// the column count, so small grids degenerate to one shard per column).
+pub const DEFAULT_SHARD_COUNT: usize = 8;
 
 /// Identifier of a grid cell as (column, row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,20 +55,46 @@ pub struct GridCell {
     pub inverted: InvertedIndex,
 }
 
-/// A uniform grid index over geo-textual objects.
+/// One column band of the grid: the occupied cells of a contiguous column
+/// range.  Shards never share a cell, so they can be built and queried
+/// independently.
+#[derive(Debug, Clone, Default)]
+struct GridShard {
+    cells: BTreeMap<CellId, GridCell>,
+    object_count: usize,
+}
+
+/// The inclusive cell range of a query rectangle.
+#[derive(Debug, Clone, Copy)]
+struct Cover {
+    col_lo: u32,
+    col_hi: u32,
+    row_lo: u32,
+    row_hi: u32,
+}
+
+/// A uniform grid index over geo-textual objects, sharded by column band.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     extent: Rect,
     cell_size: f64,
     cols: u32,
     rows: u32,
-    cells: BTreeMap<CellId, GridCell>,
+    shards: Vec<GridShard>,
     object_count: usize,
 }
 
 impl GridIndex {
-    /// Creates an empty grid over `extent` with square cells of `cell_size` metres.
+    /// Creates an empty grid over `extent` with square cells of `cell_size`
+    /// metres and the default shard count.
     pub fn new(extent: Rect, cell_size: f64) -> Result<Self> {
+        Self::new_sharded(extent, cell_size, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates an empty grid with an explicit number of column-band shards.
+    /// The count is clamped to `1..=cols`, so every shard owns at least one
+    /// column; the shard layout never changes results, only parallelism.
+    pub fn new_sharded(extent: Rect, cell_size: f64, shard_count: usize) -> Result<Self> {
         if !(cell_size.is_finite() && cell_size > 0.0) {
             return Err(GeoTextError::InvalidGridConfig {
                 message: format!("cell size must be positive, got {cell_size}"),
@@ -62,12 +107,13 @@ impl GridIndex {
         }
         let cols = (extent.width() / cell_size).ceil().max(1.0) as u32;
         let rows = (extent.height() / cell_size).ceil().max(1.0) as u32;
+        let shard_count = shard_count.clamp(1, cols as usize);
         Ok(GridIndex {
             extent,
             cell_size,
             cols,
             rows,
-            cells: BTreeMap::new(),
+            shards: vec![GridShard::default(); shard_count],
             object_count: 0,
         })
     }
@@ -87,14 +133,41 @@ impl GridIndex {
         (self.cols, self.rows)
     }
 
+    /// Number of column-band shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of cells that contain at least one object.
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.shards.iter().map(|s| s.cells.len()).sum()
     }
 
     /// Total number of indexed objects.
     pub fn object_count(&self) -> usize {
         self.object_count
+    }
+
+    /// The shard owning column `col` (caller guarantees `col < cols`).
+    /// Column bands are assigned by even division, so the mapping is
+    /// monotone: a contiguous column range maps to a contiguous shard range.
+    fn shard_of_col(&self, col: u32) -> usize {
+        let shard = u64::from(col) * self.shards.len() as u64 / u64::from(self.cols);
+        (shard as usize).min(self.shards.len() - 1)
+    }
+
+    /// First column owned by `shard`.
+    fn shard_col_lo(&self, shard: usize) -> u32 {
+        ((shard as u64 * u64::from(self.cols)).div_ceil(self.shards.len() as u64)) as u32
+    }
+
+    /// Last column owned by `shard` (inclusive).
+    fn shard_col_hi(&self, shard: usize) -> u32 {
+        if shard + 1 == self.shards.len() {
+            self.cols - 1
+        } else {
+            self.shard_col_lo(shard + 1) - 1
+        }
     }
 
     /// The cell id containing `p`, or `None` if `p` lies outside the extent.
@@ -119,16 +192,8 @@ impl GridIndex {
         )
     }
 
-    /// Inserts an object, interning its terms into `vocabulary`.
-    ///
-    /// Objects outside the grid extent or with non-finite coordinates are
-    /// rejected; objects with empty descriptions are rejected as well since
-    /// they can never contribute to a query result.
-    pub fn insert(
-        &mut self,
-        vocabulary: &mut Vocabulary,
-        object: &GeoTextObject,
-    ) -> Result<CellId> {
+    /// Validates an object and resolves its cell, without inserting.
+    fn validate_and_locate(&self, object: &GeoTextObject) -> Result<CellId> {
         if !object.point.is_finite() {
             return Err(GeoTextError::InvalidLocation {
                 object: object.id.0,
@@ -139,46 +204,153 @@ impl GridIndex {
                 object: object.id.0,
             });
         }
-        let cell_id = self
-            .cell_of(&object.point)
+        self.cell_of(&object.point)
             .ok_or(GeoTextError::InvalidLocation {
                 object: object.id.0,
-            })?;
-        let cell = self.cells.entry(cell_id).or_default();
+            })
+    }
+
+    /// Inserts an object, interning its terms into `vocabulary`.
+    ///
+    /// Objects outside the grid extent or with non-finite coordinates are
+    /// rejected; objects with empty descriptions are rejected as well since
+    /// they can never contribute to a query result.
+    pub fn insert(
+        &mut self,
+        vocabulary: &mut Vocabulary,
+        object: &GeoTextObject,
+    ) -> Result<CellId> {
+        let cell_id = self.validate_and_locate(object)?;
+        let shard_index = self.shard_of_col(cell_id.col);
+        let shard = &mut self.shards[shard_index];
+        let cell = shard.cells.entry(cell_id).or_default();
         cell.objects.push(object.id);
         cell.inverted.add_object(vocabulary, object);
+        shard.object_count += 1;
         self.object_count += 1;
         Ok(cell_id)
     }
 
+    /// Bulk-inserts objects whose terms were **already interned** into
+    /// `vocabulary` (by a [`Vocabulary::register_document`] pass over the
+    /// same objects, in the same order).  Objects are routed to their shards
+    /// in input order, then the shards — each behind its own lock — are
+    /// filled by up to `workers` scoped threads pulling whole shards off a
+    /// shared cursor.  One shard is only ever touched by one worker, and
+    /// per-cell object order equals input order, so the resulting index is
+    /// bit-identical to a sequential [`GridIndex::insert`] loop.
+    ///
+    /// Fails (without mutating the grid) on the first invalid object, with
+    /// the same error [`GridIndex::insert`] would report.
+    pub fn bulk_insert_preinterned<'a, I>(
+        &mut self,
+        vocabulary: &Vocabulary,
+        objects: I,
+        workers: usize,
+    ) -> Result<usize>
+    where
+        I: IntoIterator<Item = &'a GeoTextObject>,
+    {
+        let mut routed: Vec<Vec<(CellId, &GeoTextObject)>> = vec![Vec::new(); self.shards.len()];
+        let mut total = 0usize;
+        for object in objects {
+            let cell_id = self.validate_and_locate(object)?;
+            routed[self.shard_of_col(cell_id.col)].push((cell_id, object));
+            total += 1;
+        }
+        let workers = workers.clamp(1, self.shards.len());
+        if workers <= 1 {
+            for (shard, batch) in self.shards.iter_mut().zip(&routed) {
+                fill_shard(shard, vocabulary, batch);
+            }
+        } else {
+            // Each shard pairs with its batch behind an independent lock;
+            // workers claim shard indices from the cursor, so a lock is only
+            // ever taken by the single worker that claimed it.
+            type ShardSlot<'s, 'o> = Mutex<(&'s mut GridShard, &'s [(CellId, &'o GeoTextObject)])>;
+            let slots: Vec<ShardSlot<'_, '_>> = self
+                .shards
+                .iter_mut()
+                .zip(routed.iter().map(Vec::as_slice))
+                .map(Mutex::new)
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(i) else { break };
+                        let mut guard = slot.lock().expect("grid shard lock poisoned");
+                        let (shard, batch) = &mut *guard;
+                        fill_shard(shard, vocabulary, batch);
+                    });
+                }
+            });
+        }
+        self.object_count += total;
+        Ok(total)
+    }
+
     /// The cell with the given id, if it holds any objects.
     pub fn cell(&self, id: CellId) -> Option<&GridCell> {
-        self.cells.get(&id)
+        if id.col >= self.cols {
+            return None;
+        }
+        self.shards[self.shard_of_col(id.col)].cells.get(&id)
+    }
+
+    /// The inclusive cell range intersecting `rect`, or `None` when disjoint.
+    fn cover_of(&self, rect: &Rect) -> Option<Cover> {
+        let clipped = self.extent.intersection(rect)?;
+        let col = |x: f64| (((x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
+        let row = |y: f64| (((y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
+        Some(Cover {
+            col_lo: col(clipped.min_x),
+            col_hi: col(clipped.max_x),
+            row_lo: row(clipped.min_y),
+            row_hi: row(clipped.max_y),
+        })
     }
 
     /// Ids of the occupied cells whose rectangle intersects `rect`.
     pub fn cells_intersecting(&self, rect: &Rect) -> Vec<CellId> {
-        let Some(clipped) = self.extent.intersection(rect) else {
+        let Some(cover) = self.cover_of(rect) else {
             return Vec::new();
         };
-        let col_lo =
-            (((clipped.min_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
-        let col_hi =
-            (((clipped.max_x - self.extent.min_x) / self.cell_size) as u32).min(self.cols - 1);
-        let row_lo =
-            (((clipped.min_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
-        let row_hi =
-            (((clipped.max_y - self.extent.min_y) / self.cell_size) as u32).min(self.rows - 1);
         let mut out = Vec::new();
-        for col in col_lo..=col_hi {
-            for row in row_lo..=row_hi {
+        for col in cover.col_lo..=cover.col_hi {
+            let cells = &self.shards[self.shard_of_col(col)].cells;
+            for row in cover.row_lo..=cover.row_hi {
                 let id = CellId { col, row };
-                if self.cells.contains_key(&id) {
+                if cells.contains_key(&id) {
                     out.push(id);
                 }
             }
         }
         out
+    }
+
+    /// Accumulates one shard's contribution to the Equation-2 partial scores,
+    /// visiting the shard's columns inside the cover in ascending order.
+    fn accumulate_shard(
+        &self,
+        shard: usize,
+        cover: Cover,
+        query_terms: &[(TermId, f64)],
+        acc: &mut BTreeMap<ObjectId, f64>,
+    ) {
+        let col_lo = cover.col_lo.max(self.shard_col_lo(shard));
+        let col_hi = cover.col_hi.min(self.shard_col_hi(shard));
+        let cells = &self.shards[shard].cells;
+        for col in col_lo..=col_hi {
+            for row in cover.row_lo..=cover.row_hi {
+                if let Some(cell) = cells.get(&CellId { col, row }) {
+                    for (obj, partial) in cell.inverted.accumulate_scores(query_terms) {
+                        *acc.entry(obj).or_insert(0.0) += partial;
+                    }
+                }
+            }
+        }
     }
 
     /// Accumulates Equation-2 partial scores `Σ w_{Q.ψ,t}·wto(t)` for every
@@ -190,15 +362,73 @@ impl GridIndex {
         rect: &Rect,
         query_terms: &[(TermId, f64)],
     ) -> BTreeMap<ObjectId, f64> {
+        self.accumulate_scores_in_rect_with_workers(rect, query_terms, 1)
+    }
+
+    /// Like [`GridIndex::accumulate_scores_in_rect`], fanning the rectangle's
+    /// (contiguous) shard range out across up to `workers` scoped threads.
+    /// Only shards whose column band intersects the rectangle are visited.
+    ///
+    /// Bit-identical to the sequential pass for any worker count: each worker
+    /// covers a contiguous run of shards, results merge in ascending shard
+    /// order, and every object lives in exactly one cell — so its score is
+    /// summed entirely within one worker, in the same cell order as the
+    /// sequential loop.
+    pub fn accumulate_scores_in_rect_with_workers(
+        &self,
+        rect: &Rect,
+        query_terms: &[(TermId, f64)],
+        workers: usize,
+    ) -> BTreeMap<ObjectId, f64> {
         let mut acc = BTreeMap::new();
-        for cell_id in self.cells_intersecting(rect) {
-            if let Some(cell) = self.cells.get(&cell_id) {
-                for (obj, partial) in cell.inverted.accumulate_scores(query_terms) {
-                    *acc.entry(obj).or_insert(0.0) += partial;
-                }
+        let Some(cover) = self.cover_of(rect) else {
+            return acc;
+        };
+        let shard_lo = self.shard_of_col(cover.col_lo);
+        let shard_hi = self.shard_of_col(cover.col_hi);
+        let shard_count = shard_hi - shard_lo + 1;
+        let workers = workers.clamp(1, shard_count.min(64));
+        if workers <= 1 {
+            for shard in shard_lo..=shard_hi {
+                self.accumulate_shard(shard, cover, query_terms, &mut acc);
+            }
+            return acc;
+        }
+        let partials = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = shard_lo + shard_count * w / workers;
+                    let hi = shard_lo + shard_count * (w + 1) / workers - 1;
+                    scope.spawn(move || {
+                        let mut partial = BTreeMap::new();
+                        for shard in lo..=hi {
+                            self.accumulate_shard(shard, cover, query_terms, &mut partial);
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("score shard worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for partial in partials {
+            for (obj, partial_score) in partial {
+                *acc.entry(obj).or_insert(0.0) += partial_score;
             }
         }
         acc
+    }
+}
+
+/// Indexes a routed batch into one shard, in batch (= input) order.
+fn fill_shard(shard: &mut GridShard, vocabulary: &Vocabulary, batch: &[(CellId, &GeoTextObject)]) {
+    for &(cell_id, object) in batch {
+        let cell = shard.cells.entry(cell_id).or_default();
+        cell.objects.push(object.id);
+        cell.inverted.add_object_preinterned(vocabulary, object);
+        shard.object_count += 1;
     }
 }
 
@@ -224,6 +454,42 @@ mod tests {
             grid.insert(&mut vocab, &o).unwrap();
         }
         (grid, vocab)
+    }
+
+    /// Many objects spread over the extent, with overlapping keyword sets so
+    /// scores genuinely accumulate across cells and shards.
+    fn dense_objects() -> Vec<GeoTextObject> {
+        let keywords = ["restaurant", "pizza", "cafe", "museum", "bar"];
+        (0..200u64)
+            .map(|i| {
+                let x = (i % 20) as f64 * 50.0 + 5.0;
+                let y = (i / 20) as f64 * 95.0 + 5.0;
+                let a = keywords[(i % 5) as usize];
+                let b = keywords[(i % 3) as usize];
+                GeoTextObject::from_keywords(i, Point::new(x, y), [a, b])
+            })
+            .collect()
+    }
+
+    fn build_dense(shards: usize) -> (GridIndex, Vocabulary) {
+        let extent = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut grid = GridIndex::new_sharded(extent, 100.0, shards).unwrap();
+        let mut vocab = Vocabulary::new();
+        for o in dense_objects() {
+            vocab.register_document(o.terms.keys().map(String::as_str));
+            grid.insert(&mut vocab, &o).unwrap();
+        }
+        (grid, vocab)
+    }
+
+    fn query_terms(vocab: &Vocabulary) -> Vec<(TermId, f64)> {
+        ["restaurant", "pizza", "bar"]
+            .iter()
+            .map(|t| {
+                let id = vocab.lookup(t).unwrap();
+                (id, vocab.idf(id))
+            })
+            .collect()
     }
 
     #[test]
@@ -324,5 +590,125 @@ mod tests {
         let acc_all = grid.accumulate_scores_in_rect(&Rect::new(0.0, 0.0, 1000.0, 1000.0), &terms);
         assert_eq!(acc_all.len(), 2);
         assert!(!acc_all.contains_key(&ObjectId(2)));
+    }
+
+    #[test]
+    fn shard_layout_never_changes_scores() {
+        let (reference, vocab) = build_dense(1);
+        let terms = query_terms(&vocab);
+        let rects = [
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            Rect::new(130.0, 40.0, 620.0, 880.0),
+            Rect::new(480.0, 0.0, 520.0, 1000.0), // straddles a shard boundary
+            Rect::new(990.0, 990.0, 2000.0, 2000.0),
+        ];
+        for shards in [2usize, 3, 4, 7, 32] {
+            let (grid, shard_vocab) = build_dense(shards);
+            assert_eq!(
+                query_terms(&shard_vocab),
+                terms,
+                "vocab must not depend on sharding"
+            );
+            assert!(grid.shard_count() >= 2);
+            for rect in &rects {
+                let a = reference.accumulate_scores_in_rect(rect, &terms);
+                let b = grid.accumulate_scores_in_rect(rect, &terms);
+                assert_eq!(a.len(), b.len(), "shards={shards} rect={rect:?}");
+                for ((oa, sa), (ob, sb)) in a.iter().zip(&b) {
+                    assert_eq!(oa, ob);
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "shards={shards} obj={oa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_bit_identical_to_sequential() {
+        let (grid, vocab) = build_dense(8);
+        let terms = query_terms(&vocab);
+        let rects = [
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            Rect::new(330.0, 150.0, 700.0, 480.0),
+            Rect::new(40.0, 40.0, 60.0, 60.0),   // single shard
+            Rect::new(-10.0, -10.0, -1.0, -1.0), // empty
+        ];
+        for rect in &rects {
+            let sequential = grid.accumulate_scores_in_rect(rect, &terms);
+            for workers in [2usize, 3, 4, 7, 16] {
+                let parallel = grid.accumulate_scores_in_rect_with_workers(rect, &terms, workers);
+                assert_eq!(sequential.len(), parallel.len());
+                for ((oa, sa), (ob, sb)) in sequential.iter().zip(&parallel) {
+                    assert_eq!(oa, ob);
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "workers={workers} obj={oa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_preinterned_build_matches_sequential_inserts() {
+        let objects = dense_objects();
+        let (sequential, vocab) = build_dense(4);
+        for workers in [1usize, 3, 8] {
+            let mut bulk =
+                GridIndex::new_sharded(Rect::new(0.0, 0.0, 1000.0, 1000.0), 100.0, 4).unwrap();
+            let inserted = bulk
+                .bulk_insert_preinterned(&vocab, &objects, workers)
+                .unwrap();
+            assert_eq!(inserted, objects.len());
+            assert_eq!(bulk.object_count(), sequential.object_count());
+            assert_eq!(bulk.occupied_cells(), sequential.occupied_cells());
+            for cell_id in sequential.cells_intersecting(&Rect::new(0.0, 0.0, 1000.0, 1000.0)) {
+                let a = sequential.cell(cell_id).unwrap();
+                let b = bulk.cell(cell_id).unwrap();
+                assert_eq!(a.objects, b.objects, "cell {cell_id:?}");
+            }
+            let terms = query_terms(&vocab);
+            let rect = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+            let a = sequential.accumulate_scores_in_rect(&rect, &terms);
+            let b = bulk.accumulate_scores_in_rect(&rect, &terms);
+            assert_eq!(a.len(), b.len());
+            for ((oa, sa), (ob, sb)) in a.iter().zip(&b) {
+                assert_eq!(oa, ob);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_insert_rejects_invalid_objects_without_mutating() {
+        let vocab = Vocabulary::new();
+        let mut grid = GridIndex::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), 100.0).unwrap();
+        let bad = vec![GeoTextObject::from_keywords(
+            7u64,
+            Point::new(5000.0, 0.0),
+            ["bar"],
+        )];
+        assert!(matches!(
+            grid.bulk_insert_preinterned(&vocab, &bad, 4),
+            Err(GeoTextError::InvalidLocation { object: 7 })
+        ));
+        assert_eq!(grid.object_count(), 0);
+        assert_eq!(grid.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn shard_bands_partition_the_columns() {
+        let grid = GridIndex::new_sharded(Rect::new(0.0, 0.0, 1000.0, 1000.0), 100.0, 4).unwrap();
+        assert_eq!(grid.shard_count(), 4);
+        let mut prev = None;
+        for col in 0..grid.dimensions().0 {
+            let s = grid.shard_of_col(col);
+            assert!(col >= grid.shard_col_lo(s) && col <= grid.shard_col_hi(s));
+            if let Some(p) = prev {
+                assert!(s == p || s == p + 1, "shard map must be monotone");
+            }
+            prev = Some(s);
+        }
+        assert_eq!(grid.shard_of_col(0), 0);
+        assert_eq!(grid.shard_of_col(grid.dimensions().0 - 1), 3);
+        // Requesting more shards than columns clamps to one shard per column.
+        let tiny = GridIndex::new_sharded(Rect::new(0.0, 0.0, 300.0, 300.0), 100.0, 64).unwrap();
+        assert_eq!(tiny.shard_count(), 3);
     }
 }

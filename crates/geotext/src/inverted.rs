@@ -88,6 +88,39 @@ impl InvertedIndex {
         self.object_count += 1;
     }
 
+    /// Indexes one object whose terms were **already interned** into
+    /// `vocabulary` (e.g. by a prior [`Vocabulary::register_document`] pass),
+    /// so the vocabulary is only read.  This is the building block of the
+    /// sharded parallel grid build: many shards index disjoint object sets
+    /// concurrently against one shared vocabulary.
+    ///
+    /// Produces postings bit-identical to [`InvertedIndex::add_object`]: term
+    /// ids were assigned by the registration pass, and weights depend only on
+    /// the object itself.  A term missing from the vocabulary (a contract
+    /// breach) is skipped — unobservable, since queries resolve terms through
+    /// the same vocabulary and can never reference an unregistered term.
+    pub fn add_object_preinterned(&mut self, vocabulary: &Vocabulary, object: &GeoTextObject) {
+        if object.is_empty() {
+            return;
+        }
+        let norm = object_norm(object);
+        debug_assert!(norm > 0.0);
+        for (term, &tf) in &object.terms {
+            let Some(id) = vocabulary.lookup(term) else {
+                debug_assert!(false, "term {term:?} was not pre-interned");
+                continue;
+            };
+            let weight = tf_weight(tf) / norm;
+            let mut list = self.postings.get(&id).cloned().unwrap_or_default();
+            list.push(Posting {
+                object: object.id,
+                weight,
+            });
+            self.postings.insert(id, list);
+        }
+        self.object_count += 1;
+    }
+
     /// Returns the postings list of a term, if any object contains it.
     pub fn postings(&self, term: TermId) -> Option<&PostingsList> {
         self.postings.get(&term)
@@ -223,6 +256,27 @@ mod tests {
         let ghost = vocab.intern("ghost");
         let acc = idx.accumulate_scores(&[(ghost, 0.0)]);
         assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn preinterned_indexing_matches_the_interning_path() {
+        let (vocab, idx, objects) = sample();
+        let mut pre = InvertedIndex::new();
+        for o in &objects {
+            pre.add_object_preinterned(&vocab, o);
+        }
+        assert_eq!(pre.object_count(), idx.object_count());
+        assert_eq!(pre.term_count(), idx.term_count());
+        for term in ["restaurant", "italian", "pizza", "cafe", "coffee"] {
+            let id = vocab.lookup(term).unwrap();
+            let a = idx.postings(id).unwrap();
+            let b = pre.postings(id).unwrap();
+            assert_eq!(a.len(), b.len(), "{term}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.object, y.object);
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+            }
+        }
     }
 
     #[test]

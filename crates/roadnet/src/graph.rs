@@ -8,6 +8,7 @@
 use crate::edge::{EdgeId, RoadEdge};
 use crate::geo::{Point, Rect};
 use crate::node::{NodeId, NodeKind, RoadNode};
+use crate::spatial::NodeGrid;
 use serde::{Deserialize, Serialize};
 
 /// An immutable undirected road-network graph with spatial node positions.
@@ -19,6 +20,9 @@ pub struct RoadNetwork {
     adj_offsets: Vec<u32>,
     /// Flattened adjacency entries: (neighbour node, connecting edge).
     adj: Vec<(NodeId, EdgeId)>,
+    /// Uniform spatial grid over node locations; `Q.Λ` extraction queries it
+    /// so per-query cost tracks the rectangle's cell cover, not `|V|`.
+    node_grid: NodeGrid,
 }
 
 impl RoadNetwork {
@@ -50,12 +54,21 @@ impl RoadNetwork {
             adj[cursor[ib] as usize] = (e.a, e.id);
             cursor[ib] += 1;
         }
+        let node_grid = NodeGrid::build(&nodes);
         RoadNetwork {
             nodes,
             edges,
             adj_offsets,
             adj,
+            node_grid,
         }
+    }
+
+    /// The spatial grid bucketing node ids by cell (built once at
+    /// construction).  Prepare-phase consumers use it to confine node
+    /// gathering to a query rectangle's cell cover.
+    pub fn node_grid(&self) -> &NodeGrid {
+        &self.node_grid
     }
 
     /// Number of nodes in the network.
@@ -168,13 +181,17 @@ impl RoadNetwork {
         Rect::bounding(self.nodes.iter().map(|n| n.point))
     }
 
-    /// Node ids whose location falls inside `rect` (boundary inclusive).
+    /// Node ids whose location falls inside `rect` (boundary inclusive), in
+    /// ascending id order.  Served from the node grid: only the rectangle's
+    /// cell cover is visited, not the whole node table.
     pub fn nodes_in_rect(&self, rect: &Rect) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| rect.contains(&n.point))
-            .map(|n| n.id)
-            .collect()
+        let mut out = Vec::new();
+        if let Some(cover) = self.node_grid.cover(rect) {
+            self.node_grid.candidates_in_cover(&cover, &mut out);
+            out.retain(|id| rect.contains(&self.nodes[id.index()].point));
+            out.sort_unstable();
+        }
+        out
     }
 
     /// The node nearest to `p` by Euclidean distance, or `None` for an empty network.

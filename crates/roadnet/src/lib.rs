@@ -42,6 +42,7 @@ pub mod generator;
 pub mod geo;
 pub mod graph;
 pub mod node;
+pub mod spatial;
 pub mod subgraph;
 pub mod traversal;
 
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::geo::{km, to_km, LatLon, Point, Rect};
     pub use crate::graph::{NetworkStats, RoadNetwork};
     pub use crate::node::{NodeId, NodeKind, RoadNode};
+    pub use crate::spatial::{GridCover, NodeGrid};
     pub use crate::subgraph::RegionView;
 }
 

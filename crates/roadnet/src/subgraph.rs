@@ -33,6 +33,14 @@ impl RegionScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Current size of the node-membership epoch table, in entries.  Exposed
+    /// so scale benches and regression tests can evidence that prepare-phase
+    /// memory tracks the query rectangle's cell cover (the touched node-id
+    /// band), not the network size.
+    pub fn member_table_len(&self) -> usize {
+        self.members.table_len()
+    }
 }
 
 /// A view of the subgraph of a [`RoadNetwork`] induced by the nodes inside a
@@ -63,25 +71,130 @@ impl<'g> RegionView<'g> {
     /// Like [`RegionView::new`], but reuses the buffers held by `scratch`
     /// (see [`RegionScratch`]).  Return them with [`RegionView::recycle`].
     pub fn new_reusing(graph: &'g RoadNetwork, rect: Rect, scratch: &mut RegionScratch) -> Self {
+        Self::new_reusing_with_workers(graph, rect, scratch, 1)
+    }
+
+    /// Like [`RegionView::new_reusing`], fanning candidate gathering and edge
+    /// induction out over `workers` scoped threads.  The output is
+    /// **bit-identical** to the sequential path for any worker count: band
+    /// results are merged in row order and both node and edge lists are
+    /// sorted by id before use, so thread scheduling cannot leak into the
+    /// view (golden suites pin this).
+    ///
+    /// Cost is proportional to the rectangle's grid cell cover, not to the
+    /// network: nodes are gathered from [`crate::spatial::NodeGrid`] buckets,
+    /// induced edges from member adjacency, and the membership table is
+    /// epoch-rebased at the smallest member id so it spans the touched id
+    /// band only.
+    pub fn new_reusing_with_workers(
+        graph: &'g RoadNetwork,
+        rect: Rect,
+        scratch: &mut RegionScratch,
+        workers: usize,
+    ) -> Self {
         let mut members = std::mem::take(&mut scratch.members);
-        members.begin();
         let mut nodes = std::mem::take(&mut scratch.nodes);
         nodes.clear();
         let mut edges = std::mem::take(&mut scratch.edges);
         edges.clear();
-        for n in graph.nodes() {
-            if rect.contains(&n.point) {
-                members.insert(n.id.index(), nodes.len() as u32);
-                nodes.push(n.id);
+
+        // Gather member nodes from the rect's cell cover.
+        if let Some(cover) = graph.node_grid().cover(&rect) {
+            let rows = u64::from(cover.row_hi - cover.row_lo) + 1;
+            let band_workers = workers.clamp(1, rows.min(64) as usize);
+            if band_workers > 1 {
+                // One horizontal band of rows per worker; bands are disjoint
+                // and concatenated in row order.
+                let bands = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..band_workers)
+                        .map(|w| {
+                            let lo = cover.row_lo + (rows * w as u64 / band_workers as u64) as u32;
+                            let hi = cover.row_lo
+                                + (rows * (w as u64 + 1) / band_workers as u64) as u32
+                                - 1;
+                            s.spawn(move || {
+                                let mut band = Vec::new();
+                                graph
+                                    .node_grid()
+                                    .candidates_in_cover(&cover.rows(lo, hi), &mut band);
+                                band.retain(|&id| rect.contains(&graph.point(id)));
+                                band
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("view gather worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for band in &bands {
+                    nodes.extend_from_slice(band);
+                }
+            } else {
+                graph.node_grid().candidates_in_cover(&cover, &mut nodes);
+                nodes.retain(|&id| rect.contains(&graph.point(id)));
             }
+            // Grid buckets are keyed by cell, so the concatenation is not id
+            // sorted; one sort restores the view invariant (ids are unique —
+            // every node lives in exactly one cell).
+            nodes.sort_unstable();
         }
-        edges.extend(
-            graph
-                .edges()
-                .iter()
-                .filter(|e| members.contains(e.a.index()) && members.contains(e.b.index()))
-                .map(|e| e.id),
-        );
+
+        // Membership table rebased at the smallest member id: its size tracks
+        // the touched id band, not the id-space prefix below it.
+        members.begin_at(nodes.first().map_or(0, |id| id.index()));
+        for (i, &id) in nodes.iter().enumerate() {
+            members.insert(id.index(), i as u32);
+        }
+
+        // Induced edges from member adjacency (each in-view edge is pushed
+        // once, from its smaller endpoint) instead of a scan over every edge
+        // of the network.
+        let gather_edges = |chunk: &[NodeId], out: &mut Vec<EdgeId>| {
+            for &a in chunk {
+                for &(b, e) in graph.neighbors(a) {
+                    if a < b && members.contains(b.index()) {
+                        out.push(e);
+                    }
+                }
+            }
+        };
+        let edge_workers = workers.clamp(1, nodes.len().clamp(1, 64));
+        if edge_workers > 1 {
+            let chunk_len = nodes.len().div_ceil(edge_workers);
+            let members_ref = &members;
+            let chunks = std::thread::scope(|s| {
+                let handles: Vec<_> = nodes
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            for &a in chunk {
+                                for &(b, e) in graph.neighbors(a) {
+                                    if a < b && members_ref.contains(b.index()) {
+                                        out.push(e);
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("edge gather worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for chunk in &chunks {
+                edges.extend_from_slice(chunk);
+            }
+        } else {
+            gather_edges(&nodes, &mut edges);
+        }
+        // Adjacency order is per-endpoint, not global: sort restores the
+        // edge-id order the old whole-network filter produced.
+        edges.sort_unstable();
+
         RegionView {
             graph,
             rect,
@@ -533,6 +646,63 @@ mod tests {
             scratch.members.table_len() <= 16,
             "epoch table grew to {} entries for a 4-node view of a 2016-node network",
             scratch.members.table_len()
+        );
+    }
+
+    #[test]
+    fn parallel_views_are_identical_to_sequential_for_any_worker_count() {
+        let g = grid4();
+        let mut scratch = RegionScratch::new();
+        for rect in [
+            Rect::new(-0.5, -0.5, 1.5, 1.5),
+            Rect::new(0.0, 0.0, 3.0, 3.0),
+            Rect::new(-10.0, -10.0, 10.0, 10.0),
+            Rect::new(100.0, 100.0, 101.0, 101.0), // empty
+            Rect::new(1.0, -0.5, 1.0, 3.5),        // zero-width strip
+        ] {
+            let sequential = RegionView::new(&g, rect);
+            for workers in [1, 2, 3, 4, 7, 16] {
+                let parallel =
+                    RegionView::new_reusing_with_workers(&g, rect, &mut scratch, workers);
+                assert_eq!(sequential.nodes(), parallel.nodes(), "workers={workers}");
+                assert_eq!(sequential.edges(), parallel.edges(), "workers={workers}");
+                for n in g.node_ids() {
+                    assert_eq!(sequential.local_index(n), parallel.local_index(n));
+                }
+                parallel.recycle(&mut scratch);
+            }
+        }
+    }
+
+    #[test]
+    fn membership_table_is_sized_by_the_touched_id_band_even_for_high_ids() {
+        // A view over nodes carrying the *highest* ids of the network: the
+        // lazy high-water bound alone would size the table to the whole id
+        // range; the offset rebase keeps it at the band width.
+        let mut b = GraphBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..4 {
+            for x in 0..4 {
+                ids.push(b.add_node(Point::new(x as f64, y as f64)));
+            }
+        }
+        let mut prev = ids[15];
+        for k in 0..2000 {
+            let n = b.add_node(Point::new(100.0 + k as f64, 100.0));
+            b.add_edge(prev, n, 1.0).unwrap();
+            prev = n;
+        }
+        let g = b.build().unwrap();
+        // Nodes at x = 2090..=2099 are ids 2006..=2015, the network's last ten.
+        let mut scratch = RegionScratch::new();
+        let v = RegionView::new_reusing(&g, Rect::new(2089.5, 99.0, 2099.5, 101.0), &mut scratch);
+        assert_eq!(v.node_count(), 10);
+        assert_eq!(v.edge_count(), 9);
+        v.recycle(&mut scratch);
+        assert!(
+            scratch.member_table_len() <= 10,
+            "epoch table grew to {} entries for a 10-node band at the top of the id space",
+            scratch.member_table_len()
         );
     }
 

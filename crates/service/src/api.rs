@@ -31,6 +31,7 @@
 //! {"regions": [{"nodes": [...], "edges": [...], "length": ..., "weight": ...,
 //!               "scaled_weight": ...}],
 //!  "stats": {"algorithm": "TGEN", "elapsed_ns": ..., "prepare_ns": ...,
+//!            "grid_score_ns": ..., "graph_build_ns": ...,
 //!            "solve_ns": ..., "queue_ns": ..., ...}}
 //! ```
 //!
@@ -423,6 +424,10 @@ pub struct StatsDto {
     pub elapsed_ns: u64,
     /// Preparation time, nanoseconds.
     pub prepare_ns: u64,
+    /// Grid-scoring component of the preparation time, nanoseconds.
+    pub grid_score_ns: u64,
+    /// Graph-build component of the preparation time, nanoseconds.
+    pub graph_build_ns: u64,
     /// Solver time, nanoseconds.
     pub solve_ns: u64,
     /// Scheduler queue wait, nanoseconds.
@@ -470,6 +475,8 @@ impl StatsDto {
             algorithm: stats.algorithm.clone(),
             elapsed_ns: duration_ns(stats.elapsed),
             prepare_ns: duration_ns(stats.prepare_time),
+            grid_score_ns: duration_ns(stats.grid_score_time),
+            graph_build_ns: duration_ns(stats.graph_build_time),
             solve_ns: duration_ns(stats.solve_time),
             queue_ns: duration_ns(stats.queue_time),
             nodes_in_region: stats.nodes_in_region as u64,
@@ -493,6 +500,14 @@ impl StatsDto {
             ("algorithm".into(), Json::String(self.algorithm.clone())),
             ("elapsed_ns".into(), Json::Number(self.elapsed_ns as f64)),
             ("prepare_ns".into(), Json::Number(self.prepare_ns as f64)),
+            (
+                "grid_score_ns".into(),
+                Json::Number(self.grid_score_ns as f64),
+            ),
+            (
+                "graph_build_ns".into(),
+                Json::Number(self.graph_build_ns as f64),
+            ),
             ("solve_ns".into(), Json::Number(self.solve_ns as f64)),
             ("queue_ns".into(), Json::Number(self.queue_ns as f64)),
             (
@@ -558,6 +573,19 @@ impl StatsDto {
                 .to_string(),
             elapsed_ns: int("elapsed_ns")?,
             prepare_ns: int("prepare_ns")?,
+            // Absent on responses from peers predating the prepare split.
+            grid_score_ns: match value.get("grid_score_ns") {
+                None | Some(Json::Null) => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ApiError::new("stats field \"grid_score_ns\" must be an integer")
+                })?,
+            },
+            graph_build_ns: match value.get("graph_build_ns") {
+                None | Some(Json::Null) => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ApiError::new("stats field \"graph_build_ns\" must be an integer")
+                })?,
+            },
             solve_ns: int("solve_ns")?,
             queue_ns: int("queue_ns")?,
             nodes_in_region: int("nodes_in_region")?,
@@ -871,6 +899,8 @@ mod tests {
                 algorithm: "TGEN".into(),
                 elapsed_ns: 1_234_567_891,
                 prepare_ns: 23_456,
+                grid_score_ns: 14_000,
+                graph_build_ns: 9_000,
                 solve_ns: 1_200_000_000,
                 queue_ns: 11_111_111,
                 nodes_in_region: 36,

@@ -123,12 +123,31 @@ pub struct ServiceMetrics {
     pub queue_depth: AtomicU64,
     /// End-to-end request latency (parse → response ready), query route only.
     pub latency: LatencyHistogram,
+    /// Total prepare time across answered queries, nanoseconds.
+    pub prepare_ns: AtomicU64,
+    /// Grid-scoring component of `prepare_ns` (keyword scoring against the
+    /// sharded grid index), nanoseconds.
+    pub grid_score_ns: AtomicU64,
+    /// Graph-build component of `prepare_ns` (`Q.Λ` extraction + scaled CSR
+    /// construction), nanoseconds.
+    pub graph_build_ns: AtomicU64,
 }
 
 impl ServiceMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Accumulates one answered query's prepare-phase timing split.
+    pub fn record_prepare_split(&self, stats: &lcmsr_core::stats::RunStats) {
+        let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.prepare_ns
+            .fetch_add(ns(stats.prepare_time), Ordering::Relaxed);
+        self.grid_score_ns
+            .fetch_add(ns(stats.grid_score_time), Ordering::Relaxed);
+        self.graph_build_ns
+            .fetch_add(ns(stats.graph_build_time), Ordering::Relaxed);
     }
 
     /// Mean queries per dispatched batch (0 when no batch ran yet).
@@ -177,6 +196,15 @@ impl ServiceMetrics {
             format!("{:.3}", self.mean_batch_size()),
         );
         gauge("lcmsr_queue_depth", load(&self.queue_depth).to_string());
+        gauge("lcmsr_prepare_ns_total", load(&self.prepare_ns).to_string());
+        gauge(
+            "lcmsr_prepare_grid_score_ns_total",
+            load(&self.grid_score_ns).to_string(),
+        );
+        gauge(
+            "lcmsr_prepare_graph_build_ns_total",
+            load(&self.graph_build_ns).to_string(),
+        );
         gauge("lcmsr_latency_count", self.latency.count().to_string());
         gauge(
             "lcmsr_latency_mean_us",
@@ -244,6 +272,11 @@ mod tests {
         m.batches.fetch_add(2, Ordering::Relaxed);
         m.batched_queries.fetch_add(7, Ordering::Relaxed);
         m.latency.record(Duration::from_millis(3));
+        let mut stats = lcmsr_core::stats::RunStats::new("TGEN");
+        stats.prepare_time = Duration::from_nanos(900);
+        stats.grid_score_time = Duration::from_nanos(600);
+        stats.graph_build_time = Duration::from_nanos(250);
+        m.record_prepare_split(&stats);
         let text = m.render();
         for series in [
             "lcmsr_requests_total 5",
@@ -257,6 +290,9 @@ mod tests {
             "lcmsr_batched_queries_total 7",
             "lcmsr_mean_batch_size 3.500",
             "lcmsr_queue_depth",
+            "lcmsr_prepare_ns_total 900",
+            "lcmsr_prepare_grid_score_ns_total 600",
+            "lcmsr_prepare_graph_build_ns_total 250",
             "lcmsr_latency_count 1",
             "lcmsr_latency_p50_us",
             "lcmsr_latency_p99_us",

@@ -106,8 +106,14 @@ impl ServiceHandlerInner {
             client_error(format!("query failed: {e}"))
         })?;
         let response = match output {
-            JobOutput::Single(result) => QueryResponse::from_single(&result),
-            JobOutput::TopK(result) => QueryResponse::from_topk(&result),
+            JobOutput::Single(result) => {
+                self.metrics.record_prepare_split(&result.stats);
+                QueryResponse::from_single(&result)
+            }
+            JobOutput::TopK(result) => {
+                self.metrics.record_prepare_split(&result.stats);
+                QueryResponse::from_topk(&result)
+            }
         };
         if response.stats.partial {
             self.metrics.partial.fetch_add(1, Ordering::Relaxed);

@@ -105,6 +105,8 @@ proptest! {
                 algorithm: "TGEN".into(),
                 elapsed_ns: times.0,
                 prepare_ns: times.1,
+                grid_score_ns: times.1 / 2,
+                graph_build_ns: times.1 / 3,
                 solve_ns: times.2,
                 queue_ns: times.0 / 3,
                 nodes_in_region: counters.0,

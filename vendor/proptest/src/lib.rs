@@ -99,6 +99,18 @@ pub mod strategy {
         }
     }
 
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+            )
+        }
+    }
+
     /// A strategy producing a fixed value, mirroring `proptest::strategy::Just`.
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
