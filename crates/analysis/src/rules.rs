@@ -87,7 +87,7 @@ pub struct Finding {
 /// * `determinism` — the deterministic solve path: `crates/core/src` and
 ///   `crates/geotext/src`, test code included (tests feed golden snapshots).
 /// * `clock` — all `crates/*/src` except the audited clock files
-///   (`core/src/cancel.rs`, `service/src/{scheduler,metrics,http}.rs`) and
+///   (`core/src/{cancel,trace}.rs`, `service/src/{scheduler,metrics,http}.rs`) and
 ///   the bench crate; `#[cfg(test)]` code may use clocks freely.
 /// * `panic_free` — `crates/service/src` non-test code.
 /// * `unsafe_safety` — everywhere.
@@ -98,8 +98,9 @@ fn rules_for(path: &str) -> Vec<Rule> {
     if path.starts_with("crates/core/src/") || path.starts_with("crates/geotext/src/") {
         rules.push(Rule::Determinism);
     }
-    const CLOCK_AUDITED: [&str; 4] = [
+    const CLOCK_AUDITED: [&str; 5] = [
         "crates/core/src/cancel.rs",
+        "crates/core/src/trace.rs",
         "crates/service/src/scheduler.rs",
         "crates/service/src/metrics.rs",
         "crates/service/src/http.rs",

@@ -78,6 +78,7 @@ fn f() {
 }
 ";
     assert!(!rules_in("crates/core/src/cancel.rs", src).contains(&Rule::Clock));
+    assert!(!rules_in("crates/core/src/trace.rs", src).contains(&Rule::Clock));
     assert!(!rules_in("crates/service/src/scheduler.rs", src).contains(&Rule::Clock));
     let test_src = "
 #[cfg(test)]

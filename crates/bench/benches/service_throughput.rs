@@ -18,7 +18,8 @@
 use lcmsr_bench::*;
 use lcmsr_service::http::ServerConfig;
 use lcmsr_service::{
-    leak_engine, serve, BatchConfig, HttpClient, QueryRequest, QueryResponse, ServiceConfig,
+    leak_engine, serve, BatchConfig, DiagnosticsConfig, HttpClient, QueryRequest, QueryResponse,
+    ServiceConfig,
 };
 use std::time::Duration;
 
@@ -117,6 +118,7 @@ fn main() {
                     queue_capacity: (clients * 4).max(64),
                     batch_workers: workers,
                 },
+                diagnostics: DiagnosticsConfig::default(),
             },
         )
         .expect("service must start")

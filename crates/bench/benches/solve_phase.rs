@@ -95,7 +95,14 @@ fn main() {
     let stats_before = warm.stats();
     for g in &graphs {
         warm.reset();
-        let outcome = run_tgen(g, &mut warm, &tgen, &CancelToken::none()).expect("tgen");
+        let outcome = run_tgen(
+            g,
+            &mut warm,
+            &tgen,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .expect("tgen");
         tuples_total += outcome.tuples_generated;
         pruned_total += outcome.pruned_pairs;
         frontier_total += outcome.frontier_tuples;
@@ -139,13 +146,27 @@ fn main() {
         reused_secs = best_secs(rounds, || {
             for g in &graphs {
                 warm.reset();
-                let _ = run_tgen(g, &mut warm, &tgen, &CancelToken::none()).expect("tgen");
+                let _ = run_tgen(
+                    g,
+                    &mut warm,
+                    &tgen,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
+                .expect("tgen");
             }
         }) / graphs.len() as f64;
         fresh_secs = best_secs(rounds, || {
             for g in &graphs {
                 let mut arena = TupleArena::new();
-                let _ = run_tgen(g, &mut arena, &tgen, &CancelToken::none()).expect("tgen");
+                let _ = run_tgen(
+                    g,
+                    &mut arena,
+                    &tgen,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
+                .expect("tgen");
             }
         }) / graphs.len() as f64;
         baseline_secs = best_secs(rounds, || {
@@ -171,7 +192,14 @@ fn main() {
     let mut identical = true;
     for (g, expect) in graphs.iter().zip(&reference) {
         let mut arena = TupleArena::new();
-        let outcome = run_tgen(g, &mut arena, &tgen, &CancelToken::none()).expect("tgen");
+        let outcome = run_tgen(
+            g,
+            &mut arena,
+            &tgen,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .expect("tgen");
         if &fingerprint(g, &arena, &outcome) != expect {
             identical = false;
         }

@@ -14,7 +14,9 @@
 //! `fig13_14`, `fig15`, `fig16`, `fig17_19`, `sec7_5`, `fig21_22`, `all` —
 //! plus `serve`, which starts the `lcmsr_service` HTTP front-end over the
 //! synthetic NY dataset (flags: `--addr`, `--max-batch`, `--max-delay-ms`,
-//! `--queue-capacity`, `--http-workers`), and `dump`, which renders the
+//! `--queue-capacity`, `--http-workers`, `--slow-ms` for the slow-query
+//! threshold and `--trace-sample` for 1-in-N span tracing), and `dump`,
+//! which renders the
 //! bit-exact golden-region snapshot (`--out FILE`, default stdout) that
 //! `tests/golden/` pins.  Engine worker counts honour
 //! `--workers N` / `LCMSR_WORKERS` everywhere they apply (the `table1`
@@ -135,7 +137,7 @@ fn dump_command(args: &[String], scale: NetworkScale) {
 /// `serve`: load/generate a dataset and serve it over HTTP until killed.
 fn serve_command(args: &[String], workers: usize, scale: NetworkScale) {
     use lcmsr_service::http::ServerConfig;
-    use lcmsr_service::{leak_engine, serve, BatchConfig, ServiceConfig};
+    use lcmsr_service::{leak_engine, serve, BatchConfig, DiagnosticsConfig, ServiceConfig};
 
     let addr = flag_value(args, "--addr")
         .unwrap_or("127.0.0.1:7878")
@@ -153,6 +155,9 @@ fn serve_command(args: &[String], workers: usize, scale: NetworkScale) {
     let max_delay_ms = parse_or("--max-delay-ms", 2);
     let queue_capacity = parse_or("--queue-capacity", 1024);
     let http_workers = parse_or("--http-workers", (workers * 4).max(8));
+    let diag_defaults = DiagnosticsConfig::default();
+    let slow_ms = parse_or("--slow-ms", diag_defaults.slow_ms as usize) as u64;
+    let trace_sample = parse_or("--trace-sample", diag_defaults.trace_sample as usize) as u64;
 
     println!("# lcmsr serve");
     println!("# building NY-like dataset at scale {scale:?}…");
@@ -177,13 +182,23 @@ fn serve_command(args: &[String], workers: usize, scale: NetworkScale) {
             queue_capacity,
             batch_workers: workers,
         },
+        diagnostics: DiagnosticsConfig {
+            slow_ms,
+            trace_sample,
+            ..diag_defaults
+        },
     };
     println!(
         "# scheduler  : max_batch {max_batch}, max_delay {max_delay_ms} ms, queue {queue_capacity}, {workers} engine workers, {http_workers} http workers"
     );
+    println!(
+        "# diagnostics: slow-query threshold {slow_ms} ms (0 = off), span tracing 1-in-{trace_sample} (0 = off)"
+    );
     let handle = serve(engine, config).expect("service must start");
     println!("# listening on http://{}", handle.addr());
-    println!("# routes: POST /query, GET /healthz, GET /metrics   (Ctrl-C to stop)");
+    println!(
+        "# routes: POST /query, GET /healthz, GET /metrics, GET /debug/trace/recent, GET /debug/slow   (Ctrl-C to stop)"
+    );
     handle.wait();
 }
 
@@ -200,7 +215,14 @@ fn table1(ny: &Dataset, workers: usize) {
     let params = AppParams::default();
     let graph = engine.prepare(query, params.alpha).expect("prepare");
     let mut arena = TupleArena::new();
-    let outcome = run_app(&graph, &mut arena, &params, &CancelToken::none()).expect("APP run");
+    let outcome = run_app(
+        &graph,
+        &mut arena,
+        &params,
+        &CancelToken::none(),
+        &mut TraceCollector::disabled(),
+    )
+    .expect("APP run");
     println!(
         "query keywords: {:?}, ∆ = {:.0} m, 3∆ = {:.0} m",
         query.keywords,

@@ -342,6 +342,16 @@ fn golden_region_line(out: &mut String, region: &Region) {
 /// `tests/golden_regions.rs` and the CI `golden-regions` job — this replaces
 /// the ad-hoc cross-worktree diffs earlier PRs did by hand.
 pub fn render_golden_dump(dataset: &Dataset) -> String {
+    render_golden_dump_traced(dataset, false)
+}
+
+/// [`render_golden_dump`] with per-query span tracing switched on or off.
+///
+/// The dump renders regions only, so the two modes must produce *byte
+/// identical* text: tracing is specified to never perturb solver results
+/// (the collector only observes), and `tests/golden_regions.rs` pins that by
+/// comparing the traced render against the committed snapshot too.
+pub fn render_golden_dump_traced(dataset: &Dataset, trace: bool) -> String {
     use std::fmt::Write;
     let queries = golden_workload(dataset);
     let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
@@ -365,13 +375,23 @@ pub fn render_golden_dump(dataset: &Dataset) -> String {
     .unwrap();
     for (name, algorithm) in &algorithms {
         for (qi, query) in queries.iter().enumerate() {
-            let single = run_query(&engine, query, algorithm).expect("golden run");
+            let single = engine
+                .execute(&QueryRequest::new(query, algorithm.clone()).trace(trace))
+                .map(QueryOutcome::into_single)
+                .expect("golden run");
             write!(out, "{name} q{qi:02} single ").unwrap();
             match &single.region {
                 Some(region) => golden_region_line(&mut out, region),
                 None => out.push_str("(none)\n"),
             }
-            let topk = run_query_topk(&engine, query, algorithm, 3).expect("golden topk");
+            let topk = engine
+                .execute(
+                    &QueryRequest::new(query, algorithm.clone())
+                        .top_k(3)
+                        .trace(trace),
+                )
+                .map(QueryOutcome::into_topk)
+                .expect("golden topk");
             if topk.regions.is_empty() {
                 writeln!(out, "{name} q{qi:02} top3 (none)").unwrap();
             }

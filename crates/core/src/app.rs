@@ -20,6 +20,7 @@ use crate::kmst::{make_solver, KMstSolver, KMstSolverKind};
 use crate::opt_tree::{find_opt_tree, OptTreeResult};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of APP.
@@ -136,6 +137,7 @@ pub fn binary_search(
     beta: f64,
     max_iterations: usize,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> (Option<RegionTuple>, Vec<BinarySearchStep>, bool) {
     let mut trace = Vec::new();
     let three_delta = 3.0 * graph.delta();
@@ -154,7 +156,9 @@ pub fn binary_search(
             return (best_feasible, trace, true);
         }
         let x = lower + (upper - lower) / 2;
-        let tc = solver.solve(graph, arena, x, ctl);
+        let span = tracer.start("bisect_step");
+        tracer.attr(span, "x", x);
+        let tc = solver.solve(graph, arena, x, ctl, tracer);
         let tc_length = tc.as_ref().map(|t| t.length);
         let mut entry = BinarySearchStep {
             step,
@@ -170,10 +174,12 @@ pub fn binary_search(
                 // Quota unattainable: treat as "too large".
                 upper = x;
                 trace.push(entry);
+                tracer.end(span);
             }
             Some(tree) if tree.length > three_delta => {
                 upper = x;
                 trace.push(entry);
+                tracer.end(span);
             }
             Some(tree) => {
                 // Feasible under 3∆ — remember it, then probe (1+β)·X.
@@ -185,13 +191,14 @@ pub fn binary_search(
                 }
                 let x_beta = (((x as f64) * (1.0 + beta)).ceil() as u64).max(x + 1);
                 entry.x_beta = x_beta;
-                let tprime = solver.solve(graph, arena, x_beta, ctl);
+                let tprime = solver.solve(graph, arena, x_beta, ctl, tracer);
                 entry.tprime_length = tprime.as_ref().map(|t| t.length);
                 let stop = match &tprime {
                     None => true,
                     Some(t) => t.length > three_delta,
                 };
                 trace.push(entry);
+                tracer.end_with(span, &[("x_beta", x_beta)]);
                 if stop {
                     return (Some(tree), trace, false);
                 }
@@ -218,6 +225,7 @@ pub fn run_app(
     arena: &mut TupleArena,
     params: &AppParams,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<AppOutcome> {
     params.validate()?;
     if graph.sigma_max() <= 0.0 {
@@ -244,6 +252,7 @@ pub fn run_app(
         params.beta,
         params.max_iterations,
         ctl,
+        tracer,
     );
     let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
@@ -289,7 +298,12 @@ pub fn run_app(
             interrupted: search_interrupted,
         });
     }
-    let dp = find_opt_tree(graph, arena, &candidate, ctl);
+    let span = tracer.start("find_opt_tree");
+    let dp = find_opt_tree(graph, arena, &candidate, ctl, tracer);
+    tracer.end_with(
+        span,
+        &[("tuples", dp.tuples_generated), ("pruned", dp.pruned_pairs)],
+    );
     let (frontier_tuples, frontier_peak, dominance_evictions) = dp.frontier_stats();
     Ok(AppOutcome {
         best: dp.best,
@@ -339,8 +353,14 @@ mod tests {
         // Exact optimum for ∆ = 6 is weight 1.1 ({v2,v4,v5,v6}).
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome =
-            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
+        let outcome = run_app(
+            &qg,
+            &mut arena,
+            &AppParams::default(),
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         let best = outcome.best.expect("a region must be found");
         assert!(best.length <= 6.0 + 1e-9, "length {}", best.length);
         // Theorem 4 guarantees ≥ (1-α)/(5+5β)·opt ≈ 0.17; in practice APP does
@@ -355,8 +375,14 @@ mod tests {
         for delta in [1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 20.0] {
             let (_n, qg) = figure2_query_graph(delta, 0.5);
             let mut arena = TupleArena::new();
-            let outcome =
-                run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
+            let outcome = run_app(
+                &qg,
+                &mut arena,
+                &AppParams::default(),
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
+            .unwrap();
             let best = outcome.best.expect("region expected");
             assert!(
                 best.length <= delta + 1e-9,
@@ -371,8 +397,14 @@ mod tests {
     fn app_with_huge_delta_collects_everything() {
         let (_n, qg) = figure2_query_graph(1000.0, 0.15);
         let mut arena = TupleArena::new();
-        let outcome =
-            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
+        let outcome = run_app(
+            &qg,
+            &mut arena,
+            &AppParams::default(),
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         let best = outcome.best.unwrap();
         assert_eq!(best.node_count(), 6);
         assert!((best.weight - 1.7).abs() < 1e-9);
@@ -386,8 +418,14 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
-        let outcome =
-            run_app(&qg, &mut arena, &AppParams::default(), &CancelToken::none()).unwrap();
+        let outcome = run_app(
+            &qg,
+            &mut arena,
+            &AppParams::default(),
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         assert!(outcome.best.is_none());
         assert_eq!(outcome.kmst_calls, 0);
     }
@@ -397,7 +435,14 @@ mod tests {
         let (_n, qg) = figure2_query_graph(2.0, 0.15);
         let params = AppParams::default();
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
+        let outcome = run_app(
+            &qg,
+            &mut arena,
+            &params,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         let three_delta = 3.0 * qg.delta();
         for step in &outcome.trace {
             assert!(step.lower <= step.x && step.x <= step.upper);
@@ -426,7 +471,14 @@ mod tests {
             ..AppParams::default()
         };
         let mut arena = TupleArena::new();
-        let outcome = run_app(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
+        let outcome = run_app(
+            &qg,
+            &mut arena,
+            &params,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         let best = outcome.best.unwrap();
         assert!(best.length <= 6.0 + 1e-9);
         assert!(best.weight >= 0.5);
@@ -437,8 +489,15 @@ mod tests {
         let (_n, qg) = figure2_query_graph(3.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = crate::kmst::garg::GargKMst::new();
-        let (tree, trace, interrupted) =
-            binary_search(&qg, &mut arena, &mut solver, 0.1, 64, &CancelToken::none());
+        let (tree, trace, interrupted) = binary_search(
+            &qg,
+            &mut arena,
+            &mut solver,
+            0.1,
+            64,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         assert!(!trace.is_empty());
         assert!(!interrupted);
         if let Some(t) = tree {

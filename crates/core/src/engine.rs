@@ -36,6 +36,7 @@ use crate::region::{Region, RegionTuple};
 use crate::stats::{PartialCause, RunStats};
 use crate::tgen::{run_tgen, TgenParams};
 use crate::topk::{topk_app, topk_greedy, topk_tgen};
+use crate::trace::{QueryTrace, TraceCollector};
 use lcmsr_geotext::collection::{NodeWeights, ObjectCollection};
 use lcmsr_geotext::object::ObjectId;
 use lcmsr_roadnet::graph::RoadNetwork;
@@ -150,6 +151,11 @@ pub struct QueryOptions {
     pub beta: Option<f64>,
     /// Overrides Greedy's expansion parameter µ.
     pub mu: Option<f64>,
+    /// Records a structured span trace of the run.  `false` (the default)
+    /// keeps the collector inert — solver hot loops see one predicted branch,
+    /// exactly like an unarmed [`CancelToken`] — and the outcome carries no
+    /// trace.  `true` fills [`QueryOutcome::trace`] with the span tree.
+    pub trace: bool,
 }
 
 impl QueryOptions {
@@ -257,6 +263,13 @@ impl<'q> QueryRequest<'q> {
         self
     }
 
+    /// Enables (or disables) structured span tracing for this request (see
+    /// [`QueryOptions::trace`]).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.options.trace = trace;
+        self
+    }
+
     /// The algorithm with the option overrides folded in.
     fn effective_algorithm(&self) -> Algorithm {
         let mut algorithm = self.algorithm.clone();
@@ -294,6 +307,9 @@ pub struct QueryOutcome {
     pub regions: Vec<Region>,
     /// Execution statistics, including the partial/deadline marks.
     pub stats: RunStats,
+    /// The structured span trace of the run; `Some` only when the request
+    /// asked for one ([`QueryOptions::trace`]).
+    pub trace: Option<QueryTrace>,
 }
 
 impl QueryOutcome {
@@ -313,6 +329,7 @@ impl QueryOutcome {
         QueryResult {
             region: self.regions.into_iter().next(),
             stats: self.stats,
+            trace: self.trace,
         }
     }
 
@@ -321,6 +338,7 @@ impl QueryOutcome {
         TopKResult {
             regions: self.regions,
             stats: self.stats,
+            trace: self.trace,
         }
     }
 }
@@ -332,6 +350,8 @@ pub struct QueryResult {
     pub region: Option<Region>,
     /// Execution statistics.
     pub stats: RunStats,
+    /// Structured span trace, when the request asked for one.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Result of answering one top-k LCMSR query.
@@ -341,6 +361,8 @@ pub struct TopKResult {
     pub regions: Vec<Region>,
     /// Execution statistics.
     pub stats: RunStats,
+    /// Structured span trace, when the request asked for one.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Result of the MaxRS baseline plus the measures needed by the Section 7.5
@@ -387,6 +409,10 @@ pub struct QueryWorkspace {
     arena: TupleArena,
     /// Timing split of the most recent `prepare_with` call on this workspace.
     prepare_breakdown: PrepareBreakdown,
+    /// Per-query span collector, re-armed (or left inert) by `execute_with`
+    /// from [`QueryOptions::trace`].  Pooled with the workspace so an enabled
+    /// run reuses the span buffers grown by earlier traced queries.
+    tracer: TraceCollector,
 }
 
 /// Component timings of one prepare phase, copied into
@@ -598,6 +624,8 @@ impl<'a> LcmsrEngine<'a> {
     ) -> Result<QueryGraph> {
         query.validate()?;
         let workers = self.prepare_workers();
+        let prepare_span = workspace.tracer.start("prepare");
+        let score_span = workspace.tracer.start("grid_score");
         let score_start = crate::cancel::now();
         let q = self.collection.query_vector(&query.keywords);
         self.collection.node_weights_into_with_workers(
@@ -607,6 +635,8 @@ impl<'a> LcmsrEngine<'a> {
             workers,
         );
         let grid_score_time = score_start.elapsed();
+        workspace.tracer.end(score_span);
+        let build_span = workspace.tracer.start("graph_build");
         let build_start = crate::cancel::now();
         let view = RegionView::new_reusing_with_workers(
             self.network,
@@ -622,6 +652,18 @@ impl<'a> LcmsrEngine<'a> {
             grid_score_time,
             graph_build_time: build_start.elapsed(),
         };
+        workspace.tracer.end(build_span);
+        if let Ok(g) = &graph {
+            workspace.tracer.end_with(
+                prepare_span,
+                &[
+                    ("nodes", g.node_count() as u64),
+                    ("edges", g.edge_count() as u64),
+                ],
+            );
+        } else {
+            workspace.tracer.end(prepare_span);
+        }
         graph
     }
 
@@ -652,6 +694,8 @@ impl<'a> LcmsrEngine<'a> {
         let algorithm = request.effective_algorithm();
         let options = &request.options;
         let ctl = options.solve_token();
+        workspace.tracer.begin(options.trace);
+        let query_span = workspace.tracer.start("query");
         let graph = self.prepare_with(workspace, request.query, algorithm.alpha())?;
         let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
@@ -666,11 +710,13 @@ impl<'a> LcmsrEngine<'a> {
         // Epoch-clear the arena: every handle from the previous query dies
         // here, while the slab's capacity carries over.
         workspace.arena.reset();
+        let solve_span = workspace.tracer.start("solve");
         let arena = &mut workspace.arena;
+        let tracer = &mut workspace.tracer;
         let mut interrupted = false;
         let solved: Result<Vec<RegionTuple>> = (|| match (&algorithm, options.k) {
             (Algorithm::App(params), None) => {
-                let outcome = run_app(&graph, arena, params, &ctl)?;
+                let outcome = run_app(&graph, arena, params, &ctl, tracer)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.dp_tuples;
                 stats.pruned_pairs = outcome.dp_pruned_pairs;
@@ -681,7 +727,7 @@ impl<'a> LcmsrEngine<'a> {
                 Ok(outcome.best.into_iter().collect())
             }
             (Algorithm::Tgen(params), None) => {
-                let outcome = run_tgen(&graph, arena, params, &ctl)?;
+                let outcome = run_tgen(&graph, arena, params, &ctl, tracer)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
@@ -691,18 +737,18 @@ impl<'a> LcmsrEngine<'a> {
                 Ok(outcome.best.into_iter().collect())
             }
             (Algorithm::Greedy(params), None) => {
-                let outcome = run_greedy(&graph, arena, params, &ctl)?;
+                let outcome = run_greedy(&graph, arena, params, &ctl, tracer)?;
                 stats.greedy_steps = outcome.steps;
                 interrupted = outcome.interrupted;
                 Ok(outcome.best.into_iter().collect())
             }
             (Algorithm::Exact, None) => {
-                let outcome = ExactSolver::new().solve(&graph, arena, &ctl)?;
+                let outcome = ExactSolver::new().solve(&graph, arena, &ctl, tracer)?;
                 interrupted = outcome.interrupted;
                 Ok(outcome.best.into_iter().collect())
             }
             (Algorithm::App(params), Some(k)) => {
-                let outcome = topk_app(&graph, arena, params, k, &ctl)?;
+                let outcome = topk_app(&graph, arena, params, k, &ctl, tracer)?;
                 stats.kmst_calls = outcome.kmst_calls;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
@@ -713,7 +759,7 @@ impl<'a> LcmsrEngine<'a> {
                 Ok(outcome.tuples)
             }
             (Algorithm::Tgen(params), Some(k)) => {
-                let outcome = topk_tgen(&graph, arena, params, k, &ctl)?;
+                let outcome = topk_tgen(&graph, arena, params, k, &ctl, tracer)?;
                 stats.tuples_generated = outcome.tuples_generated;
                 stats.pruned_pairs = outcome.pruned_pairs;
                 stats.frontier_tuples = outcome.frontier_tuples;
@@ -723,19 +769,20 @@ impl<'a> LcmsrEngine<'a> {
                 Ok(outcome.tuples)
             }
             (Algorithm::Greedy(params), Some(k)) => {
-                let outcome = topk_greedy(&graph, arena, params, k, &ctl)?;
+                let outcome = topk_greedy(&graph, arena, params, k, &ctl, tracer)?;
                 stats.greedy_steps = outcome.greedy_steps;
                 interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
             (Algorithm::Exact, Some(k)) => {
-                let outcome = ExactSolver::new().solve_topk(&graph, arena, k, &ctl)?;
+                let outcome = ExactSolver::new().solve_topk(&graph, arena, k, &ctl, tracer)?;
                 stats.tuples_generated = outcome.feasible_enumerated;
                 interrupted = outcome.interrupted;
                 Ok(outcome.tuples)
             }
         })();
         stats.solve_time = solve_start.elapsed();
+        workspace.tracer.end(solve_span);
         // Return the graph to the pool on the error path too, so a failing
         // request (e.g. Exact over an oversized region) does not cost the
         // workspace its pooled allocations.
@@ -743,6 +790,7 @@ impl<'a> LcmsrEngine<'a> {
             Ok(tuples) => tuples,
             Err(e) => {
                 self.release(workspace, graph);
+                workspace.tracer.finish();
                 return Err(e);
             }
         };
@@ -758,7 +806,13 @@ impl<'a> LcmsrEngine<'a> {
             .collect();
         self.release(workspace, graph);
         stats.elapsed = start.elapsed();
-        Ok(QueryOutcome { regions, stats })
+        workspace.tracer.end(query_span);
+        let trace = workspace.tracer.finish();
+        Ok(QueryOutcome {
+            regions,
+            stats,
+            trace,
+        })
     }
 
     /// Answers a batch of requests concurrently, using one worker per
@@ -1786,7 +1840,12 @@ mod tests {
         let qg = QueryGraph::build(&view, &weights, 5.0, alpha).unwrap();
         let mut arena = TupleArena::new();
         let single = ExactSolver::new()
-            .solve(&qg, &mut arena, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap()
             .best
             .unwrap();
@@ -1795,7 +1854,13 @@ mod tests {
             "true optimum is the pair"
         );
         let top = ExactSolver::new()
-            .solve_topk(&qg, &mut arena, 1, &CancelToken::none())
+            .solve_topk(
+                &qg,
+                &mut arena,
+                1,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert!(
             top.tuples[0].same_nodes(&single, &arena),
@@ -2033,5 +2098,130 @@ mod tests {
         assert_eq!(Priority::Interactive.to_string(), "interactive");
         assert_eq!(Priority::Batch.as_str(), "batch");
         assert_eq!(Priority::default(), Priority::Interactive);
+    }
+
+    #[test]
+    fn traced_runs_yield_well_formed_span_trees_for_every_algorithm() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let whole = whole_rect(&network);
+        // Exact needs a region under its node cap; the others take the world.
+        let corner = Rect::new(-50.0, -50.0, 160.0, 160.0);
+        let cases = [
+            (Algorithm::App(AppParams::default()), whole),
+            (Algorithm::Tgen(TgenParams { alpha: 1.0 }), whole),
+            (Algorithm::Greedy(GreedyParams::default()), whole),
+            (Algorithm::Exact, corner),
+        ];
+        for (algorithm, rect) in cases {
+            let query = LcmsrQuery::new(["restaurant"], 400.0, rect).unwrap();
+            let outcome = engine
+                .execute(&QueryRequest::new(&query, algorithm.clone()).trace(true))
+                .unwrap();
+            let trace = outcome
+                .trace
+                .as_ref()
+                .unwrap_or_else(|| panic!("{algorithm:?} must produce a trace"));
+            // Structural invariants: parents precede and contain their
+            // children, and direct children sum to at most the parent.
+            trace
+                .validate()
+                .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
+            assert_eq!(trace.dropped, 0, "{algorithm:?}");
+            // Exactly one root: the whole query.
+            let roots: Vec<u32> = trace.children_of(crate::trace::SpanRecord::ROOT).collect();
+            assert_eq!(roots.len(), 1, "{algorithm:?}: {:?}", trace.spans);
+            assert_eq!(trace.spans[roots[0] as usize].label, "query");
+            // The prepare phase splits into grid scoring and graph build.
+            let (prepare, _) = trace.find("prepare").expect("prepare span");
+            let prepare_children: Vec<&str> = trace
+                .children_of(prepare)
+                .map(|i| trace.spans[i as usize].label)
+                .collect();
+            assert!(
+                prepare_children.contains(&"grid_score")
+                    && prepare_children.contains(&"graph_build"),
+                "{algorithm:?}: {prepare_children:?}"
+            );
+            let attrs: Vec<(&str, u64)> = trace.attrs_of(prepare).collect();
+            assert!(
+                attrs.iter().any(|&(k, v)| k == "nodes" && v > 0),
+                "{algorithm:?}: {attrs:?}"
+            );
+            // The solver contributed at least one span under "solve".
+            let (solve, _) = trace.find("solve").expect("solve span");
+            assert!(
+                trace.children_of(solve).count() >= 1,
+                "{algorithm:?} solver must record spans: {:?}",
+                trace.spans
+            );
+        }
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_return_identical_results() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        for algorithm in [
+            Algorithm::App(AppParams::default()),
+            Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            Algorithm::Greedy(GreedyParams::default()),
+        ] {
+            let request = QueryRequest::new(&query, algorithm.clone());
+            let untraced = engine.execute(&request.clone().trace(false)).unwrap();
+            let traced = engine.execute(&request.trace(true)).unwrap();
+            assert!(untraced.trace.is_none());
+            assert!(traced.trace.is_some());
+            assert_eq!(untraced.regions, traced.regions, "{algorithm:?}");
+            assert_eq!(
+                untraced.stats.tuples_generated,
+                traced.stats.tuples_generated
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_tracer_does_not_leak_spans_across_queries() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let mut workspace = QueryWorkspace::new();
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+
+        // Traced, then untraced, on the same pooled workspace.
+        let first = engine
+            .execute_with(
+                &mut workspace,
+                &QueryRequest::new(&query, algorithm.clone()).trace(true),
+            )
+            .unwrap();
+        let first_spans = first.trace.expect("traced run").spans.len();
+        assert!(first_spans >= 4, "query/prepare/split/solve at minimum");
+        let second = engine
+            .execute_with(
+                &mut workspace,
+                &QueryRequest::new(&query, algorithm.clone()),
+            )
+            .unwrap();
+        assert!(second.trace.is_none(), "tracing must not stick to the pool");
+
+        // A traced *failing* query (Exact over too many nodes) must leave the
+        // workspace collector disarmed for the next run.
+        let failing = QueryRequest::new(&query, Algorithm::Exact).trace(true);
+        assert!(engine.execute_with(&mut workspace, &failing).is_err());
+        let after_error = engine
+            .execute_with(
+                &mut workspace,
+                &QueryRequest::new(&query, algorithm.clone()).trace(true),
+            )
+            .unwrap();
+        let trace = after_error.trace.expect("re-armed run");
+        trace.validate().expect("well-formed after an error");
+        assert_eq!(
+            trace.spans.len(),
+            first_spans,
+            "stale spans from the failed query must not accumulate"
+        );
     }
 }

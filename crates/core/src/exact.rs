@@ -15,6 +15,7 @@ use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use lcmsr_roadnet::epoch::EpochMap;
 use std::cmp::Ordering;
 
@@ -62,9 +63,10 @@ impl ExactSolver {
         graph: &QueryGraph,
         arena: &mut TupleArena,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
     ) -> Result<ExactOutcome> {
         let mut best: Option<RegionTuple> = None;
-        let interrupted = self.enumerate(graph, arena, ctl, |arena, candidate| {
+        let interrupted = self.enumerate(graph, arena, ctl, tracer, |arena, candidate| {
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -96,6 +98,7 @@ impl ExactSolver {
         arena: &mut TupleArena,
         k: usize,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
     ) -> Result<ExactTopK> {
         let mut top: Vec<RegionTuple> = Vec::with_capacity(k.min(64));
         let mut feasible_enumerated = 0u64;
@@ -113,7 +116,7 @@ impl ExactSolver {
                 interrupted: false,
             });
         }
-        let interrupted = self.enumerate(graph, arena, ctl, |arena, candidate| {
+        let interrupted = self.enumerate(graph, arena, ctl, tracer, |arena, candidate| {
             feasible_enumerated += 1;
             let pos = top.partition_point(|t| t.cmp_quality(&candidate) != Ordering::Greater);
             if pos < k {
@@ -137,11 +140,15 @@ impl ExactSolver {
     /// (connected, length ≤ `Q.∆`) region tuple.  Each visited tuple is owned
     /// by the callback alone, which may free it.  Returns `true` when the
     /// cancellation token fired and the enumeration stopped early.
+    ///
+    /// Each poll stride ([`CANCEL_POLL_STRIDE`] masks) records a `mask_chunk`
+    /// span with a `feasible` attr into `tracer`.
     fn enumerate(
         &self,
         graph: &QueryGraph,
         arena: &mut TupleArena,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
         mut visit: impl FnMut(&mut TupleArena, RegionTuple),
     ) -> Result<bool> {
         let n = graph.node_count();
@@ -158,10 +165,18 @@ impl ExactSolver {
         let delta = graph.delta();
         let mut mst = MstScratch::new(n);
         // Enumerate all non-empty node subsets.
+        let mut chunk = tracer.start("mask_chunk");
+        let mut chunk_feasible = 0u64;
         for mask in 1u32..(1u32 << n) {
-            // Poll coarsely: one clock read per stride of 2^n masks.
-            if mask % CANCEL_POLL_STRIDE == 0 && ctl.is_cancelled() {
-                return Ok(true);
+            // Poll coarsely: one clock read per stride of 2^n masks; a trace
+            // span covers the same stride.
+            if mask % CANCEL_POLL_STRIDE == 0 {
+                tracer.end_with(chunk, &[("feasible", chunk_feasible)]);
+                chunk_feasible = 0;
+                if ctl.is_cancelled() {
+                    return Ok(true);
+                }
+                chunk = tracer.start("mask_chunk");
             }
             let nodes: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             let Some((edges, length)) = induced_mst(graph, &nodes, &mut mst) else {
@@ -173,8 +188,10 @@ impl ExactSolver {
             let weight: f64 = nodes.iter().map(|&v| graph.weight(v)).sum();
             let scaled: u64 = nodes.iter().map(|&v| graph.scaled_weight(v)).sum();
             let tuple = RegionTuple::from_parts(arena, length, weight, scaled, &nodes, &edges);
+            chunk_feasible += 1;
             visit(arena, tuple);
         }
+        tracer.end_with(chunk, &[("feasible", chunk_feasible)]);
         Ok(false)
     }
 }
@@ -298,7 +315,12 @@ mod tests {
 
     fn solve_best(qg: &QueryGraph, arena: &mut TupleArena) -> Option<RegionTuple> {
         ExactSolver::new()
-            .solve(qg, arena, &CancelToken::none())
+            .solve(
+                qg,
+                arena,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap()
             .best
     }
@@ -339,7 +361,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let top = ExactSolver::new()
-            .solve_topk(&qg, &mut arena, 5, &CancelToken::none())
+            .solve_topk(
+                &qg,
+                &mut arena,
+                5,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert_eq!(top.tuples.len(), 5);
         assert!(top.feasible_enumerated >= 5);
@@ -379,7 +407,13 @@ mod tests {
         let qg = QueryGraph::build(&view, &weights, 5.0, 0.5).unwrap();
         let mut arena = TupleArena::new();
         let top = ExactSolver::new()
-            .solve_topk(&qg, &mut arena, 10, &CancelToken::none())
+            .solve_topk(
+                &qg,
+                &mut arena,
+                10,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert_eq!(top.tuples.len(), 2);
         assert_eq!(top.feasible_enumerated, 2);
@@ -394,7 +428,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         assert!(ExactSolver::new()
-            .solve_topk(&qg, &mut arena, 0, &CancelToken::none())
+            .solve_topk(
+                &qg,
+                &mut arena,
+                0,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .unwrap()
             .tuples
             .is_empty());
@@ -402,13 +442,25 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg0 = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(ExactSolver::new()
-            .solve_topk(&qg0, &mut arena, 3, &CancelToken::none())
+            .solve_topk(
+                &qg0,
+                &mut arena,
+                3,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .unwrap()
             .tuples
             .is_empty());
         // The size limit still applies for k = 0 on a relevant graph.
         assert!(ExactSolver::with_node_limit(3)
-            .solve_topk(&qg, &mut arena, 0, &CancelToken::none())
+            .solve_topk(
+                &qg,
+                &mut arena,
+                0,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .is_err());
     }
 
@@ -422,7 +474,13 @@ mod tests {
             let mut arena = TupleArena::new();
             let single = solve_best(&qg, &mut arena).unwrap();
             let top = ExactSolver::new()
-                .solve_topk(&qg, &mut arena, 1, &CancelToken::none())
+                .solve_topk(
+                    &qg,
+                    &mut arena,
+                    1,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
                 .unwrap();
             assert_eq!(top.tuples.len(), 1);
             assert!(top.tuples[0].same_nodes(&single, &arena));
@@ -434,7 +492,12 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let solver = ExactSolver::with_node_limit(3);
         assert!(matches!(
-            solver.solve(&qg, &mut TupleArena::new(), &CancelToken::none()),
+            solver.solve(
+                &qg,
+                &mut TupleArena::new(),
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            ),
             Err(LcmsrError::GraphTooLargeForExact { nodes: 6, limit: 3 })
         ));
     }
@@ -447,7 +510,12 @@ mod tests {
         let view = RegionView::whole(&network);
         let qg = QueryGraph::build(&view, &NodeWeights::default(), 5.0, 0.5).unwrap();
         assert!(ExactSolver::new()
-            .solve(&qg, &mut TupleArena::new(), &CancelToken::none())
+            .solve(
+                &qg,
+                &mut TupleArena::new(),
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .unwrap()
             .best
             .is_none());

@@ -23,6 +23,7 @@ use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of Greedy.
@@ -69,14 +70,16 @@ pub struct GreedyOutcome {
 ///
 /// `ctl` is polled once per expansion step; when it fires the expansion stops
 /// and the region grown so far (always feasible) is returned with
-/// `interrupted: true`.
+/// `interrupted: true`.  Each expansion round records a `greedy_round` span
+/// into `tracer` (one predicted branch when disabled).
 pub fn run_greedy(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     params: &GreedyParams,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<GreedyOutcome> {
-    run_greedy_excluding(graph, arena, params, &[], ctl)
+    run_greedy_excluding(graph, arena, params, &[], ctl, tracer)
 }
 
 /// Runs Greedy but seeds at the maximum-weight node *not* contained in
@@ -88,6 +91,7 @@ pub fn run_greedy_excluding(
     params: &GreedyParams,
     excluded: &[u32],
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<GreedyOutcome> {
     params.validate()?;
     let delta = graph.delta();
@@ -134,6 +138,7 @@ pub fn run_greedy_excluding(
             interrupted = true;
             break;
         }
+        let span = tracer.start("greedy_round");
         // Gather frontier candidates: nodes adjacent to the region, with the
         // shortest connecting edge for each.
         let mut best_candidate: Option<(u32, u32, f64, f64)> = None; // (node, edge, edge_len, score)
@@ -161,6 +166,7 @@ pub fn run_greedy_excluding(
             }
         }
         let Some((u, e, edge_len, _)) = best_candidate else {
+            tracer.end(span);
             break; // no candidate fits within Q.∆
         };
         let grown = region.extend(
@@ -176,6 +182,7 @@ pub fn run_greedy_excluding(
         region = grown;
         in_region[u as usize] = true;
         steps += 1;
+        tracer.end_with(span, &[("node", u64::from(u))]);
         if steps as usize > n {
             break; // safety net; cannot add more nodes than exist
         }
@@ -213,6 +220,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let region = outcome.best.unwrap();
@@ -232,9 +240,14 @@ mod tests {
             for mu in [0.0, 0.2, 0.5, 0.8, 1.0] {
                 let (_n, qg) = figure2_query_graph(delta, 0.15);
                 let mut arena = TupleArena::new();
-                let outcome =
-                    run_greedy(&qg, &mut arena, &GreedyParams { mu }, &CancelToken::none())
-                        .unwrap();
+                let outcome = run_greedy(
+                    &qg,
+                    &mut arena,
+                    &GreedyParams { mu },
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
+                .unwrap();
                 let region = outcome.best.unwrap();
                 assert!(
                     region.length <= delta + 1e-9,
@@ -254,6 +267,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let region = outcome.best.unwrap();
@@ -271,6 +285,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let region = outcome.best.unwrap();
@@ -289,6 +304,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         assert!(outcome.best.unwrap().weight <= 1.1 + 1e-9);
@@ -307,6 +323,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         assert!(outcome.best.is_none());
@@ -321,6 +338,7 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best
@@ -332,6 +350,7 @@ mod tests {
             &GreedyParams::default(),
             &first_nodes,
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best
@@ -349,6 +368,7 @@ mod tests {
             &mut arena,
             &GreedyParams { mu: 0.0 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best
@@ -358,6 +378,7 @@ mod tests {
             &mut arena,
             &GreedyParams { mu: 1.0 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best

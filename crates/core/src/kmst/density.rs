@@ -12,6 +12,7 @@ use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -173,6 +174,7 @@ impl KMstSolver for DensityKMst {
         arena: &mut TupleArena,
         quota: u64,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
     ) -> Option<RegionTuple> {
         self.invocations += 1;
         // Candidate roots: the highest-scaled-weight nodes.
@@ -204,7 +206,16 @@ impl KMstSolver for DensityKMst {
             if ctl.is_cancelled() {
                 break;
             }
-            if let Some(tree) = Self::grow(graph, arena, root, quota, ctl) {
+            let span = tracer.start("density_root");
+            let grown = Self::grow(graph, arena, root, quota, ctl);
+            tracer.end_with(
+                span,
+                &[
+                    ("root", u64::from(root)),
+                    ("scaled", grown.map_or(0, |t| t.scaled)),
+                ],
+            );
+            if let Some(tree) = grown {
                 let better = best.as_ref().map_or(true, |b| tree.length < b.length);
                 if better {
                     // The displaced tree has a single owner — recycle it.
@@ -241,7 +252,13 @@ mod tests {
         let mut solver = DensityKMst::new();
         for quota in [10u64, 40, 70, 110, 150, 170] {
             let t = solver
-                .solve(&qg, &mut arena, quota, &CancelToken::none())
+                .solve(
+                    &qg,
+                    &mut arena,
+                    quota,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
                 .unwrap();
             assert!(t.scaled >= quota);
             validate_tree(&qg, &arena, &t);
@@ -260,7 +277,8 @@ mod tests {
                 &qg,
                 &mut arena,
                 qg.total_scaled_weight() + 1,
-                &CancelToken::none()
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
             )
             .is_none());
     }
@@ -282,10 +300,22 @@ mod tests {
         let mut solver = DensityKMst::new();
         let mut arena = TupleArena::new();
         assert!(solver
-            .solve(&qg, &mut arena, 0, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                0,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .is_some());
         assert!(solver
-            .solve(&qg, &mut arena, 5, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                5,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .is_none());
     }
 
@@ -296,7 +326,13 @@ mod tests {
         let mut arena = TupleArena::new();
         // Quota 110 = the optimal example region {v2,v4,v5,v6} (length 5.9).
         let t = solver
-            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert!(t.scaled >= 110);
         // The greedy tree should not be wildly longer than the optimum.
@@ -311,10 +347,22 @@ mod tests {
         let mut arena = TupleArena::new();
         let quota = 130;
         let t_few = few
-            .solve(&qg, &mut arena, quota, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                quota,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         let t_many = many
-            .solve(&qg, &mut arena, quota, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                quota,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert!(t_many.length <= t_few.length + 1e-9);
     }

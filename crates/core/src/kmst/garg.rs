@@ -14,6 +14,7 @@ use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use std::collections::BTreeMap;
 
 /// Default number of λ-bisection steps.
@@ -120,6 +121,7 @@ impl KMstSolver for GargKMst {
         arena: &mut TupleArena,
         quota: u64,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
     ) -> Option<RegionTuple> {
         self.invocations += 1;
         self.sync_cache_to(arena);
@@ -140,9 +142,11 @@ impl KMstSolver for GargKMst {
                 // No quota-meeting tree yet; nothing partial to hand back.
                 return None;
             }
+            let span = tracer.start("lambda_double");
             lambda_hi *= 2.0;
             hi_tree = self.tree_for_lambda(graph, arena, lambda_hi);
             doublings += 1;
+            tracer.end_with(span, &[("scaled", hi_tree.scaled)]);
         }
         if hi_tree.scaled < quota {
             // GW pruning kept less than the quota even with huge prizes (can
@@ -164,8 +168,10 @@ impl KMstSolver for GargKMst {
             if mid <= lo || mid >= hi {
                 break;
             }
+            let span = tracer.start("lambda_step");
             let tree = self.tree_for_lambda(graph, arena, mid);
-            if tree.scaled >= quota {
+            let meets = tree.scaled >= quota;
+            if meets {
                 if tree.length < best.length
                     || (tree.length <= best.length + 1e-12 && tree.scaled > best.scaled)
                 {
@@ -175,6 +181,10 @@ impl KMstSolver for GargKMst {
             } else {
                 lo = mid;
             }
+            tracer.end_with(
+                span,
+                &[("scaled", tree.scaled), ("meets_quota", meets as u64)],
+            );
         }
         Some(best)
     }
@@ -200,7 +210,13 @@ mod tests {
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
         let t = solver
-            .solve(&qg, &mut arena, 0, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                0,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.scaled, 40); // a 0.4-weight node scaled 100×
@@ -214,10 +230,22 @@ mod tests {
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
         assert!(solver
-            .solve(&qg, &mut arena, total + 1, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                total + 1,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .is_none());
         assert!(solver
-            .solve(&qg, &mut arena, total, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                total,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled()
+            )
             .is_some());
     }
 
@@ -228,7 +256,13 @@ mod tests {
         let mut solver = GargKMst::new();
         for quota in [10u64, 40, 70, 90, 110, 130, 150, 170] {
             let t = solver
-                .solve(&qg, &mut arena, quota, &CancelToken::none())
+                .solve(
+                    &qg,
+                    &mut arena,
+                    quota,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
                 .unwrap_or_else(|| panic!("quota {quota} should be attainable"));
             assert!(t.scaled >= quota, "quota {quota}, got {}", t.scaled);
             validate_tree(&qg, &arena, &t);
@@ -241,10 +275,22 @@ mod tests {
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
         let small = solver
-            .solve(&qg, &mut arena, 40, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                40,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         let large = solver
-            .solve(&qg, &mut arena, 150, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                150,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert!(large.length >= small.length);
         assert!(large.node_count() >= small.node_count());
@@ -259,7 +305,13 @@ mod tests {
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
         let t = solver
-            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert!(t.scaled >= 110);
         assert!(
@@ -274,13 +326,31 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let mut solver = GargKMst::new();
-        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
+        let _ = solver.solve(
+            &qg,
+            &mut arena,
+            100,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         let runs_after_first = solver.gw_runs();
-        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
+        let _ = solver.solve(
+            &qg,
+            &mut arena,
+            100,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         // The second identical call should be mostly served from the cache.
         assert!(solver.gw_runs() <= runs_after_first + 2);
         solver.reset_cache();
-        let _ = solver.solve(&qg, &mut arena, 100, &CancelToken::none());
+        let _ = solver.solve(
+            &qg,
+            &mut arena,
+            100,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         assert!(solver.gw_runs() > runs_after_first);
     }
 
@@ -293,7 +363,13 @@ mod tests {
         let mut solver = GargKMst::new();
         let mut arena = TupleArena::new();
         let first = solver
-            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         validate_tree(&qg, &arena, &first);
         let first_nodes: Vec<u32> = first.nodes(&arena).to_vec();
@@ -301,7 +377,13 @@ mod tests {
 
         // Same arena, no reset: served from cache.
         let again = solver
-            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         assert_eq!(again.nodes(&arena), first_nodes.as_slice());
         assert!(solver.gw_runs() <= runs_warm + 2);
@@ -310,7 +392,13 @@ mod tests {
         // result still be a valid identical tree in the fresh slab.
         arena.reset();
         let after_reset = solver
-            .solve(&qg, &mut arena, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut arena,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         validate_tree(&qg, &arena, &after_reset);
         assert_eq!(after_reset.nodes(&arena), first_nodes.as_slice());
@@ -323,7 +411,13 @@ mod tests {
         let runs_reset = solver.gw_runs();
         let mut other = TupleArena::new();
         let cross = solver
-            .solve(&qg, &mut other, 110, &CancelToken::none())
+            .solve(
+                &qg,
+                &mut other,
+                110,
+                &CancelToken::none(),
+                &mut TraceCollector::disabled(),
+            )
             .unwrap();
         validate_tree(&qg, &other, &cross);
         assert_eq!(cross.nodes(&other), first_nodes.as_slice());

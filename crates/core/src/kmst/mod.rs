@@ -23,6 +23,7 @@ use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 
 /// A solver for the node-weighted k-MST problem on a query graph.
 pub trait KMstSolver {
@@ -39,12 +40,17 @@ pub trait KMstSolver {
     /// steps, candidate roots) and, once it fires, return the best
     /// quota-meeting tree found so far — or `None` when none has been found
     /// yet.  Callers detect the interruption through the token itself.
+    ///
+    /// The same boundaries record spans into `tracer` (λ-bisection iterations,
+    /// candidate roots); a disabled collector costs one predicted branch, like
+    /// the inert token.
     fn solve(
         &mut self,
         graph: &QueryGraph,
         arena: &mut TupleArena,
         quota: u64,
         ctl: &CancelToken,
+        tracer: &mut TraceCollector,
     ) -> Option<RegionTuple>;
 
     /// Human-readable solver name (used in experiment output).

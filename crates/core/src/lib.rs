@@ -73,6 +73,7 @@ pub mod region;
 pub mod stats;
 pub mod tgen;
 pub mod topk;
+pub mod trace;
 pub mod tuple_array;
 
 /// Convenient re-exports of the most commonly used types.
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::stats::{PartialCause, RunStats};
     pub use crate::tgen::TgenParams;
     pub use crate::topk::TopKOutcome;
+    pub use crate::trace::{QueryTrace, SpanId, SpanRecord, TraceCollector};
 }
 
 pub use app::AppParams;
@@ -109,3 +111,4 @@ pub use query::LcmsrQuery;
 pub use query_graph::{QueryGraph, QueryGraphBuilder};
 pub use region::Region;
 pub use tgen::TgenParams;
+pub use trace::{QueryTrace, TraceCollector};

@@ -22,6 +22,7 @@ use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use crate::tuple_array::{BestTracker, TupleArray};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -72,12 +73,14 @@ impl OptTreeResult {
 /// best feasible region under the graph's length constraint `Q.∆`.
 ///
 /// `ctl` is polled once per peeled leaf; when it fires the DP stops and
-/// returns its incumbent with `interrupted: true`.
+/// returns its incumbent with `interrupted: true`.  Each peeled leaf records
+/// a `peel_leaf` span into `tracer` (one predicted branch when disabled).
 pub fn find_opt_tree(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     tree: &RegionTuple,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> OptTreeResult {
     let delta = graph.delta();
     // Materialise the tree's id sets so the arena stays free for tuple
@@ -163,6 +166,8 @@ pub fn find_opt_tree(
             break;
         };
         let edge_length = graph.edge(edge).length;
+        let span = tracer.start("peel_leaf");
+        let tuples_before = tuples_generated;
         // Combine every region rooted at p with every feasible region rooted
         // at the parent.  Both snapshots keep the frontier order (length
         // ascending), so the feasible parent partners of each leaf tuple form
@@ -193,6 +198,13 @@ pub fn find_opt_tree(
                 }
             }
         }
+        tracer.end_with(
+            span,
+            &[
+                ("node", u64::from(tree_nodes[p as usize])),
+                ("tuples", tuples_generated - tuples_before),
+            ],
+        );
         // Remove p from the tree.
         removed[p as usize] = true;
         remaining -= 1;
@@ -246,7 +258,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 110);
         assert!((best.weight - 1.1).abs() < 1e-9);
@@ -261,7 +279,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(0.5, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         let best = result.best.unwrap();
         assert_eq!(best.node_count(), 1);
         assert_eq!(best.scaled, 40);
@@ -272,7 +296,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(100.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         let best = result.best.unwrap();
         assert_eq!(best.node_count(), 6);
         assert_eq!(best.scaled, 170);
@@ -284,7 +314,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = spanning_tree_of_figure2(&qg, &mut arena);
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         for arr in result.arrays.values() {
             for t in arr.iter() {
                 assert!(
@@ -303,7 +339,13 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let tree = RegionTuple::singleton(&mut arena, 2, qg.weight(2), qg.scaled_weight(2));
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         assert_eq!(result.best.unwrap().nodes(&arena), &[2]);
     }
 
@@ -337,7 +379,13 @@ mod tests {
         assert_eq!(qg.scaled_weight(2), 40);
         let mut arena = TupleArena::new();
         let tree = RegionTuple::from_parts(&mut arena, 9.0, 0.8, 80, &[0, 1, 2], &[0, 1]);
-        let result = find_opt_tree(&qg, &mut arena, &tree, &CancelToken::none());
+        let result = find_opt_tree(
+            &qg,
+            &mut arena,
+            &tree,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        );
         let best = result.best.unwrap();
         assert_eq!(best.scaled, 80);
         assert_eq!(best.node_count(), 3);

@@ -158,6 +158,12 @@ impl std::fmt::Display for RunStats {
             self.pruned_pairs,
             self.frontier_tuples
         )?;
+        if !self.queue_time.is_zero() {
+            write!(f, " + queue {:.2}", self.queue_ms())?;
+        }
+        if let Some(budget) = self.deadline {
+            write!(f, " [deadline {:.2} ms]", budget.as_secs_f64() * 1_000.0)?;
+        }
         if self.partial {
             match self.partial_cause {
                 Some(cause) => write!(f, " [partial: {cause}]")?,
@@ -211,5 +217,23 @@ mod tests {
         assert_eq!(PartialCause::Cancelled.to_string(), "cancelled");
         assert!(s.to_string().contains("[partial: deadline_exceeded]"));
         assert!(!RunStats::new("Exact").to_string().contains("partial"));
+    }
+
+    #[test]
+    fn display_shows_queue_wait_only_when_nonzero() {
+        let mut s = RunStats::new("TGEN");
+        assert!(!s.to_string().contains("queue"));
+        s.queue_time = Duration::from_millis(3);
+        let shown = s.to_string();
+        assert!(shown.contains("+ queue 3.00"), "{shown}");
+    }
+
+    #[test]
+    fn display_shows_deadline_budget_when_set() {
+        let mut s = RunStats::new("APP");
+        assert!(!s.to_string().contains("deadline"));
+        s.deadline = Some(Duration::from_millis(50));
+        let shown = s.to_string();
+        assert!(shown.contains("[deadline 50.00 ms]"), "{shown}");
     }
 }

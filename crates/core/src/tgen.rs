@@ -43,6 +43,7 @@ use crate::cancel::CancelToken;
 use crate::error::{LcmsrError, Result};
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
+use crate::trace::TraceCollector;
 use crate::tuple_array::{BestTracker, ExploredArray, NaiveTupleArray};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -117,12 +118,15 @@ const TOP_LIMIT: usize = 64;
 ///
 /// `ctl` is polled once per enumerated edge; when it fires the run stops and
 /// returns its incumbents with `interrupted: true`.  The inert token costs a
-/// predicted branch per edge and perturbs nothing.
+/// predicted branch per edge and perturbs nothing.  Each combine round (one
+/// enumerated edge) records a `combine_edge` span with `tuples`/`pruned`
+/// attrs into `tracer` — same inert discipline as the token.
 pub fn run_tgen(
     graph: &QueryGraph,
     arena: &mut TupleArena,
     params: &TgenParams,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<TgenOutcome> {
     params.validate()?;
     let delta = graph.delta();
@@ -207,6 +211,9 @@ pub fn run_tgen(
                     enqueued[vj as usize] = true;
                     queue.push_back(vj);
                 }
+                let span = tracer.start("combine_edge");
+                let tuples_before = tuples_generated;
+                let pruned_before = pruned_pairs;
                 // Combine every region containing vi with every feasible
                 // region containing vj.
                 left.clear();
@@ -256,6 +263,14 @@ pub fn run_tgen(
                         arrays[v as usize].insert_if_better(*t);
                     }
                 }
+                tracer.end_with(
+                    span,
+                    &[
+                        ("edge", u64::from(e)),
+                        ("tuples", tuples_generated - tuples_before),
+                        ("pruned", pruned_pairs - pruned_before),
+                    ],
+                );
             }
             // All incident edges of vi have been processed; its array is no
             // longer needed (later tuples containing vi skip it).
@@ -477,6 +492,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let best = outcome.best.unwrap();
@@ -499,6 +515,7 @@ mod tests {
                 &mut arena,
                 &TgenParams { alpha: 0.15 },
                 &CancelToken::none(),
+                &mut TraceCollector::disabled(),
             )
             .unwrap();
             let best = outcome.best.unwrap();
@@ -522,7 +539,14 @@ mod tests {
                 let (_n, qg) = figure2_query_graph(delta, alpha);
                 let params = TgenParams { alpha };
                 let mut arena = TupleArena::new();
-                let frontier = run_tgen(&qg, &mut arena, &params, &CancelToken::none()).unwrap();
+                let frontier = run_tgen(
+                    &qg,
+                    &mut arena,
+                    &params,
+                    &CancelToken::none(),
+                    &mut TraceCollector::disabled(),
+                )
+                .unwrap();
                 let mut baseline_arena = TupleArena::new();
                 let baseline = run_tgen_baseline(&qg, &mut baseline_arena, &params).unwrap();
                 match (&frontier.best, &baseline.best) {
@@ -562,6 +586,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         assert!(outcome.pruned_pairs > 0, "tight ∆ must prune pairs");
@@ -587,6 +612,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best
@@ -598,6 +624,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 3.0 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .best
@@ -618,6 +645,7 @@ mod tests {
             &mut arena,
             &TgenParams::default(),
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         assert!(outcome.best.is_none());
@@ -634,6 +662,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let best = outcome.best.unwrap();
@@ -650,6 +679,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let top = &outcome.top_tuples;
@@ -678,6 +708,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 100.0 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let best = outcome.best.expect("relevant nodes exist");
@@ -718,6 +749,7 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.1 },
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let best = outcome.best.unwrap();

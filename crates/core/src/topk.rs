@@ -20,6 +20,7 @@ use crate::opt_tree::find_opt_tree;
 use crate::query_graph::QueryGraph;
 use crate::region::RegionTuple;
 use crate::tgen::{run_tgen, TgenParams};
+use crate::trace::TraceCollector;
 
 /// Orders candidate tuples with the shared quality order
 /// ([`RegionTuple::cmp_quality`]) so `run_topk(…, 1)` agrees with the
@@ -79,6 +80,7 @@ pub fn topk_app(
     params: &AppParams,
     k: usize,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 || graph.sigma_max() <= 0.0 {
@@ -92,6 +94,7 @@ pub fn topk_app(
         params.beta,
         params.max_iterations,
         ctl,
+        tracer,
     );
     let kmst_calls = solver.invocations();
     let Some(candidate) = candidate else {
@@ -113,7 +116,12 @@ pub fn topk_app(
         });
     };
     // Per Section 6.2, always compute the tuple arrays over the candidate tree.
-    let dp = find_opt_tree(graph, arena, &candidate, ctl);
+    let span = tracer.start("find_opt_tree");
+    let dp = find_opt_tree(graph, arena, &candidate, ctl, tracer);
+    tracer.end_with(
+        span,
+        &[("tuples", dp.tuples_generated), ("pruned", dp.pruned_pairs)],
+    );
     let tuples_generated = dp.tuples_generated;
     let pruned_pairs = dp.pruned_pairs;
     let dp_interrupted = dp.interrupted;
@@ -158,12 +166,13 @@ pub fn topk_tgen(
     params: &TgenParams,
     k: usize,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
         return Ok(TopKOutcome::default());
     }
-    let outcome = run_tgen(graph, arena, params, ctl)?;
+    let outcome = run_tgen(graph, arena, params, ctl, tracer)?;
     Ok(TopKOutcome {
         tuples: dedupe_topk(arena, outcome.top_tuples, k),
         kmst_calls: 0,
@@ -184,6 +193,7 @@ pub fn topk_greedy(
     params: &GreedyParams,
     k: usize,
     ctl: &CancelToken,
+    tracer: &mut TraceCollector,
 ) -> Result<TopKOutcome> {
     params.validate()?;
     if k == 0 {
@@ -194,7 +204,9 @@ pub fn topk_greedy(
     let mut greedy_steps = 0u64;
     let mut interrupted = false;
     for _ in 0..k {
-        let outcome = run_greedy_excluding(graph, arena, params, &excluded, ctl)?;
+        let span = tracer.start("candidate");
+        let outcome = run_greedy_excluding(graph, arena, params, &excluded, ctl, tracer)?;
+        tracer.end_with(span, &[("steps", outcome.steps)]);
         greedy_steps += outcome.steps;
         interrupted |= outcome.interrupted;
         let Some(region) = outcome.best else { break };
@@ -246,6 +258,7 @@ mod tests {
             &AppParams::default(),
             3,
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         assert!(outcome.kmst_calls > 0, "oracle invocations must be counted");
@@ -266,12 +279,26 @@ mod tests {
         let (_n, qg) = figure2_query_graph(6.0, 0.15);
         let mut arena = TupleArena::new();
         let params = TgenParams { alpha: 0.15 };
-        let single = run_tgen(&qg, &mut arena, &params, &CancelToken::none())
-            .unwrap()
-            .best
-            .unwrap();
+        let single = run_tgen(
+            &qg,
+            &mut arena,
+            &params,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap()
+        .best
+        .unwrap();
         arena.reset();
-        let outcome = topk_tgen(&qg, &mut arena, &params, 4, &CancelToken::none()).unwrap();
+        let outcome = topk_tgen(
+            &qg,
+            &mut arena,
+            &params,
+            4,
+            &CancelToken::none(),
+            &mut TraceCollector::disabled(),
+        )
+        .unwrap();
         assert!(outcome.tuples_generated > 0, "TGEN tuples must be counted");
         assert_eq!(outcome.kmst_calls, 0);
         let regions = outcome.tuples;
@@ -295,6 +322,7 @@ mod tests {
             &GreedyParams::default(),
             3,
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap();
         let regions = outcome.tuples;
@@ -320,7 +348,8 @@ mod tests {
             &mut arena,
             &AppParams::default(),
             0,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -330,7 +359,8 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.15 },
             0,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -340,7 +370,8 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             0,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -356,7 +387,8 @@ mod tests {
             &mut arena,
             &AppParams::default(),
             3,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -366,7 +398,8 @@ mod tests {
             &mut arena,
             &TgenParams { alpha: 0.5 },
             3,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -376,7 +409,8 @@ mod tests {
             &mut arena,
             &GreedyParams::default(),
             3,
-            &CancelToken::none()
+            &CancelToken::none(),
+            &mut TraceCollector::disabled()
         )
         .unwrap()
         .tuples
@@ -393,6 +427,7 @@ mod tests {
             &TgenParams { alpha: 0.15 },
             2,
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .tuples;
@@ -402,6 +437,7 @@ mod tests {
             &TgenParams { alpha: 0.15 },
             5,
             &CancelToken::none(),
+            &mut TraceCollector::disabled(),
         )
         .unwrap()
         .tuples;

@@ -51,24 +51,36 @@ impl HttpClient {
 
     /// Sends a `GET` and returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        self.request("GET", path, None).map(|r| (r.status, r.body))
+        self.request("GET", path, None, &[])
+            .map(|r| (r.status, r.body))
     }
 
     /// Sends a `POST` with a JSON body and returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
             .map(|r| (r.status, r.body))
     }
 
     /// Sends a `GET` and returns the full response including headers.
     pub fn get_full(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// Sends a `POST` and returns the full response including headers
     /// (e.g. `Retry-After` on a `503` shed).
     pub fn post_full(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// Sends a `POST` with extra request headers (e.g. `X-Request-Id`) and
+    /// returns the full response.  Header values must be CRLF-free.
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), extra_headers)
     }
 
     fn request(
@@ -76,12 +88,20 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra_headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: lcmsr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: lcmsr\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;

@@ -87,6 +87,10 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Force-close the connection after sending.
     pub close: bool,
+    /// Extra response headers (name, value), emitted verbatim after the
+    /// standard ones.  Callers must pass CRLF-free values (the service layer
+    /// only puts validated request ids here).
+    pub headers: Vec<(String, String)>,
 }
 
 impl HttpResponse {
@@ -97,6 +101,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            headers: Vec::new(),
         }
     }
 
@@ -107,7 +112,14 @@ impl HttpResponse {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            headers: Vec::new(),
         }
+    }
+
+    /// Attaches an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     fn reason(status: u16) -> &'static str {
@@ -132,6 +144,12 @@ impl HttpResponse {
         );
         if self.status == 503 {
             head.push_str("Retry-After: 1\r\n");
+        }
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
         }
         head.push_str(if close {
             "Connection: close\r\n\r\n"

@@ -30,7 +30,10 @@
 //! * [`metrics`] — atomically-maintained counters and a fixed-bucket latency
 //!   histogram behind `/metrics`, plus `/healthz`;
 //! * [`client`] — a tiny blocking client for tests, smoke checks and the
-//!   closed-loop throughput benchmark.
+//!   closed-loop throughput benchmark;
+//! * [`diag`] — per-query diagnostics: `X-Request-Id` propagation, rings of
+//!   recently completed and slow query traces behind `/debug/trace/recent`
+//!   and `/debug/slow`, and the sampled slow-query log.
 //!
 //! ## Starting a server
 //!
@@ -53,6 +56,7 @@
 
 pub mod api;
 pub mod client;
+pub mod diag;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -62,6 +66,7 @@ mod sync;
 
 pub use api::{QueryRequest, QueryResponse, RegionDto, StatsDto};
 pub use client::{ClientResponse, HttpClient};
+pub use diag::{Diagnostics, DiagnosticsConfig};
 pub use metrics::ServiceMetrics;
 pub use scheduler::{BatchConfig, JobKind, Scheduler};
 pub use service::{serve, ServiceConfig, ServiceHandle};

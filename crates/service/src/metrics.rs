@@ -82,6 +82,12 @@ impl LatencyHistogram {
         LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2
     }
 
+    /// Sum of all recorded latencies, in microseconds (the Prometheus
+    /// histogram `_sum`, in the same unit as the bucket bounds).
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
     /// Cumulative bucket counts in `(upper_bound_us, cumulative_count)` form,
     /// the overflow bucket last with `u64::MAX` as its bound.
     pub fn cumulative(&self) -> Vec<(u64, u64)> {
@@ -115,6 +121,10 @@ pub struct ServiceMetrics {
     /// `200` responses whose result was partial (deadline or cancellation
     /// stopped the solver at its best-so-far incumbent).
     pub partial: AtomicU64,
+    /// Served queries at or beyond the diagnostics slow threshold.
+    pub slow_queries: AtomicU64,
+    /// Served queries that ran with span tracing enabled (sampled).
+    pub traced: AtomicU64,
     /// Batches dispatched to the engine.
     pub batches: AtomicU64,
     /// Total queries across all dispatched batches.
@@ -160,64 +170,144 @@ impl ServiceMetrics {
         }
     }
 
-    /// Renders the Prometheus text exposition for `/metrics`.
+    /// Renders the Prometheus text exposition for `/metrics`: every series
+    /// carries `# HELP` and `# TYPE` metadata, `_total` series are counters,
+    /// and the latency histogram follows the `_bucket`/`_sum`/`_count`
+    /// convention (all in microseconds, matching the bucket bounds).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let mut gauge = |name: &str, value: String| {
+        let mut series = |name: &str, kind: &str, help: &str, value: String| {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push_str("\n# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
             out.push_str(name);
             out.push(' ');
             out.push_str(&value);
             out.push('\n');
         };
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        gauge("lcmsr_requests_total", load(&self.requests).to_string());
-        gauge("lcmsr_queries_total", load(&self.queries).to_string());
-        gauge(
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed).to_string();
+        series(
+            "lcmsr_requests_total",
+            "counter",
+            "HTTP requests received on any route.",
+            load(&self.requests),
+        );
+        series(
+            "lcmsr_queries_total",
+            "counter",
+            "Query requests admitted to the scheduler.",
+            load(&self.queries),
+        );
+        series(
             "lcmsr_responses_ok_total",
-            load(&self.responses_ok).to_string(),
+            "counter",
+            "200 responses on the query route.",
+            load(&self.responses_ok),
         );
-        gauge(
+        series(
             "lcmsr_responses_client_error_total",
-            load(&self.responses_client_error).to_string(),
+            "counter",
+            "4xx responses (malformed or invalid requests).",
+            load(&self.responses_client_error),
         );
-        gauge("lcmsr_shed_total", load(&self.shed).to_string());
-        gauge(
+        series(
+            "lcmsr_shed_total",
+            "counter",
+            "503 responses shed because the admission queue was full.",
+            load(&self.shed),
+        );
+        series(
             "lcmsr_deadline_shed_total",
-            load(&self.deadline_shed).to_string(),
+            "counter",
+            "503 responses shed because the deadline was unmeetable.",
+            load(&self.deadline_shed),
         );
-        gauge("lcmsr_partial_total", load(&self.partial).to_string());
-        gauge("lcmsr_batches_total", load(&self.batches).to_string());
-        gauge(
+        series(
+            "lcmsr_partial_total",
+            "counter",
+            "200 responses carrying a best-so-far partial result.",
+            load(&self.partial),
+        );
+        series(
+            "lcmsr_slow_queries_total",
+            "counter",
+            "Served queries at or beyond the slow-query threshold.",
+            load(&self.slow_queries),
+        );
+        series(
+            "lcmsr_traced_queries_total",
+            "counter",
+            "Served queries that ran with span tracing enabled.",
+            load(&self.traced),
+        );
+        series(
+            "lcmsr_batches_total",
+            "counter",
+            "Batches dispatched to the engine.",
+            load(&self.batches),
+        );
+        series(
             "lcmsr_batched_queries_total",
-            load(&self.batched_queries).to_string(),
+            "counter",
+            "Queries across all dispatched batches.",
+            load(&self.batched_queries),
         );
-        gauge(
+        series(
             "lcmsr_mean_batch_size",
+            "gauge",
+            "Mean queries per dispatched batch.",
             format!("{:.3}", self.mean_batch_size()),
         );
-        gauge("lcmsr_queue_depth", load(&self.queue_depth).to_string());
-        gauge("lcmsr_prepare_ns_total", load(&self.prepare_ns).to_string());
-        gauge(
+        series(
+            "lcmsr_queue_depth",
+            "gauge",
+            "Current scheduler queue depth.",
+            load(&self.queue_depth),
+        );
+        series(
+            "lcmsr_prepare_ns_total",
+            "counter",
+            "Total prepare-phase time across answered queries, nanoseconds.",
+            load(&self.prepare_ns),
+        );
+        series(
             "lcmsr_prepare_grid_score_ns_total",
-            load(&self.grid_score_ns).to_string(),
+            "counter",
+            "Grid-scoring component of the prepare phase, nanoseconds.",
+            load(&self.grid_score_ns),
         );
-        gauge(
+        series(
             "lcmsr_prepare_graph_build_ns_total",
-            load(&self.graph_build_ns).to_string(),
+            "counter",
+            "Graph-build component of the prepare phase, nanoseconds.",
+            load(&self.graph_build_ns),
         );
-        gauge("lcmsr_latency_count", self.latency.count().to_string());
-        gauge(
+        series(
             "lcmsr_latency_mean_us",
+            "gauge",
+            "Mean end-to-end query latency, microseconds.",
             format!("{:.1}", self.latency.mean_us()),
         );
-        gauge(
+        series(
             "lcmsr_latency_p50_us",
+            "gauge",
+            "Estimated median end-to-end query latency, microseconds.",
             self.latency.quantile_us(0.50).to_string(),
         );
-        gauge(
+        series(
             "lcmsr_latency_p99_us",
+            "gauge",
+            "Estimated p99 end-to-end query latency, microseconds.",
             self.latency.quantile_us(0.99).to_string(),
         );
+        out.push_str("# HELP lcmsr_latency End-to-end query latency, microseconds.\n");
+        out.push_str("# TYPE lcmsr_latency histogram\n");
         for (bound, cumulative) in self.latency.cumulative() {
             let le = if bound == u64::MAX {
                 "+Inf".to_string()
@@ -228,6 +318,8 @@ impl ServiceMetrics {
                 "lcmsr_latency_bucket{{le=\"{le}\"}} {cumulative}\n"
             ));
         }
+        out.push_str(&format!("lcmsr_latency_sum {}\n", self.latency.total_us()));
+        out.push_str(&format!("lcmsr_latency_count {}\n", self.latency.count()));
         out
     }
 }
@@ -286,6 +378,8 @@ mod tests {
             "lcmsr_shed_total",
             "lcmsr_deadline_shed_total 3",
             "lcmsr_partial_total 4",
+            "lcmsr_slow_queries_total 0",
+            "lcmsr_traced_queries_total 0",
             "lcmsr_batches_total 2",
             "lcmsr_batched_queries_total 7",
             "lcmsr_mean_batch_size 3.500",
@@ -293,6 +387,7 @@ mod tests {
             "lcmsr_prepare_ns_total 900",
             "lcmsr_prepare_grid_score_ns_total 600",
             "lcmsr_prepare_graph_build_ns_total 250",
+            "lcmsr_latency_sum 3000",
             "lcmsr_latency_count 1",
             "lcmsr_latency_p50_us",
             "lcmsr_latency_p99_us",
@@ -300,6 +395,61 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing {series:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn render_is_prometheus_compliant() {
+        let m = ServiceMetrics::new();
+        m.latency.record(Duration::from_millis(1));
+        let text = m.render();
+        let mut announced = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown type {kind:?} in {line:?}"
+                );
+                // Counters must end in _total per the naming convention.
+                if kind == "counter" {
+                    assert!(name.ends_with("_total"), "counter {name} missing _total");
+                }
+                announced.insert(name.to_string());
+                continue;
+            }
+            if line.starts_with("# HELP ") {
+                continue;
+            }
+            // A sample line: `name[{labels}] value` whose metric family was
+            // announced by a preceding # TYPE line.
+            let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+            let name = name_and_labels
+                .split('{')
+                .next()
+                .expect("sample line has a name");
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| announced.contains(*f))
+                .unwrap_or(name);
+            assert!(
+                announced.contains(family),
+                "sample {name} has no # TYPE metadata"
+            );
+        }
+        // The histogram family is present in full.
+        assert!(text.contains("# TYPE lcmsr_latency histogram"));
+        assert!(text.contains("lcmsr_latency_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lcmsr_latency_sum 1000"));
+        assert!(text.contains("lcmsr_latency_count 1"));
     }
 
     #[test]

@@ -91,10 +91,13 @@ pub struct QueryJob {
     /// Optional deadline, stamped when the request entered the service so
     /// queue wait counts against the budget.
     pub deadline: Option<Deadline>,
+    /// Run with span tracing enabled (decided by the service's diagnostics
+    /// sampling at admission; inert collector when false).
+    pub trace: bool,
 }
 
 impl QueryJob {
-    /// An interactive, deadline-free job (the common case).
+    /// An interactive, deadline-free, untraced job (the common case).
     pub fn new(query: LcmsrQuery, algorithm: Algorithm, kind: JobKind) -> Self {
         QueryJob {
             query,
@@ -102,6 +105,7 @@ impl QueryJob {
             kind,
             priority: Priority::Interactive,
             deadline: None,
+            trace: false,
         }
     }
 }
@@ -521,7 +525,9 @@ fn execute_batch(shared: &SchedulerShared, batch: Vec<PendingJob>) {
 /// *tightest* member deadline is what effectively bounds the group's engine
 /// time, while looser members still run out their own budgets.
 fn build_request(job: &QueryJob) -> QueryRequest<'_> {
-    let mut request = QueryRequest::new(&job.query, job.algorithm.clone()).priority(job.priority);
+    let mut request = QueryRequest::new(&job.query, job.algorithm.clone())
+        .priority(job.priority)
+        .trace(job.trace);
     if let JobKind::TopK(k) = job.kind {
         request = request.top_k(k);
     }

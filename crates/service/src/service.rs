@@ -8,14 +8,24 @@
 //!   `Retry-After` when the admission queue is full.
 //! * `GET /healthz` — liveness plus basic dataset/queue facts.
 //! * `GET /metrics` — Prometheus text exposition (see [`crate::metrics`]).
+//! * `GET /debug/trace/recent` — span trees of recently sampled queries.
+//! * `GET /debug/slow` — recently completed slow queries (span trees when
+//!   the query was also sampled for tracing).
+//!
+//! Every response carries an `X-Request-Id` header: the client's, when it
+//! sent a well-formed one, else a generated id.  Slow queries log one stderr
+//! line stamped with the id, and retained traces carry it, so a single id
+//! connects a client's log line, the server's, and the `/debug` surfaces.
 
 use crate::api::{error_body, QueryRequest, QueryResponse};
+use crate::diag::{Diagnostics, DiagnosticsConfig, TraceRing, REQUEST_ID_HEADER};
 use crate::http::{self, Handler, HttpRequest, HttpResponse, ServerConfig, ServerHandle};
 use crate::json::Json;
 use crate::metrics::ServiceMetrics;
 use crate::scheduler::{BatchConfig, JobKind, JobOutput, QueryJob, Scheduler, SubmitError};
 use lcmsr_core::cancel::Deadline;
 use lcmsr_core::engine::LcmsrEngine;
+use lcmsr_core::trace::QueryTrace;
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -28,34 +38,69 @@ pub struct ServiceConfig {
     pub server: ServerConfig,
     /// Micro-batching scheduler knobs.
     pub batch: BatchConfig,
+    /// Diagnostics knobs: slow-query threshold, trace sampling, ring sizes.
+    pub diagnostics: DiagnosticsConfig,
 }
 
-/// The request handler: routes to the scheduler and metrics.
+/// The request handler: routes to the scheduler, diagnostics and metrics.
 struct ServiceHandlerInner {
     engine: &'static LcmsrEngine<'static>,
     scheduler: Scheduler,
     metrics: Arc<ServiceMetrics>,
+    diag: Diagnostics,
     started: Instant,
 }
 
+/// What a served query leaves behind for diagnostics, besides its body.
+struct ServedQuery {
+    body: String,
+    algorithm: String,
+    queue_time: Duration,
+    partial: bool,
+    trace: Option<QueryTrace>,
+}
+
 impl ServiceHandlerInner {
-    fn handle_query(&self, request: &HttpRequest) -> HttpResponse {
+    fn handle_query(&self, request: &HttpRequest, request_id: &str) -> HttpResponse {
         let start = crate::metrics::now();
-        let outcome = self.run_query(request);
+        // Sampling is decided at admission so the engine runs the whole query
+        // with one collector state — no mid-query arming.
+        let trace_enabled = self.diag.should_trace();
+        let outcome = self.run_query(request, trace_enabled);
         match outcome {
-            Ok(body) => {
+            Ok(served) => {
                 self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
                 // Only served queries enter the histogram: microsecond 503s
                 // and 400s would otherwise drag p50/p99 *down* exactly when
                 // the service is shedding — the opposite of the truth.
-                self.metrics.latency.record(start.elapsed());
-                HttpResponse::json(200, body)
+                let elapsed = start.elapsed();
+                self.metrics.latency.record(elapsed);
+                if served.trace.is_some() {
+                    self.metrics.traced.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(kept) = self.diag.observe(
+                    request_id,
+                    &served.algorithm,
+                    elapsed,
+                    served.queue_time,
+                    served.partial,
+                    served.trace,
+                ) {
+                    if kept.slow {
+                        self.metrics.slow_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                HttpResponse::json(200, served.body)
             }
             Err(response) => response,
         }
     }
 
-    fn run_query(&self, request: &HttpRequest) -> Result<String, HttpResponse> {
+    fn run_query(
+        &self,
+        request: &HttpRequest,
+        trace_enabled: bool,
+    ) -> Result<ServedQuery, HttpResponse> {
         let client_error = |message: String| {
             self.metrics
                 .responses_client_error
@@ -86,6 +131,7 @@ impl ServiceHandlerInner {
                 kind,
                 priority,
                 deadline,
+                trace: trace_enabled,
             })
             .map_err(|e| {
                 // Shed counting happens inside the scheduler; every shed
@@ -105,20 +151,32 @@ impl ServiceHandlerInner {
             // oversized region): the client's fault, not the server's.
             client_error(format!("query failed: {e}"))
         })?;
-        let response = match output {
+        let (response, trace) = match output {
             JobOutput::Single(result) => {
                 self.metrics.record_prepare_split(&result.stats);
-                QueryResponse::from_single(&result)
+                (QueryResponse::from_single(&result), result.trace)
             }
             JobOutput::TopK(result) => {
                 self.metrics.record_prepare_split(&result.stats);
-                QueryResponse::from_topk(&result)
+                (QueryResponse::from_topk(&result), result.trace)
             }
         };
         if response.stats.partial {
             self.metrics.partial.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(response.to_body())
+        Ok(ServedQuery {
+            body: response.to_body(),
+            algorithm: response.stats.algorithm.clone(),
+            queue_time: Duration::from_nanos(response.stats.queue_ns),
+            partial: response.stats.partial,
+            trace,
+        })
+    }
+
+    /// Renders one diagnostics ring as a JSON array, newest first.
+    fn handle_debug_ring(ring: &TraceRing) -> HttpResponse {
+        let entries: Vec<Json> = ring.snapshot().iter().map(|t| t.to_json()).collect();
+        HttpResponse::json(200, Json::Array(entries).encode())
     }
 
     fn handle_healthz(&self) -> HttpResponse {
@@ -150,15 +208,23 @@ impl ServiceHandlerInner {
 impl Handler for ServiceHandlerInner {
     fn handle(&self, request: &HttpRequest) -> HttpResponse {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/query") => self.handle_query(request),
+        let request_id = self
+            .diag
+            .resolve_request_id(request.header(REQUEST_ID_HEADER));
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/query") => self.handle_query(request, &request_id),
             ("GET", "/healthz") => self.handle_healthz(),
             ("GET", "/metrics") => HttpResponse::text(200, self.metrics.render()),
-            ("GET", "/query") | ("POST", "/healthz") | ("POST", "/metrics") => {
-                HttpResponse::json(405, error_body("method not allowed"))
-            }
+            ("GET", "/debug/trace/recent") => Self::handle_debug_ring(&self.diag.recent),
+            ("GET", "/debug/slow") => Self::handle_debug_ring(&self.diag.slow),
+            ("GET", "/query")
+            | ("POST", "/healthz")
+            | ("POST", "/metrics")
+            | ("POST", "/debug/trace/recent")
+            | ("POST", "/debug/slow") => HttpResponse::json(405, error_body("method not allowed")),
             _ => HttpResponse::json(404, error_body("no such route")),
-        }
+        };
+        response.with_header("X-Request-Id", request_id)
     }
 }
 
@@ -201,13 +267,18 @@ pub fn serve(
     engine: &'static LcmsrEngine<'static>,
     config: ServiceConfig,
 ) -> std::io::Result<ServiceHandle> {
-    let ServiceConfig { server, batch } = config;
+    let ServiceConfig {
+        server,
+        batch,
+        diagnostics,
+    } = config;
     let metrics = Arc::new(ServiceMetrics::new());
     let scheduler = Scheduler::start(engine, batch, Arc::clone(&metrics))?;
     let handler = Arc::new(ServiceHandlerInner {
         engine,
         scheduler,
         metrics,
+        diag: Diagnostics::new(diagnostics),
         started: crate::metrics::now(),
     });
     let server = http::start(&server, Arc::clone(&handler) as Arc<dyn Handler>)?;

@@ -8,6 +8,7 @@ use lcmsr_geotext::collection::ObjectCollection;
 use lcmsr_geotext::object::GeoTextObject;
 use lcmsr_roadnet::builder::GraphBuilder;
 use lcmsr_roadnet::geo::{Point, Rect};
+use lcmsr_service::diag::DiagnosticsConfig;
 use lcmsr_service::http::ServerConfig;
 use lcmsr_service::scheduler::BatchConfig;
 use lcmsr_service::service::{serve, ServiceConfig, ServiceHandle};
@@ -59,6 +60,14 @@ fn leaked_city() -> &'static LcmsrEngine<'static> {
 }
 
 fn serve_city(engine: &'static LcmsrEngine<'static>, batch: BatchConfig) -> ServiceHandle {
+    serve_city_with(engine, batch, DiagnosticsConfig::default())
+}
+
+fn serve_city_with(
+    engine: &'static LcmsrEngine<'static>,
+    batch: BatchConfig,
+    diagnostics: DiagnosticsConfig,
+) -> ServiceHandle {
     serve(
         engine,
         ServiceConfig {
@@ -69,6 +78,7 @@ fn serve_city(engine: &'static LcmsrEngine<'static>, batch: BatchConfig) -> Serv
                 ..ServerConfig::default()
             },
             batch,
+            diagnostics,
         },
     )
     .expect("service must start")
@@ -491,6 +501,288 @@ fn deadline_expiring_in_the_queue_serves_a_partial_answer() {
     assert_eq!(status, 200);
     assert!(text.contains("lcmsr_partial_total 1"), "{text}");
     assert!(text.contains("lcmsr_deadline_shed_total 0"), "{text}");
+    service.shutdown();
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+
+    // A well-formed client id is echoed verbatim.
+    let response = client
+        .post_with_headers(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+            &[("X-Request-Id", "client-id-42")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.header("x-request-id"), Some("client-id-42"));
+    // The body stays trace-free: ids live in headers, results on the wire.
+    assert!(!response.body.contains("client-id-42"));
+
+    // Without a client id the server generates one (q + 16 hex digits).
+    let generated = client
+        .post_full(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+        )
+        .unwrap()
+        .header("x-request-id")
+        .expect("generated id")
+        .to_string();
+    assert!(
+        generated.starts_with('q') && generated.len() == 17,
+        "{generated}"
+    );
+
+    // A malformed id (embedded space) is replaced, not echoed.
+    let replaced = client
+        .post_with_headers(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+            &[("X-Request-Id", "bad id with spaces")],
+        )
+        .unwrap()
+        .header("x-request-id")
+        .expect("replacement id")
+        .to_string();
+    assert_ne!(replaced, "bad id with spaces");
+    assert!(replaced.starts_with('q'), "{replaced}");
+
+    // Non-query routes — including errors — carry ids too.
+    let health = client.get_full("/healthz").unwrap();
+    assert!(health.header("x-request-id").is_some());
+    let missing = client.get_full("/nope").unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.header("x-request-id").is_some());
+    service.shutdown();
+}
+
+#[test]
+fn debug_trace_recent_serves_the_sampled_span_tree() {
+    use lcmsr_service::json::Json;
+    let engine = leaked_city();
+    let service = serve_city_with(
+        engine,
+        BatchConfig::default(),
+        DiagnosticsConfig {
+            trace_sample: 1, // trace every query
+            ..DiagnosticsConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let response = client
+        .post_with_headers(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+            &[("X-Request-Id", "e2e-trace-1")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.header("x-request-id"), Some("e2e-trace-1"));
+
+    let (status, body) = client.get("/debug/trace/recent").unwrap();
+    assert_eq!(status, 200);
+    let entries = lcmsr_service::json::parse(&body).unwrap();
+    let entries = entries.as_array().expect("array of traces");
+    let entry = entries
+        .iter()
+        .find(|e| e.get("request_id").and_then(Json::as_str) == Some("e2e-trace-1"))
+        .unwrap_or_else(|| panic!("client-sent id must reach the ring: {body}"));
+    assert_eq!(
+        entry.get("algorithm").and_then(Json::as_str),
+        Some("TGEN"),
+        "{body}"
+    );
+    assert_eq!(entry.get("dropped_spans").and_then(Json::as_u64), Some(0));
+
+    // The full span tree: one "query" root whose children include the
+    // prepare phase (split into grid_score + graph_build) and the solve
+    // phase with at least one solver-internal child span.
+    let spans = entry.get("spans").and_then(Json::as_array).expect("spans");
+    assert_eq!(spans.len(), 1, "one root span: {body}");
+    let root = &spans[0];
+    assert_eq!(root.get("label").and_then(Json::as_str), Some("query"));
+    let top = root
+        .get("children")
+        .and_then(Json::as_array)
+        .expect("query has children");
+    let label_of = |node: &Json| node.get("label").and_then(Json::as_str).map(String::from);
+    let prepare = top
+        .iter()
+        .find(|n| label_of(n).as_deref() == Some("prepare"))
+        .expect("prepare span");
+    let solve = top
+        .iter()
+        .find(|n| label_of(n).as_deref() == Some("solve"))
+        .expect("solve span");
+    let prepare_children: Vec<String> = prepare
+        .get("children")
+        .and_then(Json::as_array)
+        .expect("prepare split")
+        .iter()
+        .filter_map(label_of)
+        .collect();
+    assert!(
+        prepare_children.contains(&"grid_score".to_string())
+            && prepare_children.contains(&"graph_build".to_string()),
+        "{prepare_children:?}"
+    );
+    // The prepare span carries the graph-size attributes.
+    let attrs = prepare.get("attrs").expect("prepare attrs");
+    assert_eq!(attrs.get("nodes").and_then(Json::as_u64), Some(36));
+    let solver_spans = solve
+        .get("children")
+        .and_then(Json::as_array)
+        .expect("solver child spans");
+    assert!(
+        !solver_spans.is_empty(),
+        "the solver must contribute at least one span: {body}"
+    );
+    // The sampled query is visible in the metrics too.
+    let (_, metrics_text) = client.get("/metrics").unwrap();
+    assert!(
+        metrics_text.contains("lcmsr_traced_queries_total 1"),
+        "{metrics_text}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn slow_queries_reach_the_slow_ring() {
+    use lcmsr_service::json::Json;
+    let engine = leaked_city();
+    let service = serve_city_with(
+        engine,
+        BatchConfig::default(),
+        DiagnosticsConfig {
+            slow_ms: 0, // disabled: nothing is "slow"
+            trace_sample: 0,
+            ..DiagnosticsConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let (status, _) = client
+        .post(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, body) = client.get("/debug/slow").unwrap();
+    assert_eq!(body, "[]", "threshold 0 disables the slow log");
+    service.shutdown();
+
+    // Threshold so low every query is slow: the ring fills and the counter moves.
+    let service = serve_city_with(
+        engine,
+        BatchConfig::default(),
+        DiagnosticsConfig {
+            slow_ms: 1,
+            trace_sample: 0,
+            ..DiagnosticsConfig::default()
+        },
+    );
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let response = client
+        .post_with_headers(
+            "/query",
+            &request_for(&["restaurant"], 300.0, None).to_body(),
+            &[("X-Request-Id", "slow-1")],
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let (status, body) = client.get("/debug/slow").unwrap();
+    assert_eq!(status, 200);
+    let entries = lcmsr_service::json::parse(&body).unwrap();
+    let entries = entries.as_array().expect("array");
+    // BatchConfig::default() batches with a multi-ms window, so the lone
+    // query waits it out and lands over the 1 ms threshold.
+    let entry = entries
+        .iter()
+        .find(|e| e.get("request_id").and_then(Json::as_str) == Some("slow-1"))
+        .unwrap_or_else(|| panic!("slow query must be retained: {body}"));
+    assert_eq!(entry.get("slow").and_then(Json::as_bool), Some(true));
+    assert!(
+        entry.get("spans").is_none(),
+        "untraced slow queries carry no span tree: {body}"
+    );
+    let (_, metrics_text) = client.get("/metrics").unwrap();
+    assert!(
+        metrics_text.contains("lcmsr_slow_queries_total 1"),
+        "{metrics_text}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn request_ids_survive_the_fault_isolation_rerun() {
+    use lcmsr_service::json::Json;
+    let engine = leaked_city();
+    let service = serve_city_with(
+        engine,
+        BatchConfig {
+            max_batch: 8,
+            // A wide window so both Exact jobs land in one dispatch group.
+            max_delay: Duration::from_millis(40),
+            queue_capacity: 64,
+            batch_workers: 1,
+        },
+        DiagnosticsConfig {
+            trace_sample: 1,
+            ..DiagnosticsConfig::default()
+        },
+    );
+    let addr = service.addr();
+    // Two Exact jobs batched together: one covers 4 nodes and succeeds, one
+    // covers all 36 (over the solver's 20-node cap) and fails — the batch
+    // attempt aborts and the scheduler re-runs each job alone.  Each response
+    // must keep its own request id through that re-run.
+    let (good, bad) = std::thread::scope(|scope| {
+        let good = scope.spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            let mut ok = request_for(&["restaurant"], 300.0, None);
+            ok.algorithm = "exact".into();
+            ok.rect = Rect::new(-50.0, -50.0, 160.0, 160.0);
+            client
+                .post_with_headers("/query", &ok.to_body(), &[("X-Request-Id", "iso-good")])
+                .unwrap()
+        });
+        let bad = scope.spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            let mut boom = request_for(&["restaurant"], 300.0, None);
+            boom.algorithm = "exact".into();
+            client
+                .post_with_headers("/query", &boom.to_body(), &[("X-Request-Id", "iso-bad")])
+                .unwrap()
+        });
+        (good.join().unwrap(), bad.join().unwrap())
+    });
+    assert_eq!(good.status, 200, "{}", good.body);
+    assert_eq!(good.header("x-request-id"), Some("iso-good"));
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert_eq!(bad.header("x-request-id"), Some("iso-bad"));
+    assert!(bad.body.contains("error"), "{}", bad.body);
+
+    // The served query's trace rode through the re-run under its own id.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let (status, body) = client.get("/debug/trace/recent").unwrap();
+    assert_eq!(status, 200);
+    let entries = lcmsr_service::json::parse(&body).unwrap();
+    let ids: Vec<String> = entries
+        .as_array()
+        .expect("array")
+        .iter()
+        .filter_map(|e| e.get("request_id").and_then(Json::as_str).map(String::from))
+        .collect();
+    assert!(ids.contains(&"iso-good".to_string()), "{ids:?}");
+    assert!(
+        !ids.contains(&"iso-bad".to_string()),
+        "failed queries leave no trace: {ids:?}"
+    );
     service.shutdown();
 }
 

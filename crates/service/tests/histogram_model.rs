@@ -1,0 +1,84 @@
+//! Shadow-model property tests for the metrics latency histogram: every
+//! derived statistic (count, mean, cumulative buckets, quantile estimates,
+//! the overflow sentinel) is replayed against a naive model holding the raw
+//! samples, so bucketing bugs cannot hide behind plausible-looking numbers.
+
+use lcmsr_service::metrics::{LatencyHistogram, LATENCY_BOUNDS_US};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// The quantile estimate the histogram is specified to produce: the upper
+/// bound of the bucket holding the target rank, or the overflow sentinel.
+fn shadow_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .max(1)
+        .min(sorted.len());
+    let rank_value = sorted[target - 1];
+    LATENCY_BOUNDS_US
+        .iter()
+        .copied()
+        .find(|&bound| rank_value <= bound)
+        .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn histogram_matches_the_shadow_model(
+        // Spans every bucket plus the overflow region beyond 5 s.
+        samples_us in collection::vec(0u64..20_000_000, 0..200),
+        q_permille in collection::vec(0usize..1001, 2..8),
+    ) {
+        let h = LatencyHistogram::default();
+        for &us in &samples_us {
+            h.record(Duration::from_micros(us));
+        }
+        prop_assert_eq!(h.count(), samples_us.len() as u64);
+
+        // `cumulative()` is consistent with a naive replay: the count at each
+        // bound is exactly the number of samples at or under it, ending in a
+        // catch-all +Inf bucket.
+        let cumulative = h.cumulative();
+        prop_assert_eq!(cumulative.len(), LATENCY_BOUNDS_US.len() + 1);
+        prop_assert_eq!(cumulative[cumulative.len() - 1].0, u64::MAX);
+        for &(bound, seen) in &cumulative {
+            let naive = samples_us.iter().filter(|&&us| us <= bound).count() as u64;
+            prop_assert_eq!(seen, naive, "bound {} us", bound);
+        }
+
+        // The mean is exact (total is tracked outside the buckets).
+        if samples_us.is_empty() {
+            prop_assert_eq!(h.mean_us(), 0.0);
+        } else {
+            let naive_mean = samples_us.iter().sum::<u64>() as f64 / samples_us.len() as f64;
+            prop_assert!((h.mean_us() - naive_mean).abs() < 1e-6);
+        }
+
+        // Quantiles are monotone in q and equal to the shadow estimate; values
+        // beyond the last bound report the finite overflow sentinel.
+        let mut sorted = samples_us.clone();
+        sorted.sort_unstable();
+        let mut qs: Vec<f64> = q_permille.iter().map(|&p| p as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        for pair in qs.windows(2) {
+            prop_assert!(h.quantile_us(pair[0]) <= h.quantile_us(pair[1]));
+        }
+        for &q in &qs {
+            let estimate = h.quantile_us(q);
+            prop_assert_eq!(estimate, shadow_quantile(&sorted, q), "q = {}", q);
+            prop_assert!(estimate <= LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] * 2);
+        }
+    }
+}
+
+#[test]
+fn overflow_samples_report_the_sentinel() {
+    let h = LatencyHistogram::default();
+    h.record(Duration::from_secs(3600));
+    assert_eq!(h.quantile_us(0.5), LATENCY_BOUNDS_US[14] * 2);
+    assert_eq!(h.cumulative().last(), Some(&(u64::MAX, 1)));
+}

@@ -23,7 +23,7 @@
 //!
 //! and justify the regeneration in the commit message.
 
-use lcmsr_bench::{ny_dataset, render_golden_dump};
+use lcmsr_bench::{ny_dataset, render_golden_dump, render_golden_dump_traced};
 use lcmsr_datagen::prelude::NetworkScale;
 
 const COMMITTED: &str = include_str!("golden/regions_ny_tiny.txt");
@@ -54,6 +54,32 @@ fn golden_regions_are_bit_identical_to_the_committed_snapshot() {
                 fresh.lines().count()
             ),
         }
+    }
+}
+
+/// The same dump rendered with span tracing *enabled* is byte-identical to
+/// the committed snapshot: the trace collector only observes — arming it
+/// must never perturb a solver result, prune decision or tie-break.  (The
+/// disabled-collector direction is the main test above, since
+/// `render_golden_dump` runs untraced.)
+#[test]
+fn golden_regions_are_bit_identical_with_tracing_enabled() {
+    let dataset = ny_dataset(NetworkScale::Tiny);
+    let traced = render_golden_dump_traced(&dataset, true);
+    if traced != COMMITTED {
+        for (i, (got, want)) in traced.lines().zip(COMMITTED.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "traced render diverged from the committed snapshot at line {}",
+                i + 1
+            );
+        }
+        panic!(
+            "traced render diverged in length: committed {} lines, traced {} lines",
+            COMMITTED.lines().count(),
+            traced.lines().count()
+        );
     }
 }
 
