@@ -30,6 +30,9 @@ pub enum Rule {
     UnsafeSafety,
     /// Two `.lock()` acquisitions inside one function body.
     LockNesting,
+    /// Raw `.to_bits()` float fingerprinting outside the audited cache-key
+    /// modules (bypasses `canon_f64`'s signed-zero folding).
+    CacheKey,
     /// An escape comment with no reason, or naming no known rule.
     Escape,
 }
@@ -43,6 +46,7 @@ impl Rule {
             Rule::PanicFree => "panic_free",
             Rule::UnsafeSafety => "unsafe_safety",
             Rule::LockNesting => "lock_nesting",
+            Rule::CacheKey => "cache_key",
             Rule::Escape => "escape",
         }
     }
@@ -54,18 +58,20 @@ impl Rule {
             "panic_free" => Some(Rule::PanicFree),
             "unsafe_safety" => Some(Rule::UnsafeSafety),
             "lock_nesting" => Some(Rule::LockNesting),
+            "cache_key" => Some(Rule::CacheKey),
             "escape" => Some(Rule::Escape),
             _ => None,
         }
     }
 
     /// Every real rule (excludes the meta `escape` rule).
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::Determinism,
         Rule::Clock,
         Rule::PanicFree,
         Rule::UnsafeSafety,
         Rule::LockNesting,
+        Rule::CacheKey,
     ];
 }
 
@@ -92,6 +98,10 @@ pub struct Finding {
 /// * `panic_free` — `crates/service/src` non-test code.
 /// * `unsafe_safety` — everywhere.
 /// * `lock_nesting` — all `crates/*/src` non-test code.
+/// * `cache_key` — `crates/core/src` and `crates/service/src` non-test code,
+///   except the audited fingerprint modules (`core/src/cache.rs`, which owns
+///   `canon_f64`, and `core/src/kmst/garg.rs`, whose λ memo table is keyed by
+///   values the solver itself produced — never request floats).
 fn rules_for(path: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::UnsafeSafety];
     let in_crate_src = path.starts_with("crates/") && path.contains("/src/");
@@ -113,6 +123,13 @@ fn rules_for(path: &str) -> Vec<Rule> {
     }
     if in_crate_src {
         rules.push(Rule::LockNesting);
+    }
+    const CACHE_KEY_AUDITED: [&str; 2] =
+        ["crates/core/src/cache.rs", "crates/core/src/kmst/garg.rs"];
+    if (path.starts_with("crates/core/src/") || path.starts_with("crates/service/src/"))
+        && !CACHE_KEY_AUDITED.contains(&path)
+    {
+        rules.push(Rule::CacheKey);
     }
     rules
 }
@@ -329,6 +346,7 @@ pub fn analyze_source(path: &str, src: &[u8]) -> Vec<Finding> {
             Rule::PanicFree => check_panic_free(&ctx, &mut findings),
             Rule::UnsafeSafety => check_unsafe_safety(&ctx, &mut findings),
             Rule::LockNesting => check_lock_nesting(&ctx, &mut findings),
+            Rule::CacheKey => check_cache_key(&ctx, &mut findings),
             Rule::Escape => {}
         }
     }
@@ -643,6 +661,37 @@ fn check_lock_nesting(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// cache_key: response-cache keys must fold `-0.0` to `0.0` before bit-level
+/// fingerprinting, or two requests for the same rectangle land in different
+/// cache slots.  Raw `.to_bits()` on request-derived floats is the static
+/// shape of that bug, so outside the audited fingerprint modules every call
+/// site must either go through `core::cache::canon_f64` /
+/// `core::cache::request_key` or carry an escape saying why its float can
+/// never be a negative zero.
+fn check_cache_key(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    for idx in 1..ctx.code.len() {
+        if ctx.ident_at(idx) != Some(b"to_bits".as_slice()) {
+            continue;
+        }
+        if !(ctx.punct_at(idx - 1, b'.') && ctx.punct_at(idx + 1, b'(')) {
+            continue;
+        }
+        let token = ctx.code_token(idx).expect("ident_at checked");
+        if ctx.in_test(token.start) {
+            continue;
+        }
+        push(
+            ctx,
+            out,
+            Rule::CacheKey,
+            token,
+            "raw .to_bits() outside the audited fingerprint modules; -0.0 and 0.0 get \
+             different bits — use core::cache::canon_f64 (or request_key) first"
+                .to_string(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,16 +705,38 @@ mod tests {
         };
         assert_eq!(
             names("crates/core/src/tgen.rs"),
-            vec!["clock", "determinism", "lock_nesting", "unsafe_safety"]
+            vec![
+                "cache_key",
+                "clock",
+                "determinism",
+                "lock_nesting",
+                "unsafe_safety"
+            ]
         );
         assert_eq!(
             names("crates/service/src/service.rs"),
-            vec!["clock", "lock_nesting", "panic_free", "unsafe_safety"]
+            vec![
+                "cache_key",
+                "clock",
+                "lock_nesting",
+                "panic_free",
+                "unsafe_safety"
+            ]
         );
         // Audited clock file: no clock rule, still panic-free.
         assert_eq!(
             names("crates/service/src/scheduler.rs"),
-            vec!["lock_nesting", "panic_free", "unsafe_safety"]
+            vec!["cache_key", "lock_nesting", "panic_free", "unsafe_safety"]
+        );
+        // Audited fingerprint module: no cache_key rule on the file that
+        // defines the canonicalizers.
+        assert_eq!(
+            names("crates/core/src/cache.rs"),
+            vec!["clock", "determinism", "lock_nesting", "unsafe_safety"]
+        );
+        assert_eq!(
+            names("crates/core/src/kmst/garg.rs"),
+            vec!["clock", "determinism", "lock_nesting", "unsafe_safety"]
         );
         assert_eq!(
             names("crates/bench/src/lib.rs"),
@@ -698,6 +769,30 @@ mod tests {
         let src = b"// just a comment mentioning lcmsr-lint\n";
         let tokens = lex(src);
         assert!(parse_escape(&tokens[0], src).is_none());
+    }
+
+    #[test]
+    fn cache_key_flags_raw_to_bits_outside_audited_modules() {
+        let src = br#"
+fn fingerprint(x: f64) -> u64 { x.to_bits() }
+// lcmsr-lint: allow(cache_key) - sign already folded by the caller
+fn audited(x: f64) -> u64 { x.to_bits() }
+#[cfg(test)]
+mod tests {
+    fn t(x: f64) -> u64 { x.to_bits() }
+}
+"#;
+        let findings = analyze_source("crates/core/src/engine.rs", src);
+        let hits: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::CacheKey)
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].message.contains("canon_f64"));
+        // The audited module itself is out of scope entirely.
+        let audited = analyze_source("crates/core/src/cache.rs", src);
+        assert!(audited.iter().all(|f| f.rule != Rule::CacheKey));
     }
 
     #[test]

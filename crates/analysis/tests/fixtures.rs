@@ -240,6 +240,49 @@ fn f(m: &std::sync::Mutex<u32>) {
     assert!(!rules_in("crates/service/src/fixture.rs", src).contains(&Rule::LockNesting));
 }
 
+// ------------------------------------------------------------------ cache_key
+
+#[test]
+fn cache_key_fires_on_raw_to_bits_in_core_and_service() {
+    let src = "
+fn fingerprint(x: f64) -> u64 {
+    x.to_bits()
+}
+";
+    assert!(rules_in("crates/core/src/fixture.rs", src).contains(&Rule::CacheKey));
+    assert!(rules_in("crates/service/src/fixture.rs", src).contains(&Rule::CacheKey));
+    // Out of scope: other crates, and the audited fingerprint modules that
+    // own the canonicalizers.
+    assert!(!rules_in("crates/bench/src/fixture.rs", src).contains(&Rule::CacheKey));
+    assert!(!rules_in("crates/core/src/cache.rs", src).contains(&Rule::CacheKey));
+    assert!(!rules_in("crates/core/src/kmst/garg.rs", src).contains(&Rule::CacheKey));
+}
+
+#[test]
+fn cache_key_skips_test_code_and_non_method_uses() {
+    let src = "
+fn f() -> u64 {
+    to_bits(1.0)
+}
+#[cfg(test)]
+mod tests {
+    fn t(x: f64) -> u64 { x.to_bits() }
+}
+";
+    assert!(!rules_in("crates/core/src/fixture.rs", src).contains(&Rule::CacheKey));
+}
+
+#[test]
+fn cache_key_is_escaped_with_a_reason() {
+    let src = "
+fn fingerprint(x: f64) -> u64 {
+    // lcmsr-lint: allow(cache_key) — caller already folded the sign
+    x.to_bits()
+}
+";
+    assert!(!rules_in("crates/core/src/fixture.rs", src).contains(&Rule::CacheKey));
+}
+
 // --------------------------------------------------------------------- escape
 
 #[test]

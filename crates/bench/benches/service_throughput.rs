@@ -93,6 +93,7 @@ fn main() {
                 mu: None,
                 deadline_ms: None,
                 priority: None,
+                cache: None,
             }
             .to_body()
         })

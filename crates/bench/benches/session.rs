@@ -1,0 +1,310 @@
+//! Interactive exploration-session benchmark: the response cache and the
+//! delta-prepare path under a pan/zoom/keyword-refine trace — the workload
+//! the cache exists for, where successive requests repeat or overlap.
+//!
+//! Like `scale` this is a plain harness emitting a machine-readable
+//! `BENCH_session.json` (path overridable via `LCMSR_BENCH_OUT`) that CI
+//! archives.  Over an NY-like dataset at `LCMSR_SCALE` it drives one
+//! synthetic session trace — an initial view, three eastward pans, a zoom
+//! in, a zoom out, a keyword refinement, and pans under both keyword sets —
+//! through three modes:
+//!
+//! * **cold** — `cache: false` on a fresh workspace: the classic path, full
+//!   grid rescore and solve per step (the baseline the paper's reader runs);
+//! * **warm** — `cache: true` on one session workspace, first pass: every
+//!   step misses the response cache, but overlapping same-keyword steps
+//!   delta-prepare from the previous step's scores;
+//! * **replay** — the same trace again on the warm cache: every step is a
+//!   response-cache hit (pan back / revisit, the dominant interactive case).
+//!
+//! Every mode's regions are asserted bit-identical (`{:?}` on the region
+//! list — Debug's shortest-roundtrip float rendering distinguishes bit
+//! patterns, `-0.0` included).  With `LCMSR_BENCH_STRICT` set the run fails
+//! when the replay pass is not at least `LCMSR_BENCH_MIN_SESSION_SPEEDUP`
+//! (default 3.0) times faster than the cold pass after one noise re-measure.
+
+use lcmsr_bench::*;
+use lcmsr_core::prelude::*;
+use lcmsr_roadnet::geo::Rect;
+
+/// One session step: a label for the report plus the derived query.
+struct Step {
+    label: &'static str,
+    query: LcmsrQuery,
+}
+
+/// Shifts a rect by (dx, dy) fractions of its own extent (a pan).
+fn pan(rect: &Rect, dx: f64, dy: f64) -> Rect {
+    let (w, h) = (rect.width(), rect.height());
+    Rect::new(
+        rect.min_x + dx * w,
+        rect.min_y + dy * h,
+        rect.max_x + dx * w,
+        rect.max_y + dy * h,
+    )
+}
+
+/// Scales a rect around its center (a zoom; `factor < 1` zooms in).
+fn zoom(rect: &Rect, factor: f64) -> Rect {
+    Rect::centered(rect.center(), rect.width() * factor, rect.height() * factor)
+}
+
+/// The synthetic exploration trace: 10 distinct steps over one base view.
+///
+/// Pans move by up to 25% of the view (≥75% overlap with the previous rect)
+/// and the zoom-out stays at 1.3x (59% overlap) so the same-keyword steps
+/// clear the engine's [`SESSION_OVERLAP_THRESHOLD`] and exercise the delta
+/// path; the keyword refinement and the return to the full keyword set break
+/// the session on purpose (a delta from foreign keyword scores would be
+/// wrong).  Pans head toward whichever side of `bounds` (the network's node
+/// extent) has room, scaled down when the slack runs short — the query
+/// generator places the base view wherever objects are, which can be a
+/// corner, and panning off the populated area would make a step's region
+/// empty (a query error, not a session step).
+fn session_trace(base: &LcmsrQuery, bounds: &Rect) -> Vec<Step> {
+    let full = base.keywords.clone();
+    let refined: Vec<String> = full[..full.len().saturating_sub(1).max(1)].to_vec();
+    let delta = base.delta;
+    let r0 = base.region_of_interest;
+    let (w, h) = (r0.width(), r0.height());
+    // Three horizontal pan steps and one vertical each way; cap the per-step
+    // fraction so the farthest rect stays inside the slack on the chosen side.
+    let (room_e, room_w) = (bounds.max_x - r0.max_x, r0.min_x - bounds.min_x);
+    let sx = if room_e >= room_w { 1.0 } else { -1.0 };
+    let fx = sx * (room_e.max(room_w) / (3.0 * w)).clamp(0.001, 0.25);
+    let (room_n, room_s) = (bounds.max_y - r0.max_y, r0.min_y - bounds.min_y);
+    let sy = if room_n >= room_s { 1.0 } else { -1.0 };
+    let fy = sy * (room_n.max(room_s) / h).clamp(0.001, 0.25);
+    let q = |label, keywords: &Vec<String>, rect| Step {
+        label,
+        query: LcmsrQuery::new(keywords.clone(), delta, rect).expect("trace query is valid"),
+    };
+    let r1 = pan(&r0, fx, 0.0);
+    let r2 = pan(&r1, fx, 0.0);
+    let r3 = pan(&r2, fx, 0.0);
+    let r4 = zoom(&r3, 0.7);
+    let r5 = zoom(&r4, 1.3);
+    let r7 = pan(&r5, 0.0, fy);
+    // Half-phase pans: distinct from every earlier rect, still on the side
+    // of the base view that is known to have slack.
+    let r8 = pan(&r0, 0.5 * fx, 0.0);
+    let r9 = pan(&r8, 0.0, 0.5 * fy);
+    vec![
+        q("view", &full, r0),
+        q("pan_x", &full, r1),
+        q("pan_x", &full, r2),
+        q("pan_x", &full, r3),
+        q("zoom_in", &full, r4),
+        q("zoom_out", &full, r5),
+        q("refine", &refined, r5),
+        q("pan_y", &refined, r7),
+        q("restore", &full, r8),
+        q("pan_back", &full, r9),
+    ]
+}
+
+/// Runs the whole trace once, returning per-step outcomes.
+fn run_trace(
+    engine: &LcmsrEngine<'_>,
+    workspace: &mut QueryWorkspace,
+    steps: &[Step],
+    alpha: f64,
+    cache: bool,
+) -> Vec<QueryOutcome> {
+    steps
+        .iter()
+        .map(|step| {
+            let request =
+                QueryRequest::new(&step.query, Algorithm::Tgen(TgenParams { alpha })).cache(cache);
+            engine
+                .execute_with(workspace, &request)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "session step {} over {:?} failed: {e:?}",
+                        step.label, step.query.region_of_interest
+                    )
+                })
+        })
+        .collect()
+}
+
+/// Bit-exact fingerprints of a pass's regions, one string per step.
+fn fingerprints(outcomes: &[QueryOutcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|o| format!("{:?}", o.regions))
+        .collect()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let rounds = env_usize("LCMSR_SESSION_ROUNDS", 3).max(1);
+    let strict = std::env::var("LCMSR_BENCH_STRICT").is_ok();
+    let min_speedup = env_f64("LCMSR_BENCH_MIN_SESSION_SPEEDUP", 3.0);
+
+    println!("session (building NY-like dataset at {scale:?}…)");
+    let dataset = ny_dataset(scale);
+    let params = dataset.default_query_params(2026);
+    let base = make_workload(
+        &dataset,
+        1,
+        params.num_keywords,
+        params.area_km2,
+        params.delta_km,
+        2026,
+    );
+    let base = base.first().expect("workload generated a base query");
+    let bounds = dataset.network.bounding_rect().expect("network has nodes");
+    let steps = session_trace(base, &bounds);
+    let engine = LcmsrEngine::new(&dataset.network, &dataset.collection);
+    let alpha = default_tgen_alpha(&dataset, std::slice::from_ref(base));
+
+    // Cold reference: classic path, cache off, dedicated workspace.  Run once
+    // for fingerprints and per-step prepare stats, then timed.
+    let mut cold_ws = QueryWorkspace::new();
+    let cold_outcomes = run_trace(&engine, &mut cold_ws, &steps, alpha, false);
+    let cold_prints = fingerprints(&cold_outcomes);
+    let cold_grid_score: f64 = cold_outcomes
+        .iter()
+        .map(|o| o.stats.grid_score_time.as_secs_f64())
+        .sum();
+    assert!(
+        cold_outcomes.iter().all(|o| !o.stats.cache),
+        "cold pass must stay off the cache path"
+    );
+
+    // Warm first pass: cache on, empty cache — all misses, delta-prepare on
+    // the overlapping same-keyword steps.  Timed once (repeating it would
+    // turn the misses into hits).
+    engine.response_cache().clear();
+    let mut session_ws = QueryWorkspace::new();
+    let warm_start = std::time::Instant::now();
+    let warm_outcomes = run_trace(&engine, &mut session_ws, &steps, alpha, true);
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    let delta_steps = warm_outcomes
+        .iter()
+        .filter(|o| o.stats.delta_prepare)
+        .count();
+    let delta_grid_score: f64 = warm_outcomes
+        .iter()
+        .filter(|o| o.stats.delta_prepare)
+        .map(|o| o.stats.grid_score_time.as_secs_f64())
+        .sum();
+    assert!(
+        warm_outcomes
+            .iter()
+            .all(|o| o.stats.cache && !o.stats.cache_hit),
+        "first warm pass over an empty cache must miss every step"
+    );
+    assert!(
+        delta_steps >= steps.len() / 2,
+        "the trace is built to delta-prepare most steps, got {delta_steps}/{}",
+        steps.len()
+    );
+
+    // Replay + timed passes, strict gate with one noise re-measure.
+    let mut cold_secs = 0.0;
+    let mut replay_secs = 0.0;
+    let mut replay_speedup = 0.0;
+    for attempt in 0..2 {
+        cold_secs = best_secs(rounds, || {
+            let outcomes = run_trace(&engine, &mut cold_ws, &steps, alpha, false);
+            assert_eq!(outcomes.len(), steps.len());
+        });
+        replay_secs = best_secs(rounds, || {
+            let outcomes = run_trace(&engine, &mut session_ws, &steps, alpha, true);
+            assert!(
+                outcomes.iter().all(|o| o.stats.cache_hit),
+                "replay over a warm cache must hit every step"
+            );
+        });
+        replay_speedup = cold_secs / replay_secs.max(1e-12);
+        if !strict || replay_speedup >= min_speedup {
+            break;
+        }
+        if attempt == 0 {
+            eprintln!(
+                "  replay speedup {replay_speedup:.2}x below {min_speedup:.1}x target; \
+                 re-measuring once"
+            );
+        }
+    }
+
+    // Bit-identity: warm misses, delta steps and cache hits all reproduce the
+    // cold regions exactly.
+    let replay_outcomes = run_trace(&engine, &mut session_ws, &steps, alpha, true);
+    let warm_prints = fingerprints(&warm_outcomes);
+    let replay_prints = fingerprints(&replay_outcomes);
+    let identical = warm_prints == cold_prints && replay_prints == cold_prints;
+
+    let per = steps.len() as f64;
+    let delta_speedup =
+        (cold_grid_score / per) / (delta_grid_score / (delta_steps.max(1) as f64)).max(1e-12);
+    let cache = engine.response_cache();
+    println!(
+        "session (scale {scale:?}, {} steps: {})",
+        steps.len(),
+        steps
+            .iter()
+            .map(|s| s.label)
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+    println!(
+        "  cold pass       : {:>10.1} µs/step (full rescore + solve)",
+        cold_secs / per * 1e6
+    );
+    println!(
+        "  warm first pass : {:>10.1} µs/step ({delta_steps}/{} delta-prepared)",
+        warm_secs / per * 1e6,
+        steps.len()
+    );
+    println!(
+        "  replay pass     : {:>10.1} µs/step (all cache hits, {replay_speedup:.2}x)",
+        replay_secs / per * 1e6
+    );
+    println!(
+        "  grid score      : {:>10.1} µs/step cold vs {:.1} µs/step delta ({delta_speedup:.2}x)",
+        cold_grid_score / per * 1e6,
+        delta_grid_score / delta_steps.max(1) as f64 * 1e6
+    );
+    println!(
+        "  cache counters  : {} hits, {} misses, {} stale, {} entries, {} bytes",
+        cache.hits(),
+        cache.misses(),
+        cache.stale(),
+        cache.len(),
+        cache.bytes()
+    );
+    println!("  results identical: {identical}");
+
+    assert!(
+        identical,
+        "cache hits and delta re-queries must be bit-identical to cold runs"
+    );
+    if strict {
+        assert!(
+            replay_speedup >= min_speedup,
+            "cached replay speedup {replay_speedup:.2}x below the {min_speedup:.1}x target"
+        );
+    }
+
+    let out_path =
+        std::env::var("LCMSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_session.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"session\",\n  \"scale\": \"{scale:?}\",\n  \"steps\": {},\n  \"delta_steps\": {delta_steps},\n  \"cold_us_per_step\": {:.3},\n  \"warm_first_us_per_step\": {:.3},\n  \"replay_us_per_step\": {:.3},\n  \"replay_speedup\": {replay_speedup:.4},\n  \"grid_score_cold_us_per_step\": {:.3},\n  \"grid_score_delta_us_per_step\": {:.3},\n  \"delta_prepare_speedup\": {delta_speedup:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_stale\": {},\n  \"cache_entries\": {},\n  \"cache_bytes\": {},\n  \"identical_results\": {identical}\n}}\n",
+        steps.len(),
+        cold_secs / per * 1e6,
+        warm_secs / per * 1e6,
+        replay_secs / per * 1e6,
+        cold_grid_score / per * 1e6,
+        delta_grid_score / delta_steps.max(1) as f64 * 1e6,
+        cache.hits(),
+        cache.misses(),
+        cache.stale(),
+        cache.len(),
+        cache.bytes(),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_session.json");
+    println!("  wrote {out_path}");
+}

@@ -25,6 +25,7 @@
 
 use crate::app::{run_app, AppParams};
 use crate::arena::TupleArena;
+use crate::cache::{CacheLookup, ResponseCache};
 use crate::cancel::{CancelToken, Deadline};
 use crate::error::Result;
 use crate::exact::ExactSolver;
@@ -39,10 +40,11 @@ use crate::topk::{topk_app, topk_greedy, topk_tgen};
 use crate::trace::{QueryTrace, TraceCollector};
 use lcmsr_geotext::collection::{NodeWeights, ObjectCollection};
 use lcmsr_geotext::object::ObjectId;
+use lcmsr_roadnet::geo::Rect;
 use lcmsr_roadnet::graph::RoadNetwork;
 use lcmsr_roadnet::node::NodeId;
 use lcmsr_roadnet::subgraph::{RegionScratch, RegionView};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -156,6 +158,14 @@ pub struct QueryOptions {
     /// exactly like an unarmed [`CancelToken`] — and the outcome carries no
     /// trace.  `true` fills [`QueryOutcome::trace`] with the span tree.
     pub trace: bool,
+    /// Runs the request in cache mode: the engine consults its response
+    /// cache before solving, stores complete results afterwards, and lets
+    /// successive overlapping requests on the same workspace delta-prepare
+    /// from the previous keyword scores.  `false` (the default) keeps the
+    /// classic paths bit-identical to a cacheless engine.  Either way the
+    /// response is bit-identical to a cold run; serving front-ends default
+    /// this on for interactive-lane traffic.
+    pub cache: bool,
 }
 
 impl QueryOptions {
@@ -270,8 +280,15 @@ impl<'q> QueryRequest<'q> {
         self
     }
 
+    /// Enables (or disables) cache mode for this request (see
+    /// [`QueryOptions::cache`]).
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.options.cache = cache;
+        self
+    }
+
     /// The algorithm with the option overrides folded in.
-    fn effective_algorithm(&self) -> Algorithm {
+    pub(crate) fn effective_algorithm(&self) -> Algorithm {
         let mut algorithm = self.algorithm.clone();
         match &mut algorithm {
             Algorithm::App(p) => {
@@ -407,6 +424,11 @@ pub struct QueryWorkspace {
     region: RegionScratch,
     weights: NodeWeights,
     arena: TupleArena,
+    /// Scratch retained between cache-mode prepares on this workspace: the
+    /// previous query's identity plus its keyword scores, enabling
+    /// delta-prepare when the next rectangle mostly overlaps this one.
+    /// `None` until a cache-mode request runs; ignored by the classic paths.
+    session: Option<SessionState>,
     /// Timing split of the most recent `prepare_with` call on this workspace.
     prepare_breakdown: PrepareBreakdown,
     /// Per-query span collector, re-armed (or left inert) by `execute_with`
@@ -424,6 +446,35 @@ pub struct PrepareBreakdown {
     pub grid_score_time: Duration,
     /// `Q.Λ` extraction plus scaled query-graph construction.
     pub graph_build_time: Duration,
+    /// Whether the scoring component was delta-built from the workspace's
+    /// session scratch instead of rescanning the whole region of interest.
+    pub delta_prepare: bool,
+    /// Grid cells rescanned by a delta prepare (0 on cold prepares).
+    pub rescanned_cells: usize,
+}
+
+/// The previous cache-mode query answered on a workspace: everything needed
+/// to decide delta-eligibility of the next one, plus the keyword scores it
+/// would reuse.  The scores depend only on `(epoch, keywords)` per object —
+/// the rectangle merely filters them — so survivors of a pan are reused
+/// verbatim and stay bit-identical to a cold rescore.
+#[derive(Debug, Clone)]
+struct SessionState {
+    epoch: u64,
+    keywords: Vec<String>,
+    rect: Rect,
+    weights: NodeWeights,
+}
+
+/// Minimum `area(old ∩ new) / area(new)` for a session re-query to
+/// delta-prepare from the previous scratch instead of rescoring `Q.Λ` cold.
+/// Below this, a cold rescan touches few enough shared cells that the delta
+/// bookkeeping stops paying for itself.
+pub const SESSION_OVERLAP_THRESHOLD: f64 = 0.5;
+
+/// Fraction of `new`'s area covered by `old` (0 when disjoint).
+fn session_overlap(old: &Rect, new: &Rect) -> f64 {
+    old.intersection(new).map_or(0.0, |i| i.area()) / new.area()
 }
 
 impl QueryWorkspace {
@@ -558,6 +609,13 @@ pub struct LcmsrEngine<'a> {
     /// out across.  1 = fully sequential; any value yields bit-identical
     /// results (sharded scoring and banded gathering merge deterministically).
     prepare_workers: AtomicUsize,
+    /// Completed responses keyed by canonical request fingerprints, consulted
+    /// by cache-mode requests ([`QueryOptions::cache`]).
+    cache: ResponseCache,
+    /// The dataset epoch stamped into cache fingerprints.  Bumping it
+    /// ([`LcmsrEngine::bump_dataset_epoch`]) marks every cached response and
+    /// session scratch stale.
+    epoch: AtomicU64,
 }
 
 impl<'a> LcmsrEngine<'a> {
@@ -568,7 +626,35 @@ impl<'a> LcmsrEngine<'a> {
             collection,
             pool: WorkspacePool::new(),
             prepare_workers: AtomicUsize::new(1),
+            cache: ResponseCache::new(),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The engine's response cache (counters, bounds, diagnostics).
+    pub fn response_cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    /// The current dataset epoch stamped into cache fingerprints.
+    pub fn dataset_epoch(&self) -> u64 {
+        self.epoch.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Declares the underlying dataset changed: bumps the epoch so every
+    /// cached response and per-workspace session scratch becomes stale (lazy
+    /// invalidation — entries are evicted as they are next looked up).
+    /// Returns the new epoch.
+    pub fn bump_dataset_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, AtomicOrdering::Relaxed) + 1
+    }
+
+    /// Replaces the response cache's bounds (builder style) — for embedders
+    /// sizing the cache to their session fan-out, and for tests driving the
+    /// eviction path without hundreds of fill queries.
+    pub fn with_cache_limits(mut self, max_entries: usize, max_bytes: usize) -> Self {
+        self.cache = ResponseCache::with_limits(max_entries, max_bytes);
+        self
     }
 
     /// Sets the prepare-phase worker count (builder style).
@@ -622,20 +708,73 @@ impl<'a> LcmsrEngine<'a> {
         query: &LcmsrQuery,
         alpha: f64,
     ) -> Result<QueryGraph> {
+        self.prepare_session(workspace, query, alpha, false)
+    }
+
+    /// The prepare phase shared by the classic and cache-mode paths.  With
+    /// `session` set, the workspace remembers this query's keyword scores;
+    /// the next session prepare with the same epoch and keywords whose
+    /// rectangle overlaps this one by at least [`SESSION_OVERLAP_THRESHOLD`]
+    /// delta-builds from them — reusing the surviving per-object scores and
+    /// rescanning only the grid cells the old rectangle did not fully cover —
+    /// instead of rescoring `Q.Λ` from scratch.  Either way the produced
+    /// graph is bit-identical to a cold prepare.
+    fn prepare_session(
+        &self,
+        workspace: &mut QueryWorkspace,
+        query: &LcmsrQuery,
+        alpha: f64,
+        session: bool,
+    ) -> Result<QueryGraph> {
         query.validate()?;
         let workers = self.prepare_workers();
+        let epoch = self.dataset_epoch();
         let prepare_span = workspace.tracer.start("prepare");
-        let score_span = workspace.tracer.start("grid_score");
+        let delta_session = if session {
+            workspace.session.as_ref().filter(|s| {
+                s.epoch == epoch
+                    && s.keywords == query.keywords
+                    && session_overlap(&s.rect, &query.region_of_interest)
+                        >= SESSION_OVERLAP_THRESHOLD
+            })
+        } else {
+            None
+        };
+        let delta_prepare = delta_session.is_some();
+        let score_span = workspace.tracer.start(if delta_prepare {
+            "delta_prepare"
+        } else {
+            "grid_score"
+        });
         let score_start = crate::cancel::now();
         let q = self.collection.query_vector(&query.keywords);
-        self.collection.node_weights_into_with_workers(
-            &q,
-            &query.region_of_interest,
-            &mut workspace.weights,
-            workers,
-        );
+        let rescanned_cells = if let Some(sess) = delta_session {
+            self.collection.node_weights_delta_into(
+                &q,
+                &sess.rect,
+                &query.region_of_interest,
+                &sess.weights,
+                &mut workspace.weights,
+            )
+        } else {
+            self.collection.node_weights_into_with_workers(
+                &q,
+                &query.region_of_interest,
+                &mut workspace.weights,
+                workers,
+            );
+            0
+        };
         let grid_score_time = score_start.elapsed();
         workspace.tracer.end(score_span);
+        if session {
+            workspace.session = Some(SessionState {
+                epoch,
+                keywords: query.keywords.clone(),
+                rect: query.region_of_interest,
+                weights: workspace.weights.clone(),
+            });
+        }
         let build_span = workspace.tracer.start("graph_build");
         let build_start = crate::cancel::now();
         let view = RegionView::new_reusing_with_workers(
@@ -651,6 +790,8 @@ impl<'a> LcmsrEngine<'a> {
         workspace.prepare_breakdown = PrepareBreakdown {
             grid_score_time,
             graph_build_time: build_start.elapsed(),
+            delta_prepare,
+            rescanned_cells,
         };
         workspace.tracer.end(build_span);
         if let Ok(g) = &graph {
@@ -696,12 +837,56 @@ impl<'a> LcmsrEngine<'a> {
         let ctl = options.solve_token();
         workspace.tracer.begin(options.trace);
         let query_span = workspace.tracer.start("query");
-        let graph = self.prepare_with(workspace, request.query, algorithm.alpha())?;
+        let mut cache_key = None;
+        let mut cache_stale = false;
+        if options.cache {
+            request.query.validate()?;
+            let epoch = self.dataset_epoch();
+            let lookup_span = workspace.tracer.start("cache_lookup");
+            let key = crate::cache::request_key(request);
+            let lookup = self.cache.lookup(&key, epoch);
+            workspace.tracer.end(lookup_span);
+            match lookup {
+                CacheLookup::Hit(regions, stats) => {
+                    let mut stats = *stats;
+                    // The regions are clones of the cold run's — bit-identical
+                    // by construction.  The stats keep the cold run's
+                    // structural fields but report this run's (near-zero)
+                    // timings and deadline.
+                    stats.prepare_time = Duration::ZERO;
+                    stats.grid_score_time = Duration::ZERO;
+                    stats.graph_build_time = Duration::ZERO;
+                    stats.solve_time = Duration::ZERO;
+                    stats.queue_time = Duration::ZERO;
+                    stats.deadline = options.deadline.map(|d| d.budget());
+                    stats.cache = true;
+                    stats.cache_hit = true;
+                    stats.cache_stale = false;
+                    stats.delta_prepare = false;
+                    workspace.tracer.end(query_span);
+                    let trace = workspace.tracer.finish();
+                    stats.elapsed = start.elapsed();
+                    return Ok(QueryOutcome {
+                        regions,
+                        stats,
+                        trace,
+                    });
+                }
+                CacheLookup::Stale => cache_stale = true,
+                CacheLookup::Miss => {}
+            }
+            cache_key = Some((key, epoch));
+        }
+        let graph =
+            self.prepare_session(workspace, request.query, algorithm.alpha(), options.cache)?;
         let prepare_time = start.elapsed();
         let mut stats = RunStats::new(algorithm.name());
         stats.prepare_time = prepare_time;
         stats.grid_score_time = workspace.prepare_breakdown.grid_score_time;
         stats.graph_build_time = workspace.prepare_breakdown.graph_build_time;
+        stats.cache = options.cache;
+        stats.cache_stale = cache_stale;
+        stats.delta_prepare = workspace.prepare_breakdown.delta_prepare;
         stats.deadline = options.deadline.map(|d| d.budget());
         stats.nodes_in_region = graph.node_count();
         stats.edges_in_region = graph.edge_count();
@@ -800,7 +985,7 @@ impl<'a> LcmsrEngine<'a> {
                 None => PartialCause::Cancelled,
             });
         }
-        let regions = tuples
+        let regions: Vec<Region> = tuples
             .iter()
             .map(|t| Region::from_tuple(&graph, &workspace.arena, t))
             .collect();
@@ -808,6 +993,13 @@ impl<'a> LcmsrEngine<'a> {
         stats.elapsed = start.elapsed();
         workspace.tracer.end(query_span);
         let trace = workspace.tracer.finish();
+        // Only complete runs are worth replaying: a partial incumbent would
+        // pin a worse-than-cold answer under the fingerprint.
+        if let Some((key, epoch)) = cache_key {
+            if !stats.partial {
+                self.cache.insert(key, epoch, &regions, &stats);
+            }
+        }
         Ok(QueryOutcome {
             regions,
             stats,
@@ -2223,5 +2415,236 @@ mod tests {
             first_spans,
             "stale spans from the failed query must not accumulate"
         );
+    }
+
+    /// Bit-faithful fingerprint of a result's regions: `Debug` for `f64`
+    /// prints the shortest round-trip decimal, so two prints agree iff the
+    /// floats are bit-identical (and `-0.0` prints differently from `0.0`).
+    fn regions_fingerprint(regions: &[Region]) -> String {
+        format!("{regions:?}")
+    }
+
+    #[test]
+    fn cache_hits_replay_bit_identical_responses() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+        let cold = engine
+            .execute(&QueryRequest::new(&query, algorithm.clone()))
+            .unwrap();
+        assert!(!cold.stats.cache, "cache mode defaults off");
+        let request = QueryRequest::new(&query, algorithm.clone()).cache(true);
+        let first = engine.execute(&request).unwrap();
+        assert!(first.stats.cache);
+        assert!(!first.stats.cache_hit);
+        let second = engine.execute(&request).unwrap();
+        assert!(second.stats.cache_hit, "exact repeat must hit");
+        for outcome in [&first, &second] {
+            assert_eq!(
+                regions_fingerprint(&outcome.regions),
+                regions_fingerprint(&cold.regions),
+                "cache-mode responses must stay bit-identical to cold runs"
+            );
+        }
+        assert_eq!(engine.response_cache().hits(), 1);
+        assert_eq!(engine.response_cache().misses(), 1);
+        assert_eq!(engine.response_cache().stale(), 0);
+        // Structural stats replay from the cold run; timings are this run's.
+        assert_eq!(second.stats.nodes_in_region, first.stats.nodes_in_region);
+        assert_eq!(second.stats.tuples_generated, first.stats.tuples_generated);
+        assert_eq!(second.stats.prepare_time, Duration::ZERO);
+        assert_eq!(second.stats.solve_time, Duration::ZERO);
+        // A traced hit records the lookup span and skips prepare entirely.
+        let traced = engine.execute(&request.clone().trace(true)).unwrap();
+        assert!(traced.stats.cache_hit);
+        let trace = traced.trace.expect("traced run");
+        trace.validate().expect("well-formed hit trace");
+        assert!(trace.find("cache_lookup").is_some());
+        assert!(trace.find("prepare").is_none());
+        // A different top-k setting is a different fingerprint.
+        let topk = engine.execute(&request.clone().top_k(3)).unwrap();
+        assert!(!topk.stats.cache_hit);
+    }
+
+    #[test]
+    fn session_delta_prepare_matches_cold_runs_bit_for_bit() {
+        let (network, collection) = small_world();
+        let warm = LcmsrEngine::new(&network, &collection);
+        let cold = LcmsrEngine::new(&network, &collection);
+        let algorithm = Algorithm::Tgen(TgenParams { alpha: 1.0 });
+        let mut workspace = QueryWorkspace::new();
+        // A pan/zoom trace: big-overlap steps delta-prepare, the zoom-out
+        // falls back to a cold rescan, the final jump is fully contained in
+        // the previous view and delta-prepares again.
+        let rects = [
+            Rect::new(-50.0, -50.0, 250.0, 250.0),
+            Rect::new(-20.0, -50.0, 280.0, 250.0),
+            Rect::new(0.0, -20.0, 260.0, 300.0),
+            Rect::new(-50.0, -50.0, 560.0, 560.0),
+            Rect::new(350.0, 250.0, 560.0, 560.0),
+        ];
+        let mut deltas = 0;
+        for (i, rect) in rects.iter().enumerate() {
+            let query = LcmsrQuery::new(["restaurant", "cafe"], 400.0, *rect).unwrap();
+            let warm_out = warm
+                .execute_with(
+                    &mut workspace,
+                    &QueryRequest::new(&query, algorithm.clone()).cache(true),
+                )
+                .unwrap();
+            let cold_out = cold
+                .execute(&QueryRequest::new(&query, algorithm.clone()))
+                .unwrap();
+            assert!(!warm_out.stats.cache_hit, "distinct rects never hit");
+            assert_eq!(
+                regions_fingerprint(&warm_out.regions),
+                regions_fingerprint(&cold_out.regions),
+                "step {i} must be bit-identical to a cold run"
+            );
+            if warm_out.stats.delta_prepare {
+                deltas += 1;
+            }
+        }
+        assert!(
+            deltas >= 2,
+            "overlapping pan steps must delta-prepare, got {deltas}"
+        );
+        // A keyword refinement on the same rect cannot reuse the scores.
+        let refined =
+            LcmsrQuery::new(["restaurant"], 400.0, Rect::new(350.0, 250.0, 560.0, 560.0)).unwrap();
+        let refined_out = warm
+            .execute_with(
+                &mut workspace,
+                &QueryRequest::new(&refined, algorithm.clone()).cache(true),
+            )
+            .unwrap();
+        assert!(!refined_out.stats.delta_prepare);
+        // A traced delta step replaces grid_score with delta_prepare.
+        let panned =
+            LcmsrQuery::new(["restaurant"], 400.0, Rect::new(340.0, 240.0, 560.0, 560.0)).unwrap();
+        let traced = warm
+            .execute_with(
+                &mut workspace,
+                &QueryRequest::new(&panned, algorithm.clone())
+                    .cache(true)
+                    .trace(true),
+            )
+            .unwrap();
+        assert!(traced.stats.delta_prepare);
+        let cold_panned = cold
+            .execute(&QueryRequest::new(&panned, algorithm.clone()))
+            .unwrap();
+        assert_eq!(
+            regions_fingerprint(&traced.regions),
+            regions_fingerprint(&cold_panned.regions)
+        );
+        let trace = traced.trace.expect("traced run");
+        trace.validate().expect("well-formed delta trace");
+        let (prepare, _) = trace.find("prepare").expect("prepare span");
+        let children: Vec<&str> = trace
+            .children_of(prepare)
+            .map(|i| trace.spans[i as usize].label)
+            .collect();
+        assert!(
+            children.contains(&"delta_prepare") && children.contains(&"graph_build"),
+            "{children:?}"
+        );
+        assert!(trace.find("grid_score").is_none());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cache_and_session_scratch() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let query = LcmsrQuery::new(["restaurant"], 400.0, whole_rect(&network)).unwrap();
+        let request =
+            QueryRequest::new(&query, Algorithm::Greedy(GreedyParams::default())).cache(true);
+        let mut workspace = QueryWorkspace::new();
+        let first = engine.execute_with(&mut workspace, &request).unwrap();
+        assert!(
+            engine
+                .execute_with(&mut workspace, &request)
+                .unwrap()
+                .stats
+                .cache_hit
+        );
+        assert_eq!(engine.dataset_epoch(), 0);
+        assert_eq!(engine.bump_dataset_epoch(), 1);
+        let after = engine.execute_with(&mut workspace, &request).unwrap();
+        assert!(!after.stats.cache_hit);
+        assert!(after.stats.cache_stale, "old-epoch entry must read stale");
+        assert!(
+            !after.stats.delta_prepare,
+            "old-epoch session scratch must not be reused"
+        );
+        assert_eq!(
+            regions_fingerprint(&after.regions),
+            regions_fingerprint(&first.regions),
+            "dataset unchanged here, so the recomputed answer agrees"
+        );
+        assert_eq!(engine.response_cache().stale(), 1);
+        // The recomputed response is cached under the new epoch.
+        assert!(
+            engine
+                .execute_with(&mut workspace, &request)
+                .unwrap()
+                .stats
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn partial_runs_are_never_cached() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        let rect = Rect::new(-50.0, -50.0, 250.0, 250.0);
+        let query = LcmsrQuery::new(["restaurant"], 300.0, rect).unwrap();
+        let doomed = QueryRequest::new(&query, Algorithm::Exact)
+            .cache(true)
+            .deadline(Deadline::after(Duration::ZERO));
+        let partial = engine.execute(&doomed).unwrap();
+        assert!(partial.is_partial());
+        assert!(partial.stats.cache);
+        assert_eq!(
+            engine.response_cache().len(),
+            0,
+            "partial incumbents must not be pinned under the fingerprint"
+        );
+        // The deadline is not part of the fingerprint, so a completed run…
+        let complete = engine
+            .execute(&QueryRequest::new(&query, Algorithm::Exact).cache(true))
+            .unwrap();
+        assert!(!complete.stats.cache_hit);
+        assert!(!complete.is_partial());
+        // …serves later deadline-bound repeats of the same request complete.
+        let replay = engine.execute(&doomed).unwrap();
+        assert!(replay.stats.cache_hit);
+        assert!(!replay.is_partial());
+        assert_eq!(
+            regions_fingerprint(&replay.regions),
+            regions_fingerprint(&complete.regions)
+        );
+    }
+
+    #[test]
+    fn classic_paths_leave_the_cache_untouched() {
+        let (network, collection) = small_world();
+        let engine = LcmsrEngine::new(&network, &collection);
+        assert!(!QueryOptions::default().cache);
+        let queries = mixed_workload(&network);
+        for query in queries.iter().take(8) {
+            let _ = run1(&engine, query, &Algorithm::Greedy(GreedyParams::default())).unwrap();
+        }
+        let _ = batch1(
+            &engine,
+            &queries,
+            &Algorithm::Tgen(TgenParams { alpha: 1.0 }),
+            4,
+        )
+        .unwrap();
+        let cache = engine.response_cache();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses() + cache.stale(), 0);
     }
 }

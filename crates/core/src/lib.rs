@@ -59,6 +59,7 @@
 
 pub mod app;
 pub mod arena;
+pub mod cache;
 pub mod cancel;
 pub mod engine;
 pub mod error;
@@ -80,6 +81,7 @@ pub mod tuple_array;
 pub mod prelude {
     pub use crate::app::{AppParams, BinarySearchStep};
     pub use crate::arena::{IdSetHandle, TupleArena};
+    pub use crate::cache::{CacheLookup, ResponseCache};
     pub use crate::cancel::{CancelToken, Deadline};
     pub use crate::engine::{
         Algorithm, LcmsrEngine, MaxRsRegion, Priority, QueryOptions, QueryOutcome, QueryRequest,
@@ -100,6 +102,7 @@ pub mod prelude {
 
 pub use app::AppParams;
 pub use arena::TupleArena;
+pub use cache::{CacheLookup, ResponseCache};
 pub use cancel::{CancelToken, Deadline};
 pub use engine::{
     Algorithm, LcmsrEngine, Priority, QueryOptions, QueryOutcome, QueryRequest, QueryResult,

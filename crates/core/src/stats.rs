@@ -90,6 +90,19 @@ pub struct RunStats {
     /// set).  Reported on the wire as `deadline_ns`; the absolute expiry
     /// instant is process-local and deliberately not recorded here.
     pub deadline: Option<Duration>,
+    /// Whether the request ran in cache mode (response cache consulted and,
+    /// on a complete run, populated).  `false` on the classic paths, which
+    /// stay bit-identical to a cacheless engine.
+    pub cache: bool,
+    /// Whether the response was replayed from the engine's response cache
+    /// (the regions are clones of the original cold run's).
+    pub cache_hit: bool,
+    /// Whether the lookup found a fingerprint cached under an older dataset
+    /// epoch (the stale entry was evicted and the query recomputed).
+    pub cache_stale: bool,
+    /// Whether the prepare phase was delta-built from the session's previous
+    /// keyword scores instead of rescoring the whole region of interest.
+    pub delta_prepare: bool,
 }
 
 impl RunStats {
@@ -170,6 +183,14 @@ impl std::fmt::Display for RunStats {
                 None => write!(f, " [partial]")?,
             }
         }
+        if self.cache_hit {
+            write!(f, " [cache hit]")?;
+        } else if self.cache_stale {
+            write!(f, " [cache stale]")?;
+        }
+        if self.delta_prepare {
+            write!(f, " [delta prepare]")?;
+        }
         Ok(())
     }
 }
@@ -204,6 +225,25 @@ mod tests {
         assert!(!s.partial);
         assert_eq!(s.partial_cause, None);
         assert_eq!(s.deadline, None);
+        assert!(!s.cache);
+        assert!(!s.cache_hit);
+        assert!(!s.cache_stale);
+        assert!(!s.delta_prepare);
+    }
+
+    #[test]
+    fn display_marks_cache_and_delta_paths() {
+        let mut s = RunStats::new("TGEN");
+        assert!(!s.to_string().contains("cache"));
+        s.cache = true;
+        s.cache_hit = true;
+        assert!(s.to_string().contains("[cache hit]"));
+        let mut d = RunStats::new("TGEN");
+        d.cache_stale = true;
+        d.delta_prepare = true;
+        let shown = d.to_string();
+        assert!(shown.contains("[cache stale]"), "{shown}");
+        assert!(shown.contains("[delta prepare]"), "{shown}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! consume.
 
 use crate::error::Result;
-use crate::grid::{GridIndex, DEFAULT_SHARD_COUNT};
+use crate::grid::{CellId, GridIndex, DEFAULT_SHARD_COUNT};
 use crate::mapping::map_points_to_nodes;
 use crate::object::{GeoTextObject, ObjectId};
 use crate::vocab::{TermId, Vocabulary};
@@ -275,6 +275,84 @@ impl ObjectCollection {
         }
     }
 
+    /// Delta variant of [`ObjectCollection::node_weights_into`] for an
+    /// interactive session step: `prev` holds the weights of the same query
+    /// vector over `old_rect`; only the grid cells that `new_rect` covers
+    /// *beyond* `old_rect` are rescanned, and per-object scores surviving the
+    /// pan (object inside both rects) are carried over unchanged.  Returns
+    /// the number of cells rescanned.
+    ///
+    /// Bit-identical to a cold [`ObjectCollection::node_weights_into`] over
+    /// `new_rect`: an object's Equation-2 partial accumulates entirely within
+    /// its single grid cell, so per-object scores are rect-independent, and
+    /// the per-node sums are rebuilt by iterating the merged object map in
+    /// the same ascending-id order the cold pass uses.
+    pub fn node_weights_delta_into(
+        &self,
+        query: &QueryVector,
+        old_rect: &Rect,
+        new_rect: &Rect,
+        prev: &NodeWeights,
+        out: &mut NodeWeights,
+    ) -> usize {
+        out.by_node.clear();
+        out.by_object.clear();
+        if query.norm == 0.0 {
+            return 0;
+        }
+        // Survivors: per-object scores are independent of the rect (only the
+        // inside-the-rect filter depends on it), so any previously scored
+        // object still inside the new rect keeps its score bit-for-bit.
+        for (&object_id, &score) in &prev.by_object {
+            let Some(&idx) = self.object_index.get(&object_id) else {
+                continue;
+            };
+            if new_rect.contains(&self.objects[idx].point) {
+                out.by_object.insert(object_id, score);
+            }
+        }
+        // Rescan: cells the new rect covers that the old rect did not fully
+        // contain.  Fully-contained cells were already scored exhaustively
+        // (every object of theirs passed the old inside-the-rect filter or
+        // scored zero, which the cold pass also drops).
+        let query_terms: Vec<(TermId, f64)> = query
+            .terms
+            .iter()
+            .filter_map(|t| t.id.map(|id| (id, t.weight)))
+            .collect();
+        let fresh: Vec<CellId> = self
+            .grid
+            .cells_intersecting(new_rect)
+            .into_iter()
+            .filter(|&c| !old_rect.contains_rect(&self.grid.cell_rect(c)))
+            .collect();
+        let rescanned = fresh.len();
+        for (object_id, partial) in self.grid.accumulate_scores_in_cells(&fresh, &query_terms) {
+            let Some(&idx) = self.object_index.get(&object_id) else {
+                continue;
+            };
+            if !new_rect.contains(&self.objects[idx].point) {
+                continue;
+            }
+            let score = partial / query.norm;
+            if score <= 0.0 {
+                continue;
+            }
+            // An object both surviving and rescanned recomputes the identical
+            // score, so overwriting is safe.
+            out.by_object.insert(object_id, score);
+        }
+        // Rebuild per-node sums in ascending object-id order — the exact
+        // summation order of the cold pass, so the float sums are identical.
+        for (&object_id, &score) in &out.by_object {
+            let Some(&idx) = self.object_index.get(&object_id) else {
+                continue;
+            };
+            *out.by_node.entry(self.object_nodes[idx]).or_insert(0.0) += score;
+        }
+        rescanned
+    }
+
     /// Convenience wrapper: computes node weights from raw keyword strings.
     pub fn node_weights_for_keywords(
         &self,
@@ -511,6 +589,54 @@ mod tests {
             }
             assert_eq!(w.by_object, reference.by_object);
         }
+    }
+
+    #[test]
+    fn delta_weights_are_bit_identical_to_cold_weights() {
+        let (network, objects) = network_and_objects();
+        // A small cell size so pans genuinely change the cell cover.
+        let coll = ObjectCollection::build(&network, objects, 60.0).unwrap();
+        let q = coll.query_vector(&["restaurant", "pizza"]);
+        // A pan/zoom trace of overlapping rects (plus one disjoint jump).
+        let rects = [
+            Rect::new(-20.0, -20.0, 150.0, 20.0),
+            Rect::new(30.0, -20.0, 200.0, 25.0),  // pan right
+            Rect::new(-10.0, -30.0, 420.0, 30.0), // zoom out
+            Rect::new(80.0, -5.0, 130.0, 10.0),   // zoom in
+            Rect::new(300.0, -20.0, 420.0, 20.0), // disjoint-ish jump
+        ];
+        let mut prev_rect = rects[0];
+        let mut prev = coll.node_weights(&q, &prev_rect);
+        for rect in &rects[1..] {
+            let cold = coll.node_weights(&q, rect);
+            let mut delta = NodeWeights::default();
+            let rescanned = coll.node_weights_delta_into(&q, &prev_rect, rect, &prev, &mut delta);
+            assert!(rescanned <= coll.grid().cells_intersecting(rect).len());
+            assert_eq!(cold.by_object.len(), delta.by_object.len(), "rect={rect:?}");
+            for ((oa, sa), (ob, sb)) in cold.by_object.iter().zip(&delta.by_object) {
+                assert_eq!(oa, ob);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "rect={rect:?} obj={oa:?}");
+            }
+            assert_eq!(cold.by_node.len(), delta.by_node.len());
+            for ((na, sa), (nb, sb)) in cold.by_node.iter().zip(&delta.by_node) {
+                assert_eq!(na, nb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "rect={rect:?} node={na:?}");
+            }
+            prev_rect = *rect;
+            prev = cold;
+        }
+        // A fully-contained re-query rescans only boundary cells; an
+        // identical rect rescans only the cells the rect does not fully
+        // contain (possibly zero).
+        let mut same = NodeWeights::default();
+        coll.node_weights_delta_into(&q, &prev_rect, &prev_rect, &prev, &mut same);
+        assert_eq!(same.by_object, prev.by_object);
+        // An unknown-keyword query yields empty output either way.
+        let empty_q = coll.query_vector(&["spaceship"]);
+        let mut out = NodeWeights::default();
+        let empty_prev = NodeWeights::default();
+        coll.node_weights_delta_into(&empty_q, &rects[0], &rects[1], &empty_prev, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -420,6 +420,31 @@ impl GridIndex {
         }
         acc
     }
+
+    /// Accumulates Equation-2 partial scores over an explicit cell subset —
+    /// the delta-prepare path, which rescans only the cells a panned query
+    /// rectangle newly covers instead of the whole cover.
+    ///
+    /// Every object lives in exactly one cell, so its full partial score
+    /// accumulates entirely within that cell's inverted index: for any cell
+    /// in the subset, the per-object scores here are bit-identical to what
+    /// [`GridIndex::accumulate_scores_in_rect`] would produce for a rectangle
+    /// covering that cell.
+    pub fn accumulate_scores_in_cells(
+        &self,
+        cells: &[CellId],
+        query_terms: &[(TermId, f64)],
+    ) -> BTreeMap<ObjectId, f64> {
+        let mut acc = BTreeMap::new();
+        for &id in cells {
+            if let Some(cell) = self.cell(id) {
+                for (obj, partial) in cell.inverted.accumulate_scores(query_terms) {
+                    *acc.entry(obj).or_insert(0.0) += partial;
+                }
+            }
+        }
+        acc
+    }
 }
 
 /// Indexes a routed batch into one shard, in batch (= input) order.
@@ -643,6 +668,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cell_subset_scores_match_the_rect_pass_bit_for_bit() {
+        let (grid, vocab) = build_dense(4);
+        let terms = query_terms(&vocab);
+        let rects = [
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            Rect::new(130.0, 40.0, 620.0, 880.0),
+            Rect::new(40.0, 40.0, 60.0, 60.0),
+        ];
+        for rect in &rects {
+            let by_rect = grid.accumulate_scores_in_rect(rect, &terms);
+            let cells = grid.cells_intersecting(rect);
+            let by_cells = grid.accumulate_scores_in_cells(&cells, &terms);
+            assert_eq!(by_rect.len(), by_cells.len(), "rect={rect:?}");
+            for ((oa, sa), (ob, sb)) in by_rect.iter().zip(&by_cells) {
+                assert_eq!(oa, ob);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "rect={rect:?} obj={oa:?}");
+            }
+        }
+        // Unoccupied or out-of-range ids contribute nothing.
+        let empty = grid.accumulate_scores_in_cells(
+            &[CellId { col: 0, row: 9 }, CellId { col: 999, row: 0 }],
+            &terms,
+        );
+        assert!(empty.is_empty());
     }
 
     #[test]

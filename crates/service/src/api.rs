@@ -13,9 +13,20 @@
 //!   "beta": 0.1,                    // optional: APP binary-search override
 //!   "mu": 0.2,                      // optional: Greedy trade-off override
 //!   "deadline_ms": 50,              // optional: anytime-answer deadline
-//!   "priority": "interactive"       // optional: "interactive" | "batch" lane
+//!   "priority": "interactive",      // optional: "interactive" | "batch" lane
+//!   "cache": true                   // optional: response cache + sessions
 //! }
 //! ```
+//!
+//! `cache` opts a query in or out of the engine's response cache and
+//! incremental re-query sessions; unset, it defaults to **on** for the
+//! interactive lane and off for the batch lane.  Cache replays are
+//! byte-identical to cold runs, so the knob never changes an answer — only
+//! `stats.cache_hit` / `stats.delta_prepare` reveal which path ran.
+//!
+//! `rect` corners are order-normalized at admission (swapped corners denote
+//! the same rectangle), while non-finite or zero-area rectangles are
+//! rejected.
 //!
 //! `deadline_ms` starts counting when the service decodes the request, so
 //! queue wait spends the same budget the solver does.  A response produced
@@ -105,6 +116,9 @@ pub struct QueryRequest {
     pub deadline_ms: Option<u64>,
     /// Optional scheduling lane: `"interactive"` (default) or `"batch"`.
     pub priority: Option<String>,
+    /// Optional response-cache opt-in/out; unset defaults to the lane's
+    /// policy (on for interactive, off for batch).
+    pub cache: Option<bool>,
 }
 
 fn field_f64(obj: &Json, key: &str) -> Result<f64, ApiError> {
@@ -172,9 +186,12 @@ impl QueryRequest {
                 return Err(ApiError::new("field \"rect\" must contain finite numbers"));
             }
         }
-        if corners[0] >= corners[2] || corners[1] >= corners[3] {
+        // Swapped corners denote the same rectangle — Rect::new normalizes
+        // the order below, so only genuinely degenerate (zero-extent)
+        // rectangles are rejected.
+        if corners[0] == corners[2] || corners[1] == corners[3] {
             return Err(ApiError::new(
-                "field \"rect\" must satisfy min_x < max_x and min_y < max_y",
+                "field \"rect\" must have positive extent (min_x != max_x and min_y != max_y)",
             ));
         }
         let budget = field_f64(value, "budget")?;
@@ -212,6 +229,13 @@ impl QueryRequest {
                 Some(lane.to_string())
             }
         };
+        let cache = match value.get("cache") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_bool()
+                    .ok_or_else(|| ApiError::new("field \"cache\" must be a boolean"))?,
+            ),
+        };
         Ok(QueryRequest {
             algorithm,
             keywords,
@@ -223,6 +247,7 @@ impl QueryRequest {
             mu: optional_f64(value, "mu")?,
             deadline_ms,
             priority,
+            cache,
         })
     }
 
@@ -264,6 +289,9 @@ impl QueryRequest {
         }
         if let Some(priority) = &self.priority {
             fields.push(("priority".into(), Json::String(priority.clone())));
+        }
+        if let Some(cache) = self.cache {
+            fields.push(("cache".into(), Json::Bool(cache)));
         }
         Json::Object(fields)
     }
@@ -462,10 +490,30 @@ pub struct StatsDto {
     /// The deadline budget the query ran under, in nanoseconds (absent when
     /// no deadline was set).
     pub deadline_ns: Option<u64>,
+    /// Whether the query ran in cache mode (response cache consulted).
+    pub cache: bool,
+    /// Whether the response was replayed from the response cache.
+    pub cache_hit: bool,
+    /// Whether the lookup evicted a stale-epoch entry before recomputing.
+    pub cache_stale: bool,
+    /// Whether the prepare phase was delta-built from the previous session
+    /// step's keyword scores.
+    pub delta_prepare: bool,
 }
 
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Decodes an optional boolean stats flag (absent means `false`, so bodies
+/// from peers predating the cache layer still decode).
+fn optional_flag(value: &Json, key: &str) -> Result<bool, ApiError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ApiError::new(format!("stats field \"{key}\" must be a boolean"))),
+    }
 }
 
 impl StatsDto {
@@ -492,6 +540,10 @@ impl StatsDto {
             partial: stats.partial,
             partial_cause: stats.partial_cause.map(|c| c.as_str().to_string()),
             deadline_ns: stats.deadline.map(duration_ns),
+            cache: stats.cache,
+            cache_hit: stats.cache_hit,
+            cache_stale: stats.cache_stale,
+            delta_prepare: stats.delta_prepare,
         }
     }
 
@@ -554,6 +606,18 @@ impl StatsDto {
         }
         if let Some(ns) = self.deadline_ns {
             fields.push(("deadline_ns".into(), Json::Number(ns as f64)));
+        }
+        // Cache-path flags are emitted only when set, so classic (cache-off)
+        // responses keep their pre-cache wire shape byte-for-byte.
+        for (name, flag) in [
+            ("cache", self.cache),
+            ("cache_hit", self.cache_hit),
+            ("cache_stale", self.cache_stale),
+            ("delta_prepare", self.delta_prepare),
+        ] {
+            if flag {
+                fields.push((name.into(), Json::Bool(true)));
+            }
         }
         Json::Object(fields)
     }
@@ -620,6 +684,10 @@ impl StatsDto {
                     ApiError::new("stats field \"deadline_ns\" must be an integer")
                 })?),
             },
+            cache: optional_flag(value, "cache")?,
+            cache_hit: optional_flag(value, "cache_hit")?,
+            cache_stale: optional_flag(value, "cache_stale")?,
+            delta_prepare: optional_flag(value, "delta_prepare")?,
         })
     }
 }
@@ -711,6 +779,7 @@ mod tests {
             mu: None,
             deadline_ms: None,
             priority: None,
+            cache: None,
         }
     }
 
@@ -740,6 +809,38 @@ mod tests {
             QueryRequest::from_body(&deadlined.to_body()).unwrap(),
             deadlined
         );
+        // The cache knob survives the round trip in both polarities.
+        for cache in [Some(true), Some(false)] {
+            let explicit = QueryRequest {
+                cache,
+                ..sample_request()
+            };
+            assert_eq!(
+                QueryRequest::from_body(&explicit.to_body()).unwrap(),
+                explicit
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_rect_corners_normalize_to_the_same_rectangle() {
+        let canonical = r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,10,20],"budget":1}"#;
+        let swapped = r#"{"algorithm":"tgen","keywords":["x"],"rect":[10,20,0,0],"budget":1}"#;
+        let a = QueryRequest::from_body(canonical).unwrap();
+        let b = QueryRequest::from_body(swapped).unwrap();
+        assert_eq!(a.rect, b.rect, "corner order must not matter");
+        assert_eq!(a.rect, Rect::new(0.0, 0.0, 10.0, 20.0));
+        // Signed zero folds at the engine's cache-key layer, not here; the
+        // admission layer only guards finiteness and extent.
+        for degenerate in [
+            r#"{"algorithm":"tgen","keywords":["x"],"rect":[5,0,5,1],"budget":1}"#,
+            r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,3,1,3],"budget":1}"#,
+        ] {
+            let err = QueryRequest::from_body(degenerate).unwrap_err();
+            assert!(err.message.contains("extent"), "{:?}", err.message);
+        }
+        let nan = r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,null],"budget":1}"#;
+        assert!(QueryRequest::from_body(nan).is_err());
     }
 
     #[test]
@@ -824,8 +925,8 @@ mod tests {
                 "numbers",
             ),
             (
-                r#"{"algorithm":"tgen","keywords":["x"],"rect":[5,0,1,1],"budget":1}"#,
-                "min_x < max_x",
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[5,0,5,1],"budget":1}"#,
+                "extent",
             ),
             (
                 r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1]}"#,
@@ -862,6 +963,10 @@ mod tests {
             (
                 r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"priority":7}"#,
                 "priority",
+            ),
+            (
+                r#"{"algorithm":"tgen","keywords":["x"],"rect":[0,0,1,1],"budget":1,"cache":"yes"}"#,
+                "cache",
             ),
             ("{not json", "invalid JSON"),
         ] {
@@ -916,6 +1021,10 @@ mod tests {
                 partial: false,
                 partial_cause: None,
                 deadline_ns: None,
+                cache: false,
+                cache_hit: false,
+                cache_stale: false,
+                delta_prepare: false,
             },
         };
         let body = response.to_body();
@@ -929,6 +1038,55 @@ mod tests {
         // DTO ↔ engine Region round-trip.
         let region = back.regions[0].to_region();
         assert_eq!(RegionDto::from_region(&region), back.regions[0]);
+    }
+
+    #[test]
+    fn cache_stats_round_trip_and_stay_off_the_classic_wire() {
+        // Classic (cache-off) responses carry none of the cache flags, so
+        // their wire shape is byte-identical to a cacheless build's.
+        let classic = QueryResponse {
+            regions: vec![],
+            stats: StatsDto::from_stats(&RunStats::new("TGEN")),
+        };
+        let body = classic.to_body();
+        for flag in ["\"cache\"", "cache_hit", "cache_stale", "delta_prepare"] {
+            assert!(!body.contains(flag), "unexpected {flag} in {body}");
+        }
+        assert_eq!(QueryResponse::from_body(&body).unwrap(), classic);
+        // A cache-hit response carries its flags and round-trips.
+        let mut stats = RunStats::new("TGEN");
+        stats.cache = true;
+        stats.cache_hit = true;
+        let hit = QueryResponse {
+            regions: vec![],
+            stats: StatsDto::from_stats(&stats),
+        };
+        let body = hit.to_body();
+        assert!(body.contains("\"cache\":true"), "{body}");
+        assert!(body.contains("\"cache_hit\":true"), "{body}");
+        assert!(!body.contains("cache_stale"), "{body}");
+        assert_eq!(QueryResponse::from_body(&body).unwrap(), hit);
+        // A delta-prepared recompute after a stale eviction round-trips too.
+        let mut stats = RunStats::new("TGEN");
+        stats.cache = true;
+        stats.cache_stale = true;
+        stats.delta_prepare = true;
+        let delta = QueryResponse {
+            regions: vec![],
+            stats: StatsDto::from_stats(&stats),
+        };
+        let back = QueryResponse::from_body(&delta.to_body()).unwrap();
+        assert_eq!(back, delta);
+        assert!(back.stats.cache_stale && back.stats.delta_prepare);
+        // Malformed flags are rejected with the field named.
+        let bad = r#"{"regions":[],"stats":{"algorithm":"TGEN","elapsed_ns":0,
+            "prepare_ns":0,"solve_ns":0,"queue_ns":0,"nodes_in_region":0,
+            "edges_in_region":0,"relevant_nodes":0,"kmst_calls":0,
+            "tuples_generated":0,"greedy_steps":0,"pruned_pairs":0,
+            "frontier_tuples":0,"frontier_peak":0,"dominance_evictions":0,
+            "cache_hit":1}}"#;
+        let err = QueryResponse::from_body(bad).unwrap_err();
+        assert!(err.message.contains("cache_hit"), "{:?}", err.message);
     }
 
     #[test]

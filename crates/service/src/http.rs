@@ -142,7 +142,14 @@ impl HttpResponse {
             self.content_type,
             self.body.len()
         );
-        if self.status == 503 {
+        // Fallback only: the service layer attaches a scheduler-derived
+        // Retry-After estimate to shed responses; a bare 503 from anywhere
+        // else still promises *some* retry hint rather than none.
+        let has_retry_after = self
+            .headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("retry-after"));
+        if self.status == 503 && !has_retry_after {
             head.push_str("Retry-After: 1\r\n");
         }
         for (name, value) in &self.headers {
@@ -784,6 +791,60 @@ mod tests {
                 c.get("/x").is_err()
             }
         );
+    }
+
+    /// Sheds everything: `/estimated` carries an explicit Retry-After, the
+    /// other routes rely on the bare-503 fallback.
+    struct ShedHandler;
+
+    impl Handler for ShedHandler {
+        fn handle(&self, request: &HttpRequest) -> HttpResponse {
+            let response = HttpResponse::text(503, "shed");
+            if request.path == "/estimated" {
+                response.with_header("Retry-After", "7")
+            } else {
+                response
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_retry_after_suppresses_the_fallback() {
+        let server = start(
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                http_workers: 1,
+                ..ServerConfig::default()
+            },
+            Arc::new(ShedHandler),
+        )
+        .unwrap();
+        let raw_503 = |path: &str| {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut response = String::new();
+            BufReader::new(&stream)
+                .read_to_string(&mut response)
+                .unwrap();
+            response
+        };
+        // An explicit estimate travels alone — no duplicate fallback header.
+        let estimated = raw_503("/estimated");
+        assert!(estimated.contains("Retry-After: 7\r\n"), "{estimated}");
+        assert_eq!(
+            estimated
+                .to_ascii_lowercase()
+                .matches("retry-after")
+                .count(),
+            1,
+            "{estimated}"
+        );
+        // A bare 503 still promises the 1 s fallback.
+        let bare = raw_503("/bare");
+        assert!(bare.contains("Retry-After: 1\r\n"), "{bare}");
+        server.shutdown();
     }
 
     #[test]

@@ -141,6 +141,17 @@ pub struct ServiceMetrics {
     /// Graph-build component of `prepare_ns` (`Q.Λ` extraction + scaled CSR
     /// construction), nanoseconds.
     pub graph_build_ns: AtomicU64,
+    /// Served queries replayed from the engine's response cache.
+    pub cache_hits: AtomicU64,
+    /// Cache-mode queries whose fingerprint was absent (computed cold and,
+    /// when complete, inserted).
+    pub cache_misses: AtomicU64,
+    /// Cache-mode queries whose entry was cached under an older dataset
+    /// epoch (evicted and recomputed).
+    pub cache_stale: AtomicU64,
+    /// Served queries whose prepare phase was delta-built from the previous
+    /// session step instead of rescoring the whole region of interest.
+    pub delta_prepares: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -158,6 +169,25 @@ impl ServiceMetrics {
             .fetch_add(ns(stats.grid_score_time), Ordering::Relaxed);
         self.graph_build_ns
             .fetch_add(ns(stats.graph_build_time), Ordering::Relaxed);
+    }
+
+    /// Accumulates one answered query's cache-path outcome.  Only cache-mode
+    /// queries count: a hit, a stale recompute, or a miss, exclusively; delta
+    /// prepares are counted independently (a delta-prepared step is also a
+    /// miss for its own fingerprint).
+    pub fn record_cache_path(&self, stats: &lcmsr_core::stats::RunStats) {
+        if stats.cache {
+            if stats.cache_hit {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else if stats.cache_stale {
+                self.cache_stale.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if stats.delta_prepare {
+            self.delta_prepares.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Mean queries per dispatched batch (0 when no batch ran yet).
@@ -289,6 +319,30 @@ impl ServiceMetrics {
             load(&self.graph_build_ns),
         );
         series(
+            "lcmsr_cache_hits_total",
+            "counter",
+            "Served queries replayed from the response cache.",
+            load(&self.cache_hits),
+        );
+        series(
+            "lcmsr_cache_misses_total",
+            "counter",
+            "Cache-mode queries computed cold (fingerprint absent).",
+            load(&self.cache_misses),
+        );
+        series(
+            "lcmsr_cache_stale_total",
+            "counter",
+            "Cache-mode queries recomputed after a stale-epoch eviction.",
+            load(&self.cache_stale),
+        );
+        series(
+            "lcmsr_delta_prepares_total",
+            "counter",
+            "Served queries whose prepare phase was delta-built from the previous session step.",
+            load(&self.delta_prepares),
+        );
+        series(
             "lcmsr_latency_mean_us",
             "gauge",
             "Mean end-to-end query latency, microseconds.",
@@ -369,6 +423,20 @@ mod tests {
         stats.grid_score_time = Duration::from_nanos(600);
         stats.graph_build_time = Duration::from_nanos(250);
         m.record_prepare_split(&stats);
+        // One hit, one miss-with-delta, one stale recompute, one classic run.
+        let mut hit = lcmsr_core::stats::RunStats::new("TGEN");
+        hit.cache = true;
+        hit.cache_hit = true;
+        m.record_cache_path(&hit);
+        let mut miss = lcmsr_core::stats::RunStats::new("TGEN");
+        miss.cache = true;
+        miss.delta_prepare = true;
+        m.record_cache_path(&miss);
+        let mut stale = lcmsr_core::stats::RunStats::new("TGEN");
+        stale.cache = true;
+        stale.cache_stale = true;
+        m.record_cache_path(&stale);
+        m.record_cache_path(&lcmsr_core::stats::RunStats::new("TGEN"));
         let text = m.render();
         for series in [
             "lcmsr_requests_total 5",
@@ -387,6 +455,10 @@ mod tests {
             "lcmsr_prepare_ns_total 900",
             "lcmsr_prepare_grid_score_ns_total 600",
             "lcmsr_prepare_graph_build_ns_total 250",
+            "lcmsr_cache_hits_total 1",
+            "lcmsr_cache_misses_total 1",
+            "lcmsr_cache_stale_total 1",
+            "lcmsr_delta_prepares_total 1",
             "lcmsr_latency_sum 3000",
             "lcmsr_latency_count 1",
             "lcmsr_latency_p50_us",

@@ -94,6 +94,10 @@ pub struct QueryJob {
     /// Run with span tracing enabled (decided by the service's diagnostics
     /// sampling at admission; inert collector when false).
     pub trace: bool,
+    /// Run in cache mode: consult the engine's response cache and keep
+    /// session scratch for incremental re-query.  The service defaults this
+    /// on for the interactive lane.
+    pub cache: bool,
 }
 
 impl QueryJob {
@@ -106,6 +110,7 @@ impl QueryJob {
             priority: Priority::Interactive,
             deadline: None,
             trace: false,
+            cache: false,
         }
     }
 }
@@ -253,6 +258,17 @@ impl SchedulerShared {
             Duration::from_nanos(ewma.saturating_mul(queued_ahead as u64) / workers);
         deadline.remaining() <= predicted_wait
     }
+}
+
+/// How long a shed client should wait before retrying, in whole seconds:
+/// the EWMA-predicted time to drain the current queue across the workers,
+/// rounded up and clamped to `[1, 30]`.  With no service-time sample yet (or
+/// an empty queue) the estimate is the floor of 1 s.
+fn retry_after_from(ewma_ns: u64, queued: usize, workers: usize) -> u64 {
+    let workers = workers.max(1) as u64;
+    let drain_ns = ewma_ns.saturating_mul(queued as u64) / workers;
+    let secs = drain_ns.div_ceil(1_000_000_000);
+    secs.clamp(1, 30)
 }
 
 /// Folds one dispatch into the service-time EWMA (α = 1/8; the first sample
@@ -409,6 +425,24 @@ impl Scheduler {
         lock_or_recover(&self.shared.queue).len()
     }
 
+    /// `Retry-After` estimate for shed responses, in whole seconds: how long
+    /// the EWMA of recent per-query service times predicts the current
+    /// backlog (queue depth, or in-flight count in baseline mode) takes to
+    /// drain across the batch workers, clamped to `[1, 30]`.
+    pub fn retry_after_secs(&self) -> u64 {
+        let shared = &self.shared;
+        let queued = if self.batching() {
+            lock_or_recover(&shared.queue).len()
+        } else {
+            shared.in_flight.load(Ordering::Relaxed)
+        };
+        retry_after_from(
+            shared.service_time_ns.load(Ordering::Relaxed),
+            queued,
+            shared.config.batch_workers,
+        )
+    }
+
     /// Stops accepting jobs, drains everything already queued, and joins the
     /// dispatcher.  Idempotent.
     pub fn shutdown(&self) {
@@ -527,7 +561,8 @@ fn execute_batch(shared: &SchedulerShared, batch: Vec<PendingJob>) {
 fn build_request(job: &QueryJob) -> QueryRequest<'_> {
     let mut request = QueryRequest::new(&job.query, job.algorithm.clone())
         .priority(job.priority)
-        .trace(job.trace);
+        .trace(job.trace)
+        .cache(job.cache);
     if let JobKind::TopK(k) = job.kind {
         request = request.top_k(k);
     }
@@ -1066,6 +1101,65 @@ mod tests {
             result.stats.partial_cause.map(|c| c.as_str()),
             Some("deadline_exceeded")
         );
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn retry_after_tracks_the_predicted_drain_time() {
+        // No history yet: the floor of 1 s, never 0.
+        assert_eq!(retry_after_from(0, 100, 4), 1);
+        // An empty queue drains instantly: still the 1 s floor.
+        assert_eq!(retry_after_from(5_000_000_000, 0, 4), 1);
+        // 2 s per query, 4 queued, 1 worker → 8 s predicted drain.
+        assert_eq!(retry_after_from(2_000_000_000, 4, 1), 8);
+        // The same backlog across 4 workers drains in a quarter the time.
+        assert_eq!(retry_after_from(2_000_000_000, 4, 4), 2);
+        // Fractional seconds round up, not down.
+        assert_eq!(retry_after_from(1_500_000_000, 1, 1), 2);
+        // A pathological backlog is clamped to the 30 s ceiling.
+        assert_eq!(retry_after_from(10_000_000_000, 1_000, 1), 30);
+        // Zero workers is treated as one, not a division by zero.
+        assert_eq!(retry_after_from(3_000_000_000, 2, 0), 6);
+    }
+
+    #[test]
+    fn scheduler_exposes_a_clamped_retry_after_estimate() {
+        let engine = leaked_engine();
+        let scheduler = start(engine, BatchConfig::default());
+        // Fresh scheduler: empty queue, no EWMA → the 1 s floor.
+        assert_eq!(scheduler.retry_after_secs(), 1);
+        let ticket = scheduler
+            .submit(job(engine, 200.0, JobKind::Single))
+            .unwrap();
+        assert!(ticket.wait().is_ok());
+        // With a (tiny) EWMA sample and an empty queue the floor still holds,
+        // and the estimate always stays within the clamp.
+        let estimate = scheduler.retry_after_secs();
+        assert!((1..=30).contains(&estimate), "estimate {estimate}");
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn jobs_default_to_cache_off_and_carry_the_flag() {
+        let engine = leaked_engine();
+        let plain = job(engine, 200.0, JobKind::Single);
+        assert!(!plain.cache, "classic jobs must not touch the cache");
+        let mut cached = job(engine, 200.0, JobKind::Single);
+        cached.cache = true;
+        let scheduler = start(engine, BatchConfig::default());
+        let ticket = scheduler.submit(cached).unwrap();
+        let JobOutput::Single(result) = ticket.wait().unwrap() else {
+            panic!("expected single result");
+        };
+        assert!(result.stats.cache, "the cache flag must reach the engine");
+        // A repeat of the same job replays from the response cache.
+        let mut repeat = job(engine, 200.0, JobKind::Single);
+        repeat.cache = true;
+        let ticket = scheduler.submit(repeat).unwrap();
+        let JobOutput::Single(result) = ticket.wait().unwrap() else {
+            panic!("expected single result");
+        };
+        assert!(result.stats.cache_hit, "the repeat must hit the cache");
         scheduler.shutdown();
     }
 

@@ -24,7 +24,7 @@ use crate::json::Json;
 use crate::metrics::ServiceMetrics;
 use crate::scheduler::{BatchConfig, JobKind, JobOutput, QueryJob, Scheduler, SubmitError};
 use lcmsr_core::cancel::Deadline;
-use lcmsr_core::engine::LcmsrEngine;
+use lcmsr_core::engine::{LcmsrEngine, Priority};
 use lcmsr_core::trace::QueryTrace;
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
@@ -123,6 +123,10 @@ impl ServiceHandlerInner {
         let deadline = parsed
             .deadline_ms
             .map(|ms| Deadline::after(Duration::from_millis(ms)));
+        // Interactive traffic defaults into the response cache (pan/zoom
+        // sessions repeat themselves); batch sweeps default out.  Either
+        // lane can override explicitly with the request's `cache` field.
+        let cache = parsed.cache.unwrap_or(priority == Priority::Interactive);
         let ticket = self
             .scheduler
             .submit(QueryJob {
@@ -132,16 +136,19 @@ impl ServiceHandlerInner {
                 priority,
                 deadline,
                 trace: trace_enabled,
+                cache,
             })
             .map_err(|e| {
                 // Shed counting happens inside the scheduler; every shed
-                // variant maps to a 503 and the HTTP layer adds Retry-After.
+                // variant maps to a 503 with a Retry-After derived from the
+                // EWMA service time and the current backlog.
                 let status = match e {
                     SubmitError::Overloaded
                     | SubmitError::DeadlineUnmeetable
                     | SubmitError::ShuttingDown => 503,
                 };
                 HttpResponse::json(status, error_body(&e.to_string()))
+                    .with_header("Retry-After", self.scheduler.retry_after_secs().to_string())
             })?;
         // Counted only after admission, so `queries - responses` never drifts
         // by the shed count under overload.
@@ -154,10 +161,12 @@ impl ServiceHandlerInner {
         let (response, trace) = match output {
             JobOutput::Single(result) => {
                 self.metrics.record_prepare_split(&result.stats);
+                self.metrics.record_cache_path(&result.stats);
                 (QueryResponse::from_single(&result), result.trace)
             }
             JobOutput::TopK(result) => {
                 self.metrics.record_prepare_split(&result.stats);
+                self.metrics.record_cache_path(&result.stats);
                 (QueryResponse::from_topk(&result), result.trace)
             }
         };

@@ -96,6 +96,7 @@ fn request_for(keywords: &[&str], budget: f64, k: Option<usize>) -> QueryRequest
         mu: None,
         deadline_ms: None,
         priority: None,
+        cache: None,
     }
 }
 
@@ -783,6 +784,48 @@ fn request_ids_survive_the_fault_isolation_rerun() {
         !ids.contains(&"iso-bad".to_string()),
         "failed queries leave no trace: {ids:?}"
     );
+    service.shutdown();
+}
+
+#[test]
+fn interactive_sessions_replay_from_the_response_cache() {
+    let engine = leaked_city();
+    let service = serve_city(engine, BatchConfig::default());
+    let mut client = HttpClient::connect(service.addr()).unwrap();
+    let body = request_for(&["restaurant"], 300.0, None).to_body();
+    // First interactive query: cache mode on by default, computed cold.
+    let (status, cold) = client.post("/query", &body).unwrap();
+    assert_eq!(status, 200, "{cold}");
+    let cold = QueryResponse::from_body(&cold).unwrap();
+    assert!(cold.stats.cache, "interactive lane defaults into the cache");
+    assert!(!cold.stats.cache_hit);
+    // The identical repeat replays from the response cache, bit-identically.
+    let (status, warm) = client.post("/query", &body).unwrap();
+    assert_eq!(status, 200, "{warm}");
+    let warm = QueryResponse::from_body(&warm).unwrap();
+    assert!(warm.stats.cache_hit, "repeat must replay from the cache");
+    assert_eq!(warm.regions, cold.regions, "replay must be bit-identical");
+    assert_eq!(warm.stats.prepare_ns, 0, "replays skip the prepare phase");
+    assert_eq!(warm.stats.solve_ns, 0, "replays skip the solver");
+    // An explicit opt-out computes cold again and still agrees.
+    let mut uncached = request_for(&["restaurant"], 300.0, None);
+    uncached.cache = Some(false);
+    let (status, off) = client.post("/query", &uncached.to_body()).unwrap();
+    assert_eq!(status, 200, "{off}");
+    let off = QueryResponse::from_body(&off).unwrap();
+    assert!(!off.stats.cache && !off.stats.cache_hit);
+    assert_eq!(off.regions, cold.regions);
+    // The batch lane defaults out of the cache.
+    let mut bulk = request_for(&["restaurant"], 300.0, None);
+    bulk.priority = Some("batch".into());
+    let (status, bulk_body) = client.post("/query", &bulk.to_body()).unwrap();
+    assert_eq!(status, 200, "{bulk_body}");
+    assert!(!QueryResponse::from_body(&bulk_body).unwrap().stats.cache);
+    // The hit/miss counters surface through /metrics.
+    let (_, text) = client.get("/metrics").unwrap();
+    assert!(text.contains("lcmsr_cache_hits_total 1"), "{text}");
+    assert!(text.contains("lcmsr_cache_misses_total 1"), "{text}");
+    assert!(text.contains("lcmsr_cache_stale_total 0"), "{text}");
     service.shutdown();
 }
 

@@ -52,6 +52,11 @@ fn build_request(
             1 => Some("interactive".to_string()),
             _ => Some("batch".to_string()),
         },
+        cache: match mu_milli % 3 {
+            0 => None,
+            1 => Some(true),
+            _ => Some(false),
+        },
     }
 }
 
@@ -126,6 +131,10 @@ proptest! {
                     None
                 },
                 deadline_ns: if counters.1 % 2 == 1 { Some(times.0) } else { None },
+                cache: counters.2 % 2 == 1,
+                cache_hit: counters.2 % 4 == 1,
+                cache_stale: counters.2 % 4 == 3,
+                delta_prepare: counters.2 % 8 == 5,
             },
         };
         let body = response.to_body();
